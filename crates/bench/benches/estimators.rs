@@ -1,0 +1,75 @@
+//! Micro-benchmarks of the estimators: wall-clock per drill-down and per
+//! estimation pass, across configurations (plain / WA / D&C / full HD)
+//! and the baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdb_core::baselines::HiddenDbSampler;
+use hdb_core::{drill_down, AggregateSpec, EstimatorConfig, UnbiasedAggEstimator, UniformWeights};
+use hdb_datagen::{bool_iid, yahoo_auto, YahooConfig};
+use hdb_interface::{HiddenDb, Query};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_single_walk(c: &mut Criterion) {
+    let table = bool_iid(50_000, 40, 1).expect("generation");
+    let db = HiddenDb::new(table, 100);
+    let levels: Vec<usize> = (0..40).collect();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut group = c.benchmark_group("walks");
+    group.sample_size(30);
+    group.bench_function("plain_drilldown_50k_bool", |b| {
+        b.iter(|| {
+            drill_down(
+                black_box(&db),
+                &Query::all(),
+                &[],
+                &levels,
+                &UniformWeights,
+                &mut rng,
+            )
+            .expect("unlimited")
+        });
+    });
+    group.finish();
+}
+
+fn bench_estimation_pass(c: &mut Criterion) {
+    let table = yahoo_auto(YahooConfig { rows: 50_000, seed: 2 }).expect("generation");
+    let db = HiddenDb::new(table, 100);
+    let mut group = c.benchmark_group("estimation_pass_yahoo_50k");
+    group.sample_size(10);
+    let configs: [(&str, EstimatorConfig); 4] = [
+        ("plain", EstimatorConfig::plain()),
+        ("weight_adjusted", EstimatorConfig::plain().with_weight_adjustment(true)),
+        (
+            "dnc_r5_dub16",
+            EstimatorConfig::hd_default().with_r(5).with_dub(16).with_weight_adjustment(false),
+        ),
+        ("hd_full_r5_dub16", EstimatorConfig::hd_default().with_r(5).with_dub(16)),
+    ];
+    for (name, config) in configs {
+        group.bench_function(name, |b| {
+            let mut est =
+                UnbiasedAggEstimator::new(config.clone(), AggregateSpec::database_size(), 3)
+                    .expect("valid config");
+            b.iter(|| est.pass(black_box(&db)).expect("unlimited"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline_sampler(c: &mut Criterion) {
+    let table = bool_iid(20_000, 20, 3).expect("generation");
+    let db = HiddenDb::new(table, 100);
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(20);
+    group.bench_function("hidden_db_sampler_one_sample", |b| {
+        let mut sampler = HiddenDbSampler::new(5);
+        b.iter(|| sampler.try_sample(black_box(&db)).expect("unlimited"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_walk, bench_estimation_pass, bench_baseline_sampler);
+criterion_main!(benches);

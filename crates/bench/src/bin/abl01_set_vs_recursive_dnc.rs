@@ -1,0 +1,7 @@
+//! Ablation: D&C estimator form — recursive conditional-HT (ours) vs the
+//! paper's literal Eq.(10) set form (negatively biased at large p·r).
+use hdb_bench::{experiments, Scale};
+
+fn main() {
+    experiments::ablations::run_dnc_form(&Scale::from_args());
+}

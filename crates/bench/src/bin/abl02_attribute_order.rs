@@ -1,0 +1,7 @@
+//! Ablation: attribute ordering strategies (paper §5.1).
+use hdb_bench::{experiments, Datasets, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    experiments::ablations::run_attribute_order(&scale, &Datasets::new());
+}

@@ -1,0 +1,7 @@
+//! Ablation: weight-adjustment smoothing pseudo-count sweep.
+use hdb_bench::{experiments, Datasets, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    experiments::ablations::run_smoothing(&scale, &Datasets::new());
+}

@@ -1,0 +1,7 @@
+//! Ablation: smart vs simple backtracking (paper §3.2 query cost).
+use hdb_bench::{experiments, Datasets, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    experiments::ablations::run_backtracking(&scale, &Datasets::new());
+}

@@ -1,0 +1,6 @@
+//! Ablation: Figure-4 worst-case family — plain walk vs divide-&-conquer.
+use hdb_bench::{experiments, Scale};
+
+fn main() {
+    experiments::ablations::run_worst_case(&Scale::from_args());
+}

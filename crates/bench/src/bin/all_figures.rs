@@ -1,0 +1,38 @@
+//! Regenerates every paper figure/table plus the ablations in one run.
+use hdb_bench::{experiments, output, Datasets, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let datasets = Datasets::new();
+    output::note(&format!("scale: {scale:?}"));
+
+    output::note("Figures 6-10: Boolean comparison suite");
+    experiments::fig06_10_boolean::run(&scale, &datasets);
+    output::note("Figures 11-12: m sweep");
+    experiments::fig11_13_sweeps::run_m_sweep(&scale);
+    output::note("Figure 13: k sweep");
+    experiments::fig11_13_sweeps::run_k_sweep(&scale);
+    output::note("Figures 14-15: WA x D&C ablation (Yahoo! Auto)");
+    experiments::fig14_17_yahoo::run_ablation(&scale, &datasets);
+    output::note("Figure 16: effect of r");
+    experiments::fig14_17_yahoo::run_r_sweep(&scale, &datasets);
+    output::note("Figure 17: effect of D_UB");
+    experiments::fig14_17_yahoo::run_dub_sweep(&scale, &datasets);
+    output::note("Table (section 6.2): r tradeoff at matched cost");
+    experiments::fig14_17_yahoo::run_r_tradeoff_table(&scale, &datasets);
+    output::note("Figure 18: online COUNT runs");
+    experiments::fig18_19_online::run_count_runs(&scale, &datasets);
+    output::note("Figure 19: online SUM(price)");
+    experiments::fig18_19_online::run_sum_price(&scale, &datasets);
+    output::note("Ablation 01: D&C estimator form");
+    experiments::ablations::run_dnc_form(&scale);
+    output::note("Ablation 02: attribute order");
+    experiments::ablations::run_attribute_order(&scale, &datasets);
+    output::note("Ablation 03: smoothing lambda");
+    experiments::ablations::run_smoothing(&scale, &datasets);
+    output::note("Ablation 04: smart vs simple backtracking");
+    experiments::ablations::run_backtracking(&scale, &datasets);
+    output::note("Ablation 05: Figure-4 worst case");
+    experiments::ablations::run_worst_case(&scale);
+    output::note("done");
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figures 6–10 (the Boolean comparison suite shares traces).
+use hdb_bench::{experiments, Datasets, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    experiments::fig06_10_boolean::run(&scale, &Datasets::new());
+}

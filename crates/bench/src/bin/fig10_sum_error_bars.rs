@@ -1,0 +1,8 @@
+//! Regenerates Figures 6–10 (alias of fig06_mse_vs_cost: the Boolean
+//! comparison figures share one set of traces).
+use hdb_bench::{experiments, Datasets, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    experiments::fig06_10_boolean::run(&scale, &Datasets::new());
+}

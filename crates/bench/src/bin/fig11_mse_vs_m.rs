@@ -1,0 +1,6 @@
+//! Regenerates Figures 11 and 12 (MSE and query cost vs database size m).
+use hdb_bench::{experiments, Scale};
+
+fn main() {
+    experiments::fig11_13_sweeps::run_m_sweep(&Scale::from_args());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figures 11 and 12 (alias of fig11_mse_vs_m: one sweep).
+use hdb_bench::{experiments, Scale};
+
+fn main() {
+    experiments::fig11_13_sweeps::run_m_sweep(&Scale::from_args());
+}

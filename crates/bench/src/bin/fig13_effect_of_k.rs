@@ -1,0 +1,6 @@
+//! Regenerates Figure 13 (MSE and query cost vs the top-k constant).
+use hdb_bench::{experiments, Scale};
+
+fn main() {
+    experiments::fig11_13_sweeps::run_k_sweep(&Scale::from_args());
+}

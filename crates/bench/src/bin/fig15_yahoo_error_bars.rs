@@ -1,0 +1,7 @@
+//! Regenerates Figures 14 and 15 (alias of fig14_individual_effects).
+use hdb_bench::{experiments, Datasets, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    experiments::fig14_17_yahoo::run_ablation(&scale, &Datasets::new());
+}

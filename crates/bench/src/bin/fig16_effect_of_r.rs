@@ -1,0 +1,7 @@
+//! Regenerates Figure 16 (MSE and query cost vs r on Yahoo! Auto).
+use hdb_bench::{experiments, Datasets, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    experiments::fig14_17_yahoo::run_r_sweep(&scale, &Datasets::new());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 17 (MSE and query cost vs D_UB on Yahoo! Auto).
+use hdb_bench::{experiments, Datasets, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    experiments::fig14_17_yahoo::run_dub_sweep(&scale, &Datasets::new());
+}

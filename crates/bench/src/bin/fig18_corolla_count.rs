@@ -1,0 +1,7 @@
+//! Regenerates Figure 18 (ten COUNT executions for the most popular model).
+use hdb_bench::{experiments, Datasets, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    experiments::fig18_19_online::run_count_runs(&scale, &Datasets::new());
+}

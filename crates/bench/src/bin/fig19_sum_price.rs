@@ -1,0 +1,7 @@
+//! Regenerates Figure 19 (SUM(price) for five popular models).
+use hdb_bench::{experiments, Datasets, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    experiments::fig18_19_online::run_sum_price(&scale, &Datasets::new());
+}

@@ -1,0 +1,7 @@
+//! Regenerates the §6.2 table: MSE vs r at matched query cost.
+use hdb_bench::{experiments, Datasets, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    experiments::fig14_17_yahoo::run_r_tradeoff_table(&scale, &Datasets::new());
+}

@@ -1,0 +1,90 @@
+//! Shared experiment datasets, built once per process and reused across
+//! figures (generation of the 200k-row tables costs a couple of seconds).
+
+use std::sync::OnceLock;
+
+use hdb_datagen::{bool_iid, bool_mixed, yahoo_auto, YahooConfig};
+use hdb_interface::{HiddenDb, Table};
+
+use crate::scale::Scale;
+
+/// Fixed dataset seeds (the datasets are part of the experiment
+/// definition, not of the per-trial randomness).
+pub const BOOL_IID_SEED: u64 = 101;
+/// Seed of the Bool-mixed dataset.
+pub const BOOL_MIXED_SEED: u64 = 102;
+/// Seed of the synthetic Yahoo! Auto dataset.
+pub const YAHOO_SEED: u64 = 103;
+
+/// Number of attributes of the Boolean datasets (paper: 40).
+pub const BOOL_ATTRS: usize = 40;
+
+/// Lazily-built dataset context shared by the experiment functions.
+#[derive(Debug, Default)]
+pub struct Datasets {
+    bool_iid: OnceLock<Table>,
+    bool_mixed: OnceLock<Table>,
+    yahoo: OnceLock<Table>,
+}
+
+impl Datasets {
+    /// An empty context.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The Bool-iid table at `scale`.
+    pub fn bool_iid(&self, scale: &Scale) -> &Table {
+        self.bool_iid.get_or_init(|| {
+            bool_iid(scale.bool_rows, BOOL_ATTRS, BOOL_IID_SEED)
+                .expect("Bool-iid generation cannot fail at these parameters")
+        })
+    }
+
+    /// The Bool-mixed table at `scale`.
+    pub fn bool_mixed(&self, scale: &Scale) -> &Table {
+        self.bool_mixed.get_or_init(|| {
+            bool_mixed(scale.bool_rows, BOOL_ATTRS, BOOL_MIXED_SEED)
+                .expect("Bool-mixed generation cannot fail at these parameters")
+        })
+    }
+
+    /// The synthetic Yahoo! Auto table at `scale`.
+    pub fn yahoo(&self, scale: &Scale) -> &Table {
+        self.yahoo.get_or_init(|| {
+            yahoo_auto(YahooConfig { rows: scale.yahoo_rows, seed: YAHOO_SEED })
+                .expect("Yahoo generation cannot fail at these parameters")
+        })
+    }
+}
+
+/// Wraps a table in a fresh top-`k` interface (each experiment gets its
+/// own query accounting).
+#[must_use]
+pub fn interface(table: &Table, k: usize) -> HiddenDb {
+    HiddenDb::new(table.clone(), k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_are_cached() {
+        let scale = Scale { bool_rows: 500, yahoo_rows: 500, trials: 1 };
+        let ds = Datasets::new();
+        let a = ds.bool_iid(&scale) as *const Table;
+        let b = ds.bool_iid(&scale) as *const Table;
+        assert_eq!(a, b, "second call must hit the cache");
+        assert_eq!(ds.bool_iid(&scale).len(), 500);
+    }
+
+    #[test]
+    fn interface_wraps_with_k() {
+        let scale = Scale { bool_rows: 100, yahoo_rows: 100, trials: 1 };
+        let ds = Datasets::new();
+        let db = interface(ds.bool_mixed(&scale), 25);
+        assert_eq!(hdb_interface::TopKInterface::k(&db), 25);
+    }
+}

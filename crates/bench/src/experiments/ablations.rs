@@ -1,0 +1,249 @@
+//! Design-choice ablations beyond the paper's own figures (DESIGN.md §3):
+//!
+//! * **abl02** — attribute ordering: fanout-descending (the paper's §5.1
+//!   recommendation) vs ascending vs schema order, on the categorical
+//!   Yahoo! Auto dataset. Expectation: descending minimises query cost at
+//!   comparable MSE.
+//! * **abl03** — weight-adjustment smoothing pseudo-count sweep.
+//!   Expectation: very small λ over-trusts noisy pilot estimates, very
+//!   large λ disables weight adjustment; a broad middle is flat.
+
+use hdb_core::dnc::{estimate_pass, estimate_pass_paper_form};
+use hdb_core::{
+    AggregateSpec, AttributeOrder, BacktrackStrategy, EstimatorConfig, UniformWeights,
+};
+use hdb_datagen::uniform_table;
+use hdb_interface::{HiddenDb, Query, ReturnedTuple, Schema};
+use hdb_stats::{Figure, Series};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::datasets::{interface, Datasets};
+use crate::output::emit;
+use crate::runner::run_fixed_passes;
+use crate::scale::Scale;
+
+/// Interface constant (same as the Yahoo! Auto experiments).
+pub const K: usize = 100;
+
+/// Runs the set-vs-recursive divide-&-conquer form ablation (DESIGN.md:
+/// the literal Eq. (10) over distinct captured nodes is negatively biased
+/// when per-subtree selection probabilities are not small against `1/r`;
+/// the recursive conditional-HT form we ship is exactly unbiased).
+pub fn run_dnc_form(scale: &Scale) {
+    let mut fig = Figure::new(
+        "Ablation 01: D&C estimator form — recursive (ours) vs Eq.(10) set form",
+        "r",
+        "mean estimate / m",
+    );
+    // dense little tree: p per subtree walk is large, exposing the bias
+    let schema = Schema::boolean(8);
+    let table = uniform_table(&schema, 60, 5).expect("generation");
+    let m = table.len() as f64;
+    let db = HiddenDb::new(table, 1);
+    let measure = |ts: &[ReturnedTuple]| ts.len() as f64;
+    let levels: Vec<usize> = (0..8).collect();
+    let passes = 400 * scale.trials.max(1);
+
+    let mut rec_points = Vec::new();
+    let mut set_points = Vec::new();
+    for r in [1usize, 2, 4, 8] {
+        let mut rng = StdRng::seed_from_u64(23_000 + r as u64);
+        let (mut rec, mut set) = (0.0, 0.0);
+        for _ in 0..passes {
+            rec += estimate_pass(&db, &Query::all(), &levels, r, 8, &UniformWeights, &measure, &mut rng)
+                .expect("unlimited");
+            set += estimate_pass_paper_form(
+                &db,
+                &Query::all(),
+                &levels,
+                r,
+                8,
+                &UniformWeights,
+                &measure,
+                &mut rng,
+            )
+            .expect("unlimited");
+        }
+        rec_points.push((r as f64, rec / passes as f64 / m));
+        set_points.push((r as f64, set / passes as f64 / m));
+    }
+    fig.add(Series::from_points("recursive form (ours)", rec_points));
+    fig.add(Series::from_points("Eq.(10) set form", set_points));
+    emit(&fig, "abl01_set_vs_recursive_dnc");
+    println!("(values are mean estimate / true size; 1.0 = unbiased)");
+}
+
+/// Runs the Figure-4 worst-case stress (paper §3.3.2 / Corollary 1 /
+/// Theorem 4): on the adversarial suffix-flip family, the plain walk's
+/// variance blows up with the domain size while divide-&-conquer tames
+/// it at comparable query cost.
+pub fn run_worst_case(scale: &Scale) {
+    let mut fig = Figure::new(
+        "Ablation 05: Figure-4 worst case — plain vs divide-&-conquer",
+        "n (attributes)",
+        "relative MSE (MSE/m²) at matched cost",
+    );
+    let mut plain_points = Vec::new();
+    let mut dnc_points = Vec::new();
+    for n in [8usize, 12, 16, 20] {
+        let table = hdb_datagen::worst_case(n).expect("n ≥ 2");
+        let truth = table.len() as f64;
+        let db = HiddenDb::new(table, 1);
+
+        let dnc_cfg =
+            EstimatorConfig::hd_default().with_r(3).with_dub(8).with_weight_adjustment(false);
+        let dnc = run_fixed_passes(
+            &db,
+            &dnc_cfg,
+            &AggregateSpec::database_size(),
+            scale.trials.max(20),
+            4,
+            25_000,
+        );
+        // match the plain estimator's budget to D&C's mean cost
+        let budget = dnc.mean_cost().ceil() as u64;
+        let mut plain_estimates = Vec::new();
+        for trial in 0..scale.trials.max(20) {
+            let mut est = hdb_core::UnbiasedAggEstimator::new(
+                EstimatorConfig::plain(),
+                AggregateSpec::database_size(),
+                26_000 + trial,
+            )
+            .expect("valid config");
+            let summary = est.run_until_budget(&db, budget).expect("unlimited");
+            plain_estimates.push(summary.estimate);
+        }
+        let plain_mse = plain_estimates.iter().map(|e| (e - truth).powi(2)).sum::<f64>()
+            / plain_estimates.len() as f64;
+        println!(
+            "  n={n}: plain rel-MSE {:.3e}, D&C rel-MSE {:.3e} (cost ≈ {budget})",
+            plain_mse / (truth * truth),
+            dnc.mse(truth) / (truth * truth),
+        );
+        plain_points.push((n as f64, plain_mse / (truth * truth)));
+        dnc_points.push((n as f64, dnc.mse(truth) / (truth * truth)));
+    }
+    fig.add(Series::from_points("plain walk", plain_points));
+    fig.add(Series::from_points("divide-&-conquer", dnc_points));
+    emit(&fig, "abl05_worst_case");
+}
+
+/// Runs the smart-vs-simple backtracking cost ablation (paper §3.2,
+/// Eq. 2: smart backtracking avoids probing every branch of large-fanout
+/// attributes).
+pub fn run_backtracking(scale: &Scale, datasets: &Datasets) {
+    let table = datasets.yahoo(scale);
+    let db = interface(table, K);
+    let truth = table.len() as f64;
+
+    let mut fig = Figure::new(
+        "Ablation 04: smart vs simple backtracking",
+        "strategy (1=smart 2=simple)",
+        "query cost / MSE",
+    );
+    let mut cost_points = Vec::new();
+    let mut mse_points = Vec::new();
+    for (i, (label, strategy)) in
+        [("smart", BacktrackStrategy::Smart), ("simple", BacktrackStrategy::Simple)]
+            .into_iter()
+            .enumerate()
+    {
+        let config = EstimatorConfig::plain().with_backtrack(strategy);
+        let result = run_fixed_passes(
+            &db,
+            &config,
+            &AggregateSpec::database_size(),
+            scale.trials,
+            30,
+            24_000,
+        );
+        println!(
+            "  {label}: mean cost {:.0}, MSE {:.3e}",
+            result.mean_cost(),
+            result.mse(truth)
+        );
+        cost_points.push(((i + 1) as f64, result.mean_cost()));
+        mse_points.push(((i + 1) as f64, result.mse(truth)));
+    }
+    fig.add(Series::from_points("Query cost", cost_points));
+    fig.add(Series::from_points("MSE", mse_points));
+    emit(&fig, "abl04_backtracking");
+}
+
+/// Runs the attribute-order ablation.
+pub fn run_attribute_order(scale: &Scale, datasets: &Datasets) {
+    let table = datasets.yahoo(scale);
+    let db = interface(table, K);
+    let truth = table.len() as f64;
+
+    let orders: [(&str, AttributeOrder); 3] = [
+        ("fanout-descending", AttributeOrder::FanoutDescending),
+        ("fanout-ascending", AttributeOrder::FanoutAscending),
+        ("schema-order", AttributeOrder::SchemaOrder),
+    ];
+
+    let mut fig = Figure::new(
+        "Ablation 02: attribute ordering (paper §5.1)",
+        "order (1=desc 2=asc 3=schema)",
+        "query cost / relative MSE",
+    );
+    let mut cost_points = Vec::new();
+    let mut mse_points = Vec::new();
+    for (i, (label, order)) in orders.into_iter().enumerate() {
+        let config = EstimatorConfig::hd_default().with_r(5).with_dub(16).with_order(order);
+        let result = run_fixed_passes(
+            &db,
+            &config,
+            &AggregateSpec::database_size(),
+            scale.trials,
+            2,
+            21_000,
+        );
+        println!(
+            "  {label}: mean cost {:.0}, MSE {:.3e}",
+            result.mean_cost(),
+            result.mse(truth)
+        );
+        cost_points.push(((i + 1) as f64, result.mean_cost()));
+        mse_points.push(((i + 1) as f64, result.mse(truth)));
+    }
+    fig.add(Series::from_points("Query cost", cost_points));
+    fig.add(Series::from_points("MSE", mse_points));
+    emit(&fig, "abl02_attribute_order");
+}
+
+/// Runs the smoothing-λ ablation.
+pub fn run_smoothing(scale: &Scale, datasets: &Datasets) {
+    let table = datasets.yahoo(scale);
+    let db = interface(table, K);
+    let truth = table.len() as f64;
+
+    let lambdas = [0.01, 0.1, 1.0, 10.0, 100.0];
+    let mut fig = Figure::new(
+        "Ablation 03: weight-adjustment smoothing pseudo-count",
+        "lambda",
+        "MSE / query cost",
+    );
+    let mut mse_points = Vec::new();
+    let mut cost_points = Vec::new();
+    for &lambda in &lambdas {
+        // enough passes for the weight model's visit gate to open at the
+        // shallow nodes, where smoothing actually matters
+        let config =
+            EstimatorConfig::hd_default().with_r(5).with_dub(16).with_smoothing(lambda);
+        let result = run_fixed_passes(
+            &db,
+            &config,
+            &AggregateSpec::database_size(),
+            scale.trials,
+            12,
+            22_000,
+        );
+        mse_points.push((lambda, result.mse(truth)));
+        cost_points.push((lambda, result.mean_cost()));
+    }
+    fig.add(Series::from_points("MSE", mse_points));
+    fig.add(Series::from_points("Query cost", cost_points));
+    emit(&fig, "abl03_smoothing_lambda");
+}

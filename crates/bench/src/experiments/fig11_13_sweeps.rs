@@ -1,0 +1,99 @@
+//! Figures 11–13: scalability sweeps on the Boolean datasets.
+//!
+//! * **Fig 11** — MSE vs database size `m` (50k…300k at paper scale),
+//!   HD-UNBIASED-SIZE with `r = 4`, `D_UB = 16`.
+//! * **Fig 12** — query cost vs `m` for the same runs.
+//! * **Fig 13** — MSE and query cost vs the interface constant `k`
+//!   (100…500).
+//!
+//! Expected shape (paper §6.2): MSE and query cost grow roughly linearly
+//! with `m`; both MSE and query cost *decrease* as `k` grows.
+
+use hdb_core::{AggregateSpec, EstimatorConfig};
+use hdb_datagen::{bool_iid, bool_mixed};
+use hdb_interface::HiddenDb;
+use hdb_stats::{Figure, Series};
+
+use crate::datasets::{BOOL_ATTRS, BOOL_IID_SEED, BOOL_MIXED_SEED};
+use crate::output::emit;
+use crate::runner::run_fixed_passes;
+use crate::scale::Scale;
+
+/// Estimation passes per trial for the sweep figures (each pass is one
+/// independent unbiased estimate; the paper plots per-execution costs).
+const PASSES: u64 = 4;
+
+/// Interface constant for the m-sweep (paper default).
+const K: usize = 100;
+
+/// Runs Figures 11 and 12 (shared sweep over `m`).
+pub fn run_m_sweep(scale: &Scale) {
+    // paper: 50k…300k when the base is 200k — i.e. fractions ¼…1½
+    let fractions = [0.25, 0.5, 0.75, 1.0, 1.25, 1.5];
+    let config = EstimatorConfig::hd_default().with_dub(16);
+
+    let mut fig11 = Figure::new("Figure 11: MSE vs m", "m (rows)", "MSE");
+    let mut fig12 = Figure::new("Figure 12: Query cost vs m", "m (rows)", "query cost");
+
+    for (label, gen_seed, mixed) in
+        [("HD iid", BOOL_IID_SEED, false), ("HD Mixed", BOOL_MIXED_SEED, true)]
+    {
+        let mut mse_points = Vec::new();
+        let mut cost_points = Vec::new();
+        for &f in &fractions {
+            let m = ((scale.bool_rows as f64 * f) as usize).max(1000);
+            let table = if mixed {
+                bool_mixed(m, BOOL_ATTRS, gen_seed)
+            } else {
+                bool_iid(m, BOOL_ATTRS, gen_seed)
+            }
+            .expect("generation succeeds at these sizes");
+            let db = HiddenDb::new(table, K);
+            let result = run_fixed_passes(
+                &db,
+                &config,
+                &AggregateSpec::database_size(),
+                scale.trials,
+                PASSES,
+                11_000,
+            );
+            mse_points.push((m as f64, result.mse(m as f64)));
+            cost_points.push((m as f64, result.mean_cost()));
+        }
+        fig11.add(Series::from_points(label, mse_points));
+        fig12.add(Series::from_points(label, cost_points));
+    }
+
+    emit(&fig11, "fig11_mse_vs_m");
+    emit(&fig12, "fig12_cost_vs_m");
+}
+
+/// Runs Figure 13 (sweep over the top-k constant).
+pub fn run_k_sweep(scale: &Scale) {
+    let ks = [100usize, 200, 300, 400, 500];
+    let config = EstimatorConfig::hd_default().with_dub(16);
+    let table =
+        bool_iid(scale.bool_rows, BOOL_ATTRS, BOOL_IID_SEED).expect("generation succeeds");
+    let truth = table.len() as f64;
+
+    let mut fig13 =
+        Figure::new("Figure 13: MSE and query cost vs k", "k", "MSE / query cost");
+    let mut mse_points = Vec::new();
+    let mut cost_points = Vec::new();
+    for &k in &ks {
+        let db = HiddenDb::new(table.clone(), k);
+        let result = run_fixed_passes(
+            &db,
+            &config,
+            &AggregateSpec::database_size(),
+            scale.trials,
+            PASSES,
+            13_000,
+        );
+        mse_points.push((k as f64, result.mse(truth)));
+        cost_points.push((k as f64, result.mean_cost()));
+    }
+    fig13.add(Series::from_points("MSE", mse_points));
+    fig13.add(Series::from_points("Query cost", cost_points));
+    emit(&fig13, "fig13_effect_of_k");
+}

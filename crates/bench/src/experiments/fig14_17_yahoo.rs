@@ -1,0 +1,182 @@
+//! Figures 14–17 and the §6.2 r-tradeoff table: the categorical
+//! Yahoo! Auto experiments.
+//!
+//! * **Fig 14** — the ablation: MSE vs query cost for the four
+//!   combinations of weight adjustment × divide-&-conquer (`r = 5`,
+//!   `D_UB = 16`).
+//! * **Fig 15** — error bars for the full HD-UNBIASED-SIZE.
+//! * **Fig 16** — MSE and query cost as `r` varies 4…8.
+//! * **Fig 17** — MSE and query cost as `D_UB` varies 16…full domain.
+//! * **Table (§6.2)** — MSE at matched query cost for `r = 3…8`
+//!   (the tradeoff is insensitive to `r`).
+//!
+//! Expected shape (paper §6.2): each of WA and D&C reduces MSE, D&C by
+//! far the more; larger `r` → more queries, lower variance; larger
+//! `D_UB` → fewer queries, higher MSE; the matched-cost MSE is flat in
+//! `r`.
+
+use hdb_core::{AggregateSpec, EstimatorConfig, UnbiasedAggEstimator};
+use hdb_stats::{Figure, Series};
+
+use crate::datasets::{interface, Datasets};
+use crate::experiments::{error_bar_series, mse_series};
+use crate::output::emit;
+use crate::runner::{run_agg_trials, run_fixed_passes, TrialSpec};
+use crate::scale::Scale;
+
+/// Interface constant for the Yahoo! Auto experiments.
+pub const K: usize = 100;
+
+/// Figure 14/15 parameters (paper: `r = 5`, `D_UB = 16`).
+fn yahoo_config() -> EstimatorConfig {
+    EstimatorConfig::hd_default().with_r(5).with_dub(16)
+}
+
+/// Runs Figures 14 and 15.
+pub fn run_ablation(scale: &Scale, datasets: &Datasets) {
+    let table = datasets.yahoo(scale);
+    let db = interface(table, K);
+    let truth = table.len() as f64;
+    let checkpoints: Vec<u64> = (200..=2000).step_by(100).collect();
+    let spec = TrialSpec { trials: scale.trials, max_queries: 2000, base_seed: 14_000 };
+
+    let variants: [(&str, EstimatorConfig); 4] = [
+        (
+            "w/o D&C, w/o WA",
+            EstimatorConfig::plain(),
+        ),
+        (
+            "w/o D&C, w/ WA",
+            EstimatorConfig::plain().with_weight_adjustment(true),
+        ),
+        (
+            "w/ D&C, w/o WA",
+            yahoo_config().with_weight_adjustment(false),
+        ),
+        ("w/ D&C, w/ WA", yahoo_config()),
+    ];
+
+    let mut fig14 =
+        Figure::new("Figure 14: Individual effects of WA and D&C", "query cost", "MSE");
+    let mut full_traces = None;
+    for (label, config) in variants {
+        let traces = run_agg_trials(&db, &config, &AggregateSpec::database_size(), &spec);
+        fig14.add(mse_series(label, &traces, truth, &checkpoints));
+        if label == "w/ D&C, w/ WA" {
+            full_traces = Some(traces);
+        }
+    }
+    emit(&fig14, "fig14_individual_effects");
+
+    let mut fig15 =
+        Figure::new("Figure 15: Yahoo! Auto error bars (full HD)", "query cost", "relative size");
+    let bar_checkpoints: Vec<u64> = (200..=2000).step_by(200).collect();
+    for s in error_bar_series(
+        "w/ D&C, w/ WA",
+        full_traces.as_ref().expect("full variant executed"),
+        truth,
+        &bar_checkpoints,
+    ) {
+        fig15.add(s);
+    }
+    emit(&fig15, "fig15_yahoo_error_bars");
+}
+
+/// Runs Figure 16 (effect of `r`).
+pub fn run_r_sweep(scale: &Scale, datasets: &Datasets) {
+    let table = datasets.yahoo(scale);
+    let db = interface(table, K);
+    let truth = table.len() as f64;
+
+    let mut fig16 = Figure::new("Figure 16: Effect of r", "r", "MSE / query cost");
+    let mut mse_points = Vec::new();
+    let mut cost_points = Vec::new();
+    for r in 4..=8usize {
+        let config = yahoo_config().with_r(r);
+        let result = run_fixed_passes(
+            &db,
+            &config,
+            &AggregateSpec::database_size(),
+            scale.trials,
+            1,
+            16_000,
+        );
+        mse_points.push((r as f64, result.mse(truth)));
+        cost_points.push((r as f64, result.mean_cost()));
+    }
+    fig16.add(Series::from_points("MSE", mse_points));
+    fig16.add(Series::from_points("Query cost", cost_points));
+    emit(&fig16, "fig16_effect_of_r");
+}
+
+/// Runs Figure 17 (effect of `D_UB`).
+pub fn run_dub_sweep(scale: &Scale, datasets: &Datasets) {
+    let table = datasets.yahoo(scale);
+    let db = interface(table, K);
+    let truth = table.len() as f64;
+
+    let mut fig17 = Figure::new("Figure 17: Effect of D_UB", "D_UB", "MSE / query cost");
+    let mut mse_points = Vec::new();
+    let mut cost_points = Vec::new();
+    // 16 … the full domain (the paper's 104544 ≈ its full categorical
+    // domain; u64::MAX stands in for "whole tree as one subtree").
+    let dubs: [u64; 6] = [16, 64, 256, 4096, 65_536, u64::MAX];
+    for &dub in &dubs {
+        let config = yahoo_config().with_dub(dub);
+        let result = run_fixed_passes(
+            &db,
+            &config,
+            &AggregateSpec::database_size(),
+            scale.trials,
+            1,
+            17_000,
+        );
+        // plot position: cap the sentinel for a readable axis
+        let x = if dub == u64::MAX { 1.0e6 } else { dub as f64 };
+        mse_points.push((x, result.mse(truth)));
+        cost_points.push((x, result.mean_cost()));
+    }
+    fig17.add(Series::from_points("MSE", mse_points));
+    fig17.add(Series::from_points("Query cost", cost_points));
+    emit(&fig17, "fig17_effect_of_dub");
+}
+
+/// Runs the §6.2 table: MSE at matched query cost for `r = 3…8`.
+pub fn run_r_tradeoff_table(scale: &Scale, datasets: &Datasets) {
+    let table = datasets.yahoo(scale);
+    let db = interface(table, K);
+    let truth = table.len() as f64;
+    let budget = 450u64; // the paper's matched cost is ~440–600
+
+    let mut tab = Figure::new(
+        "Table (§6.2): MSE vs r at matched query cost",
+        "r",
+        "query cost / MSE",
+    );
+    let mut cost_points = Vec::new();
+    let mut mse_points = Vec::new();
+    for r in 3..=8usize {
+        let config = yahoo_config().with_r(r).with_dub(16);
+        let mut estimates = Vec::with_capacity(scale.trials as usize);
+        let mut costs = Vec::with_capacity(scale.trials as usize);
+        for trial in 0..scale.trials {
+            let mut est = UnbiasedAggEstimator::new(
+                config.clone(),
+                AggregateSpec::database_size(),
+                18_000 + trial,
+            )
+            .expect("valid config");
+            let summary = est.run_until_budget(&db, budget).expect("passes succeed");
+            estimates.push(summary.estimate);
+            costs.push(summary.queries);
+        }
+        let mse = estimates.iter().map(|e| (e - truth).powi(2)).sum::<f64>()
+            / estimates.len() as f64;
+        let mean_cost = costs.iter().sum::<u64>() as f64 / costs.len() as f64;
+        cost_points.push((r as f64, mean_cost));
+        mse_points.push((r as f64, mse));
+    }
+    tab.add(Series::from_points("Query cost", cost_points));
+    tab.add(Series::from_points("MSE", mse_points));
+    emit(&tab, "tab01_r_tradeoff");
+}

@@ -1,0 +1,99 @@
+//! One module per paper figure/table; each `run` function regenerates the
+//! corresponding result (console table + CSV under `results/`).
+//!
+//! See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured records.
+
+pub mod ablations;
+pub mod fig06_10_boolean;
+pub mod fig11_13_sweeps;
+pub mod fig14_17_yahoo;
+pub mod fig18_19_online;
+
+use hdb_stats::{summarize_at, Series, Trace};
+
+/// Builds an `(cost, MSE)` series from traces (checkpoints without data
+/// are skipped, so a series starts at its estimator's first completed
+/// pass).
+#[must_use]
+pub fn mse_series(name: &str, traces: &[Trace], truth: f64, checkpoints: &[u64]) -> Series {
+    let summary = summarize_at(traces, truth, checkpoints);
+    Series::from_points(
+        name,
+        summary.iter().map(|c| (c.cost as f64, c.accuracy.mse)).collect(),
+    )
+}
+
+/// Builds an `(cost, mean relative error %)` series from traces.
+#[must_use]
+pub fn relerr_series(name: &str, traces: &[Trace], truth: f64, checkpoints: &[u64]) -> Series {
+    let summary = summarize_at(traces, truth, checkpoints);
+    Series::from_points(
+        name,
+        summary
+            .iter()
+            .map(|c| (c.cost as f64, c.accuracy.mean_relative_error * 100.0))
+            .collect(),
+    )
+}
+
+/// Builds the three error-bar series (mean, mean−σ, mean+σ of relative
+/// size) from traces.
+#[must_use]
+pub fn error_bar_series(
+    name: &str,
+    traces: &[Trace],
+    truth: f64,
+    checkpoints: &[u64],
+) -> [Series; 3] {
+    let summary = summarize_at(traces, truth, checkpoints);
+    let center = Series::from_points(
+        format!("{name} mean"),
+        summary.iter().map(|c| (c.cost as f64, c.error_bar.center)).collect(),
+    );
+    let low = Series::from_points(
+        format!("{name} -1sd"),
+        summary.iter().map(|c| (c.cost as f64, c.error_bar.low())).collect(),
+    );
+    let high = Series::from_points(
+        format!("{name} +1sd"),
+        summary.iter().map(|c| (c.cost as f64, c.error_bar.high())).collect(),
+    );
+    [center, low, high]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traces() -> Vec<Trace> {
+        let mut a = Trace::new();
+        a.push(100, 90.0);
+        a.push(200, 105.0);
+        let mut b = Trace::new();
+        b.push(100, 110.0);
+        b.push(200, 95.0);
+        vec![a, b]
+    }
+
+    #[test]
+    fn mse_series_computes_per_checkpoint() {
+        let s = mse_series("x", &traces(), 100.0, &[100, 200]);
+        assert_eq!(s.points.len(), 2);
+        assert!((s.points[0].1 - 100.0).abs() < 1e-9); // (10² + 10²)/2
+        assert!((s.points[1].1 - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relerr_series_in_percent() {
+        let s = relerr_series("x", &traces(), 100.0, &[100]);
+        assert!((s.points[0].1 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_bars_bracket_the_mean() {
+        let [c, lo, hi] = error_bar_series("x", &traces(), 100.0, &[200]);
+        assert!(lo.points[0].1 <= c.points[0].1);
+        assert!(hi.points[0].1 >= c.points[0].1);
+    }
+}

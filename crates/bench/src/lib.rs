@@ -1,0 +1,23 @@
+//! # hdb-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§6).
+//! Each figure has a dedicated binary (`cargo run --release -p hdb-bench
+//! --bin figXX_*`); `all_figures` runs the lot. Binaries accept
+//! `--quick` (or `HDB_QUICK=1`) for a reduced-scale smoke run and write
+//! CSVs under `results/`.
+//!
+//! Criterion micro-benchmarks (`cargo bench`) live under `benches/` and
+//! measure the substrate (query evaluation) and the estimators
+//! (queries/walk, time/pass).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod output;
+pub mod runner;
+pub mod scale;
+
+pub use datasets::Datasets;
+pub use scale::Scale;

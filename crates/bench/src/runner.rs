@@ -1,0 +1,227 @@
+//! Trial runners: drive an estimator against a hidden database for many
+//! independent trials, producing per-trial [`Trace`]s of the running
+//! estimate as a function of query cost.
+
+use hdb_core::baselines::brute_force::BruteForceSampler;
+use hdb_core::baselines::capture_recapture::CaptureRecapture;
+use hdb_core::baselines::hidden_db_sampler::HiddenDbSampler;
+use hdb_core::{AggregateSpec, EstimatorConfig, UnbiasedAggEstimator};
+use hdb_interface::{HiddenDb, TopKInterface};
+use hdb_stats::Trace;
+
+/// Shared trial parameters.
+#[derive(Clone, Debug)]
+pub struct TrialSpec {
+    /// Independent trials.
+    pub trials: u64,
+    /// Query budget per trial (the trace extends until the first pass
+    /// that ends at or beyond this spend).
+    pub max_queries: u64,
+    /// Base RNG seed; trial `i` uses `base_seed + i`.
+    pub base_seed: u64,
+}
+
+/// Runs `spec.trials` independent trials of an `HD-UNBIASED`-family
+/// estimator and returns one trace per trial.
+///
+/// # Panics
+/// Panics if the estimator construction or a pass fails for a reason
+/// other than budget exhaustion — experiment configurations are static
+/// and must be valid.
+#[must_use]
+pub fn run_agg_trials(
+    db: &HiddenDb,
+    config: &EstimatorConfig,
+    aggregate: &AggregateSpec,
+    spec: &TrialSpec,
+) -> Vec<Trace> {
+    let mut traces = Vec::with_capacity(spec.trials as usize);
+    for trial in 0..spec.trials {
+        let mut est = UnbiasedAggEstimator::new(
+            config.clone(),
+            aggregate.clone(),
+            spec.base_seed + trial,
+        )
+        .expect("experiment configurations are valid");
+        let mut trace = Trace::new();
+        while est.queries_spent() < spec.max_queries {
+            est.pass(db).expect("experiment passes must succeed");
+            trace.push(
+                est.queries_spent(),
+                est.estimate().expect("pass recorded an estimate"),
+            );
+        }
+        traces.push(trace);
+    }
+    traces
+}
+
+/// Runs capture-&-recapture trials over the `HIDDEN-DB-SAMPLER`,
+/// recording the Chapman estimate (finite from the first capture;
+/// Lincoln–Petersen is undefined until the samples overlap) after each
+/// capture.
+#[must_use]
+pub fn run_capture_recapture_trials(db: &HiddenDb, spec: &TrialSpec) -> Vec<Trace> {
+    let mut traces = Vec::with_capacity(spec.trials as usize);
+    for trial in 0..spec.trials {
+        let mut sampler = HiddenDbSampler::new(spec.base_seed + trial);
+        let mut cr = CaptureRecapture::new();
+        let mut trace = Trace::new();
+        let start = db.queries_issued();
+        loop {
+            let spent = db.queries_issued() - start;
+            if spent >= spec.max_queries {
+                break;
+            }
+            let remaining = spec.max_queries - spent;
+            match sampler
+                .try_sample_within(db, remaining)
+                .expect("experiment passes must succeed")
+            {
+                Some(s) => {
+                    cr.capture(s.tuple.id);
+                    let est = cr.estimate();
+                    let value = est.lincoln_petersen.unwrap_or(est.chapman);
+                    trace.push(db.queries_issued() - start, value);
+                }
+                None => break,
+            }
+        }
+        traces.push(trace);
+    }
+    traces
+}
+
+/// Runs brute-force-sampler trials, recording the running size estimate
+/// after every draw.
+#[must_use]
+pub fn run_brute_force_trials(db: &HiddenDb, spec: &TrialSpec) -> Vec<Trace> {
+    let mut traces = Vec::with_capacity(spec.trials as usize);
+    for trial in 0..spec.trials {
+        let mut s = BruteForceSampler::new(spec.base_seed + trial);
+        let mut trace = Trace::new();
+        for _ in 0..spec.max_queries {
+            s.step(db).expect("experiment passes must succeed");
+            trace.push(s.draws(), s.size_estimate(db).expect("draws > 0"));
+        }
+        traces.push(trace);
+    }
+    traces
+}
+
+/// Final per-trial estimates and query costs after exactly `passes`
+/// estimation passes (for the m-, k-, r- and D_UB-sweep figures, which
+/// report one MSE/cost point per configuration).
+#[must_use]
+pub fn run_fixed_passes(
+    db: &HiddenDb,
+    config: &EstimatorConfig,
+    aggregate: &AggregateSpec,
+    trials: u64,
+    passes: u64,
+    base_seed: u64,
+) -> FixedPassResult {
+    let mut estimates = Vec::with_capacity(trials as usize);
+    let mut costs = Vec::with_capacity(trials as usize);
+    for trial in 0..trials {
+        let mut est =
+            UnbiasedAggEstimator::new(config.clone(), aggregate.clone(), base_seed + trial)
+                .expect("experiment configurations are valid");
+        let summary = est.run(db, passes).expect("experiment passes must succeed");
+        estimates.push(summary.estimate);
+        costs.push(summary.queries);
+    }
+    FixedPassResult { estimates, costs }
+}
+
+/// Result of [`run_fixed_passes`].
+#[derive(Clone, Debug)]
+pub struct FixedPassResult {
+    /// Final (mean-of-passes) estimate per trial.
+    pub estimates: Vec<f64>,
+    /// Query cost per trial.
+    pub costs: Vec<u64>,
+}
+
+impl FixedPassResult {
+    /// Mean query cost across trials.
+    #[must_use]
+    pub fn mean_cost(&self) -> f64 {
+        if self.costs.is_empty() {
+            return 0.0;
+        }
+        self.costs.iter().sum::<u64>() as f64 / self.costs.len() as f64
+    }
+
+    /// MSE of the final estimates against `truth`.
+    #[must_use]
+    pub fn mse(&self, truth: f64) -> f64 {
+        if self.estimates.is_empty() {
+            return 0.0;
+        }
+        self.estimates.iter().map(|e| (e - truth).powi(2)).sum::<f64>()
+            / self.estimates.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdb_interface::{Query, Schema, Table, Tuple};
+
+    fn db() -> HiddenDb {
+        let tuples: Vec<Tuple> =
+            (0..50u16).map(|i| Tuple::new((0..7).map(|b| (i >> b) & 1).collect())).collect();
+        HiddenDb::new(Table::new(Schema::boolean(7), tuples).unwrap(), 2)
+    }
+
+    #[test]
+    fn agg_trials_produce_requested_traces() {
+        let db = db();
+        let spec = TrialSpec { trials: 3, max_queries: 60, base_seed: 1 };
+        let traces =
+            run_agg_trials(&db, &EstimatorConfig::plain(), &AggregateSpec::database_size(), &spec);
+        assert_eq!(traces.len(), 3);
+        for t in &traces {
+            assert!(t.total_cost() >= 60);
+            assert!(t.final_estimate().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn trials_are_independent_but_deterministic() {
+        let db = db();
+        let spec = TrialSpec { trials: 2, max_queries: 40, base_seed: 9 };
+        let a = run_agg_trials(&db, &EstimatorConfig::plain(), &AggregateSpec::database_size(), &spec);
+        let b = run_agg_trials(&db, &EstimatorConfig::plain(), &AggregateSpec::database_size(), &spec);
+        assert_eq!(a[0].points(), b[0].points());
+        assert_ne!(a[0].points(), a[1].points());
+    }
+
+    #[test]
+    fn capture_recapture_traces_respect_budget() {
+        let db = db();
+        let spec = TrialSpec { trials: 2, max_queries: 80, base_seed: 3 };
+        let traces = run_capture_recapture_trials(&db, &spec);
+        assert_eq!(traces.len(), 2);
+        for t in &traces {
+            assert!(!t.points().is_empty());
+        }
+    }
+
+    #[test]
+    fn fixed_passes_summarises() {
+        let db = db();
+        let r = run_fixed_passes(
+            &db,
+            &EstimatorConfig::plain(),
+            &AggregateSpec::count(Query::all()),
+            4,
+            20,
+            7,
+        );
+        assert_eq!(r.estimates.len(), 4);
+        assert!(r.mean_cost() > 0.0);
+        assert!(r.mse(50.0).is_finite());
+    }
+}

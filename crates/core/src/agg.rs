@@ -1,0 +1,509 @@
+//! `HD-UNBIASED-AGG` (paper §5.2): unbiased estimation of COUNT and SUM
+//! aggregates with conjunctive selection conditions, by running the
+//! backtracking drill-down (with optional weight adjustment and
+//! divide-&-conquer) over the subtree selected by the condition.
+//!
+//! AVG deliberately has no unbiased estimator here: the ratio of unbiased
+//! SUM and COUNT estimates is biased, a limitation the paper inherits
+//! from [13]. [`ratio_avg`] exposes the biased ratio under a name that
+//! says so.
+
+use hdb_interface::{AttrId, Query, QueryOutcome, ReturnedTuple, Schema, TopKInterface};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::EstimatorConfig;
+use crate::dnc::estimate_pass_with;
+use crate::error::{EstimatorError, Result};
+use crate::walk::{UniformWeights, WeightProvider};
+use crate::weight::{WeightModel, WeightModelConfig};
+
+/// The aggregate function of a query
+/// `SELECT AGGR(..) FROM D WHERE <selection>`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggregateFn {
+    /// `COUNT(*)` — with an empty selection this is the database size.
+    Count,
+    /// `SUM(attr)` using the attribute's numeric interpretation.
+    Sum(AttrId),
+}
+
+/// A full aggregate query: function plus conjunctive selection condition.
+#[derive(Clone, Debug)]
+pub struct AggregateSpec {
+    /// The aggregate function.
+    pub function: AggregateFn,
+    /// Conjunctive selection condition ([`Query::all`] selects every
+    /// tuple).
+    pub selection: Query,
+}
+
+impl AggregateSpec {
+    /// `COUNT(*)` over the whole database — the size-estimation problem.
+    #[must_use]
+    pub fn database_size() -> Self {
+        Self { function: AggregateFn::Count, selection: Query::all() }
+    }
+
+    /// `COUNT(*) WHERE selection`.
+    #[must_use]
+    pub fn count(selection: Query) -> Self {
+        Self { function: AggregateFn::Count, selection }
+    }
+
+    /// `SUM(attr) WHERE selection`.
+    #[must_use]
+    pub fn sum(attr: AttrId, selection: Query) -> Self {
+        Self { function: AggregateFn::Sum(attr), selection }
+    }
+
+    /// Validates the spec against a schema.
+    ///
+    /// # Errors
+    /// Returns [`EstimatorError::InvalidAggregate`] if the SUM attribute
+    /// is out of range or lacks a numeric interpretation, and propagates
+    /// selection-query validation failures.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        self.selection.validate(schema)?;
+        if let AggregateFn::Sum(attr) = self.function {
+            if attr >= schema.len() {
+                return Err(EstimatorError::InvalidAggregate(format!(
+                    "SUM attribute id {attr} out of range (schema has {})",
+                    schema.len()
+                )));
+            }
+            if !schema.attribute(attr).is_numeric() {
+                return Err(EstimatorError::InvalidAggregate(format!(
+                    "SUM over attribute `{}` requires a numeric interpretation",
+                    schema.attribute(attr).name()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The measure of a set of returned tuples under this aggregate.
+    fn measure(&self, schema: &Schema, tuples: &[ReturnedTuple]) -> f64 {
+        match self.function {
+            AggregateFn::Count => tuples.len() as f64,
+            AggregateFn::Sum(attr) => {
+                let a = schema.attribute(attr);
+                tuples
+                    .iter()
+                    .map(|t| a.numeric_value(t.tuple.value(attr)).expect("validated numeric"))
+                    .sum()
+            }
+        }
+    }
+}
+
+/// Result of an estimation run.
+#[derive(Clone, Copy, Debug)]
+pub struct AggEstimate {
+    /// The running estimate (mean of per-pass unbiased estimates).
+    pub estimate: f64,
+    /// Number of completed estimation passes.
+    pub passes: u64,
+    /// Queries this estimator spent (interface-counter delta across its
+    /// own passes).
+    pub queries: u64,
+    /// Standard error of the mean across passes (0 for a single pass).
+    pub std_error: f64,
+}
+
+/// The `HD-UNBIASED-AGG` estimator.
+///
+/// Each [`UnbiasedAggEstimator::pass`] produces one unbiased estimate of
+/// the aggregate; the running mean over passes converges with variance
+/// `s²/passes`. The weight model persists across passes — that is the
+/// point of weight adjustment: early "pilot" passes make later passes
+/// cheaper and tighter without ever compromising unbiasedness.
+#[derive(Debug)]
+pub struct UnbiasedAggEstimator {
+    config: EstimatorConfig,
+    spec: AggregateSpec,
+    weights: WeightModel,
+    rng: StdRng,
+    estimates: Vec<f64>,
+    queries_spent: u64,
+    root_outcome: Option<QueryOutcome>,
+    levels: Option<Vec<AttrId>>,
+}
+
+impl UnbiasedAggEstimator {
+    /// Creates an estimator for `spec` under `config`, seeding its RNG
+    /// with `seed`.
+    ///
+    /// # Errors
+    /// Returns [`EstimatorError::InvalidConfig`] for invalid
+    /// configurations. Spec validation happens on first contact with an
+    /// interface (the schema is needed).
+    pub fn new(config: EstimatorConfig, spec: AggregateSpec, seed: u64) -> Result<Self> {
+        config.validate()?;
+        let weights = WeightModel::new(WeightModelConfig {
+            smoothing: config.smoothing,
+            empty_weight: config.empty_weight,
+            ..WeightModelConfig::default()
+        });
+        Ok(Self {
+            config,
+            spec,
+            weights,
+            rng: StdRng::seed_from_u64(seed),
+            estimates: Vec::new(),
+            queries_spent: 0,
+            root_outcome: None,
+            levels: None,
+        })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.config
+    }
+
+    /// The aggregate specification.
+    #[must_use]
+    pub fn spec(&self) -> &AggregateSpec {
+        &self.spec
+    }
+
+    /// Performs one estimation pass and returns its (individually
+    /// unbiased) estimate.
+    ///
+    /// # Errors
+    /// Propagates interface errors. A failed pass contributes nothing to
+    /// the running mean; prior passes remain intact, so budget exhaustion
+    /// mid-pass leaves a usable estimator.
+    pub fn pass<I: TopKInterface>(&mut self, iface: &I) -> Result<f64> {
+        let before = iface.queries_issued();
+        let result = self.pass_inner(iface);
+        self.queries_spent += iface.queries_issued() - before;
+        let estimate = result?;
+        self.estimates.push(estimate);
+        Ok(estimate)
+    }
+
+    fn pass_inner<I: TopKInterface>(&mut self, iface: &I) -> Result<f64> {
+        let schema = iface.schema();
+        if self.levels.is_none() {
+            self.spec.validate(schema)?;
+            let fixed: Vec<AttrId> =
+                self.spec.selection.predicates().iter().map(|p| p.attr).collect();
+            self.levels = Some(self.config.order.resolve(schema, &fixed)?);
+        }
+        // The root (selection) query is issued once and remembered: under
+        // the static-database model a client never needs to re-ask it.
+        if self.root_outcome.is_none() {
+            self.root_outcome = Some(iface.query(&self.spec.selection)?);
+        }
+        let root = self.root_outcome.as_ref().expect("just cached");
+
+        match root {
+            QueryOutcome::Underflow => Ok(0.0),
+            QueryOutcome::Valid(tuples) => Ok(self.spec.measure(schema, tuples)),
+            QueryOutcome::Overflow(_) => {
+                let levels = self.levels.as_ref().expect("resolved above").clone();
+                let spec = self.spec.clone();
+                let measure =
+                    move |tuples: &[ReturnedTuple]| spec.measure(schema, tuples);
+                let provider: &dyn WeightProvider = if self.config.weight_adjustment {
+                    &self.weights
+                } else {
+                    &UniformWeights
+                };
+                estimate_pass_with(
+                    iface,
+                    &self.spec.selection,
+                    &levels,
+                    self.config.r,
+                    self.config.dub,
+                    provider,
+                    &measure,
+                    self.config.backtrack,
+                    &mut self.rng,
+                )
+            }
+        }
+    }
+
+    /// Runs `passes` estimation passes and returns the summary.
+    ///
+    /// # Errors
+    /// Propagates the first interface error, unless it is budget
+    /// exhaustion *after* at least one completed pass — then the partial
+    /// summary is returned (matching how a real client would behave when
+    /// the site cuts it off).
+    pub fn run<I: TopKInterface>(&mut self, iface: &I, passes: u64) -> Result<AggEstimate> {
+        for _ in 0..passes {
+            if let Err(e) = self.pass(iface) {
+                if e.is_budget_exhausted() && !self.estimates.is_empty() {
+                    break;
+                }
+                return Err(e);
+            }
+        }
+        self.summary().ok_or(EstimatorError::InvalidConfig("no passes completed".into()))
+    }
+
+    /// Keeps running passes until this estimator has spent at least
+    /// `query_budget` queries (always completing the pass in flight), then
+    /// returns the summary.
+    ///
+    /// # Errors
+    /// Same contract as [`UnbiasedAggEstimator::run`].
+    pub fn run_until_budget<I: TopKInterface>(
+        &mut self,
+        iface: &I,
+        query_budget: u64,
+    ) -> Result<AggEstimate> {
+        while self.queries_spent < query_budget {
+            if let Err(e) = self.pass(iface) {
+                if e.is_budget_exhausted() && !self.estimates.is_empty() {
+                    break;
+                }
+                return Err(e);
+            }
+        }
+        self.summary().ok_or(EstimatorError::InvalidConfig("no passes completed".into()))
+    }
+
+    /// The running estimate (mean of pass estimates), if any pass has
+    /// completed.
+    #[must_use]
+    pub fn estimate(&self) -> Option<f64> {
+        if self.estimates.is_empty() {
+            None
+        } else {
+            Some(self.estimates.iter().sum::<f64>() / self.estimates.len() as f64)
+        }
+    }
+
+    /// Per-pass estimates, in order.
+    #[must_use]
+    pub fn history(&self) -> &[f64] {
+        &self.estimates
+    }
+
+    /// Queries spent by this estimator so far.
+    #[must_use]
+    pub fn queries_spent(&self) -> u64 {
+        self.queries_spent
+    }
+
+    /// The current summary, if any pass has completed.
+    #[must_use]
+    pub fn summary(&self) -> Option<AggEstimate> {
+        let n = self.estimates.len();
+        if n == 0 {
+            return None;
+        }
+        let mean = self.estimates.iter().sum::<f64>() / n as f64;
+        let std_error = if n < 2 {
+            0.0
+        } else {
+            let var = self.estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>()
+                / (n - 1) as f64;
+            (var / n as f64).sqrt()
+        };
+        Some(AggEstimate {
+            estimate: mean,
+            passes: n as u64,
+            queries: self.queries_spent,
+            std_error,
+        })
+    }
+}
+
+/// The **biased** AVG estimate formed by dividing unbiased SUM and COUNT
+/// estimates. The paper (§5.2) shows unbiased AVG estimation is not
+/// achievable this way; the name keeps the caveat in the caller's face.
+/// Returns `None` when the count estimate is not positive.
+#[must_use]
+pub fn ratio_avg(sum_estimate: f64, count_estimate: f64) -> Option<f64> {
+    (count_estimate > 0.0).then(|| sum_estimate / count_estimate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdb_interface::{Attribute, HiddenDb, Schema, Table, Tuple};
+
+    fn db() -> HiddenDb {
+        // 8 tuples over (bool, bool, price∈0..4)
+        let schema = Schema::new(vec![
+            Attribute::boolean("a"),
+            Attribute::boolean("b"),
+            Attribute::numeric_buckets("price", 4).unwrap(),
+        ])
+        .unwrap();
+        let tuples: Vec<Tuple> = vec![
+            vec![0, 0, 0],
+            vec![0, 0, 3],
+            vec![0, 1, 1],
+            vec![0, 1, 2],
+            vec![1, 0, 2],
+            vec![1, 0, 3],
+            vec![1, 1, 0],
+            vec![1, 1, 3],
+        ]
+        .into_iter()
+        .map(Tuple::new)
+        .collect();
+        HiddenDb::new(Table::new(schema, tuples).unwrap(), 1)
+    }
+
+    #[test]
+    fn count_all_is_unbiased() {
+        let db = db();
+        let mut est = UnbiasedAggEstimator::new(
+            EstimatorConfig::plain(),
+            AggregateSpec::database_size(),
+            7,
+        )
+        .unwrap();
+        let summary = est.run(&db, 3000).unwrap();
+        assert_eq!(summary.passes, 3000);
+        assert!((summary.estimate - 8.0).abs() < 0.3, "estimate {}", summary.estimate);
+        assert!(summary.queries > 0);
+    }
+
+    #[test]
+    fn sum_with_selection_is_unbiased() {
+        let db = db();
+        // SUM(price) WHERE a = 1 → tuples (1,0,2),(1,0,3),(1,1,0),(1,1,3) = 8
+        let selection = Query::all().and(0, 1).unwrap();
+        let mut est = UnbiasedAggEstimator::new(
+            EstimatorConfig::plain(),
+            AggregateSpec::sum(2, selection),
+            11,
+        )
+        .unwrap();
+        let summary = est.run(&db, 4000).unwrap();
+        assert!((summary.estimate - 8.0).abs() < 0.4, "estimate {}", summary.estimate);
+    }
+
+    #[test]
+    fn valid_root_returns_exact_answer() {
+        // k large enough that the selection query itself is valid →
+        // exact answer, zero variance, one query ever.
+        let schema = Schema::new(vec![
+            Attribute::boolean("a"),
+            Attribute::numeric_buckets("v", 4).unwrap(),
+        ])
+        .unwrap();
+        let tuples: Vec<Tuple> =
+            vec![vec![0, 1], vec![0, 2], vec![1, 3]].into_iter().map(Tuple::new).collect();
+        let db = HiddenDb::new(Table::new(schema, tuples).unwrap(), 10);
+        let mut est = UnbiasedAggEstimator::new(
+            EstimatorConfig::plain(),
+            AggregateSpec::sum(1, Query::all()),
+            1,
+        )
+        .unwrap();
+        let summary = est.run(&db, 50).unwrap();
+        assert_eq!(summary.estimate, 6.0);
+        assert_eq!(summary.std_error, 0.0);
+        assert_eq!(db.queries_issued(), 1, "root outcome must be cached across passes");
+    }
+
+    #[test]
+    fn underflowing_selection_estimates_zero() {
+        let db = db();
+        // a=0 ∧ b=0 ∧ price=1 matches nothing
+        let selection = Query::all()
+            .and(0, 0)
+            .unwrap()
+            .and(1, 0)
+            .unwrap()
+            .and(2, 1)
+            .unwrap();
+        let mut est =
+            UnbiasedAggEstimator::new(EstimatorConfig::plain(), AggregateSpec::count(selection), 1)
+                .unwrap();
+        let summary = est.run(&db, 10).unwrap();
+        assert_eq!(summary.estimate, 0.0);
+    }
+
+    #[test]
+    fn sum_requires_numeric_attribute() {
+        let schema = Schema::new(vec![
+            Attribute::boolean("a"),
+            Attribute::categorical("c", ["x", "y"]).unwrap(),
+        ])
+        .unwrap();
+        let t = Table::new(schema, vec![Tuple::new(vec![0, 0]), Tuple::new(vec![1, 1])]).unwrap();
+        let db = HiddenDb::new(t, 1);
+        let mut est = UnbiasedAggEstimator::new(
+            EstimatorConfig::plain(),
+            AggregateSpec::sum(1, Query::all()),
+            1,
+        )
+        .unwrap();
+        let err = est.pass(&db).unwrap_err();
+        assert!(matches!(err, EstimatorError::InvalidAggregate(_)));
+    }
+
+    #[test]
+    fn budget_exhaustion_preserves_partial_results() {
+        let schema = Schema::boolean(6);
+        let tuples: Vec<Tuple> = (0..40u16)
+            .map(|i| {
+                Tuple::new((0..6).map(|b| (i >> b) & 1).collect())
+            })
+            .collect();
+        let db = HiddenDb::new(Table::new(schema, tuples).unwrap(), 1).with_budget(60);
+        let mut est = UnbiasedAggEstimator::new(
+            EstimatorConfig::plain(),
+            AggregateSpec::database_size(),
+            3,
+        )
+        .unwrap();
+        let summary = est.run(&db, 1_000_000).unwrap();
+        assert!(summary.passes >= 1);
+        assert!(summary.queries <= 60);
+        assert!(summary.estimate > 0.0);
+    }
+
+    #[test]
+    fn weight_adjustment_keeps_unbiasedness() {
+        let db = db();
+        let cfg = EstimatorConfig::plain().with_weight_adjustment(true);
+        let mut est =
+            UnbiasedAggEstimator::new(cfg, AggregateSpec::database_size(), 23).unwrap();
+        let summary = est.run(&db, 4000).unwrap();
+        assert!((summary.estimate - 8.0).abs() < 0.3, "estimate {}", summary.estimate);
+    }
+
+    #[test]
+    fn hd_full_config_is_unbiased() {
+        let db = db();
+        let cfg = EstimatorConfig::hd_default().with_dub(4).with_r(2);
+        let mut est =
+            UnbiasedAggEstimator::new(cfg, AggregateSpec::database_size(), 29).unwrap();
+        let summary = est.run(&db, 4000).unwrap();
+        assert!((summary.estimate - 8.0).abs() < 0.3, "estimate {}", summary.estimate);
+    }
+
+    #[test]
+    fn ratio_avg_flags_bias_in_name_and_guards_zero() {
+        assert_eq!(ratio_avg(10.0, 4.0), Some(2.5));
+        assert_eq!(ratio_avg(10.0, 0.0), None);
+        assert_eq!(ratio_avg(10.0, -1.0), None);
+    }
+
+    #[test]
+    fn run_until_budget_spends_at_least_budget() {
+        let db = db();
+        let mut est = UnbiasedAggEstimator::new(
+            EstimatorConfig::plain(),
+            AggregateSpec::database_size(),
+            5,
+        )
+        .unwrap();
+        let summary = est.run_until_budget(&db, 100).unwrap();
+        assert!(summary.queries >= 100);
+        assert!(summary.passes > 1);
+    }
+}

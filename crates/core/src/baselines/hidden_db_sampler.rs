@@ -1,0 +1,271 @@
+//! `HIDDEN-DB-SAMPLER` (Dasgupta, Das & Mannila, SIGMOD 2007; paper
+//! §2.4): random drill-down **without backtracking**. On underflow the
+//! walk restarts from the root ("early termination"); on a valid query a
+//! random returned tuple is accepted with a probability that *attempts*
+//! to flatten the selection bias toward shallow tuples (rejection
+//! sampling).
+//!
+//! Two defects make it unsuitable for size estimation, which is exactly
+//! why the paper's approach exists:
+//!
+//! 1. The early-termination probability `p_E` is unknown, so the true
+//!    inclusion probability `p(q) = 1/((1-p_E)·Π|Dom(A_i)|)` cannot be
+//!    computed — the sample carries an *unknown* bias (Eq. 3).
+//! 2. The rejection constant `C` must be guessed. The classic rule
+//!    accepts with probability `C·|q|·Π_{i≤h}|Dom(A_i)| / Π_all`, which
+//!    for `C = 1` is astronomically small on wide schemas; the practical
+//!    variant normalises by the largest weight seen so far (adaptive),
+//!    which accepts early samples too eagerly — a bias either way.
+//!
+//! We implement both acceptance rules (adaptive is the default, since the
+//! classic rule produces no samples at all on 40-attribute domains) and
+//! reproduce the defects faithfully; `CAPTURE-&-RECAPTURE` built on top
+//! inherits them.
+
+use hdb_interface::{Query, ReturnedTuple, TopKInterface};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::Result;
+
+/// A tuple produced by the sampler, with its cost.
+#[derive(Clone, Debug)]
+pub struct SampledTuple {
+    /// The sampled tuple.
+    pub tuple: ReturnedTuple,
+    /// Queries spent producing it (including rejected walks).
+    pub queries: u64,
+}
+
+/// Rejection-acceptance rule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Acceptance {
+    /// Classic rule: accept with `min(1, C·|q|·Π_{i≤h}fanout_i/Π_all)`.
+    Classic(f64),
+    /// Adaptive rule: normalise the weight `|q|·Π_{i≤h}fanout_i` by the
+    /// largest weight observed so far (self-tuning, still biased).
+    Adaptive,
+}
+
+/// The rejection-sampling random-walk sampler.
+#[derive(Debug)]
+pub struct HiddenDbSampler {
+    rng: StdRng,
+    acceptance: Acceptance,
+    /// Largest unnormalised weight seen (adaptive mode state).
+    max_weight: f64,
+    /// Abort knob: maximum restarts per sample (a real client would give
+    /// up too). Exhausting it is reported as `None`.
+    max_restarts: u64,
+}
+
+impl HiddenDbSampler {
+    /// Creates a sampler with adaptive acceptance and a generous restart
+    /// cap.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            acceptance: Acceptance::Adaptive,
+            max_weight: 0.0,
+            max_restarts: 100_000,
+        }
+    }
+
+    /// Switches to the classic acceptance rule with constant `C`.
+    #[must_use]
+    pub fn with_acceptance_scale(mut self, c: f64) -> Self {
+        self.acceptance = Acceptance::Classic(c);
+        self
+    }
+
+    /// Overrides the restart cap.
+    #[must_use]
+    pub fn with_max_restarts(mut self, max_restarts: u64) -> Self {
+        self.max_restarts = max_restarts;
+        self
+    }
+
+    /// Attempts to produce one (approximately uniform) sample tuple,
+    /// spending at most `max_queries` interface queries. Returns `None`
+    /// if the restart cap or the query cap is exhausted first.
+    ///
+    /// # Errors
+    /// Propagates interface errors.
+    pub fn try_sample_within<I: TopKInterface>(
+        &mut self,
+        iface: &I,
+        max_queries: u64,
+    ) -> Result<Option<SampledTuple>> {
+        let schema = iface.schema();
+        let n = schema.len();
+        let domain_size = schema.domain_size();
+        let mut queries = 0u64;
+
+        for _ in 0..self.max_restarts {
+            if queries >= max_queries {
+                return Ok(None);
+            }
+            let mut q = Query::all();
+            let mut prefix_domain = 1.0f64;
+            let mut accepted: Option<ReturnedTuple> = None;
+            for attr in 0..n {
+                if queries >= max_queries {
+                    return Ok(None);
+                }
+                let fanout = schema.fanout(attr);
+                let v = self.rng.random_range(0..fanout) as u16;
+                q = q.and(attr, v).expect("each attribute added once");
+                prefix_domain *= fanout as f64;
+                let outcome = iface.query(&q)?;
+                queries += 1;
+                if outcome.is_underflow() {
+                    break; // early termination → restart
+                }
+                if outcome.is_valid() {
+                    let tuples = outcome.tuples();
+                    let pick = self.rng.random_range(0..tuples.len());
+                    let weight = tuples.len() as f64 * prefix_domain;
+                    let accept = match self.acceptance {
+                        Acceptance::Classic(c) => (c * weight / domain_size).min(1.0),
+                        Acceptance::Adaptive => {
+                            self.max_weight = self.max_weight.max(weight);
+                            weight / self.max_weight
+                        }
+                    };
+                    if self.rng.random::<f64>() < accept {
+                        accepted = Some(tuples[pick].clone());
+                    }
+                    break;
+                }
+                // overflow → keep drilling
+            }
+            if let Some(tuple) = accepted {
+                return Ok(Some(SampledTuple { tuple, queries }));
+            }
+        }
+        Ok(None)
+    }
+
+    /// [`Self::try_sample_within`] with no query cap.
+    ///
+    /// # Errors
+    /// Propagates interface errors.
+    pub fn try_sample<I: TopKInterface>(&mut self, iface: &I) -> Result<Option<SampledTuple>> {
+        self.try_sample_within(iface, u64::MAX)
+    }
+
+    /// Produces `count` samples (stopping early when the sampler gives
+    /// up).
+    ///
+    /// # Errors
+    /// Propagates interface errors.
+    pub fn sample_many<I: TopKInterface>(
+        &mut self,
+        iface: &I,
+        count: usize,
+    ) -> Result<Vec<SampledTuple>> {
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            match self.try_sample(iface)? {
+                Some(s) => out.push(s),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdb_interface::{HiddenDb, Schema, Table, Tuple};
+    use std::collections::HashMap;
+
+    fn db() -> HiddenDb {
+        let tuples: Vec<Tuple> = [0u16, 1, 2, 3, 8, 12, 15]
+            .iter()
+            .map(|&i| Tuple::new((0..4).map(|b| (i >> b) & 1).collect()))
+            .collect();
+        HiddenDb::new(Table::new(Schema::boolean(4), tuples).unwrap(), 1)
+    }
+
+    #[test]
+    fn produces_tuples_from_the_database() {
+        let db = db();
+        let mut s = HiddenDbSampler::new(3);
+        let samples = s.sample_many(&db, 50).unwrap();
+        assert_eq!(samples.len(), 50);
+        for sample in &samples {
+            assert!(sample.queries >= 1);
+            assert!((sample.tuple.id as usize) < 7);
+        }
+    }
+
+    #[test]
+    fn sampling_covers_all_tuples() {
+        let db = db();
+        let mut s = HiddenDbSampler::new(7);
+        let mut seen: HashMap<u32, u32> = HashMap::new();
+        for sample in s.sample_many(&db, 2000).unwrap() {
+            *seen.entry(sample.tuple.id).or_default() += 1;
+        }
+        assert_eq!(seen.len(), 7, "every tuple should eventually be sampled");
+    }
+
+    #[test]
+    fn classic_rule_matches_formula_on_small_domains() {
+        let db = db();
+        let mut s = HiddenDbSampler::new(5).with_acceptance_scale(1.0);
+        // |Dom| = 16 is small enough for the classic rule to work here
+        let samples = s.sample_many(&db, 30).unwrap();
+        assert_eq!(samples.len(), 30);
+    }
+
+    #[test]
+    fn query_cap_is_respected() {
+        let db = db();
+        let mut s = HiddenDbSampler::new(11).with_acceptance_scale(0.0);
+        let before = hdb_interface::TopKInterface::queries_issued(&db);
+        let out = s.try_sample_within(&db, 25).unwrap();
+        assert!(out.is_none());
+        let spent = hdb_interface::TopKInterface::queries_issued(&db) - before;
+        assert!(spent <= 25 + 4, "spent {spent} queries against a cap of 25");
+    }
+
+    #[test]
+    fn restart_cap_reports_none() {
+        let db = db();
+        // classic rule with scale 0 never accepts
+        let mut s =
+            HiddenDbSampler::new(2).with_acceptance_scale(0.0).with_max_restarts(20);
+        assert!(s.try_sample(&db).unwrap().is_none());
+    }
+
+    #[test]
+    fn adaptive_rule_accepts_on_wide_schemas() {
+        // 16 attributes: the classic rule with C = 1 would essentially
+        // never accept; adaptive must still produce samples.
+        let tuples: Vec<Tuple> = (0..64u32)
+            .map(|i| Tuple::new((0..16).map(|b| ((i >> b) & 1) as u16).collect()))
+            .collect();
+        let db = HiddenDb::new(Table::new(Schema::boolean(16), tuples).unwrap(), 1);
+        let mut s = HiddenDbSampler::new(4);
+        let samples = s.sample_many(&db, 10).unwrap();
+        assert_eq!(samples.len(), 10);
+    }
+
+    #[test]
+    fn budget_errors_propagate() {
+        let db_budget = {
+            let tuples: Vec<Tuple> = [0u16, 15]
+                .iter()
+                .map(|&i| Tuple::new((0..4).map(|b| (i >> b) & 1).collect()))
+                .collect();
+            HiddenDb::new(Table::new(Schema::boolean(4), tuples).unwrap(), 1).with_budget(2)
+        };
+        let mut s = HiddenDbSampler::new(1);
+        let r = s.sample_many(&db_budget, 100);
+        assert!(r.is_err());
+    }
+}

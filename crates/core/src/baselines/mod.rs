@@ -1,0 +1,14 @@
+//! The baseline estimators the paper compares against (§2.3–2.4):
+//! `BRUTE-FORCE-SAMPLER`, `HIDDEN-DB-SAMPLER` and
+//! `CAPTURE-&-RECAPTURE`. All are implemented faithfully — including
+//! their weaknesses (astronomical query cost, unknown sampling bias,
+//! positively biased population estimates), which are exactly what the
+//! paper's figures exhibit.
+
+pub mod brute_force;
+pub mod capture_recapture;
+pub mod hidden_db_sampler;
+
+pub use brute_force::BruteForceSampler;
+pub use capture_recapture::{CaptureRecapture, CrEstimate};
+pub use hidden_db_sampler::{Acceptance, HiddenDbSampler, SampledTuple};

@@ -1,0 +1,191 @@
+//! Estimator configuration: the paper's two tunables `r` and `D_UB`
+//! (§5.1) plus weight-adjustment controls.
+
+use crate::error::{EstimatorError, Result};
+use crate::order::AttributeOrder;
+use crate::walk::BacktrackStrategy;
+
+/// Configuration shared by `HD-UNBIASED-SIZE` and `HD-UNBIASED-AGG`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EstimatorConfig {
+    /// Number of random drill-downs performed over each subtree (`r`).
+    /// `r = 1` disables divide-&-conquer (paper §5.1).
+    pub r: usize,
+    /// Upper bound on the domain size of each subtree (`D_UB`).
+    /// `u64::MAX` (the default via [`EstimatorConfig::plain`]) disables
+    /// divide-&-conquer by making the whole tree one subtree.
+    pub dub: u64,
+    /// Whether weight adjustment is enabled.
+    pub weight_adjustment: bool,
+    /// Shrinkage pseudo-count for branch-weight estimation: larger values
+    /// keep weights closer to the uninformed prior until more pilot
+    /// drill-downs accumulate. Must be positive — a zero pseudo-count
+    /// could zero out a non-empty branch's selection probability and
+    /// break unbiasedness.
+    pub smoothing: f64,
+    /// Weight assigned to branches *known* (from pilot walks) to
+    /// underflow. Must be positive; small values steer walks away from
+    /// wasted scans without affecting correctness.
+    pub empty_weight: f64,
+    /// Attribute ordering for the query tree.
+    pub order: AttributeOrder,
+    /// Backtracking strategy (smart by default; simple exists for the
+    /// query-cost ablation, paper §3.2).
+    pub backtrack: BacktrackStrategy,
+}
+
+impl EstimatorConfig {
+    /// The plain backtracking estimator (`BOOL-UNBIASED-SIZE` and its
+    /// categorical generalisation): no weight adjustment, no
+    /// divide-&-conquer.
+    #[must_use]
+    pub fn plain() -> Self {
+        Self {
+            r: 1,
+            dub: u64::MAX,
+            weight_adjustment: false,
+            smoothing: 1.0,
+            empty_weight: 1e-3,
+            order: AttributeOrder::default(),
+            backtrack: BacktrackStrategy::Smart,
+        }
+    }
+
+    /// The full `HD-UNBIASED` configuration with the paper's defaults for
+    /// the Boolean experiments: `r = 4`, `D_UB = 2^5`, weight adjustment
+    /// on (§6.2).
+    #[must_use]
+    pub fn hd_default() -> Self {
+        Self {
+            r: 4,
+            dub: 32,
+            weight_adjustment: true,
+            smoothing: 1.0,
+            empty_weight: 1e-3,
+            order: AttributeOrder::default(),
+            backtrack: BacktrackStrategy::Smart,
+        }
+    }
+
+    /// Sets `r`.
+    #[must_use]
+    pub fn with_r(mut self, r: usize) -> Self {
+        self.r = r;
+        self
+    }
+
+    /// Sets `D_UB`.
+    #[must_use]
+    pub fn with_dub(mut self, dub: u64) -> Self {
+        self.dub = dub;
+        self
+    }
+
+    /// Enables or disables weight adjustment.
+    #[must_use]
+    pub fn with_weight_adjustment(mut self, on: bool) -> Self {
+        self.weight_adjustment = on;
+        self
+    }
+
+    /// Sets the attribute order.
+    #[must_use]
+    pub fn with_order(mut self, order: AttributeOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Sets the weight-smoothing pseudo-count.
+    #[must_use]
+    pub fn with_smoothing(mut self, smoothing: f64) -> Self {
+        self.smoothing = smoothing;
+        self
+    }
+
+    /// Sets the backtracking strategy.
+    #[must_use]
+    pub fn with_backtrack(mut self, backtrack: BacktrackStrategy) -> Self {
+        self.backtrack = backtrack;
+        self
+    }
+
+    /// Whether divide-&-conquer is active under this configuration.
+    #[must_use]
+    pub fn dnc_enabled(&self) -> bool {
+        self.r > 1 && self.dub != u64::MAX
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`EstimatorError::InvalidConfig`] for non-positive `r`,
+    /// `D_UB < 2`, or non-positive smoothing/empty weights.
+    pub fn validate(&self) -> Result<()> {
+        if self.r == 0 {
+            return Err(EstimatorError::InvalidConfig("r must be at least 1".into()));
+        }
+        if self.dub < 2 {
+            return Err(EstimatorError::InvalidConfig(
+                "D_UB must be at least 2 (each subtree needs one level)".into(),
+            ));
+        }
+        if self.smoothing.is_nan() || self.smoothing <= 0.0 {
+            return Err(EstimatorError::InvalidConfig("smoothing must be positive".into()));
+        }
+        if self.empty_weight.is_nan() || self.empty_weight <= 0.0 {
+            return Err(EstimatorError::InvalidConfig("empty_weight must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        Self::hd_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_disables_everything() {
+        let c = EstimatorConfig::plain();
+        assert!(!c.dnc_enabled());
+        assert!(!c.weight_adjustment);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn hd_default_matches_paper() {
+        let c = EstimatorConfig::hd_default();
+        assert_eq!(c.r, 4);
+        assert_eq!(c.dub, 32);
+        assert!(c.weight_adjustment);
+        assert!(c.dnc_enabled());
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = EstimatorConfig::plain().with_r(5).with_dub(16).with_weight_adjustment(true);
+        assert_eq!(c.r, 5);
+        assert_eq!(c.dub, 16);
+        assert!(c.dnc_enabled());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_values() {
+        assert!(EstimatorConfig::plain().with_r(0).validate().is_err());
+        assert!(EstimatorConfig::plain().with_dub(1).validate().is_err());
+        let mut c = EstimatorConfig::plain();
+        c.smoothing = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = EstimatorConfig::plain();
+        c.empty_weight = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = EstimatorConfig::plain();
+        c.smoothing = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+}

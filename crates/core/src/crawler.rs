@@ -1,0 +1,193 @@
+//! Exhaustive crawling of a hidden database through its top-k interface —
+//! the naive alternative the paper dismisses on query-cost grounds (§1),
+//! implemented both as an honest baseline and as the ground-truth
+//! machinery for tests (it enumerates the exact set of top-valid nodes,
+//! `Ω_TV`).
+
+use hdb_interface::{AttrId, Query, ReturnedTuple, TopKInterface, TupleId};
+use std::collections::HashMap;
+
+use crate::error::Result;
+
+/// A top-valid node found by the crawl.
+#[derive(Clone, Debug)]
+pub struct TopValidNode {
+    /// The node's query.
+    pub query: Query,
+    /// Its tuple count `|q|` (all returned — the node is valid).
+    pub count: usize,
+}
+
+/// Result of a full crawl.
+#[derive(Clone, Debug)]
+pub struct CrawlResult {
+    /// Every tuple in the database, keyed by listing id.
+    pub tuples: HashMap<TupleId, ReturnedTuple>,
+    /// The set `Ω_TV` of top-valid nodes (plus the root if the whole
+    /// database fits in one valid query).
+    pub top_valid: Vec<TopValidNode>,
+    /// Queries issued by the crawl.
+    pub queries: u64,
+}
+
+impl CrawlResult {
+    /// The exact database size under the crawled selection.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.tuples.len()
+    }
+}
+
+/// Crawls everything matching `base` by depth-first drill-down over
+/// `levels` (every attribute not constrained in `base`).
+///
+/// Every node of the query tree that is reached gets exactly one query;
+/// underflowing branches are pruned, valid branches are harvested,
+/// overflowing branches are expanded at the next level.
+///
+/// # Errors
+/// Propagates interface errors (a budget will typically stop a crawl long
+/// before completion — that is the paper's point).
+pub fn crawl<I: TopKInterface>(iface: &I, base: &Query, levels: &[AttrId]) -> Result<CrawlResult> {
+    let mut result =
+        CrawlResult { tuples: HashMap::new(), top_valid: Vec::new(), queries: 0 };
+    let outcome = iface.query(base)?;
+    result.queries += 1;
+    if outcome.is_underflow() {
+        return Ok(result);
+    }
+    if outcome.is_valid() {
+        for t in outcome.tuples() {
+            result.tuples.insert(t.id, t.clone());
+        }
+        result
+            .top_valid
+            .push(TopValidNode { query: base.clone(), count: outcome.returned_count() });
+        return Ok(result);
+    }
+    expand(iface, base, levels, &mut result)?;
+    Ok(result)
+}
+
+/// Recursive expansion below an overflowing node.
+fn expand<I: TopKInterface>(
+    iface: &I,
+    node: &Query,
+    levels: &[AttrId],
+    result: &mut CrawlResult,
+) -> Result<()> {
+    assert!(
+        !levels.is_empty(),
+        "an overflowing node cannot be fully specified under duplicate-free data"
+    );
+    let attr = levels[0];
+    let rest = &levels[1..];
+    for v in 0..iface.schema().fanout(attr) {
+        let child = node.and(attr, v as u16).expect("level attr unconstrained");
+        let outcome = iface.query(&child)?;
+        result.queries += 1;
+        if outcome.is_underflow() {
+            continue;
+        }
+        if outcome.is_valid() {
+            for t in outcome.tuples() {
+                result.tuples.insert(t.id, t.clone());
+            }
+            result
+                .top_valid
+                .push(TopValidNode { query: child, count: outcome.returned_count() });
+        } else {
+            expand(iface, &child, rest, result)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdb_interface::{HiddenDb, Schema, Table, Tuple};
+
+    fn figure1_db(k: usize) -> HiddenDb {
+        let table = Table::new(
+            Schema::boolean(4),
+            vec![
+                Tuple::new(vec![0, 0, 0, 0]),
+                Tuple::new(vec![0, 0, 0, 1]),
+                Tuple::new(vec![0, 0, 1, 0]),
+                Tuple::new(vec![0, 1, 1, 1]),
+                Tuple::new(vec![1, 1, 1, 0]),
+                Tuple::new(vec![1, 1, 1, 1]),
+            ],
+        )
+        .unwrap();
+        HiddenDb::new(table, k)
+    }
+
+    #[test]
+    fn crawl_recovers_every_tuple() {
+        let db = figure1_db(1);
+        let result = crawl(&db, &Query::all(), &[0, 1, 2, 3]).unwrap();
+        assert_eq!(result.size(), 6);
+        // Figure 1 shows exactly 6 top-valid nodes for k = 1
+        assert_eq!(result.top_valid.len(), 6);
+        let covered: usize = result.top_valid.iter().map(|n| n.count).sum();
+        assert_eq!(covered, 6, "top-valid nodes partition the tuples");
+    }
+
+    #[test]
+    fn larger_k_means_fewer_shallower_top_valid_nodes() {
+        let db1 = figure1_db(1);
+        let r1 = crawl(&db1, &Query::all(), &[0, 1, 2, 3]).unwrap();
+        let db4 = figure1_db(4);
+        let r4 = crawl(&db4, &Query::all(), &[0, 1, 2, 3]).unwrap();
+        assert!(r4.top_valid.len() < r1.top_valid.len());
+        assert!(r4.queries < r1.queries);
+        assert_eq!(r4.size(), 6);
+    }
+
+    #[test]
+    fn whole_db_valid_when_k_covers_it() {
+        let db = figure1_db(10);
+        let result = crawl(&db, &Query::all(), &[0, 1, 2, 3]).unwrap();
+        assert_eq!(result.size(), 6);
+        assert_eq!(result.top_valid.len(), 1);
+        assert_eq!(result.queries, 1);
+    }
+
+    #[test]
+    fn crawl_respects_selection() {
+        let db = figure1_db(1);
+        let base = Query::all().and(0, 1).unwrap(); // t5, t6
+        let result = crawl(&db, &base, &[1, 2, 3]).unwrap();
+        assert_eq!(result.size(), 2);
+        for t in result.tuples.values() {
+            assert_eq!(t.tuple.value(0), 1);
+        }
+    }
+
+    #[test]
+    fn underflowing_base_is_empty() {
+        let db = figure1_db(1);
+        let base = Query::all().and(0, 1).unwrap().and(1, 0).unwrap();
+        let result = crawl(&db, &base, &[2, 3]).unwrap();
+        assert_eq!(result.size(), 0);
+        assert!(result.top_valid.is_empty());
+        assert_eq!(result.queries, 1);
+    }
+
+    #[test]
+    fn budget_stops_the_crawl() {
+        let db = {
+            let table = Table::new(
+                Schema::boolean(4),
+                (0..16u16)
+                    .map(|i| Tuple::new((0..4).map(|b| (i >> b) & 1).collect()))
+                    .collect(),
+            )
+            .unwrap();
+            HiddenDb::new(table, 1).with_budget(5)
+        };
+        assert!(crawl(&db, &Query::all(), &[0, 1, 2, 3]).is_err());
+    }
+}

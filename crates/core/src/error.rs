@@ -1,0 +1,80 @@
+//! Error types for the estimator crate.
+
+use std::fmt;
+
+use hdb_interface::HdbError;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, EstimatorError>;
+
+/// Errors surfaced by estimators.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EstimatorError {
+    /// The underlying interface failed (budget exhaustion, malformed
+    /// query). Budget exhaustion is the common mid-run failure: the
+    /// estimator surfaces it without corrupting its state, so the caller
+    /// can read the running estimate accumulated so far.
+    Interface(HdbError),
+    /// The estimator configuration is unusable.
+    InvalidConfig(String),
+    /// The requested aggregate is not well defined for the target
+    /// attribute (e.g. SUM over an attribute with no numeric
+    /// interpretation).
+    InvalidAggregate(String),
+}
+
+impl fmt::Display for EstimatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Interface(e) => write!(f, "interface error: {e}"),
+            Self::InvalidConfig(msg) => write!(f, "invalid estimator config: {msg}"),
+            Self::InvalidAggregate(msg) => write!(f, "invalid aggregate: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EstimatorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Interface(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HdbError> for EstimatorError {
+    fn from(e: HdbError) -> Self {
+        Self::Interface(e)
+    }
+}
+
+impl EstimatorError {
+    /// Whether this error is a query-budget exhaustion (the caller may
+    /// still read partial results).
+    #[must_use]
+    pub fn is_budget_exhausted(&self) -> bool {
+        matches!(self, Self::Interface(HdbError::BudgetExhausted { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_and_classification() {
+        let e: EstimatorError = HdbError::BudgetExhausted { limit: 5 }.into();
+        assert!(e.is_budget_exhausted());
+        let e: EstimatorError = HdbError::InvalidQuery("q".into()).into();
+        assert!(!e.is_budget_exhausted());
+        assert!(e.to_string().contains("interface error"));
+    }
+
+    #[test]
+    fn source_is_propagated() {
+        use std::error::Error as _;
+        let e: EstimatorError = HdbError::InvalidQuery("q".into()).into();
+        assert!(e.source().is_some());
+        assert!(EstimatorError::InvalidConfig("x".into()).source().is_none());
+    }
+}

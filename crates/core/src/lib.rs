@@ -1,0 +1,71 @@
+//! # hdb-core — unbiased aggregate estimation over hidden web databases
+//!
+//! A faithful implementation of Dasgupta, Jin, Jewell, Zhang & Das,
+//! *"Unbiased Estimation of Size and Other Aggregates Over Hidden Web
+//! Databases"* (SIGMOD 2010).
+//!
+//! A hidden database is reachable only through a restrictive top-`k`
+//! form interface (see the `hdb-interface` crate): every query either
+//! underflows, returns all of its at-most-`k` matches, or overflows with
+//! only the `k` top-ranked matches and no count. This crate estimates
+//! `COUNT(*)` (the database size) and other aggregates **without bias**
+//! through that interface, using:
+//!
+//! * **Backtracking random drill-downs** ([`walk`]) whose exact selection
+//!   probability is always known — the key to unbiasedness (Theorem 1);
+//! * **Weight adjustment** ([`weight`]) — importance sampling from pilot
+//!   walks (§4.1);
+//! * **Divide-&-conquer** ([`dnc`]) — bounded-subdomain subtrees that
+//!   tame the `|Dom|/m` variance blow-up (§4.2);
+//!
+//! combined into [`UnbiasedSizeEstimator`] (`HD-UNBIASED-SIZE`) and
+//! [`UnbiasedAggEstimator`] (`HD-UNBIASED-AGG`), next to the paper's
+//! baselines ([`baselines`]), an exhaustive [`crawler`], and an analytic
+//! test [`oracle`].
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hdb_core::UnbiasedSizeEstimator;
+//! use hdb_interface::{HiddenDb, Schema, Table, Tuple};
+//!
+//! // a tiny hidden database with a top-1 interface
+//! let tuples: Vec<Tuple> = (0..40u16)
+//!     .map(|i| Tuple::new((0..6).map(|b| (i >> b) & 1).collect()))
+//!     .collect();
+//! let db = HiddenDb::new(Table::new(Schema::boolean(6), tuples).unwrap(), 1);
+//!
+//! let mut estimator = UnbiasedSizeEstimator::plain(42).unwrap();
+//! let result = estimator.run(&db, 200).unwrap();
+//! assert!((result.estimate - 40.0).abs() < 8.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod agg;
+pub mod baselines;
+pub mod config;
+pub mod crawler;
+pub mod dnc;
+pub mod error;
+pub mod oracle;
+pub mod order;
+pub mod size;
+pub mod tuning;
+pub mod walk;
+pub mod weight;
+
+pub use agg::{ratio_avg, AggEstimate, AggregateFn, AggregateSpec, UnbiasedAggEstimator};
+pub use config::EstimatorConfig;
+pub use crawler::{crawl, CrawlResult, TopValidNode};
+pub use error::{EstimatorError, Result};
+pub use oracle::{Oracle, OracleNode};
+pub use order::AttributeOrder;
+pub use size::{SizeEstimate, UnbiasedSizeEstimator};
+pub use tuning::{adaptive_estimate, recommend_dub};
+pub use walk::{
+    drill_down, drill_down_with, BacktrackStrategy, UniformWeights, Walk, WalkTerminal,
+    WeightProvider,
+};
+pub use weight::{WeightModel, WeightModelConfig};

@@ -1,0 +1,294 @@
+//! Owner-side analytic oracle for tests and theory validation.
+//!
+//! Given full access to the table (which estimators never have), the
+//! oracle enumerates the exact set of top-valid nodes `Ω_TV`, computes
+//! the exact plain-walk selection probability `p(q)` of each, and
+//! evaluates the paper's variance formulas:
+//!
+//! * Theorem 2: `s² = Σ_{q∈Ω_TV} |q|²/p(q) − m²`,
+//! * Theorem 3 (`k = 1`): `s² ≤ m²(|Dom|/m − 1)`.
+//!
+//! Tests use it to assert that (a) `Σ p(q) = 1` over `Ω_TV`, (b) the
+//! walk-reported probabilities match the oracle exactly, and (c) the
+//! empirical MSE of the plain estimator matches the Theorem-2 variance.
+
+use hdb_interface::{AttrId, Query, Table, TableIndex, ValueId};
+
+use crate::walk::PathStep;
+
+/// A top-valid node as computed analytically.
+#[derive(Clone, Debug)]
+pub struct OracleNode {
+    /// The node's query (base predicates plus the drill path).
+    pub query: Query,
+    /// The drill path from the base, in level order.
+    pub steps: Vec<PathStep>,
+    /// Exact tuple count `|q|`.
+    pub count: usize,
+    /// Exact plain-walk (uniform-weight) selection probability `p(q)`.
+    pub probability: f64,
+}
+
+/// Analytic oracle over an owner-visible table.
+pub struct Oracle<'a> {
+    table: &'a Table,
+    index: TableIndex,
+    k: usize,
+    base: Query,
+    levels: Vec<AttrId>,
+}
+
+impl<'a> Oracle<'a> {
+    /// Builds an oracle for drill-downs below `base` over `levels` with
+    /// interface constant `k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or a level attribute is constrained in `base`.
+    #[must_use]
+    pub fn new(table: &'a Table, k: usize, base: Query, levels: Vec<AttrId>) -> Self {
+        assert!(k > 0, "top-k interface requires k >= 1");
+        for &attr in &levels {
+            assert!(!base.constrains(attr), "level attribute {attr} is constrained in the base");
+        }
+        Self { table, index: TableIndex::build(table), k, base, levels }
+    }
+
+    /// Exact `|Sel(q)|`.
+    #[must_use]
+    pub fn count(&self, q: &Query) -> usize {
+        self.index.count(q)
+    }
+
+    /// Exact size of the selected sub-database.
+    #[must_use]
+    pub fn exact_size(&self) -> usize {
+        self.index.count(&self.base)
+    }
+
+    /// The exact commit probability of branch `value` at the node
+    /// `node_query` (which must overflow) for attribute `attr`, under
+    /// uniform weights: `(1 + w_U)/w`, where `w_U` counts the maximal run
+    /// of empty branches immediately preceding `value` circularly
+    /// (paper §3.2). Returns 0 for an empty branch.
+    #[must_use]
+    pub fn commit_probability(&self, node_query: &Query, attr: AttrId, value: ValueId) -> f64 {
+        let fanout = self.table.schema().fanout(attr);
+        let nonempty: Vec<bool> = (0..fanout)
+            .map(|v| {
+                let child = node_query.and(attr, v as ValueId).expect("attr unconstrained");
+                self.index.count(&child) > 0
+            })
+            .collect();
+        if !nonempty[value as usize] {
+            return 0.0;
+        }
+        let mut run = 0usize;
+        let mut probe = (value as usize + fanout - 1) % fanout;
+        while probe != value as usize && !nonempty[probe] {
+            run += 1;
+            probe = (probe + fanout - 1) % fanout;
+        }
+        (1 + run) as f64 / fanout as f64
+    }
+
+    /// Exact plain-walk probability of committing to the path `steps`
+    /// from the base (product of per-level commit probabilities).
+    #[must_use]
+    pub fn walk_probability(&self, steps: &[PathStep]) -> f64 {
+        let mut q = self.base.clone();
+        let mut p = 1.0;
+        for &(attr, value) in steps {
+            p *= self.commit_probability(&q, attr, value);
+            q = q.and(attr, value).expect("attr unconstrained");
+        }
+        p
+    }
+
+    /// Enumerates `Ω_TV` with exact counts and plain-walk probabilities.
+    /// If the base itself is valid (or empty) the result is the base
+    /// alone (or nothing).
+    #[must_use]
+    pub fn enumerate_top_valid(&self) -> Vec<OracleNode> {
+        let mut out = Vec::new();
+        let base_count = self.index.count(&self.base);
+        if base_count == 0 {
+            return out;
+        }
+        if base_count <= self.k {
+            out.push(OracleNode {
+                query: self.base.clone(),
+                steps: Vec::new(),
+                count: base_count,
+                probability: 1.0,
+            });
+            return out;
+        }
+        self.expand(&self.base.clone(), &mut Vec::new(), 1.0, 0, &mut out);
+        out
+    }
+
+    fn expand(
+        &self,
+        node: &Query,
+        steps: &mut Vec<PathStep>,
+        p_acc: f64,
+        depth: usize,
+        out: &mut Vec<OracleNode>,
+    ) {
+        assert!(
+            depth < self.levels.len(),
+            "an overflowing node cannot be fully specified under duplicate-free data"
+        );
+        let attr = self.levels[depth];
+        let fanout = self.table.schema().fanout(attr);
+        for v in 0..fanout {
+            let value = v as ValueId;
+            let child = node.and(attr, value).expect("attr unconstrained");
+            let count = self.index.count(&child);
+            if count == 0 {
+                continue;
+            }
+            let p = p_acc * self.commit_probability(node, attr, value);
+            steps.push((attr, value));
+            if count <= self.k {
+                out.push(OracleNode {
+                    query: child,
+                    steps: steps.clone(),
+                    count,
+                    probability: p,
+                });
+            } else {
+                self.expand(&child, steps, p, depth + 1, out);
+            }
+            steps.pop();
+        }
+    }
+
+    /// Theorem-2 variance of the plain drill-down:
+    /// `Σ_{q∈Ω_TV} |q|²/p(q) − m²`.
+    #[must_use]
+    pub fn theorem2_variance(&self) -> f64 {
+        let nodes = self.enumerate_top_valid();
+        let m = self.exact_size() as f64;
+        let sum: f64 =
+            nodes.iter().map(|n| (n.count as f64).powi(2) / n.probability).sum();
+        sum - m * m
+    }
+
+    /// Theorem-3 upper bound on the plain-walk variance for `k = 1`:
+    /// `m²(|Dom|/m − 1)` over the *drilled* (level) attributes' domain.
+    #[must_use]
+    pub fn theorem3_bound(&self) -> f64 {
+        let m = self.exact_size() as f64;
+        let dom = self.table.schema().domain_size_of(&self.levels);
+        m * m * (dom / m - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdb_interface::{Schema, Table, Tuple};
+
+    fn figure1_table() -> Table {
+        Table::new(
+            Schema::boolean(4),
+            vec![
+                Tuple::new(vec![0, 0, 0, 0]),
+                Tuple::new(vec![0, 0, 0, 1]),
+                Tuple::new(vec![0, 0, 1, 0]),
+                Tuple::new(vec![0, 1, 1, 1]),
+                Tuple::new(vec![1, 1, 1, 0]),
+                Tuple::new(vec![1, 1, 1, 1]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_over_omega_tv() {
+        let table = figure1_table();
+        for k in [1, 2, 3, 5] {
+            let oracle = Oracle::new(&table, k, Query::all(), vec![0, 1, 2, 3]);
+            let nodes = oracle.enumerate_top_valid();
+            let total_p: f64 = nodes.iter().map(|n| n.probability).sum();
+            assert!((total_p - 1.0).abs() < 1e-12, "k={k}: Σp = {total_p}");
+            let total_count: usize = nodes.iter().map(|n| n.count).sum();
+            assert_eq!(total_count, 6, "top-valid nodes partition the tuples");
+        }
+    }
+
+    #[test]
+    fn figure1_probabilities_match_hand_computation() {
+        let table = figure1_table();
+        let oracle = Oracle::new(&table, 1, Query::all(), vec![0, 1, 2, 3]);
+        // t6's node (1,1,1,1): p = 1/2 · 1 · 1 · 1/2 = 1/4 (worked in §3.1)
+        let p = oracle.walk_probability(&[(0, 1), (1, 1), (2, 1), (3, 1)]);
+        assert!((p - 0.25).abs() < 1e-12);
+        // t1's node: all Scenario I → 1/16
+        let p = oracle.walk_probability(&[(0, 0), (1, 0), (2, 0), (3, 0)]);
+        assert!((p - 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_ht_estimate_is_m() {
+        let table = figure1_table();
+        let oracle = Oracle::new(&table, 1, Query::all(), vec![0, 1, 2, 3]);
+        let e: f64 = oracle
+            .enumerate_top_valid()
+            .iter()
+            .map(|n| n.probability * (n.count as f64 / n.probability))
+            .sum();
+        assert!((e - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem2_variance_is_nonnegative_and_bounded_by_theorem3() {
+        let table = figure1_table();
+        let oracle = Oracle::new(&table, 1, Query::all(), vec![0, 1, 2, 3]);
+        let s2 = oracle.theorem2_variance();
+        assert!(s2 >= 0.0);
+        assert!(s2 <= oracle.theorem3_bound() + 1e-9, "s²={s2} bound={}", oracle.theorem3_bound());
+    }
+
+    #[test]
+    fn oracle_handles_valid_and_empty_bases() {
+        let table = figure1_table();
+        let oracle = Oracle::new(&table, 10, Query::all(), vec![0, 1, 2, 3]);
+        let nodes = oracle.enumerate_top_valid();
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].count, 6);
+        assert_eq!(nodes[0].probability, 1.0);
+
+        let base = Query::all().and(0, 1).unwrap().and(1, 0).unwrap();
+        let oracle = Oracle::new(&table, 1, base, vec![2, 3]);
+        assert!(oracle.enumerate_top_valid().is_empty());
+        assert_eq!(oracle.exact_size(), 0);
+    }
+
+    #[test]
+    fn commit_probability_counts_preceding_empty_run() {
+        // categorical fanout 5 with branches {0, 2} non-empty
+        let schema = Schema::new(vec![
+            hdb_interface::Attribute::categorical("c", ["1", "2", "3", "4", "5"]).unwrap(),
+            hdb_interface::Attribute::boolean("pad"),
+        ])
+        .unwrap();
+        let table = Table::new(
+            schema,
+            vec![
+                Tuple::new(vec![0, 0]),
+                Tuple::new(vec![0, 1]),
+                Tuple::new(vec![2, 0]),
+            ],
+        )
+        .unwrap();
+        let oracle = Oracle::new(&table, 1, Query::all(), vec![0, 1]);
+        // branch 0: preceded by empties {4, 3} → (1+2)/5
+        assert!((oracle.commit_probability(&Query::all(), 0, 0) - 0.6).abs() < 1e-12);
+        // branch 2: preceded by empty {1} → (1+1)/5
+        assert!((oracle.commit_probability(&Query::all(), 0, 2) - 0.4).abs() < 1e-12);
+        // empty branch → 0
+        assert_eq!(oracle.commit_probability(&Query::all(), 0, 3), 0.0);
+    }
+}

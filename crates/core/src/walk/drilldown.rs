@@ -1,0 +1,338 @@
+//! The random drill-down over a (sub)tree: repeated branch selection from
+//! an overflowing root until a valid node is reached or the level budget
+//! is exhausted (divide-&-conquer bottom boundary).
+
+use hdb_interface::{AttrId, Query, ReturnedTuple, TopKInterface, ValueId};
+use rand::Rng;
+
+use crate::error::Result;
+use crate::walk::branch::{choose_branch, choose_branch_simple};
+use crate::walk::{BacktrackStrategy, PathStep, WeightProvider};
+
+/// One committed level of a walk.
+#[derive(Clone, Debug)]
+pub struct WalkLevel {
+    /// The attribute drilled at this level.
+    pub attr: AttrId,
+    /// The committed branch value.
+    pub value: ValueId,
+    /// Conditional probability of committing to `value` at this level.
+    pub probability: f64,
+}
+
+/// How a walk ended.
+#[derive(Clone, Debug)]
+pub enum WalkTerminal {
+    /// A valid node whose parent overflows: all its tuples, as returned
+    /// by the interface.
+    TopValid {
+        /// The tuples of the top-valid node (`1 ≤ len ≤ k`).
+        tuples: Vec<ReturnedTuple>,
+    },
+    /// All subtree levels were committed and the query still overflows —
+    /// the walk stopped at the subtree's bottom boundary
+    /// (divide-&-conquer recurses from here).
+    BottomOverflow,
+}
+
+/// A completed drill-down.
+#[derive(Clone, Debug)]
+pub struct Walk {
+    /// Per-level records in drill order.
+    pub levels: Vec<WalkLevel>,
+    /// Terminal classification.
+    pub terminal: WalkTerminal,
+    /// `p(terminal | subtree root)` — the product of the level
+    /// probabilities. Exact by construction.
+    pub probability: f64,
+    /// Queries issued during this walk.
+    pub queries: u64,
+}
+
+impl Walk {
+    /// The query of the terminal node, given the subtree root query.
+    ///
+    /// # Panics
+    /// Panics if a level attribute is already constrained in `root` —
+    /// impossible for walks produced by [`drill_down`] with a correct
+    /// level list.
+    #[must_use]
+    pub fn terminal_query(&self, root: &Query) -> Query {
+        let mut q = root.clone();
+        for level in &self.levels {
+            q = q.and(level.attr, level.value).expect("walk levels are unconstrained in root");
+        }
+        q
+    }
+
+    /// The walk's path steps (for weight-model bookkeeping), excluding
+    /// any prefix outside this subtree.
+    #[must_use]
+    pub fn steps(&self) -> Vec<PathStep> {
+        self.levels.iter().map(|l| (l.attr, l.value)).collect()
+    }
+
+    /// Whether the walk ended at a top-valid node.
+    #[must_use]
+    pub fn is_top_valid(&self) -> bool {
+        matches!(self.terminal, WalkTerminal::TopValid { .. })
+    }
+}
+
+/// Performs one random drill-down below `root` (which **must** overflow)
+/// across `levels`, with branch weights supplied per node by `weights`.
+///
+/// `prefix` is the global tree path of `root` (empty at the tree root);
+/// it keys weight lookups so that the weight model learns positions in
+/// the *global* tree even when the walk runs inside a nested subtree.
+///
+/// # Errors
+/// Propagates interface errors (budget exhaustion aborts the walk; no
+/// state is corrupted — the caller owns retry policy).
+///
+/// # Panics
+/// Panics if `levels` is empty (a subtree must have at least one level)
+/// or if `root` does not actually overflow (detected when every branch of
+/// the first level underflows).
+pub fn drill_down<I, W, R>(
+    iface: &I,
+    root: &Query,
+    prefix: &[PathStep],
+    levels: &[AttrId],
+    weights: &W,
+    rng: &mut R,
+) -> Result<Walk>
+where
+    I: TopKInterface,
+    W: WeightProvider + ?Sized,
+    R: Rng + ?Sized,
+{
+    drill_down_with(iface, root, prefix, levels, weights, BacktrackStrategy::Smart, rng)
+}
+
+/// [`drill_down`] with an explicit backtracking strategy (the ablation
+/// harness compares [`BacktrackStrategy::Smart`] against
+/// [`BacktrackStrategy::Simple`]).
+///
+/// # Errors
+/// Same contract as [`drill_down`].
+///
+/// # Panics
+/// Same contract as [`drill_down`].
+pub fn drill_down_with<I, W, R>(
+    iface: &I,
+    root: &Query,
+    prefix: &[PathStep],
+    levels: &[AttrId],
+    weights: &W,
+    strategy: BacktrackStrategy,
+    rng: &mut R,
+) -> Result<Walk>
+where
+    I: TopKInterface,
+    W: WeightProvider + ?Sized,
+    R: Rng + ?Sized,
+{
+    assert!(!levels.is_empty(), "drill_down requires at least one level");
+    let mut current = root.clone();
+    let mut path: Vec<PathStep> = prefix.to_vec();
+    let mut records = Vec::with_capacity(levels.len());
+    let mut probability = 1.0;
+    let mut queries = 0u64;
+
+    for (depth, &attr) in levels.iter().enumerate() {
+        let fanout = iface.schema().fanout(attr);
+        let branch_weights = weights.weights(&path, attr, fanout);
+        let choice = match strategy {
+            BacktrackStrategy::Smart => {
+                choose_branch(iface, &current, attr, &branch_weights, rng)?
+            }
+            BacktrackStrategy::Simple => {
+                choose_branch_simple(iface, &current, attr, &branch_weights, rng)?
+            }
+        };
+        queries += choice.queries;
+        for &v in &choice.discovered_empty {
+            weights.observe_empty(&path, attr, v);
+        }
+        probability *= choice.probability;
+        records.push(WalkLevel { attr, value: choice.value, probability: choice.probability });
+        path.push((attr, choice.value));
+
+        if choice.outcome.is_valid() {
+            let tuples = choice.outcome.tuples().to_vec();
+            return Ok(Walk {
+                levels: records,
+                terminal: WalkTerminal::TopValid { tuples },
+                probability,
+                queries,
+            });
+        }
+        debug_assert!(choice.outcome.is_overflow(), "committed branch cannot underflow");
+        if depth + 1 < levels.len() {
+            current = current.and(attr, choice.value).expect("level attr unconstrained");
+        }
+    }
+
+    Ok(Walk { levels: records, terminal: WalkTerminal::BottomOverflow, probability, queries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walk::UniformWeights;
+    use hdb_interface::{HiddenDb, Schema, Table, Tuple};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    /// The paper's running example, Boolean part (Figure 1): 6 tuples
+    /// over A1..A4, k = 1.
+    fn figure1_db() -> HiddenDb {
+        let table = Table::new(
+            Schema::boolean(4),
+            vec![
+                Tuple::new(vec![0, 0, 0, 0]),
+                Tuple::new(vec![0, 0, 0, 1]),
+                Tuple::new(vec![0, 0, 1, 0]),
+                Tuple::new(vec![0, 1, 1, 1]),
+                Tuple::new(vec![1, 1, 1, 0]),
+                Tuple::new(vec![1, 1, 1, 1]),
+            ],
+        )
+        .unwrap();
+        HiddenDb::new(table, 1)
+    }
+
+    #[test]
+    fn walk_always_reaches_top_valid_at_full_depth() {
+        let db = figure1_db();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let walk =
+                drill_down(&db, &Query::all(), &[], &[0, 1, 2, 3], &UniformWeights, &mut rng)
+                    .unwrap();
+            assert!(walk.is_top_valid(), "full-depth walks cannot bottom-overflow (k ≥ 1)");
+            assert!(walk.probability > 0.0 && walk.probability <= 1.0);
+        }
+    }
+
+    #[test]
+    fn horvitz_thompson_is_unbiased_on_figure1() {
+        // E[|q| / p(q)] = m = 6 (Theorem 1). Check the Monte-Carlo mean.
+        let db = figure1_db();
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 40_000;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            let walk =
+                drill_down(&db, &Query::all(), &[], &[0, 1, 2, 3], &UniformWeights, &mut rng)
+                    .unwrap();
+            if let WalkTerminal::TopValid { tuples } = &walk.terminal {
+                sum += tuples.len() as f64 / walk.probability;
+            }
+        }
+        let mean = sum / f64::from(trials);
+        assert!((mean - 6.0).abs() < 0.1, "HT mean {mean} should be ≈ 6");
+    }
+
+    #[test]
+    fn example_walk_probability_matches_paper() {
+        // Paper §3.1: node q4 = (A1=1, A2=1, A3=1, A4=1)… actually the
+        // worked example reaches the top-valid node below q3 with
+        // p(q) = 1/4 (two Scenario-I levels). Verify by enumerating the
+        // walks that terminate at t6 = (1,1,1,1).
+        let db = figure1_db();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut probs: HashMap<Vec<(usize, u16)>, f64> = HashMap::new();
+        for _ in 0..5_000 {
+            let walk =
+                drill_down(&db, &Query::all(), &[], &[0, 1, 2, 3], &UniformWeights, &mut rng)
+                    .unwrap();
+            probs.insert(walk.steps(), walk.probability);
+        }
+        // t6's top-valid node is A1=1,A2=1,A3=1,A4=1 (its sibling t5 is
+        // valid too). Levels: A1 (both non-empty, 1/2), A2 (sibling A2=0
+        // underflows, 1), A3 (sibling underflows, 1), A4 (both valid, 1/2)
+        // → p = 1/4.
+        let key = vec![(0usize, 1u16), (1, 1), (2, 1), (3, 1)];
+        let p = probs.get(&key).copied().expect("walk should reach t6 at least once");
+        assert!((p - 0.25).abs() < 1e-12, "p(t6 node) = {p}");
+        // t1's node (0,0,0,0): A1 1/2, A2 1/2 (A2=1 has t4 → non-empty),
+        // A3 1/2 (A3=1 has t3? A1=0,A2=0,A3=1 → t3 → non-empty), A4 1/2
+        // (t2 on sibling) → 1/16.
+        let key = vec![(0usize, 0u16), (1, 0), (2, 0), (3, 0)];
+        let p = probs.get(&key).copied().expect("walk should reach t1 at least once");
+        assert!((p - 1.0 / 16.0).abs() < 1e-12, "p(t1 node) = {p}");
+    }
+
+    #[test]
+    fn probability_is_product_of_level_probabilities() {
+        let db = figure1_db();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let walk =
+                drill_down(&db, &Query::all(), &[], &[0, 1, 2, 3], &UniformWeights, &mut rng)
+                    .unwrap();
+            let product: f64 = walk.levels.iter().map(|l| l.probability).product();
+            assert!((walk.probability - product).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn bottom_overflow_when_levels_run_out() {
+        let db = figure1_db();
+        let mut rng = StdRng::seed_from_u64(5);
+        // only one level: branch A1=0 holds 4 tuples (> k = 1) → any walk
+        // committing to it bottoms out in overflow; A1=1 holds 2 tuples
+        // → also overflow. So every 1-level walk bottom-overflows.
+        let walk = drill_down(&db, &Query::all(), &[], &[0], &UniformWeights, &mut rng).unwrap();
+        assert!(matches!(walk.terminal, WalkTerminal::BottomOverflow));
+        assert_eq!(walk.levels.len(), 1);
+    }
+
+    #[test]
+    fn walk_respects_base_selection() {
+        let db = figure1_db();
+        let mut rng = StdRng::seed_from_u64(6);
+        // base: A2 = 1 (3 tuples: t4, t5, t6) — drill over remaining attrs
+        let base = Query::all().and(1, 1).unwrap();
+        for _ in 0..50 {
+            let walk = drill_down(&db, &base, &[], &[0, 2, 3], &UniformWeights, &mut rng).unwrap();
+            if let WalkTerminal::TopValid { tuples } = &walk.terminal {
+                for t in tuples {
+                    assert_eq!(t.tuple.value(1), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn terminal_query_reconstructs_path() {
+        let db = figure1_db();
+        let mut rng = StdRng::seed_from_u64(7);
+        let walk =
+            drill_down(&db, &Query::all(), &[], &[0, 1, 2, 3], &UniformWeights, &mut rng).unwrap();
+        let q = walk.terminal_query(&Query::all());
+        assert_eq!(q.len(), walk.levels.len());
+        for level in &walk.levels {
+            assert_eq!(q.value_of(level.attr), Some(level.value));
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_cleanly() {
+        let table = Table::new(
+            Schema::boolean(4),
+            (0..8u16)
+                .map(|i| Tuple::new(vec![i & 1, (i >> 1) & 1, (i >> 2) & 1, 0]))
+                .collect(),
+        )
+        .unwrap();
+        let db = HiddenDb::new(table, 1).with_budget(2);
+        let mut rng = StdRng::seed_from_u64(8);
+        let err = drill_down(&db, &Query::all(), &[], &[0, 1, 2, 3], &UniformWeights, &mut rng)
+            .unwrap_err();
+        assert!(err.is_budget_exhausted());
+    }
+}

@@ -1,0 +1,365 @@
+//! Weight adjustment (paper §4.1): learn branch weights from "pilot"
+//! drill-downs so that the selection probability of each top-valid node
+//! tracks its share of the measure, shrinking the estimator variance.
+//!
+//! For a node with branches `q_C1 … q_Cw`, the ideal branch weight is the
+//! measure mass `|D_Ci|` of the sub-database under each branch; Eq. (6)
+//! estimates it from historic walks through the branch:
+//!
+//! ```text
+//! |D_Ci| ≈ (1/s) Σ_j  value(q_Hj) / p(q_Hj | q_Ci)
+//! ```
+//!
+//! where `value` is the walk's terminal measure (tuple count for size
+//! estimation) and `p(q_Hj | q_Ci)` the walk's conditional probability
+//! below the branch — both recorded exactly by the walk machinery.
+//!
+//! **Unbiasedness is never at stake here** (paper §4.1.1): whatever the
+//! weights, the walk computes its exact selection probability *under
+//! those weights*, so the Horvitz–Thompson correction stays exact.
+//! Accordingly the model may shrink estimates, learn from recursive
+//! divide-&-conquer values, and mark branches it saw underflow — all
+//! heuristics that only affect variance and query cost. Two invariants
+//! are load-bearing: every weight is strictly positive, and the weights
+//! used by a walk are those *before* that walk's own update.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use hdb_interface::{AttrId, ValueId};
+
+use crate::walk::{PathStep, WalkLevel, WeightProvider};
+
+/// Floor for weight computations, guarding strict positivity.
+const WEIGHT_FLOOR: f64 = 1e-9;
+
+/// Per-branch statistics at one tree node.
+#[derive(Clone, Debug, Default)]
+struct BranchStat {
+    /// Number of historic walks through this branch.
+    visits: u64,
+    /// Σ value / p(terminal | branch) over those walks.
+    sum: f64,
+    /// Whether the branch was ever observed to underflow (then it is
+    /// empty forever under the static-database model).
+    known_empty: bool,
+}
+
+/// One node of the learned tree.
+#[derive(Clone, Debug, Default)]
+struct Node {
+    stats: HashMap<ValueId, BranchStat>,
+    children: HashMap<ValueId, Node>,
+}
+
+impl Node {
+    fn descend(&self, steps: &[PathStep]) -> Option<&Node> {
+        let mut node = self;
+        for &(_, value) in steps {
+            node = node.children.get(&value)?;
+        }
+        Some(node)
+    }
+
+    fn descend_or_create(&mut self, steps: &[PathStep]) -> &mut Node {
+        let mut node = self;
+        for &(_, value) in steps {
+            node = node.children.entry(value).or_default();
+        }
+        node
+    }
+}
+
+/// Tuning knobs for the weight model.
+#[derive(Clone, Copy, Debug)]
+pub struct WeightModelConfig {
+    /// Shrinkage pseudo-count toward the node-local prior.
+    pub smoothing: f64,
+    /// Weight for branches known to underflow.
+    pub empty_weight: f64,
+    /// Defensive mixture floor: every branch not known to underflow gets
+    /// at least this fraction of the node's mean weight. Pilot subtree
+    /// estimates are heavy-tailed; without a floor, one unlucky pilot can
+    /// assign a heavy branch a minuscule probability and a later walk
+    /// through it then contributes a huge `value/p` term. The floor
+    /// bounds that inflation at `≈ fanout/min_fraction` of the uniform
+    /// variance while leaving well-estimated weights untouched —
+    /// unbiasedness is unaffected (weights stay exactly known).
+    pub min_fraction: f64,
+    /// Visit gate: learned (non-uniform) weights are only used at a node
+    /// once it has accumulated at least this many pilot walks per live
+    /// branch. A branch-mass estimate built from one or two walks is
+    /// pure noise — acting on it *increases* variance, the classic
+    /// failure mode of adaptive importance sampling. Below the gate the
+    /// node uses uniform weights (known-empty branches still get
+    /// [`WeightModelConfig::empty_weight`], which only saves scan
+    /// queries).
+    pub min_visits_per_branch: f64,
+    /// Geometric damping exponent `α ∈ [0, 1]` applied to the learned
+    /// weight's ratio to the node prior: `w = prior·(est/prior)^α`.
+    /// `α = 1` trusts the pilot estimates fully; smaller values shrink
+    /// the applied skew on a log scale, which keeps most of the benefit
+    /// when the true masses really are skewed while halving the damage
+    /// when the estimates are noise. `α = 0.5` is the classic
+    /// conservative choice for adaptive importance sampling.
+    pub damping: f64,
+}
+
+impl Default for WeightModelConfig {
+    fn default() -> Self {
+        Self {
+            smoothing: 1.0,
+            empty_weight: 1e-3,
+            min_fraction: 0.2,
+            min_visits_per_branch: 2.0,
+            damping: 0.5,
+        }
+    }
+}
+
+/// The learned branch-weight model (interior-mutable: the walk reports
+/// underflow discoveries while it holds a shared reference).
+#[derive(Debug)]
+pub struct WeightModel {
+    config: WeightModelConfig,
+    root: RefCell<Node>,
+}
+
+impl WeightModel {
+    /// An empty model.
+    #[must_use]
+    pub fn new(config: WeightModelConfig) -> Self {
+        Self { config, root: RefCell::new(Node::default()) }
+    }
+
+    /// Incorporates a completed walk: `prefix` is the subtree root's
+    /// global path, `levels` the walk's committed levels, and `value` the
+    /// terminal measure (tuple count / SUM contribution for top-valid
+    /// terminals, the recursive subtree estimate for bottom-overflow
+    /// terminals).
+    ///
+    /// Each level's branch accumulates `value / p(terminal | branch)`,
+    /// where the conditional probability is the product of the
+    /// *deeper* levels' probabilities — exactly Eq. (6).
+    pub fn record(&self, prefix: &[PathStep], levels: &[WalkLevel], value: f64) {
+        if levels.is_empty() {
+            return;
+        }
+        // suffix_p[i] = Π_{j > i} levels[j].probability
+        let mut suffix_p = vec![1.0; levels.len()];
+        for i in (0..levels.len() - 1).rev() {
+            suffix_p[i] = suffix_p[i + 1] * levels[i + 1].probability;
+        }
+        let mut root = self.root.borrow_mut();
+        let mut node = root.descend_or_create(prefix);
+        for (i, level) in levels.iter().enumerate() {
+            let stat = node.stats.entry(level.value).or_default();
+            stat.visits += 1;
+            stat.sum += value / suffix_p[i];
+            node = node.children.entry(level.value).or_default();
+        }
+    }
+
+    /// Number of walks recorded through the root node (diagnostics).
+    #[must_use]
+    pub fn walks_recorded(&self) -> u64 {
+        self.root.borrow().stats.values().map(|s| s.visits).sum()
+    }
+}
+
+impl WeightProvider for WeightModel {
+    fn weights(&self, path: &[PathStep], _attr: AttrId, fanout: usize) -> Vec<f64> {
+        let root = self.root.borrow();
+        let Some(node) = root.descend(path) else {
+            return vec![1.0; fanout];
+        };
+        // Node-local prior: the average per-visit estimate across
+        // explored branches, so unexplored branches look "typical".
+        let (total_sum, total_visits) = node
+            .stats
+            .values()
+            .filter(|s| !s.known_empty)
+            .fold((0.0, 0u64), |(s, v), stat| (s + stat.sum, v + stat.visits));
+        let prior = if total_visits > 0 {
+            (total_sum / total_visits as f64).max(WEIGHT_FLOOR)
+        } else {
+            1.0
+        };
+        // Visit gate: with too few pilot walks the mass estimates are
+        // noise — fall back to uniform (empty steering still applies).
+        let known_empty_flag =
+            |v: ValueId| node.stats.get(&v).is_some_and(|s| s.known_empty);
+        let live_count = (0..fanout).filter(|&v| !known_empty_flag(v as ValueId)).count();
+        if (total_visits as f64) < self.config.min_visits_per_branch * live_count as f64 {
+            return (0..fanout as ValueId)
+                .map(|v| if known_empty_flag(v) { self.config.empty_weight } else { 1.0 })
+                .collect();
+        }
+        let mut weights: Vec<f64> = (0..fanout as ValueId)
+            .map(|v| match node.stats.get(&v) {
+                Some(stat) if stat.known_empty => self.config.empty_weight,
+                Some(stat) => {
+                    let shrunk = (stat.sum + self.config.smoothing * prior)
+                        / (stat.visits as f64 + self.config.smoothing);
+                    let damped = prior * (shrunk / prior).powf(self.config.damping);
+                    damped.max(WEIGHT_FLOOR)
+                }
+                None => prior,
+            })
+            .collect();
+        // Defensive mixture floor over branches not known to underflow.
+        let known_empty =
+            |v: ValueId| node.stats.get(&v).is_some_and(|s| s.known_empty);
+        let live: Vec<usize> =
+            (0..fanout).filter(|&v| !known_empty(v as ValueId)).collect();
+        if !live.is_empty() {
+            let mean: f64 =
+                live.iter().map(|&v| weights[v]).sum::<f64>() / live.len() as f64;
+            let floor = self.config.min_fraction * mean;
+            for &v in &live {
+                if weights[v] < floor {
+                    weights[v] = floor;
+                }
+            }
+        }
+        weights
+    }
+
+    fn observe_empty(&self, path: &[PathStep], _attr: AttrId, value: ValueId) {
+        let mut root = self.root.borrow_mut();
+        let node = root.descend_or_create(path);
+        node.stats.entry(value).or_default().known_empty = true;
+    }
+
+    fn record_walk(&self, prefix: &[PathStep], levels: &[WalkLevel], value: f64) {
+        self.record(prefix, levels, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn level(attr: AttrId, value: ValueId, probability: f64) -> WalkLevel {
+        WalkLevel { attr, value, probability }
+    }
+
+    #[test]
+    fn unexplored_model_is_uniform() {
+        let m = WeightModel::new(WeightModelConfig::default());
+        assert_eq!(m.weights(&[], 0, 3), vec![1.0, 1.0, 1.0]);
+        assert_eq!(m.weights(&[(0, 1)], 1, 2), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn record_walk_implements_equation_6() {
+        let m = WeightModel::new(WeightModelConfig {
+            smoothing: 1e-12,
+            empty_weight: 1e-3,
+            min_fraction: 0.0,
+            min_visits_per_branch: 0.0,
+            damping: 1.0,
+        });
+        // walk: root --(A0=1, p=1/2)--> --(A1=0, p=1/4)--> top-valid, |q| = 2
+        m.record(&[], &[level(0, 1, 0.5), level(1, 0, 0.25)], 2.0);
+        // root branch 1: contribution 2 / 0.25 = 8 (paper's example form)
+        let w = m.weights(&[], 0, 2);
+        assert!((w[1] - 8.0).abs() < 1e-6, "root branch-1 weight {}", w[1]);
+        // child node branch 0: contribution 2 / 1 = 2
+        let w = m.weights(&[(0, 1)], 1, 2);
+        assert!((w[0] - 2.0).abs() < 1e-6, "child branch-0 weight {}", w[0]);
+    }
+
+    #[test]
+    fn paper_example_subtree_estimate() {
+        // §4.1.1: one historic drill-down through q1 (p = 1/2) hitting q4
+        // (p = 1/4) with |q4| = 1 estimates q1's subtree as
+        // 1 · (1/2)/(1/4) = 2.
+        let m = WeightModel::new(WeightModelConfig {
+            smoothing: 1e-12,
+            empty_weight: 1e-3,
+            min_fraction: 0.0,
+            min_visits_per_branch: 0.0,
+            damping: 1.0,
+        });
+        m.record(&[], &[level(0, 1, 0.5), level(1, 0, 0.5)], 1.0);
+        let w = m.weights(&[], 0, 2);
+        assert!((w[1] - 2.0).abs() < 1e-6, "q1 weight {}", w[1]);
+    }
+
+    #[test]
+    fn known_empty_branches_get_small_weight() {
+        let m = WeightModel::new(WeightModelConfig::default());
+        m.observe_empty(&[], 0, 2);
+        let w = m.weights(&[], 0, 4);
+        assert_eq!(w[2], 1e-3);
+        assert_eq!(w[0], 1.0);
+    }
+
+    #[test]
+    fn weights_always_strictly_positive() {
+        let m = WeightModel::new(WeightModelConfig::default());
+        // record a zero-valued walk (possible for SUM aggregates)
+        m.record(&[], &[level(0, 0, 1.0)], 0.0);
+        m.observe_empty(&[], 0, 1);
+        for w in m.weights(&[], 0, 3) {
+            assert!(w > 0.0, "weight {w} must be positive");
+        }
+    }
+
+    #[test]
+    fn shrinkage_pulls_toward_prior() {
+        let m = WeightModel::new(WeightModelConfig {
+            smoothing: 1.0,
+            empty_weight: 1e-3,
+            min_fraction: 0.0,
+            min_visits_per_branch: 0.0,
+            damping: 1.0,
+        });
+        // branch 0 visited often with value 10, branch 1 once with 1000
+        for _ in 0..100 {
+            m.record(&[], &[level(0, 0, 1.0)], 10.0);
+        }
+        m.record(&[], &[level(0, 1, 1.0)], 1000.0);
+        let w = m.weights(&[], 0, 3);
+        // branch 0 ≈ 10 (well-estimated), branch 1 pulled below 1000
+        assert!((w[0] - 10.0).abs() < 2.0, "w0 = {}", w[0]);
+        assert!(w[1] < 1000.0 && w[1] > 100.0, "w1 = {}", w[1]);
+        // unexplored branch 2 gets the prior = overall mean
+        let expected_prior = (100.0 * 10.0 + 1000.0) / 101.0;
+        assert!((w[2] - expected_prior).abs() < 1e-9, "w2 = {}", w[2]);
+    }
+
+    #[test]
+    fn walks_recorded_counts_root_visits() {
+        let m = WeightModel::new(WeightModelConfig::default());
+        assert_eq!(m.walks_recorded(), 0);
+        m.record(&[], &[level(0, 0, 1.0)], 1.0);
+        m.record(&[], &[level(0, 1, 0.5)], 1.0);
+        assert_eq!(m.walks_recorded(), 2);
+    }
+
+    #[test]
+    fn empty_levels_are_ignored() {
+        let m = WeightModel::new(WeightModelConfig::default());
+        m.record(&[], &[], 5.0);
+        assert_eq!(m.walks_recorded(), 0);
+    }
+
+    #[test]
+    fn prefixed_walks_update_deep_nodes() {
+        let m = WeightModel::new(WeightModelConfig {
+            smoothing: 1e-12,
+            empty_weight: 1e-3,
+            min_fraction: 0.0,
+            min_visits_per_branch: 0.0,
+            damping: 1.0,
+        });
+        let prefix = [(0usize, 1u16), (1, 0)];
+        m.record(&prefix, &[level(2, 1, 0.5)], 3.0);
+        let w = m.weights(&prefix, 2, 2);
+        assert!((w[1] - 3.0).abs() < 1e-6);
+        // the root is untouched
+        assert_eq!(m.weights(&[], 0, 2), vec![1.0, 1.0]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Distribution-preserving table enlargement — the paper's DBGen step
+//! (§6.1): the 15,211-row crawled Yahoo! Auto snapshot was blown up to
+//! 188,790 rows "by following the original distribution of the small
+//! dataset".
+//!
+//! [`enlarge`] resamples seed rows and applies light per-attribute
+//! mutation (each attribute is independently redrawn from its empirical
+//! marginal with a small probability), which preserves the joint
+//! distribution's large-scale structure while generating enough variety
+//! to fill the requested row count without duplicates.
+
+use hdb_interface::{HdbError, Result, Table, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use crate::random::empirical_marginals;
+use crate::zipf::sample_weighted;
+
+/// Probability that a copied attribute value is re-drawn from the
+/// attribute's empirical marginal.
+const MUTATION_RATE: f64 = 0.15;
+
+/// Enlarges `seed_table` to `target` distinct rows (the original rows are
+/// all kept).
+///
+/// # Errors
+/// Returns [`HdbError::InvalidTuple`] if `target` is smaller than the
+/// seed table or cannot be reached (domain exhausted).
+pub fn enlarge(seed_table: &Table, target: usize, seed: u64) -> Result<Table> {
+    if target < seed_table.len() {
+        return Err(HdbError::InvalidTuple(format!(
+            "target {target} smaller than seed table ({} rows)",
+            seed_table.len()
+        )));
+    }
+    if seed_table.is_empty() {
+        return Err(HdbError::InvalidTuple("cannot enlarge an empty table".into()));
+    }
+    let schema = seed_table.schema().clone();
+    let marginals = empirical_marginals(seed_table);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut seen: HashSet<Tuple> = seed_table.tuples().iter().cloned().collect();
+    let mut tuples: Vec<Tuple> = seed_table.tuples().to_vec();
+    let mut attempts = 0usize;
+    let max_attempts = target.saturating_mul(100).max(10_000);
+    while tuples.len() < target {
+        attempts += 1;
+        if attempts > max_attempts {
+            return Err(HdbError::InvalidTuple(format!(
+                "enlargement stalled at {}/{} rows after {attempts} draws",
+                tuples.len(),
+                target
+            )));
+        }
+        let base = &seed_table.tuples()[rng.random_range(0..seed_table.len())];
+        let mut values = base.values().to_vec();
+        for (attr, v) in values.iter_mut().enumerate() {
+            if rng.random_bool(MUTATION_RATE) {
+                *v = sample_weighted(&mut rng, &marginals[attr]) as u16;
+            }
+        }
+        let t = Tuple::new(values);
+        if seen.insert(t.clone()) {
+            tuples.push(t);
+        }
+    }
+    Table::new(schema, tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boolean::bool_iid;
+    use crate::yahoo::{yahoo_auto, YahooConfig, ATTRS};
+
+    #[test]
+    fn keeps_seed_rows_and_reaches_target() {
+        let seed_table = bool_iid(200, 16, 1).unwrap();
+        let big = enlarge(&seed_table, 1000, 2).unwrap();
+        assert_eq!(big.len(), 1000);
+        let set: HashSet<_> = big.tuples().iter().collect();
+        for t in seed_table.tuples() {
+            assert!(set.contains(t));
+        }
+    }
+
+    #[test]
+    fn preserves_marginal_shape() {
+        let seed_table = yahoo_auto(YahooConfig { rows: 3000, seed: 5 }).unwrap();
+        let big = enlarge(&seed_table, 12_000, 6).unwrap();
+        let freq = |t: &Table, v: u16| {
+            t.tuples().iter().filter(|tp| tp.value(ATTRS.make) == v).count() as f64
+                / t.len() as f64
+        };
+        for make in 0..4u16 {
+            assert!(
+                (freq(&seed_table, make) - freq(&big, make)).abs() < 0.05,
+                "make {make} marginal drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_shrinking() {
+        let seed_table = bool_iid(100, 12, 1).unwrap();
+        assert!(enlarge(&seed_table, 50, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_unreachable_targets() {
+        // 3 boolean attrs → at most 8 distinct rows
+        let seed_table = bool_iid(4, 3, 1).unwrap();
+        assert!(enlarge(&seed_table, 100, 1).is_err());
+    }
+
+    #[test]
+    fn target_equal_to_seed_is_identity() {
+        let seed_table = bool_iid(64, 10, 3).unwrap();
+        let same = enlarge(&seed_table, 64, 9).unwrap();
+        assert_eq!(same.tuples(), seed_table.tuples());
+    }
+}

@@ -1,0 +1,36 @@
+//! # hdb-datagen — workload generators for the hidden-database experiments
+//!
+//! Every dataset the paper evaluates on (§6.1), reproduced as seeded
+//! generators:
+//!
+//! * [`boolean::bool_iid`] / [`boolean::bool_mixed`] — the 200,000 × 40
+//!   Boolean synthetic datasets (uniform and skewed).
+//! * [`yahoo::yahoo_auto`] — a synthetic used-car database with the same
+//!   schema shape as the paper's offline Yahoo! Auto crawl (32 Boolean +
+//!   6 categorical attributes, fanouts 5–16) and a skewed, correlated
+//!   joint distribution; see DESIGN.md for the substitution rationale.
+//! * [`worst_case::worst_case`] — the Figure-4 adversarial instance that
+//!   maximises drill-down variance.
+//! * [`enlarge::enlarge`] — the DBGen-style distribution-preserving
+//!   enlargement step.
+//! * [`random::uniform_table`] — generic uniform tables for tests and
+//!   property-based suites.
+//!
+//! All generators are deterministic under their seed.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod boolean;
+pub mod enlarge;
+pub mod random;
+pub mod worst_case;
+pub mod yahoo;
+pub mod zipf;
+
+pub use boolean::{bool_iid, bool_mixed, boolean_with_probs};
+pub use enlarge::enlarge;
+pub use random::uniform_table;
+pub use worst_case::worst_case;
+pub use yahoo::{yahoo_auto, yahoo_auto_paper, yahoo_schema, YahooConfig, ATTRS as YAHOO_ATTRS};
+pub use zipf::Zipf;

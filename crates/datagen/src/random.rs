@@ -1,0 +1,102 @@
+//! Generic random-table helpers used by tests, property-based suites and
+//! the enlargement utility.
+
+use hdb_interface::{HdbError, Result, Schema, Table, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Draws a table of `m` distinct uniform-random tuples over `schema`.
+///
+/// # Errors
+/// Returns [`HdbError::InvalidTuple`] if the domain cannot hold `m`
+/// distinct tuples or sampling stalls.
+pub fn uniform_table(schema: &Schema, m: usize, seed: u64) -> Result<Table> {
+    if (m as f64) > schema.domain_size() {
+        return Err(HdbError::InvalidTuple(format!(
+            "cannot place {m} distinct tuples in a domain of size {}",
+            schema.domain_size()
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<Tuple> = HashSet::with_capacity(m);
+    let mut tuples = Vec::with_capacity(m);
+    let mut attempts = 0usize;
+    let max_attempts = m.saturating_mul(1000).max(10_000);
+    while tuples.len() < m {
+        attempts += 1;
+        if attempts > max_attempts {
+            return Err(HdbError::InvalidTuple(format!(
+                "uniform sampling stalled at {}/{m} rows",
+                tuples.len()
+            )));
+        }
+        let t = Tuple::new(
+            (0..schema.len()).map(|a| rng.random_range(0..schema.fanout(a)) as u16).collect(),
+        );
+        if seen.insert(t.clone()) {
+            tuples.push(t);
+        }
+    }
+    Table::new(schema.clone(), tuples)
+}
+
+/// Per-attribute empirical value frequencies of a table:
+/// `result[attr][value]` = number of rows with that value.
+#[must_use]
+pub fn empirical_marginals(table: &Table) -> Vec<Vec<f64>> {
+    let schema = table.schema();
+    let mut marginals: Vec<Vec<f64>> =
+        (0..schema.len()).map(|a| vec![0.0; schema.fanout(a)]).collect();
+    for t in table.tuples() {
+        for (attr, &v) in t.values().iter().enumerate() {
+            marginals[attr][v as usize] += 1.0;
+        }
+    }
+    marginals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdb_interface::Attribute;
+
+    #[test]
+    fn uniform_table_has_distinct_rows() {
+        let schema = Schema::boolean(10);
+        let t = uniform_table(&schema, 200, 1).unwrap();
+        assert_eq!(t.len(), 200);
+        let set: HashSet<_> = t.tuples().iter().collect();
+        assert_eq!(set.len(), 200);
+    }
+
+    #[test]
+    fn over_capacity_rejected() {
+        let schema = Schema::boolean(3);
+        assert!(uniform_table(&schema, 9, 1).is_err());
+        // exactly the domain size is fine
+        let t = uniform_table(&schema, 8, 1).unwrap();
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn marginals_count_values() {
+        let schema = Schema::new(vec![
+            Attribute::boolean("a"),
+            Attribute::categorical("b", ["x", "y", "z"]).unwrap(),
+        ])
+        .unwrap();
+        let t = Table::new(
+            schema,
+            vec![
+                Tuple::new(vec![0, 0]),
+                Tuple::new(vec![0, 2]),
+                Tuple::new(vec![1, 2]),
+            ],
+        )
+        .unwrap();
+        let m = empirical_marginals(&t);
+        assert_eq!(m[0], vec![2.0, 1.0]);
+        assert_eq!(m[1], vec![1.0, 0.0, 2.0]);
+    }
+}

@@ -1,0 +1,75 @@
+//! The paper's worst-case instance (Figure 4, §3.3.2): `n + 1` tuples
+//! `t_0, …, t_n` over `n` Boolean attributes where `t_i` (for `i ≥ 1`)
+//! agrees with `t_0` on attributes `a_1 … a_{n-i}` and is flipped on
+//! `a_{n-i+1} … a_n`.
+//!
+//! With `k = 1` this yields two top-valid queries at the full depth `n`
+//! (those separating `t_0` from `t_1`), each with selection probability
+//! `1/2^n`, driving the plain drill-down variance above `2^{n+1} - m²`
+//! (paper Corollary 1). It is the stress test that motivates
+//! divide-&-conquer.
+
+use hdb_interface::{HdbError, Result, Schema, Table, Tuple};
+
+/// Builds the Figure-4 worst-case instance over `n` Boolean attributes
+/// (`n + 1` tuples). `t_0` is the all-zeros tuple.
+///
+/// # Errors
+/// Returns [`HdbError::InvalidSchema`] if `n < 2` (the construction needs
+/// room for at least one partial flip).
+pub fn worst_case(n: usize) -> Result<Table> {
+    if n < 2 {
+        return Err(HdbError::InvalidSchema(
+            "worst-case construction needs at least 2 attributes".into(),
+        ));
+    }
+    let schema = Schema::boolean(n);
+    let t0 = vec![0u16; n];
+    let mut tuples = vec![Tuple::new(t0.clone())];
+    for i in 1..=n {
+        let mut v = t0.clone();
+        for value in v.iter_mut().skip(n - i) {
+            *value = 1 - *value;
+        }
+        tuples.push(Tuple::new(v));
+    }
+    Table::new(schema, tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_is_n_plus_one() {
+        let t = worst_case(8).unwrap();
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.schema().len(), 8);
+    }
+
+    #[test]
+    fn construction_matches_definition() {
+        let t = worst_case(4).unwrap();
+        let rows: Vec<&[u16]> = t.tuples().iter().map(|t| t.values()).collect();
+        assert_eq!(rows[0], &[0, 0, 0, 0]);
+        assert_eq!(rows[1], &[0, 0, 0, 1]); // flip last 1
+        assert_eq!(rows[2], &[0, 0, 1, 1]); // flip last 2
+        assert_eq!(rows[3], &[0, 1, 1, 1]);
+        assert_eq!(rows[4], &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn t0_and_t1_differ_only_in_last_attribute() {
+        let t = worst_case(10).unwrap();
+        let t0 = t.tuples()[0].values();
+        let t1 = t.tuples()[1].values();
+        assert_eq!(&t0[..9], &t1[..9]);
+        assert_ne!(t0[9], t1[9]);
+    }
+
+    #[test]
+    fn too_small_rejected() {
+        assert!(worst_case(1).is_err());
+        assert!(worst_case(0).is_err());
+    }
+}

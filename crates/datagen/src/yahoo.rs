@@ -1,0 +1,272 @@
+//! A synthetic stand-in for the paper's offline **Yahoo! Auto** dataset
+//! (§6.1): used-car listings with 32 Boolean option attributes (A/C,
+//! power locks, …) and 6 categorical attributes (MAKE, MODEL, COLOR, …)
+//! whose fanouts range from 5 to 16.
+//!
+//! The real dataset was crawled in 2007 and enlarged to 188,790 rows with
+//! DBGen; we cannot redistribute it, so this generator produces a
+//! correlated, heavily skewed joint distribution with the same schema
+//! shape: make popularity is Zipf, model depends on make, price depends
+//! on make, and option packages correlate with price. The estimation
+//! experiments only depend on this *shape* (fanouts and skew), not on the
+//! precise 2007 inventory.
+
+use hdb_interface::{Attribute, HdbError, Result, Schema, Table, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use crate::zipf::Zipf;
+
+/// Number of Boolean option attributes (paper: 32).
+pub const NUM_OPTIONS: usize = 32;
+
+/// Fanouts of the categorical attributes, chosen within the paper's 5–16
+/// range.
+pub const MAKE_FANOUT: usize = 16;
+/// Models per make-agnostic model list.
+pub const MODEL_FANOUT: usize = 16;
+/// Exterior colors.
+pub const COLOR_FANOUT: usize = 12;
+/// Body styles.
+pub const BODY_FANOUT: usize = 8;
+/// Transmission types.
+pub const TRANS_FANOUT: usize = 5;
+/// Price buckets (numeric interpretation: bucket midpoint in dollars).
+pub const PRICE_FANOUT: usize = 10;
+
+/// Paper-scale row count (the enlarged offline dataset).
+pub const PAPER_ROWS: usize = 188_790;
+
+/// Attribute ids within the generated schema, in schema order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct YahooAttrs {
+    /// MAKE (fanout 16).
+    pub make: usize,
+    /// MODEL (fanout 16, correlated with MAKE).
+    pub model: usize,
+    /// COLOR (fanout 12).
+    pub color: usize,
+    /// BODY style (fanout 8).
+    pub body: usize,
+    /// TRANSMISSION (fanout 5).
+    pub transmission: usize,
+    /// PRICE bucket (fanout 10, numeric).
+    pub price: usize,
+    /// First Boolean option; options occupy `options_start..options_start + NUM_OPTIONS`.
+    pub options_start: usize,
+}
+
+/// The fixed attribute layout of [`yahoo_schema`].
+pub const ATTRS: YahooAttrs =
+    YahooAttrs { make: 0, model: 1, color: 2, body: 3, transmission: 4, price: 5, options_start: 6 };
+
+const MAKES: [&str; MAKE_FANOUT] = [
+    "toyota", "ford", "chevrolet", "honda", "nissan", "dodge", "bmw", "mercedes", "volkswagen",
+    "hyundai", "kia", "subaru", "mazda", "lexus", "jeep", "pontiac",
+];
+
+const COLORS: [&str; COLOR_FANOUT] = [
+    "black", "white", "silver", "gray", "blue", "red", "green", "gold", "beige", "brown",
+    "orange", "yellow",
+];
+
+const BODIES: [&str; BODY_FANOUT] =
+    ["sedan", "suv", "coupe", "truck", "hatchback", "van", "convertible", "wagon"];
+
+const TRANSMISSIONS: [&str; TRANS_FANOUT] =
+    ["automatic", "manual", "cvt", "automanual", "dual-clutch"];
+
+const OPTION_NAMES: [&str; NUM_OPTIONS] = [
+    "ac", "power_locks", "power_windows", "cruise_control", "abs", "airbag_side",
+    "alloy_wheels", "sunroof", "leather_seats", "heated_seats", "navigation", "bluetooth",
+    "cd_player", "mp3", "keyless_entry", "remote_start", "tow_package", "roof_rack",
+    "fog_lights", "spoiler", "backup_camera", "parking_sensors", "premium_audio",
+    "third_row", "awd", "turbo", "alarm", "tinted_windows", "running_boards",
+    "bed_liner", "memory_seats", "xenon_lights",
+];
+
+/// Builds the 38-attribute used-car schema (6 categorical + 32 Boolean).
+///
+/// PRICE carries a numeric interpretation (bucket midpoints:
+/// $2,500, $7,500, …, $47,500) so `SUM(price)` aggregates are defined.
+#[must_use]
+pub fn yahoo_schema() -> Schema {
+    let mut attrs = vec![
+        Attribute::categorical("make", MAKES).expect("static domain"),
+        Attribute::categorical("model", (0..MODEL_FANOUT).map(|i| format!("model{i:02}")))
+            .expect("static domain"),
+        Attribute::categorical("color", COLORS).expect("static domain"),
+        Attribute::categorical("body", BODIES).expect("static domain"),
+        Attribute::categorical("transmission", TRANSMISSIONS).expect("static domain"),
+        Attribute::categorical("price", (0..PRICE_FANOUT).map(|i| format!("${}k-{}k", i * 5, (i + 1) * 5)))
+            .expect("static domain")
+            .with_numeric((0..PRICE_FANOUT).map(|i| (i as f64) * 5000.0 + 2500.0).collect())
+            .expect("length matches"),
+    ];
+    attrs.extend(OPTION_NAMES.iter().map(|&n| Attribute::boolean(n)));
+    Schema::new(attrs).expect("static schema is valid")
+}
+
+/// Generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct YahooConfig {
+    /// Number of distinct rows to produce.
+    pub rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for YahooConfig {
+    fn default() -> Self {
+        Self { rows: PAPER_ROWS, seed: 2010 }
+    }
+}
+
+/// Generates the synthetic used-car table.
+///
+/// Correlation structure:
+/// * `MAKE ~ Zipf(1.05)` — a few makes dominate the inventory.
+/// * `MODEL | MAKE` — Zipf(1.2) over a make-specific rotation of the
+///   model list, so each make concentrates on a few models.
+/// * `PRICE | MAKE` — luxury makes (bmw, mercedes, lexus) shift the price
+///   distribution upward.
+/// * option `o` — probability = per-option base (seeded, in [0.08, 0.92])
+///   nudged up with the price bucket: expensive cars have more options.
+///
+/// # Errors
+/// Returns [`HdbError::InvalidTuple`] if `rows` distinct tuples cannot be
+/// drawn (practically impossible below tens of millions of rows).
+pub fn yahoo_auto(config: YahooConfig) -> Result<Table> {
+    let schema = yahoo_schema();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let make_dist = Zipf::new(MAKE_FANOUT, 1.05);
+    let model_dist = Zipf::new(MODEL_FANOUT, 1.2);
+    let color_dist = Zipf::new(COLOR_FANOUT, 0.8);
+    let body_dist = Zipf::new(BODY_FANOUT, 0.7);
+    let trans_dist = Zipf::new(TRANS_FANOUT, 1.0);
+    let price_dist = Zipf::new(PRICE_FANOUT, 0.6);
+
+    // luxury makes push price buckets upward
+    let luxury: [usize; 3] = [6, 7, 13]; // bmw, mercedes, lexus
+    let option_base: Vec<f64> = (0..NUM_OPTIONS).map(|_| rng.random_range(0.08..0.92)).collect();
+
+    let mut seen: HashSet<Tuple> = HashSet::with_capacity(config.rows);
+    let mut tuples = Vec::with_capacity(config.rows);
+    let mut attempts = 0usize;
+    let max_attempts = config.rows.saturating_mul(50).max(10_000);
+    while tuples.len() < config.rows {
+        attempts += 1;
+        if attempts > max_attempts {
+            return Err(HdbError::InvalidTuple(format!(
+                "gave up after {attempts} draws with {}/{} distinct rows",
+                tuples.len(),
+                config.rows
+            )));
+        }
+
+        let make = make_dist.sample(&mut rng);
+        // model: rank drawn from the conditional Zipf, rotated per make so
+        // different makes favour different models
+        let model = (model_dist.sample(&mut rng) + make * 5) % MODEL_FANOUT;
+        let color = color_dist.sample(&mut rng);
+        let body = body_dist.sample(&mut rng);
+        let trans = trans_dist.sample(&mut rng);
+        let mut price = price_dist.sample(&mut rng);
+        if luxury.contains(&make) {
+            price = (price + 4).min(PRICE_FANOUT - 1);
+        }
+
+        let mut values: Vec<u16> = Vec::with_capacity(6 + NUM_OPTIONS);
+        values.extend([make as u16, model as u16, color as u16, body as u16, trans as u16, price as u16]);
+        for base in &option_base {
+            let p = (base + 0.035 * (price as f64 - 4.5)).clamp(0.02, 0.98);
+            values.push(u16::from(rng.random_bool(p)));
+        }
+        let t = Tuple::new(values);
+        if seen.insert(t.clone()) {
+            tuples.push(t);
+        }
+    }
+    Table::new(schema, tuples)
+}
+
+/// The paper-scale offline dataset (188,790 rows).
+///
+/// # Errors
+/// See [`yahoo_auto`].
+pub fn yahoo_auto_paper(seed: u64) -> Result<Table> {
+    yahoo_auto(YahooConfig { rows: PAPER_ROWS, seed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_shape_matches_paper() {
+        let s = yahoo_schema();
+        assert_eq!(s.len(), 38);
+        let categorical: Vec<usize> = (0..6).map(|i| s.fanout(i)).collect();
+        assert_eq!(categorical, [16, 16, 12, 8, 5, 10]);
+        for i in 6..38 {
+            assert_eq!(s.fanout(i), 2);
+        }
+        assert!(s.attribute(ATTRS.price).is_numeric());
+    }
+
+    #[test]
+    fn generates_requested_distinct_rows() {
+        let t = yahoo_auto(YahooConfig { rows: 5000, seed: 1 }).unwrap();
+        assert_eq!(t.len(), 5000);
+        let set: HashSet<_> = t.tuples().iter().collect();
+        assert_eq!(set.len(), 5000);
+    }
+
+    #[test]
+    fn make_distribution_is_skewed() {
+        let t = yahoo_auto(YahooConfig { rows: 20_000, seed: 3 }).unwrap();
+        let mut counts = [0usize; MAKE_FANOUT];
+        for tp in t.tuples() {
+            counts[tp.value(ATTRS.make) as usize] += 1;
+        }
+        // rank-0 make should far outnumber the tail make
+        assert!(counts[0] > 4 * counts[MAKE_FANOUT - 1].max(1));
+    }
+
+    #[test]
+    fn luxury_makes_are_pricier() {
+        let t = yahoo_auto(YahooConfig { rows: 20_000, seed: 4 }).unwrap();
+        let avg_price = |make: u16| {
+            let rows: Vec<_> =
+                t.tuples().iter().filter(|tp| tp.value(ATTRS.make) == make).collect();
+            rows.iter().map(|tp| f64::from(tp.value(ATTRS.price))).sum::<f64>()
+                / rows.len().max(1) as f64
+        };
+        // bmw (6) vs toyota (0)
+        assert!(avg_price(6) > avg_price(0) + 2.0);
+    }
+
+    #[test]
+    fn options_correlate_with_price() {
+        let t = yahoo_auto(YahooConfig { rows: 20_000, seed: 5 }).unwrap();
+        let option_count = |tp: &Tuple| -> usize {
+            (0..NUM_OPTIONS).filter(|&o| tp.value(ATTRS.options_start + o) == 1).count()
+        };
+        let cheap: Vec<_> = t.tuples().iter().filter(|tp| tp.value(ATTRS.price) <= 1).collect();
+        let dear: Vec<_> = t.tuples().iter().filter(|tp| tp.value(ATTRS.price) >= 8).collect();
+        assert!(!cheap.is_empty() && !dear.is_empty());
+        let avg = |rows: &[&Tuple]| {
+            rows.iter().map(|tp| option_count(tp) as f64).sum::<f64>() / rows.len() as f64
+        };
+        assert!(avg(&dear) > avg(&cheap) + 1.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = yahoo_auto(YahooConfig { rows: 1000, seed: 11 }).unwrap();
+        let b = yahoo_auto(YahooConfig { rows: 1000, seed: 11 }).unwrap();
+        assert_eq!(a.tuples(), b.tuples());
+    }
+}

@@ -1,0 +1,270 @@
+//! A fixed-width bitset used as the posting-list representation of the
+//! query-evaluation index.
+//!
+//! The hidden-database experiments evaluate millions of conjunctive
+//! queries against tables of a few hundred thousand rows; a flat `u64`
+//! bitset per `(attribute, value)` pair makes each query an AND of `s`
+//! bitsets plus a popcount, which is the dominant cost of the whole
+//! harness. The implementation is deliberately simple — no compression —
+//! because the densities involved (each value matches a sizeable fraction
+//! of rows) make compressed formats slower.
+
+/// A fixed-length bitset over `len` bits backed by `u64` words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An all-zeros bitmap over `len` bits.
+    #[must_use]
+    pub fn zeros(len: usize) -> Self {
+        Self { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// An all-ones bitmap over `len` bits.
+    #[must_use]
+    pub fn ones(len: usize) -> Self {
+        let mut b = Self { words: vec![u64::MAX; len.div_ceil(64)], len };
+        b.clear_tail();
+        b
+    }
+
+    /// Zeroes any bits beyond `len` in the final word, maintaining the
+    /// invariant that trailing bits are always 0 (required for `count`).
+    fn clear_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap has zero length.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Tests bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place intersection with `other`.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn and_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// Number of set bits in `self & other` without materialising the
+    /// intersection.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    #[must_use]
+    pub fn and_count(&self, other: &Bitmap) -> usize {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether `self & other` has any set bit (with early exit).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    #[must_use]
+    pub fn intersects(&self, other: &Bitmap) -> bool {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterator over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        OnesIter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// Collects up to `limit` set-bit indices, ascending. Used by the
+    /// top-k interface to cut off result materialisation at `k`.
+    #[must_use]
+    pub fn first_ones(&self, limit: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(limit.min(16));
+        for i in self.iter_ones() {
+            if out.len() == limit {
+                break;
+            }
+            out.push(i);
+        }
+        out
+    }
+}
+
+/// Iterator over set-bit positions of a [`Bitmap`].
+pub struct OnesIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = Bitmap::zeros(130);
+        assert_eq!(z.count(), 0);
+        let o = Bitmap::ones(130);
+        assert_eq!(o.count(), 130);
+        assert!(o.get(129));
+    }
+
+    #[test]
+    fn ones_clears_tail_bits() {
+        // count must not include bits beyond len in the last word
+        let o = Bitmap::ones(65);
+        assert_eq!(o.count(), 65);
+        let o = Bitmap::ones(64);
+        assert_eq!(o.count(), 64);
+    }
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = Bitmap::zeros(100);
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(99);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(99));
+        assert!(!b.get(1));
+        assert_eq!(b.count(), 4);
+        b.clear(63);
+        assert!(!b.get(63));
+        assert_eq!(b.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        Bitmap::zeros(10).set(10);
+    }
+
+    #[test]
+    fn and_operations_agree() {
+        let mut a = Bitmap::zeros(200);
+        let mut b = Bitmap::zeros(200);
+        for i in (0..200).step_by(3) {
+            a.set(i);
+        }
+        for i in (0..200).step_by(5) {
+            b.set(i);
+        }
+        let expected: Vec<usize> = (0..200).step_by(15).collect();
+        assert_eq!(a.and_count(&b), expected.len());
+        assert!(a.intersects(&b));
+        let mut c = a.clone();
+        c.and_with(&b);
+        assert_eq!(c.iter_ones().collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn disjoint_bitmaps_do_not_intersect() {
+        let mut a = Bitmap::zeros(70);
+        let mut b = Bitmap::zeros(70);
+        a.set(3);
+        b.set(4);
+        assert!(!a.intersects(&b));
+        assert_eq!(a.and_count(&b), 0);
+    }
+
+    #[test]
+    fn first_ones_truncates() {
+        let mut a = Bitmap::zeros(100);
+        for i in 0..50 {
+            a.set(i * 2);
+        }
+        assert_eq!(a.first_ones(3), vec![0, 2, 4]);
+        assert_eq!(a.first_ones(100).len(), 50);
+    }
+
+    #[test]
+    fn iter_ones_across_word_boundaries() {
+        let mut a = Bitmap::zeros(192);
+        for &i in &[0usize, 63, 64, 127, 128, 191] {
+            a.set(i);
+        }
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 127, 128, 191]);
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let b = Bitmap::zeros(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count(), 0);
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! A client-side query memo.
+//!
+//! Re-issuing a query the client has already asked wastes budget on a real
+//! site (the answer cannot have changed within a session under the paper's
+//! static-database model). [`CachingInterface`] wraps any
+//! [`TopKInterface`] and serves repeats from memory; only cache misses are
+//! charged to the inner interface.
+//!
+//! Note the estimators in `hdb-core` deliberately do *not* put a global
+//! cache between themselves and the database when measuring query cost —
+//! the paper's costs count *issued* queries, with deduplication applied
+//! only within a single drill-down. The wrapper exists for applications
+//! (and for the crawler, where cross-walk reuse is legitimate).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::error::Result;
+use crate::interface::{QueryOutcome, TopKInterface};
+use crate::query::Query;
+use crate::schema::Schema;
+
+/// Memoising wrapper around a [`TopKInterface`].
+pub struct CachingInterface<I> {
+    inner: I,
+    memo: Mutex<HashMap<Query, QueryOutcome>>,
+    hits: Mutex<u64>,
+}
+
+impl<I: TopKInterface> CachingInterface<I> {
+    /// Wraps `inner` with an unbounded memo.
+    pub fn new(inner: I) -> Self {
+        Self { inner, memo: Mutex::new(HashMap::new()), hits: Mutex::new(0) }
+    }
+
+    /// Number of queries answered from the memo.
+    pub fn cache_hits(&self) -> u64 {
+        *self.hits.lock().expect("cache mutex poisoned")
+    }
+
+    /// Number of distinct queries stored.
+    pub fn cache_size(&self) -> usize {
+        self.memo.lock().expect("cache mutex poisoned").len()
+    }
+
+    /// The wrapped interface.
+    pub fn inner(&self) -> &I {
+        &self.inner
+    }
+
+    /// Unwraps, discarding the memo.
+    pub fn into_inner(self) -> I {
+        self.inner
+    }
+}
+
+impl<I: TopKInterface> TopKInterface for CachingInterface<I> {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn k(&self) -> usize {
+        self.inner.k()
+    }
+
+    fn query(&self, q: &Query) -> Result<QueryOutcome> {
+        if let Some(hit) = self.memo.lock().expect("cache mutex poisoned").get(q) {
+            *self.hits.lock().expect("cache mutex poisoned") += 1;
+            return Ok(hit.clone());
+        }
+        let outcome = self.inner.query(q)?;
+        self.memo
+            .lock()
+            .expect("cache mutex poisoned")
+            .insert(q.clone(), outcome.clone());
+        Ok(outcome)
+    }
+
+    fn queries_issued(&self) -> u64 {
+        self.inner.queries_issued()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interface::HiddenDb;
+    use crate::schema::Schema;
+    use crate::table::Table;
+    use crate::tuple::Tuple;
+
+    fn db() -> HiddenDb {
+        let table = Table::new(
+            Schema::boolean(3),
+            vec![Tuple::new(vec![0, 0, 0]), Tuple::new(vec![1, 1, 1])],
+        )
+        .unwrap();
+        HiddenDb::new(table, 1)
+    }
+
+    #[test]
+    fn repeats_are_served_from_memo() {
+        let c = CachingInterface::new(db());
+        let q = Query::all().and(0, 1).unwrap();
+        let a = c.query(&q).unwrap();
+        let b = c.query(&q).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(c.queries_issued(), 1);
+        assert_eq!(c.cache_hits(), 1);
+        assert_eq!(c.cache_size(), 1);
+    }
+
+    #[test]
+    fn distinct_queries_all_charged() {
+        let c = CachingInterface::new(db());
+        c.query(&Query::all()).unwrap();
+        c.query(&Query::all().and(0, 0).unwrap()).unwrap();
+        c.query(&Query::all().and(0, 1).unwrap()).unwrap();
+        assert_eq!(c.queries_issued(), 3);
+        assert_eq!(c.cache_hits(), 0);
+    }
+
+    #[test]
+    fn budget_applies_to_misses_only() {
+        let table = Table::new(Schema::boolean(2), vec![Tuple::new(vec![0, 0])]).unwrap();
+        let c = CachingInterface::new(HiddenDb::new(table, 1).with_budget(1));
+        let q = Query::all();
+        c.query(&q).unwrap();
+        // repeat is free
+        c.query(&q).unwrap();
+        // a new query exceeds the budget
+        assert!(c.query(&Query::all().and(0, 0).unwrap()).is_err());
+    }
+}

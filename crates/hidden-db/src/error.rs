@@ -1,0 +1,62 @@
+//! Error types for the hidden-database substrate.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, HdbError>;
+
+/// Errors surfaced by the hidden-database substrate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HdbError {
+    /// A schema was structurally invalid (empty, duplicate names, fanout
+    /// bounds, mismatched numeric interpretation, …).
+    InvalidSchema(String),
+    /// A tuple did not conform to the schema (wrong arity or value out of
+    /// domain) or duplicated an existing tuple.
+    InvalidTuple(String),
+    /// A query referenced an attribute or value outside the schema, or
+    /// specified the same attribute twice.
+    InvalidQuery(String),
+    /// The query budget configured on the interface is exhausted; no
+    /// further queries may be issued (models per-user/IP limits such as
+    /// Yahoo! Auto's 1,000 queries/day, paper §1).
+    BudgetExhausted {
+        /// The configured limit that was hit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for HdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            Self::InvalidTuple(msg) => write!(f, "invalid tuple: {msg}"),
+            Self::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            Self::BudgetExhausted { limit } => {
+                write!(f, "query budget exhausted (limit {limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HdbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(
+            HdbError::BudgetExhausted { limit: 10 }.to_string(),
+            "query budget exhausted (limit 10)"
+        );
+        assert_eq!(HdbError::InvalidSchema("x".into()).to_string(), "invalid schema: x");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&HdbError::InvalidTuple("t".into()));
+    }
+}

@@ -1,0 +1,177 @@
+//! Query-evaluation index: one posting bitmap per `(attribute, value)`
+//! pair. A conjunctive query is evaluated by intersecting the bitmaps of
+//! its predicates.
+//!
+//! This is the *server-side* machinery of the hidden database simulator —
+//! the part the paper's real-world counterpart (Yahoo! Auto's backend)
+//! implements for us. Estimators never touch it.
+
+use crate::bitmap::Bitmap;
+use crate::query::Query;
+use crate::table::Table;
+use crate::tuple::TupleId;
+
+/// Bitmap index over a table.
+#[derive(Clone, Debug)]
+pub struct TableIndex {
+    /// `postings[attr][value]` = bitmap of rows with `A_attr = value`.
+    postings: Vec<Vec<Bitmap>>,
+    rows: usize,
+}
+
+impl TableIndex {
+    /// Builds the index in one pass over the table.
+    #[must_use]
+    pub fn build(table: &Table) -> Self {
+        let schema = table.schema();
+        let rows = table.len();
+        let mut postings: Vec<Vec<Bitmap>> = (0..schema.len())
+            .map(|a| (0..schema.fanout(a)).map(|_| Bitmap::zeros(rows)).collect())
+            .collect();
+        for (row, tuple) in table.tuples().iter().enumerate() {
+            for (attr, &value) in tuple.values().iter().enumerate() {
+                postings[attr][value as usize].set(row);
+            }
+        }
+        Self { postings, rows }
+    }
+
+    /// Number of rows indexed.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Evaluates `q`, returning the matching row-id set as a bitmap.
+    ///
+    /// Predicates are intersected in ascending selectivity order (smallest
+    /// posting first) so the working bitmap sparsifies early.
+    #[must_use]
+    pub fn eval(&self, q: &Query) -> Bitmap {
+        let mut preds: Vec<&Bitmap> =
+            q.predicates().iter().map(|p| &self.postings[p.attr][p.value as usize]).collect();
+        match preds.len() {
+            0 => Bitmap::ones(self.rows),
+            1 => preds[0].clone(),
+            _ => {
+                preds.sort_by_key(|b| b.count());
+                let mut acc = preds[0].clone();
+                for b in &preds[1..] {
+                    acc.and_with(b);
+                }
+                acc
+            }
+        }
+    }
+
+    /// `|Sel(q)|` — the number of tuples matching `q`.
+    #[must_use]
+    pub fn count(&self, q: &Query) -> usize {
+        match q.predicates().len() {
+            0 => self.rows,
+            1 => {
+                let p = q.predicates()[0];
+                self.postings[p.attr][p.value as usize].count()
+            }
+            2 => {
+                let a = &q.predicates()[0];
+                let b = &q.predicates()[1];
+                self.postings[a.attr][a.value as usize]
+                    .and_count(&self.postings[b.attr][b.value as usize])
+            }
+            _ => self.eval(q).count(),
+        }
+    }
+
+    /// Matching row ids in ascending order, truncated to `limit`.
+    #[must_use]
+    pub fn matching_rows(&self, q: &Query, limit: usize) -> Vec<TupleId> {
+        self.eval(q).first_ones(limit).into_iter().map(|r| r as TupleId).collect()
+    }
+
+    /// Posting-list cardinality of a single `(attr, value)` pair.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[must_use]
+    pub fn value_frequency(&self, attr: usize, value: usize) -> usize {
+        self.postings[attr][value].count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+    use crate::tuple::Tuple;
+
+    fn table() -> Table {
+        // The running example of the paper (Table 1): 6 tuples, 4 Boolean
+        // attributes + 1 categorical with domain [1,5].
+        let schema = Schema::new(vec![
+            Attribute::boolean("A1"),
+            Attribute::boolean("A2"),
+            Attribute::boolean("A3"),
+            Attribute::boolean("A4"),
+            Attribute::categorical("A5", ["1", "2", "3", "4", "5"]).unwrap(),
+        ])
+        .unwrap();
+        Table::new(
+            schema,
+            vec![
+                Tuple::new(vec![0, 0, 0, 0, 0]),
+                Tuple::new(vec![0, 0, 0, 1, 0]),
+                Tuple::new(vec![0, 0, 1, 0, 0]),
+                Tuple::new(vec![0, 1, 1, 1, 0]),
+                Tuple::new(vec![1, 1, 1, 0, 2]),
+                Tuple::new(vec![1, 1, 1, 1, 0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn counts_match_exact_scan() {
+        let t = table();
+        let idx = TableIndex::build(&t);
+        assert_eq!(idx.count(&Query::all()), 6);
+        for attr in 0..5 {
+            for value in 0..t.schema().fanout(attr) {
+                let q = Query::all().and(attr, value as u16).unwrap();
+                assert_eq!(idx.count(&q), t.exact_count(&q), "attr {attr} value {value}");
+            }
+        }
+        // multi-predicate queries
+        let q = Query::all().and(0, 0).unwrap().and(2, 1).unwrap();
+        assert_eq!(idx.count(&q), t.exact_count(&q));
+        let q3 = q.and(4, 0).unwrap();
+        assert_eq!(idx.count(&q3), t.exact_count(&q3));
+    }
+
+    #[test]
+    fn matching_rows_ascending_and_truncated() {
+        let t = table();
+        let idx = TableIndex::build(&t);
+        let q = Query::all().and(2, 1).unwrap(); // t3, t4, t5, t6
+        assert_eq!(idx.matching_rows(&q, 10), vec![2, 3, 4, 5]);
+        assert_eq!(idx.matching_rows(&q, 2), vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_query_result() {
+        let t = table();
+        let idx = TableIndex::build(&t);
+        let q = Query::all().and(4, 4).unwrap(); // A5=5 never appears
+        assert_eq!(idx.count(&q), 0);
+        assert!(idx.matching_rows(&q, 10).is_empty());
+    }
+
+    #[test]
+    fn value_frequencies() {
+        let t = table();
+        let idx = TableIndex::build(&t);
+        assert_eq!(idx.value_frequency(0, 1), 2);
+        assert_eq!(idx.value_frequency(4, 0), 5);
+        assert_eq!(idx.value_frequency(4, 2), 1);
+    }
+}

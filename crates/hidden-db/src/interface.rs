@@ -1,0 +1,408 @@
+//! The restrictive top-k web interface (paper §2.1): the *only* channel
+//! through which estimators may observe the hidden database.
+//!
+//! Semantics, with `k` the interface constant and `Sel(q)` the matching
+//! tuples:
+//! * `|Sel(q)| == 0`  → **underflow** (empty result),
+//! * `1 ≤ |Sel(q)| ≤ k` → **valid**: *all* matching tuples are returned,
+//! * `|Sel(q)| > k`  → **overflow**: the top-`k` tuples under the ranking
+//!   function are returned together with an overflow flag. The true count
+//!   is *not* disclosed, and the client cannot page past `k`.
+
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use crate::counter::{OutcomeKind, QueryCounter};
+use crate::error::Result;
+use crate::index::TableIndex;
+use crate::query::Query;
+use crate::ranking::{RankingFunction, RowIdRanking};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::tuple::{Tuple, TupleId};
+
+/// A tuple as seen through the interface: the listing id (real sites
+/// expose one — a VIN, an item number) plus the attribute values.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ReturnedTuple {
+    /// Stable identifier of the listing; capture–recapture relies on it.
+    pub id: TupleId,
+    /// Attribute values in schema order.
+    pub tuple: Tuple,
+}
+
+/// Result of issuing one query through the interface.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// No tuple matches.
+    Underflow,
+    /// All matching tuples (`1 ≤ len ≤ k`).
+    Valid(Vec<ReturnedTuple>),
+    /// The `k` top-ranked matching tuples; more exist but are hidden.
+    Overflow(Vec<ReturnedTuple>),
+}
+
+impl QueryOutcome {
+    /// Whether the query underflowed.
+    #[must_use]
+    pub fn is_underflow(&self) -> bool {
+        matches!(self, Self::Underflow)
+    }
+
+    /// Whether the query was valid (neither underflow nor overflow).
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        matches!(self, Self::Valid(_))
+    }
+
+    /// Whether the query overflowed.
+    #[must_use]
+    pub fn is_overflow(&self) -> bool {
+        matches!(self, Self::Overflow(_))
+    }
+
+    /// Whether the query returned at least one tuple (valid or overflow) —
+    /// "non-empty" in the paper's backtracking discussion.
+    #[must_use]
+    pub fn is_nonempty(&self) -> bool {
+        !self.is_underflow()
+    }
+
+    /// The returned tuples (empty for underflow).
+    #[must_use]
+    pub fn tuples(&self) -> &[ReturnedTuple] {
+        match self {
+            Self::Underflow => &[],
+            Self::Valid(t) | Self::Overflow(t) => t,
+        }
+    }
+
+    /// Number of returned tuples `|q| = min(k, |Sel(q)|)`.
+    #[must_use]
+    pub fn returned_count(&self) -> usize {
+        self.tuples().len()
+    }
+}
+
+/// The client-facing interface trait. Estimators are generic over it, so
+/// they run identically against the in-process simulator, a caching
+/// wrapper, or (in principle) a live HTTP adapter.
+pub trait TopKInterface {
+    /// The public schema of the search form (attribute names and their
+    /// drop-down values). Real forms disclose exactly this.
+    fn schema(&self) -> &Schema;
+
+    /// The interface constant `k`.
+    fn k(&self) -> usize;
+
+    /// Issues a conjunctive query.
+    ///
+    /// # Errors
+    /// Returns [`crate::HdbError::InvalidQuery`] for malformed queries and
+    /// [`crate::HdbError::BudgetExhausted`] once the query budget is spent.
+    fn query(&self, q: &Query) -> Result<QueryOutcome>;
+
+    /// Total queries charged so far.
+    fn queries_issued(&self) -> u64;
+}
+
+/// A totally ordered wrapper over finite ranking scores (ties broken by
+/// the accompanying tuple id in the heap key).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct ScoreKey(f64);
+
+impl Eq for ScoreKey {}
+
+impl PartialOrd for ScoreKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScoreKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// The in-process hidden database: a [`Table`] behind a [`TopKInterface`].
+pub struct HiddenDb {
+    table: Table,
+    index: TableIndex,
+    ranking: Arc<dyn RankingFunction>,
+    k: usize,
+    counter: QueryCounter,
+    /// Server-side memo of *expensive* responses (overflow queries whose
+    /// match count far exceeds `k`): those are the few shallow tree nodes
+    /// every drill-down revisits, and their top-k selection dominates the
+    /// simulator's CPU time. Purely an implementation detail of the
+    /// simulated server — every query is still charged to the counter.
+    hot_responses: std::sync::Mutex<std::collections::HashMap<Query, QueryOutcome>>,
+}
+
+impl HiddenDb {
+    /// Wraps `table` behind a top-`k` interface with the default
+    /// (row-id) ranking and no query budget.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` — a form that can return nothing is not a
+    /// database interface.
+    #[must_use]
+    pub fn new(table: Table, k: usize) -> Self {
+        assert!(k > 0, "top-k interface requires k >= 1");
+        let index = TableIndex::build(&table);
+        Self {
+            table,
+            index,
+            ranking: Arc::new(RowIdRanking),
+            k,
+            counter: QueryCounter::unlimited(),
+            hot_responses: std::sync::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Replaces the ranking function.
+    #[must_use]
+    pub fn with_ranking(mut self, ranking: Arc<dyn RankingFunction>) -> Self {
+        self.ranking = ranking;
+        self
+    }
+
+    /// Imposes a hard query budget (per-user/IP limit simulation).
+    #[must_use]
+    pub fn with_budget(mut self, limit: u64) -> Self {
+        self.counter = QueryCounter::limited(limit);
+        self
+    }
+
+    /// Owner-side access to the underlying table (ground truth for
+    /// experiments; never used by estimators).
+    #[must_use]
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The query counter (for harnesses that need outcome tallies or
+    /// resets between trials).
+    #[must_use]
+    pub fn counter(&self) -> &QueryCounter {
+        &self.counter
+    }
+
+    fn respond(&self, q: &Query) -> QueryOutcome {
+        let sel = self.index.eval(q);
+        let count = sel.count();
+        if count == 0 {
+            return QueryOutcome::Underflow;
+        }
+        // Memoise expensive overflow responses (top-k over many matches).
+        let expensive = count > self.k.saturating_mul(8);
+        if expensive {
+            if let Some(hit) = self.hot_responses.lock().expect("memo poisoned").get(q) {
+                return hit.clone();
+            }
+        }
+        if count <= self.k {
+            let tuples = sel
+                .iter_ones()
+                .map(|r| {
+                    let id = r as TupleId;
+                    ReturnedTuple { id, tuple: self.table.tuple(id).clone() }
+                })
+                .collect();
+            QueryOutcome::Valid(tuples)
+        } else {
+            // Top-k selection via a bounded max-heap: O(N log k) over the
+            // N matching rows, instead of sorting all of them. Overflowing
+            // queries near the tree root can match hundreds of thousands
+            // of rows, so this is the simulator's hottest path.
+            let mut heap: BinaryHeap<(ScoreKey, TupleId)> = BinaryHeap::with_capacity(self.k + 1);
+            for r in sel.iter_ones() {
+                let id = r as TupleId;
+                let key = (ScoreKey(self.ranking.score(&self.table, id)), id);
+                if heap.len() < self.k {
+                    heap.push(key);
+                } else if key < *heap.peek().expect("heap non-empty at capacity") {
+                    heap.pop();
+                    heap.push(key);
+                }
+            }
+            let mut top = heap.into_sorted_vec();
+            top.truncate(self.k);
+            let tuples = top
+                .into_iter()
+                .map(|(_, id)| ReturnedTuple { id, tuple: self.table.tuple(id).clone() })
+                .collect();
+            let outcome = QueryOutcome::Overflow(tuples);
+            if expensive {
+                self.hot_responses
+                    .lock()
+                    .expect("memo poisoned")
+                    .insert(q.clone(), outcome.clone());
+            }
+            outcome
+        }
+    }
+}
+
+impl TopKInterface for HiddenDb {
+    fn schema(&self) -> &Schema {
+        self.table.schema()
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn query(&self, q: &Query) -> Result<QueryOutcome> {
+        q.validate(self.table.schema())?;
+        self.counter.charge()?;
+        let outcome = self.respond(q);
+        self.counter.record_outcome(match &outcome {
+            QueryOutcome::Underflow => OutcomeKind::Underflow,
+            QueryOutcome::Valid(_) => OutcomeKind::Valid,
+            QueryOutcome::Overflow(_) => OutcomeKind::Overflow,
+        });
+        Ok(outcome)
+    }
+
+    fn queries_issued(&self) -> u64 {
+        self.counter.issued()
+    }
+}
+
+impl<T: TopKInterface + ?Sized> TopKInterface for &T {
+    fn schema(&self) -> &Schema {
+        (**self).schema()
+    }
+
+    fn k(&self) -> usize {
+        (**self).k()
+    }
+
+    fn query(&self, q: &Query) -> Result<QueryOutcome> {
+        (**self).query(q)
+    }
+
+    fn queries_issued(&self) -> u64 {
+        (**self).queries_issued()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+
+    /// The paper's running example (Table 1).
+    pub(crate) fn running_example() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::boolean("A1"),
+            Attribute::boolean("A2"),
+            Attribute::boolean("A3"),
+            Attribute::boolean("A4"),
+            Attribute::categorical("A5", ["1", "2", "3", "4", "5"]).unwrap(),
+        ])
+        .unwrap();
+        Table::new(
+            schema,
+            vec![
+                Tuple::new(vec![0, 0, 0, 0, 0]),
+                Tuple::new(vec![0, 0, 0, 1, 0]),
+                Tuple::new(vec![0, 0, 1, 0, 0]),
+                Tuple::new(vec![0, 1, 1, 1, 0]),
+                Tuple::new(vec![1, 1, 1, 0, 2]),
+                Tuple::new(vec![1, 1, 1, 1, 0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn outcome_classification_matches_paper_model() {
+        let db = HiddenDb::new(running_example(), 1);
+        // root overflows (6 tuples, k = 1)
+        assert!(db.query(&Query::all()).unwrap().is_overflow());
+        // A1=1&A2=0 underflows (q2 in Figure 1)
+        let q2 = Query::all().and(0, 1).unwrap().and(1, 0).unwrap();
+        assert!(db.query(&q2).unwrap().is_underflow());
+        // A1=1&A2=1&A3=1&A4=0 is valid and returns exactly t5
+        let q = Query::all()
+            .and(0, 1)
+            .unwrap()
+            .and(1, 1)
+            .unwrap()
+            .and(2, 1)
+            .unwrap()
+            .and(3, 0)
+            .unwrap();
+        let out = db.query(&q).unwrap();
+        assert!(out.is_valid());
+        assert_eq!(out.returned_count(), 1);
+        assert_eq!(out.tuples()[0].id, 4);
+    }
+
+    #[test]
+    fn valid_returns_all_matches_overflow_exactly_k() {
+        let db = HiddenDb::new(running_example(), 3);
+        // A1=0 matches t1..t4 → overflow, 3 returned
+        let q = Query::all().and(0, 0).unwrap();
+        let out = db.query(&q).unwrap();
+        assert!(out.is_overflow());
+        assert_eq!(out.returned_count(), 3);
+        // A1=1 matches t5,t6 → valid, both returned
+        let q = Query::all().and(0, 1).unwrap();
+        let out = db.query(&q).unwrap();
+        assert!(out.is_valid());
+        assert_eq!(out.returned_count(), 2);
+    }
+
+    #[test]
+    fn returned_count_is_min_k_sel() {
+        let db = HiddenDb::new(running_example(), 100);
+        let out = db.query(&Query::all()).unwrap();
+        assert!(out.is_valid());
+        assert_eq!(out.returned_count(), 6);
+    }
+
+    #[test]
+    fn query_counting_and_budget() {
+        let db = HiddenDb::new(running_example(), 1).with_budget(2);
+        assert_eq!(db.queries_issued(), 0);
+        db.query(&Query::all()).unwrap();
+        db.query(&Query::all()).unwrap();
+        assert!(db.query(&Query::all()).is_err());
+        assert_eq!(db.queries_issued(), 2);
+    }
+
+    #[test]
+    fn invalid_queries_rejected_without_charge() {
+        let db = HiddenDb::new(running_example(), 1);
+        let bad = Query::all().and(9, 0).unwrap();
+        assert!(db.query(&bad).is_err());
+        assert_eq!(db.queries_issued(), 0);
+    }
+
+    #[test]
+    fn overflow_respects_ranking() {
+        use crate::ranking::AttributeRanking;
+        // rank by A5 value ascending; with k=1 and query ⊤ the single
+        // returned tuple must be one of the A5=1 rows (lowest), tie-broken
+        // by row id → t1.
+        let db = HiddenDb::new(running_example(), 1)
+            .with_ranking(Arc::new(AttributeRanking { attr: 4, descending: false }));
+        let out = db.query(&Query::all()).unwrap();
+        assert_eq!(out.tuples()[0].id, 0);
+        // descending → the A5=3 row, t5 (id 4)
+        let db = HiddenDb::new(running_example(), 1)
+            .with_ranking(Arc::new(AttributeRanking { attr: 4, descending: true }));
+        let out = db.query(&Query::all()).unwrap();
+        assert_eq!(out.tuples()[0].id, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_rejected() {
+        let _ = HiddenDb::new(running_example(), 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Conjunctive point queries — the only query shape a prototypical hidden
+//! database form supports (paper §2.1):
+//!
+//! ```sql
+//! SELECT * FROM D WHERE A_{i1} = v_{i1} AND … AND A_{is} = v_{is}
+//! ```
+
+use std::fmt;
+
+use crate::error::{HdbError, Result};
+use crate::schema::{AttrId, Schema, ValueId};
+
+/// One equality predicate `A_attr = value`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Predicate {
+    /// Attribute the predicate constrains.
+    pub attr: AttrId,
+    /// Required value.
+    pub value: ValueId,
+}
+
+impl Predicate {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(attr: AttrId, value: ValueId) -> Self {
+        Self { attr, value }
+    }
+}
+
+/// A conjunctive query: a set of equality predicates over distinct
+/// attributes. The empty query (`SELECT * FROM D`) matches every tuple.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Query {
+    predicates: Vec<Predicate>,
+}
+
+impl Query {
+    /// The unrestricted query `SELECT * FROM D`.
+    #[must_use]
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Builds a query from predicates.
+    ///
+    /// # Errors
+    /// Returns [`HdbError::InvalidQuery`] if the same attribute appears
+    /// twice (the form interface offers each attribute once).
+    pub fn new(predicates: Vec<Predicate>) -> Result<Self> {
+        for (i, p) in predicates.iter().enumerate() {
+            if predicates[..i].iter().any(|q| q.attr == p.attr) {
+                return Err(HdbError::InvalidQuery(format!(
+                    "attribute {} constrained more than once",
+                    p.attr
+                )));
+            }
+        }
+        Ok(Self { predicates })
+    }
+
+    /// Extends this query with one more predicate, returning the narrowed
+    /// query (drill-down step). `self` is unchanged.
+    ///
+    /// # Errors
+    /// Returns [`HdbError::InvalidQuery`] if `attr` is already constrained.
+    pub fn and(&self, attr: AttrId, value: ValueId) -> Result<Self> {
+        if self.constrains(attr) {
+            return Err(HdbError::InvalidQuery(format!(
+                "attribute {attr} constrained more than once"
+            )));
+        }
+        let mut predicates = Vec::with_capacity(self.predicates.len() + 1);
+        predicates.extend_from_slice(&self.predicates);
+        predicates.push(Predicate::new(attr, value));
+        Ok(Self { predicates })
+    }
+
+    /// Like [`Query::and`] but replaces the value if `attr` is already
+    /// constrained. Used when re-pointing the final predicate of a walk at
+    /// a sibling branch.
+    #[must_use]
+    pub fn with(&self, attr: AttrId, value: ValueId) -> Self {
+        let mut q = self.clone();
+        if let Some(p) = q.predicates.iter_mut().find(|p| p.attr == attr) {
+            p.value = value;
+        } else {
+            q.predicates.push(Predicate::new(attr, value));
+        }
+        q
+    }
+
+    /// Removes the predicate on `attr`, if any (backtracking step).
+    #[must_use]
+    pub fn without(&self, attr: AttrId) -> Self {
+        Self {
+            predicates: self.predicates.iter().copied().filter(|p| p.attr != attr).collect(),
+        }
+    }
+
+    /// The predicates, in insertion (drill-down) order.
+    #[must_use]
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// Number of predicates `s`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Whether this is the unrestricted query.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+
+    /// Whether `attr` is constrained.
+    #[must_use]
+    pub fn constrains(&self, attr: AttrId) -> bool {
+        self.predicates.iter().any(|p| p.attr == attr)
+    }
+
+    /// The value `attr` is constrained to, if any.
+    #[must_use]
+    pub fn value_of(&self, attr: AttrId) -> Option<ValueId> {
+        self.predicates.iter().find(|p| p.attr == attr).map(|p| p.value)
+    }
+
+    /// Validates the query against a schema (attribute ids in range,
+    /// values in domain).
+    ///
+    /// # Errors
+    /// Returns [`HdbError::InvalidQuery`] describing the first violation.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        for p in &self.predicates {
+            if p.attr >= schema.len() {
+                return Err(HdbError::InvalidQuery(format!(
+                    "attribute id {} out of range (schema has {})",
+                    p.attr,
+                    schema.len()
+                )));
+            }
+            if (p.value as usize) >= schema.fanout(p.attr) {
+                return Err(HdbError::InvalidQuery(format!(
+                    "value {} out of domain for attribute `{}` (fanout {})",
+                    p.value,
+                    schema.attribute(p.attr).name(),
+                    schema.fanout(p.attr)
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a fully specified tuple satisfies all predicates.
+    #[must_use]
+    pub fn matches(&self, tuple: &crate::tuple::Tuple) -> bool {
+        self.predicates.iter().all(|p| tuple.value(p.attr) == p.value)
+    }
+
+    /// Renders the query as SQL-ish text using schema labels.
+    #[must_use]
+    pub fn display(&self, schema: &Schema) -> String {
+        if self.predicates.is_empty() {
+            return "SELECT * FROM D".to_string();
+        }
+        let mut out = String::from("SELECT * FROM D WHERE ");
+        for (i, p) in self.predicates.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" AND ");
+            }
+            out.push_str(schema.attribute(p.attr).name());
+            out.push('=');
+            out.push_str(schema.attribute(p.attr).value_label(p.value));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.predicates.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, p) in self.predicates.iter().enumerate() {
+            if i > 0 {
+                write!(f, "∧")?;
+            }
+            write!(f, "A{}={}", p.attr, p.value)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple::Tuple;
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = Query::new(vec![Predicate::new(0, 1), Predicate::new(0, 0)]);
+        assert!(err.is_err());
+        let q = Query::all().and(0, 1).unwrap();
+        assert!(q.and(0, 0).is_err());
+    }
+
+    #[test]
+    fn and_extends_without_mutating() {
+        let q = Query::all();
+        let q1 = q.and(2, 1).unwrap();
+        assert!(q.is_empty());
+        assert_eq!(q1.len(), 1);
+        assert_eq!(q1.value_of(2), Some(1));
+    }
+
+    #[test]
+    fn with_replaces_value() {
+        let q = Query::all().and(1, 0).unwrap();
+        let q2 = q.with(1, 3);
+        assert_eq!(q2.value_of(1), Some(3));
+        assert_eq!(q2.len(), 1);
+        let q3 = q.with(2, 5);
+        assert_eq!(q3.len(), 2);
+    }
+
+    #[test]
+    fn without_removes() {
+        let q = Query::all().and(1, 0).unwrap().and(2, 1).unwrap();
+        let q2 = q.without(1);
+        assert!(!q2.constrains(1));
+        assert!(q2.constrains(2));
+    }
+
+    #[test]
+    fn validation_catches_out_of_range() {
+        let s = Schema::boolean(2);
+        assert!(Query::all().and(2, 0).unwrap().validate(&s).is_err());
+        assert!(Query::all().and(1, 2).unwrap().validate(&s).is_err());
+        assert!(Query::all().and(1, 1).unwrap().validate(&s).is_ok());
+    }
+
+    #[test]
+    fn matches_tuples() {
+        let q = Query::all().and(0, 1).unwrap().and(2, 0).unwrap();
+        assert!(q.matches(&Tuple::new(vec![1, 9, 0])));
+        assert!(!q.matches(&Tuple::new(vec![1, 9, 1])));
+        assert!(Query::all().matches(&Tuple::new(vec![5, 5, 5])));
+    }
+
+    #[test]
+    fn display_forms() {
+        let s = Schema::boolean(3);
+        assert_eq!(Query::all().display(&s), "SELECT * FROM D");
+        let q = Query::all().and(0, 1).unwrap();
+        assert_eq!(q.display(&s), "SELECT * FROM D WHERE A1=1");
+        assert_eq!(q.to_string(), "A0=1");
+        assert_eq!(Query::all().to_string(), "⊤");
+    }
+}

@@ -1,0 +1,168 @@
+//! Ranking functions: how a top-k interface preferentially selects which
+//! `k` of the `|Sel(q)| > k` matching tuples to return (paper §2.1).
+//!
+//! The paper's estimators only consume the overflow *flag* of overflowing
+//! queries (tuple contents matter only for valid queries, which return
+//! everything), so the choice of ranking function does not affect the
+//! estimates. We still model it faithfully because (a) a realistic
+//! substrate should, and (b) other consumers of the interface (crawlers,
+//! the HIDDEN-DB-SAMPLER baseline's returned-tuple choice) do see ranked
+//! prefixes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::table::Table;
+use crate::tuple::TupleId;
+
+/// A ranking function assigns each tuple a static score; the interface
+/// returns the `k` matching tuples with the *smallest* score (rank 0 is
+/// best), tie-broken by row id.
+pub trait RankingFunction: Send + Sync {
+    /// Score of a tuple; lower ranks first.
+    fn score(&self, table: &Table, id: TupleId) -> f64;
+
+    /// Sorts (a copy of) the matching row ids by rank and truncates to `k`.
+    fn top_k(&self, table: &Table, mut rows: Vec<TupleId>, k: usize) -> Vec<TupleId> {
+        rows.sort_by(|&a, &b| {
+            self.score(table, a)
+                .partial_cmp(&self.score(table, b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        rows.truncate(k);
+        rows
+    }
+}
+
+/// Ranks tuples by their row id (stable "insertion order" ranking —
+/// resembles "newest/oldest listing first" on real sites).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RowIdRanking;
+
+impl RankingFunction for RowIdRanking {
+    fn score(&self, _table: &Table, id: TupleId) -> f64 {
+        f64::from(id)
+    }
+}
+
+/// Ranks tuples by the numeric interpretation of one attribute, ascending
+/// or descending (e.g. "price: low to high").
+#[derive(Clone, Copy, Debug)]
+pub struct AttributeRanking {
+    /// Attribute whose numeric interpretation orders the results.
+    pub attr: usize,
+    /// If true, larger values rank first.
+    pub descending: bool,
+}
+
+impl RankingFunction for AttributeRanking {
+    fn score(&self, table: &Table, id: TupleId) -> f64 {
+        let v = table.tuple(id).value(self.attr);
+        let x = table
+            .schema()
+            .attribute(self.attr)
+            .numeric_value(v)
+            .unwrap_or_else(|| f64::from(v));
+        if self.descending {
+            -x
+        } else {
+            x
+        }
+    }
+}
+
+/// A deterministic pseudo-random ranking: each tuple gets a fixed score
+/// drawn from a seeded hash of its id. Models opaque proprietary "best
+/// match" rankings whose order correlates with nothing the client knows.
+#[derive(Clone, Copy, Debug)]
+pub struct SeededRandomRanking {
+    /// Seed mixed into every tuple's score.
+    pub seed: u64,
+}
+
+impl RankingFunction for SeededRandomRanking {
+    fn score(&self, _table: &Table, id: TupleId) -> f64 {
+        // SplitMix64 over (seed, id): fast, stateless, deterministic.
+        let mut z = self.seed ^ (u64::from(id)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl SeededRandomRanking {
+    /// A ranking with a seed drawn from `rng` (convenience for tests).
+    pub fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self { seed: rng.random() }
+    }
+
+    /// A ranking seeded from a u64 via an intermediate RNG so nearby seeds
+    /// decorrelate.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self { seed: rng.random() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+    use crate::tuple::Tuple;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::boolean("a"),
+            Attribute::numeric_buckets("price", 5).unwrap(),
+        ])
+        .unwrap();
+        Table::new(
+            schema,
+            vec![
+                Tuple::new(vec![0, 4]),
+                Tuple::new(vec![0, 1]),
+                Tuple::new(vec![1, 3]),
+                Tuple::new(vec![1, 0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn row_id_ranking_keeps_order() {
+        let t = table();
+        let top = RowIdRanking.top_k(&t, vec![3, 1, 2], 2);
+        assert_eq!(top, vec![1, 2]);
+    }
+
+    #[test]
+    fn attribute_ranking_ascending_and_descending() {
+        let t = table();
+        let asc = AttributeRanking { attr: 1, descending: false };
+        assert_eq!(asc.top_k(&t, vec![0, 1, 2, 3], 2), vec![3, 1]);
+        let desc = AttributeRanking { attr: 1, descending: true };
+        assert_eq!(desc.top_k(&t, vec![0, 1, 2, 3], 2), vec![0, 2]);
+    }
+
+    #[test]
+    fn seeded_ranking_is_deterministic() {
+        let t = table();
+        let r = SeededRandomRanking { seed: 42 };
+        let a = r.top_k(&t, vec![0, 1, 2, 3], 4);
+        let b = r.top_k(&t, vec![3, 2, 1, 0], 4);
+        assert_eq!(a, b);
+        // different seeds give (almost surely) different scores
+        let r2 = SeededRandomRanking { seed: 43 };
+        assert_ne!(r.score(&t, 0), r2.score(&t, 0));
+    }
+
+    #[test]
+    fn top_k_truncates_to_k() {
+        let t = table();
+        assert_eq!(RowIdRanking.top_k(&t, vec![0, 1, 2, 3], 10).len(), 4);
+        assert_eq!(RowIdRanking.top_k(&t, vec![0, 1, 2, 3], 0).len(), 0);
+    }
+}

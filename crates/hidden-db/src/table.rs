@@ -1,0 +1,297 @@
+//! In-memory tables: the ground-truth data behind a hidden database.
+//!
+//! The table is the *owner's* view; estimators never see it directly.
+//! It also exposes exact aggregates (size, SUM, conditional COUNT/SUM)
+//! used as ground truth when scoring estimators.
+
+use std::collections::HashSet;
+
+use crate::error::{HdbError, Result};
+use crate::query::Query;
+use crate::schema::{AttrId, Schema};
+use crate::tuple::{Tuple, TupleId};
+
+/// A validated, duplicate-free table over a [`Schema`].
+///
+/// The paper assumes no duplicate tuples and no NULLs (§2.1); `Table`
+/// enforces both at construction.
+#[derive(Clone, Debug)]
+pub struct Table {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn empty(schema: Schema) -> Self {
+        Self { schema, tuples: Vec::new() }
+    }
+
+    /// Builds a table from tuples, validating conformance and rejecting
+    /// duplicates.
+    ///
+    /// # Errors
+    /// Returns [`HdbError::InvalidTuple`] on the first non-conforming or
+    /// duplicate tuple.
+    pub fn new(schema: Schema, tuples: Vec<Tuple>) -> Result<Self> {
+        let mut table = Self::empty(schema);
+        table.extend(tuples)?;
+        Ok(table)
+    }
+
+    /// Builds a table from tuples, silently dropping duplicates (keeps
+    /// the first occurrence). Non-conforming tuples are still errors.
+    ///
+    /// Dataset generators use this: resampling-based enlargement (the
+    /// paper's DBGen step) can produce collisions that must be dropped to
+    /// preserve the no-duplicates model.
+    ///
+    /// # Errors
+    /// Returns [`HdbError::InvalidTuple`] on a non-conforming tuple.
+    pub fn new_dedup(schema: Schema, tuples: Vec<Tuple>) -> Result<Self> {
+        let mut seen: HashSet<Tuple> = HashSet::with_capacity(tuples.len());
+        let mut kept = Vec::with_capacity(tuples.len());
+        for t in tuples {
+            if !t.conforms_to(&schema) {
+                return Err(HdbError::InvalidTuple(format!(
+                    "tuple {:?} does not conform to schema {}",
+                    t.values(),
+                    schema
+                )));
+            }
+            if seen.insert(t.clone()) {
+                kept.push(t);
+            }
+        }
+        Ok(Self { schema, tuples: kept })
+    }
+
+    /// Appends a tuple, validating conformance and uniqueness.
+    ///
+    /// # Errors
+    /// Returns [`HdbError::InvalidTuple`] if the tuple does not conform or
+    /// duplicates an existing row. (Uniqueness check is O(m); use
+    /// [`Table::new`]/[`Table::new_dedup`] for bulk loads.)
+    pub fn push(&mut self, tuple: Tuple) -> Result<()> {
+        if !tuple.conforms_to(&self.schema) {
+            return Err(HdbError::InvalidTuple(format!(
+                "tuple {:?} does not conform to schema {}",
+                tuple.values(),
+                self.schema
+            )));
+        }
+        if self.tuples.contains(&tuple) {
+            return Err(HdbError::InvalidTuple(format!(
+                "duplicate tuple {:?}",
+                tuple.values()
+            )));
+        }
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    fn extend(&mut self, tuples: Vec<Tuple>) -> Result<()> {
+        let mut seen: HashSet<&Tuple> = self.tuples.iter().collect();
+        let mut validated = Vec::with_capacity(tuples.len());
+        for t in &tuples {
+            if !t.conforms_to(&self.schema) {
+                return Err(HdbError::InvalidTuple(format!(
+                    "tuple {:?} does not conform to schema {}",
+                    t.values(),
+                    self.schema
+                )));
+            }
+            if !seen.insert(t) {
+                return Err(HdbError::InvalidTuple(format!("duplicate tuple {:?}", t.values())));
+            }
+            validated.push(t.clone());
+        }
+        drop(seen);
+        self.tuples.extend(validated);
+        Ok(())
+    }
+
+    /// The schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples `m` — the quantity the paper's estimators target.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// All tuples.
+    #[must_use]
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// A tuple by id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn tuple(&self, id: TupleId) -> &Tuple {
+        &self.tuples[id as usize]
+    }
+
+    // ------------------------------------------------------------------
+    // Ground-truth aggregates (owner-side; not available to estimators)
+    // ------------------------------------------------------------------
+
+    /// Exact `COUNT(*) WHERE q` by scanning.
+    #[must_use]
+    pub fn exact_count(&self, q: &Query) -> usize {
+        self.tuples.iter().filter(|t| q.matches(t)).count()
+    }
+
+    /// Exact `SUM(attr) WHERE q` using the attribute's numeric
+    /// interpretation.
+    ///
+    /// # Errors
+    /// Returns [`HdbError::InvalidQuery`] if `attr` has no numeric
+    /// interpretation or is out of range.
+    pub fn exact_sum(&self, attr: AttrId, q: &Query) -> Result<f64> {
+        if attr >= self.schema.len() {
+            return Err(HdbError::InvalidQuery(format!("attribute id {attr} out of range")));
+        }
+        let a = self.schema.attribute(attr);
+        if !a.is_numeric() {
+            return Err(HdbError::InvalidQuery(format!(
+                "attribute `{}` has no numeric interpretation",
+                a.name()
+            )));
+        }
+        Ok(self
+            .tuples
+            .iter()
+            .filter(|t| q.matches(t))
+            .map(|t| a.numeric_value(t.value(attr)).expect("checked numeric"))
+            .sum())
+    }
+
+    /// Exact `AVG(attr) WHERE q`. Returns `None` when no tuple matches.
+    ///
+    /// # Errors
+    /// Same conditions as [`Table::exact_sum`].
+    pub fn exact_avg(&self, attr: AttrId, q: &Query) -> Result<Option<f64>> {
+        let count = self.exact_count(q);
+        if count == 0 {
+            return Ok(None);
+        }
+        Ok(Some(self.exact_sum(attr, q)? / count as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::boolean("a"),
+            Attribute::boolean("b"),
+            Attribute::categorical("c", ["x", "y", "z"])
+                .unwrap()
+                .with_numeric(vec![10.0, 20.0, 30.0])
+                .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn table() -> Table {
+        Table::new(
+            schema(),
+            vec![
+                Tuple::new(vec![0, 0, 0]),
+                Tuple::new(vec![0, 1, 1]),
+                Tuple::new(vec![1, 1, 1]),
+                Tuple::new(vec![1, 1, 2]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let err = Table::new(
+            schema(),
+            vec![Tuple::new(vec![0, 0, 0]), Tuple::new(vec![0, 0, 0])],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn dedup_keeps_first() {
+        let t = Table::new_dedup(
+            schema(),
+            vec![
+                Tuple::new(vec![0, 0, 0]),
+                Tuple::new(vec![0, 0, 0]),
+                Tuple::new(vec![1, 0, 0]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn rejects_nonconforming() {
+        let err = Table::new(schema(), vec![Tuple::new(vec![0, 0])]);
+        assert!(err.is_err());
+        let err = Table::new(schema(), vec![Tuple::new(vec![0, 0, 3])]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn push_validates() {
+        let mut t = table();
+        assert!(t.push(Tuple::new(vec![0, 0, 0])).is_err());
+        assert!(t.push(Tuple::new(vec![0, 0, 1])).is_ok());
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn exact_count_matches_scan() {
+        let t = table();
+        assert_eq!(t.exact_count(&Query::all()), 4);
+        let q = Query::all().and(1, 1).unwrap();
+        assert_eq!(t.exact_count(&q), 3);
+        let q = q.and(0, 0).unwrap();
+        assert_eq!(t.exact_count(&q), 1);
+    }
+
+    #[test]
+    fn exact_sum_and_avg() {
+        let t = table();
+        assert_eq!(t.exact_sum(2, &Query::all()).unwrap(), 10.0 + 20.0 + 20.0 + 30.0);
+        let q = Query::all().and(0, 1).unwrap();
+        assert_eq!(t.exact_sum(2, &q).unwrap(), 50.0);
+        assert_eq!(t.exact_avg(2, &q).unwrap(), Some(25.0));
+        let q_none = Query::all().and(0, 1).unwrap().and(1, 0).unwrap();
+        assert_eq!(t.exact_avg(2, &q_none).unwrap(), None);
+    }
+
+    #[test]
+    fn sum_requires_numeric_interpretation() {
+        let s = Schema::new(vec![
+            Attribute::boolean("a"),
+            Attribute::categorical("c", ["x", "y"]).unwrap(),
+        ])
+        .unwrap();
+        let t = Table::new(s, vec![Tuple::new(vec![0, 0])]).unwrap();
+        assert!(t.exact_sum(1, &Query::all()).is_err());
+        assert!(t.exact_sum(9, &Query::all()).is_err());
+    }
+}

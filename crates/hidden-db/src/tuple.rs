@@ -1,0 +1,124 @@
+//! Tuples: fully-specified rows of a hidden database table.
+
+use crate::schema::{Schema, ValueId};
+
+/// Identifier of a tuple within a table (its row index).
+pub type TupleId = u32;
+
+/// A fully specified tuple: one [`ValueId`] per schema attribute, in schema
+/// order.
+///
+/// Tuples are deliberately compact (`Vec<u16>`) because the experiment
+/// datasets hold hundreds of thousands of rows over ~40 attributes.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    values: Vec<ValueId>,
+}
+
+impl Tuple {
+    /// Creates a tuple from raw value ids. Validation against a schema
+    /// happens at table insertion time ([`crate::table::Table::push`]).
+    #[must_use]
+    pub fn new(values: Vec<ValueId>) -> Self {
+        Self { values }
+    }
+
+    /// Number of attributes.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value of attribute `attr`.
+    ///
+    /// # Panics
+    /// Panics if `attr` is out of range.
+    #[must_use]
+    pub fn value(&self, attr: usize) -> ValueId {
+        self.values[attr]
+    }
+
+    /// All values in schema order.
+    #[must_use]
+    pub fn values(&self) -> &[ValueId] {
+        &self.values
+    }
+
+    /// Checks conformance against a schema: arity and domain membership.
+    #[must_use]
+    pub fn conforms_to(&self, schema: &Schema) -> bool {
+        self.values.len() == schema.len()
+            && self
+                .values
+                .iter()
+                .enumerate()
+                .all(|(i, &v)| (v as usize) < schema.fanout(i))
+    }
+
+    /// Renders the tuple with value labels from `schema`, for debugging
+    /// and example output.
+    #[must_use]
+    pub fn display(&self, schema: &Schema) -> String {
+        let mut out = String::from("(");
+        for (i, &v) in self.values.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(schema.attribute(i).name());
+            out.push('=');
+            out.push_str(schema.attribute(i).value_label(v));
+        }
+        out.push(')');
+        out
+    }
+}
+
+impl From<Vec<ValueId>> for Tuple {
+    fn from(values: Vec<ValueId>) -> Self {
+        Self::new(values)
+    }
+}
+
+impl From<&[ValueId]> for Tuple {
+    fn from(values: &[ValueId]) -> Self {
+        Self::new(values.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::boolean("a"),
+            Attribute::categorical("b", ["x", "y", "z"]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn conformance_checks_arity_and_domain() {
+        let s = schema();
+        assert!(Tuple::new(vec![0, 2]).conforms_to(&s));
+        assert!(!Tuple::new(vec![0]).conforms_to(&s));
+        assert!(!Tuple::new(vec![0, 3]).conforms_to(&s));
+        assert!(!Tuple::new(vec![2, 0]).conforms_to(&s));
+    }
+
+    #[test]
+    fn display_uses_labels() {
+        let s = schema();
+        let t = Tuple::new(vec![1, 2]);
+        assert_eq!(t.display(&s), "(a=1, b=z)");
+    }
+
+    #[test]
+    fn conversions() {
+        let t: Tuple = vec![1u16, 2].into();
+        assert_eq!(t.value(0), 1);
+        let t2: Tuple = t.values().into();
+        assert_eq!(t, t2);
+    }
+}

@@ -1,0 +1,178 @@
+//! Trial plumbing for query-cost/accuracy tradeoff experiments.
+//!
+//! Every figure of the paper that plots accuracy against query cost is
+//! produced the same way: run many independent trials of an estimator,
+//! record its *running* estimate after each unit of spend, align trials
+//! on common query-cost checkpoints, and summarise across trials. This
+//! module owns that machinery.
+
+use crate::summary::{Accuracy, ErrorBar};
+
+/// One trial's trajectory: the running estimate as a function of queries
+/// spent. Points must be pushed in non-decreasing cost order.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    points: Vec<(u64, f64)>,
+}
+
+impl Trace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the running estimate after `cost` queries.
+    ///
+    /// # Panics
+    /// Panics if `cost` is smaller than the previous point's cost.
+    pub fn push(&mut self, cost: u64, estimate: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(cost >= last, "trace costs must be non-decreasing ({cost} < {last})");
+        }
+        self.points.push((cost, estimate));
+    }
+
+    /// The recorded points.
+    #[must_use]
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// The running estimate available after spending at most `cost`
+    /// queries: the last point with cost ≤ `cost`. `None` when the trial
+    /// had produced no estimate yet at that spend.
+    #[must_use]
+    pub fn value_at(&self, cost: u64) -> Option<f64> {
+        match self.points.binary_search_by_key(&cost, |&(c, _)| c) {
+            Ok(mut i) => {
+                // multiple points can share a cost; take the last
+                while i + 1 < self.points.len() && self.points[i + 1].0 == cost {
+                    i += 1;
+                }
+                Some(self.points[i].1)
+            }
+            Err(0) => None,
+            Err(i) => Some(self.points[i - 1].1),
+        }
+    }
+
+    /// Total cost of the trace (cost of its last point), 0 when empty.
+    #[must_use]
+    pub fn total_cost(&self) -> u64 {
+        self.points.last().map_or(0, |&(c, _)| c)
+    }
+
+    /// The final estimate, if any point was recorded.
+    #[must_use]
+    pub fn final_estimate(&self) -> Option<f64> {
+        self.points.last().map(|&(_, e)| e)
+    }
+}
+
+/// Accuracy of a set of trials at one query-cost checkpoint.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckpointAccuracy {
+    /// The checkpoint (queries spent).
+    pub cost: u64,
+    /// Trials that had produced an estimate by this checkpoint.
+    pub trials: usize,
+    /// Accuracy summary over those trials.
+    pub accuracy: Accuracy,
+    /// Relative error bar over those trials.
+    pub error_bar: ErrorBar,
+}
+
+/// Summarises many traces against `truth` at the given checkpoints.
+/// Checkpoints where no trial has an estimate yet are omitted.
+#[must_use]
+pub fn summarize_at(traces: &[Trace], truth: f64, checkpoints: &[u64]) -> Vec<CheckpointAccuracy> {
+    let mut out = Vec::with_capacity(checkpoints.len());
+    for &cost in checkpoints {
+        let estimates: Vec<f64> = traces.iter().filter_map(|t| t.value_at(cost)).collect();
+        if estimates.is_empty() {
+            continue;
+        }
+        out.push(CheckpointAccuracy {
+            cost,
+            trials: estimates.len(),
+            accuracy: Accuracy::from_estimates(truth, &estimates),
+            error_bar: ErrorBar::relative(truth, &estimates),
+        });
+    }
+    out
+}
+
+/// Evenly spaced checkpoints `lo, lo+step, …, hi` (inclusive when it
+/// lands on `hi`).
+///
+/// # Panics
+/// Panics if `step == 0` or `lo > hi`.
+#[must_use]
+pub fn checkpoints(lo: u64, hi: u64, step: u64) -> Vec<u64> {
+    assert!(step > 0, "step must be positive");
+    assert!(lo <= hi, "lo must not exceed hi");
+    (lo..=hi).step_by(step as usize).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_at_takes_last_point_not_exceeding_cost() {
+        let mut t = Trace::new();
+        t.push(10, 1.0);
+        t.push(20, 2.0);
+        t.push(20, 2.5);
+        t.push(35, 3.0);
+        assert_eq!(t.value_at(5), None);
+        assert_eq!(t.value_at(10), Some(1.0));
+        assert_eq!(t.value_at(19), Some(1.0));
+        assert_eq!(t.value_at(20), Some(2.5));
+        assert_eq!(t.value_at(34), Some(2.5));
+        assert_eq!(t.value_at(100), Some(3.0));
+        assert_eq!(t.total_cost(), 35);
+        assert_eq!(t.final_estimate(), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_cost_rejected() {
+        let mut t = Trace::new();
+        t.push(10, 1.0);
+        t.push(9, 2.0);
+    }
+
+    #[test]
+    fn summarize_skips_unstarted_checkpoints() {
+        let mut a = Trace::new();
+        a.push(50, 90.0);
+        a.push(100, 110.0);
+        let mut b = Trace::new();
+        b.push(60, 100.0);
+        let summary = summarize_at(&[a, b], 100.0, &[10, 55, 100]);
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary[0].cost, 55);
+        assert_eq!(summary[0].trials, 1);
+        assert_eq!(summary[1].cost, 100);
+        assert_eq!(summary[1].trials, 2);
+        assert!((summary[1].accuracy.mean - 105.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checkpoint_generation() {
+        assert_eq!(checkpoints(100, 500, 100), vec![100, 200, 300, 400, 500]);
+        assert_eq!(checkpoints(5, 6, 10), vec![5]);
+    }
+
+    #[test]
+    fn empty_trace_behaviour() {
+        let t = Trace::new();
+        assert_eq!(t.value_at(1000), None);
+        assert_eq!(t.total_cost(), 0);
+        assert_eq!(t.final_estimate(), None);
+        let summary = summarize_at(&[t], 10.0, &[100]);
+        assert!(summary.is_empty());
+    }
+}

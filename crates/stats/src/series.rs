@@ -1,0 +1,201 @@
+//! Named (x, y) series and lightweight rendering: the common currency
+//! between experiment harnesses, CSV output and console tables.
+
+use std::fmt::Write as _;
+
+/// A named series of `(x, y)` points (one curve of a figure).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Curve label, e.g. `"HD Mixed"`.
+    pub name: String,
+    /// Points in plot order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// An empty series.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), points: Vec::new() }
+    }
+
+    /// Builds a series from points.
+    #[must_use]
+    pub fn from_points(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self { name: name.into(), points }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The y values.
+    #[must_use]
+    pub fn ys(&self) -> Vec<f64> {
+        self.points.iter().map(|&(_, y)| y).collect()
+    }
+}
+
+/// A figure: several series sharing an x axis.
+#[derive(Clone, Debug, Default)]
+pub struct Figure {
+    /// Figure title, e.g. `"Figure 6: MSE vs query cost"`.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    #[must_use]
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn add(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Renders the figure as CSV: header `x,<name1>,<name2>,…`, one row
+    /// per distinct x (union of all series' x values, ascending); missing
+    /// values are empty cells.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.dedup();
+
+        let mut out = String::new();
+        let _ = write!(out, "{}", csv_escape(&self.x_label));
+        for s in &self.series {
+            let _ = write!(out, ",{}", csv_escape(&s.name));
+        }
+        out.push('\n');
+        for &x in &xs {
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                match s.points.iter().find(|&&(px, _)| px == x) {
+                    Some(&(_, y)) => {
+                        let _ = write!(out, ",{y}");
+                    }
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a fixed-width console table.
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = write!(out, "{:>14}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {:>18}", truncate(&s.name, 18));
+        }
+        out.push('\n');
+
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.dedup();
+        for &x in &xs {
+            let _ = write!(out, "{x:>14.6}");
+            for s in &self.series {
+                match s.points.iter().find(|&&(px, _)| px == x) {
+                    Some(&(_, y)) => {
+                        let _ = write!(out, " {y:>18.6e}");
+                    }
+                    None => {
+                        let _ = write!(out, " {:>18}", "-");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_aligns_on_x() {
+        let mut fig = Figure::new("t", "cost", "mse");
+        fig.add(Series::from_points("a", vec![(1.0, 10.0), (2.0, 20.0)]));
+        fig.add(Series::from_points("b", vec![(2.0, 200.0), (3.0, 300.0)]));
+        let csv = fig.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "cost,a,b");
+        assert_eq!(lines[1], "1,10,");
+        assert_eq!(lines[2], "2,20,200");
+        assert_eq!(lines[3], "3,,300");
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("a\"b"), "\"a\"\"b\"");
+        assert_eq!(csv_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn table_contains_title_and_values() {
+        let mut fig = Figure::new("Figure X", "x", "y");
+        fig.add(Series::from_points("curve", vec![(1.0, 0.5)]));
+        let table = fig.to_table();
+        assert!(table.contains("# Figure X"));
+        assert!(table.contains("curve"));
+        assert!(table.contains("5e-1") || table.contains("5.000000e-1"));
+    }
+
+    #[test]
+    fn series_helpers() {
+        let mut s = Series::new("s");
+        s.push(1.0, 2.0);
+        s.push(3.0, 4.0);
+        assert_eq!(s.ys(), vec![2.0, 4.0]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Accuracy summaries: the measures the paper reports (§6.1.4) — mean
+//! squared error, relative error, and error bars (one standard deviation
+//! of uncertainty).
+
+use crate::running::RunningStats;
+
+/// Accuracy of a set of estimates against a known ground truth.
+#[derive(Clone, Copy, Debug)]
+pub struct Accuracy {
+    /// Ground truth `θ`.
+    pub truth: f64,
+    /// Number of estimates.
+    pub n: u64,
+    /// Mean of the estimates.
+    pub mean: f64,
+    /// Mean squared error `E[(θ̂ − θ)²]`.
+    pub mse: f64,
+    /// Empirical bias `E[θ̂] − θ`.
+    pub bias: f64,
+    /// Empirical variance of the estimates.
+    pub variance: f64,
+    /// Mean relative error `E[|θ̂ − θ|/θ]`.
+    pub mean_relative_error: f64,
+    /// Relative error of the *mean* estimate `|E[θ̂] − θ|/θ`.
+    pub relative_bias: f64,
+}
+
+impl Accuracy {
+    /// Summarises `estimates` against `truth`.
+    ///
+    /// # Panics
+    /// Panics if `truth == 0` (relative measures undefined) or
+    /// `estimates` is empty.
+    #[must_use]
+    pub fn from_estimates(truth: f64, estimates: &[f64]) -> Self {
+        assert!(truth != 0.0, "relative error undefined for zero truth");
+        assert!(!estimates.is_empty(), "need at least one estimate");
+        let stats: RunningStats = estimates.iter().copied().collect();
+        let mse = estimates.iter().map(|e| (e - truth).powi(2)).sum::<f64>()
+            / estimates.len() as f64;
+        let mre = estimates.iter().map(|e| (e - truth).abs() / truth.abs()).sum::<f64>()
+            / estimates.len() as f64;
+        let mean = stats.mean();
+        Self {
+            truth,
+            n: stats.count(),
+            mean,
+            mse,
+            bias: mean - truth,
+            variance: stats.variance(),
+            mean_relative_error: mre,
+            relative_bias: (mean - truth).abs() / truth.abs(),
+        }
+    }
+
+    /// MSE decomposes as variance + bias² (paper §2.2); this returns the
+    /// decomposition residual, which should be ~0 up to floating point.
+    #[must_use]
+    pub fn decomposition_residual(&self) -> f64 {
+        self.mse - (self.variance + self.bias * self.bias)
+    }
+}
+
+/// An error bar: mean ± one standard deviation, in units of the truth
+/// (the paper's Figures 8/10/15 plot "relative size" bars around 1.0).
+#[derive(Clone, Copy, Debug)]
+pub struct ErrorBar {
+    /// Mean of estimate/truth.
+    pub center: f64,
+    /// One standard deviation of estimate/truth.
+    pub half_width: f64,
+}
+
+impl ErrorBar {
+    /// Builds a relative error bar from raw estimates and the truth.
+    ///
+    /// # Panics
+    /// Panics if `truth == 0` or `estimates` is empty.
+    #[must_use]
+    pub fn relative(truth: f64, estimates: &[f64]) -> Self {
+        assert!(truth != 0.0 && !estimates.is_empty());
+        let rel: RunningStats = estimates.iter().map(|e| e / truth).collect();
+        Self { center: rel.mean(), half_width: rel.std_dev() }
+    }
+
+    /// Lower edge of the bar.
+    #[must_use]
+    pub fn low(&self) -> f64 {
+        self.center - self.half_width
+    }
+
+    /// Upper edge of the bar.
+    #[must_use]
+    pub fn high(&self) -> f64 {
+        self.center + self.half_width
+    }
+
+    /// Whether the bar contains a value.
+    #[must_use]
+    pub fn contains(&self, x: f64) -> bool {
+        (self.low()..=self.high()).contains(&x)
+    }
+}
+
+/// A two-sided confidence interval for the *mean* of the estimates, via
+/// the central limit theorem.
+#[derive(Clone, Copy, Debug)]
+pub struct ConfidenceInterval {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width (z · standard error).
+    pub half_width: f64,
+    /// z-score used.
+    pub z: f64,
+}
+
+impl ConfidenceInterval {
+    /// CLT interval at the given z-score (1.96 ≈ 95%, 2.58 ≈ 99%,
+    /// 3.29 ≈ 99.9%).
+    ///
+    /// # Panics
+    /// Panics if `estimates` is empty.
+    #[must_use]
+    pub fn clt(estimates: &[f64], z: f64) -> Self {
+        assert!(!estimates.is_empty());
+        let stats: RunningStats = estimates.iter().copied().collect();
+        Self { mean: stats.mean(), half_width: z * stats.std_error(), z }
+    }
+
+    /// Whether the interval contains `x`.
+    #[must_use]
+    pub fn contains(&self, x: f64) -> bool {
+        (self.mean - self.half_width..=self.mean + self.half_width).contains(&x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_on_exact_estimates() {
+        let a = Accuracy::from_estimates(100.0, &[100.0, 100.0, 100.0]);
+        assert_eq!(a.mse, 0.0);
+        assert_eq!(a.bias, 0.0);
+        assert_eq!(a.mean_relative_error, 0.0);
+    }
+
+    #[test]
+    fn accuracy_decomposition_holds() {
+        let a = Accuracy::from_estimates(50.0, &[40.0, 55.0, 60.0, 45.0, 52.0]);
+        assert!(a.decomposition_residual().abs() < 1e-9);
+        assert!(a.mse > 0.0);
+        assert!((a.mean - 50.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_captures_bias() {
+        let a = Accuracy::from_estimates(10.0, &[12.0, 12.0, 12.0, 12.0]);
+        assert!((a.bias - 2.0).abs() < 1e-12);
+        assert!((a.mse - 4.0).abs() < 1e-12);
+        assert_eq!(a.variance, 0.0);
+        assert!((a.relative_bias - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero truth")]
+    fn zero_truth_rejected() {
+        let _ = Accuracy::from_estimates(0.0, &[1.0]);
+    }
+
+    #[test]
+    fn error_bar_relative() {
+        let bar = ErrorBar::relative(100.0, &[90.0, 110.0]);
+        assert!((bar.center - 1.0).abs() < 1e-12);
+        assert!((bar.half_width - 0.1).abs() < 1e-12);
+        assert!(bar.contains(1.0));
+        assert!(!bar.contains(1.2));
+    }
+
+    #[test]
+    fn clt_interval_shrinks_with_n() {
+        let small: Vec<f64> = (0..10).map(|i| 10.0 + (i % 3) as f64).collect();
+        let large: Vec<f64> = (0..1000).map(|i| 10.0 + (i % 3) as f64).collect();
+        let ci_small = ConfidenceInterval::clt(&small, 1.96);
+        let ci_large = ConfidenceInterval::clt(&large, 1.96);
+        assert!(ci_large.half_width < ci_small.half_width);
+        assert!(ci_large.contains(ci_large.mean));
+    }
+}

@@ -1,0 +1,65 @@
+//! Tour of HD-UNBIASED-AGG: COUNT and SUM with conjunctive selection
+//! conditions, the (deliberately) biased AVG ratio, and graceful
+//! degradation when the site's query budget runs out mid-estimation.
+//!
+//! ```sh
+//! cargo run --release --example aggregate_queries
+//! ```
+
+use hdb_core::{ratio_avg, AggregateSpec, EstimatorConfig, UnbiasedAggEstimator};
+use hdb_datagen::{yahoo_auto, YahooConfig, YAHOO_ATTRS};
+use hdb_interface::{HiddenDb, Query};
+
+fn main() {
+    let table = yahoo_auto(YahooConfig { rows: 40_000, seed: 5 }).expect("generation");
+    let db = HiddenDb::new(table.clone(), 100);
+    let config = EstimatorConfig::hd_default().with_r(10).with_dub(126);
+
+    // --- COUNT with a selection: red SUVs --------------------------------
+    let red_suvs = Query::all()
+        .and(YAHOO_ATTRS.color, 5)
+        .expect("color unconstrained")
+        .and(YAHOO_ATTRS.body, 1)
+        .expect("body unconstrained");
+    let truth = table.exact_count(&red_suvs) as f64;
+    let mut count_est = UnbiasedAggEstimator::new(
+        config.clone(),
+        AggregateSpec::count(red_suvs.clone()),
+        1,
+    )
+    .expect("valid config");
+    let count = count_est.run_until_budget(&db, 1_500).expect("unlimited interface");
+    println!("COUNT(*) WHERE color=red AND body=suv");
+    println!("  truth {truth:.0}, estimate {:.0} ({} queries)\n", count.estimate, count.queries);
+
+    // --- SUM(price) over the same selection ------------------------------
+    let sum_truth = table.exact_sum(YAHOO_ATTRS.price, &red_suvs).expect("price numeric");
+    let mut sum_est = UnbiasedAggEstimator::new(
+        config.clone(),
+        AggregateSpec::sum(YAHOO_ATTRS.price, red_suvs),
+        2,
+    )
+    .expect("valid config");
+    let sum = sum_est.run_until_budget(&db, 1_500).expect("unlimited interface");
+    println!("SUM(price) WHERE color=red AND body=suv");
+    println!("  truth ${sum_truth:.0}, estimate ${:.0} ({} queries)\n", sum.estimate, sum.queries);
+
+    // --- AVG: only available as a *biased* ratio --------------------------
+    let avg_truth = sum_truth / truth;
+    let avg = ratio_avg(sum.estimate, count.estimate).expect("count estimate positive");
+    println!("AVG(price) — ratio of the two unbiased estimates (itself BIASED, paper §5.2)");
+    println!("  truth ${avg_truth:.0}, ratio estimate ${avg:.0}\n");
+
+    // --- budget exhaustion: partial results survive -----------------------
+    let tight_db = HiddenDb::new(table, 100).with_budget(120);
+    let mut est = UnbiasedAggEstimator::new(config, AggregateSpec::database_size(), 3)
+        .expect("valid config");
+    let partial = est.run(&tight_db, 1_000);
+    match partial {
+        Ok(summary) => println!(
+            "under a 120-query site limit: {} passes completed, size estimate {:.0}",
+            summary.passes, summary.estimate
+        ),
+        Err(e) => println!("the first pass itself exceeded the site limit: {e}"),
+    }
+}

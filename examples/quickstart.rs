@@ -1,0 +1,42 @@
+//! Quickstart: estimate the size of a hidden database through its
+//! restrictive top-k interface, without ever seeing the table.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hdb_datagen::{yahoo_auto, YahooConfig};
+use hdb_core::UnbiasedSizeEstimator;
+use hdb_interface::HiddenDb;
+
+fn main() {
+    // 1. Someone else's database: 30,000 used-car listings. We wrap it in
+    //    a top-100 form interface — from here on, the estimator can only
+    //    ask conjunctive queries and see at most 100 results per query.
+    let table = yahoo_auto(YahooConfig { rows: 30_000, seed: 7 }).expect("generation succeeds");
+    let truth = table.len();
+    let db = HiddenDb::new(table, 100);
+
+    // 2. HD-UNBIASED-SIZE with the paper's default parameters
+    //    (backtracking drill-downs + weight adjustment + divide-&-conquer).
+    let mut estimator = UnbiasedSizeEstimator::hd(42).expect("default config is valid");
+
+    // 3. Run estimation passes until ~2,000 queries are spent. Each pass
+    //    yields an individually unbiased estimate; the running mean
+    //    converges.
+    let result = estimator.run_until_budget(&db, 2_000).expect("interface is unlimited");
+
+    println!("hidden database size estimation");
+    println!("  true size        : {truth}");
+    println!("  estimate         : {:.0}", result.estimate);
+    println!("  passes           : {}", result.passes);
+    println!("  queries spent    : {}", result.queries);
+    println!("  std error        : {:.0}", result.std_error);
+    println!(
+        "  relative error   : {:.2}%",
+        (result.estimate - truth as f64).abs() / truth as f64 * 100.0
+    );
+
+    let relative_error = (result.estimate - truth as f64).abs() / truth as f64;
+    assert!(relative_error < 0.5, "estimate should land in the right ballpark");
+}

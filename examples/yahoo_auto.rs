@@ -1,0 +1,77 @@
+//! The paper's motivating scenario (§1, §6): a third party auditing a
+//! used-car site through its search form — estimating how many Toyota
+//! Corollas are listed and the total inventory balance (SUM of prices)
+//! for popular models, all under a per-IP query limit.
+//!
+//! ```sh
+//! cargo run --release --example yahoo_auto
+//! ```
+
+use hdb_core::{AggregateSpec, EstimatorConfig, UnbiasedAggEstimator};
+use hdb_datagen::{yahoo_auto, YahooConfig, YAHOO_ATTRS};
+use hdb_interface::{HiddenDb, Query};
+
+fn main() {
+    // The "site": ~60k listings behind a top-100 search form with a
+    // per-IP limit of 10,000 queries/day (Yahoo! Auto enforced 1,000).
+    let table = yahoo_auto(YahooConfig { rows: 60_000, seed: 2010 }).expect("generation");
+    let db = HiddenDb::new(table.clone(), 100).with_budget(10_000);
+
+    // the paper's online parameters: r = 30, D_UB = 126
+    let config = EstimatorConfig::hd_default().with_r(30).with_dub(126);
+
+    // --- how many Toyota Corollas? (Figure 18) --------------------------
+    let corolla = Query::all()
+        .and(YAHOO_ATTRS.make, 0)
+        .expect("make unconstrained")
+        .and(YAHOO_ATTRS.model, 0)
+        .expect("model unconstrained");
+    let truth = table.exact_count(&corolla);
+
+    println!("COUNT(*) WHERE make=toyota AND model=model00");
+    println!("  published count (ground truth): {truth}");
+    for run in 0..5u64 {
+        let mut est =
+            UnbiasedAggEstimator::new(config.clone(), AggregateSpec::count(corolla.clone()), run)
+                .expect("valid config");
+        match est.run(&db, 1) {
+            Ok(summary) => println!(
+                "  run {}: estimate {:>8.0}  ({} queries)",
+                run + 1,
+                summary.estimate,
+                summary.queries
+            ),
+            Err(e) if e.is_budget_exhausted() => {
+                println!("  run {}: daily query limit reached — stopping", run + 1);
+                break;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    // --- inventory balance: SUM(price) for the model (Figure 19) --------
+    println!("\nSUM(price) WHERE make=toyota AND model=model00");
+    let sum_truth = table.exact_sum(YAHOO_ATTRS.price, &corolla).expect("price numeric");
+    let mut est = UnbiasedAggEstimator::new(
+        config,
+        AggregateSpec::sum(YAHOO_ATTRS.price, corolla),
+        99,
+    )
+    .expect("valid config");
+    match est.run_until_budget(&db, 1_000) {
+        Ok(summary) => {
+            println!("  ground truth : ${sum_truth:.0}");
+            println!("  estimate     : ${:.0}", summary.estimate);
+            println!("  queries      : {}", summary.queries);
+        }
+        Err(e) if e.is_budget_exhausted() => {
+            println!("  daily query limit reached before the SUM estimate finished;");
+            if let Some(partial) = est.summary() {
+                println!("  partial estimate: ${:.0}", partial.estimate);
+            }
+        }
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+
+    println!("\nqueries charged against the per-IP limit: {}", db.counter().issued());
+}

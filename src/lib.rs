@@ -1,0 +1,16 @@
+//! # hdb-repro — reproduction workspace umbrella
+//!
+//! Re-exports the workspace crates so the examples under `examples/` and
+//! the integration tests under `tests/` can use one coherent namespace:
+//!
+//! * [`hdb_interface`] — the hidden-database substrate (tables behind a
+//!   restrictive top-k form interface);
+//! * [`hdb_datagen`] — the paper's datasets as seeded generators;
+//! * [`hdb_core`] — the estimators (`HD-UNBIASED-SIZE`,
+//!   `HD-UNBIASED-AGG`, baselines, crawler, oracle);
+//! * [`hdb_stats`] — accuracy summaries and trial plumbing.
+
+pub use hdb_core;
+pub use hdb_datagen;
+pub use hdb_interface;
+pub use hdb_stats;

@@ -1,0 +1,159 @@
+//! End-to-end scenarios across all crates: realistic workloads, failure
+//! injection, determinism, and baseline sanity.
+
+use hdb_core::baselines::{BruteForceSampler, CaptureRecapture, HiddenDbSampler};
+use hdb_core::{
+    crawl, AggregateSpec, AttributeOrder, EstimatorConfig, UnbiasedAggEstimator,
+    UnbiasedSizeEstimator,
+};
+use hdb_datagen::{bool_iid, yahoo_auto, YahooConfig, YAHOO_ATTRS};
+use hdb_interface::{HiddenDb, Query, TopKInterface};
+
+#[test]
+fn estimator_tracks_truth_on_a_midsize_categorical_db() {
+    let table = yahoo_auto(YahooConfig { rows: 10_000, seed: 77 }).unwrap();
+    let truth = table.len() as f64;
+    let db = HiddenDb::new(table, 50);
+    let mut est =
+        UnbiasedSizeEstimator::new(EstimatorConfig::hd_default().with_dub(16).with_r(3), 5)
+            .unwrap();
+    let summary = est.run_until_budget(&db, 4_000).unwrap();
+    let rel = (summary.estimate - truth).abs() / truth;
+    assert!(rel < 0.35, "relative error {rel} too large (estimate {})", summary.estimate);
+}
+
+#[test]
+fn crawler_is_exact_but_expensive_estimator_is_close_but_cheap() {
+    let table = yahoo_auto(YahooConfig { rows: 20_000, seed: 9 }).unwrap();
+    let truth = table.len();
+    // crawl
+    let db = HiddenDb::new(table.clone(), 10);
+    let levels: Vec<usize> = (0..table.schema().len()).collect();
+    let crawled = crawl(&db, &Query::all(), &levels).unwrap();
+    assert_eq!(crawled.size(), truth);
+    let crawl_cost = crawled.queries;
+    // estimate
+    let db = HiddenDb::new(table, 10);
+    let mut est = UnbiasedSizeEstimator::hd(3).unwrap();
+    let summary = est.run(&db, 2).unwrap();
+    assert!(
+        summary.queries < crawl_cost / 2,
+        "estimation ({} queries) should be much cheaper than crawling ({crawl_cost})",
+        summary.queries
+    );
+}
+
+#[test]
+fn budget_exhaustion_mid_run_keeps_partial_estimates() {
+    let table = bool_iid(2_000, 16, 4).unwrap();
+    let db = HiddenDb::new(table, 5).with_budget(400);
+    let mut est = UnbiasedSizeEstimator::plain(1).unwrap();
+    // ask for far more passes than the budget allows
+    let summary = est.run(&db, 100_000).unwrap();
+    assert!(summary.passes > 0);
+    assert!(summary.queries <= 400);
+    assert!(summary.estimate > 0.0);
+    // further passes keep failing cleanly without corrupting state
+    let before = est.history().len();
+    assert!(est.pass(&db).is_err());
+    assert_eq!(est.history().len(), before);
+}
+
+#[test]
+fn first_pass_budget_failure_is_an_error() {
+    let table = bool_iid(2_000, 16, 4).unwrap();
+    let db = HiddenDb::new(table, 5).with_budget(2);
+    let mut est = UnbiasedSizeEstimator::plain(1).unwrap();
+    let err = est.run(&db, 10).unwrap_err();
+    assert!(err.is_budget_exhausted());
+}
+
+#[test]
+fn runs_are_deterministic_under_seed() {
+    let table = yahoo_auto(YahooConfig { rows: 2_000, seed: 4 }).unwrap();
+    let run = |seed: u64| {
+        let db = HiddenDb::new(table.clone(), 20);
+        let mut est = UnbiasedSizeEstimator::new(
+            EstimatorConfig::hd_default().with_dub(16).with_r(2),
+            seed,
+        )
+        .unwrap();
+        let s = est.run(&db, 5).unwrap();
+        (s.estimate, s.queries)
+    };
+    assert_eq!(run(42), run(42));
+    assert_ne!(run(42), run(43));
+}
+
+#[test]
+fn selection_conditions_restrict_the_walk() {
+    let table = yahoo_auto(YahooConfig { rows: 5_000, seed: 31 }).unwrap();
+    let sel = Query::all().and(YAHOO_ATTRS.make, 1).unwrap();
+    let truth = table.exact_count(&sel) as f64;
+    let db = HiddenDb::new(table, 20);
+    let mut est = UnbiasedAggEstimator::new(
+        EstimatorConfig::hd_default().with_dub(16).with_r(3),
+        AggregateSpec::count(sel),
+        8,
+    )
+    .unwrap();
+    let summary = est.run_until_budget(&db, 3_000).unwrap();
+    let rel = (summary.estimate - truth).abs() / truth;
+    assert!(rel < 0.4, "selection count estimate {} vs truth {truth}", summary.estimate);
+}
+
+#[test]
+fn attribute_order_changes_cost_not_correctness() {
+    let table = yahoo_auto(YahooConfig { rows: 3_000, seed: 2 }).unwrap();
+    let truth = table.len() as f64;
+    for order in [
+        AttributeOrder::FanoutDescending,
+        AttributeOrder::FanoutAscending,
+        AttributeOrder::SchemaOrder,
+    ] {
+        let db = HiddenDb::new(table.clone(), 20);
+        let mut est = UnbiasedSizeEstimator::new(
+            EstimatorConfig::plain().with_order(order.clone()),
+            12,
+        )
+        .unwrap();
+        let summary = est.run(&db, 400).unwrap();
+        let rel = (summary.estimate - truth).abs() / truth;
+        assert!(rel < 0.5, "{order:?}: estimate {} vs {truth}", summary.estimate);
+    }
+}
+
+#[test]
+fn baselines_behave_as_documented() {
+    let table = bool_iid(500, 10, 6).unwrap();
+    let truth = table.len() as f64;
+    let db = HiddenDb::new(table, 3);
+
+    // brute force: unbiased but noisy; with 1024-point domain it works
+    let mut bf = BruteForceSampler::new(3);
+    bf.run(&db, 30_000).unwrap();
+    let bf_est = bf.size_estimate(&db).unwrap();
+    assert!((bf_est - truth).abs() / truth < 0.25, "brute force {bf_est}");
+
+    // capture–recapture: produces an estimate of the right order
+    let mut sampler = HiddenDbSampler::new(5);
+    let mut cr = CaptureRecapture::new();
+    for s in sampler.sample_many(&db, 400).unwrap() {
+        cr.capture(s.tuple.id);
+    }
+    let e = cr.estimate();
+    let lp = e.lincoln_petersen.expect("400 captures of 500 tuples overlap");
+    assert!(lp > truth * 0.2 && lp < truth * 5.0, "C&R estimate {lp} wildly off");
+}
+
+#[test]
+fn interface_trait_objects_work() {
+    // estimators accept &dyn-style indirection through the blanket impl
+    let table = bool_iid(300, 10, 1).unwrap();
+    let db = HiddenDb::new(table, 3);
+    let by_ref: &HiddenDb = &db;
+    let mut est = UnbiasedSizeEstimator::plain(9).unwrap();
+    let summary = est.run(&by_ref, 100).unwrap();
+    assert!(summary.estimate > 0.0);
+    assert_eq!(by_ref.queries_issued(), summary.queries + 1 - 1);
+}

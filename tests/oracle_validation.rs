@@ -1,0 +1,162 @@
+//! Cross-crate validation of the walk machinery against the analytic
+//! oracle: the probabilities the estimator *computes* must equal the
+//! probabilities the owner can *derive* from the full table, and the
+//! empirical behaviour must match both.
+
+use hdb_core::{drill_down, Oracle, UniformWeights, WalkTerminal};
+use hdb_datagen::uniform_table;
+use hdb_interface::{HiddenDb, Query, Schema, Table, TopKInterface};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+fn tables_under_test() -> Vec<(String, Table, usize)> {
+    let mut out = Vec::new();
+    for (m, n, k, seed) in
+        [(12usize, 5usize, 1usize, 1u64), (25, 6, 2, 2), (40, 7, 3, 3), (9, 4, 1, 4)]
+    {
+        let schema = Schema::boolean(n);
+        let table = uniform_table(&schema, m, seed).expect("small tables generate");
+        out.push((format!("bool m={m} n={n} k={k}"), table, k));
+    }
+    // categorical mix
+    let schema = Schema::new(vec![
+        hdb_interface::Attribute::categorical("a", ["1", "2", "3", "4"]).unwrap(),
+        hdb_interface::Attribute::categorical("b", ["x", "y", "z"]).unwrap(),
+        hdb_interface::Attribute::boolean("c"),
+        hdb_interface::Attribute::boolean("d"),
+    ])
+    .unwrap();
+    let table = uniform_table(&schema, 20, 5).expect("small tables generate");
+    out.push(("categorical m=20 k=1".to_string(), table, 1));
+    out
+}
+
+#[test]
+fn oracle_probabilities_sum_to_one_and_partition_tuples() {
+    for (name, table, k) in tables_under_test() {
+        let levels: Vec<usize> = (0..table.schema().len()).collect();
+        let oracle = Oracle::new(&table, k, Query::all(), levels);
+        let nodes = oracle.enumerate_top_valid();
+        let total_p: f64 = nodes.iter().map(|n| n.probability).sum();
+        assert!((total_p - 1.0).abs() < 1e-9, "{name}: Σp = {total_p}");
+        let covered: usize = nodes.iter().map(|n| n.count).sum();
+        assert_eq!(covered, table.len(), "{name}: Ω_TV must partition the tuples");
+        for node in &nodes {
+            assert!(node.count >= 1 && node.count <= k, "{name}: node counts within (0, k]");
+        }
+    }
+}
+
+#[test]
+fn walk_reported_probability_equals_oracle_probability() {
+    for (name, table, k) in tables_under_test() {
+        let levels: Vec<usize> = (0..table.schema().len()).collect();
+        let oracle = Oracle::new(&table, k, Query::all(), levels.clone());
+        let db = HiddenDb::new(table.clone(), k);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..300 {
+            let walk = drill_down(&db, &Query::all(), &[], &levels, &UniformWeights, &mut rng)
+                .expect("unlimited interface");
+            let analytic = oracle.walk_probability(&walk.steps());
+            assert!(
+                (walk.probability - analytic).abs() < 1e-12,
+                "{name}: walk p {} vs oracle p {analytic} on {:?}",
+                walk.probability,
+                walk.steps()
+            );
+        }
+    }
+}
+
+#[test]
+fn empirical_terminal_frequencies_match_oracle() {
+    let schema = Schema::boolean(5);
+    let table = uniform_table(&schema, 14, 9).expect("generation");
+    let k = 1;
+    let levels: Vec<usize> = (0..5).collect();
+    let oracle = Oracle::new(&table, k, Query::all(), levels.clone());
+    let nodes = oracle.enumerate_top_valid();
+    let db = HiddenDb::new(table, k);
+    let mut rng = StdRng::seed_from_u64(7);
+    let trials = 60_000u32;
+    let mut hits: HashMap<Vec<(usize, u16)>, u32> = HashMap::new();
+    for _ in 0..trials {
+        let walk = drill_down(&db, &Query::all(), &[], &levels, &UniformWeights, &mut rng)
+            .expect("unlimited interface");
+        *hits.entry(walk.steps()).or_default() += 1;
+    }
+    for node in &nodes {
+        let observed =
+            f64::from(hits.get(&node.steps).copied().unwrap_or(0)) / f64::from(trials);
+        // 5σ binomial tolerance
+        let sigma = (node.probability * (1.0 - node.probability) / f64::from(trials)).sqrt();
+        assert!(
+            (observed - node.probability).abs() < 5.0 * sigma + 1e-4,
+            "node {:?}: observed {observed}, analytic {}",
+            node.steps,
+            node.probability
+        );
+    }
+}
+
+#[test]
+fn empirical_mse_matches_theorem2_variance() {
+    let schema = Schema::boolean(6);
+    let table = uniform_table(&schema, 20, 3).expect("generation");
+    let k = 1;
+    let levels: Vec<usize> = (0..6).collect();
+    let oracle = Oracle::new(&table, k, Query::all(), levels.clone());
+    let s2 = oracle.theorem2_variance();
+    let m = table.len() as f64;
+    let db = HiddenDb::new(table, k);
+    let mut rng = StdRng::seed_from_u64(21);
+    let trials = 40_000u32;
+    let mut sq_err = 0.0;
+    for _ in 0..trials {
+        let walk = drill_down(&db, &Query::all(), &[], &levels, &UniformWeights, &mut rng)
+            .expect("unlimited interface");
+        if let WalkTerminal::TopValid { tuples } = &walk.terminal {
+            let est = tuples.len() as f64 / walk.probability;
+            sq_err += (est - m).powi(2);
+        }
+    }
+    let empirical = sq_err / f64::from(trials);
+    assert!(
+        (empirical - s2).abs() / s2 < 0.15,
+        "empirical per-walk MSE {empirical} vs Theorem-2 variance {s2}"
+    );
+}
+
+#[test]
+fn theorem3_bounds_theorem2_for_k1() {
+    for (name, table, k) in tables_under_test() {
+        if k != 1 {
+            continue;
+        }
+        let levels: Vec<usize> = (0..table.schema().len()).collect();
+        let oracle = Oracle::new(&table, k, Query::all(), levels);
+        assert!(
+            oracle.theorem2_variance() <= oracle.theorem3_bound() + 1e-6,
+            "{name}: Theorem 3 must upper-bound Theorem 2 at k = 1"
+        );
+    }
+}
+
+#[test]
+fn crawler_agrees_with_oracle_enumeration() {
+    for (name, table, k) in tables_under_test() {
+        let levels: Vec<usize> = (0..table.schema().len()).collect();
+        let oracle = Oracle::new(&table, k, Query::all(), levels.clone());
+        let db = HiddenDb::new(table.clone(), k);
+        let crawled = hdb_core::crawl(&db, &Query::all(), &levels).expect("unlimited");
+        assert_eq!(crawled.size(), table.len(), "{name}: crawl recovers every tuple");
+        let oracle_nodes = oracle.enumerate_top_valid();
+        assert_eq!(
+            crawled.top_valid.len(),
+            oracle_nodes.len(),
+            "{name}: crawl and oracle agree on |Ω_TV|"
+        );
+        assert!(db.queries_issued() > 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Property-based tests (proptest) over randomly generated schemas and
+//! tables: structural invariants that must hold for *every* hidden
+//! database, not just the experiment datasets.
+
+use hdb_core::{crawl, drill_down, Oracle, UniformWeights, WalkTerminal};
+use hdb_core::dnc::{first_chunk_len, partition_levels};
+use hdb_interface::{Attribute, HiddenDb, Query, Schema, Table, TopKInterface, Tuple};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Strategy: a random schema of 2–5 attributes with fanouts 2–5.
+fn schema_strategy() -> impl Strategy<Value = Schema> {
+    prop::collection::vec(2usize..=5, 2..=5).prop_map(|fanouts| {
+        Schema::new(
+            fanouts
+                .iter()
+                .enumerate()
+                .map(|(i, &f)| {
+                    Attribute::categorical(
+                        format!("a{i}"),
+                        (0..f).map(|v| v.to_string()),
+                    )
+                    .expect("fanout ≥ 2")
+                })
+                .collect(),
+        )
+        .expect("names unique")
+    })
+}
+
+/// Strategy: a schema plus a random non-empty duplicate-free table over
+/// it, plus a k in 1..=4.
+fn db_strategy() -> impl Strategy<Value = (Table, usize)> {
+    (schema_strategy(), any::<u64>(), 1usize..=4).prop_flat_map(|(schema, seed, k)| {
+        let capacity = schema.domain_size() as usize;
+        (1usize..=capacity.min(30)).prop_map(move |m| {
+            let table =
+                hdb_datagen::uniform_table(&schema, m, seed).expect("m within capacity");
+            (table, k)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn interface_never_returns_more_than_k((table, k) in db_strategy()) {
+        let db = HiddenDb::new(table.clone(), k);
+        // probe the root and every single-attribute query
+        let mut queries = vec![Query::all()];
+        for attr in 0..table.schema().len() {
+            for v in 0..table.schema().fanout(attr) {
+                queries.push(Query::all().and(attr, v as u16).unwrap());
+            }
+        }
+        for q in &queries {
+            let out = db.query(q).unwrap();
+            prop_assert!(out.returned_count() <= k);
+            let exact = table.exact_count(q);
+            match exact {
+                0 => prop_assert!(out.is_underflow()),
+                c if c <= k => {
+                    prop_assert!(out.is_valid());
+                    prop_assert_eq!(out.returned_count(), c);
+                }
+                _ => {
+                    prop_assert!(out.is_overflow());
+                    prop_assert_eq!(out.returned_count(), k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crawl_recovers_exactly_the_table((table, k) in db_strategy()) {
+        let db = HiddenDb::new(table.clone(), k);
+        let levels: Vec<usize> = (0..table.schema().len()).collect();
+        let crawled = crawl(&db, &Query::all(), &levels).unwrap();
+        prop_assert_eq!(crawled.size(), table.len());
+        let crawled_tuples: HashSet<Tuple> =
+            crawled.tuples.values().map(|t| t.tuple.clone()).collect();
+        let expected: HashSet<Tuple> = table.tuples().iter().cloned().collect();
+        prop_assert_eq!(crawled_tuples, expected);
+        // top-valid nodes partition the tuples
+        let covered: usize = crawled.top_valid.iter().map(|n| n.count).sum();
+        prop_assert_eq!(covered, table.len());
+    }
+
+    #[test]
+    fn oracle_top_valid_probabilities_sum_to_one((table, k) in db_strategy()) {
+        let levels: Vec<usize> = (0..table.schema().len()).collect();
+        let oracle = Oracle::new(&table, k, Query::all(), levels);
+        let nodes = oracle.enumerate_top_valid();
+        let total: f64 = nodes.iter().map(|n| n.probability).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "Σp = {}", total);
+    }
+
+    #[test]
+    fn walks_terminate_with_exact_probabilities((table, k) in db_strategy(), walk_seed in any::<u64>()) {
+        let levels: Vec<usize> = (0..table.schema().len()).collect();
+        let oracle = Oracle::new(&table, k, Query::all(), levels.clone());
+        let db = HiddenDb::new(table.clone(), k);
+        let root = db.query(&Query::all()).unwrap();
+        // drill-downs only apply below an overflowing root
+        prop_assume!(root.is_overflow());
+        let mut rng = StdRng::seed_from_u64(walk_seed);
+        for _ in 0..20 {
+            let walk =
+                drill_down(&db, &Query::all(), &[], &levels, &UniformWeights, &mut rng).unwrap();
+            prop_assert!(walk.probability > 0.0 && walk.probability <= 1.0);
+            prop_assert!(matches!(walk.terminal, WalkTerminal::TopValid { .. }),
+                "full-depth walks must end top-valid");
+            let analytic = oracle.walk_probability(&walk.steps());
+            prop_assert!((walk.probability - analytic).abs() < 1e-12);
+            if let WalkTerminal::TopValid { tuples } = &walk.terminal {
+                prop_assert!(!tuples.is_empty() && tuples.len() <= k);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_a_disjoint_cover(schema in schema_strategy(), dub in 2u64..=40) {
+        let levels: Vec<usize> = (0..schema.len()).collect();
+        let chunks = partition_levels(&schema, &levels, dub);
+        let flat: Vec<usize> = chunks.iter().flatten().copied().collect();
+        prop_assert_eq!(flat, levels.clone(), "chunks concatenate back to the level list");
+        for chunk in &chunks {
+            prop_assert!(!chunk.is_empty());
+            let domain: u64 = chunk.iter().map(|&a| schema.fanout(a) as u64).product();
+            // a chunk exceeds dub only if it is a single oversized level
+            prop_assert!(domain <= dub || chunk.len() == 1);
+        }
+        prop_assert_eq!(first_chunk_len(&schema, &levels, dub), chunks[0].len());
+    }
+
+    #[test]
+    fn query_accounting_is_exact((table, k) in db_strategy()) {
+        let db = HiddenDb::new(table.clone(), k);
+        let n = 7u64;
+        for _ in 0..n {
+            db.query(&Query::all()).unwrap();
+        }
+        prop_assert_eq!(db.queries_issued(), n);
+        let c = db.counter();
+        prop_assert_eq!(
+            c.underflow_count() + c.valid_count() + c.overflow_count(),
+            n
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_clean((table, k) in db_strategy()) {
+        let budget = 3u64;
+        let db = HiddenDb::new(table, k).with_budget(budget);
+        let mut ok = 0u64;
+        for _ in 0..10 {
+            if db.query(&Query::all()).is_ok() {
+                ok += 1;
+            }
+        }
+        prop_assert_eq!(ok, budget);
+        prop_assert_eq!(db.queries_issued(), budget);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Slower property: the Horvitz–Thompson estimate from plain walks
+    /// is unbiased on every random instance (coarse Monte-Carlo check).
+    #[test]
+    fn ht_estimate_is_unbiased((table, k) in db_strategy(), mc_seed in any::<u64>()) {
+        let db = HiddenDb::new(table.clone(), k);
+        let root = db.query(&Query::all()).unwrap();
+        prop_assume!(root.is_overflow());
+        let levels: Vec<usize> = (0..table.schema().len()).collect();
+        let m = table.len() as f64;
+        let mut rng = StdRng::seed_from_u64(mc_seed);
+        let trials = 3000;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for _ in 0..trials {
+            let walk =
+                drill_down(&db, &Query::all(), &[], &levels, &UniformWeights, &mut rng).unwrap();
+            if let WalkTerminal::TopValid { tuples } = &walk.terminal {
+                let est = tuples.len() as f64 / walk.probability;
+                sum += est;
+                sq += est * est;
+            }
+        }
+        let mean = sum / f64::from(trials);
+        let var = (sq / f64::from(trials) - mean * mean).max(0.0);
+        let se = (var / f64::from(trials)).sqrt();
+        prop_assert!(
+            (mean - m).abs() < 5.0 * se + 0.05 * m + 0.2,
+            "MC mean {} vs m {} (se {})", mean, m, se
+        );
+    }
+}

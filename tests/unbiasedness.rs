@@ -1,0 +1,151 @@
+//! The paper's headline claim, checked empirically end-to-end: every
+//! estimator configuration produces estimates whose mean converges to the
+//! truth. Each test runs many passes and asserts the Monte-Carlo mean
+//! lies within a CLT interval of the ground truth (z = 4, so spurious
+//! failures are ~1 in 16,000 per assertion and the seeds are fixed).
+
+use hdb_core::{AggregateSpec, EstimatorConfig, UnbiasedAggEstimator, UnbiasedSizeEstimator};
+use hdb_datagen::{bool_mixed, uniform_table, worst_case, yahoo_auto, YahooConfig, YAHOO_ATTRS};
+use hdb_interface::{HiddenDb, Query, Schema};
+
+/// Runs `passes` one-pass estimators... no — runs one estimator for many
+/// passes and checks the mean against truth with a CLT interval derived
+/// from the empirical std error.
+fn assert_unbiased(db: &HiddenDb, config: EstimatorConfig, spec: AggregateSpec, truth: f64, passes: u64, seed: u64) {
+    let mut est = UnbiasedAggEstimator::new(config, spec, seed).expect("valid config");
+    let summary = est.run(db, passes).expect("unlimited interface");
+    let tolerance = 4.0 * summary.std_error + truth * 0.002 + 0.05;
+    assert!(
+        (summary.estimate - truth).abs() < tolerance,
+        "estimate {} vs truth {truth} (±{tolerance}, {} passes)",
+        summary.estimate,
+        summary.passes
+    );
+}
+
+#[test]
+fn plain_size_estimator_unbiased_boolean() {
+    let table = uniform_table(&Schema::boolean(8), 120, 1).unwrap();
+    let truth = table.len() as f64;
+    let db = HiddenDb::new(table, 2);
+    assert_unbiased(&db, EstimatorConfig::plain(), AggregateSpec::database_size(), truth, 4000, 11);
+}
+
+#[test]
+fn plain_size_estimator_unbiased_categorical() {
+    let table = yahoo_auto(YahooConfig { rows: 2000, seed: 3 }).unwrap();
+    let truth = table.len() as f64;
+    let db = HiddenDb::new(table, 10);
+    assert_unbiased(&db, EstimatorConfig::plain(), AggregateSpec::database_size(), truth, 2500, 13);
+}
+
+#[test]
+fn weight_adjustment_preserves_unbiasedness() {
+    let table = bool_mixed(600, 10, 5).unwrap();
+    let truth = table.len() as f64;
+    let db = HiddenDb::new(table, 3);
+    let config = EstimatorConfig::plain().with_weight_adjustment(true);
+    assert_unbiased(&db, config, AggregateSpec::database_size(), truth, 5000, 17);
+}
+
+#[test]
+fn divide_and_conquer_preserves_unbiasedness() {
+    let table = uniform_table(&Schema::boolean(9), 150, 7).unwrap();
+    let truth = table.len() as f64;
+    let db = HiddenDb::new(table, 2);
+    let config = EstimatorConfig::hd_default().with_dub(8).with_weight_adjustment(false);
+    assert_unbiased(&db, config, AggregateSpec::database_size(), truth, 2500, 19);
+}
+
+#[test]
+fn full_hd_preserves_unbiasedness() {
+    let table = bool_mixed(800, 12, 9).unwrap();
+    let truth = table.len() as f64;
+    let db = HiddenDb::new(table, 3);
+    let config = EstimatorConfig::hd_default().with_dub(8).with_r(3);
+    assert_unbiased(&db, config, AggregateSpec::database_size(), truth, 2500, 23);
+}
+
+#[test]
+fn hd_unbiased_on_the_worst_case_instance() {
+    // Figure 4's adversarial family: deep top-valid nodes, the plain
+    // walk's nightmare. Unbiasedness must still hold for plain and HD.
+    let table = worst_case(10).unwrap();
+    let truth = table.len() as f64; // 11
+    let db = HiddenDb::new(table, 1);
+    assert_unbiased(
+        &db,
+        EstimatorConfig::plain(),
+        AggregateSpec::database_size(),
+        truth,
+        30_000,
+        29,
+    );
+    let config = EstimatorConfig::hd_default().with_dub(4).with_r(2);
+    assert_unbiased(&db, config, AggregateSpec::database_size(), truth, 8000, 31);
+}
+
+#[test]
+fn sum_estimates_are_unbiased() {
+    let table = yahoo_auto(YahooConfig { rows: 1500, seed: 8 }).unwrap();
+    let truth = table.exact_sum(YAHOO_ATTRS.price, &Query::all()).unwrap();
+    let db = HiddenDb::new(table, 10);
+    let config = EstimatorConfig::hd_default().with_dub(16).with_r(2);
+    assert_unbiased(
+        &db,
+        config,
+        AggregateSpec::sum(YAHOO_ATTRS.price, Query::all()),
+        truth,
+        2500,
+        37,
+    );
+}
+
+#[test]
+fn selection_count_is_unbiased() {
+    let table = yahoo_auto(YahooConfig { rows: 3000, seed: 12 }).unwrap();
+    let sel = Query::all().and(YAHOO_ATTRS.make, 0).unwrap();
+    let truth = table.exact_count(&sel) as f64;
+    let db = HiddenDb::new(table, 10);
+    assert_unbiased(
+        &db,
+        EstimatorConfig::hd_default().with_dub(12).with_r(2),
+        AggregateSpec::count(sel),
+        truth,
+        2500,
+        41,
+    );
+}
+
+#[test]
+fn selection_sum_is_unbiased() {
+    let table = yahoo_auto(YahooConfig { rows: 3000, seed: 12 }).unwrap();
+    let sel = Query::all().and(YAHOO_ATTRS.body, 0).unwrap();
+    let truth = table.exact_sum(YAHOO_ATTRS.price, &sel).unwrap();
+    let db = HiddenDb::new(table, 10);
+    assert_unbiased(
+        &db,
+        EstimatorConfig::plain(),
+        AggregateSpec::sum(YAHOO_ATTRS.price, sel),
+        truth,
+        3000,
+        43,
+    );
+}
+
+#[test]
+fn size_estimator_facade_matches_agg_estimator() {
+    let table = uniform_table(&Schema::boolean(7), 60, 2).unwrap();
+    let db = HiddenDb::new(table, 2);
+    let mut by_size = UnbiasedSizeEstimator::new(EstimatorConfig::plain(), 55).unwrap();
+    let mut by_agg = UnbiasedAggEstimator::new(
+        EstimatorConfig::plain(),
+        AggregateSpec::database_size(),
+        55,
+    )
+    .unwrap();
+    let a = by_size.run(&db, 200).unwrap();
+    let b = by_agg.run(&db, 200).unwrap();
+    assert_eq!(a.estimate, b.estimate, "same seed, same config → same estimates");
+    assert_eq!(a.queries, b.queries);
+}
