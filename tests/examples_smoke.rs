@@ -1,0 +1,54 @@
+//! Smoke test for the quick-start path: every example under `examples/`
+//! must run to completion and produce output. Examples are discovered
+//! from the filesystem so a newly added example is covered automatically.
+//!
+//! Each example finishes in a few seconds even in debug mode; the nested
+//! `cargo run` serializes on the build lock, which is safe because the
+//! test runner only takes that lock while building, not while running.
+
+use std::path::Path;
+use std::process::Command;
+
+fn example_names() -> Vec<String> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("examples/ directory exists")
+        .filter_map(|entry| {
+            let path = entry.expect("readable dir entry").path();
+            if path.extension().is_some_and(|e| e == "rs") {
+                Some(path.file_stem().unwrap().to_string_lossy().into_owned())
+            } else {
+                None
+            }
+        })
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn every_example_runs_and_prints() {
+    let names = example_names();
+    assert!(
+        names.len() >= 4,
+        "expected the four seed examples, found {names:?}"
+    );
+    for name in &names {
+        let output = Command::new(env!("CARGO"))
+            .args(["run", "--quiet", "--example", name])
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .expect("cargo is runnable");
+        assert!(
+            output.status.success(),
+            "example `{name}` failed with {:?}:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        assert!(
+            !output.stdout.is_empty(),
+            "example `{name}` printed nothing on stdout"
+        );
+    }
+}
