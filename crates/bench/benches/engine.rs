@@ -1,0 +1,87 @@
+//! Micro-benchmarks of the parallel walk engine and the two
+//! query-evaluation paths (bitmap index vs linear scan).
+//!
+//! The headline check: on the 100,000-row dataset the bitmap path must
+//! beat the linear scan — both at the bare `Table` aggregate level and
+//! through the full `HiddenDb` interface — and `run_parallel` must scale
+//! with workers while returning bit-identical estimates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdb_core::UnbiasedSizeEstimator;
+use hdb_datagen::bool_iid;
+use hdb_interface::{EvalMode, HiddenDb, Query, TopKInterface};
+use std::hint::black_box;
+
+/// A conjunctive query selective enough (~100 of 100k rows) to stay
+/// below the simulator's hot-response memo threshold, so every
+/// iteration pays the full evaluation cost on both paths.
+fn selective_query(predicates: usize) -> Query {
+    let mut q = Query::all();
+    for attr in 0..predicates {
+        q = q.and(attr, (attr % 2) as u16).expect("distinct attrs");
+    }
+    q
+}
+
+fn bench_engine_workers(c: &mut Criterion) {
+    let table = bool_iid(50_000, 30, 1).expect("generation");
+    let db = HiddenDb::new(table, 100);
+    let mut group = c.benchmark_group("engine_size_256_passes");
+    group.sample_size(10);
+    let mut reference: Option<u64> = None;
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_function(format!("workers_{workers}"), |b| {
+            b.iter(|| {
+                let mut est = UnbiasedSizeEstimator::hd(7).expect("valid config");
+                let summary =
+                    est.run_parallel(black_box(&db), 256, workers).expect("unlimited");
+                // thread-count independence, checked while we measure
+                let bits = summary.estimate.to_bits();
+                match reference {
+                    None => reference = Some(bits),
+                    Some(r) => assert_eq!(r, bits, "workers={workers} diverged"),
+                }
+                summary.estimate
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bitmap_vs_scan_table(c: &mut Criterion) {
+    let table = bool_iid(100_000, 40, 1).expect("generation");
+    let q = selective_query(10);
+    let mut group = c.benchmark_group("count_100k");
+    group.sample_size(20);
+    group.bench_function("bitmap", |b| {
+        b.iter(|| table.exact_count(black_box(&q)));
+    });
+    group.bench_function("scan", |b| {
+        b.iter(|| table.exact_count_scan(black_box(&q)));
+    });
+    group.finish();
+}
+
+fn bench_bitmap_vs_scan_interface(c: &mut Criterion) {
+    let table = bool_iid(100_000, 40, 1).expect("generation");
+    let bitmap_db = HiddenDb::new(table.clone(), 100);
+    let scan_db = HiddenDb::new(table, 100).with_eval_mode(EvalMode::Scan);
+    let q = selective_query(10);
+    let mut group = c.benchmark_group("interface_query_100k");
+    group.sample_size(20);
+    group.bench_function("bitmap", |b| {
+        b.iter(|| bitmap_db.query(black_box(&q)).expect("unlimited"));
+    });
+    group.bench_function("scan", |b| {
+        b.iter(|| scan_db.query(black_box(&q)).expect("unlimited"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_workers,
+    bench_bitmap_vs_scan_table,
+    bench_bitmap_vs_scan_interface
+);
+criterion_main!(benches);

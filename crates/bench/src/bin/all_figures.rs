@@ -34,5 +34,7 @@ fn main() {
     experiments::ablations::run_backtracking(&scale, &datasets);
     output::note("Ablation 05: Figure-4 worst case");
     experiments::ablations::run_worst_case(&scale);
+    output::note("Scale 01: parallel engine workers + eval paths");
+    experiments::parallel_scale::run_parallel_scale(&scale, &datasets);
     output::note("done");
 }

@@ -1,0 +1,8 @@
+//! Scale experiment: parallel engine worker scaling + bitmap-vs-scan
+//! query evaluation.
+use hdb_bench::{experiments, Datasets, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    experiments::parallel_scale::run_parallel_scale(&scale, &Datasets::new());
+}

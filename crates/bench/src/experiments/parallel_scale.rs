@@ -1,0 +1,105 @@
+//! Scale experiment for the parallel walk engine (not a paper figure —
+//! an engineering experiment for the repro's own roadmap): wall-clock
+//! time of the same estimation run at 1/2/4/8 workers, and the cost of
+//! bitmap vs linear-scan query evaluation through the interface.
+//!
+//! The engine guarantees worker-count independence of the *estimate*;
+//! this experiment records what the worker count buys in *time*. Both
+//! figures are written under `results/`.
+
+use std::time::Instant;
+
+use hdb_core::UnbiasedSizeEstimator;
+use hdb_interface::{EvalMode, HiddenDb, Query, TopKInterface};
+use hdb_stats::{Figure, Series};
+
+use crate::datasets::{interface, Datasets};
+use crate::output::{emit, note};
+use crate::scale::Scale;
+
+/// Interface constant for the engine experiment (paper-typical k).
+const K: usize = 100;
+
+/// Runs the worker-scaling and eval-path experiments.
+///
+/// # Panics
+/// Panics if two worker counts disagree on the estimate — that would be
+/// a determinism regression, and an experiment must not silently record
+/// results from a broken engine.
+pub fn run_parallel_scale(scale: &Scale, datasets: &Datasets) {
+    note("parallel engine scaling (workers) and eval paths (bitmap vs scan)");
+    let table = datasets.bool_iid(scale);
+    let truth = table.len() as f64;
+    let db = interface(table, K);
+    // enough passes that thread startup cost is noise
+    let passes = scale.trials.max(10) * 125;
+
+    let mut workers_fig = Figure::new(
+        format!("engine wall-clock, {passes} passes, m={truth}"),
+        "workers",
+        "seconds",
+    );
+    let mut points = Vec::new();
+    let mut speedup = Vec::new();
+    let mut reference: Option<u64> = None;
+    let mut base_secs = 0.0;
+    for workers in [1usize, 2, 4, 8] {
+        let mut est = UnbiasedSizeEstimator::hd(4242).expect("valid config");
+        let start = Instant::now();
+        let summary = est.run_parallel(&db, passes, workers).expect("unlimited");
+        let secs = start.elapsed().as_secs_f64();
+        let bits = summary.estimate.to_bits();
+        match reference {
+            None => {
+                reference = Some(bits);
+                base_secs = secs;
+            }
+            Some(r) => assert_eq!(
+                r, bits,
+                "determinism regression: workers={workers} changed the estimate"
+            ),
+        }
+        println!(
+            "  workers={workers}: {secs:.3}s, estimate {:.1} (truth {truth}), {} queries",
+            summary.estimate, summary.queries
+        );
+        points.push((workers as f64, secs));
+        speedup.push((workers as f64, base_secs / secs));
+    }
+    workers_fig.add(Series::from_points("wall-clock", points));
+    workers_fig.add(Series::from_points("speedup vs 1 worker", speedup));
+    emit(&workers_fig, "scale01_engine_workers");
+
+    // Eval-path comparison: identical query stream, bitmap vs scan.
+    let bitmap_db = interface(table, K);
+    let scan_db = interface(table, K).with_eval_mode(EvalMode::Scan);
+    let attrs = table.schema().len();
+    let mut eval_fig = Figure::new(
+        format!("query evaluation, m={truth}"),
+        "predicates",
+        "microseconds/query",
+    );
+    let mut bitmap_points = Vec::new();
+    let mut scan_points = Vec::new();
+    for preds in [2usize, 6, 10] {
+        let mut q = Query::all();
+        for attr in 0..preds.min(attrs) {
+            q = q.and(attr, (attr % 2) as u16).expect("distinct attrs");
+        }
+        let reps = 200;
+        let time = |db: &HiddenDb| {
+            let start = Instant::now();
+            for _ in 0..reps {
+                let _ = db.query(&q).expect("unlimited");
+            }
+            start.elapsed().as_secs_f64() * 1e6 / f64::from(reps)
+        };
+        let (b_us, s_us) = (time(&bitmap_db), time(&scan_db));
+        println!("  predicates={preds}: bitmap {b_us:.1}µs, scan {s_us:.1}µs");
+        bitmap_points.push((preds as f64, b_us));
+        scan_points.push((preds as f64, s_us));
+    }
+    eval_fig.add(Series::from_points("bitmap", bitmap_points));
+    eval_fig.add(Series::from_points("scan", scan_points));
+    emit(&eval_fig, "scale01_eval_paths");
+}

@@ -9,11 +9,13 @@
 //! says so.
 
 use hdb_interface::{AttrId, Query, QueryOutcome, ReturnedTuple, Schema, TopKInterface};
+use hdb_stats::PassReducer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::config::EstimatorConfig;
 use crate::dnc::estimate_pass_with;
+use crate::engine;
 use crate::error::{EstimatorError, Result};
 use crate::walk::{UniformWeights, WeightProvider};
 use crate::weight::{WeightModel, WeightModelConfig};
@@ -115,19 +117,73 @@ pub struct AggEstimate {
 ///
 /// Each [`UnbiasedAggEstimator::pass`] produces one unbiased estimate of
 /// the aggregate; the running mean over passes converges with variance
-/// `s²/passes`. The weight model persists across passes — that is the
-/// point of weight adjustment: early "pilot" passes make later passes
-/// cheaper and tighter without ever compromising unbiasedness.
+/// `s²/passes`. Passes are **independent units of work**: pass `i` draws
+/// its randomness from [`engine::pass_seed`]`(master_seed, i)` and, when
+/// weight adjustment is on, learns branch weights only within its own
+/// walks (the `r` drill-downs per subtree and the recursive
+/// divide-&-conquer below them). Pass independence is what lets
+/// [`UnbiasedAggEstimator::run_parallel`] fan passes across threads while
+/// staying bit-identical to the sequential [`UnbiasedAggEstimator::run`]
+/// regardless of worker count — and it keeps every pass individually
+/// unbiased, whatever the weights (§4.1.1).
 #[derive(Debug)]
 pub struct UnbiasedAggEstimator {
     config: EstimatorConfig,
     spec: AggregateSpec,
-    weights: WeightModel,
-    rng: StdRng,
+    master_seed: u64,
+    /// Index of the next pass to start; pass `i` is a pure function of
+    /// `(config, spec, root outcome, master_seed, i)`.
+    next_pass: u64,
     estimates: Vec<f64>,
     queries_spent: u64,
     root_outcome: Option<QueryOutcome>,
     levels: Option<Vec<AttrId>>,
+}
+
+/// Runs one independent estimation pass: the whole pass (branch picks,
+/// pass-local weight learning, divide-&-conquer recursion) consumes only
+/// the RNG stream derived from `(master_seed, pass_index)`.
+fn run_one_pass<I: TopKInterface>(
+    config: &EstimatorConfig,
+    spec: &AggregateSpec,
+    levels: &[AttrId],
+    root: &QueryOutcome,
+    iface: &I,
+    master_seed: u64,
+    pass_index: u64,
+) -> Result<f64> {
+    let schema = iface.schema();
+    match root {
+        QueryOutcome::Underflow => Ok(0.0),
+        QueryOutcome::Valid(tuples) => Ok(spec.measure(schema, tuples)),
+        QueryOutcome::Overflow(_) => {
+            let mut rng =
+                StdRng::seed_from_u64(engine::pass_seed(master_seed, pass_index));
+            let measure = |tuples: &[ReturnedTuple]| spec.measure(schema, tuples);
+            let weights;
+            let provider: &dyn WeightProvider = if config.weight_adjustment {
+                weights = WeightModel::new(WeightModelConfig {
+                    smoothing: config.smoothing,
+                    empty_weight: config.empty_weight,
+                    ..WeightModelConfig::default()
+                });
+                &weights
+            } else {
+                &UniformWeights
+            };
+            estimate_pass_with(
+                iface,
+                &spec.selection,
+                levels,
+                config.r,
+                config.dub,
+                provider,
+                &measure,
+                config.backtrack,
+                &mut rng,
+            )
+        }
+    }
 }
 
 impl UnbiasedAggEstimator {
@@ -140,16 +196,11 @@ impl UnbiasedAggEstimator {
     /// interface (the schema is needed).
     pub fn new(config: EstimatorConfig, spec: AggregateSpec, seed: u64) -> Result<Self> {
         config.validate()?;
-        let weights = WeightModel::new(WeightModelConfig {
-            smoothing: config.smoothing,
-            empty_weight: config.empty_weight,
-            ..WeightModelConfig::default()
-        });
         Ok(Self {
             config,
             spec,
-            weights,
-            rng: StdRng::seed_from_u64(seed),
+            master_seed: seed,
+            next_pass: 0,
             estimates: Vec::new(),
             queries_spent: 0,
             root_outcome: None,
@@ -181,11 +232,14 @@ impl UnbiasedAggEstimator {
         let result = self.pass_inner(iface);
         self.queries_spent += iface.queries_issued() - before;
         let estimate = result?;
+        self.next_pass += 1;
         self.estimates.push(estimate);
         Ok(estimate)
     }
 
-    fn pass_inner<I: TopKInterface>(&mut self, iface: &I) -> Result<f64> {
+    /// Resolves the level order and issues the root (selection) query
+    /// once; under the static-database model a client never re-asks it.
+    fn ensure_ready<I: TopKInterface>(&mut self, iface: &I) -> Result<()> {
         let schema = iface.schema();
         if self.levels.is_none() {
             self.spec.validate(schema)?;
@@ -193,39 +247,23 @@ impl UnbiasedAggEstimator {
                 self.spec.selection.predicates().iter().map(|p| p.attr).collect();
             self.levels = Some(self.config.order.resolve(schema, &fixed)?);
         }
-        // The root (selection) query is issued once and remembered: under
-        // the static-database model a client never needs to re-ask it.
         if self.root_outcome.is_none() {
             self.root_outcome = Some(iface.query(&self.spec.selection)?);
         }
-        let root = self.root_outcome.as_ref().expect("just cached");
+        Ok(())
+    }
 
-        match root {
-            QueryOutcome::Underflow => Ok(0.0),
-            QueryOutcome::Valid(tuples) => Ok(self.spec.measure(schema, tuples)),
-            QueryOutcome::Overflow(_) => {
-                let levels = self.levels.as_ref().expect("resolved above").clone();
-                let spec = self.spec.clone();
-                let measure =
-                    move |tuples: &[ReturnedTuple]| spec.measure(schema, tuples);
-                let provider: &dyn WeightProvider = if self.config.weight_adjustment {
-                    &self.weights
-                } else {
-                    &UniformWeights
-                };
-                estimate_pass_with(
-                    iface,
-                    &self.spec.selection,
-                    &levels,
-                    self.config.r,
-                    self.config.dub,
-                    provider,
-                    &measure,
-                    self.config.backtrack,
-                    &mut self.rng,
-                )
-            }
-        }
+    fn pass_inner<I: TopKInterface>(&mut self, iface: &I) -> Result<f64> {
+        self.ensure_ready(iface)?;
+        run_one_pass(
+            &self.config,
+            &self.spec,
+            self.levels.as_deref().expect("resolved above"),
+            self.root_outcome.as_ref().expect("just cached"),
+            iface,
+            self.master_seed,
+            self.next_pass,
+        )
     }
 
     /// Runs `passes` estimation passes and returns the summary.
@@ -267,6 +305,107 @@ impl UnbiasedAggEstimator {
             }
         }
         self.summary().ok_or(EstimatorError::InvalidConfig("no passes completed".into()))
+    }
+
+    /// Runs `passes` estimation passes fanned across `workers` OS
+    /// threads.
+    ///
+    /// Because each pass draws from its own
+    /// [`engine::pass_seed`]-derived RNG stream and results are merged in
+    /// canonical pass-index order (via [`hdb_stats::PassReducer`]), the
+    /// returned estimate, the per-pass [`UnbiasedAggEstimator::history`],
+    /// and even [`UnbiasedAggEstimator::queries_spent`] are **bitwise
+    /// identical** to the sequential [`UnbiasedAggEstimator::run`] for
+    /// any `workers ≥ 1`. Pass `workers = `[`engine::default_workers`]`()`
+    /// to honour the `HDB_ENGINE_WORKERS` environment variable.
+    ///
+    /// # Errors
+    /// Interface errors propagate, with two cases:
+    /// * **budget exhaustion** — the completed passes are kept and the
+    ///   partial summary returned (matching the sequential
+    ///   [`UnbiasedAggEstimator::run`]); under a budget cut the *set* of
+    ///   completed passes depends on thread scheduling, though each
+    ///   completed pass's value is individually deterministic;
+    /// * **any other error** — the run aborts without committing any of
+    ///   its passes: estimates, history, and the pass cursor are exactly
+    ///   as before the call, so a retry re-runs the same pass indices
+    ///   deterministically.
+    pub fn run_parallel<I: TopKInterface + Sync>(
+        &mut self,
+        iface: &I,
+        passes: u64,
+        workers: usize,
+    ) -> Result<AggEstimate> {
+        self.run_fanned(iface, Some(passes), None, workers)
+    }
+
+    /// Parallel counterpart of [`UnbiasedAggEstimator::run_until_budget`]:
+    /// workers keep claiming passes until this estimator has spent at
+    /// least `query_budget` queries (each in-flight pass completes).
+    ///
+    /// Unlike [`UnbiasedAggEstimator::run_parallel`], the **number** of
+    /// passes performed depends on the worker count (each worker may
+    /// overshoot the budget by the one pass it has in flight); every
+    /// individual pass value is still deterministic in its pass index.
+    ///
+    /// # Errors
+    /// Same contract as [`UnbiasedAggEstimator::run_parallel`].
+    pub fn run_until_budget_parallel<I: TopKInterface + Sync>(
+        &mut self,
+        iface: &I,
+        query_budget: u64,
+        workers: usize,
+    ) -> Result<AggEstimate> {
+        self.run_fanned(iface, None, Some(query_budget), workers)
+    }
+
+    /// Shared body of the parallel runners: fan passes out, merge in
+    /// canonical order, and commit to estimator state only on success or
+    /// budget exhaustion.
+    fn run_fanned<I: TopKInterface + Sync>(
+        &mut self,
+        iface: &I,
+        passes: Option<u64>,
+        query_budget: Option<u64>,
+        workers: usize,
+    ) -> Result<AggEstimate> {
+        let before = iface.queries_issued();
+        let ready = self.ensure_ready(iface);
+        self.queries_spent += iface.queries_issued() - before;
+        ready?;
+        let before = iface.queries_issued();
+        let spent_before = self.queries_spent;
+        let base = self.next_pass;
+        let (config, spec, master) = (&self.config, &self.spec, self.master_seed);
+        let levels = self.levels.as_deref().expect("resolved");
+        let root = self.root_outcome.as_ref().expect("cached");
+        let keep_going = || match query_budget {
+            None => true,
+            Some(b) => spent_before + (iface.queries_issued() - before) < b,
+        };
+        let out = engine::fan_out(passes, workers, keep_going, |i| {
+            run_one_pass(config, spec, levels, root, iface, master, base + i)
+        });
+        self.queries_spent += iface.queries_issued() - before;
+        let budget_error = match out.error {
+            // A non-budget error aborts without committing any of this
+            // fan-out's passes (other workers may have completed later
+            // indices, but recording them would leave a hole at the
+            // failed index and break sequential parity on retry).
+            Some(e) if !e.is_budget_exhausted() => return Err(e),
+            other => other,
+        };
+        self.next_pass = base + out.claimed;
+        let mut reducer = PassReducer::with_capacity(out.results.len());
+        for (i, v) in out.results {
+            reducer.insert(i, v);
+        }
+        self.estimates.extend(reducer.into_ordered());
+        match self.summary() {
+            Some(s) => Ok(s),
+            None => Err(budget_error
+                .unwrap_or_else(|| EstimatorError::InvalidConfig("no passes completed".into()))),
+        }
     }
 
     /// The running estimate (mean of pass estimates), if any pass has
@@ -491,6 +630,62 @@ mod tests {
         assert_eq!(ratio_avg(10.0, 4.0), Some(2.5));
         assert_eq!(ratio_avg(10.0, 0.0), None);
         assert_eq!(ratio_avg(10.0, -1.0), None);
+    }
+
+    #[test]
+    fn run_parallel_matches_sequential_bitwise() {
+        for workers in [1usize, 3] {
+            let mut seq = UnbiasedAggEstimator::new(
+                EstimatorConfig::hd_default().with_dub(4),
+                AggregateSpec::database_size(),
+                71,
+            )
+            .unwrap();
+            let s = seq.run(&db(), 200).unwrap();
+            let mut par = UnbiasedAggEstimator::new(
+                EstimatorConfig::hd_default().with_dub(4),
+                AggregateSpec::database_size(),
+                71,
+            )
+            .unwrap();
+            let p = par.run_parallel(&db(), 200, workers).unwrap();
+            assert_eq!(s.estimate.to_bits(), p.estimate.to_bits(), "workers={workers}");
+            assert_eq!(seq.history(), par.history(), "workers={workers}");
+            assert_eq!(s.queries, p.queries, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn run_until_budget_parallel_spends_at_least_budget() {
+        let db = db();
+        let mut est = UnbiasedAggEstimator::new(
+            EstimatorConfig::plain(),
+            AggregateSpec::database_size(),
+            5,
+        )
+        .unwrap();
+        let summary = est.run_until_budget_parallel(&db, 100, 4).unwrap();
+        assert!(summary.queries >= 100);
+        assert!(summary.passes > 1);
+        assert_eq!(summary.passes as usize, est.history().len());
+    }
+
+    #[test]
+    fn parallel_budget_exhaustion_preserves_partial_results() {
+        let schema = Schema::boolean(6);
+        let tuples: Vec<Tuple> =
+            (0..40u16).map(|i| Tuple::new((0..6).map(|b| (i >> b) & 1).collect())).collect();
+        let db = HiddenDb::new(Table::new(schema, tuples).unwrap(), 1).with_budget(60);
+        let mut est = UnbiasedAggEstimator::new(
+            EstimatorConfig::plain(),
+            AggregateSpec::database_size(),
+            3,
+        )
+        .unwrap();
+        let summary = est.run_parallel(&db, 1_000_000, 4).unwrap();
+        assert!(summary.passes >= 1);
+        assert!(summary.queries <= 60);
+        assert!(summary.estimate > 0.0);
     }
 
     #[test]

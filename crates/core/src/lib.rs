@@ -17,6 +17,9 @@
 //!   walks (§4.1);
 //! * **Divide-&-conquer** ([`dnc`]) — bounded-subdomain subtrees that
 //!   tame the `|Dom|/m` variance blow-up (§4.2);
+//! * **A parallel engine** ([`engine`]) — passes fan across a thread
+//!   pool with per-pass seed derivation, so results are bit-identical to
+//!   the sequential run for any worker count;
 //!
 //! combined into [`UnbiasedSizeEstimator`] (`HD-UNBIASED-SIZE`) and
 //! [`UnbiasedAggEstimator`] (`HD-UNBIASED-AGG`), next to the paper's
@@ -48,6 +51,7 @@ pub mod baselines;
 pub mod config;
 pub mod crawler;
 pub mod dnc;
+pub mod engine;
 pub mod error;
 pub mod oracle;
 pub mod order;
@@ -59,6 +63,7 @@ pub mod weight;
 pub use agg::{ratio_avg, AggEstimate, AggregateFn, AggregateSpec, UnbiasedAggEstimator};
 pub use config::EstimatorConfig;
 pub use crawler::{crawl, CrawlResult, TopValidNode};
+pub use engine::{default_workers, pass_seed};
 pub use error::{EstimatorError, Result};
 pub use oracle::{Oracle, OracleNode};
 pub use order::AttributeOrder;

@@ -88,6 +88,36 @@ impl UnbiasedSizeEstimator {
         self.inner.run_until_budget(iface, query_budget)
     }
 
+    /// Runs `passes` passes fanned across `workers` threads; bitwise
+    /// identical to [`UnbiasedSizeEstimator::run`] for any worker count.
+    /// See [`UnbiasedAggEstimator::run_parallel`].
+    ///
+    /// # Errors
+    /// Same contract as [`UnbiasedSizeEstimator::run`].
+    pub fn run_parallel<I: TopKInterface + Sync>(
+        &mut self,
+        iface: &I,
+        passes: u64,
+        workers: usize,
+    ) -> Result<SizeEstimate> {
+        self.inner.run_parallel(iface, passes, workers)
+    }
+
+    /// Runs passes across `workers` threads until at least `query_budget`
+    /// queries are spent; see
+    /// [`UnbiasedAggEstimator::run_until_budget_parallel`].
+    ///
+    /// # Errors
+    /// Same contract as [`UnbiasedSizeEstimator::run_until_budget`].
+    pub fn run_until_budget_parallel<I: TopKInterface + Sync>(
+        &mut self,
+        iface: &I,
+        query_budget: u64,
+        workers: usize,
+    ) -> Result<SizeEstimate> {
+        self.inner.run_until_budget_parallel(iface, query_budget, workers)
+    }
+
     /// The running size estimate, if any pass completed.
     #[must_use]
     pub fn estimate(&self) -> Option<f64> {

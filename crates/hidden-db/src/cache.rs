@@ -1,4 +1,4 @@
-//! A client-side query memo.
+//! Query memoisation, safe under concurrency.
 //!
 //! Re-issuing a query the client has already asked wastes budget on a real
 //! site (the answer cannot have changed within a session under the paper's
@@ -6,13 +6,22 @@
 //! [`TopKInterface`] and serves repeats from memory; only cache misses are
 //! charged to the inner interface.
 //!
+//! The store behind it, [`ShardedMemo`], spreads entries over a fixed set
+//! of independently locked shards (hash of the query picks the shard), so
+//! concurrent drill-down workers hitting disjoint queries never contend
+//! on one global lock. The hidden-database simulator reuses the same
+//! structure for its server-side hot-response memo.
+//!
 //! Note the estimators in `hdb-core` deliberately do *not* put a global
 //! cache between themselves and the database when measuring query cost —
 //! the paper's costs count *issued* queries, with deduplication applied
 //! only within a single drill-down. The wrapper exists for applications
 //! (and for the crawler, where cross-walk reuse is legitimate).
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::error::Result;
@@ -20,27 +29,91 @@ use crate::interface::{QueryOutcome, TopKInterface};
 use crate::query::Query;
 use crate::schema::Schema;
 
+/// Number of independently locked shards. A power of two so the shard
+/// pick is a mask; 16 keeps contention negligible for the worker counts
+/// the engine uses (≤ 8) without bloating the empty structure.
+const SHARD_COUNT: usize = 16;
+
+/// A query → outcome memo sharded over independently locked maps.
+///
+/// All methods take `&self`; the structure is `Sync` and safe to share
+/// across estimation worker threads.
+#[derive(Debug, Default)]
+pub struct ShardedMemo {
+    shards: [Mutex<HashMap<Query, QueryOutcome>>; SHARD_COUNT],
+}
+
+impl ShardedMemo {
+    /// An empty memo.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self, q: &Query) -> &Mutex<HashMap<Query, QueryOutcome>> {
+        let mut h = DefaultHasher::new();
+        q.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (SHARD_COUNT - 1)]
+    }
+
+    /// Looks up the outcome memoised for `q`, if any.
+    #[must_use]
+    pub fn get(&self, q: &Query) -> Option<QueryOutcome> {
+        self.shard(q).lock().expect("memo shard poisoned").get(q).cloned()
+    }
+
+    /// Memoises `outcome` for `q` (last writer wins; under the
+    /// static-database model every writer stores the same answer).
+    pub fn insert(&self, q: Query, outcome: QueryOutcome) {
+        self.shard(&q).lock().expect("memo shard poisoned").insert(q, outcome);
+    }
+
+    /// Number of distinct queries stored, summed across shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("memo shard poisoned").len()).sum()
+    }
+
+    /// Whether no query is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("memo shard poisoned").clear();
+        }
+    }
+}
+
 /// Memoising wrapper around a [`TopKInterface`].
+///
+/// Thread-safe: concurrent callers contend only on the shard their query
+/// hashes to. Two threads racing on the *same* uncached query may both
+/// miss and both charge the inner interface — a cache races like a cache,
+/// never like a lock — but the memoised answer is identical either way.
 pub struct CachingInterface<I> {
     inner: I,
-    memo: Mutex<HashMap<Query, QueryOutcome>>,
-    hits: Mutex<u64>,
+    memo: ShardedMemo,
+    hits: AtomicU64,
 }
 
 impl<I: TopKInterface> CachingInterface<I> {
     /// Wraps `inner` with an unbounded memo.
     pub fn new(inner: I) -> Self {
-        Self { inner, memo: Mutex::new(HashMap::new()), hits: Mutex::new(0) }
+        Self { inner, memo: ShardedMemo::new(), hits: AtomicU64::new(0) }
     }
 
     /// Number of queries answered from the memo.
     pub fn cache_hits(&self) -> u64 {
-        *self.hits.lock().expect("cache mutex poisoned")
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// Number of distinct queries stored.
     pub fn cache_size(&self) -> usize {
-        self.memo.lock().expect("cache mutex poisoned").len()
+        self.memo.len()
     }
 
     /// The wrapped interface.
@@ -64,15 +137,12 @@ impl<I: TopKInterface> TopKInterface for CachingInterface<I> {
     }
 
     fn query(&self, q: &Query) -> Result<QueryOutcome> {
-        if let Some(hit) = self.memo.lock().expect("cache mutex poisoned").get(q) {
-            *self.hits.lock().expect("cache mutex poisoned") += 1;
-            return Ok(hit.clone());
+        if let Some(hit) = self.memo.get(q) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
         }
         let outcome = self.inner.query(q)?;
-        self.memo
-            .lock()
-            .expect("cache mutex poisoned")
-            .insert(q.clone(), outcome.clone());
+        self.memo.insert(q.clone(), outcome.clone());
         Ok(outcome)
     }
 
@@ -130,5 +200,64 @@ mod tests {
         c.query(&q).unwrap();
         // a new query exceeds the budget
         assert!(c.query(&Query::all().and(0, 0).unwrap()).is_err());
+    }
+
+    #[test]
+    fn sharded_memo_basics() {
+        let memo = ShardedMemo::new();
+        assert!(memo.is_empty());
+        let q = Query::all();
+        assert_eq!(memo.get(&q), None);
+        memo.insert(q.clone(), QueryOutcome::Underflow);
+        assert_eq!(memo.get(&q), Some(QueryOutcome::Underflow));
+        assert_eq!(memo.len(), 1);
+        memo.clear();
+        assert!(memo.is_empty());
+    }
+
+    #[test]
+    fn memo_entries_spread_across_shards() {
+        // Many distinct queries must not pile into one shard (a broken
+        // hash → one global lock in disguise).
+        let memo = ShardedMemo::new();
+        for attr in 0..4usize {
+            for value in 0..2u16 {
+                memo.insert(
+                    Query::all().and(attr, value).unwrap(),
+                    QueryOutcome::Underflow,
+                );
+            }
+        }
+        assert_eq!(memo.len(), 8);
+        let occupied =
+            memo.shards.iter().filter(|s| !s.lock().unwrap().is_empty()).count();
+        assert!(occupied >= 2, "all {} entries landed in one shard", memo.len());
+    }
+
+    #[test]
+    fn concurrent_hammering_is_consistent() {
+        use std::sync::Arc;
+        let c = Arc::new(CachingInterface::new(db()));
+        let queries: Vec<Query> = (0..3usize)
+            .flat_map(|a| (0..2u16).map(move |v| Query::all().and(a, v).unwrap()))
+            .collect();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let c = Arc::clone(&c);
+            let queries = queries.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200 {
+                    let q = &queries[(i + t) % queries.len()];
+                    let _ = c.query(q).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.cache_size(), queries.len());
+        // every call either hit the memo or charged the inner interface
+        assert_eq!(c.cache_hits() + c.queries_issued(), 800);
+        assert!(c.queries_issued() >= queries.len() as u64);
     }
 }

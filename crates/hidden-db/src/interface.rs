@@ -12,9 +12,9 @@
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
+use crate::cache::ShardedMemo;
 use crate::counter::{OutcomeKind, QueryCounter};
 use crate::error::Result;
-use crate::index::TableIndex;
 use crate::query::Query;
 use crate::ranking::{RankingFunction, RowIdRanking};
 use crate::schema::Schema;
@@ -125,19 +125,37 @@ impl Ord for ScoreKey {
     }
 }
 
+/// How the simulator evaluates `Sel(q)` (paper-invisible: outcomes are
+/// identical either way, only server CPU time differs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EvalMode {
+    /// Intersect per-`(attribute, value)` posting bitmaps and popcount —
+    /// the fast path, default.
+    #[default]
+    Bitmap,
+    /// Filter the tuple vector per query — the naive reference path,
+    /// kept selectable so benches and property tests can compare.
+    Scan,
+}
+
 /// The in-process hidden database: a [`Table`] behind a [`TopKInterface`].
+///
+/// `HiddenDb` is `Sync`: the table and its bitmap index are read-only
+/// after construction, query accounting is atomic, and the hot-response
+/// memo is sharded-locked — a single instance can serve every worker of
+/// the parallel estimation engine.
 pub struct HiddenDb {
     table: Table,
-    index: TableIndex,
     ranking: Arc<dyn RankingFunction>,
     k: usize,
     counter: QueryCounter,
+    eval_mode: EvalMode,
     /// Server-side memo of *expensive* responses (overflow queries whose
     /// match count far exceeds `k`): those are the few shallow tree nodes
     /// every drill-down revisits, and their top-k selection dominates the
     /// simulator's CPU time. Purely an implementation detail of the
     /// simulated server — every query is still charged to the counter.
-    hot_responses: std::sync::Mutex<std::collections::HashMap<Query, QueryOutcome>>,
+    hot_responses: ShardedMemo,
 }
 
 impl HiddenDb {
@@ -150,14 +168,16 @@ impl HiddenDb {
     #[must_use]
     pub fn new(table: Table, k: usize) -> Self {
         assert!(k > 0, "top-k interface requires k >= 1");
-        let index = TableIndex::build(&table);
+        // The bitmap index builds lazily on the first bitmap-mode query
+        // (OnceLock serialises concurrent first callers to one build);
+        // scan-mode instances never pay for it.
         Self {
             table,
-            index,
             ranking: Arc::new(RowIdRanking),
             k,
             counter: QueryCounter::unlimited(),
-            hot_responses: std::sync::Mutex::new(std::collections::HashMap::new()),
+            eval_mode: EvalMode::Bitmap,
+            hot_responses: ShardedMemo::new(),
         }
     }
 
@@ -175,6 +195,19 @@ impl HiddenDb {
         self
     }
 
+    /// Selects the query-evaluation path (bitmap by default).
+    #[must_use]
+    pub fn with_eval_mode(mut self, mode: EvalMode) -> Self {
+        self.eval_mode = mode;
+        self
+    }
+
+    /// The query-evaluation path in use.
+    #[must_use]
+    pub fn eval_mode(&self) -> EvalMode {
+        self.eval_mode
+    }
+
     /// Owner-side access to the underlying table (ground truth for
     /// experiments; never used by estimators).
     #[must_use]
@@ -190,25 +223,51 @@ impl HiddenDb {
     }
 
     fn respond(&self, q: &Query) -> QueryOutcome {
-        let sel = self.index.eval(q);
-        let count = sel.count();
+        match self.eval_mode {
+            EvalMode::Bitmap => {
+                let sel = self.table.index().eval(q);
+                let count = sel.count();
+                self.classify(q, count, || sel.iter_ones().map(|r| r as TupleId))
+            }
+            EvalMode::Scan => {
+                let ids: Vec<TupleId> = self
+                    .table
+                    .tuples()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| q.matches(t))
+                    .map(|(r, _)| r as TupleId)
+                    .collect();
+                let count = ids.len();
+                self.classify(q, count, || ids.iter().copied())
+            }
+        }
+    }
+
+    /// Classifies a match set of known `count` into the paper's three
+    /// outcomes, materialising tuples lazily from `ids`.
+    fn classify<It>(
+        &self,
+        q: &Query,
+        count: usize,
+        ids: impl FnOnce() -> It,
+    ) -> QueryOutcome
+    where
+        It: Iterator<Item = TupleId>,
+    {
         if count == 0 {
             return QueryOutcome::Underflow;
         }
         // Memoise expensive overflow responses (top-k over many matches).
         let expensive = count > self.k.saturating_mul(8);
         if expensive {
-            if let Some(hit) = self.hot_responses.lock().expect("memo poisoned").get(q) {
-                return hit.clone();
+            if let Some(hit) = self.hot_responses.get(q) {
+                return hit;
             }
         }
         if count <= self.k {
-            let tuples = sel
-                .iter_ones()
-                .map(|r| {
-                    let id = r as TupleId;
-                    ReturnedTuple { id, tuple: self.table.tuple(id).clone() }
-                })
+            let tuples = ids()
+                .map(|id| ReturnedTuple { id, tuple: self.table.tuple(id).clone() })
                 .collect();
             QueryOutcome::Valid(tuples)
         } else {
@@ -217,8 +276,7 @@ impl HiddenDb {
             // queries near the tree root can match hundreds of thousands
             // of rows, so this is the simulator's hottest path.
             let mut heap: BinaryHeap<(ScoreKey, TupleId)> = BinaryHeap::with_capacity(self.k + 1);
-            for r in sel.iter_ones() {
-                let id = r as TupleId;
+            for id in ids() {
                 let key = (ScoreKey(self.ranking.score(&self.table, id)), id);
                 if heap.len() < self.k {
                     heap.push(key);
@@ -235,10 +293,7 @@ impl HiddenDb {
                 .collect();
             let outcome = QueryOutcome::Overflow(tuples);
             if expensive {
-                self.hot_responses
-                    .lock()
-                    .expect("memo poisoned")
-                    .insert(q.clone(), outcome.clone());
+                self.hot_responses.insert(q.clone(), outcome.clone());
             }
             outcome
         }
@@ -404,5 +459,75 @@ mod tests {
     #[should_panic(expected = "k >= 1")]
     fn zero_k_rejected() {
         let _ = HiddenDb::new(running_example(), 0);
+    }
+
+    #[test]
+    fn interface_types_are_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HiddenDb>();
+        assert_send_sync::<crate::cache::CachingInterface<HiddenDb>>();
+        assert_send_sync::<crate::counter::QueryCounter>();
+        assert_send_sync::<Table>();
+    }
+
+    #[test]
+    fn scan_and_bitmap_modes_answer_identically() {
+        let bitmap = HiddenDb::new(running_example(), 2);
+        let scan = HiddenDb::new(running_example(), 2).with_eval_mode(EvalMode::Scan);
+        assert_eq!(scan.eval_mode(), EvalMode::Scan);
+        let mut queries = vec![Query::all()];
+        for attr in 0..5 {
+            for v in 0..bitmap.schema().fanout(attr) {
+                queries.push(Query::all().and(attr, v as u16).unwrap());
+            }
+        }
+        queries.push(Query::all().and(0, 0).unwrap().and(2, 1).unwrap());
+        for q in &queries {
+            assert_eq!(bitmap.query(q).unwrap(), scan.query(q).unwrap(), "query {q:?}");
+        }
+    }
+
+    /// Pins the query-cost accounting contract: exactly one counter
+    /// increment per issued query, with the outcome tallied in exactly
+    /// one bucket — underflow and overflow included.
+    #[test]
+    fn one_counter_increment_per_issued_query() {
+        let db = HiddenDb::new(running_example(), 1);
+        // overflow (6 matches, k=1)
+        db.query(&Query::all()).unwrap();
+        assert_eq!(db.queries_issued(), 1);
+        assert_eq!(db.counter().overflow_count(), 1);
+        // underflow (A1=1 ∧ A2=0 matches nothing)
+        let q_under = Query::all().and(0, 1).unwrap().and(1, 0).unwrap();
+        db.query(&q_under).unwrap();
+        assert_eq!(db.queries_issued(), 2);
+        assert_eq!(db.counter().underflow_count(), 1);
+        // valid (exactly t5)
+        let q_valid = Query::all()
+            .and(0, 1)
+            .unwrap()
+            .and(1, 1)
+            .unwrap()
+            .and(2, 1)
+            .unwrap()
+            .and(3, 0)
+            .unwrap();
+        db.query(&q_valid).unwrap();
+        assert_eq!(db.queries_issued(), 3);
+        assert_eq!(db.counter().valid_count(), 1);
+        // a repeat served from the server-side hot memo is still charged:
+        // the client issued it, so the site meters it
+        db.query(&Query::all()).unwrap();
+        assert_eq!(db.queries_issued(), 4);
+        assert_eq!(db.counter().overflow_count(), 2);
+        // the tallies partition the issued count exactly
+        let c = db.counter();
+        assert_eq!(
+            c.underflow_count() + c.valid_count() + c.overflow_count(),
+            db.queries_issued()
+        );
+        // rejected queries are never counted anywhere
+        assert!(db.query(&Query::all().and(9, 0).unwrap()).is_err());
+        assert_eq!(db.queries_issued(), 4);
     }
 }

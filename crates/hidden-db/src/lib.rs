@@ -56,11 +56,11 @@ pub mod schema;
 pub mod table;
 pub mod tuple;
 
-pub use cache::CachingInterface;
+pub use cache::{CachingInterface, ShardedMemo};
 pub use counter::QueryCounter;
 pub use error::{HdbError, Result};
 pub use index::TableIndex;
-pub use interface::{HiddenDb, QueryOutcome, ReturnedTuple, TopKInterface};
+pub use interface::{EvalMode, HiddenDb, QueryOutcome, ReturnedTuple, TopKInterface};
 pub use query::{Predicate, Query};
 pub use ranking::{AttributeRanking, RankingFunction, RowIdRanking, SeededRandomRanking};
 pub use schema::{AttrId, Attribute, Schema, ValueId};

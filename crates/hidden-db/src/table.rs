@@ -2,11 +2,17 @@
 //!
 //! The table is the *owner's* view; estimators never see it directly.
 //! It also exposes exact aggregates (size, SUM, conditional COUNT/SUM)
-//! used as ground truth when scoring estimators.
+//! used as ground truth when scoring estimators. Aggregates are answered
+//! through a lazily built, cached [`TableIndex`] (bitmap AND + popcount
+//! per query) rather than rescanning the tuple vector on every call; the
+//! scan path survives as `*_scan` methods so property tests and benches
+//! can pit the two against each other.
 
 use std::collections::HashSet;
+use std::sync::OnceLock;
 
 use crate::error::{HdbError, Result};
+use crate::index::TableIndex;
 use crate::query::Query;
 use crate::schema::{AttrId, Schema};
 use crate::tuple::{Tuple, TupleId};
@@ -15,17 +21,30 @@ use crate::tuple::{Tuple, TupleId};
 ///
 /// The paper assumes no duplicate tuples and no NULLs (§2.1); `Table`
 /// enforces both at construction.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Table {
     schema: Schema,
     tuples: Vec<Tuple>,
+    /// Bitmap index over the current tuples, built on first aggregate
+    /// call and dropped by any mutation. `OnceLock` keeps the table
+    /// `Sync` without locking the read path.
+    index: OnceLock<TableIndex>,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Self {
+        // The clone starts with a cold index cache: cloning is common in
+        // dataset generators that mutate the copy next, where a cloned
+        // index would be rebuilt anyway.
+        Self { schema: self.schema.clone(), tuples: self.tuples.clone(), index: OnceLock::new() }
+    }
 }
 
 impl Table {
     /// Creates an empty table.
     #[must_use]
     pub fn empty(schema: Schema) -> Self {
-        Self { schema, tuples: Vec::new() }
+        Self { schema, tuples: Vec::new(), index: OnceLock::new() }
     }
 
     /// Builds a table from tuples, validating conformance and rejecting
@@ -64,7 +83,9 @@ impl Table {
                 kept.push(t);
             }
         }
-        Ok(Self { schema, tuples: kept })
+        let mut table = Self::empty(schema);
+        table.tuples = kept;
+        Ok(table)
     }
 
     /// Appends a tuple, validating conformance and uniqueness.
@@ -88,6 +109,7 @@ impl Table {
             )));
         }
         self.tuples.push(tuple);
+        self.index.take();
         Ok(())
     }
 
@@ -109,6 +131,7 @@ impl Table {
         }
         drop(seen);
         self.tuples.extend(validated);
+        self.index.take();
         Ok(())
     }
 
@@ -149,19 +172,62 @@ impl Table {
     // Ground-truth aggregates (owner-side; not available to estimators)
     // ------------------------------------------------------------------
 
-    /// Exact `COUNT(*) WHERE q` by scanning.
+    /// The bitmap index over the current tuples, building it on first
+    /// use. All aggregate methods route through this; mutations
+    /// ([`Table::push`]) drop the cache.
+    #[must_use]
+    pub fn index(&self) -> &TableIndex {
+        self.index.get_or_init(|| TableIndex::build(self))
+    }
+
+    /// Exact `COUNT(*) WHERE q` via the cached bitmap index.
     #[must_use]
     pub fn exact_count(&self, q: &Query) -> usize {
+        self.index().count(q)
+    }
+
+    /// Exact `COUNT(*) WHERE q` by linear scan — the pre-index reference
+    /// path, kept so equivalence with the bitmap path stays testable (and
+    /// benchmarkable).
+    #[must_use]
+    pub fn exact_count_scan(&self, q: &Query) -> usize {
         self.tuples.iter().filter(|t| q.matches(t)).count()
     }
 
     /// Exact `SUM(attr) WHERE q` using the attribute's numeric
-    /// interpretation.
+    /// interpretation, via the cached bitmap index.
     ///
     /// # Errors
     /// Returns [`HdbError::InvalidQuery`] if `attr` has no numeric
     /// interpretation or is out of range.
     pub fn exact_sum(&self, attr: AttrId, q: &Query) -> Result<f64> {
+        let a = self.checked_numeric(attr)?;
+        Ok(self
+            .index()
+            .eval(q)
+            .iter_ones()
+            .map(|r| {
+                a.numeric_value(self.tuples[r].value(attr)).expect("checked numeric")
+            })
+            .sum())
+    }
+
+    /// Exact `SUM(attr) WHERE q` by linear scan (reference path, see
+    /// [`Table::exact_count_scan`]).
+    ///
+    /// # Errors
+    /// Same conditions as [`Table::exact_sum`].
+    pub fn exact_sum_scan(&self, attr: AttrId, q: &Query) -> Result<f64> {
+        let a = self.checked_numeric(attr)?;
+        Ok(self
+            .tuples
+            .iter()
+            .filter(|t| q.matches(t))
+            .map(|t| a.numeric_value(t.value(attr)).expect("checked numeric"))
+            .sum())
+    }
+
+    fn checked_numeric(&self, attr: AttrId) -> Result<&crate::schema::Attribute> {
         if attr >= self.schema.len() {
             return Err(HdbError::InvalidQuery(format!("attribute id {attr} out of range")));
         }
@@ -172,12 +238,7 @@ impl Table {
                 a.name()
             )));
         }
-        Ok(self
-            .tuples
-            .iter()
-            .filter(|t| q.matches(t))
-            .map(|t| a.numeric_value(t.value(attr)).expect("checked numeric"))
-            .sum())
+        Ok(a)
     }
 
     /// Exact `AVG(attr) WHERE q`. Returns `None` when no tuple matches.
@@ -281,6 +342,44 @@ mod tests {
         assert_eq!(t.exact_avg(2, &q).unwrap(), Some(25.0));
         let q_none = Query::all().and(0, 1).unwrap().and(1, 0).unwrap();
         assert_eq!(t.exact_avg(2, &q_none).unwrap(), None);
+    }
+
+    #[test]
+    fn index_survives_reads_and_is_dropped_by_mutation() {
+        let mut t = table();
+        let q = Query::all().and(1, 1).unwrap();
+        assert_eq!(t.exact_count(&q), 3);
+        // the cached index must not serve stale answers after a push
+        t.push(Tuple::new(vec![0, 1, 2])).unwrap();
+        assert_eq!(t.exact_count(&q), 4);
+        assert_eq!(t.exact_count_scan(&q), 4);
+    }
+
+    #[test]
+    fn bitmap_and_scan_paths_agree() {
+        let t = table();
+        let queries = [
+            Query::all(),
+            Query::all().and(0, 1).unwrap(),
+            Query::all().and(0, 0).unwrap().and(1, 1).unwrap(),
+            Query::all().and(2, 2).unwrap().and(0, 0).unwrap(),
+        ];
+        for q in &queries {
+            assert_eq!(t.exact_count(q), t.exact_count_scan(q), "query {q:?}");
+            assert_eq!(
+                t.exact_sum(2, q).unwrap(),
+                t.exact_sum_scan(2, q).unwrap(),
+                "query {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cloned_table_answers_like_the_original() {
+        let t = table();
+        let _ = t.exact_count(&Query::all()); // warm the cache
+        let c = t.clone();
+        assert_eq!(c.exact_count(&Query::all()), t.exact_count(&Query::all()));
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Order-independent merging of per-pass estimates.
+//!
+//! The parallel estimation engine in `hdb-core` fans independent passes
+//! across worker threads; each pass returns `(pass_index, estimate)`.
+//! Floating-point addition is not associative, so naively summing results
+//! in arrival order would make the merged estimate depend on thread
+//! scheduling. [`PassReducer`] removes that dependence: results may be
+//! inserted in **any** order, and [`PassReducer::into_ordered`] always
+//! replays them in canonical pass-index order — so every downstream fold
+//! (mean, variance) performs bit-identical operations regardless of how
+//! many workers produced the results or how they interleaved.
+
+/// Collects `(pass_index, value)` results and yields them in canonical
+/// pass-index order.
+///
+/// Duplicate indices are a logic error (each pass runs exactly once) and
+/// are rejected at merge time.
+#[derive(Clone, Debug, Default)]
+pub struct PassReducer {
+    results: Vec<(u64, f64)>,
+}
+
+impl PassReducer {
+    /// An empty reducer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A reducer with room for `capacity` results.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { results: Vec::with_capacity(capacity) }
+    }
+
+    /// Records the result of pass `index`. Insertion order is irrelevant.
+    pub fn insert(&mut self, index: u64, value: f64) {
+        self.results.push((index, value));
+    }
+
+    /// Number of results collected so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether no results have been collected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// The collected values in ascending pass-index order — the canonical
+    /// sequence every consumer must fold over.
+    ///
+    /// # Panics
+    /// Panics if two results share a pass index: passes are independent
+    /// units of work and must each be reported exactly once.
+    #[must_use]
+    pub fn into_ordered(mut self) -> Vec<f64> {
+        self.results.sort_by_key(|&(i, _)| i);
+        for pair in self.results.windows(2) {
+            assert!(
+                pair[0].0 != pair[1].0,
+                "duplicate result for pass {} in PassReducer",
+                pair[0].0
+            );
+        }
+        self.results.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        // values chosen so that summation order changes the f64 result
+        let values = [1e16, 1.0, -1e16, 1.0, 3.5, -7.25];
+        let mut forward = PassReducer::new();
+        for (i, &v) in values.iter().enumerate() {
+            forward.insert(i as u64, v);
+        }
+        let mut backward = PassReducer::new();
+        for (i, &v) in values.iter().enumerate().rev() {
+            backward.insert(i as u64, v);
+        }
+        assert_eq!(forward.into_ordered(), backward.into_ordered());
+    }
+
+    #[test]
+    fn interleaved_batches_reduce_identically() {
+        // two "workers" reporting alternating indices into one reducer
+        let mut r = PassReducer::with_capacity(4);
+        for (i, v) in [(0u64, 1.0f64), (2, 3.0)] {
+            r.insert(i, v);
+        }
+        for (i, v) in [(3u64, 4.0f64), (1, 2.0)] {
+            r.insert(i, v);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.into_ordered(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_reducer() {
+        let r = PassReducer::new();
+        assert!(r.is_empty());
+        assert!(r.into_ordered().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate result")]
+    fn duplicate_pass_index_rejected() {
+        let mut r = PassReducer::new();
+        r.insert(0, 1.0);
+        r.insert(0, 2.0);
+        let _ = r.into_ordered();
+    }
+
+    #[test]
+    fn sparse_indices_keep_ascending_order() {
+        // budget-exhausted parallel runs can complete a sparse subset
+        let mut r = PassReducer::with_capacity(3);
+        r.insert(7, 70.0);
+        r.insert(3, 30.0);
+        r.insert(11, 110.0);
+        assert_eq!(r.into_ordered(), vec![30.0, 70.0, 110.0]);
+    }
+}

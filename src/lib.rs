@@ -10,6 +10,8 @@
 //!   `HD-UNBIASED-AGG`, baselines, crawler, oracle);
 //! * [`hdb_stats`] — accuracy summaries and trial plumbing.
 
+pub mod testkit;
+
 pub use hdb_core;
 pub use hdb_datagen;
 pub use hdb_interface;

@@ -1,0 +1,81 @@
+//! Statistical test harness for estimator unbiasedness.
+//!
+//! The paper's central claim is distributional — every pass estimate has
+//! expectation equal to the true aggregate — so it can only be checked
+//! by Monte-Carlo: run the estimator under many independent master
+//! seeds, average, and compare against ground truth with a tolerance
+//! derived from the observed spread (a CLT confidence interval), not a
+//! magic constant. This module packages that recipe so integration tests
+//! can assert unbiasedness in two lines, and routes every run through
+//! the **parallel engine** (worker count from `HDB_ENGINE_WORKERS` via
+//! [`hdb_core::default_workers`]) — CI runs the suite under 1 and 4
+//! workers, so the engine's thread-count-independence guarantee is
+//! exercised by every statistical assertion.
+
+use hdb_core::{default_workers, AggregateSpec, EstimatorConfig, UnbiasedAggEstimator};
+use hdb_interface::{HiddenDb, Table};
+
+/// A Monte-Carlo unbiasedness check of one estimator configuration
+/// against a ground-truth table.
+#[derive(Clone, Debug)]
+pub struct UnbiasednessCheck {
+    /// Interface constant `k` for the simulated hidden database.
+    pub k: usize,
+    /// Estimator configuration under test.
+    pub config: EstimatorConfig,
+    /// Aggregate under test.
+    pub spec: AggregateSpec,
+    /// Independent master seeds (one estimator run each).
+    pub seeds: std::ops::Range<u64>,
+    /// Passes per seed.
+    pub passes_per_seed: u64,
+    /// CLT z-multiplier for the tolerance (4 ≈ 1-in-16,000 spurious
+    /// failures; seeds are fixed, so a passing test stays passing).
+    pub z: f64,
+}
+
+impl UnbiasednessCheck {
+    /// A check with the defaults the integration tests use.
+    #[must_use]
+    pub fn new(k: usize, config: EstimatorConfig, spec: AggregateSpec) -> Self {
+        Self { k, config, spec, seeds: 0..12, passes_per_seed: 400, z: 4.0 }
+    }
+
+    /// Runs the check against `table`, whose exact aggregate is `truth`,
+    /// asserting the mean relative bias lies inside the CI-derived
+    /// tolerance.
+    ///
+    /// # Panics
+    /// Panics (failing the test) when the grand mean falls outside
+    /// `truth ± (z·SE + 0.5% of truth + 0.05)`, where `SE` is the
+    /// standard error of the per-seed means.
+    pub fn assert_unbiased(&self, table: &Table, truth: f64) {
+        let db = HiddenDb::new(table.clone(), self.k);
+        let workers = default_workers();
+        let mut per_seed: Vec<f64> =
+            Vec::with_capacity(self.seeds.end.saturating_sub(self.seeds.start) as usize);
+        for seed in self.seeds.clone() {
+            let mut est = UnbiasedAggEstimator::new(self.config.clone(), self.spec.clone(), seed)
+                .expect("valid config");
+            let summary = est
+                .run_parallel(&db, self.passes_per_seed, workers)
+                .expect("unlimited interface");
+            per_seed.push(summary.estimate);
+        }
+        let n = per_seed.len() as f64;
+        assert!(n >= 2.0, "need at least two seeds for a CI");
+        let mean = per_seed.iter().sum::<f64>() / n;
+        let var = per_seed.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        let se = (var / n).sqrt();
+        let tolerance = self.z * se + truth.abs() * 0.005 + 0.05;
+        let bias = mean - truth;
+        assert!(
+            bias.abs() < tolerance,
+            "mean {mean} vs truth {truth}: bias {bias:+.4} outside ±{tolerance:.4} \
+             ({} seeds × {} passes, {workers} workers, relative bias {:+.3}%)",
+            per_seed.len(),
+            self.passes_per_seed,
+            100.0 * bias / truth.max(f64::MIN_POSITIVE),
+        );
+    }
+}

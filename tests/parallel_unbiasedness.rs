@@ -1,0 +1,61 @@
+//! Statistical unbiasedness of size and COUNT/SUM aggregates **through
+//! the parallel engine**, using the reusable Monte-Carlo harness in
+//! `hdb_repro::testkit`: many master seeds, mean relative bias inside a
+//! CI-derived tolerance.
+//!
+//! The worker count comes from `HDB_ENGINE_WORKERS` (CI exercises 1 and
+//! 4); by the engine's determinism guarantee the assertions are
+//! identical under every setting — these tests also double as an
+//! end-to-end check of that guarantee under real statistical load.
+
+use hdb_core::{AggregateSpec, EstimatorConfig};
+use hdb_datagen::{uniform_table, yahoo_auto, YahooConfig, YAHOO_ATTRS};
+use hdb_interface::{Query, Schema};
+use hdb_repro::testkit::UnbiasednessCheck;
+
+#[test]
+fn parallel_size_plain_is_unbiased() {
+    let table = uniform_table(&Schema::boolean(8), 120, 1).expect("generation");
+    let truth = table.len() as f64;
+    UnbiasednessCheck::new(2, EstimatorConfig::plain(), AggregateSpec::database_size())
+        .assert_unbiased(&table, truth);
+}
+
+#[test]
+fn parallel_size_full_hd_is_unbiased() {
+    let table = uniform_table(&Schema::boolean(9), 200, 3).expect("generation");
+    let truth = table.len() as f64;
+    UnbiasednessCheck::new(
+        2,
+        EstimatorConfig::hd_default().with_dub(8).with_r(3),
+        AggregateSpec::database_size(),
+    )
+    .assert_unbiased(&table, truth);
+}
+
+#[test]
+fn parallel_selection_count_is_unbiased() {
+    let table = yahoo_auto(YahooConfig { rows: 2000, seed: 12 }).expect("generation");
+    let sel = Query::all().and(YAHOO_ATTRS.make, 0).expect("valid attr");
+    let truth = table.exact_count(&sel) as f64;
+    let mut check = UnbiasednessCheck::new(
+        10,
+        EstimatorConfig::hd_default().with_dub(12).with_r(2),
+        AggregateSpec::count(sel),
+    );
+    check.passes_per_seed = 300;
+    check.assert_unbiased(&table, truth);
+}
+
+#[test]
+fn parallel_sum_is_unbiased() {
+    let table = yahoo_auto(YahooConfig { rows: 1500, seed: 8 }).expect("generation");
+    let truth = table.exact_sum(YAHOO_ATTRS.price, &Query::all()).expect("numeric attr");
+    let mut check = UnbiasednessCheck::new(
+        10,
+        EstimatorConfig::hd_default().with_dub(16).with_r(2),
+        AggregateSpec::sum(YAHOO_ATTRS.price, Query::all()),
+    );
+    check.passes_per_seed = 300;
+    check.assert_unbiased(&table, truth);
+}

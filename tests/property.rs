@@ -4,10 +4,12 @@
 
 use hdb_core::{crawl, drill_down, Oracle, UniformWeights, WalkTerminal};
 use hdb_core::dnc::{first_chunk_len, partition_levels};
-use hdb_interface::{Attribute, HiddenDb, Query, Schema, Table, TopKInterface, Tuple};
+use hdb_interface::{
+    Attribute, EvalMode, HiddenDb, Query, QueryCounter, Schema, Table, TopKInterface, Tuple,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 /// Strategy: a random schema of 2–5 attributes with fanouts 2–5.
@@ -149,6 +151,87 @@ proptest! {
             c.underflow_count() + c.valid_count() + c.overflow_count(),
             n
         );
+    }
+
+    #[test]
+    fn bitmap_and_scan_evaluation_are_equivalent((table, k) in db_strategy(), query_seed in any::<u64>()) {
+        let bitmap_db = HiddenDb::new(table.clone(), k);
+        let scan_db = HiddenDb::new(table.clone(), k).with_eval_mode(EvalMode::Scan);
+        let schema = table.schema().clone();
+        let mut rng = StdRng::seed_from_u64(query_seed);
+        // ~30 random conjunctive queries of random width, plus the root
+        let mut queries = vec![Query::all()];
+        for _ in 0..30 {
+            let width = rng.random_range(1..=schema.len());
+            let mut attrs: Vec<usize> = (0..schema.len()).collect();
+            // random subset of `width` attributes
+            for i in 0..width {
+                let j = rng.random_range(i..attrs.len());
+                attrs.swap(i, j);
+            }
+            let mut q = Query::all();
+            for &attr in &attrs[..width] {
+                let v = rng.random_range(0..schema.fanout(attr)) as u16;
+                q = q.and(attr, v).expect("fresh attribute");
+            }
+            queries.push(q);
+        }
+        for q in &queries {
+            // same outcome class, same tuples, through both paths
+            prop_assert_eq!(
+                bitmap_db.query(q).unwrap(),
+                scan_db.query(q).unwrap(),
+                "outcome diverged for {:?}", q
+            );
+            // and the owner-side aggregates agree with the scan reference
+            prop_assert_eq!(table.exact_count(q), table.exact_count_scan(q));
+        }
+        prop_assert_eq!(bitmap_db.queries_issued(), scan_db.queries_issued());
+    }
+
+    #[test]
+    fn query_counter_is_exact_under_concurrent_hammering(
+        threads in 2usize..=8,
+        per_thread in 1u64..=200,
+    ) {
+        use std::sync::Arc;
+        // unlimited counter: every charge lands, tallies partition issued
+        let c = Arc::new(QueryCounter::unlimited());
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..per_thread {
+                    c.charge().unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        prop_assert_eq!(c.issued(), threads as u64 * per_thread);
+
+        // limited counter: exactly `limit` charges succeed, never more
+        let limit = (threads as u64 * per_thread) / 2;
+        prop_assume!(limit > 0);
+        let c = Arc::new(QueryCounter::limited(limit));
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                let mut ok = 0u64;
+                for _ in 0..per_thread {
+                    if c.charge().is_ok() {
+                        ok += 1;
+                    }
+                }
+                ok
+            }));
+        }
+        let succeeded: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        prop_assert_eq!(succeeded, limit);
+        prop_assert_eq!(c.issued(), limit);
+        prop_assert_eq!(c.remaining(), Some(0));
     }
 
     #[test]
