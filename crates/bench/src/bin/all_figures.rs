@@ -36,5 +36,7 @@ fn main() {
     experiments::ablations::run_worst_case(&scale);
     output::note("Scale 01: parallel engine workers + eval paths");
     experiments::parallel_scale::run_parallel_scale(&scale, &datasets);
+    output::note("Scale 02: sharded backend + remote latency");
+    experiments::sharded_scale::run_sharded_scale(&scale, &datasets);
     output::note("done");
 }

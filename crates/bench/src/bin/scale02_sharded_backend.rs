@@ -1,0 +1,8 @@
+//! Scale experiment: sharded-backend evaluation (shard-count sweep) and
+//! remote-API latency hiding through the parallel engine.
+use hdb_bench::{experiments, Datasets, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    experiments::sharded_scale::run_sharded_scale(&scale, &Datasets::new());
+}

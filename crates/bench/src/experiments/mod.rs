@@ -10,6 +10,7 @@ pub mod fig11_13_sweeps;
 pub mod fig14_17_yahoo;
 pub mod fig18_19_online;
 pub mod parallel_scale;
+pub mod sharded_scale;
 
 use hdb_stats::{summarize_at, Series, Trace};
 

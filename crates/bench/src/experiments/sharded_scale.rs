@@ -1,0 +1,120 @@
+//! Scale experiment for the backend abstraction (not a paper figure — an
+//! engineering experiment for the repro's own roadmap): the same
+//! estimation run over the single-table backend, hash-partitioned
+//! [`ShardedDb`] backends of growing shard counts, and a remote-API
+//! [`LatencyBackend`] at growing engine worker counts.
+//!
+//! The backend contract guarantees bit-identical estimates whatever the
+//! substrate; this experiment asserts that on every configuration it
+//! times (an experiment must not silently record results from a broken
+//! backend) and records what sharding and latency-hiding cost or buy in
+//! *wall-clock* terms. Both figures are written under `results/`.
+
+use std::time::{Duration, Instant};
+
+use hdb_core::UnbiasedSizeEstimator;
+use hdb_interface::{HiddenDb, LatencyBackend, SearchBackend, ShardedDb, TableBackend};
+use hdb_stats::{Figure, Series};
+
+use crate::datasets::Datasets;
+use crate::output::{emit, note};
+use crate::scale::Scale;
+
+/// Interface constant for the backend experiments (paper-typical k).
+const K: usize = 100;
+
+/// Master seed of the estimation runs (fixed: the run is the measurement
+/// instrument, not the subject).
+const SEED: u64 = 20_260_728;
+
+/// Runs one fixed estimation workload against `db` and returns
+/// `(estimate bits, seconds)`.
+fn timed_run<B: SearchBackend>(db: &HiddenDb<B>, passes: u64) -> (u64, f64) {
+    let mut est = UnbiasedSizeEstimator::hd(SEED).expect("valid config");
+    let start = Instant::now();
+    let summary = est.run(db, passes).expect("unlimited interface");
+    (summary.estimate.to_bits(), start.elapsed().as_secs_f64())
+}
+
+/// Runs the shard-count and latency scaling experiments.
+///
+/// # Panics
+/// Panics if any backend configuration changes the estimate — that would
+/// be a backend-equivalence regression.
+pub fn run_sharded_scale(scale: &Scale, datasets: &Datasets) {
+    note("backend scaling: shard counts (ShardedDb) and remote latency (LatencyBackend)");
+    let table = datasets.bool_iid(scale);
+    let truth = table.len() as f64;
+    let passes = scale.trials.max(10) * 25;
+
+    // ----------------------------------------------------------------
+    // Shard-count sweep: identical bits, per-shard evaluation cost.
+    // ----------------------------------------------------------------
+    let (reference_bits, base_secs) = timed_run(&HiddenDb::new(table.clone(), K), passes);
+    println!(
+        "  table backend: {base_secs:.3}s, estimate {:.1} (truth {truth})",
+        f64::from_bits(reference_bits)
+    );
+    let mut shard_fig = Figure::new(
+        format!("sharded backend wall-clock, {passes} passes, m={truth}"),
+        "shards",
+        "seconds",
+    );
+    let mut points = vec![(0.0, base_secs)]; // shard count 0 = unsharded reference
+    for shards in [1usize, 2, 4, 8, 16] {
+        for workers in [1usize, 2] {
+            let backend = ShardedDb::new(table, shards).with_workers(workers);
+            let db = HiddenDb::over(backend, K);
+            let (bits, secs) = timed_run(&db, passes);
+            assert_eq!(
+                bits, reference_bits,
+                "backend-equivalence regression at shards={shards} workers={workers}"
+            );
+            if workers == 1 {
+                println!("  shards={shards}: {secs:.3}s (bit-identical estimate)");
+                points.push((shards as f64, secs));
+            }
+        }
+    }
+    shard_fig.add(Series::from_points("wall-clock", points));
+    emit(&shard_fig, "scale02_sharded_backend");
+
+    // ----------------------------------------------------------------
+    // Latency hiding: a simulated remote API at fixed per-query latency,
+    // swept over engine worker counts. Queries are the scarce resource
+    // of the hidden-web scenario; wall-clock shows what the parallel
+    // engine buys when each of them costs a round trip.
+    // ----------------------------------------------------------------
+    let latency = Duration::from_micros(200);
+    let remote_passes = (scale.trials.max(4) * 2).min(64);
+    let mut latency_fig = Figure::new(
+        format!("remote-API simulation, {}µs/query, {remote_passes} passes", latency.as_micros()),
+        "workers",
+        "seconds",
+    );
+    let mut wall = Vec::new();
+    let mut reference: Option<u64> = None;
+    for workers in [1usize, 2, 4, 8] {
+        let backend = LatencyBackend::new(TableBackend::new(table.clone()), latency);
+        let db = HiddenDb::over(backend, K);
+        let mut est = UnbiasedSizeEstimator::hd(SEED).expect("valid config");
+        let start = Instant::now();
+        let summary = est.run_parallel(&db, remote_passes, workers).expect("unlimited");
+        let secs = start.elapsed().as_secs_f64();
+        let bits = summary.estimate.to_bits();
+        match reference {
+            None => reference = Some(bits),
+            Some(r) => assert_eq!(
+                r, bits,
+                "determinism regression: workers={workers} changed the remote estimate"
+            ),
+        }
+        println!(
+            "  workers={workers}: {secs:.3}s wall, {} round trips simulated",
+            db.backend().round_trips()
+        );
+        wall.push((workers as f64, secs));
+    }
+    latency_fig.add(Series::from_points("wall-clock", wall));
+    emit(&latency_fig, "scale02_remote_latency");
+}

@@ -5,11 +5,10 @@
 //!
 //! AVG deliberately has no unbiased estimator here: the ratio of unbiased
 //! SUM and COUNT estimates is biased, a limitation the paper inherits
-//! from [13]. [`ratio_avg`] exposes the biased ratio under a name that
-//! says so.
+//! from its reference \[13\]. [`ratio_avg`] exposes the biased ratio
+//! under a name that says so.
 
 use hdb_interface::{AttrId, Query, QueryOutcome, ReturnedTuple, Schema, TopKInterface};
-use hdb_stats::PassReducer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -312,23 +311,58 @@ impl UnbiasedAggEstimator {
     ///
     /// Because each pass draws from its own
     /// [`engine::pass_seed`]-derived RNG stream and results are merged in
-    /// canonical pass-index order (via [`hdb_stats::PassReducer`]), the
-    /// returned estimate, the per-pass [`UnbiasedAggEstimator::history`],
-    /// and even [`UnbiasedAggEstimator::queries_spent`] are **bitwise
-    /// identical** to the sequential [`UnbiasedAggEstimator::run`] for
-    /// any `workers ≥ 1`. Pass `workers = `[`engine::default_workers`]`()`
+    /// canonical pass-index order, the returned estimate, the per-pass
+    /// [`UnbiasedAggEstimator::history`], and even
+    /// [`UnbiasedAggEstimator::queries_spent`] are **bitwise identical**
+    /// to the sequential [`UnbiasedAggEstimator::run`] for any
+    /// `workers ≥ 1`. Pass `workers = `[`engine::default_workers`]`()`
     /// to honour the `HDB_ENGINE_WORKERS` environment variable.
+    ///
+    /// ```
+    /// use hdb_core::{AggregateSpec, EstimatorConfig, UnbiasedAggEstimator};
+    /// use hdb_interface::{HiddenDb, Schema, Table, Tuple};
+    ///
+    /// let tuples: Vec<Tuple> = (0..32u16)
+    ///     .map(|i| Tuple::new((0..5).map(|b| (i >> b) & 1).collect()))
+    ///     .collect();
+    /// let db = HiddenDb::new(Table::new(Schema::boolean(5), tuples).unwrap(), 1);
+    ///
+    /// let mut seq = UnbiasedAggEstimator::new(
+    ///     EstimatorConfig::plain(), AggregateSpec::database_size(), 7).unwrap();
+    /// let mut par = UnbiasedAggEstimator::new(
+    ///     EstimatorConfig::plain(), AggregateSpec::database_size(), 7).unwrap();
+    /// let s = seq.run(&db, 60).unwrap();
+    /// let p = par.run_parallel(&db, 60, 4).unwrap();
+    /// assert_eq!(s.estimate.to_bits(), p.estimate.to_bits());
+    /// assert_eq!(seq.history(), par.history());
+    /// ```
+    ///
+    /// The bitwise guarantee extends to `queries_spent` for interfaces
+    /// whose per-query charge is history-independent (a plain
+    /// [`HiddenDb`](hdb_interface::HiddenDb) charges every issued query);
+    /// a concurrently raced cache such as
+    /// [`CachingInterface`](hdb_interface::CachingInterface) may charge a
+    /// racing duplicate miss, so there only the estimate and history are
+    /// scheduling-independent.
     ///
     /// # Errors
     /// Interface errors propagate, with two cases:
     /// * **budget exhaustion** — the completed passes are kept and the
-    ///   partial summary returned (matching the sequential
-    ///   [`UnbiasedAggEstimator::run`]); under a budget cut the *set* of
-    ///   completed passes depends on thread scheduling, though each
-    ///   completed pass's value is individually deterministic;
-    /// * **any other error** — the run aborts without committing any of
-    ///   its passes: estimates, history, and the pass cursor are exactly
-    ///   as before the call, so a retry re-runs the same pass indices
+    ///   partial summary returned, exactly as in the sequential
+    ///   [`UnbiasedAggEstimator::run`]. Interfaces that meter a budget
+    ///   ([`TopKInterface::budget_remaining`] returns `Some`) run in
+    ///   wave-barriered chunks: fully parallel while the remaining budget
+    ///   comfortably exceeds a chunk's expected spend, switching to
+    ///   canonical single-thread claiming as exhaustion nears — so the
+    ///   completed-pass set of a budget-cut run is the deterministic
+    ///   sequential one for any worker count, not an accident of thread
+    ///   scheduling. (Only if a single pass costs more than ~8× the
+    ///   running mean can the cut land inside a parallel chunk; that
+    ///   chunk is then discarded whole, keeping the history canonical,
+    ///   though the wasted spend is scheduling-dependent.)
+    /// * **any other error** — the failing fan-out commits nothing:
+    ///   estimates, history, and the pass cursor are exactly as before
+    ///   it started, so a retry re-runs the same pass indices
     ///   deterministically.
     pub fn run_parallel<I: TopKInterface + Sync>(
         &mut self,
@@ -340,16 +374,27 @@ impl UnbiasedAggEstimator {
     }
 
     /// Parallel counterpart of [`UnbiasedAggEstimator::run_until_budget`]:
-    /// workers keep claiming passes until this estimator has spent at
-    /// least `query_budget` queries (each in-flight pass completes).
+    /// passes run in waves of `workers`, with the estimator's spend
+    /// checked at each wave barrier, until at least `query_budget`
+    /// queries are spent.
     ///
     /// Unlike [`UnbiasedAggEstimator::run_parallel`], the **number** of
-    /// passes performed depends on the worker count (each worker may
-    /// overshoot the budget by the one pass it has in flight); every
-    /// individual pass value is still deterministic in its pass index.
+    /// passes performed depends on the worker count (the final wave may
+    /// overshoot the budget by up to `workers` passes) — but for
+    /// interfaces whose per-query charge is history-independent it is a
+    /// deterministic function of `(seed, query_budget, workers)`, because
+    /// the spend compared at each barrier is the sum of deterministic
+    /// per-pass costs, not a mid-flight racy read. (Under a concurrently
+    /// raced cache such as
+    /// [`CachingInterface`](hdb_interface::CachingInterface), duplicate
+    /// misses can perturb the spend and hence the wave count.) Every
+    /// individual pass value is deterministic in its pass index
+    /// regardless.
     ///
     /// # Errors
-    /// Same contract as [`UnbiasedAggEstimator::run_parallel`].
+    /// Same contract as [`UnbiasedAggEstimator::run_parallel`]; a
+    /// non-budget error in a wave leaves the passes committed by earlier
+    /// waves intact and the pass cursor at the failing wave's start.
     pub fn run_until_budget_parallel<I: TopKInterface + Sync>(
         &mut self,
         iface: &I,
@@ -362,6 +407,17 @@ impl UnbiasedAggEstimator {
     /// Shared body of the parallel runners: fan passes out, merge in
     /// canonical order, and commit to estimator state only on success or
     /// budget exhaustion.
+    ///
+    /// Determinism of budget cuts: against a metered interface
+    /// ([`TopKInterface::budget_remaining`] is `Some`) passes run in
+    /// wave-barriered chunks — fully parallel while the remaining budget
+    /// comfortably exceeds the chunk's expected spend, canonical
+    /// single-thread claiming once exhaustion nears — so the moment the
+    /// budget runs dry, and therefore the completed-pass set, is
+    /// identical to the sequential run's. Self-budgeted runs
+    /// (`query_budget`) proceed in waves of `workers` passes with the
+    /// spend compared only at wave barriers, where it is a sum of
+    /// deterministic per-pass costs.
     fn run_fanned<I: TopKInterface + Sync>(
         &mut self,
         iface: &I,
@@ -373,39 +429,139 @@ impl UnbiasedAggEstimator {
         let ready = self.ensure_ready(iface);
         self.queries_spent += iface.queries_issued() - before;
         ready?;
-        let before = iface.queries_issued();
-        let spent_before = self.queries_spent;
-        let base = self.next_pass;
-        let (config, spec, master) = (&self.config, &self.spec, self.master_seed);
-        let levels = self.levels.as_deref().expect("resolved");
-        let root = self.root_outcome.as_ref().expect("cached");
-        let keep_going = || match query_budget {
-            None => true,
-            Some(b) => spent_before + (iface.queries_issued() - before) < b,
-        };
-        let out = engine::fan_out(passes, workers, keep_going, |i| {
-            run_one_pass(config, spec, levels, root, iface, master, base + i)
-        });
-        self.queries_spent += iface.queries_issued() - before;
-        let budget_error = match out.error {
-            // A non-budget error aborts without committing any of this
-            // fan-out's passes (other workers may have completed later
-            // indices, but recording them would leave a hole at the
-            // failed index and break sequential parity on retry).
-            Some(e) if !e.is_budget_exhausted() => return Err(e),
-            other => other,
-        };
-        self.next_pass = base + out.claimed;
-        let mut reducer = PassReducer::with_capacity(out.results.len());
-        for (i, v) in out.results {
-            reducer.insert(i, v);
+        let workers = workers.max(1);
+        let metered = iface.budget_remaining().is_some();
+        let mut budget_error = None;
+        if !metered && query_budget.is_none() {
+            // Unmetered fixed-pass run: one fan-out, no barriers needed.
+            budget_error =
+                self.fan_chunk(iface, passes.expect("bounded by passes"), workers, true)?;
+        } else {
+            // Chunked: wave barriers are where budgets can be checked
+            // deterministically (the spend there is a sum of completed
+            // per-pass costs, not a mid-flight racy read).
+            let mut remaining = passes;
+            loop {
+                if budget_error.is_some() || remaining == Some(0) {
+                    break;
+                }
+                if let Some(b) = query_budget {
+                    if self.queries_spent >= b {
+                        break;
+                    }
+                }
+                // With no cost estimate yet, a metered run probes with a
+                // single serial pass instead of serialising a whole
+                // workers-sized chunk — startup parallelism matters most
+                // in exactly the slow-remote metered scenario.
+                let chunk = if metered && self.estimates.is_empty() {
+                    1
+                } else {
+                    remaining.map_or(workers as u64, |r| r.min(workers as u64))
+                };
+                let chunk_workers =
+                    if metered { self.safe_parallel_workers(iface, workers, chunk) } else { workers };
+                // A parallel chunk that a budget cut lands in anyway
+                // (margin breached by a pathological pass) commits
+                // nothing, so the committed history stays chunk-aligned
+                // and canonical; serial chunks commit their prefix,
+                // which is exactly the sequential behaviour.
+                budget_error = self.fan_chunk(iface, chunk, chunk_workers, chunk_workers == 1)?;
+                if let Some(r) = remaining.as_mut() {
+                    *r -= chunk;
+                }
+            }
         }
-        self.estimates.extend(reducer.into_ordered());
         match self.summary() {
             Some(s) => Ok(s),
             None => Err(budget_error
                 .unwrap_or_else(|| EstimatorError::InvalidConfig("no passes completed".into()))),
         }
+    }
+
+    /// Decides how many workers may run the next chunk of `chunk` passes
+    /// against a metered interface: full parallelism while the remaining
+    /// budget is at least 8× the chunk's expected spend (observed mean
+    /// cost per pass), canonical single-thread claiming once exhaustion
+    /// is near — or before any pass has completed (no cost estimate yet).
+    fn safe_parallel_workers<I: TopKInterface>(
+        &self,
+        iface: &I,
+        workers: usize,
+        chunk: u64,
+    ) -> usize {
+        if workers == 1 {
+            return 1;
+        }
+        let Some(remaining) = iface.budget_remaining() else { return workers };
+        let done = self.estimates.len() as u64;
+        if done == 0 {
+            return 1;
+        }
+        let mean_cost = (self.queries_spent / done).max(1);
+        let margin = chunk.saturating_mul(mean_cost).saturating_mul(8);
+        if remaining >= margin {
+            workers
+        } else {
+            1
+        }
+    }
+
+    /// Runs one fan-out of `n` passes starting at the current pass cursor
+    /// and commits its results in canonical pass-index order.
+    ///
+    /// Returns `Ok(Some(err))` when interface budget exhaustion cut the
+    /// chunk short. With `commit_prefix` the contiguous prefix of
+    /// completed passes is committed and everything past the first
+    /// incomplete index discarded (sequential semantics for serial
+    /// chunks); without it a cut chunk commits nothing at all
+    /// (all-or-nothing for parallel chunks, whose prefix length would be
+    /// scheduling-dependent). Any other worker error aborts without
+    /// committing anything from this chunk, leaving the pass cursor where
+    /// it started so a retry re-runs the same indices deterministically.
+    fn fan_chunk<I: TopKInterface + Sync>(
+        &mut self,
+        iface: &I,
+        n: u64,
+        workers: usize,
+        commit_prefix: bool,
+    ) -> Result<Option<EstimatorError>> {
+        let before = iface.queries_issued();
+        let base = self.next_pass;
+        let (config, spec, master) = (&self.config, &self.spec, self.master_seed);
+        let levels = self.levels.as_deref().expect("resolved");
+        let root = self.root_outcome.as_ref().expect("cached");
+        let out = engine::fan_out(n, workers, |i| {
+            run_one_pass(config, spec, levels, root, iface, master, base + i)
+        });
+        self.queries_spent += iface.queries_issued() - before;
+        let budget_error = match out.error {
+            // A non-budget error aborts without committing any of this
+            // chunk's passes (other workers may have completed later
+            // indices, but recording them would leave a hole at the
+            // failed index and break sequential parity on retry).
+            Some(e) if !e.is_budget_exhausted() => return Err(e),
+            other => other,
+        };
+        if budget_error.is_some() && !commit_prefix {
+            return Ok(budget_error);
+        }
+        // Replay results in canonical pass-index order (arrival order is
+        // scheduling-dependent; the committed fold must not be) and stop
+        // at the first gap: under a budget cut, stragglers past an
+        // incomplete index never become part of the history.
+        let mut results = out.results;
+        results.sort_unstable_by_key(|&(i, _)| i);
+        let mut committed = 0u64;
+        for &(i, v) in &results {
+            if i != committed {
+                break;
+            }
+            self.estimates.push(v);
+            committed += 1;
+        }
+        self.next_pass = base + committed;
+        Ok(budget_error)
     }
 
     /// The running estimate (mean of pass estimates), if any pass has
@@ -686,6 +842,31 @@ mod tests {
         assert!(summary.passes >= 1);
         assert!(summary.queries <= 60);
         assert!(summary.estimate > 0.0);
+    }
+
+    #[test]
+    fn ample_metered_budget_keeps_parallel_parity() {
+        // A budget nowhere near exhaustion must not change anything:
+        // chunks run in parallel after the first (serial, cost-probing)
+        // one, and the results match the unlimited run bit for bit.
+        let mut unlimited = UnbiasedAggEstimator::new(
+            EstimatorConfig::plain(),
+            AggregateSpec::database_size(),
+            9,
+        )
+        .unwrap();
+        let reference = unlimited.run(&db(), 120).unwrap();
+        let metered = db().with_budget(1_000_000);
+        let mut est = UnbiasedAggEstimator::new(
+            EstimatorConfig::plain(),
+            AggregateSpec::database_size(),
+            9,
+        )
+        .unwrap();
+        let summary = est.run_parallel(&metered, 120, 4).unwrap();
+        assert_eq!(reference.estimate.to_bits(), summary.estimate.to_bits());
+        assert_eq!(unlimited.history(), est.history());
+        assert_eq!(reference.queries, summary.queries);
     }
 
     #[test]

@@ -11,28 +11,38 @@
 //!   SplitMix64-style mix of `(s, i)`. No pass ever observes another
 //!   pass's RNG stream, weight state, or completion order.
 //! * **Order-independent merge** — per-pass estimates are keyed by pass
-//!   index and reduced through [`hdb_stats::PassReducer`], which replays
-//!   them in canonical index order before any floating-point fold.
+//!   index and replayed in canonical index order before any
+//!   floating-point fold (the discipline `hdb_stats::PassReducer`
+//!   packages for external consumers), so arrival order can never leak
+//!   into a result.
+//! * **Canonical budget exhaustion** — interfaces that meter a query
+//!   budget ([`TopKInterface::budget_remaining`] returns `Some`) run in
+//!   wave-barriered chunks: fully parallel while the remaining budget
+//!   comfortably exceeds a chunk's expected spend, canonical
+//!   single-thread claiming once exhaustion nears — so the set of passes
+//!   completed when the budget runs dry is the same as the sequential
+//!   run's, not an accident of thread scheduling.
 //!
 //! Together these make the merged estimate **bit-identical to the
 //! sequential run regardless of worker count**: `run` and
 //! [`run_parallel`](crate::UnbiasedAggEstimator::run_parallel) with 1, 2,
-//! or 64 workers produce the same per-pass history and the same mean.
-//! (The exception is budget-cut runs: when the interface budget runs dry
-//! mid-run, *which* passes complete depends on scheduling, so only the
-//! surviving per-pass values — not their count — are reproducible.)
+//! or 64 workers produce the same per-pass history and the same mean —
+//! including runs cut short by a metered interface budget, provided no
+//! single pass blows through the 8× safety margin the near-exhaustion
+//! serialisation relies on (see
+//! [`run_parallel`](crate::UnbiasedAggEstimator::run_parallel) for the
+//! pathological-pass caveat).
 //!
-//! The worker count defaults to [`default_workers`], which honours the
-//! `HDB_ENGINE_WORKERS` environment variable (CI runs the test suite
-//! under both `=1` and `=4` to exercise the guarantee on every push).
+//! The threading primitive itself, [`fan_out`], is shared with the
+//! substrate crate (re-exported from [`hdb_interface::par`], where
+//! [`ShardedDb`](hdb_interface::ShardedDb) uses it for per-shard query
+//! evaluation). The worker count defaults to [`default_workers`], which
+//! honours the `HDB_ENGINE_WORKERS` environment variable (CI runs the
+//! test suite under both `=1` and `=4`).
+//!
+//! [`TopKInterface::budget_remaining`]: hdb_interface::TopKInterface::budget_remaining
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
-
-use crate::error::{EstimatorError, Result};
-
-/// Environment variable consulted by [`default_workers`].
-pub const WORKERS_ENV: &str = "HDB_ENGINE_WORKERS";
+pub use hdb_interface::par::{default_workers, fan_out, FanOut, WORKERS_ENV};
 
 /// Derives the RNG seed of pass `pass_index` under `master_seed`.
 ///
@@ -47,111 +57,10 @@ pub fn pass_seed(master_seed: u64, pass_index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// The worker count used when the caller does not pick one explicitly:
-/// `HDB_ENGINE_WORKERS` if set to a positive integer, otherwise the
-/// machine's available parallelism capped at 8 (passes are query-bound,
-/// not memory-bound; more threads than that only adds contention on the
-/// simulator's shared counters).
-#[must_use]
-pub fn default_workers() -> usize {
-    std::env::var(WORKERS_ENV)
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&w| w >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
-        })
-}
-
-/// Outcome of a fan-out: per-pass results (unordered), how many pass
-/// indices were claimed, and the first error any worker hit.
-pub(crate) struct FanOut {
-    /// `(pass_index, estimate)` pairs from completed passes, in arbitrary
-    /// arrival order — feed them to a `PassReducer`.
-    pub results: Vec<(u64, f64)>,
-    /// One past the highest pass index handed to a worker.
-    pub claimed: u64,
-    /// The first error observed (workers stop claiming once one is set).
-    pub error: Option<EstimatorError>,
-}
-
-/// Runs `run_pass(i)` for `i` in `0..passes` (or unboundedly while
-/// `keep_going()` holds, when `passes` is `None`) across `workers`
-/// OS threads.
-///
-/// Pass indices are claimed from a shared atomic dispenser, so each index
-/// runs exactly once; results are collected per worker and merged after
-/// the join, so the only cross-thread traffic during the run is the
-/// dispenser and the interface's own internal synchronisation.
-pub(crate) fn fan_out<F>(
-    passes: Option<u64>,
-    workers: usize,
-    keep_going: impl Fn() -> bool + Sync,
-    run_pass: F,
-) -> FanOut
-where
-    F: Fn(u64) -> Result<f64> + Sync,
-{
-    let bound = passes.unwrap_or(u64::MAX);
-    let workers = workers
-        .max(1)
-        .min(usize::try_from(bound).unwrap_or(usize::MAX).max(1));
-    let dispenser = AtomicU64::new(0);
-    let stop = AtomicBool::new(false);
-    let first_error: Mutex<Option<EstimatorError>> = Mutex::new(None);
-
-    let worker_loop = || {
-        let mut local: Vec<(u64, f64)> = Vec::new();
-        loop {
-            if stop.load(Ordering::Acquire) || !keep_going() {
-                break;
-            }
-            let idx = dispenser.fetch_add(1, Ordering::Relaxed);
-            if idx >= bound {
-                // undo the overshoot so `claimed` stays meaningful
-                dispenser.fetch_sub(1, Ordering::Relaxed);
-                break;
-            }
-            match run_pass(idx) {
-                Ok(estimate) => local.push((idx, estimate)),
-                Err(e) => {
-                    stop.store(true, Ordering::Release);
-                    let mut slot = first_error.lock().expect("error slot poisoned");
-                    if slot.is_none() {
-                        *slot = Some(e);
-                    }
-                    break;
-                }
-            }
-        }
-        local
-    };
-
-    let results = if workers == 1 {
-        // In-thread fast path: identical claiming logic, no spawn cost.
-        worker_loop()
-    } else {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> =
-                (0..workers).map(|_| scope.spawn(worker_loop)).collect();
-            let mut merged = Vec::new();
-            for h in handles {
-                merged.extend(h.join().expect("engine worker panicked"));
-            }
-            merged
-        })
-    };
-
-    FanOut {
-        results,
-        claimed: dispenser.load(Ordering::Relaxed).min(bound),
-        error: first_error.into_inner().expect("error slot poisoned"),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::EstimatorError;
 
     #[test]
     fn pass_seed_is_stable_and_spread() {
@@ -168,46 +77,16 @@ mod tests {
     }
 
     #[test]
-    fn fan_out_covers_every_index_exactly_once() {
-        for workers in [1, 2, 5] {
-            let out = fan_out(Some(100), workers, || true, |i| Ok(i as f64));
-            assert_eq!(out.claimed, 100);
-            assert!(out.error.is_none());
-            let mut indices: Vec<u64> = out.results.iter().map(|&(i, _)| i).collect();
-            indices.sort_unstable();
-            assert_eq!(indices, (0..100).collect::<Vec<_>>(), "workers={workers}");
-        }
-    }
-
-    #[test]
-    fn fan_out_stops_on_error_and_keeps_completed() {
-        let out = fan_out(Some(1000), 4, || true, |i| {
+    fn fan_out_reexport_works_with_estimator_errors() {
+        let out = fan_out(100, 4, |i| {
             if i == 3 {
                 Err(EstimatorError::InvalidConfig("boom".into()))
             } else {
-                Ok(0.0)
+                Ok(i as f64)
             }
         });
         assert!(out.error.is_some());
         assert!(out.results.iter().all(|&(i, _)| i != 3));
-        assert!(out.results.len() < 1000);
-    }
-
-    #[test]
-    fn fan_out_honours_keep_going() {
-        let count = AtomicU64::new(0);
-        let out = fan_out(
-            None,
-            3,
-            || count.load(Ordering::Relaxed) < 20,
-            |i| {
-                count.fetch_add(1, Ordering::Relaxed);
-                Ok(i as f64)
-            },
-        );
-        assert!(out.error.is_none());
-        // each worker can overshoot by at most one in-flight pass
-        assert!(out.results.len() >= 20 && out.results.len() <= 23);
     }
 
     #[test]

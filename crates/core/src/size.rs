@@ -67,6 +67,22 @@ impl UnbiasedSizeEstimator {
 
     /// Runs `passes` passes; see [`UnbiasedAggEstimator::run`].
     ///
+    /// ```
+    /// use hdb_core::UnbiasedSizeEstimator;
+    /// use hdb_interface::{HiddenDb, Schema, Table, Tuple};
+    ///
+    /// // 40 tuples behind a top-1 interface
+    /// let tuples: Vec<Tuple> = (0..40u16)
+    ///     .map(|i| Tuple::new((0..6).map(|b| (i >> b) & 1).collect()))
+    ///     .collect();
+    /// let db = HiddenDb::new(Table::new(Schema::boolean(6), tuples).unwrap(), 1);
+    ///
+    /// let mut estimator = UnbiasedSizeEstimator::plain(42).unwrap();
+    /// let result = estimator.run(&db, 200).unwrap();
+    /// assert_eq!(result.passes, 200);
+    /// assert!((result.estimate - 40.0).abs() < 8.0);
+    /// ```
+    ///
     /// # Errors
     /// Propagates interface errors other than budget exhaustion after at
     /// least one completed pass.

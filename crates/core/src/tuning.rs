@@ -41,9 +41,9 @@ const PASSES_PER_ROUND: u64 = 3;
 const MAX_R: usize = 8;
 
 /// Runs the §5.1 adaptive procedure for an aggregate: fixes
-/// `D_UB = recommend_dub(schema)`, then runs [`PASSES_PER_ROUND`] passes
-/// per round at `r = 2, 3, …` (capped at [`MAX_R`]) until `query_budget`
-/// is spent, returning the pooled summary.
+/// `D_UB = recommend_dub(schema)`, then runs `PASSES_PER_ROUND` (3)
+/// passes per round at `r = 2, 3, …` (capped at `MAX_R = 8`) until
+/// `query_budget` is spent, returning the pooled summary.
 ///
 /// # Errors
 /// Propagates interface errors other than budget exhaustion after at

@@ -1,0 +1,423 @@
+//! The [`SearchBackend`] abstraction: the *physical* evaluation substrate
+//! behind the *logical* top-k interface.
+//!
+//! The paper's estimators only ever observe the interface contract of
+//! §2.1 (issue a conjunctive query → underflow / valid / overflow with
+//! top-k tuples). How `Sel(q)` is computed — one in-memory table, a
+//! hash-partitioned cluster of shards, a slow remote API — is invisible
+//! to them. This module captures exactly that split:
+//!
+//! * [`SearchBackend`] — what a physical substrate must answer: the
+//!   schema, the corpus size, a classified top-k [`Evaluation`] of a
+//!   query, and exact COUNT/SUM ground truth for scoring experiments;
+//! * [`TableBackend`] — the default substrate, a single [`Table`] with a
+//!   bitmap [`TableIndex`](crate::TableIndex) (and an optional
+//!   linear-scan reference path, [`EvalMode::Scan`]);
+//! * [`ShardedDb`](crate::ShardedDb) and
+//!   [`LatencyBackend`](crate::LatencyBackend) (sibling modules) — the
+//!   distributed and remote-API substrates.
+//!
+//! [`HiddenDb`](crate::HiddenDb) is generic over the backend; the query
+//! accounting ([`QueryCounter`](crate::QueryCounter)), budgets, and the
+//! client-side [`CachingInterface`](crate::CachingInterface) therefore
+//! work unchanged over every substrate. Backends must agree **bit for
+//! bit**: for the same logical corpus, every implementation returns
+//! identical [`Evaluation`]s, which is what keeps estimator runs
+//! reproducible when the substrate is swapped (pinned by the
+//! backend-equivalence property tests).
+
+use std::collections::BinaryHeap;
+
+use crate::error::{HdbError, Result};
+use crate::interface::{QueryOutcome, ReturnedTuple};
+use crate::query::Query;
+use crate::ranking::RankingFunction;
+use crate::schema::{AttrId, Schema};
+use crate::table::Table;
+use crate::tuple::{Tuple, TupleId};
+
+/// How a [`TableBackend`] evaluates `Sel(q)` (paper-invisible: outcomes
+/// are identical either way, only server CPU time differs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EvalMode {
+    /// Intersect per-`(attribute, value)` posting bitmaps and popcount —
+    /// the fast path, default.
+    #[default]
+    Bitmap,
+    /// Filter the tuple vector per query — the naive reference path,
+    /// kept selectable so benches and property tests can compare.
+    Scan,
+}
+
+/// The classified result of evaluating one query against a backend.
+///
+/// Invariants (every [`SearchBackend`] must uphold them, the
+/// backend-equivalence tests check them):
+///
+/// * `count` is exactly `|Sel(q)|`;
+/// * if `count ≤ k`, `top` holds **all** matches in ascending global
+///   tuple-id order;
+/// * if `count > k`, `top` holds the `k` top-ranked matches in ascending
+///   `(score, id)` order under the ranking function the caller passed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Evaluation {
+    /// `|Sel(q)|` — the true number of matching tuples.
+    pub count: usize,
+    /// The returned tuples (see the ordering invariants above).
+    pub top: Vec<ReturnedTuple>,
+}
+
+impl Evaluation {
+    /// Classifies this evaluation into the paper's three outcomes for an
+    /// interface constant `k` (the same `k` the evaluation was computed
+    /// with).
+    #[must_use]
+    pub fn into_outcome(self, k: usize) -> QueryOutcome {
+        if self.count == 0 {
+            QueryOutcome::Underflow
+        } else if self.count <= k {
+            QueryOutcome::Valid(self.top)
+        } else {
+            QueryOutcome::Overflow(self.top)
+        }
+    }
+}
+
+/// A physical evaluation substrate behind a top-k interface.
+///
+/// Implementations answer queries over some corpus of tuples with stable
+/// **global** tuple ids (capture–recapture and the determinism guarantees
+/// rely on ids being substrate-independent). The trait also carries the
+/// owner-side exact aggregates so experiment harnesses can score
+/// estimators against ground truth without assuming an in-memory table.
+///
+/// All methods take `&self` and implementations must be `Sync`: a single
+/// backend instance serves every worker of the parallel estimation
+/// engine.
+pub trait SearchBackend: Send + Sync {
+    /// The public schema of the search form.
+    fn schema(&self) -> &Schema;
+
+    /// Total number of tuples `m` — the quantity the paper's estimators
+    /// target (owner-side ground truth).
+    fn len(&self) -> usize;
+
+    /// Whether the corpus is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evaluates `q` (already validated against the schema): the exact
+    /// match count plus the top-`k` tuples under `ranking`, with the
+    /// ordering invariants documented on [`Evaluation`].
+    fn evaluate(&self, q: &Query, k: usize, ranking: &dyn RankingFunction) -> Evaluation;
+
+    /// Invoked by the interface layer once per *issued* query, before any
+    /// server-side response caching — the hook where remote-API
+    /// simulations ([`LatencyBackend`](crate::LatencyBackend)) charge
+    /// their round trip. A query's network cost is paid whether or not
+    /// the server answers it from a cache, so this runs even when the
+    /// hot-response memo hits and [`SearchBackend::evaluate`] is skipped.
+    /// The default substrate is in-process: no cost.
+    fn round_trip(&self) {}
+
+    /// Exact `COUNT(*) WHERE q` (owner-side ground truth; never reachable
+    /// through the client interface).
+    fn exact_count(&self, q: &Query) -> usize;
+
+    /// Exact `SUM(attr) WHERE q` using the attribute's numeric
+    /// interpretation, summed in ascending global tuple-id order (so
+    /// every backend produces the same floating-point result).
+    ///
+    /// # Errors
+    /// Returns [`HdbError::InvalidQuery`] if `attr` has no numeric
+    /// interpretation or is out of range.
+    fn exact_sum(&self, attr: AttrId, q: &Query) -> Result<f64>;
+}
+
+/// A totally ordered wrapper over finite ranking scores (ties broken by
+/// the accompanying tuple id in the selection key).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) struct ScoreKey(pub(crate) f64);
+
+impl Eq for ScoreKey {}
+
+impl PartialOrd for ScoreKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScoreKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A top-k selection candidate: ordered by `(score, id)` only — the
+/// borrowed tuple rides along for materialisation.
+struct Candidate<'a> {
+    key: (ScoreKey, TupleId),
+    tuple: &'a Tuple,
+}
+
+impl PartialEq for Candidate<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Candidate<'_> {}
+impl PartialOrd for Candidate<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate<'_> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// Shared tuple-selection kernel for backends: given the `count` matches
+/// of a query as an ascending-id iterator of `(global id, tuple)` pairs,
+/// returns the `top` vector per the [`Evaluation`] invariants.
+///
+/// When `count > k` this runs the bounded max-heap top-k selection —
+/// O(N log k) over the N matching rows instead of sorting all of them;
+/// overflowing queries near the drill-down root can match hundreds of
+/// thousands of rows, so this is the simulator's hottest path.
+pub(crate) fn select_candidates<'a>(
+    matches: impl Iterator<Item = (TupleId, &'a Tuple)>,
+    count: usize,
+    k: usize,
+    schema: &Schema,
+    ranking: &dyn RankingFunction,
+) -> Vec<ReturnedTuple> {
+    if count <= k {
+        return matches
+            .map(|(id, tuple)| ReturnedTuple { id, tuple: tuple.clone() })
+            .collect();
+    }
+    let mut heap: BinaryHeap<Candidate<'a>> = BinaryHeap::with_capacity(k + 1);
+    for (id, tuple) in matches {
+        let cand =
+            Candidate { key: (ScoreKey(ranking.score(schema, id, tuple)), id), tuple };
+        if heap.len() < k {
+            heap.push(cand);
+        } else if cand.key < heap.peek().expect("heap non-empty at capacity").key {
+            heap.pop();
+            heap.push(cand);
+        }
+    }
+    let mut top = heap.into_sorted_vec();
+    top.truncate(k);
+    top.into_iter()
+        .map(|c| ReturnedTuple { id: c.key.1, tuple: c.tuple.clone() })
+        .collect()
+}
+
+/// The default physical substrate: one in-memory [`Table`] answered
+/// through its cached bitmap index (or, for reference comparisons, a
+/// linear scan).
+///
+/// Global tuple ids are the table's row indices, so a `TableBackend` over
+/// table `T` and a [`ShardedDb`](crate::ShardedDb) over the same `T`
+/// return bit-identical evaluations.
+#[derive(Debug)]
+pub struct TableBackend {
+    table: Table,
+    mode: EvalMode,
+}
+
+impl TableBackend {
+    /// Wraps a table with the default (bitmap) evaluation path.
+    ///
+    /// The bitmap index builds lazily on the first bitmap-mode query
+    /// (`OnceLock` serialises concurrent first callers to one build);
+    /// scan-mode instances never pay for it.
+    #[must_use]
+    pub fn new(table: Table) -> Self {
+        Self { table, mode: EvalMode::Bitmap }
+    }
+
+    /// Selects the query-evaluation path (bitmap by default).
+    #[must_use]
+    pub fn with_eval_mode(mut self, mode: EvalMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Mutably selects the query-evaluation path (used by
+    /// [`HiddenDb::with_eval_mode`](crate::HiddenDb::with_eval_mode)).
+    pub fn set_eval_mode(&mut self, mode: EvalMode) {
+        self.mode = mode;
+    }
+
+    /// The query-evaluation path in use.
+    #[must_use]
+    pub fn eval_mode(&self) -> EvalMode {
+        self.mode
+    }
+
+    /// The underlying table (owner-side ground truth; never used by
+    /// estimators).
+    #[must_use]
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+}
+
+impl SearchBackend for TableBackend {
+    fn schema(&self) -> &Schema {
+        self.table.schema()
+    }
+
+    fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    fn evaluate(&self, q: &Query, k: usize, ranking: &dyn RankingFunction) -> Evaluation {
+        let schema = self.table.schema();
+        match self.mode {
+            EvalMode::Bitmap => {
+                let sel = self.table.index().eval(q);
+                let count = sel.count();
+                let matches = sel
+                    .iter_ones()
+                    .map(|row| (row as TupleId, self.table.tuple(row as TupleId)));
+                Evaluation { count, top: select_candidates(matches, count, k, schema, ranking) }
+            }
+            EvalMode::Scan => {
+                let ids: Vec<(TupleId, &Tuple)> = self
+                    .table
+                    .tuples()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| q.matches(t))
+                    .map(|(row, t)| (row as TupleId, t))
+                    .collect();
+                let count = ids.len();
+                Evaluation {
+                    count,
+                    top: select_candidates(ids.into_iter(), count, k, schema, ranking),
+                }
+            }
+        }
+    }
+
+    fn exact_count(&self, q: &Query) -> usize {
+        self.table.exact_count(q)
+    }
+
+    fn exact_sum(&self, attr: AttrId, q: &Query) -> Result<f64> {
+        self.table.exact_sum(attr, q)
+    }
+}
+
+/// Validates that `attr` exists in `schema` and carries a numeric
+/// interpretation — the shared precondition of every backend's
+/// `exact_sum`.
+pub(crate) fn checked_numeric(schema: &Schema, attr: AttrId) -> Result<&crate::schema::Attribute> {
+    if attr >= schema.len() {
+        return Err(HdbError::InvalidQuery(format!("attribute id {attr} out of range")));
+    }
+    let a = schema.attribute(attr);
+    if !a.is_numeric() {
+        return Err(HdbError::InvalidQuery(format!(
+            "attribute `{}` has no numeric interpretation",
+            a.name()
+        )));
+    }
+    Ok(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranking::{AttributeRanking, RowIdRanking};
+    use crate::schema::Attribute;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::boolean("a"),
+            Attribute::categorical("c", ["x", "y", "z"])
+                .unwrap()
+                .with_numeric(vec![10.0, 20.0, 30.0])
+                .unwrap(),
+        ])
+        .unwrap();
+        Table::new(
+            schema,
+            vec![
+                Tuple::new(vec![0, 0]),
+                Tuple::new(vec![0, 2]),
+                Tuple::new(vec![1, 1]),
+                Tuple::new(vec![1, 2]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn evaluation_classifies_by_count() {
+        let empty = Evaluation { count: 0, top: vec![] };
+        assert_eq!(empty.into_outcome(3), QueryOutcome::Underflow);
+        let t = ReturnedTuple { id: 0, tuple: Tuple::new(vec![0, 0]) };
+        let valid = Evaluation { count: 1, top: vec![t.clone()] };
+        assert!(valid.into_outcome(3).is_valid());
+        let overflow = Evaluation { count: 9, top: vec![t] };
+        assert!(overflow.into_outcome(3).is_overflow());
+    }
+
+    #[test]
+    fn bitmap_and_scan_modes_evaluate_identically() {
+        let bitmap = TableBackend::new(table());
+        let scan = TableBackend::new(table()).with_eval_mode(EvalMode::Scan);
+        assert_eq!(scan.eval_mode(), EvalMode::Scan);
+        for q in [
+            Query::all(),
+            Query::all().and(0, 1).unwrap(),
+            Query::all().and(0, 0).unwrap().and(1, 2).unwrap(),
+            Query::all().and(1, 1).unwrap(),
+        ] {
+            for k in [1usize, 2, 10] {
+                assert_eq!(
+                    bitmap.evaluate(&q, k, &RowIdRanking),
+                    scan.evaluate(&q, k, &RowIdRanking),
+                    "query {q:?}, k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn valid_evaluations_list_all_matches_in_id_order() {
+        let b = TableBackend::new(table());
+        let eval = b.evaluate(&Query::all(), 10, &RowIdRanking);
+        assert_eq!(eval.count, 4);
+        let ids: Vec<TupleId> = eval.top.iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn overflow_evaluations_respect_the_ranking() {
+        let b = TableBackend::new(table());
+        // rank by the numeric value of attribute 1 descending: ids 1 and 3
+        // hold value z=30; tie broken by id
+        let ranking = AttributeRanking { attr: 1, descending: true };
+        let eval = b.evaluate(&Query::all(), 2, &ranking);
+        assert_eq!(eval.count, 4);
+        let ids: Vec<TupleId> = eval.top.iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![1, 3]);
+    }
+
+    #[test]
+    fn ground_truth_aggregates_delegate_to_the_table() {
+        let b = TableBackend::new(table());
+        assert_eq!(b.len(), 4);
+        assert!(!b.is_empty());
+        assert_eq!(b.exact_count(&Query::all().and(0, 1).unwrap()), 2);
+        assert_eq!(b.exact_sum(1, &Query::all()).unwrap(), 10.0 + 30.0 + 20.0 + 30.0);
+        assert!(b.exact_sum(9, &Query::all()).is_err());
+    }
+}

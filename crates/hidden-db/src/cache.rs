@@ -149,6 +149,10 @@ impl<I: TopKInterface> TopKInterface for CachingInterface<I> {
     fn queries_issued(&self) -> u64 {
         self.inner.queries_issued()
     }
+
+    fn budget_remaining(&self) -> Option<u64> {
+        self.inner.budget_remaining()
+    }
 }
 
 #[cfg(test)]

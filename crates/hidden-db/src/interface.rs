@@ -8,10 +8,18 @@
 //! * `|Sel(q)| > k`  → **overflow**: the top-`k` tuples under the ranking
 //!   function are returned together with an overflow flag. The true count
 //!   is *not* disclosed, and the client cannot page past `k`.
+//!
+//! [`HiddenDb`] implements these semantics over any physical
+//! [`SearchBackend`] — a single in-memory table by default, a
+//! hash-partitioned [`ShardedDb`](crate::ShardedDb), or a simulated
+//! remote API ([`LatencyBackend`](crate::LatencyBackend)). The *logical*
+//! behaviour (outcome classification, query accounting, budgets, the
+//! server-side hot-response memo) lives here and is identical for every
+//! backend.
 
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 
+use crate::backend::{EvalMode, SearchBackend, TableBackend};
 use crate::cache::ShardedMemo;
 use crate::counter::{OutcomeKind, QueryCounter};
 use crate::error::Result;
@@ -104,52 +112,41 @@ pub trait TopKInterface {
 
     /// Total queries charged so far.
     fn queries_issued(&self) -> u64;
-}
 
-/// A totally ordered wrapper over finite ranking scores (ties broken by
-/// the accompanying tuple id in the heap key).
-#[derive(Clone, Copy, Debug, PartialEq)]
-struct ScoreKey(f64);
-
-impl Eq for ScoreKey {}
-
-impl PartialOrd for ScoreKey {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+    /// Remaining query budget, if this interface meters one (`None` means
+    /// unmetered). The parallel estimation engine consults this to keep
+    /// the completed-pass set of budget-cut runs deterministic: a metered
+    /// interface has its passes claimed in canonical index order.
+    fn budget_remaining(&self) -> Option<u64> {
+        None
     }
 }
 
-impl Ord for ScoreKey {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
-
-/// How the simulator evaluates `Sel(q)` (paper-invisible: outcomes are
-/// identical either way, only server CPU time differs).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum EvalMode {
-    /// Intersect per-`(attribute, value)` posting bitmaps and popcount —
-    /// the fast path, default.
-    #[default]
-    Bitmap,
-    /// Filter the tuple vector per query — the naive reference path,
-    /// kept selectable so benches and property tests can compare.
-    Scan,
-}
-
-/// The in-process hidden database: a [`Table`] behind a [`TopKInterface`].
+/// The in-process hidden database: a [`SearchBackend`] behind a
+/// [`TopKInterface`].
 ///
-/// `HiddenDb` is `Sync`: the table and its bitmap index are read-only
-/// after construction, query accounting is atomic, and the hot-response
-/// memo is sharded-locked — a single instance can serve every worker of
-/// the parallel estimation engine.
-pub struct HiddenDb {
-    table: Table,
+/// `HiddenDb` is `Sync` whenever its backend is: query accounting is
+/// atomic and the hot-response memo is sharded-locked, so a single
+/// instance can serve every worker of the parallel estimation engine.
+///
+/// The default backend is a single bitmap-indexed [`Table`]
+/// ([`TableBackend`]); [`HiddenDb::over`] accepts any other substrate:
+///
+/// ```
+/// use hdb_interface::{HiddenDb, Query, Schema, ShardedDb, Table, TopKInterface, Tuple};
+///
+/// let table = Table::new(
+///     Schema::boolean(3),
+///     vec![Tuple::new(vec![0, 0, 1]), Tuple::new(vec![1, 0, 1])],
+/// ).unwrap();
+/// let db = HiddenDb::over(ShardedDb::new(&table, 2), 1);
+/// assert!(db.query(&Query::all()).unwrap().is_overflow());
+/// ```
+pub struct HiddenDb<B: SearchBackend = TableBackend> {
+    backend: B,
     ranking: Arc<dyn RankingFunction>,
     k: usize,
     counter: QueryCounter,
-    eval_mode: EvalMode,
     /// Server-side memo of *expensive* responses (overflow queries whose
     /// match count far exceeds `k`): those are the few shallow tree nodes
     /// every drill-down revisits, and their top-k selection dominates the
@@ -158,25 +155,70 @@ pub struct HiddenDb {
     hot_responses: ShardedMemo,
 }
 
-impl HiddenDb {
+impl HiddenDb<TableBackend> {
     /// Wraps `table` behind a top-`k` interface with the default
     /// (row-id) ranking and no query budget.
     ///
     /// # Panics
     /// Panics if `k == 0` — a form that can return nothing is not a
     /// database interface.
+    ///
+    /// ```
+    /// use hdb_interface::{HiddenDb, Query, Schema, Table, TopKInterface, Tuple};
+    ///
+    /// let table = Table::new(
+    ///     Schema::boolean(2),
+    ///     vec![Tuple::new(vec![0, 0]), Tuple::new(vec![0, 1]), Tuple::new(vec![1, 1])],
+    /// ).unwrap();
+    /// let db = HiddenDb::new(table, 2);
+    ///
+    /// // Three matches against k = 2 → overflow.
+    /// assert!(db.query(&Query::all()).unwrap().is_overflow());
+    /// // Narrow enough → valid, all matches returned.
+    /// let q = Query::all().and(0, 0).unwrap();
+    /// assert_eq!(db.query(&q).unwrap().returned_count(), 2);
+    /// assert_eq!(db.queries_issued(), 2);
+    /// ```
     #[must_use]
     pub fn new(table: Table, k: usize) -> Self {
+        Self::over(TableBackend::new(table), k)
+    }
+
+    /// Selects the query-evaluation path (bitmap by default).
+    #[must_use]
+    pub fn with_eval_mode(mut self, mode: EvalMode) -> Self {
+        self.backend.set_eval_mode(mode);
+        self
+    }
+
+    /// The query-evaluation path in use.
+    #[must_use]
+    pub fn eval_mode(&self) -> EvalMode {
+        self.backend.eval_mode()
+    }
+
+    /// Owner-side access to the underlying table (ground truth for
+    /// experiments; never used by estimators).
+    #[must_use]
+    pub fn table(&self) -> &Table {
+        self.backend.table()
+    }
+}
+
+impl<B: SearchBackend> HiddenDb<B> {
+    /// Wraps an arbitrary [`SearchBackend`] behind a top-`k` interface
+    /// with the default (row-id) ranking and no query budget.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn over(backend: B, k: usize) -> Self {
         assert!(k > 0, "top-k interface requires k >= 1");
-        // The bitmap index builds lazily on the first bitmap-mode query
-        // (OnceLock serialises concurrent first callers to one build);
-        // scan-mode instances never pay for it.
         Self {
-            table,
+            backend,
             ranking: Arc::new(RowIdRanking),
             k,
             counter: QueryCounter::unlimited(),
-            eval_mode: EvalMode::Bitmap,
             hot_responses: ShardedMemo::new(),
         }
     }
@@ -195,24 +237,10 @@ impl HiddenDb {
         self
     }
 
-    /// Selects the query-evaluation path (bitmap by default).
+    /// The physical backend (owner-side; estimators never see it).
     #[must_use]
-    pub fn with_eval_mode(mut self, mode: EvalMode) -> Self {
-        self.eval_mode = mode;
-        self
-    }
-
-    /// The query-evaluation path in use.
-    #[must_use]
-    pub fn eval_mode(&self) -> EvalMode {
-        self.eval_mode
-    }
-
-    /// Owner-side access to the underlying table (ground truth for
-    /// experiments; never used by estimators).
-    #[must_use]
-    pub fn table(&self) -> &Table {
-        &self.table
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
     /// The query counter (for harnesses that need outcome tallies or
@@ -223,86 +251,28 @@ impl HiddenDb {
     }
 
     fn respond(&self, q: &Query) -> QueryOutcome {
-        match self.eval_mode {
-            EvalMode::Bitmap => {
-                let sel = self.table.index().eval(q);
-                let count = sel.count();
-                self.classify(q, count, || sel.iter_ones().map(|r| r as TupleId))
-            }
-            EvalMode::Scan => {
-                let ids: Vec<TupleId> = self
-                    .table
-                    .tuples()
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, t)| q.matches(t))
-                    .map(|(r, _)| r as TupleId)
-                    .collect();
-                let count = ids.len();
-                self.classify(q, count, || ids.iter().copied())
-            }
+        // Every issued query crosses to the backend's "server" exactly
+        // once — remote simulations charge their round trip here, memo
+        // hit or not (the memo saves server CPU, never the network hop).
+        self.backend.round_trip();
+        // Serve memoised expensive responses without re-evaluating.
+        if let Some(hit) = self.hot_responses.get(q) {
+            return hit;
         }
-    }
-
-    /// Classifies a match set of known `count` into the paper's three
-    /// outcomes, materialising tuples lazily from `ids`.
-    fn classify<It>(
-        &self,
-        q: &Query,
-        count: usize,
-        ids: impl FnOnce() -> It,
-    ) -> QueryOutcome
-    where
-        It: Iterator<Item = TupleId>,
-    {
-        if count == 0 {
-            return QueryOutcome::Underflow;
-        }
+        let eval = self.backend.evaluate(q, self.k, self.ranking.as_ref());
         // Memoise expensive overflow responses (top-k over many matches).
-        let expensive = count > self.k.saturating_mul(8);
+        let expensive = eval.count > self.k.saturating_mul(8);
+        let outcome = eval.into_outcome(self.k);
         if expensive {
-            if let Some(hit) = self.hot_responses.get(q) {
-                return hit;
-            }
+            self.hot_responses.insert(q.clone(), outcome.clone());
         }
-        if count <= self.k {
-            let tuples = ids()
-                .map(|id| ReturnedTuple { id, tuple: self.table.tuple(id).clone() })
-                .collect();
-            QueryOutcome::Valid(tuples)
-        } else {
-            // Top-k selection via a bounded max-heap: O(N log k) over the
-            // N matching rows, instead of sorting all of them. Overflowing
-            // queries near the tree root can match hundreds of thousands
-            // of rows, so this is the simulator's hottest path.
-            let mut heap: BinaryHeap<(ScoreKey, TupleId)> = BinaryHeap::with_capacity(self.k + 1);
-            for id in ids() {
-                let key = (ScoreKey(self.ranking.score(&self.table, id)), id);
-                if heap.len() < self.k {
-                    heap.push(key);
-                } else if key < *heap.peek().expect("heap non-empty at capacity") {
-                    heap.pop();
-                    heap.push(key);
-                }
-            }
-            let mut top = heap.into_sorted_vec();
-            top.truncate(self.k);
-            let tuples = top
-                .into_iter()
-                .map(|(_, id)| ReturnedTuple { id, tuple: self.table.tuple(id).clone() })
-                .collect();
-            let outcome = QueryOutcome::Overflow(tuples);
-            if expensive {
-                self.hot_responses.insert(q.clone(), outcome.clone());
-            }
-            outcome
-        }
+        outcome
     }
 }
 
-impl TopKInterface for HiddenDb {
+impl<B: SearchBackend> TopKInterface for HiddenDb<B> {
     fn schema(&self) -> &Schema {
-        self.table.schema()
+        self.backend.schema()
     }
 
     fn k(&self) -> usize {
@@ -310,7 +280,7 @@ impl TopKInterface for HiddenDb {
     }
 
     fn query(&self, q: &Query) -> Result<QueryOutcome> {
-        q.validate(self.table.schema())?;
+        q.validate(self.backend.schema())?;
         self.counter.charge()?;
         let outcome = self.respond(q);
         self.counter.record_outcome(match &outcome {
@@ -323,6 +293,10 @@ impl TopKInterface for HiddenDb {
 
     fn queries_issued(&self) -> u64 {
         self.counter.issued()
+    }
+
+    fn budget_remaining(&self) -> Option<u64> {
+        self.counter.remaining()
     }
 }
 
@@ -341,6 +315,10 @@ impl<T: TopKInterface + ?Sized> TopKInterface for &T {
 
     fn queries_issued(&self) -> u64 {
         (**self).queries_issued()
+    }
+
+    fn budget_remaining(&self) -> Option<u64> {
+        (**self).budget_remaining()
     }
 }
 
@@ -424,10 +402,14 @@ mod tests {
     fn query_counting_and_budget() {
         let db = HiddenDb::new(running_example(), 1).with_budget(2);
         assert_eq!(db.queries_issued(), 0);
+        assert_eq!(db.budget_remaining(), Some(2));
         db.query(&Query::all()).unwrap();
         db.query(&Query::all()).unwrap();
         assert!(db.query(&Query::all()).is_err());
         assert_eq!(db.queries_issued(), 2);
+        assert_eq!(db.budget_remaining(), Some(0));
+        // unmetered interfaces report no budget
+        assert_eq!(HiddenDb::new(running_example(), 1).budget_remaining(), None);
     }
 
     #[test]
@@ -465,6 +447,8 @@ mod tests {
     fn interface_types_are_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<HiddenDb>();
+        assert_send_sync::<HiddenDb<crate::ShardedDb>>();
+        assert_send_sync::<HiddenDb<crate::LatencyBackend<TableBackend>>>();
         assert_send_sync::<crate::cache::CachingInterface<HiddenDb>>();
         assert_send_sync::<crate::counter::QueryCounter>();
         assert_send_sync::<Table>();
@@ -529,5 +513,15 @@ mod tests {
         // rejected queries are never counted anywhere
         assert!(db.query(&Query::all().and(9, 0).unwrap()).is_err());
         assert_eq!(db.queries_issued(), 4);
+    }
+
+    #[test]
+    fn backend_accessor_exposes_ground_truth() {
+        use crate::backend::SearchBackend as _;
+        let db = HiddenDb::new(running_example(), 1);
+        assert_eq!(db.backend().len(), 6);
+        assert_eq!(db.table().len(), 6);
+        let sharded = HiddenDb::over(crate::ShardedDb::new(&running_example(), 3), 1);
+        assert_eq!(sharded.backend().len(), 6);
     }
 }

@@ -17,6 +17,15 @@
 //! the simulator here stands in for a live website; the query accounting
 //! in [`QueryCounter`] plays the role of the site's per-IP limits.
 //!
+//! The *logical* interface is further split from the *physical*
+//! evaluation substrate: [`HiddenDb`] is generic over [`SearchBackend`],
+//! with three substrates shipped — the default bitmap-indexed
+//! [`TableBackend`], the hash-partitioned [`ShardedDb`] (per-shard
+//! evaluation fanned across threads, merged order-independently), and
+//! the remote-API simulation [`LatencyBackend`]. All backends return
+//! bit-identical outcomes for the same corpus, so estimator runs are
+//! reproducible across substrates (see `docs/ARCHITECTURE.md`).
+//!
 //! ## Quick example
 //!
 //! ```
@@ -44,25 +53,32 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod backend;
 pub mod bitmap;
 pub mod cache;
 pub mod counter;
 pub mod error;
 pub mod index;
 pub mod interface;
+pub mod latency;
+pub mod par;
 pub mod query;
 pub mod ranking;
 pub mod schema;
+pub mod sharded;
 pub mod table;
 pub mod tuple;
 
+pub use backend::{EvalMode, Evaluation, SearchBackend, TableBackend};
 pub use cache::{CachingInterface, ShardedMemo};
 pub use counter::QueryCounter;
 pub use error::{HdbError, Result};
 pub use index::TableIndex;
-pub use interface::{EvalMode, HiddenDb, QueryOutcome, ReturnedTuple, TopKInterface};
+pub use interface::{HiddenDb, QueryOutcome, ReturnedTuple, TopKInterface};
+pub use latency::LatencyBackend;
 pub use query::{Predicate, Query};
 pub use ranking::{AttributeRanking, RankingFunction, RowIdRanking, SeededRandomRanking};
 pub use schema::{AttrId, Attribute, Schema, ValueId};
+pub use sharded::ShardedDb;
 pub use table::Table;
 pub use tuple::{Tuple, TupleId};

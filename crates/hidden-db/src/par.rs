@@ -1,0 +1,197 @@
+//! A generic scoped-thread fan-out: the workspace's one concurrency
+//! primitive.
+//!
+//! Both layers of the system parallelise through this function: the
+//! estimation engine in `hdb-core` fans independent drill-down *passes*
+//! across threads (re-exported there as `hdb_core::engine::fan_out`), and
+//! [`ShardedDb`](crate::ShardedDb) fans per-*shard* query evaluation. The
+//! contract that makes it safe for both is the same: tasks are claimed
+//! from a shared atomic dispenser (each index runs exactly once), results
+//! are keyed by task index, and the caller merges them in an
+//! order-independent way — so thread scheduling can never leak into a
+//! result.
+//!
+//! The worker count defaults to [`default_workers`], which honours the
+//! `HDB_ENGINE_WORKERS` environment variable (CI runs the test suite
+//! under both `=1` and `=4`).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable consulted by [`default_workers`].
+pub const WORKERS_ENV: &str = "HDB_ENGINE_WORKERS";
+
+/// The worker count used when the caller does not pick one explicitly:
+/// `HDB_ENGINE_WORKERS` if set to a positive integer, otherwise the
+/// machine's available parallelism capped at 8 (the workloads fanned here
+/// are query-bound, not memory-bound; more threads than that only adds
+/// contention on the simulator's shared counters).
+#[must_use]
+pub fn default_workers() -> usize {
+    std::env::var(WORKERS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+        })
+}
+
+/// Outcome of a [`fan_out`]: per-task results (unordered), how many task
+/// indices were claimed, and the first error any worker hit.
+pub struct FanOut<T, E> {
+    /// `(task_index, result)` pairs from completed tasks, in arbitrary
+    /// arrival order — merge them order-independently (sort by index, or
+    /// fold through an order-insensitive reduction).
+    pub results: Vec<(u64, T)>,
+    /// One past the highest task index handed to a worker.
+    pub claimed: u64,
+    /// The first error observed (workers stop claiming once one is set).
+    pub error: Option<E>,
+}
+
+/// Runs `run_task(i)` for `i` in `0..tasks` across `workers` OS threads.
+///
+/// Task indices are claimed from a shared atomic dispenser, so each index
+/// runs exactly once; results are collected per worker and merged after
+/// the join, so the only cross-thread traffic during the run is the
+/// dispenser and whatever synchronisation `run_task` does internally.
+/// With `workers == 1` the claiming loop runs on the calling thread (no
+/// spawn cost) and therefore executes tasks in canonical index order —
+/// the property the estimation engine relies on for deterministic
+/// budget-exhaustion behaviour.
+///
+/// ```
+/// use hdb_interface::par::fan_out;
+///
+/// // Sum the squares of 0..10 across 4 workers. The per-index results
+/// // arrive in arbitrary order; the sum is order-independent.
+/// let out = fan_out(10, 4, |i| Ok::<u64, String>(i * i));
+/// assert_eq!(out.claimed, 10);
+/// assert!(out.error.is_none());
+/// let total: u64 = out.results.iter().map(|&(_, sq)| sq).sum();
+/// assert_eq!(total, 285);
+/// ```
+pub fn fan_out<T, E, F>(tasks: u64, workers: usize, run_task: F) -> FanOut<T, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(u64) -> Result<T, E> + Sync,
+{
+    let workers = workers
+        .max(1)
+        .min(usize::try_from(tasks).unwrap_or(usize::MAX).max(1));
+    let dispenser = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let first_error: Mutex<Option<E>> = Mutex::new(None);
+
+    let worker_loop = || {
+        let mut local: Vec<(u64, T)> = Vec::new();
+        loop {
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
+            let idx = dispenser.fetch_add(1, Ordering::Relaxed);
+            if idx >= tasks {
+                // undo the overshoot so `claimed` stays meaningful
+                dispenser.fetch_sub(1, Ordering::Relaxed);
+                break;
+            }
+            match run_task(idx) {
+                Ok(result) => local.push((idx, result)),
+                Err(e) => {
+                    stop.store(true, Ordering::Release);
+                    let mut slot = first_error.lock().expect("error slot poisoned");
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                    break;
+                }
+            }
+        }
+        local
+    };
+
+    let results = if workers == 1 {
+        // In-thread fast path: identical claiming logic, no spawn cost,
+        // canonical (ascending) execution order.
+        worker_loop()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                (0..workers).map(|_| scope.spawn(worker_loop)).collect();
+            let mut merged = Vec::new();
+            for h in handles {
+                merged.extend(h.join().expect("fan-out worker panicked"));
+            }
+            merged
+        })
+    };
+
+    FanOut {
+        results,
+        claimed: dispenser.load(Ordering::Relaxed).min(tasks),
+        error: first_error.into_inner().expect("error slot poisoned"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_covers_every_index_exactly_once() {
+        for workers in [1, 2, 5] {
+            let out = fan_out(100, workers, Ok::<_, ()>);
+            assert_eq!(out.claimed, 100);
+            assert!(out.error.is_none());
+            let mut indices: Vec<u64> = out.results.iter().map(|&(i, _)| i).collect();
+            indices.sort_unstable();
+            assert_eq!(indices, (0..100).collect::<Vec<_>>(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn fan_out_stops_on_error_and_keeps_completed() {
+        let out = fan_out(1000, 4, |i| {
+            if i == 3 {
+                Err("boom".to_string())
+            } else {
+                Ok(0.0f64)
+            }
+        });
+        assert_eq!(out.error.as_deref(), Some("boom"));
+        assert!(out.results.iter().all(|&(i, _)| i != 3));
+        assert!(out.results.len() < 1000);
+    }
+
+    #[test]
+    fn single_worker_executes_in_canonical_order() {
+        let log = Mutex::new(Vec::new());
+        let out = fan_out(10, 1, |i| {
+            log.lock().unwrap().push(i);
+            Ok::<_, ()>(())
+        });
+        assert_eq!(out.claimed, 10);
+        assert_eq!(*log.lock().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_tasks_is_a_noop() {
+        let out = fan_out(0, 4, Ok::<_, ()>);
+        assert_eq!(out.claimed, 0);
+        assert!(out.results.is_empty());
+        assert!(out.error.is_none());
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn non_copy_results_and_errors_are_supported() {
+        let out = fan_out(3, 2, |i| Ok::<_, String>(vec![i; 2]));
+        assert_eq!(out.results.len(), 3);
+    }
+}

@@ -8,25 +8,37 @@
 //! substrate should, and (b) other consumers of the interface (crawlers,
 //! the HIDDEN-DB-SAMPLER baseline's returned-tuple choice) do see ranked
 //! prefixes.
+//!
+//! Scores are a pure function of the **global** tuple id and the tuple's
+//! values — never of any physical storage detail — so every
+//! [`SearchBackend`](crate::SearchBackend) (single table, shards, remote
+//! wrapper) ranks identically. That substrate-independence is what lets
+//! [`ShardedDb`](crate::ShardedDb) merge per-shard top-k candidates into
+//! the exact global top-k.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::schema::Schema;
 use crate::table::Table;
-use crate::tuple::TupleId;
+use crate::tuple::{Tuple, TupleId};
 
 /// A ranking function assigns each tuple a static score; the interface
 /// returns the `k` matching tuples with the *smallest* score (rank 0 is
-/// best), tie-broken by row id.
+/// best), tie-broken by tuple id.
 pub trait RankingFunction: Send + Sync {
-    /// Score of a tuple; lower ranks first.
-    fn score(&self, table: &Table, id: TupleId) -> f64;
+    /// Score of the tuple with global id `id` and values `tuple`; lower
+    /// ranks first. Must depend only on `(schema, id, tuple)` so every
+    /// backend ranks identically.
+    fn score(&self, schema: &Schema, id: TupleId, tuple: &Tuple) -> f64;
 
-    /// Sorts (a copy of) the matching row ids by rank and truncates to `k`.
+    /// Sorts (a copy of) the matching row ids of `table` by rank and
+    /// truncates to `k` (convenience for owner-side analysis).
     fn top_k(&self, table: &Table, mut rows: Vec<TupleId>, k: usize) -> Vec<TupleId> {
+        let schema = table.schema();
         rows.sort_by(|&a, &b| {
-            self.score(table, a)
-                .partial_cmp(&self.score(table, b))
+            self.score(schema, a, table.tuple(a))
+                .partial_cmp(&self.score(schema, b, table.tuple(b)))
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.cmp(&b))
         });
@@ -41,7 +53,7 @@ pub trait RankingFunction: Send + Sync {
 pub struct RowIdRanking;
 
 impl RankingFunction for RowIdRanking {
-    fn score(&self, _table: &Table, id: TupleId) -> f64 {
+    fn score(&self, _schema: &Schema, id: TupleId, _tuple: &Tuple) -> f64 {
         f64::from(id)
     }
 }
@@ -57,10 +69,9 @@ pub struct AttributeRanking {
 }
 
 impl RankingFunction for AttributeRanking {
-    fn score(&self, table: &Table, id: TupleId) -> f64 {
-        let v = table.tuple(id).value(self.attr);
-        let x = table
-            .schema()
+    fn score(&self, schema: &Schema, _id: TupleId, tuple: &Tuple) -> f64 {
+        let v = tuple.value(self.attr);
+        let x = schema
             .attribute(self.attr)
             .numeric_value(v)
             .unwrap_or_else(|| f64::from(v));
@@ -82,7 +93,7 @@ pub struct SeededRandomRanking {
 }
 
 impl RankingFunction for SeededRandomRanking {
-    fn score(&self, _table: &Table, id: TupleId) -> f64 {
+    fn score(&self, _schema: &Schema, id: TupleId, _tuple: &Tuple) -> f64 {
         // SplitMix64 over (seed, id): fast, stateless, deterministic.
         let mut z = self.seed ^ (u64::from(id)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -110,8 +121,7 @@ impl SeededRandomRanking {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schema::{Attribute, Schema};
-    use crate::tuple::Tuple;
+    use crate::schema::Attribute;
 
     fn table() -> Table {
         let schema = Schema::new(vec![
@@ -156,7 +166,26 @@ mod tests {
         assert_eq!(a, b);
         // different seeds give (almost surely) different scores
         let r2 = SeededRandomRanking { seed: 43 };
-        assert_ne!(r.score(&t, 0), r2.score(&t, 0));
+        assert_ne!(
+            r.score(t.schema(), 0, t.tuple(0)),
+            r2.score(t.schema(), 0, t.tuple(0))
+        );
+    }
+
+    #[test]
+    fn scores_are_substrate_independent() {
+        // the same (id, tuple) must score identically whatever table (or
+        // shard) holds it — the property the sharded merge relies on
+        let t = table();
+        let sub = Table::new(t.schema().clone(), vec![t.tuple(2).clone()]).unwrap();
+        let rankings: [&dyn RankingFunction; 2] =
+            [&AttributeRanking { attr: 1, descending: false }, &SeededRandomRanking { seed: 7 }];
+        for r in rankings {
+            assert_eq!(
+                r.score(t.schema(), 2, t.tuple(2)).to_bits(),
+                r.score(sub.schema(), 2, sub.tuple(0)).to_bits()
+            );
+        }
     }
 
     #[test]

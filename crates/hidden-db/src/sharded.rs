@@ -1,0 +1,352 @@
+//! [`ShardedDb`]: the dataset hash-partitioned into `N` shards, each with
+//! its own table and bitmap index, evaluated concurrently.
+//!
+//! This models the substrate of a *distributed* hidden database (or a
+//! federated one: several sites fronted by one form). Every query is
+//! evaluated per shard — `|Sel(q)|` restricted to the shard plus the
+//! shard's top-k candidates — and the partial results are merged
+//! **order-independently**: counts are summed, candidates are re-ranked
+//! by the global `(score, id)` key. Because tuples keep their *global*
+//! ids and the ranking scores depend only on `(id, tuple)`, the merged
+//! [`Evaluation`] is **bit-identical** to what a single-table
+//! [`TableBackend`](crate::TableBackend) over the same corpus returns,
+//! for any shard count and any worker count (pinned by the determinism
+//! and property tests).
+//!
+//! Shard evaluation fans across threads through the same
+//! [`crate::par::fan_out`] primitive the estimation engine uses — no
+//! ad-hoc thread spawning.
+
+use std::convert::Infallible;
+
+use crate::backend::{checked_numeric, select_candidates, Evaluation, ScoreKey, SearchBackend};
+use crate::error::Result;
+use crate::interface::ReturnedTuple;
+use crate::par;
+use crate::query::Query;
+use crate::ranking::RankingFunction;
+use crate::schema::{AttrId, Schema};
+use crate::table::Table;
+use crate::tuple::{Tuple, TupleId};
+
+/// One shard: a contiguous-by-assignment subset of the corpus with its
+/// own (lazily indexed) table and the global id of every local row.
+#[derive(Debug)]
+struct Shard {
+    /// Local table over the shard's tuples; row `r` here is global tuple
+    /// `ids[r]`.
+    table: Table,
+    /// Ascending global ids (partitioning preserves corpus order within a
+    /// shard).
+    ids: Vec<TupleId>,
+}
+
+impl Shard {
+    /// Evaluates `q` against this shard only: local match count plus the
+    /// shard's candidate set (all matches if ≤ k, else the shard top-k).
+    fn partial(
+        &self,
+        q: &Query,
+        k: usize,
+        schema: &Schema,
+        ranking: &dyn RankingFunction,
+    ) -> (usize, Vec<ReturnedTuple>) {
+        let sel = self.table.index().eval(q);
+        let count = sel.count();
+        if count == 0 {
+            return (0, Vec::new());
+        }
+        let matches = sel
+            .iter_ones()
+            .map(|row| (self.ids[row], self.table.tuple(row as TupleId)));
+        (count, select_candidates(matches, count, k, schema, ranking))
+    }
+}
+
+/// Stable, platform-independent FNV-1a hash of a tuple's values — the
+/// partitioning function. Deliberately *not* `DefaultHasher`: the shard
+/// assignment is part of an experiment's definition and must never drift
+/// across Rust releases.
+fn shard_of(tuple: &Tuple, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &v in tuple.values() {
+        h ^= u64::from(v);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// A hash-partitioned corpus evaluated shard-by-shard.
+///
+/// Construct it over the same [`Table`] you would hand to
+/// [`HiddenDb::new`](crate::HiddenDb::new) and wrap it with
+/// [`HiddenDb::over`](crate::HiddenDb::over); estimators cannot tell the
+/// difference:
+///
+/// ```
+/// use hdb_interface::{HiddenDb, Query, Schema, ShardedDb, Table, TopKInterface, Tuple};
+///
+/// let tuples: Vec<Tuple> = (0..32u16)
+///     .map(|i| Tuple::new((0..5).map(|b| (i >> b) & 1).collect()))
+///     .collect();
+/// let table = Table::new(Schema::boolean(5), tuples).unwrap();
+///
+/// let plain = HiddenDb::new(table.clone(), 3);
+/// let sharded = HiddenDb::over(ShardedDb::new(&table, 4), 3);
+///
+/// // Same outcome classes, same tuples, same ids — bit for bit.
+/// let q = Query::all().and(0, 1).unwrap();
+/// assert_eq!(plain.query(&q).unwrap(), sharded.query(&q).unwrap());
+/// assert_eq!(plain.query(&Query::all()).unwrap(), sharded.query(&Query::all()).unwrap());
+/// ```
+#[derive(Debug)]
+pub struct ShardedDb {
+    schema: Schema,
+    shards: Vec<Shard>,
+    rows: usize,
+    workers: usize,
+}
+
+impl ShardedDb {
+    /// Hash-partitions `table` into `shard_count` shards.
+    ///
+    /// Global tuple ids are the row indices of `table`, exactly as in the
+    /// single-table backend.
+    ///
+    /// # Panics
+    /// Panics if `shard_count == 0`.
+    #[must_use]
+    pub fn new(table: &Table, shard_count: usize) -> Self {
+        assert!(shard_count > 0, "a sharded corpus needs at least one shard");
+        let schema = table.schema().clone();
+        let mut tuples: Vec<Vec<Tuple>> = vec![Vec::new(); shard_count];
+        let mut ids: Vec<Vec<TupleId>> = vec![Vec::new(); shard_count];
+        for (row, tuple) in table.tuples().iter().enumerate() {
+            let s = shard_of(tuple, shard_count);
+            tuples[s].push(tuple.clone());
+            ids[s].push(row as TupleId);
+        }
+        let shards = tuples
+            .into_iter()
+            .zip(ids)
+            .map(|(tuples, ids)| Shard {
+                table: Table::new(schema.clone(), tuples)
+                    .expect("shard tuples are a subset of a valid table"),
+                ids,
+            })
+            .collect();
+        Self { schema, shards, rows: table.len(), workers: 1 }
+    }
+
+    /// Sets how many threads evaluate shards concurrently (default 1:
+    /// per-query thread fan-out only pays once shard evaluation dominates
+    /// the spawn cost — the `scale02_sharded_backend` experiment sweeps
+    /// this). The merged result is identical for any value.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Rows held by shard `i` (for balance diagnostics).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn shard_len(&self, i: usize) -> usize {
+        self.shards[i].table.len()
+    }
+
+    /// Collects every shard's partial evaluation, concurrently when
+    /// configured.
+    fn partials(
+        &self,
+        q: &Query,
+        k: usize,
+        ranking: &dyn RankingFunction,
+    ) -> Vec<(usize, Vec<ReturnedTuple>)> {
+        if self.workers == 1 || self.shards.len() == 1 {
+            return self
+                .shards
+                .iter()
+                .map(|s| s.partial(q, k, &self.schema, ranking))
+                .collect();
+        }
+        let out = par::fan_out(self.shards.len() as u64, self.workers, |i| {
+            Ok::<_, Infallible>(self.shards[i as usize].partial(q, k, &self.schema, ranking))
+        });
+        // Arrival order is scheduling-dependent, but the merge below is
+        // order-independent, so no re-sorting by shard index is needed.
+        out.results.into_iter().map(|(_, p)| p).collect()
+    }
+}
+
+impl SearchBackend for ShardedDb {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn len(&self) -> usize {
+        self.rows
+    }
+
+    fn evaluate(&self, q: &Query, k: usize, ranking: &dyn RankingFunction) -> Evaluation {
+        let partials = self.partials(q, k, ranking);
+        let count: usize = partials.iter().map(|(c, _)| c).sum();
+        let mut candidates: Vec<ReturnedTuple> =
+            partials.into_iter().flat_map(|(_, top)| top).collect();
+        if count <= k {
+            // Valid outcome: all matches, ascending global id — the same
+            // order a single table enumerates them in.
+            candidates.sort_unstable_by_key(|t| t.id);
+        } else {
+            // Overflow: each shard's candidates are a superset of its
+            // contribution to the global top-k, so re-ranking the union
+            // by the global (score, id) key reproduces the single-table
+            // selection exactly.
+            candidates.sort_unstable_by_key(|t| {
+                (ScoreKey(ranking.score(&self.schema, t.id, &t.tuple)), t.id)
+            });
+            candidates.truncate(k);
+        }
+        Evaluation { count, top: candidates }
+    }
+
+    fn exact_count(&self, q: &Query) -> usize {
+        self.shards.iter().map(|s| s.table.exact_count(q)).sum()
+    }
+
+    fn exact_sum(&self, attr: AttrId, q: &Query) -> Result<f64> {
+        let a = checked_numeric(&self.schema, attr)?;
+        // Gather matching (global id, value) pairs and fold them in
+        // ascending id order: floating-point addition is not associative,
+        // and this sum must be bit-identical to the single-table one.
+        let mut values: Vec<(TupleId, f64)> = Vec::new();
+        for shard in &self.shards {
+            for row in shard.table.index().eval(q).iter_ones() {
+                let v = shard.table.tuple(row as TupleId).value(attr);
+                values.push((shard.ids[row], a.numeric_value(v).expect("checked numeric")));
+            }
+        }
+        values.sort_unstable_by_key(|&(id, _)| id);
+        Ok(values.into_iter().map(|(_, v)| v).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::TableBackend;
+    use crate::ranking::{AttributeRanking, RowIdRanking, SeededRandomRanking};
+    use crate::schema::Attribute;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::boolean("a"),
+            Attribute::boolean("b"),
+            Attribute::categorical("p", ["1", "2", "3", "4"])
+                .unwrap()
+                .with_numeric(vec![1.0, 2.0, 3.0, 4.0])
+                .unwrap(),
+        ])
+        .unwrap();
+        let tuples: Vec<Tuple> = (0..16u16)
+            .map(|i| Tuple::new(vec![i & 1, (i >> 1) & 1, i >> 2]))
+            .collect();
+        Table::new(schema, tuples).unwrap()
+    }
+
+    fn all_queries(schema: &Schema) -> Vec<Query> {
+        let mut queries = vec![Query::all()];
+        for attr in 0..schema.len() {
+            for v in 0..schema.fanout(attr) {
+                queries.push(Query::all().and(attr, v as u16).unwrap());
+            }
+        }
+        queries.push(Query::all().and(0, 1).unwrap().and(2, 3).unwrap());
+        queries.push(Query::all().and(0, 0).unwrap().and(1, 1).unwrap().and(2, 2).unwrap());
+        queries
+    }
+
+    #[test]
+    fn partitioning_covers_every_tuple_exactly_once() {
+        let t = table();
+        for shards in [1usize, 2, 3, 7, 16, 40] {
+            let db = ShardedDb::new(&t, shards);
+            assert_eq!(db.shard_count(), shards);
+            assert_eq!(db.len(), t.len());
+            let total: usize = (0..shards).map(|i| db.shard_len(i)).sum();
+            assert_eq!(total, t.len(), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn evaluations_match_the_single_table_backend_bitwise() {
+        let t = table();
+        let reference = TableBackend::new(t.clone());
+        for shards in [1usize, 2, 5, 16] {
+            for workers in [1usize, 3] {
+                let sharded = ShardedDb::new(&t, shards).with_workers(workers);
+                for q in all_queries(t.schema()) {
+                    for k in [1usize, 3, 20] {
+                        assert_eq!(
+                            reference.evaluate(&q, k, &RowIdRanking),
+                            sharded.evaluate(&q, k, &RowIdRanking),
+                            "shards={shards} workers={workers} q={q:?} k={k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_respects_nontrivial_rankings() {
+        let t = table();
+        let reference = TableBackend::new(t.clone());
+        let sharded = ShardedDb::new(&t, 4);
+        let rankings: [&dyn RankingFunction; 3] = [
+            &AttributeRanking { attr: 2, descending: true },
+            &AttributeRanking { attr: 2, descending: false },
+            &SeededRandomRanking { seed: 99 },
+        ];
+        for ranking in rankings {
+            for k in [1usize, 2, 5] {
+                assert_eq!(
+                    reference.evaluate(&Query::all(), k, ranking),
+                    sharded.evaluate(&Query::all(), k, ranking),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ground_truth_is_bit_identical() {
+        let t = table();
+        let reference = TableBackend::new(t.clone());
+        for shards in [1usize, 3, 16] {
+            let sharded = ShardedDb::new(&t, shards);
+            for q in all_queries(t.schema()) {
+                assert_eq!(reference.exact_count(&q), sharded.exact_count(&q));
+                assert_eq!(
+                    reference.exact_sum(2, &q).unwrap().to_bits(),
+                    sharded.exact_sum(2, &q).unwrap().to_bits(),
+                    "shards={shards} q={q:?}"
+                );
+            }
+        }
+        assert!(ShardedDb::new(&t, 2).exact_sum(9, &Query::all()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardedDb::new(&table(), 0);
+    }
+}

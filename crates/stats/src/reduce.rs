@@ -1,14 +1,16 @@
 //! Order-independent merging of per-pass estimates.
 //!
-//! The parallel estimation engine in `hdb-core` fans independent passes
-//! across worker threads; each pass returns `(pass_index, estimate)`.
-//! Floating-point addition is not associative, so naively summing results
-//! in arrival order would make the merged estimate depend on thread
-//! scheduling. [`PassReducer`] removes that dependence: results may be
-//! inserted in **any** order, and [`PassReducer::into_ordered`] always
-//! replays them in canonical pass-index order — so every downstream fold
-//! (mean, variance) performs bit-identical operations regardless of how
-//! many workers produced the results or how they interleaved.
+//! Parallel estimation fans independent passes across worker threads;
+//! each pass returns `(pass_index, estimate)`. Floating-point addition
+//! is not associative, so naively summing results in arrival order would
+//! make the merged estimate depend on thread scheduling. [`PassReducer`]
+//! packages the discipline that removes the dependence (the engine in
+//! `hdb-core` applies the same replay inline): results may be inserted
+//! in **any** order, and [`PassReducer::into_ordered`] always replays
+//! them in canonical pass-index order — so every downstream fold (mean,
+//! variance) performs bit-identical operations regardless of how many
+//! workers produced the results or how they interleaved. Use it when
+//! building external harnesses on top of raw `fan_out` results.
 
 /// Collects `(pass_index, value)` results and yields them in canonical
 /// pass-index order.

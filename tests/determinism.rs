@@ -8,7 +8,7 @@ use hdb_core::{
     pass_seed, AggregateSpec, EstimatorConfig, UnbiasedAggEstimator, UnbiasedSizeEstimator,
 };
 use hdb_datagen::{bool_mixed, yahoo_auto, YahooConfig, YAHOO_ATTRS};
-use hdb_interface::{HiddenDb, Query};
+use hdb_interface::{HiddenDb, Query, ShardedDb};
 
 const MASTER_SEED: u64 = 20_100_613; // SIGMOD 2010 opened June 13
 const PASSES: u64 = 300;
@@ -115,6 +115,99 @@ fn chunked_parallel_runs_resume_the_pass_sequence() {
         whole.estimate().unwrap().to_bits(),
         chunked.estimate().unwrap().to_bits()
     );
+}
+
+/// A budget-limited interface cuts the run short; the *set* of completed
+/// passes must be the canonical sequential prefix — identical across
+/// worker counts and runs, never an accident of thread scheduling.
+/// (This pins the fix for the PR 2 caveat: metered interfaces have their
+/// passes claimed in canonical index order.)
+#[test]
+fn budget_cut_completed_pass_set_is_canonical() {
+    let budget = 400;
+    let db_budgeted = || {
+        HiddenDb::new(bool_mixed(900, 10, 7).expect("generation"), 3).with_budget(budget)
+    };
+
+    // Sequential reference: passes complete in index order until the
+    // budget dies mid-pass.
+    let mut sequential = UnbiasedAggEstimator::new(
+        EstimatorConfig::plain(),
+        AggregateSpec::database_size(),
+        MASTER_SEED,
+    )
+    .expect("valid");
+    let reference = sequential.run(&db_budgeted(), 1_000_000).expect("partial summary");
+    assert!(reference.passes >= 1, "budget must allow at least one pass");
+    assert!(reference.passes < 1_000_000, "budget must actually cut the run");
+
+    // The completed passes are the canonical prefix: an unlimited run
+    // with the same seed starts with exactly the same per-pass values.
+    let mut unlimited = UnbiasedAggEstimator::new(
+        EstimatorConfig::plain(),
+        AggregateSpec::database_size(),
+        MASTER_SEED,
+    )
+    .expect("valid");
+    unlimited
+        .run(&HiddenDb::new(bool_mixed(900, 10, 7).expect("generation"), 3), reference.passes)
+        .expect("unlimited");
+    assert_eq!(sequential.history(), unlimited.history());
+
+    // Parallel runs at any worker count reproduce the same completed set
+    // bit for bit — history, estimate, and query accounting.
+    for workers in WORKER_COUNTS {
+        let mut parallel = UnbiasedAggEstimator::new(
+            EstimatorConfig::plain(),
+            AggregateSpec::database_size(),
+            MASTER_SEED,
+        )
+        .expect("valid");
+        let summary =
+            parallel.run_parallel(&db_budgeted(), 1_000_000, workers).expect("partial summary");
+        assert_eq!(
+            reference.passes, summary.passes,
+            "completed-pass count diverged at workers={workers}"
+        );
+        assert_eq!(
+            sequential.history(),
+            parallel.history(),
+            "completed-pass set diverged at workers={workers}"
+        );
+        assert_eq!(reference.estimate.to_bits(), summary.estimate.to_bits());
+        assert_eq!(reference.queries, summary.queries);
+    }
+}
+
+/// The sharded backend composes with the parallel engine: estimator runs
+/// over a ShardedDb (including concurrent shard evaluation) are
+/// bit-identical to the single-table sequential reference for any shard
+/// count and any engine worker count.
+#[test]
+fn sharded_backend_runs_are_worker_and_shard_count_independent() {
+    let table = bool_mixed(900, 10, 7).expect("generation");
+    let mut sequential = UnbiasedSizeEstimator::hd(MASTER_SEED).expect("valid");
+    let reference = sequential.run(&HiddenDb::new(table.clone(), 3), 150).expect("unlimited");
+
+    for shards in [1usize, 4, 13] {
+        for shard_workers in [1usize, 2] {
+            for engine_workers in WORKER_COUNTS {
+                let backend = ShardedDb::new(&table, shards).with_workers(shard_workers);
+                let db = HiddenDb::over(backend, 3);
+                let mut parallel = UnbiasedSizeEstimator::hd(MASTER_SEED).expect("valid");
+                let summary =
+                    parallel.run_parallel(&db, 150, engine_workers).expect("unlimited");
+                assert_eq!(
+                    reference.estimate.to_bits(),
+                    summary.estimate.to_bits(),
+                    "estimate diverged at shards={shards} shard_workers={shard_workers} \
+                     engine_workers={engine_workers}"
+                );
+                assert_eq!(sequential.history(), parallel.history());
+                assert_eq!(reference.queries, summary.queries);
+            }
+        }
+    }
 }
 
 #[test]
