@@ -38,5 +38,7 @@ fn main() {
     experiments::parallel_scale::run_parallel_scale(&scale, &datasets);
     output::note("Scale 02: sharded backend + remote latency");
     experiments::sharded_scale::run_sharded_scale(&scale, &datasets);
+    output::note("Scale 03: incremental walk sessions");
+    experiments::incremental_scale::run_incremental_scale(&scale, &datasets);
     output::note("done");
 }

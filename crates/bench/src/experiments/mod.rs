@@ -9,6 +9,7 @@ pub mod fig06_10_boolean;
 pub mod fig11_13_sweeps;
 pub mod fig14_17_yahoo;
 pub mod fig18_19_online;
+pub mod incremental_scale;
 pub mod parallel_scale;
 pub mod sharded_scale;
 

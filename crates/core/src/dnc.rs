@@ -26,13 +26,15 @@
 //! randomness is independent of the hit count, and it saves the paper's
 //! intended queries.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
-use hdb_interface::{AttrId, Query, ReturnedTuple, Schema, TopKInterface};
+use hdb_interface::{AttrId, Query, ReturnedTuple, Schema, TopKInterface, WalkSession};
 use rand::Rng;
 
 use crate::error::Result;
-use crate::walk::{drill_down_with, BacktrackStrategy, PathStep, WalkTerminal, WeightProvider};
+use crate::walk::{
+    drill_down_session, BacktrackStrategy, PathStep, WalkTerminal, WeightProvider,
+};
 
 /// Splits `levels` into consecutive subtree chunks, each with domain size
 /// (product of fanouts) at most `dub` but always at least one level.
@@ -129,7 +131,11 @@ where
     F: Fn(&[ReturnedTuple]) -> f64,
 {
     let mut memo: HashMap<Vec<PathStep>, f64> = HashMap::new();
-    estimate_subtree(iface, root, &[], levels, r, dub, weights, measure, strategy, rng, &mut memo)
+    // One incremental walk session serves the whole pass: the divide-&-
+    // conquer recursion moves it with free extend/retract steps, and
+    // every probe inside costs one AND over the parent's match set.
+    let mut sess = iface.walk_session(root.clone())?;
+    estimate_subtree(&mut sess, &[], levels, r, dub, weights, measure, strategy, rng, &mut memo)
 }
 
 /// The paper's Eq. (9)–(10) taken **literally**: accumulate over the
@@ -164,16 +170,17 @@ where
     F: Fn(&[ReturnedTuple]) -> f64,
 {
     let mut total = 0.0;
-    paper_form_subtree(iface, root, &[], levels, r, dub, weights, measure, rng, 1.0, &mut total)?;
+    let mut sess = iface.walk_session(root.clone())?;
+    paper_form_subtree(&mut sess, &[], levels, r, dub, weights, measure, rng, 1.0, &mut total)?;
     Ok(total)
 }
 
 /// Recursive worker for [`estimate_pass_paper_form`]: `pi_root` is
-/// `π(q_R)` of this subtree's root (1 at the top).
+/// `π(q_R)` of this subtree's root (1 at the top). The session enters
+/// and leaves positioned at the subtree root.
 #[allow(clippy::too_many_arguments)]
-fn paper_form_subtree<I, W, R, F>(
-    iface: &I,
-    root: &Query,
+fn paper_form_subtree<W, R, F>(
+    sess: &mut WalkSession<'_>,
     prefix: &[PathStep],
     levels: &[AttrId],
     r: usize,
@@ -185,28 +192,23 @@ fn paper_form_subtree<I, W, R, F>(
     total: &mut f64,
 ) -> Result<()>
 where
-    I: TopKInterface,
     W: WeightProvider + ?Sized,
     R: Rng + ?Sized,
     F: Fn(&[ReturnedTuple]) -> f64,
 {
     assert!(!levels.is_empty(), "an overflowing node cannot be fully specified");
-    let take = first_chunk_len(iface.schema(), levels, dub);
+    let take = first_chunk_len(sess.schema(), levels, dub);
     let (chunk, rest) = levels.split_at(take);
 
-    // distinct terminals captured by the r drill-downs over this subtree
-    let mut top_valid: HashMap<Vec<PathStep>, (f64, f64)> = HashMap::new(); // path → (p, value)
-    let mut bottom: HashMap<Vec<PathStep>, (f64, Query)> = HashMap::new(); // path → (p, query)
+    // Distinct terminals captured by the r drill-downs over this subtree.
+    // BTreeMaps, not HashMaps: the loops below consume the shared RNG
+    // (recursion) and fold f64s in iteration order, so that order must be
+    // a pure function of the keys for seeded runs to reproduce.
+    let mut top_valid: BTreeMap<Vec<PathStep>, (f64, f64)> = BTreeMap::new(); // path → (p, value)
+    let mut bottom: BTreeMap<Vec<PathStep>, (f64, Vec<PathStep>)> = BTreeMap::new(); // path → (p, steps)
     for _ in 0..r {
-        let walk = drill_down_with(
-            iface,
-            root,
-            prefix,
-            chunk,
-            weights,
-            BacktrackStrategy::Smart,
-            rng,
-        )?;
+        let walk =
+            drill_down_session(sess, prefix, chunk, weights, BacktrackStrategy::Smart, rng)?;
         let mut path = prefix.to_vec();
         path.extend(walk.steps());
         match &walk.terminal {
@@ -216,8 +218,8 @@ where
                 top_valid.insert(path, (walk.probability, value));
             }
             WalkTerminal::BottomOverflow => {
-                let q = walk.terminal_query(root);
-                bottom.insert(path, (walk.probability, q));
+                let steps = walk.steps();
+                bottom.insert(path, (walk.probability, steps));
             }
         }
     }
@@ -225,19 +227,27 @@ where
         // π(q) = r · p(q | subtree) · π(q_R)
         *total += value / (r as f64 * p * pi_root);
     }
-    for (path, (p, q)) in &bottom {
+    for (path, (p, steps)) in &bottom {
         let pi = r as f64 * p * pi_root;
-        paper_form_subtree(iface, q, path, rest, r, dub, weights, measure, rng, pi, total)?;
+        for &(attr, value) in steps {
+            sess.extend(attr, value);
+        }
+        paper_form_subtree(sess, path, rest, r, dub, weights, measure, rng, pi, total)?;
+        for _ in steps {
+            sess.retract();
+        }
     }
     Ok(())
 }
 
-/// Recursive worker: estimates the measure mass below `root` (an
-/// overflowing node at global path `prefix`) over `levels`.
+/// Recursive worker: estimates the measure mass below the session's
+/// current node (an overflowing node at global path `prefix`) over
+/// `levels`. The session enters and leaves positioned at that node;
+/// recursing below a bottom-overflow terminal is a sequence of free
+/// `extend` steps (one AND each) rather than a re-evaluated query chain.
 #[allow(clippy::too_many_arguments)]
-fn estimate_subtree<I, W, R, F>(
-    iface: &I,
-    root: &Query,
+fn estimate_subtree<W, R, F>(
+    sess: &mut WalkSession<'_>,
     prefix: &[PathStep],
     levels: &[AttrId],
     r: usize,
@@ -249,7 +259,6 @@ fn estimate_subtree<I, W, R, F>(
     memo: &mut HashMap<Vec<PathStep>, f64>,
 ) -> Result<f64>
 where
-    I: TopKInterface,
     W: WeightProvider + ?Sized,
     R: Rng + ?Sized,
     F: Fn(&[ReturnedTuple]) -> f64,
@@ -259,12 +268,12 @@ where
         "an overflowing node cannot be fully specified: duplicate-free data \
          guarantees at most one tuple per point query"
     );
-    let take = first_chunk_len(iface.schema(), levels, dub);
+    let take = first_chunk_len(sess.schema(), levels, dub);
     let (chunk, rest) = levels.split_at(take);
 
     let mut sum = 0.0;
     for _ in 0..r {
-        let walk = drill_down_with(iface, root, prefix, chunk, weights, strategy, rng)?;
+        let walk = drill_down_session(sess, prefix, chunk, weights, strategy, rng)?;
         match &walk.terminal {
             WalkTerminal::TopValid { tuples } => {
                 let value = measure(tuples);
@@ -277,20 +286,15 @@ where
                 let sub_estimate = match memo.get(&path) {
                     Some(&v) => v,
                     None => {
-                        let child_query = walk.terminal_query(root);
+                        for level in &walk.levels {
+                            sess.extend(level.attr, level.value);
+                        }
                         let v = estimate_subtree(
-                            iface,
-                            &child_query,
-                            &path,
-                            rest,
-                            r,
-                            dub,
-                            weights,
-                            measure,
-                            strategy,
-                            rng,
-                            memo,
+                            sess, &path, rest, r, dub, weights, measure, strategy, rng, memo,
                         )?;
+                        for _ in &walk.levels {
+                            sess.retract();
+                        }
                         memo.insert(path.clone(), v);
                         v
                     }

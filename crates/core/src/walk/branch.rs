@@ -22,7 +22,9 @@
 //! overflowing parent has `> k` tuples, the valid child at most `k`), so
 //! the left probe is free.
 
-use hdb_interface::{AttrId, Query, QueryOutcome, TopKInterface, ValueId};
+use hdb_interface::{
+    AttrId, ClassifiedOutcome, Query, QueryOutcome, TopKInterface, ValueId, WalkSession,
+};
 use rand::Rng;
 
 use crate::error::Result;
@@ -45,7 +47,183 @@ pub struct BranchChoice {
     pub queries: u64,
 }
 
+/// Outcome of selecting a branch at one node of a [`WalkSession`]-driven
+/// walk. Unlike [`BranchChoice`], the committed branch's outcome is a
+/// count-only [`ClassifiedOutcome`]: walks never read overflow pages, so
+/// the session skips materialising them.
+#[derive(Clone, Debug)]
+pub struct SessionBranchChoice {
+    /// The committed branch value.
+    pub value: ValueId,
+    /// Exact marginal probability of committing to `value` under the
+    /// supplied weights.
+    pub probability: f64,
+    /// Classification of the committed branch (never underflow; carries
+    /// the full page when valid).
+    pub outcome: ClassifiedOutcome,
+    /// Branches discovered to underflow at this node (for weight-model
+    /// learning).
+    pub discovered_empty: Vec<ValueId>,
+    /// Queries issued at this node.
+    pub queries: u64,
+}
+
+/// [`choose_branch`] over a [`WalkSession`] positioned at the overflowing
+/// node: identical query sequence, RNG consumption, and commit
+/// probabilities — each probe just costs one AND over the parent's match
+/// set instead of a from-scratch evaluation. The session's position is
+/// unchanged (committing is the caller's move).
+///
+/// # Errors
+/// Propagates interface errors (notably budget exhaustion).
+///
+/// # Panics
+/// Same contract as [`choose_branch`].
+pub fn choose_branch_session<R: Rng + ?Sized>(
+    sess: &mut WalkSession<'_>,
+    attr: AttrId,
+    weights: &[f64],
+    rng: &mut R,
+) -> Result<SessionBranchChoice> {
+    let fanout = sess.schema().fanout(attr);
+    assert_eq!(weights.len(), fanout, "weight vector must match fanout");
+    assert!(
+        weights.iter().all(|&w| w > 0.0 && w.is_finite()),
+        "branch weights must be strictly positive and finite"
+    );
+    let total: f64 = weights.iter().sum();
+
+    // Per-branch knowledge gathered at this node: Some(true) = non-empty,
+    // Some(false) = underflow. Never issue the same branch twice.
+    let mut known: Vec<Option<bool>> = vec![None; fanout];
+    let mut queries = 0u64;
+
+    // -- step 1+2: initial pick, then circular right scan ---------------
+    let initial = sample_weighted(rng, weights, total);
+    let mut candidate = initial;
+    let committed_outcome = loop {
+        let outcome = sess.classify(attr, candidate as ValueId)?;
+        queries += 1;
+        if outcome.is_underflow() {
+            known[candidate] = Some(false);
+            candidate = (candidate + 1) % fanout;
+            assert!(
+                candidate != initial,
+                "every branch of attribute {attr} underflows: base query must overflow"
+            );
+        } else {
+            known[candidate] = Some(true);
+            break outcome;
+        }
+    };
+    let committed = candidate;
+
+    // -- step 3: weight of the underflow run preceding `committed` ------
+    let mut run_weight = 0.0;
+    // Boolean shortcut: a valid committed branch under an overflowing
+    // parent implies a non-empty sibling — no query needed.
+    if fanout == 2 && committed_outcome.is_valid() && known[1 - committed].is_none() {
+        known[1 - committed] = Some(true);
+    }
+    let mut probe = (committed + fanout - 1) % fanout;
+    let mut steps = 0usize;
+    while probe != committed && steps < fanout - 1 {
+        let nonempty = match known[probe] {
+            Some(flag) => flag,
+            None => {
+                let outcome = sess.classify(attr, probe as ValueId)?;
+                queries += 1;
+                let flag = outcome.is_nonempty();
+                known[probe] = Some(flag);
+                flag
+            }
+        };
+        if nonempty {
+            break;
+        }
+        run_weight += weights[probe];
+        probe = (probe + fanout - 1) % fanout;
+        steps += 1;
+    }
+
+    let probability = ((weights[committed] + run_weight) / total).min(1.0);
+    let discovered_empty = known
+        .iter()
+        .enumerate()
+        .filter_map(|(v, &flag)| (flag == Some(false)).then_some(v as ValueId))
+        .collect();
+
+    Ok(SessionBranchChoice {
+        value: committed as ValueId,
+        probability,
+        outcome: committed_outcome,
+        discovered_empty,
+        queries,
+    })
+}
+
+/// [`choose_branch_simple`] over a [`WalkSession`]: queries every branch
+/// up front (count-only), then picks weight-proportionally among the
+/// non-underflowing ones. Identical query sequence and RNG consumption
+/// as the fresh version.
+///
+/// # Errors
+/// Propagates interface errors.
+///
+/// # Panics
+/// Same contract as [`choose_branch`].
+pub fn choose_branch_simple_session<R: Rng + ?Sized>(
+    sess: &mut WalkSession<'_>,
+    attr: AttrId,
+    weights: &[f64],
+    rng: &mut R,
+) -> Result<SessionBranchChoice> {
+    let fanout = sess.schema().fanout(attr);
+    assert_eq!(weights.len(), fanout, "weight vector must match fanout");
+    assert!(
+        weights.iter().all(|&w| w > 0.0 && w.is_finite()),
+        "branch weights must be strictly positive and finite"
+    );
+    let mut outcomes = Vec::with_capacity(fanout);
+    let mut queries = 0u64;
+    for v in 0..fanout {
+        outcomes.push(sess.classify(attr, v as ValueId)?);
+        queries += 1;
+    }
+    let live: Vec<usize> = (0..fanout).filter(|&v| outcomes[v].is_nonempty()).collect();
+    assert!(
+        !live.is_empty(),
+        "every branch of attribute {attr} underflows: base query must overflow"
+    );
+    let live_total: f64 = live.iter().map(|&v| weights[v]).sum();
+    let mut u: f64 = rng.random::<f64>() * live_total;
+    let mut committed = *live.last().expect("live non-empty");
+    for &v in &live {
+        u -= weights[v];
+        if u <= 0.0 {
+            committed = v;
+            break;
+        }
+    }
+    let discovered_empty = (0..fanout)
+        .filter(|&v| outcomes[v].is_underflow())
+        .map(|v| v as ValueId)
+        .collect();
+    Ok(SessionBranchChoice {
+        value: committed as ValueId,
+        probability: weights[committed] / live_total,
+        outcome: outcomes.swap_remove(committed),
+        discovered_empty,
+        queries,
+    })
+}
+
 /// Selects a branch of `attr` below the overflowing query `base`.
+///
+/// This is the fresh-query reference implementation (each probe is an
+/// independent [`TopKInterface::query`], full pages included);
+/// [`choose_branch_session`] is the incremental equivalent the
+/// estimators run on.
 ///
 /// # Errors
 /// Propagates interface errors (notably budget exhaustion).

@@ -2,11 +2,11 @@
 //! an overflowing root until a valid node is reached or the level budget
 //! is exhausted (divide-&-conquer bottom boundary).
 
-use hdb_interface::{AttrId, Query, ReturnedTuple, TopKInterface, ValueId};
+use hdb_interface::{AttrId, ClassifiedOutcome, Query, ReturnedTuple, TopKInterface, ValueId, WalkSession};
 use rand::Rng;
 
 use crate::error::Result;
-use crate::walk::branch::{choose_branch, choose_branch_simple};
+use crate::walk::branch::{choose_branch_session, choose_branch_simple_session};
 use crate::walk::{BacktrackStrategy, PathStep, WeightProvider};
 
 /// One committed level of a walk.
@@ -133,22 +133,54 @@ where
     W: WeightProvider + ?Sized,
     R: Rng + ?Sized,
 {
+    let mut sess = iface.walk_session(root.clone())?;
+    drill_down_session(&mut sess, prefix, levels, weights, strategy, rng)
+}
+
+/// One random drill-down driven through a [`WalkSession`] positioned at
+/// the subtree root (which **must** overflow). This is what the
+/// estimators run on: each branch probe costs one AND pass over the
+/// parent's materialised match set, and query order, RNG consumption,
+/// outcomes, and accounting are bit-identical to the fresh-query path.
+///
+/// On success the session is restored to its entry node; the caller
+/// re-extends along [`Walk::steps`] to recurse below a bottom-overflow
+/// terminal. After an error the session's position is unspecified —
+/// abandon it (the pass is aborted anyway).
+///
+/// # Errors
+/// Propagates interface errors (budget exhaustion aborts the walk).
+///
+/// # Panics
+/// Same contract as [`drill_down`].
+pub fn drill_down_session<W, R>(
+    sess: &mut WalkSession<'_>,
+    prefix: &[PathStep],
+    levels: &[AttrId],
+    weights: &W,
+    strategy: BacktrackStrategy,
+    rng: &mut R,
+) -> Result<Walk>
+where
+    W: WeightProvider + ?Sized,
+    R: Rng + ?Sized,
+{
     assert!(!levels.is_empty(), "drill_down requires at least one level");
-    let mut current = root.clone();
     let mut path: Vec<PathStep> = prefix.to_vec();
     let mut records = Vec::with_capacity(levels.len());
     let mut probability = 1.0;
     let mut queries = 0u64;
+    let mut extended = 0usize;
 
     for (depth, &attr) in levels.iter().enumerate() {
-        let fanout = iface.schema().fanout(attr);
+        let fanout = sess.schema().fanout(attr);
         let branch_weights = weights.weights(&path, attr, fanout);
         let choice = match strategy {
             BacktrackStrategy::Smart => {
-                choose_branch(iface, &current, attr, &branch_weights, rng)?
+                choose_branch_session(sess, attr, &branch_weights, rng)?
             }
             BacktrackStrategy::Simple => {
-                choose_branch_simple(iface, &current, attr, &branch_weights, rng)?
+                choose_branch_simple_session(sess, attr, &branch_weights, rng)?
             }
         };
         queries += choice.queries;
@@ -159,8 +191,11 @@ where
         records.push(WalkLevel { attr, value: choice.value, probability: choice.probability });
         path.push((attr, choice.value));
 
-        if choice.outcome.is_valid() {
-            let tuples = choice.outcome.tuples().to_vec();
+        if let ClassifiedOutcome::Valid(tuples) = &choice.outcome {
+            let tuples = tuples.to_vec();
+            for _ in 0..extended {
+                sess.retract();
+            }
             return Ok(Walk {
                 levels: records,
                 terminal: WalkTerminal::TopValid { tuples },
@@ -170,10 +205,14 @@ where
         }
         debug_assert!(choice.outcome.is_overflow(), "committed branch cannot underflow");
         if depth + 1 < levels.len() {
-            current = current.and(attr, choice.value).expect("level attr unconstrained");
+            sess.extend(attr, choice.value);
+            extended += 1;
         }
     }
 
+    for _ in 0..extended {
+        sess.retract();
+    }
     Ok(Walk { levels: records, terminal: WalkTerminal::BottomOverflow, probability, queries })
 }
 

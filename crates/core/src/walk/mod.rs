@@ -15,8 +15,13 @@
 mod branch;
 mod drilldown;
 
-pub use branch::{choose_branch, choose_branch_simple, BranchChoice};
-pub use drilldown::{drill_down, drill_down_with, Walk, WalkLevel, WalkTerminal};
+pub use branch::{
+    choose_branch, choose_branch_session, choose_branch_simple, choose_branch_simple_session,
+    BranchChoice, SessionBranchChoice,
+};
+pub use drilldown::{
+    drill_down, drill_down_session, drill_down_with, Walk, WalkLevel, WalkTerminal,
+};
 
 use hdb_interface::{AttrId, ValueId};
 

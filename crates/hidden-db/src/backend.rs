@@ -26,12 +26,16 @@
 //! reproducible when the substrate is swapped (pinned by the
 //! backend-equivalence property tests).
 
+use std::any::Any;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
+use crate::bitmap::{AndOnesIter, Bitmap, OnesIter};
 use crate::error::{HdbError, Result};
+use crate::index::Selection;
 use crate::interface::{QueryOutcome, ReturnedTuple};
-use crate::query::Query;
-use crate::ranking::RankingFunction;
+use crate::query::{Predicate, Query};
+use crate::ranking::{RankingFunction, RowIdRanking};
 use crate::schema::{AttrId, Schema};
 use crate::table::Table;
 use crate::tuple::{Tuple, TupleId};
@@ -76,9 +80,156 @@ impl Evaluation {
         if self.count == 0 {
             QueryOutcome::Underflow
         } else if self.count <= k {
-            QueryOutcome::Valid(self.top)
+            QueryOutcome::Valid(Arc::new(self.top))
         } else {
-            QueryOutcome::Overflow(self.top)
+            QueryOutcome::Overflow(Arc::new(self.top))
+        }
+    }
+}
+
+/// Opaque per-node incremental-evaluation state owned by a backend.
+///
+/// A drill-down walk session ([`WalkSession`](crate::WalkSession)) keeps
+/// one `WalkState` per committed level: the backend's materialised match
+/// set of that level's query, in whatever representation the backend
+/// chooses (a bitmap for [`TableBackend`], one bitmap per shard for
+/// [`ShardedDb`](crate::ShardedDb)). The payload is type-erased so the
+/// session machinery stays backend-agnostic; a state with no payload
+/// simply falls back to fresh [`SearchBackend::evaluate`] calls, which is
+/// how backends without a fast path participate.
+pub struct WalkState {
+    payload: Option<Box<dyn Any + Send + Sync>>,
+}
+
+impl Default for WalkState {
+    fn default() -> Self {
+        Self::fallback()
+    }
+}
+
+impl WalkState {
+    /// A state with no incremental payload: every child evaluation falls
+    /// back to a fresh [`SearchBackend::evaluate`].
+    #[must_use]
+    pub fn fallback() -> Self {
+        Self { payload: None }
+    }
+
+    /// Wraps a backend-specific payload.
+    #[must_use]
+    pub fn with_payload<T: Any + Send + Sync>(payload: T) -> Self {
+        Self { payload: Some(Box::new(payload)) }
+    }
+
+    /// Downcasts the payload, if present and of type `T`.
+    #[must_use]
+    pub fn payload<T: Any>(&self) -> Option<&T> {
+        self.payload.as_deref().and_then(<dyn Any + Send + Sync>::downcast_ref)
+    }
+
+    /// Consumes the state, recovering the payload for buffer recycling.
+    #[must_use]
+    pub fn take_payload<T: Any>(self) -> Option<T> {
+        self.payload.and_then(|p| p.downcast::<T>().ok()).map(|b| *b)
+    }
+}
+
+/// Result of the count-only fast path ([`SearchBackend::classify_from`]):
+/// the exact match count, plus the full result page exactly when the
+/// query is *valid* (`1 ≤ count ≤ k`, all matches in ascending global id
+/// order — ranking-independent, so no ranking function is needed). For
+/// underflow and overflow the page stays empty: skipping the top-k
+/// selection of overflowing probes is the whole point of this path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Classified {
+    /// `|Sel(q)|` — the true number of matching tuples.
+    pub count: usize,
+    /// All matches (ascending id) iff `1 ≤ count ≤ k`; empty otherwise.
+    pub page: Vec<ReturnedTuple>,
+}
+
+impl Classified {
+    /// Derives the classification from a full [`Evaluation`] (the
+    /// fallback used when no count-only kernel exists).
+    #[must_use]
+    pub fn from_evaluation(eval: Evaluation, k: usize) -> Self {
+        let page = if eval.count <= k { eval.top } else { Vec::new() };
+        Self { count: eval.count, page }
+    }
+}
+
+/// Owned match-set of one walk node over a single bitmap-indexed table:
+/// `All` until the first predicate commits (the root query of a whole-
+/// database walk constrains nothing — no bitmap materialised), then a
+/// materialised bitmap. Shared by [`TableBackend`] and the per-shard
+/// states of [`ShardedDb`](crate::ShardedDb).
+#[derive(Debug)]
+pub(crate) enum SelState {
+    /// Every row of the table matches.
+    All,
+    /// Exactly the set bits match.
+    Bits(Bitmap),
+}
+
+impl SelState {
+    pub(crate) fn from_selection(sel: Selection<'_>) -> Self {
+        match sel {
+            Selection::All { .. } => Self::All,
+            Selection::Posting(b) => Self::Bits(b.clone()),
+            Selection::Owned(b) => Self::Bits(b),
+        }
+    }
+
+    /// `|self ∩ posting|` in one pass, no materialisation.
+    pub(crate) fn and_count(&self, posting: &Bitmap) -> usize {
+        match self {
+            Self::All => posting.count(),
+            Self::Bits(b) => b.and_count(posting),
+        }
+    }
+
+    /// Materialises `self ∩ posting`, reusing `recycled`'s buffer when
+    /// one is supplied (the walk-local scratch arena).
+    pub(crate) fn child(&self, posting: &Bitmap, recycled: Option<Bitmap>) -> Bitmap {
+        let mut out = recycled.unwrap_or_else(|| Bitmap::zeros(0));
+        match self {
+            Self::All => out.copy_from(posting),
+            Self::Bits(b) => out.assign_and(b, posting),
+        }
+        out
+    }
+
+    /// Iterator over the row ids of `self ∩ posting`, ascending.
+    pub(crate) fn iter_and<'a>(&'a self, posting: &'a Bitmap) -> SelStateOnes<'a> {
+        match self {
+            Self::All => SelStateOnes::Posting(posting.iter_ones()),
+            Self::Bits(b) => SelStateOnes::And(b.iter_and_ones(posting)),
+        }
+    }
+
+    /// Recovers the bitmap buffer for recycling (nothing to recycle from
+    /// an `All` state).
+    pub(crate) fn into_buffer(self) -> Option<Bitmap> {
+        match self {
+            Self::All => None,
+            Self::Bits(b) => Some(b),
+        }
+    }
+}
+
+/// Iterator over the matching rows of a [`SelState`] ∩ posting pair.
+pub(crate) enum SelStateOnes<'a> {
+    Posting(OnesIter<'a>),
+    And(AndOnesIter<'a>),
+}
+
+impl Iterator for SelStateOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            Self::Posting(it) => it.next(),
+            Self::And(it) => it.next(),
         }
     }
 }
@@ -94,6 +245,19 @@ impl Evaluation {
 /// All methods take `&self` and implementations must be `Sync`: a single
 /// backend instance serves every worker of the parallel estimation
 /// engine.
+///
+/// ## The incremental fast path
+///
+/// Drill-down estimators issue chains of queries where each child extends
+/// its parent by exactly one predicate. The `walk_state` /
+/// `extend_state` / `evaluate_from` / `classify_from` family lets a
+/// backend exploit that: the session keeps the parent's materialised
+/// match set and a child costs one AND pass instead of a from-scratch
+/// evaluation. The default implementations fall back to
+/// [`SearchBackend::evaluate`], so the fast path is strictly optional —
+/// and every implementation, fast or fallback, must return results
+/// **bit-identical** to `evaluate` on the equivalent child query (pinned
+/// by the incremental-equivalence property tests).
 pub trait SearchBackend: Send + Sync {
     /// The public schema of the search form.
     fn schema(&self) -> &Schema;
@@ -133,6 +297,55 @@ pub trait SearchBackend: Send + Sync {
     /// Returns [`HdbError::InvalidQuery`] if `attr` has no numeric
     /// interpretation or is out of range.
     fn exact_sum(&self, attr: AttrId, q: &Query) -> Result<f64>;
+
+    /// Materialises incremental walk state for the (already validated)
+    /// query `q` — the root of a drill-down session. The default has no
+    /// fast path: every child evaluation falls back to
+    /// [`SearchBackend::evaluate`].
+    fn walk_state(&self, q: &Query) -> WalkState {
+        let _ = q;
+        WalkState::fallback()
+    }
+
+    /// Extends `parent`'s state by one predicate, producing the state of
+    /// `child` (`child` = parent's query ∧ `pred`). `recycled` is a
+    /// retired state whose buffers may be reused (the session's scratch
+    /// arena); implementations are free to ignore it.
+    fn extend_state(
+        &self,
+        parent: &WalkState,
+        child: &Query,
+        pred: Predicate,
+        recycled: WalkState,
+    ) -> WalkState {
+        let _ = (parent, pred, recycled);
+        self.walk_state(child)
+    }
+
+    /// Evaluates `child` (= parent's query ∧ `pred`) with full top-k
+    /// materialisation, using `parent`'s state when it carries a payload.
+    /// Must be bit-identical to `self.evaluate(child, k, ranking)`.
+    fn evaluate_from(
+        &self,
+        parent: &WalkState,
+        child: &Query,
+        pred: Predicate,
+        k: usize,
+        ranking: &dyn RankingFunction,
+    ) -> Evaluation {
+        let _ = (parent, pred);
+        self.evaluate(child, k, ranking)
+    }
+
+    /// Count-only evaluation of `child` (= parent's query ∧ `pred`): the
+    /// exact match count, plus the full page only when the query is valid
+    /// (`1 ≤ count ≤ k`, ascending id order — ranking-independent). This
+    /// is the fast path for drill-down probes, which mostly need
+    /// underflow/valid/overflow and never look at an overflow page.
+    fn classify_from(&self, parent: &WalkState, child: &Query, pred: Predicate, k: usize) -> Classified {
+        let _ = (parent, pred);
+        Classified::from_evaluation(self.evaluate(child, k, &RowIdRanking), k)
+    }
 }
 
 /// A totally ordered wrapper over finite ranking scores (ties broken by
@@ -280,7 +493,7 @@ impl SearchBackend for TableBackend {
         let schema = self.table.schema();
         match self.mode {
             EvalMode::Bitmap => {
-                let sel = self.table.index().eval(q);
+                let sel = self.table.index().selection(q);
                 let count = sel.count();
                 let matches = sel
                     .iter_ones()
@@ -311,6 +524,70 @@ impl SearchBackend for TableBackend {
 
     fn exact_sum(&self, attr: AttrId, q: &Query) -> Result<f64> {
         self.table.exact_sum(attr, q)
+    }
+
+    fn walk_state(&self, q: &Query) -> WalkState {
+        if self.mode != EvalMode::Bitmap {
+            // Scan mode is the reference path; keep it a pure per-query
+            // scan rather than silently switching it to bitmaps.
+            return WalkState::fallback();
+        }
+        WalkState::with_payload(SelState::from_selection(self.table.index().selection(q)))
+    }
+
+    fn extend_state(
+        &self,
+        parent: &WalkState,
+        child: &Query,
+        pred: Predicate,
+        recycled: WalkState,
+    ) -> WalkState {
+        let Some(sel) = parent.payload::<SelState>() else {
+            return self.walk_state(child);
+        };
+        let posting = self.table.index().posting(pred.attr, pred.value as usize);
+        let buf = recycled.take_payload::<SelState>().and_then(SelState::into_buffer);
+        WalkState::with_payload(SelState::Bits(sel.child(posting, buf)))
+    }
+
+    fn evaluate_from(
+        &self,
+        parent: &WalkState,
+        child: &Query,
+        pred: Predicate,
+        k: usize,
+        ranking: &dyn RankingFunction,
+    ) -> Evaluation {
+        let Some(sel) = parent.payload::<SelState>() else {
+            return self.evaluate(child, k, ranking);
+        };
+        let posting = self.table.index().posting(pred.attr, pred.value as usize);
+        let count = sel.and_count(posting);
+        let matches =
+            sel.iter_and(posting).map(|row| (row as TupleId, self.table.tuple(row as TupleId)));
+        Evaluation {
+            count,
+            top: select_candidates(matches, count, k, self.table.schema(), ranking),
+        }
+    }
+
+    fn classify_from(&self, parent: &WalkState, child: &Query, pred: Predicate, k: usize) -> Classified {
+        let Some(sel) = parent.payload::<SelState>() else {
+            return Classified::from_evaluation(self.evaluate(child, k, &RowIdRanking), k);
+        };
+        let posting = self.table.index().posting(pred.attr, pred.value as usize);
+        let count = sel.and_count(posting);
+        let page = if (1..=k).contains(&count) {
+            sel.iter_and(posting)
+                .map(|row| ReturnedTuple {
+                    id: row as TupleId,
+                    tuple: self.table.tuple(row as TupleId).clone(),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Classified { count, page }
     }
 }
 
@@ -409,6 +686,67 @@ mod tests {
         assert_eq!(eval.count, 4);
         let ids: Vec<TupleId> = eval.top.iter().map(|t| t.id).collect();
         assert_eq!(ids, vec![1, 3]);
+    }
+
+    #[test]
+    fn incremental_walk_state_matches_fresh_evaluation() {
+        let b = TableBackend::new(table());
+        let root = Query::all();
+        let state = b.walk_state(&root);
+        for attr in 0..2usize {
+            for v in 0..b.schema().fanout(attr) {
+                let pred = Predicate::new(attr, v as u16);
+                let child = root.and(attr, v as u16).unwrap();
+                for k in [1usize, 2, 10] {
+                    let fresh = b.evaluate(&child, k, &RowIdRanking);
+                    assert_eq!(b.evaluate_from(&state, &child, pred, k, &RowIdRanking), fresh);
+                    let classified = b.classify_from(&state, &child, pred, k);
+                    assert_eq!(classified.count, fresh.count);
+                    if (1..=k).contains(&fresh.count) {
+                        assert_eq!(classified.page, fresh.top);
+                    } else {
+                        assert!(classified.page.is_empty());
+                    }
+                }
+                // a second-level extension keeps agreeing
+                let child_state = b.extend_state(&state, &child, pred, WalkState::fallback());
+                for v2 in 0..b.schema().fanout(1 - attr) {
+                    let pred2 = Predicate::new(1 - attr, v2 as u16);
+                    let gchild = child.and(1 - attr, v2 as u16).unwrap();
+                    let fresh = b.evaluate(&gchild, 2, &RowIdRanking);
+                    assert_eq!(
+                        b.evaluate_from(&child_state, &gchild, pred2, 2, &RowIdRanking),
+                        fresh
+                    );
+                    assert_eq!(b.classify_from(&child_state, &gchild, pred2, 2).count, fresh.count);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_mode_walk_state_falls_back() {
+        let b = TableBackend::new(table()).with_eval_mode(EvalMode::Scan);
+        let state = b.walk_state(&Query::all());
+        assert!(state.payload::<SelState>().is_none());
+        // fallback still answers correctly
+        let pred = Predicate::new(0, 1);
+        let child = Query::all().and(0, 1).unwrap();
+        assert_eq!(
+            b.evaluate_from(&state, &child, pred, 2, &RowIdRanking),
+            b.evaluate(&child, 2, &RowIdRanking)
+        );
+        assert_eq!(b.classify_from(&state, &child, pred, 2).count, 2);
+    }
+
+    #[test]
+    fn walk_state_payload_roundtrip_and_recycling() {
+        let s = WalkState::with_payload(42u64);
+        assert_eq!(s.payload::<u64>(), Some(&42));
+        assert_eq!(s.payload::<u32>(), None);
+        assert_eq!(s.take_payload::<u64>(), Some(42));
+        assert_eq!(WalkState::fallback().take_payload::<u64>(), None);
+        assert!(WalkState::default().payload::<u64>().is_none());
     }
 
     #[test]

@@ -114,6 +114,60 @@ impl Bitmap {
             .sum()
     }
 
+    /// Number of set bits in `self & b & c` in one fused pass — the
+    /// 3-predicate counting kernel (no intermediate bitmap, one traversal
+    /// instead of two).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    #[must_use]
+    pub fn and_count_3(&self, b: &Bitmap, c: &Bitmap) -> usize {
+        assert_eq!(self.len, b.len, "bitmap length mismatch");
+        assert_eq!(self.len, c.len, "bitmap length mismatch");
+        self.words
+            .iter()
+            .zip(&b.words)
+            .zip(&c.words)
+            .map(|((x, y), z)| (x & y & z).count_ones() as usize)
+            .sum()
+    }
+
+    /// Makes `self` the intersection `a & b` in one fused copy-and-AND
+    /// pass, reusing `self`'s allocation when it is large enough — the
+    /// scratch-buffer kernel behind walk-session `extend` steps.
+    ///
+    /// # Panics
+    /// Panics if `a` and `b` differ in length.
+    pub fn assign_and(&mut self, a: &Bitmap, b: &Bitmap) {
+        assert_eq!(a.len, b.len, "bitmap length mismatch");
+        self.len = a.len;
+        self.words.clear();
+        self.words.extend(a.words.iter().zip(&b.words).map(|(x, y)| x & y));
+    }
+
+    /// Makes `self` a copy of `other`, reusing `self`'s allocation when it
+    /// is large enough (the derived `Clone::clone_from` always
+    /// reallocates).
+    pub fn copy_from(&mut self, other: &Bitmap) {
+        self.len = other.len;
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+    }
+
+    /// Iterator over the indices of set bits of `self & other`, ascending,
+    /// without materialising the intersection.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn iter_and_ones<'a>(&'a self, other: &'a Bitmap) -> AndOnesIter<'a> {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        let current = match (self.words.first(), other.words.first()) {
+            (Some(a), Some(b)) => a & b,
+            _ => 0,
+        };
+        AndOnesIter { a: &self.words, b: &other.words, word_idx: 0, current }
+    }
+
     /// Whether `self & other` has any set bit (with early exit).
     ///
     /// # Panics
@@ -133,7 +187,7 @@ impl Bitmap {
     /// top-k interface to cut off result materialisation at `k`.
     #[must_use]
     pub fn first_ones(&self, limit: usize) -> Vec<usize> {
-        let mut out = Vec::with_capacity(limit.min(16));
+        let mut out = Vec::with_capacity(limit.min(self.len));
         for i in self.iter_ones() {
             if out.len() == limit {
                 break;
@@ -166,6 +220,34 @@ impl Iterator for OnesIter<'_> {
                 return None;
             }
             self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+/// Iterator over set-bit positions of the intersection of two [`Bitmap`]s
+/// (see [`Bitmap::iter_and_ones`]).
+pub struct AndOnesIter<'a> {
+    a: &'a [u64],
+    b: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for AndOnesIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.a.len() {
+                return None;
+            }
+            self.current = self.a[self.word_idx] & self.b[self.word_idx];
         }
     }
 }
@@ -239,6 +321,53 @@ mod tests {
         b.set(4);
         assert!(!a.intersects(&b));
         assert_eq!(a.and_count(&b), 0);
+    }
+
+    #[test]
+    fn fused_kernels_agree_with_composed_operations() {
+        let mut a = Bitmap::zeros(300);
+        let mut b = Bitmap::zeros(300);
+        let mut c = Bitmap::zeros(300);
+        for i in (0..300).step_by(2) {
+            a.set(i);
+        }
+        for i in (0..300).step_by(3) {
+            b.set(i);
+        }
+        for i in (0..300).step_by(5) {
+            c.set(i);
+        }
+        // and_count_3 == count of a & b & c
+        let mut ab = a.clone();
+        ab.and_with(&b);
+        let mut abc = ab.clone();
+        abc.and_with(&c);
+        assert_eq!(a.and_count_3(&b, &c), abc.count());
+        // assign_and reuses the target buffer and matches and_with
+        let mut scratch = Bitmap::zeros(1);
+        scratch.assign_and(&a, &b);
+        assert_eq!(scratch, ab);
+        scratch.assign_and(&ab, &c);
+        assert_eq!(scratch, abc);
+        // iter_and_ones enumerates the same set
+        assert_eq!(
+            a.iter_and_ones(&b).collect::<Vec<_>>(),
+            ab.iter_ones().collect::<Vec<_>>()
+        );
+        assert_eq!(a.iter_and_ones(&b).count(), a.and_count(&b));
+    }
+
+    #[test]
+    fn and_ones_iterator_handles_empty_and_disjoint() {
+        let a = Bitmap::zeros(0);
+        assert_eq!(a.iter_and_ones(&a).count(), 0);
+        let mut x = Bitmap::zeros(70);
+        let mut y = Bitmap::zeros(70);
+        x.set(3);
+        y.set(4);
+        assert_eq!(x.iter_and_ones(&y).count(), 0);
+        y.set(3);
+        assert_eq!(x.iter_and_ones(&y).collect::<Vec<_>>(), vec![3]);
     }
 
     #[test]

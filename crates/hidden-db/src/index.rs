@@ -6,10 +6,76 @@
 //! the part the paper's real-world counterpart (Yahoo! Auto's backend)
 //! implements for us. Estimators never touch it.
 
-use crate::bitmap::Bitmap;
+use crate::bitmap::{Bitmap, OnesIter};
 use crate::query::Query;
 use crate::table::Table;
 use crate::tuple::TupleId;
+
+/// The matching-row set of a query, in the cheapest representation the
+/// query shape allows: the zero-predicate query matches *all* rows (no
+/// bitmap needed), a single predicate borrows its posting bitmap, and
+/// only multi-predicate queries materialise an intersection.
+pub enum Selection<'a> {
+    /// Every row matches (zero predicates).
+    All {
+        /// Number of rows in the table.
+        rows: usize,
+    },
+    /// Exactly the rows of one borrowed posting bitmap.
+    Posting(&'a Bitmap),
+    /// A materialised intersection of two or more postings.
+    Owned(Bitmap),
+}
+
+impl Selection<'_> {
+    /// Number of matching rows.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        match self {
+            Self::All { rows } => *rows,
+            Self::Posting(b) => b.count(),
+            Self::Owned(b) => b.count(),
+        }
+    }
+
+    /// Iterator over matching row ids, ascending.
+    pub fn iter_ones(&self) -> SelectionOnes<'_> {
+        match self {
+            Self::All { rows } => SelectionOnes::All(0..*rows),
+            Self::Posting(b) => SelectionOnes::Bits(b.iter_ones()),
+            Self::Owned(b) => SelectionOnes::Bits(b.iter_ones()),
+        }
+    }
+
+    /// Materialises the selection as an owned bitmap.
+    #[must_use]
+    pub fn into_bitmap(self) -> Bitmap {
+        match self {
+            Self::All { rows } => Bitmap::ones(rows),
+            Self::Posting(b) => b.clone(),
+            Self::Owned(b) => b,
+        }
+    }
+}
+
+/// Iterator over the row ids of a [`Selection`], ascending.
+pub enum SelectionOnes<'a> {
+    /// All rows: a plain index range.
+    All(std::ops::Range<usize>),
+    /// Set bits of a bitmap.
+    Bits(OnesIter<'a>),
+}
+
+impl Iterator for SelectionOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            Self::All(r) => r.next(),
+            Self::Bits(it) => it.next(),
+        }
+    }
+}
 
 /// Bitmap index over a table.
 #[derive(Clone, Debug)]
@@ -45,48 +111,66 @@ impl TableIndex {
     /// Evaluates `q`, returning the matching row-id set as a bitmap.
     ///
     /// Predicates are intersected in ascending selectivity order (smallest
-    /// posting first) so the working bitmap sparsifies early.
+    /// posting first) so the working bitmap sparsifies early. Callers that
+    /// only need to *read* the match set should prefer
+    /// [`TableIndex::selection`], which avoids allocating for zero- and
+    /// one-predicate queries.
     #[must_use]
     pub fn eval(&self, q: &Query) -> Bitmap {
+        self.selection(q).into_bitmap()
+    }
+
+    /// Evaluates `q` into the cheapest [`Selection`] representation:
+    /// zero predicates allocate nothing (no more `Bitmap::ones` per root
+    /// query), one predicate borrows its posting, two or more materialise
+    /// the intersection (smallest posting first).
+    #[must_use]
+    pub fn selection(&self, q: &Query) -> Selection<'_> {
         let mut preds: Vec<&Bitmap> =
             q.predicates().iter().map(|p| &self.postings[p.attr][p.value as usize]).collect();
         match preds.len() {
-            0 => Bitmap::ones(self.rows),
-            1 => preds[0].clone(),
+            0 => Selection::All { rows: self.rows },
+            1 => Selection::Posting(preds[0]),
             _ => {
                 preds.sort_by_key(|b| b.count());
                 let mut acc = preds[0].clone();
                 for b in &preds[1..] {
                     acc.and_with(b);
                 }
-                acc
+                Selection::Owned(acc)
             }
         }
+    }
+
+    /// The posting bitmap of one `(attr, value)` pair.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[must_use]
+    pub fn posting(&self, attr: usize, value: usize) -> &Bitmap {
+        &self.postings[attr][value]
     }
 
     /// `|Sel(q)|` — the number of tuples matching `q`.
     #[must_use]
     pub fn count(&self, q: &Query) -> usize {
+        let post = |i: usize| {
+            let p = &q.predicates()[i];
+            &self.postings[p.attr][p.value as usize]
+        };
         match q.predicates().len() {
             0 => self.rows,
-            1 => {
-                let p = q.predicates()[0];
-                self.postings[p.attr][p.value as usize].count()
-            }
-            2 => {
-                let a = &q.predicates()[0];
-                let b = &q.predicates()[1];
-                self.postings[a.attr][a.value as usize]
-                    .and_count(&self.postings[b.attr][b.value as usize])
-            }
-            _ => self.eval(q).count(),
+            1 => post(0).count(),
+            2 => post(0).and_count(post(1)),
+            3 => post(0).and_count_3(post(1), post(2)),
+            _ => self.selection(q).count(),
         }
     }
 
     /// Matching row ids in ascending order, truncated to `limit`.
     #[must_use]
     pub fn matching_rows(&self, q: &Query, limit: usize) -> Vec<TupleId> {
-        self.eval(q).first_ones(limit).into_iter().map(|r| r as TupleId).collect()
+        self.selection(q).iter_ones().take(limit).map(|r| r as TupleId).collect()
     }
 
     /// Posting-list cardinality of a single `(attr, value)` pair.
@@ -164,6 +248,43 @@ mod tests {
         let q = Query::all().and(4, 4).unwrap(); // A5=5 never appears
         assert_eq!(idx.count(&q), 0);
         assert!(idx.matching_rows(&q, 10).is_empty());
+    }
+
+    #[test]
+    fn selection_representations_agree_with_eval() {
+        let t = table();
+        let idx = TableIndex::build(&t);
+        let queries = [
+            Query::all(),
+            Query::all().and(2, 1).unwrap(),
+            Query::all().and(0, 0).unwrap().and(2, 1).unwrap(),
+            Query::all().and(0, 0).unwrap().and(2, 1).unwrap().and(3, 0).unwrap(),
+            Query::all()
+                .and(0, 0)
+                .unwrap()
+                .and(1, 0)
+                .unwrap()
+                .and(2, 0)
+                .unwrap()
+                .and(3, 0)
+                .unwrap(),
+        ];
+        for q in &queries {
+            let sel = idx.selection(q);
+            let bits = idx.eval(q);
+            assert_eq!(sel.count(), bits.count(), "count for {q}");
+            assert_eq!(
+                sel.iter_ones().collect::<Vec<_>>(),
+                bits.iter_ones().collect::<Vec<_>>(),
+                "rows for {q}"
+            );
+            assert_eq!(idx.count(q), bits.count(), "fused count for {q}");
+            // zero predicates must not have materialised anything
+            if q.is_empty() {
+                assert!(matches!(sel, Selection::All { rows: 6 }));
+            }
+        }
+        assert_eq!(idx.posting(2, 1).count(), 4);
     }
 
     #[test]

@@ -26,8 +26,25 @@ use crate::error::Result;
 use crate::query::Query;
 use crate::ranking::{RankingFunction, RowIdRanking};
 use crate::schema::Schema;
+use crate::session::{SessionMode, WalkSession};
 use crate::table::Table;
 use crate::tuple::{Tuple, TupleId};
+
+/// Whether a response is expensive enough for the server-side
+/// hot-response memo: an overflow whose match count far exceeds `k`
+/// (those few shallow tree nodes dominate top-k selection CPU).
+pub(crate) fn expensive_response(count: usize, k: usize) -> bool {
+    count > k.saturating_mul(8)
+}
+
+/// The accounting class of an outcome.
+pub(crate) fn outcome_kind(outcome: &QueryOutcome) -> OutcomeKind {
+    match outcome {
+        QueryOutcome::Underflow => OutcomeKind::Underflow,
+        QueryOutcome::Valid(_) => OutcomeKind::Valid,
+        QueryOutcome::Overflow(_) => OutcomeKind::Overflow,
+    }
+}
 
 /// A tuple as seen through the interface: the listing id (real sites
 /// expose one — a VIN, an item number) plus the attribute values.
@@ -40,14 +57,19 @@ pub struct ReturnedTuple {
 }
 
 /// Result of issuing one query through the interface.
+///
+/// Result pages are shared (`Arc`), so cloning an outcome — which the
+/// server-side hot-response memo and the client-side
+/// [`CachingInterface`](crate::CachingInterface) do on every hit — bumps
+/// a reference count instead of deep-cloning the top-k tuple vector.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum QueryOutcome {
     /// No tuple matches.
     Underflow,
     /// All matching tuples (`1 ≤ len ≤ k`).
-    Valid(Vec<ReturnedTuple>),
+    Valid(Arc<Vec<ReturnedTuple>>),
     /// The `k` top-ranked matching tuples; more exist but are hidden.
-    Overflow(Vec<ReturnedTuple>),
+    Overflow(Arc<Vec<ReturnedTuple>>),
 }
 
 impl QueryOutcome {
@@ -120,6 +142,25 @@ pub trait TopKInterface {
     fn budget_remaining(&self) -> Option<u64> {
         None
     }
+
+    /// Opens a drill-down [`WalkSession`] rooted at `root`.
+    ///
+    /// The default implementation issues every child probe as an
+    /// independent fresh [`TopKInterface::query`] — correct for any
+    /// interface, with no fast path. [`HiddenDb`] overrides it with an
+    /// incremental session that reuses the parent node's materialised
+    /// match set, while keeping budgets, query accounting, and outcomes
+    /// exactly as if each query were issued fresh.
+    ///
+    /// # Errors
+    /// Returns [`crate::HdbError::InvalidQuery`] if `root` does not
+    /// validate against the schema (nothing is charged).
+    fn walk_session(&self, root: Query) -> Result<WalkSession<'_>>
+    where
+        Self: Sized,
+    {
+        WalkSession::fresh(self, root)
+    }
 }
 
 /// The in-process hidden database: a [`SearchBackend`] behind a
@@ -143,16 +184,19 @@ pub trait TopKInterface {
 /// assert!(db.query(&Query::all()).unwrap().is_overflow());
 /// ```
 pub struct HiddenDb<B: SearchBackend = TableBackend> {
-    backend: B,
-    ranking: Arc<dyn RankingFunction>,
-    k: usize,
-    counter: QueryCounter,
+    pub(crate) backend: B,
+    pub(crate) ranking: Arc<dyn RankingFunction>,
+    pub(crate) k: usize,
+    pub(crate) counter: QueryCounter,
     /// Server-side memo of *expensive* responses (overflow queries whose
     /// match count far exceeds `k`): those are the few shallow tree nodes
     /// every drill-down revisits, and their top-k selection dominates the
     /// simulator's CPU time. Purely an implementation detail of the
     /// simulated server — every query is still charged to the counter.
-    hot_responses: ShardedMemo,
+    pub(crate) hot_responses: ShardedMemo,
+    /// How [`HiddenDb::walk_session`] evaluates drill-down probes
+    /// (incremental count-only by default; see [`SessionMode`]).
+    pub(crate) session: SessionMode,
 }
 
 impl HiddenDb<TableBackend> {
@@ -220,7 +264,25 @@ impl<B: SearchBackend> HiddenDb<B> {
             k,
             counter: QueryCounter::unlimited(),
             hot_responses: ShardedMemo::new(),
+            session: SessionMode::default(),
         }
+    }
+
+    /// Selects how [`HiddenDb::walk_session`] evaluates drill-down probes
+    /// (incremental count-only by default). All modes produce bit-identical
+    /// outcomes, query counts, and estimates; the fresh and materialising
+    /// modes exist as reference points for the equivalence tests and the
+    /// `scale03_incremental_walk` benchmark.
+    #[must_use]
+    pub fn with_session_mode(mut self, mode: SessionMode) -> Self {
+        self.session = mode;
+        self
+    }
+
+    /// The walk-session evaluation mode in use.
+    #[must_use]
+    pub fn session_mode(&self) -> SessionMode {
+        self.session
     }
 
     /// Replaces the ranking function.
@@ -261,7 +323,7 @@ impl<B: SearchBackend> HiddenDb<B> {
         }
         let eval = self.backend.evaluate(q, self.k, self.ranking.as_ref());
         // Memoise expensive overflow responses (top-k over many matches).
-        let expensive = eval.count > self.k.saturating_mul(8);
+        let expensive = expensive_response(eval.count, self.k);
         let outcome = eval.into_outcome(self.k);
         if expensive {
             self.hot_responses.insert(q.clone(), outcome.clone());
@@ -283,11 +345,7 @@ impl<B: SearchBackend> TopKInterface for HiddenDb<B> {
         q.validate(self.backend.schema())?;
         self.counter.charge()?;
         let outcome = self.respond(q);
-        self.counter.record_outcome(match &outcome {
-            QueryOutcome::Underflow => OutcomeKind::Underflow,
-            QueryOutcome::Valid(_) => OutcomeKind::Valid,
-            QueryOutcome::Overflow(_) => OutcomeKind::Overflow,
-        });
+        self.counter.record_outcome(outcome_kind(&outcome));
         Ok(outcome)
     }
 
@@ -298,9 +356,13 @@ impl<B: SearchBackend> TopKInterface for HiddenDb<B> {
     fn budget_remaining(&self) -> Option<u64> {
         self.counter.remaining()
     }
+
+    fn walk_session(&self, root: Query) -> Result<WalkSession<'_>> {
+        WalkSession::for_db(self, root)
+    }
 }
 
-impl<T: TopKInterface + ?Sized> TopKInterface for &T {
+impl<T: TopKInterface> TopKInterface for &T {
     fn schema(&self) -> &Schema {
         (**self).schema()
     }
@@ -319,6 +381,10 @@ impl<T: TopKInterface + ?Sized> TopKInterface for &T {
 
     fn budget_remaining(&self) -> Option<u64> {
         (**self).budget_remaining()
+    }
+
+    fn walk_session(&self, root: Query) -> Result<WalkSession<'_>> {
+        (**self).walk_session(root)
     }
 }
 

@@ -19,9 +19,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use crate::backend::{Evaluation, SearchBackend};
+use crate::backend::{Classified, Evaluation, SearchBackend, WalkState};
 use crate::error::Result;
-use crate::query::Query;
+use crate::query::{Predicate, Query};
 use crate::ranking::RankingFunction;
 use crate::schema::{AttrId, Schema};
 
@@ -123,6 +123,39 @@ impl<B: SearchBackend> SearchBackend for LatencyBackend<B> {
 
     fn exact_sum(&self, attr: AttrId, q: &Query) -> Result<f64> {
         self.inner.exact_sum(attr, q)
+    }
+
+    // The incremental walk fast path is transparent: latency is charged
+    // per issued query through `round_trip`, never per evaluation, so the
+    // wrapper simply forwards the state machinery to the wrapped backend.
+
+    fn walk_state(&self, q: &Query) -> WalkState {
+        self.inner.walk_state(q)
+    }
+
+    fn extend_state(
+        &self,
+        parent: &WalkState,
+        child: &Query,
+        pred: Predicate,
+        recycled: WalkState,
+    ) -> WalkState {
+        self.inner.extend_state(parent, child, pred, recycled)
+    }
+
+    fn evaluate_from(
+        &self,
+        parent: &WalkState,
+        child: &Query,
+        pred: Predicate,
+        k: usize,
+        ranking: &dyn RankingFunction,
+    ) -> Evaluation {
+        self.inner.evaluate_from(parent, child, pred, k, ranking)
+    }
+
+    fn classify_from(&self, parent: &WalkState, child: &Query, pred: Predicate, k: usize) -> Classified {
+        self.inner.classify_from(parent, child, pred, k)
     }
 }
 

@@ -65,16 +65,18 @@ pub mod par;
 pub mod query;
 pub mod ranking;
 pub mod schema;
+pub mod session;
 pub mod sharded;
 pub mod table;
 pub mod tuple;
 
-pub use backend::{EvalMode, Evaluation, SearchBackend, TableBackend};
+pub use backend::{Classified, EvalMode, Evaluation, SearchBackend, TableBackend, WalkState};
 pub use cache::{CachingInterface, ShardedMemo};
 pub use counter::QueryCounter;
 pub use error::{HdbError, Result};
-pub use index::TableIndex;
+pub use index::{Selection, TableIndex};
 pub use interface::{HiddenDb, QueryOutcome, ReturnedTuple, TopKInterface};
+pub use session::{ClassifiedOutcome, SessionMode, WalkSession};
 pub use latency::LatencyBackend;
 pub use query::{Predicate, Query};
 pub use ranking::{AttributeRanking, RankingFunction, RowIdRanking, SeededRandomRanking};

@@ -1,0 +1,616 @@
+//! Incremental drill-down evaluation: [`WalkSession`].
+//!
+//! The paper's estimators spend essentially all of their query budget on
+//! *drill-down chains* — sequences of conjunctive queries where each
+//! child extends its parent by exactly one predicate, and where all the
+//! fanout branches of one attribute extend the **same** parent. A fresh
+//! [`TopKInterface::query`] re-intersects every posting bitmap of the
+//! query from scratch; a `WalkSession` instead keeps the parent node's
+//! materialised match set in a walk-local scratch arena (the state
+//! stack), so that
+//!
+//! * probing a branch costs **one AND-count pass** over the parent set
+//!   ([`WalkSession::classify`], no bitmap and no top-k materialised),
+//! * committing to a branch ([`WalkSession::extend`]) costs one fused
+//!   copy-AND pass into a recycled buffer, and
+//! * backtracking ([`WalkSession::retract`]) is free.
+//!
+//! **The session changes only server CPU time, never observable
+//! behaviour.** Every probe is validated, charged to the
+//! [`QueryCounter`](crate::QueryCounter), paid as a backend round trip,
+//! and answered through the server-side hot-response memo exactly as an
+//! independently issued query would be — budgets, accounting tallies,
+//! outcomes, and therefore whole estimator runs are **bit-identical** to
+//! the fresh path (pinned by the incremental-equivalence property
+//! tests). [`SessionMode`] keeps the fresh path selectable as a
+//! reference, and a materialising middle mode isolates what the
+//! count-only classification saves on its own.
+
+use std::sync::Arc;
+
+use crate::backend::{SearchBackend, WalkState};
+use crate::counter::OutcomeKind;
+use crate::error::Result;
+use crate::interface::{
+    expensive_response, outcome_kind, HiddenDb, QueryOutcome, ReturnedTuple, TopKInterface,
+};
+use crate::query::{Predicate, Query};
+use crate::schema::{AttrId, Schema, ValueId};
+
+/// How [`HiddenDb::walk_session`] evaluates drill-down probes. All modes
+/// are observationally identical (outcomes, query counts, estimates);
+/// they differ only in server CPU cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SessionMode {
+    /// Incremental evaluation with count-only probes (the default and
+    /// fastest path): a probe is one AND-count over the parent's match
+    /// set; overflow pages are never materialised.
+    #[default]
+    Incremental,
+    /// Incremental evaluation, but every probe materialises its full
+    /// top-k page (isolates the count-only saving in benchmarks; feeds
+    /// the hot-response memo exactly like fresh queries do).
+    IncrementalMaterialized,
+    /// Every probe is an independent fresh query — the pre-session
+    /// reference path.
+    Fresh,
+}
+
+/// The count-only classification of a probed branch.
+///
+/// This is [`QueryOutcome`] minus the overflow page: drill-down walks
+/// only ever inspect an overflow outcome's *class*, so the top-k
+/// selection behind its page is wasted work the session skips. Valid
+/// outcomes still carry their full page (all matches, ascending id) —
+/// that is what a top-valid terminal measures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClassifiedOutcome {
+    /// No tuple matches.
+    Underflow,
+    /// All matching tuples (`1 ≤ len ≤ k`).
+    Valid(Arc<Vec<ReturnedTuple>>),
+    /// More than `k` tuples match; the page was not materialised.
+    Overflow,
+}
+
+impl ClassifiedOutcome {
+    /// Whether the probe underflowed.
+    #[must_use]
+    pub fn is_underflow(&self) -> bool {
+        matches!(self, Self::Underflow)
+    }
+
+    /// Whether the probe was valid.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        matches!(self, Self::Valid(_))
+    }
+
+    /// Whether the probe overflowed.
+    #[must_use]
+    pub fn is_overflow(&self) -> bool {
+        matches!(self, Self::Overflow)
+    }
+
+    /// Whether the probe returned at least one tuple.
+    #[must_use]
+    pub fn is_nonempty(&self) -> bool {
+        !self.is_underflow()
+    }
+
+    /// The returned tuples (non-empty only for valid probes).
+    #[must_use]
+    pub fn tuples(&self) -> &[ReturnedTuple] {
+        match self {
+            Self::Valid(t) => t,
+            _ => &[],
+        }
+    }
+
+    /// Derives the classification from a full outcome, sharing the valid
+    /// page.
+    #[must_use]
+    pub fn from_outcome(outcome: QueryOutcome) -> Self {
+        match outcome {
+            QueryOutcome::Underflow => Self::Underflow,
+            QueryOutcome::Valid(t) => Self::Valid(t),
+            QueryOutcome::Overflow(_) => Self::Overflow,
+        }
+    }
+
+    fn kind(&self) -> OutcomeKind {
+        match self {
+            Self::Underflow => OutcomeKind::Underflow,
+            Self::Valid(_) => OutcomeKind::Valid,
+            Self::Overflow => OutcomeKind::Overflow,
+        }
+    }
+}
+
+/// An incremental drill-down session over one interface (see the module
+/// docs). Obtain one from [`TopKInterface::walk_session`]; the walk
+/// drives it with [`WalkSession::classify`] / [`WalkSession::probe`]
+/// (charged like fresh queries) and [`WalkSession::extend`] /
+/// [`WalkSession::retract`] (free — the client merely narrows or widens
+/// what it asks next, exactly like `Query::and` on the fresh path).
+///
+/// ```
+/// use hdb_interface::{HiddenDb, Query, Schema, Table, TopKInterface, Tuple};
+///
+/// let table = Table::new(
+///     Schema::boolean(3),
+///     vec![
+///         Tuple::new(vec![0, 0, 1]),
+///         Tuple::new(vec![0, 1, 1]),
+///         Tuple::new(vec![1, 1, 0]),
+///     ],
+/// ).unwrap();
+/// let db = HiddenDb::new(table, 1);
+///
+/// let mut walk = db.walk_session(Query::all()).unwrap();
+/// assert!(walk.classify(0, 0).unwrap().is_overflow()); // two matches, k = 1
+/// walk.extend(0, 0);                                   // commit, no query issued
+/// let leaf = walk.classify(1, 1).unwrap();             // one AND over the parent set
+/// assert_eq!(leaf.tuples()[0].id, 1);
+/// walk.retract();                                      // back to the root, free
+/// assert_eq!(db.queries_issued(), 2);                  // probes charged, moves not
+/// ```
+pub struct WalkSession<'a> {
+    schema: &'a Schema,
+    k: usize,
+    /// Committed node queries, root first; the last entry is the current
+    /// node.
+    stack: Vec<Query>,
+    core: Box<dyn SessionCore + 'a>,
+}
+
+impl<'a> WalkSession<'a> {
+    /// A session that issues every probe as an independent fresh query
+    /// against `iface` (the universal fallback behind the default
+    /// [`TopKInterface::walk_session`]).
+    pub(crate) fn fresh(iface: &'a dyn TopKInterface, root: Query) -> Result<Self> {
+        root.validate(iface.schema())?;
+        Ok(Self {
+            schema: iface.schema(),
+            k: iface.k(),
+            stack: vec![root],
+            core: Box::new(FreshCore { iface }),
+        })
+    }
+
+    /// The incremental session over a [`HiddenDb`], honouring its
+    /// configured [`SessionMode`].
+    pub(crate) fn for_db<B: SearchBackend>(db: &'a HiddenDb<B>, root: Query) -> Result<Self> {
+        if db.session == SessionMode::Fresh {
+            return Self::fresh(db, root);
+        }
+        root.validate(db.backend.schema())?;
+        let state = db.backend.walk_state(&root);
+        Ok(Self {
+            schema: db.backend.schema(),
+            k: db.k,
+            stack: vec![root],
+            core: Box::new(DbCore {
+                db,
+                states: vec![state],
+                spare: Vec::new(),
+                materialize: db.session == SessionMode::IncrementalMaterialized,
+            }),
+        })
+    }
+
+    /// The public schema of the interface.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        self.schema
+    }
+
+    /// The interface constant `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The current node's query.
+    #[must_use]
+    pub fn query(&self) -> &Query {
+        self.stack.last().expect("session stack holds at least the root")
+    }
+
+    /// Levels committed below the session root.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.stack.len() - 1
+    }
+
+    /// Validates a child predicate exactly as a fresh issue of the child
+    /// query would, so invalid probes error *without* being charged.
+    fn child(&self, attr: AttrId, value: ValueId) -> Result<(Query, Predicate)> {
+        let child = self.query().and(attr, value)?;
+        child.validate(self.schema)?;
+        Ok((child, Predicate::new(attr, value)))
+    }
+
+    /// Issues the child query `current ∧ attr=value` with full top-k
+    /// materialisation — observationally identical to
+    /// [`TopKInterface::query`] on that query, including the charge.
+    ///
+    /// # Errors
+    /// [`crate::HdbError::InvalidQuery`] for invalid predicates (not
+    /// charged), [`crate::HdbError::BudgetExhausted`] once the budget is
+    /// spent.
+    pub fn probe(&mut self, attr: AttrId, value: ValueId) -> Result<QueryOutcome> {
+        let (child, pred) = self.child(attr, value)?;
+        self.core.probe(&child, pred, self.k)
+    }
+
+    /// Issues the child query `current ∧ attr=value` count-only: the
+    /// outcome class, with the full page materialised only when valid.
+    /// Charged exactly like [`WalkSession::probe`].
+    ///
+    /// # Errors
+    /// Same contract as [`WalkSession::probe`].
+    pub fn classify(&mut self, attr: AttrId, value: ValueId) -> Result<ClassifiedOutcome> {
+        let (child, pred) = self.child(attr, value)?;
+        self.core.classify(&child, pred, self.k)
+    }
+
+    /// Commits the walk to the branch `attr = value`. No query is issued
+    /// — on the fresh path this is `Query::and`, here it additionally
+    /// advances the backend's incremental state by one AND pass.
+    ///
+    /// # Panics
+    /// Panics if `attr` is already constrained at the current node (walk
+    /// logic bug, exactly like the fresh path's `expect`).
+    pub fn extend(&mut self, attr: AttrId, value: ValueId) {
+        let child = self
+            .query()
+            .and(attr, value)
+            .expect("walk committed to an attribute already constrained at this node");
+        debug_assert!((value as usize) < self.schema.fanout(attr), "value out of domain");
+        self.core.extend(&child, Predicate::new(attr, value));
+        self.stack.push(child);
+    }
+
+    /// Pops the most recently committed level (free, like dropping a
+    /// predicate on the fresh path).
+    ///
+    /// # Panics
+    /// Panics when the session is already at its root.
+    pub fn retract(&mut self) {
+        assert!(self.stack.len() > 1, "cannot retract past the session root");
+        self.stack.pop();
+        self.core.retract();
+    }
+}
+
+/// The engine behind a [`WalkSession`]: how probes are answered and how
+/// node state moves. Object-safe so the session type stays free of the
+/// backend type parameter.
+trait SessionCore {
+    fn probe(&mut self, child: &Query, pred: Predicate, k: usize) -> Result<QueryOutcome>;
+    fn classify(&mut self, child: &Query, pred: Predicate, k: usize) -> Result<ClassifiedOutcome>;
+    fn extend(&mut self, child: &Query, pred: Predicate);
+    fn retract(&mut self);
+}
+
+/// Fresh-query engine: every probe goes through `iface.query`, moves are
+/// no-ops (the wrapper's query stack is the only state).
+struct FreshCore<'a> {
+    iface: &'a dyn TopKInterface,
+}
+
+impl SessionCore for FreshCore<'_> {
+    fn probe(&mut self, child: &Query, _pred: Predicate, _k: usize) -> Result<QueryOutcome> {
+        self.iface.query(child)
+    }
+
+    fn classify(&mut self, child: &Query, _pred: Predicate, _k: usize) -> Result<ClassifiedOutcome> {
+        Ok(ClassifiedOutcome::from_outcome(self.iface.query(child)?))
+    }
+
+    fn extend(&mut self, _child: &Query, _pred: Predicate) {}
+
+    fn retract(&mut self) {}
+}
+
+/// Incremental engine over a [`HiddenDb`]: mirrors
+/// `HiddenDb::query`/`respond` step for step (charge → round trip → hot
+/// memo → evaluate → memoise-if-expensive → tally), with the evaluation
+/// replaced by the backend's `evaluate_from`/`classify_from` fast path
+/// over the parent state stack. The `spare` list recycles retired state
+/// buffers — the walk-local scratch arena.
+struct DbCore<'a, B: SearchBackend> {
+    db: &'a HiddenDb<B>,
+    states: Vec<WalkState>,
+    spare: Vec<WalkState>,
+    materialize: bool,
+}
+
+impl<B: SearchBackend> DbCore<'_, B> {
+    fn parent(&self) -> &WalkState {
+        self.states.last().expect("state stack holds at least the root")
+    }
+
+    /// The full-materialisation response for a charged child query —
+    /// identical, including memo reads and writes, to what
+    /// `HiddenDb::respond` computes for a fresh issue of `child`.
+    fn respond_full(&self, child: &Query, pred: Predicate, k: usize) -> QueryOutcome {
+        if let Some(hit) = self.db.hot_responses.get(child) {
+            return hit;
+        }
+        let eval =
+            self.db.backend.evaluate_from(self.parent(), child, pred, k, self.db.ranking.as_ref());
+        let expensive = expensive_response(eval.count, k);
+        let outcome = eval.into_outcome(k);
+        if expensive {
+            self.db.hot_responses.insert(child.clone(), outcome.clone());
+        }
+        outcome
+    }
+}
+
+impl<B: SearchBackend> SessionCore for DbCore<'_, B> {
+    fn probe(&mut self, child: &Query, pred: Predicate, k: usize) -> Result<QueryOutcome> {
+        self.db.counter.charge()?;
+        // One round trip per issued query, memo hit or not — exactly the
+        // fresh path's contract.
+        self.db.backend.round_trip();
+        let outcome = self.respond_full(child, pred, k);
+        self.db.counter.record_outcome(outcome_kind(&outcome));
+        Ok(outcome)
+    }
+
+    fn classify(&mut self, child: &Query, pred: Predicate, k: usize) -> Result<ClassifiedOutcome> {
+        self.db.counter.charge()?;
+        self.db.backend.round_trip();
+        let out = if let Some(hit) = self.db.hot_responses.get(child) {
+            // Memoised responses are served exactly as to a fresh query.
+            ClassifiedOutcome::from_outcome(hit)
+        } else if self.materialize {
+            ClassifiedOutcome::from_outcome(self.respond_full(child, pred, k))
+        } else {
+            // Count-only: one AND-count pass; valid pages (≤ k tuples,
+            // ranking-independent) are the only materialisation. Nothing
+            // is written to the hot memo — there is no page to store —
+            // which is unobservable: the memo only ever saves server CPU.
+            let c = self.db.backend.classify_from(self.parent(), child, pred, k);
+            if c.count == 0 {
+                ClassifiedOutcome::Underflow
+            } else if c.count <= k {
+                ClassifiedOutcome::Valid(Arc::new(c.page))
+            } else {
+                ClassifiedOutcome::Overflow
+            }
+        };
+        self.db.counter.record_outcome(out.kind());
+        Ok(out)
+    }
+
+    fn extend(&mut self, child: &Query, pred: Predicate) {
+        let recycled = self.spare.pop().unwrap_or_default();
+        let state = self.db.backend.extend_state(self.parent(), child, pred, recycled);
+        self.states.push(state);
+    }
+
+    fn retract(&mut self) {
+        let retired = self.states.pop().expect("retract below session root");
+        self.spare.push(retired);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::EvalMode;
+    use crate::schema::Attribute;
+    use crate::table::Table;
+    use crate::tuple::Tuple;
+
+    /// The paper's running example (Table 1).
+    fn running_example() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::boolean("A1"),
+            Attribute::boolean("A2"),
+            Attribute::boolean("A3"),
+            Attribute::boolean("A4"),
+            Attribute::categorical("A5", ["1", "2", "3", "4", "5"]).unwrap(),
+        ])
+        .unwrap();
+        Table::new(
+            schema,
+            vec![
+                Tuple::new(vec![0, 0, 0, 0, 0]),
+                Tuple::new(vec![0, 0, 0, 1, 0]),
+                Tuple::new(vec![0, 0, 1, 0, 0]),
+                Tuple::new(vec![0, 1, 1, 1, 0]),
+                Tuple::new(vec![1, 1, 1, 0, 2]),
+                Tuple::new(vec![1, 1, 1, 1, 0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// Drives the same probe script through a session and through fresh
+    /// queries on an identical twin database, asserting lockstep
+    /// equality of outcomes and accounting.
+    fn assert_session_matches_fresh(mode: SessionMode, k: usize) {
+        let session_db = HiddenDb::new(running_example(), k).with_session_mode(mode);
+        let fresh_db = HiddenDb::new(running_example(), k);
+        let mut walk = session_db.walk_session(Query::all()).unwrap();
+
+        // Script: fan over A1, commit A1=0, fan over A3, commit A3=1,
+        // probe A2 branches, retract, fan over A4.
+        let script: &[(usize, u16, bool)] = &[
+            (0, 0, false),
+            (0, 1, false),
+            (0, 0, true), // extend after probing
+            (2, 0, false),
+            (2, 1, true),
+            (1, 0, false),
+            (1, 1, false),
+        ];
+        let mut current = Query::all();
+        for &(attr, value, commit) in script {
+            let got = walk.classify(attr, value).unwrap();
+            let want = fresh_db.query(&current.and(attr, value).unwrap()).unwrap();
+            assert_eq!(got.is_underflow(), want.is_underflow(), "{attr}={value}");
+            assert_eq!(got.is_valid(), want.is_valid(), "{attr}={value}");
+            assert_eq!(got.is_overflow(), want.is_overflow(), "{attr}={value}");
+            if want.is_valid() {
+                assert_eq!(got.tuples(), want.tuples(), "{attr}={value}");
+            }
+            if commit {
+                walk.extend(attr, value);
+                current = current.and(attr, value).unwrap();
+            }
+        }
+        walk.retract();
+        current = current.without(2);
+        for v in 0..2u16 {
+            let got = walk.probe(3, v).unwrap();
+            let want = fresh_db.query(&current.and(3, v).unwrap()).unwrap();
+            assert_eq!(got, want, "full probe A4={v}");
+        }
+        // identical charging and tallies, probe for probe
+        assert_eq!(session_db.queries_issued(), fresh_db.queries_issued());
+        let (sc, fc) = (session_db.counter(), fresh_db.counter());
+        assert_eq!(sc.underflow_count(), fc.underflow_count());
+        assert_eq!(sc.valid_count(), fc.valid_count());
+        assert_eq!(sc.overflow_count(), fc.overflow_count());
+    }
+
+    #[test]
+    fn session_modes_match_fresh_queries() {
+        for k in [1usize, 2, 4] {
+            assert_session_matches_fresh(SessionMode::Incremental, k);
+            assert_session_matches_fresh(SessionMode::IncrementalMaterialized, k);
+            assert_session_matches_fresh(SessionMode::Fresh, k);
+        }
+    }
+
+    #[test]
+    fn sharded_and_latency_sessions_match_fresh() {
+        use crate::latency::LatencyBackend;
+        use crate::sharded::ShardedDb;
+        use std::time::Duration;
+        let table = running_example();
+        for k in [1usize, 3] {
+            let fresh = HiddenDb::new(table.clone(), k);
+            let sharded = HiddenDb::over(ShardedDb::new(&table, 3), k);
+            let remote = HiddenDb::over(
+                LatencyBackend::new(ShardedDb::new(&table, 2), Duration::ZERO),
+                k,
+            );
+            let mut ws = sharded.walk_session(Query::all()).unwrap();
+            let mut wr = remote.walk_session(Query::all()).unwrap();
+            for attr in 0..5usize {
+                for v in 0..table.schema().fanout(attr) {
+                    let want = ClassifiedOutcome::from_outcome(
+                        fresh.query(&Query::all().and(attr, v as u16).unwrap()).unwrap(),
+                    );
+                    assert_eq!(ws.classify(attr, v as u16).unwrap(), want);
+                    assert_eq!(wr.classify(attr, v as u16).unwrap(), want);
+                }
+            }
+            // the remote wrapper pays one round trip per charged probe
+            assert_eq!(remote.backend().round_trips(), remote.queries_issued());
+        }
+    }
+
+    #[test]
+    fn memo_hits_are_charged_and_identical() {
+        // k=1 over the running example: the root's A1=0 branch holds 4
+        // tuples (> 8·k? no — craft with k small and repeats instead).
+        let db = HiddenDb::new(running_example(), 1);
+        // issue A1=0 fresh first so the memo may hold it, then probe the
+        // same query through a session: same outcome, still charged.
+        let fresh_outcome = db.query(&Query::all().and(0, 0).unwrap()).unwrap();
+        let before = db.queries_issued();
+        let mut walk = db.walk_session(Query::all()).unwrap();
+        let got = walk.classify(0, 0).unwrap();
+        assert_eq!(got, ClassifiedOutcome::from_outcome(fresh_outcome));
+        assert_eq!(db.queries_issued(), before + 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_mid_session_matches_fresh() {
+        let session_db =
+            HiddenDb::new(running_example(), 1).with_budget(2);
+        let mut walk = session_db.walk_session(Query::all()).unwrap();
+        walk.classify(0, 0).unwrap();
+        walk.classify(0, 1).unwrap();
+        let err = walk.classify(1, 0).unwrap_err();
+        assert!(matches!(err, crate::HdbError::BudgetExhausted { limit: 2 }));
+        assert_eq!(session_db.queries_issued(), 2);
+    }
+
+    #[test]
+    fn invalid_probes_rejected_without_charge() {
+        let db = HiddenDb::new(running_example(), 1);
+        let mut walk = db.walk_session(Query::all()).unwrap();
+        assert!(walk.classify(9, 0).is_err());
+        assert!(walk.probe(4, 9).is_err());
+        walk.extend(0, 0);
+        assert!(walk.classify(0, 1).is_err(), "attr 0 already constrained");
+        assert_eq!(db.queries_issued(), 0);
+        // root validation also rejects without charging
+        assert!(db.walk_session(Query::all().and(9, 0).unwrap()).is_err());
+    }
+
+    #[test]
+    fn extend_and_retract_track_the_query() {
+        let db = HiddenDb::new(running_example(), 2);
+        let mut walk = db.walk_session(Query::all()).unwrap();
+        assert_eq!(walk.depth(), 0);
+        assert_eq!(walk.k(), 2);
+        assert_eq!(walk.schema().len(), 5);
+        walk.extend(0, 1);
+        walk.extend(1, 1);
+        assert_eq!(walk.depth(), 2);
+        assert_eq!(walk.query().value_of(0), Some(1));
+        assert_eq!(walk.query().value_of(1), Some(1));
+        walk.retract();
+        assert_eq!(walk.depth(), 1);
+        assert_eq!(walk.query().value_of(1), None);
+        // deep extend after recycling a retracted buffer still answers
+        walk.extend(1, 1);
+        assert!(walk.classify(2, 1).unwrap().is_nonempty());
+    }
+
+    #[test]
+    #[should_panic(expected = "past the session root")]
+    fn retracting_the_root_panics() {
+        let db = HiddenDb::new(running_example(), 1);
+        let mut walk = db.walk_session(Query::all()).unwrap();
+        walk.retract();
+    }
+
+    #[test]
+    fn scan_mode_db_sessions_fall_back_but_agree() {
+        let scan =
+            HiddenDb::new(running_example(), 2).with_eval_mode(EvalMode::Scan);
+        let fresh = HiddenDb::new(running_example(), 2);
+        let mut walk = scan.walk_session(Query::all()).unwrap();
+        for attr in 0..5usize {
+            for v in 0..scan.schema().fanout(attr) {
+                let want = ClassifiedOutcome::from_outcome(
+                    fresh.query(&Query::all().and(attr, v as u16).unwrap()).unwrap(),
+                );
+                assert_eq!(walk.classify(attr, v as u16).unwrap(), want);
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_over_borrowed_interfaces_delegate() {
+        // &HiddenDb must still open the incremental session (the &T
+        // blanket impl forwards walk_session instead of defaulting to
+        // fresh).
+        let db = HiddenDb::new(running_example(), 1);
+        let by_ref = &db;
+        let mut walk = by_ref.walk_session(Query::all()).unwrap();
+        assert!(walk.classify(0, 0).unwrap().is_overflow());
+        assert_eq!(db.queries_issued(), 1);
+    }
+}

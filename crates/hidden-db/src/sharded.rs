@@ -19,11 +19,14 @@
 
 use std::convert::Infallible;
 
-use crate::backend::{checked_numeric, select_candidates, Evaluation, ScoreKey, SearchBackend};
+use crate::backend::{
+    checked_numeric, select_candidates, Classified, Evaluation, ScoreKey, SearchBackend, SelState,
+    WalkState,
+};
 use crate::error::Result;
 use crate::interface::ReturnedTuple;
 use crate::par;
-use crate::query::Query;
+use crate::query::{Predicate, Query};
 use crate::ranking::RankingFunction;
 use crate::schema::{AttrId, Schema};
 use crate::table::Table;
@@ -51,7 +54,7 @@ impl Shard {
         schema: &Schema,
         ranking: &dyn RankingFunction,
     ) -> (usize, Vec<ReturnedTuple>) {
-        let sel = self.table.index().eval(q);
+        let sel = self.table.index().selection(q);
         let count = sel.count();
         if count == 0 {
             return (0, Vec::new());
@@ -59,6 +62,25 @@ impl Shard {
         let matches = sel
             .iter_ones()
             .map(|row| (self.ids[row], self.table.tuple(row as TupleId)));
+        (count, select_candidates(matches, count, k, schema, ranking))
+    }
+
+    /// [`Shard::partial`] over an incremental parent state ∩ one posting.
+    fn partial_from(
+        &self,
+        sel: &SelState,
+        pred: Predicate,
+        k: usize,
+        schema: &Schema,
+        ranking: &dyn RankingFunction,
+    ) -> (usize, Vec<ReturnedTuple>) {
+        let posting = self.table.index().posting(pred.attr, pred.value as usize);
+        let count = sel.and_count(posting);
+        if count == 0 {
+            return (0, Vec::new());
+        }
+        let matches =
+            sel.iter_and(posting).map(|row| (self.ids[row], self.table.tuple(row as TupleId)));
         (count, select_candidates(matches, count, k, schema, ranking))
     }
 }
@@ -185,19 +207,15 @@ impl ShardedDb {
         // order-independent, so no re-sorting by shard index is needed.
         out.results.into_iter().map(|(_, p)| p).collect()
     }
-}
 
-impl SearchBackend for ShardedDb {
-    fn schema(&self) -> &Schema {
-        &self.schema
-    }
-
-    fn len(&self) -> usize {
-        self.rows
-    }
-
-    fn evaluate(&self, q: &Query, k: usize, ranking: &dyn RankingFunction) -> Evaluation {
-        let partials = self.partials(q, k, ranking);
+    /// Merges per-shard partial evaluations into the global [`Evaluation`]
+    /// — order-independent, bit-identical to the single-table result.
+    fn merge(
+        &self,
+        partials: Vec<(usize, Vec<ReturnedTuple>)>,
+        k: usize,
+        ranking: &dyn RankingFunction,
+    ) -> Evaluation {
         let count: usize = partials.iter().map(|(c, _)| c).sum();
         let mut candidates: Vec<ReturnedTuple> =
             partials.into_iter().flat_map(|(_, top)| top).collect();
@@ -217,6 +235,21 @@ impl SearchBackend for ShardedDb {
         }
         Evaluation { count, top: candidates }
     }
+}
+
+impl SearchBackend for ShardedDb {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn len(&self) -> usize {
+        self.rows
+    }
+
+    fn evaluate(&self, q: &Query, k: usize, ranking: &dyn RankingFunction) -> Evaluation {
+        let partials = self.partials(q, k, ranking);
+        self.merge(partials, k, ranking)
+    }
 
     fn exact_count(&self, q: &Query) -> usize {
         self.shards.iter().map(|s| s.table.exact_count(q)).sum()
@@ -229,13 +262,110 @@ impl SearchBackend for ShardedDb {
         // and this sum must be bit-identical to the single-table one.
         let mut values: Vec<(TupleId, f64)> = Vec::new();
         for shard in &self.shards {
-            for row in shard.table.index().eval(q).iter_ones() {
+            for row in shard.table.index().selection(q).iter_ones() {
                 let v = shard.table.tuple(row as TupleId).value(attr);
                 values.push((shard.ids[row], a.numeric_value(v).expect("checked numeric")));
             }
         }
         values.sort_unstable_by_key(|&(id, _)| id);
         Ok(values.into_iter().map(|(_, v)| v).sum())
+    }
+
+    fn walk_state(&self, q: &Query) -> WalkState {
+        let sels: Vec<SelState> = self
+            .shards
+            .iter()
+            .map(|s| SelState::from_selection(s.table.index().selection(q)))
+            .collect();
+        WalkState::with_payload(sels)
+    }
+
+    fn extend_state(
+        &self,
+        parent: &WalkState,
+        child: &Query,
+        pred: Predicate,
+        recycled: WalkState,
+    ) -> WalkState {
+        let Some(sels) = parent.payload::<Vec<SelState>>() else {
+            return self.walk_state(child);
+        };
+        let mut buffers: Vec<Option<crate::bitmap::Bitmap>> = recycled
+            .take_payload::<Vec<SelState>>()
+            .map(|v| v.into_iter().map(SelState::into_buffer).collect())
+            .unwrap_or_default();
+        buffers.resize_with(self.shards.len(), || None);
+        let children: Vec<SelState> = self
+            .shards
+            .iter()
+            .zip(sels)
+            .zip(buffers)
+            .map(|((shard, sel), buf)| {
+                let posting = shard.table.index().posting(pred.attr, pred.value as usize);
+                SelState::Bits(sel.child(posting, buf))
+            })
+            .collect();
+        WalkState::with_payload(children)
+    }
+
+    fn evaluate_from(
+        &self,
+        parent: &WalkState,
+        child: &Query,
+        pred: Predicate,
+        k: usize,
+        ranking: &dyn RankingFunction,
+    ) -> Evaluation {
+        let Some(sels) = parent.payload::<Vec<SelState>>() else {
+            return self.evaluate(child, k, ranking);
+        };
+        let partials: Vec<(usize, Vec<ReturnedTuple>)> = self
+            .shards
+            .iter()
+            .zip(sels)
+            .map(|(shard, sel)| shard.partial_from(sel, pred, k, &self.schema, ranking))
+            .collect();
+        self.merge(partials, k, ranking)
+    }
+
+    fn classify_from(&self, parent: &WalkState, child: &Query, pred: Predicate, k: usize) -> Classified {
+        let Some(sels) = parent.payload::<Vec<SelState>>() else {
+            return Classified::from_evaluation(
+                self.evaluate(child, k, &crate::ranking::RowIdRanking),
+                k,
+            );
+        };
+        let count: usize = self
+            .shards
+            .iter()
+            .zip(sels)
+            .map(|(shard, sel)| {
+                sel.and_count(shard.table.index().posting(pred.attr, pred.value as usize))
+            })
+            .sum();
+        let page = if (1..=k).contains(&count) {
+            // Valid: all matches in ascending *global* id order, exactly
+            // as the single table enumerates them.
+            let mut page: Vec<ReturnedTuple> = self
+                .shards
+                .iter()
+                .zip(sels)
+                .flat_map(|(shard, sel)| {
+                    let posting = shard.table.index().posting(pred.attr, pred.value as usize);
+                    sel.iter_and(posting)
+                        .map(|row| ReturnedTuple {
+                            id: shard.ids[row],
+                            tuple: shard.table.tuple(row as TupleId).clone(),
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            page.sort_unstable_by_key(|t| t.id);
+            page
+        } else {
+            Vec::new()
+        };
+        Classified { count, page }
     }
 }
 

@@ -204,7 +204,7 @@ impl Table {
         let a = self.checked_numeric(attr)?;
         Ok(self
             .index()
-            .eval(q)
+            .selection(q)
             .iter_ones()
             .map(|r| {
                 a.numeric_value(self.tuples[r].value(attr)).expect("checked numeric")
