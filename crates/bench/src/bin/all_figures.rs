@@ -40,5 +40,7 @@ fn main() {
     experiments::sharded_scale::run_sharded_scale(&scale, &datasets);
     output::note("Scale 03: incremental walk sessions");
     experiments::incremental_scale::run_incremental_scale(&scale, &datasets);
+    output::note("Scale 04: remote serving over loopback");
+    experiments::remote_scale::run_remote_scale(&scale, &datasets);
     output::note("done");
 }

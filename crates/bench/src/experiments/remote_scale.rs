@@ -1,0 +1,215 @@
+//! Scale experiment for the serving layer (not a paper figure — an
+//! engineering experiment for the repro's own roadmap): the same
+//! estimation workload driven against an in-process corpus and against
+//! the *same* corpus behind a real loopback `hdb-server`, fresh vs
+//! incremental walk sessions, 1/2/8 client workers — plus the
+//! [`LatencyBackend`] *prediction* of the remote cost (local evaluation +
+//! one measured round trip per query), so the simulation and the socket
+//! can be compared number to number.
+//!
+//! Every remote run self-asserts bit-equality with the local reference
+//! (estimates and query counts); the measured trajectory goes to
+//! `results/` as CSV and to **`BENCH_scale04.json`** at the repository
+//! root.
+
+use std::fs;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hdb_core::UnbiasedSizeEstimator;
+use hdb_interface::{
+    HiddenDb, LatencyBackend, Query, RemoteBackend, SearchBackend, SessionMode, Table,
+    TableBackend, TopKInterface,
+};
+use hdb_server::Server;
+use hdb_stats::{Figure, Series};
+
+use crate::datasets::Datasets;
+use crate::output::{emit, note};
+use crate::scale::Scale;
+
+/// Interface constant: small enough that drill-downs run deep.
+const K: usize = 10;
+
+/// Master seed of the estimation runs (fixed: the run is the measurement
+/// instrument, not the subject).
+const SEED: u64 = 20_260_728;
+
+/// One measured configuration.
+struct Measured {
+    name: &'static str,
+    queries: u64,
+    secs: f64,
+    us_per_query: f64,
+}
+
+/// One timed run over `db`: asserts nothing, just measures.
+fn timed_run<B: SearchBackend>(
+    db: &HiddenDb<B>,
+    passes: u64,
+    workers: usize,
+) -> (u64, u64, f64) {
+    let mut est = UnbiasedSizeEstimator::hd(SEED).expect("valid config");
+    let start = Instant::now();
+    let summary = if workers == 1 {
+        est.run(db, passes).expect("unlimited interface")
+    } else {
+        est.run_parallel(db, passes, workers).expect("unlimited interface")
+    };
+    (summary.estimate.to_bits(), db.queries_issued(), start.elapsed().as_secs_f64())
+}
+
+/// Median round-trip time of a cheap request on a warm connection.
+fn measure_rtt(remote: &RemoteBackend) -> Duration {
+    let probes = 64;
+    let mut samples: Vec<Duration> = (0..probes)
+        .map(|_| {
+            let start = Instant::now();
+            let _ = remote.exact_count(&Query::all()).expect("server alive");
+            start.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[probes / 2]
+}
+
+/// Runs the serving-layer sweep.
+///
+/// # Panics
+/// Panics if any remote run changes the estimate or the issued-query
+/// count — the serving layer must be observationally invisible, and an
+/// experiment must not record results from a broken stack.
+pub fn run_remote_scale(scale: &Scale, datasets: &Datasets) {
+    note("remote serving: loopback hdb-server vs in-process, fresh vs incremental, 1/2/8 workers");
+    // Remote runs pay a real syscall round trip per query; size the
+    // workload so paper mode stays in minutes and --quick in seconds.
+    let rows = scale.bool_rows.min(30_000);
+    let scale = Scale { bool_rows: rows, ..*scale };
+    let table: &Table = datasets.bool_iid(&scale);
+    let passes = (scale.trials.max(8) * 5).min(200);
+
+    let server =
+        Server::bind(TableBackend::new(table.clone()), "127.0.0.1:0").expect("loopback bind");
+    let remote = Arc::new(
+        RemoteBackend::connect(server.addr().to_string()).expect("loopback connect"),
+    );
+    let rtt = measure_rtt(&remote);
+    println!("  loopback server on {}, measured RTT ≈ {:.1} µs", server.addr(), rtt.as_secs_f64() * 1e6);
+
+    let mut measured: Vec<Measured> = Vec::new();
+    let mut reference: Option<(u64, u64)> = None;
+    let mut record = |name: &'static str,
+                      (bits, queries, secs): (u64, u64, f64),
+                      reference: &mut Option<(u64, u64)>| {
+        match *reference {
+            None => *reference = Some((bits, queries)),
+            Some((ref_bits, ref_queries)) => {
+                assert_eq!(
+                    ref_bits, bits,
+                    "serving-layer regression: config `{name}` changed the estimate"
+                );
+                assert_eq!(
+                    ref_queries, queries,
+                    "accounting regression: config `{name}` changed the issued-query count"
+                );
+            }
+        }
+        let us_per_query = secs * 1e6 / queries as f64;
+        println!(
+            "  {name:<26} {secs:>7.3}s wall, {queries} queries, {us_per_query:>8.2} µs/query, \
+             {:>9.0} q/s",
+            queries as f64 / secs
+        );
+        measured.push(Measured { name, queries, secs, us_per_query });
+    };
+
+    // Local references.
+    let local_fresh =
+        HiddenDb::new(table.clone(), K).with_session_mode(SessionMode::Fresh);
+    record("local fresh", timed_run(&local_fresh, passes, 1), &mut reference);
+    let local_incr = HiddenDb::new(table.clone(), K);
+    record("local incremental", timed_run(&local_incr, passes, 1), &mut reference);
+
+    // The LatencyBackend prediction of remote cost: local evaluation plus
+    // one simulated RTT per issued query.
+    let predicted =
+        HiddenDb::over(LatencyBackend::new(TableBackend::new(table.clone()), rtt), K);
+    record("predicted (latency sim)", timed_run(&predicted, passes, 1), &mut reference);
+
+    // The real socket.
+    let remote_fresh = HiddenDb::over(Arc::clone(&remote), K)
+        .with_session_mode(SessionMode::Fresh);
+    record("remote fresh", timed_run(&remote_fresh, passes, 1), &mut reference);
+    let remote_incr = HiddenDb::over(Arc::clone(&remote), K);
+    record("remote incremental", timed_run(&remote_incr, passes, 1), &mut reference);
+    let remote_w2 = HiddenDb::over(Arc::clone(&remote), K);
+    record("remote incremental ×2", timed_run(&remote_w2, passes, 2), &mut reference);
+    let remote_w8 = HiddenDb::over(Arc::clone(&remote), K);
+    record("remote incremental ×8", timed_run(&remote_w8, passes, 8), &mut reference);
+
+    let by_name = |name: &str| {
+        measured
+            .iter()
+            .find(|m| m.name.starts_with(name))
+            .unwrap_or_else(|| panic!("config `{name}` measured"))
+    };
+    let predicted_us = by_name("predicted").us_per_query;
+    let remote_us = by_name("remote incremental").us_per_query;
+    let sim_accuracy = remote_us / predicted_us;
+    println!(
+        "  prediction check: remote incremental runs at {sim_accuracy:.2}× the \
+         LatencyBackend prediction"
+    );
+
+    let mut fig = Figure::new(
+        format!("remote serving, m={rows}, k={K}, {passes} passes, rtt={:.1}us", rtt.as_secs_f64() * 1e6),
+        "configuration index",
+        "µs per issued query",
+    );
+    fig.add(Series::from_points(
+        "us_per_query",
+        measured.iter().enumerate().map(|(i, m)| (i as f64, m.us_per_query)).collect(),
+    ));
+    fig.add(Series::from_points(
+        "queries_per_second",
+        measured
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (i as f64, m.queries as f64 / m.secs))
+            .collect(),
+    ));
+    emit(&fig, "scale04_remote_serving");
+
+    let (bits, queries) = reference.expect("runs completed");
+    let json = format!(
+        "{{\n  \"bench\": \"scale04_remote_serving\",\n  \"dataset\": \"bool_iid\",\n  \
+         \"rows\": {rows},\n  \"attributes\": {attrs},\n  \"k\": {K},\n  \"passes\": {passes},\n  \
+         \"seed\": {SEED},\n  \"estimate_bits\": {bits},\n  \"queries_per_config\": {queries},\n  \
+         \"loopback_rtt_us\": {rtt_us:.3},\n  \
+         \"local_fresh_us_per_query\": {local_fresh:.4},\n  \
+         \"local_incremental_us_per_query\": {local_incr:.4},\n  \
+         \"predicted_remote_us_per_query\": {predicted_us:.4},\n  \
+         \"remote_fresh_us_per_query\": {remote_fresh:.4},\n  \
+         \"remote_incremental_us_per_query\": {remote_us:.4},\n  \
+         \"remote_incremental_w2_us_per_query\": {w2:.4},\n  \
+         \"remote_incremental_w8_us_per_query\": {w8:.4},\n  \
+         \"remote_incremental_w8_queries_per_sec\": {w8_qps:.1},\n  \
+         \"remote_vs_prediction\": {sim_accuracy:.4}\n}}\n",
+        attrs = table.schema().len(),
+        rtt_us = rtt.as_secs_f64() * 1e6,
+        remote_fresh = by_name("remote fresh").us_per_query,
+        local_fresh = by_name("local fresh").us_per_query,
+        local_incr = by_name("local incremental").us_per_query,
+        w2 = by_name("remote incremental ×2").us_per_query,
+        w8 = by_name("remote incremental ×8").us_per_query,
+        w8_qps = {
+            let m = by_name("remote incremental ×8");
+            m.queries as f64 / m.secs
+        },
+    );
+    match fs::write("BENCH_scale04.json", &json) {
+        Ok(()) => println!("→ wrote BENCH_scale04.json\n"),
+        Err(e) => eprintln!("warning: failed writing BENCH_scale04.json: {e}"),
+    }
+    server.shutdown();
+}

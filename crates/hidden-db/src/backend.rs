@@ -246,6 +246,12 @@ impl Iterator for SelStateOnes<'_> {
 /// backend instance serves every worker of the parallel estimation
 /// engine.
 ///
+/// Query-answering methods return a [`Result`] because a backend may live
+/// on the other side of a network ([`RemoteBackend`](crate::RemoteBackend)):
+/// a dropped connection or a malformed wire frame surfaces as
+/// [`HdbError::Transport`] instead of a panic. In-process substrates never
+/// fail and always return `Ok`.
+///
 /// ## The incremental fast path
 ///
 /// Drill-down estimators issue chains of queries where each child extends
@@ -274,7 +280,10 @@ pub trait SearchBackend: Send + Sync {
     /// Evaluates `q` (already validated against the schema): the exact
     /// match count plus the top-`k` tuples under `ranking`, with the
     /// ordering invariants documented on [`Evaluation`].
-    fn evaluate(&self, q: &Query, k: usize, ranking: &dyn RankingFunction) -> Evaluation;
+    ///
+    /// # Errors
+    /// [`HdbError::Transport`] if a networked substrate fails to answer.
+    fn evaluate(&self, q: &Query, k: usize, ranking: &dyn RankingFunction) -> Result<Evaluation>;
 
     /// Invoked by the interface layer once per *issued* query, before any
     /// server-side response caching — the hook where remote-API
@@ -287,7 +296,10 @@ pub trait SearchBackend: Send + Sync {
 
     /// Exact `COUNT(*) WHERE q` (owner-side ground truth; never reachable
     /// through the client interface).
-    fn exact_count(&self, q: &Query) -> usize;
+    ///
+    /// # Errors
+    /// [`HdbError::Transport`] if a networked substrate fails to answer.
+    fn exact_count(&self, q: &Query) -> Result<usize>;
 
     /// Exact `SUM(attr) WHERE q` using the attribute's numeric
     /// interpretation, summed in ascending global tuple-id order (so
@@ -325,6 +337,9 @@ pub trait SearchBackend: Send + Sync {
     /// Evaluates `child` (= parent's query ∧ `pred`) with full top-k
     /// materialisation, using `parent`'s state when it carries a payload.
     /// Must be bit-identical to `self.evaluate(child, k, ranking)`.
+    ///
+    /// # Errors
+    /// [`HdbError::Transport`] if a networked substrate fails to answer.
     fn evaluate_from(
         &self,
         parent: &WalkState,
@@ -332,7 +347,7 @@ pub trait SearchBackend: Send + Sync {
         pred: Predicate,
         k: usize,
         ranking: &dyn RankingFunction,
-    ) -> Evaluation {
+    ) -> Result<Evaluation> {
         let _ = (parent, pred);
         self.evaluate(child, k, ranking)
     }
@@ -342,9 +357,83 @@ pub trait SearchBackend: Send + Sync {
     /// (`1 ≤ count ≤ k`, ascending id order — ranking-independent). This
     /// is the fast path for drill-down probes, which mostly need
     /// underflow/valid/overflow and never look at an overflow page.
-    fn classify_from(&self, parent: &WalkState, child: &Query, pred: Predicate, k: usize) -> Classified {
+    ///
+    /// # Errors
+    /// [`HdbError::Transport`] if a networked substrate fails to answer.
+    fn classify_from(
+        &self,
+        parent: &WalkState,
+        child: &Query,
+        pred: Predicate,
+        k: usize,
+    ) -> Result<Classified> {
         let _ = (parent, pred);
-        Classified::from_evaluation(self.evaluate(child, k, &RowIdRanking), k)
+        Ok(Classified::from_evaluation(self.evaluate(child, k, &RowIdRanking)?, k))
+    }
+}
+
+/// Shared backends: an `Arc<B>` answers exactly like its pointee, so one
+/// physical substrate (e.g. a single pooled [`RemoteBackend`](crate::RemoteBackend)
+/// client) can sit behind several [`HiddenDb`](crate::HiddenDb) instances
+/// at once.
+impl<B: SearchBackend + ?Sized> SearchBackend for Arc<B> {
+    fn schema(&self) -> &Schema {
+        (**self).schema()
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn evaluate(&self, q: &Query, k: usize, ranking: &dyn RankingFunction) -> Result<Evaluation> {
+        (**self).evaluate(q, k, ranking)
+    }
+
+    fn round_trip(&self) {
+        (**self).round_trip();
+    }
+
+    fn exact_count(&self, q: &Query) -> Result<usize> {
+        (**self).exact_count(q)
+    }
+
+    fn exact_sum(&self, attr: AttrId, q: &Query) -> Result<f64> {
+        (**self).exact_sum(attr, q)
+    }
+
+    fn walk_state(&self, q: &Query) -> WalkState {
+        (**self).walk_state(q)
+    }
+
+    fn extend_state(
+        &self,
+        parent: &WalkState,
+        child: &Query,
+        pred: Predicate,
+        recycled: WalkState,
+    ) -> WalkState {
+        (**self).extend_state(parent, child, pred, recycled)
+    }
+
+    fn evaluate_from(
+        &self,
+        parent: &WalkState,
+        child: &Query,
+        pred: Predicate,
+        k: usize,
+        ranking: &dyn RankingFunction,
+    ) -> Result<Evaluation> {
+        (**self).evaluate_from(parent, child, pred, k, ranking)
+    }
+
+    fn classify_from(
+        &self,
+        parent: &WalkState,
+        child: &Query,
+        pred: Predicate,
+        k: usize,
+    ) -> Result<Classified> {
+        (**self).classify_from(parent, child, pred, k)
     }
 }
 
@@ -489,9 +578,9 @@ impl SearchBackend for TableBackend {
         self.table.len()
     }
 
-    fn evaluate(&self, q: &Query, k: usize, ranking: &dyn RankingFunction) -> Evaluation {
+    fn evaluate(&self, q: &Query, k: usize, ranking: &dyn RankingFunction) -> Result<Evaluation> {
         let schema = self.table.schema();
-        match self.mode {
+        Ok(match self.mode {
             EvalMode::Bitmap => {
                 let sel = self.table.index().selection(q);
                 let count = sel.count();
@@ -515,11 +604,11 @@ impl SearchBackend for TableBackend {
                     top: select_candidates(ids.into_iter(), count, k, schema, ranking),
                 }
             }
-        }
+        })
     }
 
-    fn exact_count(&self, q: &Query) -> usize {
-        self.table.exact_count(q)
+    fn exact_count(&self, q: &Query) -> Result<usize> {
+        Ok(self.table.exact_count(q))
     }
 
     fn exact_sum(&self, attr: AttrId, q: &Query) -> Result<f64> {
@@ -557,7 +646,7 @@ impl SearchBackend for TableBackend {
         pred: Predicate,
         k: usize,
         ranking: &dyn RankingFunction,
-    ) -> Evaluation {
+    ) -> Result<Evaluation> {
         let Some(sel) = parent.payload::<SelState>() else {
             return self.evaluate(child, k, ranking);
         };
@@ -565,15 +654,21 @@ impl SearchBackend for TableBackend {
         let count = sel.and_count(posting);
         let matches =
             sel.iter_and(posting).map(|row| (row as TupleId, self.table.tuple(row as TupleId)));
-        Evaluation {
+        Ok(Evaluation {
             count,
             top: select_candidates(matches, count, k, self.table.schema(), ranking),
-        }
+        })
     }
 
-    fn classify_from(&self, parent: &WalkState, child: &Query, pred: Predicate, k: usize) -> Classified {
+    fn classify_from(
+        &self,
+        parent: &WalkState,
+        child: &Query,
+        pred: Predicate,
+        k: usize,
+    ) -> Result<Classified> {
         let Some(sel) = parent.payload::<SelState>() else {
-            return Classified::from_evaluation(self.evaluate(child, k, &RowIdRanking), k);
+            return Ok(Classified::from_evaluation(self.evaluate(child, k, &RowIdRanking)?, k));
         };
         let posting = self.table.index().posting(pred.attr, pred.value as usize);
         let count = sel.and_count(posting);
@@ -587,7 +682,7 @@ impl SearchBackend for TableBackend {
         } else {
             Vec::new()
         };
-        Classified { count, page }
+        Ok(Classified { count, page })
     }
 }
 
@@ -659,8 +754,8 @@ mod tests {
         ] {
             for k in [1usize, 2, 10] {
                 assert_eq!(
-                    bitmap.evaluate(&q, k, &RowIdRanking),
-                    scan.evaluate(&q, k, &RowIdRanking),
+                    bitmap.evaluate(&q, k, &RowIdRanking).unwrap(),
+                    scan.evaluate(&q, k, &RowIdRanking).unwrap(),
                     "query {q:?}, k {k}"
                 );
             }
@@ -670,7 +765,7 @@ mod tests {
     #[test]
     fn valid_evaluations_list_all_matches_in_id_order() {
         let b = TableBackend::new(table());
-        let eval = b.evaluate(&Query::all(), 10, &RowIdRanking);
+        let eval = b.evaluate(&Query::all(), 10, &RowIdRanking).unwrap();
         assert_eq!(eval.count, 4);
         let ids: Vec<TupleId> = eval.top.iter().map(|t| t.id).collect();
         assert_eq!(ids, vec![0, 1, 2, 3]);
@@ -682,7 +777,7 @@ mod tests {
         // rank by the numeric value of attribute 1 descending: ids 1 and 3
         // hold value z=30; tie broken by id
         let ranking = AttributeRanking { attr: 1, descending: true };
-        let eval = b.evaluate(&Query::all(), 2, &ranking);
+        let eval = b.evaluate(&Query::all(), 2, &ranking).unwrap();
         assert_eq!(eval.count, 4);
         let ids: Vec<TupleId> = eval.top.iter().map(|t| t.id).collect();
         assert_eq!(ids, vec![1, 3]);
@@ -698,9 +793,9 @@ mod tests {
                 let pred = Predicate::new(attr, v as u16);
                 let child = root.and(attr, v as u16).unwrap();
                 for k in [1usize, 2, 10] {
-                    let fresh = b.evaluate(&child, k, &RowIdRanking);
-                    assert_eq!(b.evaluate_from(&state, &child, pred, k, &RowIdRanking), fresh);
-                    let classified = b.classify_from(&state, &child, pred, k);
+                    let fresh = b.evaluate(&child, k, &RowIdRanking).unwrap();
+                    assert_eq!(b.evaluate_from(&state, &child, pred, k, &RowIdRanking).unwrap(), fresh);
+                    let classified = b.classify_from(&state, &child, pred, k).unwrap();
                     assert_eq!(classified.count, fresh.count);
                     if (1..=k).contains(&fresh.count) {
                         assert_eq!(classified.page, fresh.top);
@@ -713,12 +808,12 @@ mod tests {
                 for v2 in 0..b.schema().fanout(1 - attr) {
                     let pred2 = Predicate::new(1 - attr, v2 as u16);
                     let gchild = child.and(1 - attr, v2 as u16).unwrap();
-                    let fresh = b.evaluate(&gchild, 2, &RowIdRanking);
+                    let fresh = b.evaluate(&gchild, 2, &RowIdRanking).unwrap();
                     assert_eq!(
-                        b.evaluate_from(&child_state, &gchild, pred2, 2, &RowIdRanking),
+                        b.evaluate_from(&child_state, &gchild, pred2, 2, &RowIdRanking).unwrap(),
                         fresh
                     );
-                    assert_eq!(b.classify_from(&child_state, &gchild, pred2, 2).count, fresh.count);
+                    assert_eq!(b.classify_from(&child_state, &gchild, pred2, 2).unwrap().count, fresh.count);
                 }
             }
         }
@@ -733,10 +828,10 @@ mod tests {
         let pred = Predicate::new(0, 1);
         let child = Query::all().and(0, 1).unwrap();
         assert_eq!(
-            b.evaluate_from(&state, &child, pred, 2, &RowIdRanking),
-            b.evaluate(&child, 2, &RowIdRanking)
+            b.evaluate_from(&state, &child, pred, 2, &RowIdRanking).unwrap(),
+            b.evaluate(&child, 2, &RowIdRanking).unwrap()
         );
-        assert_eq!(b.classify_from(&state, &child, pred, 2).count, 2);
+        assert_eq!(b.classify_from(&state, &child, pred, 2).unwrap().count, 2);
     }
 
     #[test]
@@ -754,7 +849,7 @@ mod tests {
         let b = TableBackend::new(table());
         assert_eq!(b.len(), 4);
         assert!(!b.is_empty());
-        assert_eq!(b.exact_count(&Query::all().and(0, 1).unwrap()), 2);
+        assert_eq!(b.exact_count(&Query::all().and(0, 1).unwrap()).unwrap(), 2);
         assert_eq!(b.exact_sum(1, &Query::all()).unwrap(), 10.0 + 30.0 + 20.0 + 30.0);
         assert!(b.exact_sum(9, &Query::all()).is_err());
     }

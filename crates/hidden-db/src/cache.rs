@@ -34,38 +34,49 @@ use crate::schema::Schema;
 /// the engine uses (≤ 8) without bloating the empty structure.
 const SHARD_COUNT: usize = 16;
 
-/// A query → outcome memo sharded over independently locked maps.
+/// A query → value memo sharded over independently locked maps.
+///
+/// The value type defaults to [`QueryOutcome`] (the full-response memo);
+/// the hidden-database simulator also instantiates it with
+/// [`ClassifiedOutcome`](crate::ClassifiedOutcome) for its count-only
+/// memo.
 ///
 /// All methods take `&self`; the structure is `Sync` and safe to share
 /// across estimation worker threads.
-#[derive(Debug, Default)]
-pub struct ShardedMemo {
-    shards: [Mutex<HashMap<Query, QueryOutcome>>; SHARD_COUNT],
+#[derive(Debug)]
+pub struct ShardedMemo<V = QueryOutcome> {
+    shards: [Mutex<HashMap<Query, V>>; SHARD_COUNT],
 }
 
-impl ShardedMemo {
+impl<V> Default for ShardedMemo<V> {
+    fn default() -> Self {
+        Self { shards: std::array::from_fn(|_| Mutex::new(HashMap::new())) }
+    }
+}
+
+impl<V: Clone> ShardedMemo<V> {
     /// An empty memo.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
-    fn shard(&self, q: &Query) -> &Mutex<HashMap<Query, QueryOutcome>> {
+    fn shard(&self, q: &Query) -> &Mutex<HashMap<Query, V>> {
         let mut h = DefaultHasher::new();
         q.hash(&mut h);
         &self.shards[(h.finish() as usize) & (SHARD_COUNT - 1)]
     }
 
-    /// Looks up the outcome memoised for `q`, if any.
+    /// Looks up the value memoised for `q`, if any.
     #[must_use]
-    pub fn get(&self, q: &Query) -> Option<QueryOutcome> {
+    pub fn get(&self, q: &Query) -> Option<V> {
         self.shard(q).lock().expect("memo shard poisoned").get(q).cloned()
     }
 
-    /// Memoises `outcome` for `q` (last writer wins; under the
+    /// Memoises `value` for `q` (last writer wins; under the
     /// static-database model every writer stores the same answer).
-    pub fn insert(&self, q: Query, outcome: QueryOutcome) {
-        self.shard(&q).lock().expect("memo shard poisoned").insert(q, outcome);
+    pub fn insert(&self, q: Query, value: V) {
+        self.shard(&q).lock().expect("memo shard poisoned").insert(q, value);
     }
 
     /// Number of distinct queries stored, summed across shards.

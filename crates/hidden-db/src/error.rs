@@ -24,6 +24,10 @@ pub enum HdbError {
         /// The configured limit that was hit.
         limit: u64,
     },
+    /// A networked backend failed to answer: the connection dropped, a
+    /// wire frame was malformed, or the server reported a protocol-level
+    /// problem. Never raised by in-process substrates.
+    Transport(String),
 }
 
 impl fmt::Display for HdbError {
@@ -35,6 +39,7 @@ impl fmt::Display for HdbError {
             Self::BudgetExhausted { limit } => {
                 write!(f, "query budget exhausted (limit {limit})")
             }
+            Self::Transport(msg) => write!(f, "transport error: {msg}"),
         }
     }
 }
@@ -52,6 +57,10 @@ mod tests {
             "query budget exhausted (limit 10)"
         );
         assert_eq!(HdbError::InvalidSchema("x".into()).to_string(), "invalid schema: x");
+        assert_eq!(
+            HdbError::Transport("connection reset".into()).to_string(),
+            "transport error: connection reset"
+        );
     }
 
     #[test]

@@ -194,6 +194,14 @@ pub struct HiddenDb<B: SearchBackend = TableBackend> {
     /// simulator's CPU time. Purely an implementation detail of the
     /// simulated server — every query is still charged to the counter.
     pub(crate) hot_responses: ShardedMemo,
+    /// The count-only sibling of `hot_responses`: classifications of
+    /// *expensive* count-only probes (the same `count > 8k` rule), so a
+    /// repeated count-only probe is memo-served instead of re-running its
+    /// AND-count. Count-only probes never produce an overflow page, so
+    /// they can never feed `hot_responses`; without this memo every
+    /// repeat paid the count again (the PR 4 memo gap). Memo hits are
+    /// charged exactly like `hot_responses` hits.
+    pub(crate) hot_counts: ShardedMemo<crate::session::ClassifiedOutcome>,
     /// How [`HiddenDb::walk_session`] evaluates drill-down probes
     /// (incremental count-only by default; see [`SessionMode`]).
     pub(crate) session: SessionMode,
@@ -264,6 +272,7 @@ impl<B: SearchBackend> HiddenDb<B> {
             k,
             counter: QueryCounter::unlimited(),
             hot_responses: ShardedMemo::new(),
+            hot_counts: ShardedMemo::new(),
             session: SessionMode::default(),
         }
     }
@@ -312,23 +321,31 @@ impl<B: SearchBackend> HiddenDb<B> {
         &self.counter
     }
 
-    fn respond(&self, q: &Query) -> QueryOutcome {
+    /// Distinct queries held by the server-side count-only memo
+    /// (owner-side diagnostic; the memo itself is unobservable through
+    /// the interface — it only saves server CPU).
+    #[must_use]
+    pub fn memoised_counts(&self) -> usize {
+        self.hot_counts.len()
+    }
+
+    fn respond(&self, q: &Query) -> Result<QueryOutcome> {
         // Every issued query crosses to the backend's "server" exactly
         // once — remote simulations charge their round trip here, memo
         // hit or not (the memo saves server CPU, never the network hop).
         self.backend.round_trip();
         // Serve memoised expensive responses without re-evaluating.
         if let Some(hit) = self.hot_responses.get(q) {
-            return hit;
+            return Ok(hit);
         }
-        let eval = self.backend.evaluate(q, self.k, self.ranking.as_ref());
+        let eval = self.backend.evaluate(q, self.k, self.ranking.as_ref())?;
         // Memoise expensive overflow responses (top-k over many matches).
         let expensive = expensive_response(eval.count, self.k);
         let outcome = eval.into_outcome(self.k);
         if expensive {
             self.hot_responses.insert(q.clone(), outcome.clone());
         }
-        outcome
+        Ok(outcome)
     }
 }
 
@@ -344,7 +361,10 @@ impl<B: SearchBackend> TopKInterface for HiddenDb<B> {
     fn query(&self, q: &Query) -> Result<QueryOutcome> {
         q.validate(self.backend.schema())?;
         self.counter.charge()?;
-        let outcome = self.respond(q);
+        // A transport failure after the charge leaves the query counted
+        // but untallied: the request went out on the wire, so the site
+        // metered it, but no outcome class exists to record.
+        let outcome = self.respond(q)?;
         self.counter.record_outcome(outcome_kind(&outcome));
         Ok(outcome)
     }

@@ -103,7 +103,7 @@ impl<B: SearchBackend> SearchBackend for LatencyBackend<B> {
         self.inner.len()
     }
 
-    fn evaluate(&self, q: &Query, k: usize, ranking: &dyn RankingFunction) -> Evaluation {
+    fn evaluate(&self, q: &Query, k: usize, ranking: &dyn RankingFunction) -> Result<Evaluation> {
         self.inner.evaluate(q, k, ranking)
     }
 
@@ -117,7 +117,7 @@ impl<B: SearchBackend> SearchBackend for LatencyBackend<B> {
         self.inner.round_trip();
     }
 
-    fn exact_count(&self, q: &Query) -> usize {
+    fn exact_count(&self, q: &Query) -> Result<usize> {
         self.inner.exact_count(q)
     }
 
@@ -150,11 +150,17 @@ impl<B: SearchBackend> SearchBackend for LatencyBackend<B> {
         pred: Predicate,
         k: usize,
         ranking: &dyn RankingFunction,
-    ) -> Evaluation {
+    ) -> Result<Evaluation> {
         self.inner.evaluate_from(parent, child, pred, k, ranking)
     }
 
-    fn classify_from(&self, parent: &WalkState, child: &Query, pred: Predicate, k: usize) -> Classified {
+    fn classify_from(
+        &self,
+        parent: &WalkState,
+        child: &Query,
+        pred: Predicate,
+        k: usize,
+    ) -> Result<Classified> {
         self.inner.classify_from(parent, child, pred, k)
     }
 }
@@ -184,10 +190,10 @@ mod tests {
         let remote = LatencyBackend::new(backend(), Duration::ZERO);
         for q in [Query::all(), Query::all().and(0, 1).unwrap()] {
             assert_eq!(
-                plain.evaluate(&q, 1, &RowIdRanking),
-                remote.evaluate(&q, 1, &RowIdRanking)
+                plain.evaluate(&q, 1, &RowIdRanking).unwrap(),
+                remote.evaluate(&q, 1, &RowIdRanking).unwrap()
             );
-            assert_eq!(plain.exact_count(&q), remote.exact_count(&q));
+            assert_eq!(plain.exact_count(&q).unwrap(), remote.exact_count(&q).unwrap());
         }
     }
 
@@ -208,7 +214,7 @@ mod tests {
     #[test]
     fn ground_truth_pays_no_round_trip() {
         let remote = LatencyBackend::new(backend(), Duration::from_secs(3600));
-        assert_eq!(remote.exact_count(&Query::all()), 2);
+        assert_eq!(remote.exact_count(&Query::all()).unwrap(), 2);
         assert_eq!(remote.len(), 2);
         assert_eq!(remote.round_trips(), 0);
         assert_eq!(remote.simulated_wait(), Duration::ZERO);

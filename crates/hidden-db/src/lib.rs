@@ -64,11 +64,13 @@ pub mod latency;
 pub mod par;
 pub mod query;
 pub mod ranking;
+pub mod remote;
 pub mod schema;
 pub mod session;
 pub mod sharded;
 pub mod table;
 pub mod tuple;
+pub mod wire;
 
 pub use backend::{Classified, EvalMode, Evaluation, SearchBackend, TableBackend, WalkState};
 pub use cache::{CachingInterface, ShardedMemo};
@@ -78,8 +80,10 @@ pub use index::{Selection, TableIndex};
 pub use interface::{HiddenDb, QueryOutcome, ReturnedTuple, TopKInterface};
 pub use session::{ClassifiedOutcome, SessionMode, WalkSession};
 pub use latency::LatencyBackend;
+pub use par::WorkerPool;
 pub use query::{Predicate, Query};
-pub use ranking::{AttributeRanking, RankingFunction, RowIdRanking, SeededRandomRanking};
+pub use ranking::{AttributeRanking, RankingFunction, RankingSpec, RowIdRanking, SeededRandomRanking};
+pub use remote::RemoteBackend;
 pub use schema::{AttrId, Attribute, Schema, ValueId};
 pub use sharded::ShardedDb;
 pub use table::Table;

@@ -1,22 +1,25 @@
-//! A generic scoped-thread fan-out: the workspace's one concurrency
-//! primitive.
+//! Concurrency primitives shared by the whole workspace: the scoped
+//! [`fan_out`] function and the persistent [`WorkerPool`].
 //!
-//! Both layers of the system parallelise through this function: the
-//! estimation engine in `hdb-core` fans independent drill-down *passes*
-//! across threads (re-exported there as `hdb_core::engine::fan_out`), and
-//! [`ShardedDb`](crate::ShardedDb) fans per-*shard* query evaluation. The
-//! contract that makes it safe for both is the same: tasks are claimed
-//! from a shared atomic dispenser (each index runs exactly once), results
-//! are keyed by task index, and the caller merges them in an
-//! order-independent way — so thread scheduling can never leak into a
-//! result.
+//! Both layers of the system parallelise through the same claiming
+//! contract: tasks are claimed from a shared atomic dispenser (each index
+//! runs exactly once), results are keyed by task index, and the caller
+//! merges them in an order-independent way — so thread scheduling can
+//! never leak into a result. The estimation engine in `hdb-core` fans
+//! independent drill-down *passes* through [`fan_out`] (re-exported there
+//! as `hdb_core::engine::fan_out`, one thread scope per estimator run —
+//! the spawn cost amortises over the run), while per-*query* work
+//! ([`ShardedDb`](crate::ShardedDb) shard evaluation, `hdb-server`
+//! connection handling) runs on a [`WorkerPool`], whose threads persist
+//! across calls so a single drill-down probe never pays a thread spawn.
 //!
 //! The worker count defaults to [`default_workers`], which honours the
 //! `HDB_ENGINE_WORKERS` environment variable (CI runs the test suite
 //! under both `=1` and `=4`).
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Environment variable consulted by [`default_workers`].
 pub const WORKERS_ENV: &str = "HDB_ENGINE_WORKERS";
@@ -50,7 +53,80 @@ pub struct FanOut<T, E> {
     pub error: Option<E>,
 }
 
-/// Runs `run_task(i)` for `i` in `0..tasks` across `workers` OS threads.
+/// The shared state of one fan-out run: the dispenser every participating
+/// thread claims from, plus the merged results. One `RunCtx` lives on the
+/// initiating caller's stack for exactly the duration of the run — both
+/// the scoped-thread [`fan_out`] and [`WorkerPool::fan_out`] drive it.
+struct RunCtx<T, E, F> {
+    tasks: u64,
+    dispenser: AtomicU64,
+    stop: AtomicBool,
+    first_error: Mutex<Option<E>>,
+    results: Mutex<Vec<(u64, T)>>,
+    run_task: F,
+}
+
+impl<T, E, F> RunCtx<T, E, F>
+where
+    T: Send,
+    E: Send,
+    F: Fn(u64) -> Result<T, E> + Sync,
+{
+    fn new(tasks: u64, run_task: F) -> Self {
+        Self {
+            tasks,
+            dispenser: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            first_error: Mutex::new(None),
+            results: Mutex::new(Vec::new()),
+            run_task,
+        }
+    }
+
+    /// The claiming loop: run on the caller and every helper thread.
+    /// Results accumulate thread-locally and merge once at the end, so
+    /// the only cross-thread traffic during the run is the dispenser.
+    fn work(&self) {
+        let mut local: Vec<(u64, T)> = Vec::new();
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let idx = self.dispenser.fetch_add(1, Ordering::Relaxed);
+            if idx >= self.tasks {
+                // undo the overshoot so `claimed` stays meaningful
+                self.dispenser.fetch_sub(1, Ordering::Relaxed);
+                break;
+            }
+            match (self.run_task)(idx) {
+                Ok(result) => local.push((idx, result)),
+                Err(e) => {
+                    self.stop.store(true, Ordering::Release);
+                    let mut slot = self.first_error.lock().expect("error slot poisoned");
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                    break;
+                }
+            }
+        }
+        if !local.is_empty() {
+            self.results.lock().expect("results poisoned").append(&mut local);
+        }
+    }
+
+    fn into_fan_out(self) -> FanOut<T, E> {
+        let claimed = self.dispenser.load(Ordering::Relaxed).min(self.tasks);
+        FanOut {
+            results: self.results.into_inner().expect("results poisoned"),
+            claimed,
+            error: self.first_error.into_inner().expect("error slot poisoned"),
+        }
+    }
+}
+
+/// Runs `run_task(i)` for `i` in `0..tasks` across `workers` OS threads
+/// (the calling thread plus `workers - 1` scoped spawns).
 ///
 /// Task indices are claimed from a shared atomic dispenser, so each index
 /// runs exactly once; results are collected per worker and merged after
@@ -60,6 +136,10 @@ pub struct FanOut<T, E> {
 /// spawn cost) and therefore executes tasks in canonical index order —
 /// the property the estimation engine relies on for deterministic
 /// budget-exhaustion behaviour.
+///
+/// For *per-query* fan-outs (one per drill-down probe) prefer
+/// [`WorkerPool::fan_out`], which reuses persistent threads instead of
+/// spawning per call.
 ///
 /// ```
 /// use hdb_interface::par::fan_out;
@@ -81,57 +161,284 @@ where
     let workers = workers
         .max(1)
         .min(usize::try_from(tasks).unwrap_or(usize::MAX).max(1));
-    let dispenser = AtomicU64::new(0);
-    let stop = AtomicBool::new(false);
-    let first_error: Mutex<Option<E>> = Mutex::new(None);
-
-    let worker_loop = || {
-        let mut local: Vec<(u64, T)> = Vec::new();
-        loop {
-            if stop.load(Ordering::Acquire) {
-                break;
-            }
-            let idx = dispenser.fetch_add(1, Ordering::Relaxed);
-            if idx >= tasks {
-                // undo the overshoot so `claimed` stays meaningful
-                dispenser.fetch_sub(1, Ordering::Relaxed);
-                break;
-            }
-            match run_task(idx) {
-                Ok(result) => local.push((idx, result)),
-                Err(e) => {
-                    stop.store(true, Ordering::Release);
-                    let mut slot = first_error.lock().expect("error slot poisoned");
-                    if slot.is_none() {
-                        *slot = Some(e);
-                    }
-                    break;
-                }
-            }
-        }
-        local
-    };
-
-    let results = if workers == 1 {
+    let ctx = RunCtx::new(tasks, run_task);
+    if workers == 1 {
         // In-thread fast path: identical claiming logic, no spawn cost,
         // canonical (ascending) execution order.
-        worker_loop()
+        ctx.work();
     } else {
         std::thread::scope(|scope| {
-            let handles: Vec<_> =
-                (0..workers).map(|_| scope.spawn(worker_loop)).collect();
-            let mut merged = Vec::new();
+            let handles: Vec<_> = (1..workers).map(|_| scope.spawn(|| ctx.work())).collect();
+            ctx.work();
             for h in handles {
-                merged.extend(h.join().expect("fan-out worker panicked"));
+                h.join().expect("fan-out worker panicked");
             }
-            merged
-        })
-    };
+        });
+    }
+    ctx.into_fan_out()
+}
 
-    FanOut {
-        results,
-        claimed: dispenser.load(Ordering::Relaxed).min(tasks),
-        error: first_error.into_inner().expect("error slot poisoned"),
+/// A queued pool job: boxed so connections, probes, and scoped fan-out
+/// helpers all travel through the same queue.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolQueue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolInner {
+    queue: Mutex<PoolQueue>,
+    available: Condvar,
+}
+
+/// A pointer to a [`RunCtx`] with its type erased, handed to pool helper
+/// threads through the [`Gate`]. Sound to send across threads because the
+/// gate protocol guarantees the pointee outlives every dereference (see
+/// [`WorkerPool::fan_out`]).
+#[derive(Clone, Copy)]
+struct ErasedCtx {
+    ptr: *const (),
+    run: unsafe fn(*const ()),
+}
+
+// SAFETY: the pointee is a `RunCtx` whose T/E/F are all `Send`/`Sync`
+// (enforced by the bounds on `WorkerPool::fan_out`), and the gate keeps
+// it alive for as long as any helper can reach it.
+unsafe impl Send for ErasedCtx {}
+
+/// Synchronises one scoped [`WorkerPool::fan_out`] run with the helper
+/// jobs it enqueued: helpers register before touching the context and
+/// deregister after; the initiating caller revokes the context and then
+/// waits for every registered helper to finish before returning.
+#[derive(Default)]
+struct Gate {
+    slot: Mutex<GateSlot>,
+    done: Condvar,
+}
+
+#[derive(Default)]
+struct GateSlot {
+    job: Option<ErasedCtx>,
+    active: usize,
+}
+
+/// A persistent pool of worker threads.
+///
+/// Two entry points share the queue:
+///
+/// * [`WorkerPool::execute`] runs an owned (`'static`) job — how
+///   `hdb-server` handles concurrent client connections;
+/// * [`WorkerPool::fan_out`] runs a *scoped* fan-out over borrowed data —
+///   how [`ShardedDb`](crate::ShardedDb) evaluates shards per probe
+///   without paying a thread spawn per AND (the calling thread always
+///   participates, so a busy pool degrades to in-thread execution, never
+///   to a deadlock).
+///
+/// Dropping the pool finishes the jobs currently running, discards any
+/// still queued, and joins the threads. Long-lived jobs that re-enqueue
+/// themselves (connection handlers) must observe their own shutdown
+/// signal.
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("threads", &self.handles.len()).finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` persistent worker threads.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "a worker pool needs at least one thread");
+        let inner = Arc::new(PoolInner {
+            queue: Mutex::new(PoolQueue { jobs: VecDeque::new(), shutdown: false }),
+            available: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let mut q = inner.queue.lock().expect("pool queue poisoned");
+                        loop {
+                            if q.shutdown {
+                                return;
+                            }
+                            if let Some(job) = q.jobs.pop_front() {
+                                break job;
+                            }
+                            q = inner.available.wait(q).expect("pool queue poisoned");
+                        }
+                    };
+                    job();
+                })
+            })
+            .collect();
+        Self { inner, handles }
+    }
+
+    /// Number of persistent threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Enqueues an owned job; some pool thread runs it eventually. Jobs
+    /// are claimed in FIFO order.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        enqueue(&self.inner, Box::new(job));
+    }
+
+    /// A detached handle for enqueueing jobs without owning the pool.
+    ///
+    /// Jobs that re-enqueue themselves (server connection turns) must
+    /// hold a `PoolSender`, never the `WorkerPool` itself: a strong
+    /// reference held by a queued job would let a pool *worker* drop the
+    /// pool — and `WorkerPool`'s drop joins the worker threads, which a
+    /// worker cannot do to itself.
+    #[must_use]
+    pub fn sender(&self) -> PoolSender {
+        PoolSender { inner: Arc::downgrade(&self.inner) }
+    }
+
+    /// [`fan_out`] over the pool's persistent threads: runs `run_task(i)`
+    /// for `i` in `0..tasks` on the calling thread plus up to
+    /// [`WorkerPool::threads`] helpers, with the same claiming contract
+    /// (each index exactly once, results keyed by index, first error
+    /// stops the run).
+    ///
+    /// The calling thread always participates, so the call makes progress
+    /// even when every pool thread is busy; helpers that start after the
+    /// work is finished return immediately. The call blocks until every
+    /// helper that touched the run has finished — the borrowed closure
+    /// and results never outlive the call.
+    pub fn fan_out<T, E, F>(&self, tasks: u64, run_task: F) -> FanOut<T, E>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(u64) -> Result<T, E> + Sync,
+    {
+        /// Monomorphic re-entry point handed through the type-erased gate.
+        ///
+        /// SAFETY (caller): `ptr` must point to a live `RunCtx<T, E, F>`.
+        unsafe fn trampoline<T, E, F>(ptr: *const ())
+        where
+            T: Send,
+            E: Send,
+            F: Fn(u64) -> Result<T, E> + Sync,
+        {
+            unsafe { (*ptr.cast::<RunCtx<T, E, F>>()).work() }
+        }
+
+        let helpers = self
+            .threads()
+            .min(usize::try_from(tasks.saturating_sub(1)).unwrap_or(usize::MAX));
+        let ctx = RunCtx::new(tasks, run_task);
+        if helpers == 0 {
+            ctx.work();
+            return ctx.into_fan_out();
+        }
+
+        let gate = Arc::new(Gate::default());
+        gate.slot.lock().expect("gate poisoned").job = Some(ErasedCtx {
+            ptr: std::ptr::from_ref(&ctx).cast::<()>(),
+            run: trampoline::<T, E, F>,
+        });
+        for _ in 0..helpers {
+            let gate = Arc::clone(&gate);
+            self.execute(move || {
+                let job = {
+                    let mut slot = gate.slot.lock().expect("gate poisoned");
+                    match slot.job {
+                        // Register under the same lock that revocation
+                        // takes: once registered, the caller will wait.
+                        Some(job) => {
+                            slot.active += 1;
+                            job
+                        }
+                        // The run already finished; nothing to do.
+                        None => return,
+                    }
+                };
+                // SAFETY: `job.ptr` points at `ctx` on the initiating
+                // caller's stack; the caller cannot return before this
+                // helper deregisters below.
+                unsafe { (job.run)(job.ptr) };
+                let mut slot = gate.slot.lock().expect("gate poisoned");
+                slot.active -= 1;
+                drop(slot);
+                gate.done.notify_all();
+            });
+        }
+        ctx.work();
+        // Revoke the context, then wait out every registered helper: after
+        // this block no thread can reach `ctx` again.
+        let mut slot = gate.slot.lock().expect("gate poisoned");
+        slot.job = None;
+        while slot.active > 0 {
+            slot = gate.done.wait(slot).expect("gate poisoned");
+        }
+        drop(slot);
+        ctx.into_fan_out()
+    }
+}
+
+fn enqueue(inner: &PoolInner, job: Job) {
+    let mut q = inner.queue.lock().expect("pool queue poisoned");
+    if q.shutdown {
+        return; // racing a drop: the job is discarded, like the rest of the queue
+    }
+    q.jobs.push_back(job);
+    drop(q);
+    inner.available.notify_one();
+}
+
+/// A cloneable, non-owning job submitter for a [`WorkerPool`] (see
+/// [`WorkerPool::sender`]). Sending to a dropped pool discards the job.
+#[derive(Clone)]
+pub struct PoolSender {
+    inner: std::sync::Weak<PoolInner>,
+}
+
+impl std::fmt::Debug for PoolSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolSender").finish_non_exhaustive()
+    }
+}
+
+impl PoolSender {
+    /// Enqueues a job if the pool is still alive; returns whether it was
+    /// accepted (a shut-down or dropped pool discards it).
+    pub fn send(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        match self.inner.upgrade() {
+            Some(inner) => {
+                enqueue(&inner, Box::new(job));
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.inner.queue.lock().expect("pool queue poisoned");
+            q.shutdown = true;
+            q.jobs.clear();
+        }
+        self.inner.available.notify_all();
+        for h in self.handles.drain(..) {
+            h.join().expect("pool worker panicked");
+        }
     }
 }
 
@@ -193,5 +500,81 @@ mod tests {
     fn non_copy_results_and_errors_are_supported() {
         let out = fan_out(3, 2, |i| Ok::<_, String>(vec![i; 2]));
         assert_eq!(out.results.len(), 3);
+    }
+
+    #[test]
+    fn pool_executes_owned_jobs() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.threads(), 2);
+        let (tx, rx) = std::sync::mpsc::channel::<u64>();
+        for i in 0..64 {
+            let tx = tx.clone();
+            pool.execute(move || {
+                tx.send(i).expect("receiver alive");
+            });
+        }
+        let mut got: Vec<u64> = (0..64).map(|_| rx.recv().expect("job ran")).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_fan_out_matches_the_scoped_fan_out() {
+        let pool = WorkerPool::new(3);
+        for tasks in [0u64, 1, 7, 100] {
+            let out = pool.fan_out(tasks, |i| Ok::<u64, ()>(i * i));
+            assert_eq!(out.claimed, tasks);
+            assert!(out.error.is_none());
+            let mut got: Vec<(u64, u64)> = out.results;
+            got.sort_unstable();
+            let want: Vec<(u64, u64)> = (0..tasks).map(|i| (i, i * i)).collect();
+            assert_eq!(got, want, "tasks={tasks}");
+        }
+    }
+
+    #[test]
+    fn pool_fan_out_with_borrowed_state_and_errors() {
+        let pool = WorkerPool::new(2);
+        let data: Vec<u64> = (0..50).collect();
+        let out = pool.fan_out(data.len() as u64, |i| {
+            if i == 17 {
+                Err(format!("bad {i}"))
+            } else {
+                Ok(data[i as usize] * 2)
+            }
+        });
+        assert_eq!(out.error.as_deref(), Some("bad 17"));
+        assert!(out.results.iter().all(|&(i, _)| i != 17));
+    }
+
+    #[test]
+    fn pool_fan_out_reuses_threads_across_many_calls() {
+        // The per-probe pattern ShardedDb runs: thousands of small
+        // fan-outs over the same pool, no spawn per call.
+        let pool = WorkerPool::new(2);
+        let total = Arc::new(AtomicU64::new(0));
+        for round in 0..500u64 {
+            let out = pool.fan_out(4, |i| Ok::<u64, ()>(round + i));
+            assert_eq!(out.results.len(), 4);
+            total.fetch_add(out.results.iter().map(|&(_, v)| v).sum::<u64>(), Ordering::Relaxed);
+        }
+        assert_eq!(total.load(Ordering::Relaxed), (0..500u64).map(|r| 4 * r + 6).sum::<u64>());
+    }
+
+    #[test]
+    fn concurrent_pool_fan_outs_share_one_pool() {
+        let pool = Arc::new(WorkerPool::new(2));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        let out = pool.fan_out(8, |i| Ok::<u64, ()>(t * 1000 + i));
+                        assert_eq!(out.claimed, 8);
+                        assert!(out.error.is_none());
+                    }
+                });
+            }
+        });
     }
 }

@@ -23,6 +23,46 @@ use crate::schema::Schema;
 use crate::table::Table;
 use crate::tuple::{Tuple, TupleId};
 
+/// A serialisable description of a ranking function — what a
+/// [`RemoteBackend`](crate::RemoteBackend) ships over the wire so the
+/// server ranks exactly like the client would have locally.
+///
+/// Every ranking shipped by this crate has a spec; custom
+/// [`RankingFunction`] implementations may opt in by overriding
+/// [`RankingFunction::wire_spec`] *and* teaching the serving side the new
+/// variant — otherwise they simply cannot cross the network.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RankingSpec {
+    /// [`RowIdRanking`].
+    RowId,
+    /// [`AttributeRanking`].
+    Attribute {
+        /// Attribute whose numeric interpretation orders the results.
+        attr: usize,
+        /// If true, larger values rank first.
+        descending: bool,
+    },
+    /// [`SeededRandomRanking`].
+    SeededRandom {
+        /// Seed mixed into every tuple's score.
+        seed: u64,
+    },
+}
+
+impl RankingSpec {
+    /// Materialises the described ranking function (server side).
+    #[must_use]
+    pub fn instantiate(self) -> Box<dyn RankingFunction> {
+        match self {
+            Self::RowId => Box::new(RowIdRanking),
+            Self::Attribute { attr, descending } => {
+                Box::new(AttributeRanking { attr, descending })
+            }
+            Self::SeededRandom { seed } => Box::new(SeededRandomRanking { seed }),
+        }
+    }
+}
+
 /// A ranking function assigns each tuple a static score; the interface
 /// returns the `k` matching tuples with the *smallest* score (rank 0 is
 /// best), tie-broken by tuple id.
@@ -31,6 +71,15 @@ pub trait RankingFunction: Send + Sync {
     /// ranks first. Must depend only on `(schema, id, tuple)` so every
     /// backend ranks identically.
     fn score(&self, schema: &Schema, id: TupleId, tuple: &Tuple) -> f64;
+
+    /// The wire description of this ranking, if it has one. `None` (the
+    /// default) means the ranking cannot be shipped to a remote server;
+    /// a [`RemoteBackend`](crate::RemoteBackend) evaluation under such a
+    /// ranking fails with a typed [`HdbError::Transport`](crate::HdbError)
+    /// instead of silently ranking differently on the two sides.
+    fn wire_spec(&self) -> Option<RankingSpec> {
+        None
+    }
 
     /// Sorts (a copy of) the matching row ids of `table` by rank and
     /// truncates to `k` (convenience for owner-side analysis).
@@ -55,6 +104,10 @@ pub struct RowIdRanking;
 impl RankingFunction for RowIdRanking {
     fn score(&self, _schema: &Schema, id: TupleId, _tuple: &Tuple) -> f64 {
         f64::from(id)
+    }
+
+    fn wire_spec(&self) -> Option<RankingSpec> {
+        Some(RankingSpec::RowId)
     }
 }
 
@@ -81,6 +134,10 @@ impl RankingFunction for AttributeRanking {
             x
         }
     }
+
+    fn wire_spec(&self) -> Option<RankingSpec> {
+        Some(RankingSpec::Attribute { attr: self.attr, descending: self.descending })
+    }
 }
 
 /// A deterministic pseudo-random ranking: each tuple gets a fixed score
@@ -100,6 +157,10 @@ impl RankingFunction for SeededRandomRanking {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
         (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn wire_spec(&self) -> Option<RankingSpec> {
+        Some(RankingSpec::SeededRandom { seed: self.seed })
     }
 }
 
@@ -186,6 +247,33 @@ mod tests {
                 r.score(sub.schema(), 2, sub.tuple(0)).to_bits()
             );
         }
+    }
+
+    #[test]
+    fn wire_specs_roundtrip_through_instantiate() {
+        let t = table();
+        let rankings: [&dyn RankingFunction; 3] = [
+            &RowIdRanking,
+            &AttributeRanking { attr: 1, descending: true },
+            &SeededRandomRanking { seed: 11 },
+        ];
+        for r in rankings {
+            let spec = r.wire_spec().expect("shipped rankings have specs");
+            let twin = spec.instantiate();
+            for id in 0..t.len() as TupleId {
+                assert_eq!(
+                    r.score(t.schema(), id, t.tuple(id)).to_bits(),
+                    twin.score(t.schema(), id, t.tuple(id)).to_bits()
+                );
+            }
+        }
+        struct Custom;
+        impl RankingFunction for Custom {
+            fn score(&self, _s: &Schema, id: TupleId, _t: &Tuple) -> f64 {
+                -f64::from(id)
+            }
+        }
+        assert!(Custom.wire_spec().is_none());
     }
 
     #[test]

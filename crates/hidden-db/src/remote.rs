@@ -1,0 +1,391 @@
+//! [`RemoteBackend`]: a [`SearchBackend`] living on the other side of a
+//! TCP socket, served by the `hdb-server` crate.
+//!
+//! This is the real counterpart of the simulated
+//! [`LatencyBackend`](crate::LatencyBackend): every evaluation is one
+//! request/response exchange over the [`wire`](crate::wire) protocol, so
+//! `HiddenDb::over(RemoteBackend::connect(addr)?, k)` puts an actual
+//! network between the paper's estimators and the corpus while the whole
+//! budget / accounting / memo / session stack runs unchanged on the
+//! client.
+//!
+//! Connections are pooled: each request checks one out (opening a new
+//! socket only when the pool is empty), so concurrent estimation workers
+//! ride concurrent connections and a serial drill-down reuses one warm
+//! socket. The incremental walk fast path maps onto server-side sessions:
+//! [`SearchBackend::walk_state`] opens a session (the server materialises
+//! the root match set), extends and probes reference it by id, and the
+//! session is closed — best-effort — when the last client-side state
+//! referencing it drops. Every fast-path degradation (evicted session,
+//! failed open) falls back to fresh evaluation, which is bit-identical,
+//! so transport hiccups can slow a walk down but never change a result;
+//! hard failures surface as [`HdbError::Transport`].
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::backend::{Classified, Evaluation, SearchBackend, WalkState};
+use crate::error::{HdbError, Result};
+use crate::query::{Predicate, Query};
+use crate::ranking::{RankingFunction, RankingSpec};
+use crate::schema::{AttrId, Schema};
+use crate::wire::{read_frame, write_frame, Request, Response, PROTOCOL_VERSION};
+
+/// Default cap on pooled idle connections.
+const DEFAULT_MAX_IDLE: usize = 8;
+
+/// Default per-operation I/O timeout: long enough for a paper-scale
+/// evaluation, short enough that a hung server surfaces as a typed error
+/// rather than a stuck client.
+const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The connection pool + request plumbing shared by a [`RemoteBackend`]
+/// and the walk-session handles it spawns.
+struct ClientCore {
+    addr: String,
+    idle: Mutex<Vec<TcpStream>>,
+    max_idle: usize,
+    io_timeout: Duration,
+}
+
+impl ClientCore {
+    fn open(&self) -> Result<TcpStream> {
+        let stream = TcpStream::connect(&self.addr)
+            .map_err(|e| HdbError::Transport(format!("connect to {} failed: {e}", self.addr)))?;
+        let setup = stream
+            .set_nodelay(true)
+            .and_then(|()| stream.set_read_timeout(Some(self.io_timeout)))
+            .and_then(|()| stream.set_write_timeout(Some(self.io_timeout)));
+        setup.map_err(|e| HdbError::Transport(format!("socket setup failed: {e}")))?;
+        Ok(stream)
+    }
+
+    fn checkin(&self, stream: TcpStream) {
+        let mut idle = self.idle.lock().expect("idle pool poisoned");
+        if idle.len() < self.max_idle {
+            idle.push(stream);
+        } // else: drop (close) the surplus connection
+    }
+
+    /// One request/response exchange on an open connection.
+    fn roundtrip(stream: &mut TcpStream, req: &Request) -> Result<Response> {
+        // Assemble the frame first so the request hits the wire in one
+        // write (one segment on loopback).
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &req.encode())?;
+        stream
+            .write_all(&framed)
+            .map_err(|e| HdbError::Transport(format!("write failed: {e}")))?;
+        let payload = read_frame(stream)?
+            .ok_or_else(|| HdbError::Transport("server closed the connection".into()))?;
+        Response::decode(&payload)
+    }
+
+    /// Sends `req` on a pooled connection, falling back to a fresh one if
+    /// the pooled socket turned out stale (the server may have dropped it
+    /// while idle). Every request routed here is an idempotent read, so
+    /// the single retry can never double-apply an effect — `WalkOpen`,
+    /// which creates server state, goes through
+    /// [`ClientCore::request_once`] instead.
+    fn request(&self, req: &Request) -> Result<Response> {
+        let pooled = self.idle.lock().expect("idle pool poisoned").pop();
+        if let Some(mut stream) = pooled {
+            if let Ok(resp) = Self::roundtrip(&mut stream, req) {
+                self.checkin(stream);
+                return Ok(resp);
+            }
+            // stale pooled connection: drop it and retry fresh below
+        }
+        let mut stream = self.open()?;
+        let resp = Self::roundtrip(&mut stream, req)?;
+        self.checkin(stream);
+        Ok(resp)
+    }
+
+    /// [`ClientCore::request`] without the stale-connection retry, for
+    /// requests with server-side effects (`WalkOpen`): a retry after a
+    /// processed-but-unanswered attempt would leak an orphan session into
+    /// the server's table. Failing is fine — the caller falls back to
+    /// fresh evaluation.
+    fn request_once(&self, req: &Request) -> Result<Response> {
+        let mut stream = match self.idle.lock().expect("idle pool poisoned").pop() {
+            Some(stream) => stream,
+            None => self.open()?,
+        };
+        let resp = Self::roundtrip(&mut stream, req)?;
+        self.checkin(stream);
+        Ok(resp)
+    }
+}
+
+/// Converts a protocol-level error response into `Err`, handing every
+/// other variant to the caller's matcher.
+fn ok_or_err(resp: Response) -> Result<Response> {
+    match resp {
+        Response::Error(e) => Err(e),
+        other => Ok(other),
+    }
+}
+
+fn unexpected(what: &str, got: &Response) -> HdbError {
+    HdbError::Transport(format!("protocol error: expected {what}, got {got:?}"))
+}
+
+/// Client-side handle of one server-side walk session. All levels of a
+/// walk share the handle; dropping the last clone closes the session
+/// (best effort — the server also evicts by LRU).
+struct RemoteSessionHandle {
+    core: Arc<ClientCore>,
+    sid: u64,
+}
+
+impl Drop for RemoteSessionHandle {
+    fn drop(&mut self) {
+        // Close only over an already-idle connection: a drop must never
+        // block on a dead server, and an unclosed session just ages out
+        // of the server's LRU table.
+        let pooled = self.core.idle.lock().expect("idle pool poisoned").pop();
+        if let Some(mut stream) = pooled {
+            if ClientCore::roundtrip(&mut stream, &Request::WalkClose { sid: self.sid }).is_ok() {
+                self.core.checkin(stream);
+            }
+        }
+    }
+}
+
+/// The payload a [`RemoteBackend`] stores in a [`WalkState`]: which
+/// server-side session and which level of its state stack this node is.
+struct RemoteWalk {
+    session: Arc<RemoteSessionHandle>,
+    level: u32,
+}
+
+/// A [`SearchBackend`] speaking the hidden-DB wire protocol to an
+/// `hdb-server` over pooled TCP connections.
+///
+/// The schema and corpus size are fetched once at connect time (the
+/// hidden-database model is static); every other operation is one
+/// request/response round trip. See the module docs for the walk-session
+/// mapping.
+pub struct RemoteBackend {
+    core: Arc<ClientCore>,
+    schema: Schema,
+    len: usize,
+}
+
+impl std::fmt::Debug for RemoteBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteBackend")
+            .field("addr", &self.core.addr)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl RemoteBackend {
+    /// Connects to an `hdb-server` at `addr` (e.g. `"127.0.0.1:7171"`),
+    /// performs the version handshake, and fetches the schema and corpus
+    /// size.
+    ///
+    /// # Errors
+    /// [`HdbError::Transport`] if the server is unreachable, speaks a
+    /// different protocol version, or answers malformed frames.
+    pub fn connect(addr: impl Into<String>) -> Result<Self> {
+        Self::connect_with(addr, DEFAULT_MAX_IDLE, DEFAULT_IO_TIMEOUT)
+    }
+
+    /// [`RemoteBackend::connect`] with an explicit idle-connection cap and
+    /// per-operation I/O timeout.
+    ///
+    /// # Errors
+    /// Same as [`RemoteBackend::connect`].
+    pub fn connect_with(
+        addr: impl Into<String>,
+        max_idle: usize,
+        io_timeout: Duration,
+    ) -> Result<Self> {
+        let core = Arc::new(ClientCore {
+            addr: addr.into(),
+            idle: Mutex::new(Vec::new()),
+            max_idle: max_idle.max(1),
+            io_timeout,
+        });
+        match ok_or_err(core.request(&Request::Hello { version: PROTOCOL_VERSION })?)? {
+            Response::Hello { version } if version == PROTOCOL_VERSION => {}
+            Response::Hello { version } => {
+                return Err(HdbError::Transport(format!(
+                    "protocol version mismatch: client {PROTOCOL_VERSION}, server {version}"
+                )))
+            }
+            other => return Err(unexpected("Hello", &other)),
+        }
+        let schema = match ok_or_err(core.request(&Request::Schema)?)? {
+            Response::Schema(s) => s,
+            other => return Err(unexpected("Schema", &other)),
+        };
+        let len = match ok_or_err(core.request(&Request::Len)?)? {
+            Response::Len(n) => usize::try_from(n)
+                .map_err(|_| HdbError::Transport("corpus size overflows usize".into()))?,
+            other => return Err(unexpected("Len", &other)),
+        };
+        Ok(Self { core, schema, len })
+    }
+
+    /// The server address this backend talks to.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.core.addr
+    }
+
+    /// Idle pooled connections right now (diagnostics).
+    #[must_use]
+    pub fn idle_connections(&self) -> usize {
+        self.core.idle.lock().expect("idle pool poisoned").len()
+    }
+
+    fn spec_of(ranking: &dyn RankingFunction) -> Result<RankingSpec> {
+        ranking.wire_spec().ok_or_else(|| {
+            HdbError::Transport(
+                "ranking function has no wire spec; only RankingSpec-describable rankings \
+                 can cross the network"
+                    .into(),
+            )
+        })
+    }
+}
+
+impl SearchBackend for RemoteBackend {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn evaluate(&self, q: &Query, k: usize, ranking: &dyn RankingFunction) -> Result<Evaluation> {
+        let req = Request::Evaluate {
+            query: q.clone(),
+            k: k as u64,
+            ranking: Self::spec_of(ranking)?,
+        };
+        match ok_or_err(self.core.request(&req)?)? {
+            Response::Evaluation(ev) => Ok(ev),
+            other => Err(unexpected("Evaluation", &other)),
+        }
+    }
+
+    fn exact_count(&self, q: &Query) -> Result<usize> {
+        match ok_or_err(self.core.request(&Request::ExactCount { query: q.clone() })?)? {
+            Response::Count(n) => usize::try_from(n)
+                .map_err(|_| HdbError::Transport("count overflows usize".into())),
+            other => Err(unexpected("Count", &other)),
+        }
+    }
+
+    fn exact_sum(&self, attr: AttrId, q: &Query) -> Result<f64> {
+        let req = Request::ExactSum { attr: attr as u64, query: q.clone() };
+        match ok_or_err(self.core.request(&req)?)? {
+            Response::Sum(x) => Ok(x),
+            other => Err(unexpected("Sum", &other)),
+        }
+    }
+
+    fn walk_state(&self, q: &Query) -> WalkState {
+        // A failed open falls back to fresh evaluation: correctness is
+        // preserved and a genuinely dead server will surface a Transport
+        // error on the next charged probe.
+        match self.core.request_once(&Request::WalkOpen { root: q.clone() }) {
+            Ok(Response::Session { sid }) => WalkState::with_payload(RemoteWalk {
+                session: Arc::new(RemoteSessionHandle { core: Arc::clone(&self.core), sid }),
+                level: 0,
+            }),
+            _ => WalkState::fallback(),
+        }
+    }
+
+    fn extend_state(
+        &self,
+        parent: &WalkState,
+        child: &Query,
+        pred: Predicate,
+        _recycled: WalkState,
+    ) -> WalkState {
+        let Some(walk) = parent.payload::<RemoteWalk>() else {
+            return self.walk_state(child);
+        };
+        let req = Request::WalkExtend {
+            sid: walk.session.sid,
+            parent_level: walk.level,
+            child: child.clone(),
+            pred,
+        };
+        match self.core.request(&req) {
+            Ok(Response::Level { level }) => WalkState::with_payload(RemoteWalk {
+                session: Arc::clone(&walk.session),
+                level,
+            }),
+            // Session evicted / transport hiccup: open a fresh session
+            // rooted at the child (still incremental below this node).
+            _ => self.walk_state(child),
+        }
+    }
+
+    fn evaluate_from(
+        &self,
+        parent: &WalkState,
+        child: &Query,
+        pred: Predicate,
+        k: usize,
+        ranking: &dyn RankingFunction,
+    ) -> Result<Evaluation> {
+        let Some(walk) = parent.payload::<RemoteWalk>() else {
+            return self.evaluate(child, k, ranking);
+        };
+        let req = Request::WalkEvaluate {
+            sid: walk.session.sid,
+            parent_level: walk.level,
+            child: child.clone(),
+            pred,
+            k: k as u64,
+            ranking: Self::spec_of(ranking)?,
+        };
+        match ok_or_err(self.core.request(&req)?)? {
+            Response::Evaluation(ev) => Ok(ev),
+            Response::SessionGone => self.evaluate(child, k, ranking),
+            other => Err(unexpected("Evaluation", &other)),
+        }
+    }
+
+    fn classify_from(
+        &self,
+        parent: &WalkState,
+        child: &Query,
+        pred: Predicate,
+        k: usize,
+    ) -> Result<Classified> {
+        let Some(walk) = parent.payload::<RemoteWalk>() else {
+            return Ok(Classified::from_evaluation(
+                self.evaluate(child, k, &crate::ranking::RowIdRanking)?,
+                k,
+            ));
+        };
+        let req = Request::WalkClassify {
+            sid: walk.session.sid,
+            parent_level: walk.level,
+            child: child.clone(),
+            pred,
+            k: k as u64,
+        };
+        match ok_or_err(self.core.request(&req)?)? {
+            Response::Classified(c) => Ok(c),
+            Response::SessionGone => Ok(Classified::from_evaluation(
+                self.evaluate(child, k, &crate::ranking::RowIdRanking)?,
+                k,
+            )),
+            other => Err(unexpected("Classified", &other)),
+        }
+    }
+}

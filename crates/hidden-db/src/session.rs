@@ -335,18 +335,20 @@ impl<B: SearchBackend> DbCore<'_, B> {
     /// The full-materialisation response for a charged child query —
     /// identical, including memo reads and writes, to what
     /// `HiddenDb::respond` computes for a fresh issue of `child`.
-    fn respond_full(&self, child: &Query, pred: Predicate, k: usize) -> QueryOutcome {
+    fn respond_full(&self, child: &Query, pred: Predicate, k: usize) -> Result<QueryOutcome> {
         if let Some(hit) = self.db.hot_responses.get(child) {
-            return hit;
+            return Ok(hit);
         }
-        let eval =
-            self.db.backend.evaluate_from(self.parent(), child, pred, k, self.db.ranking.as_ref());
+        let eval = self
+            .db
+            .backend
+            .evaluate_from(self.parent(), child, pred, k, self.db.ranking.as_ref())?;
         let expensive = expensive_response(eval.count, k);
         let outcome = eval.into_outcome(k);
         if expensive {
             self.db.hot_responses.insert(child.clone(), outcome.clone());
         }
-        outcome
+        Ok(outcome)
     }
 }
 
@@ -356,7 +358,7 @@ impl<B: SearchBackend> SessionCore for DbCore<'_, B> {
         // One round trip per issued query, memo hit or not — exactly the
         // fresh path's contract.
         self.db.backend.round_trip();
-        let outcome = self.respond_full(child, pred, k);
+        let outcome = self.respond_full(child, pred, k)?;
         self.db.counter.record_outcome(outcome_kind(&outcome));
         Ok(outcome)
     }
@@ -368,20 +370,30 @@ impl<B: SearchBackend> SessionCore for DbCore<'_, B> {
             // Memoised responses are served exactly as to a fresh query.
             ClassifiedOutcome::from_outcome(hit)
         } else if self.materialize {
-            ClassifiedOutcome::from_outcome(self.respond_full(child, pred, k))
+            ClassifiedOutcome::from_outcome(self.respond_full(child, pred, k)?)
+        } else if let Some(hit) = self.db.hot_counts.get(child) {
+            // A repeated count-only probe of an expensive node: served
+            // from the count memo, charged like any other memo hit.
+            hit
         } else {
             // Count-only: one AND-count pass; valid pages (≤ k tuples,
-            // ranking-independent) are the only materialisation. Nothing
-            // is written to the hot memo — there is no page to store —
-            // which is unobservable: the memo only ever saves server CPU.
-            let c = self.db.backend.classify_from(self.parent(), child, pred, k);
-            if c.count == 0 {
+            // ranking-independent) are the only materialisation. There is
+            // no overflow page to feed `hot_responses`, so expensive
+            // classifications go to the dedicated count memo instead —
+            // all of it unobservable: memos only ever save server CPU.
+            let c = self.db.backend.classify_from(self.parent(), child, pred, k)?;
+            let expensive = expensive_response(c.count, k);
+            let out = if c.count == 0 {
                 ClassifiedOutcome::Underflow
             } else if c.count <= k {
                 ClassifiedOutcome::Valid(Arc::new(c.page))
             } else {
                 ClassifiedOutcome::Overflow
+            };
+            if expensive {
+                self.db.hot_counts.insert(child.clone(), out.clone());
             }
+            out
         };
         self.db.counter.record_outcome(out.kind());
         Ok(out)

@@ -13,11 +13,14 @@
 //! for any shard count and any worker count (pinned by the determinism
 //! and property tests).
 //!
-//! Shard evaluation fans across threads through the same
-//! [`crate::par::fan_out`] primitive the estimation engine uses — no
-//! ad-hoc thread spawning.
+//! Shard evaluation fans across a persistent [`WorkerPool`]
+//! ([`ShardedDb::with_workers`]), through the same claiming contract the
+//! estimation engine's `fan_out` uses — no ad-hoc thread spawning, and no
+//! spawn per probe: incremental walk probes (one AND per shard) ride the
+//! same pool.
 
 use std::convert::Infallible;
+use std::sync::Arc;
 
 use crate::backend::{
     checked_numeric, select_candidates, Classified, Evaluation, ScoreKey, SearchBackend, SelState,
@@ -25,7 +28,7 @@ use crate::backend::{
 };
 use crate::error::Result;
 use crate::interface::ReturnedTuple;
-use crate::par;
+use crate::par::WorkerPool;
 use crate::query::{Predicate, Query};
 use crate::ranking::RankingFunction;
 use crate::schema::{AttrId, Schema};
@@ -127,6 +130,9 @@ pub struct ShardedDb {
     shards: Vec<Shard>,
     rows: usize,
     workers: usize,
+    /// Persistent helper threads (`workers - 1` of them) for per-probe
+    /// shard fan-out; `None` when `workers == 1` (serial evaluation).
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl ShardedDb {
@@ -157,17 +163,27 @@ impl ShardedDb {
                 ids,
             })
             .collect();
-        Self { schema, shards, rows: table.len(), workers: 1 }
+        Self { schema, shards, rows: table.len(), workers: 1, pool: None }
     }
 
-    /// Sets how many threads evaluate shards concurrently (default 1:
-    /// per-query thread fan-out only pays once shard evaluation dominates
-    /// the spawn cost — the `scale02_sharded_backend` experiment sweeps
-    /// this). The merged result is identical for any value.
+    /// Sets how many threads evaluate shards concurrently (default 1).
+    /// `workers > 1` brings up a persistent [`WorkerPool`] of
+    /// `workers - 1` helper threads that the calling thread joins for
+    /// every evaluation — fresh queries *and* incremental walk probes —
+    /// so no query ever pays a thread spawn. The merged result is
+    /// identical for any value.
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self.pool = (self.workers > 1 && self.shards.len() > 1)
+            .then(|| Arc::new(WorkerPool::new(self.workers - 1)));
         self
+    }
+
+    /// The configured evaluation worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Number of shards.
@@ -185,6 +201,23 @@ impl ShardedDb {
         self.shards[i].table.len()
     }
 
+    /// Runs one closure per shard — on the persistent pool when one is
+    /// configured, serially otherwise. Results arrive in
+    /// scheduling-dependent order; callers must merge order-independently.
+    fn per_shard<R: Send>(&self, run: impl Fn(usize) -> R + Sync) -> Vec<R> {
+        match &self.pool {
+            None => (0..self.shards.len()).map(run).collect(),
+            Some(pool) => pool
+                .fan_out(self.shards.len() as u64, |i| {
+                    Ok::<_, Infallible>(run(i as usize))
+                })
+                .results
+                .into_iter()
+                .map(|(_, r)| r)
+                .collect(),
+        }
+    }
+
     /// Collects every shard's partial evaluation, concurrently when
     /// configured.
     fn partials(
@@ -193,19 +226,7 @@ impl ShardedDb {
         k: usize,
         ranking: &dyn RankingFunction,
     ) -> Vec<(usize, Vec<ReturnedTuple>)> {
-        if self.workers == 1 || self.shards.len() == 1 {
-            return self
-                .shards
-                .iter()
-                .map(|s| s.partial(q, k, &self.schema, ranking))
-                .collect();
-        }
-        let out = par::fan_out(self.shards.len() as u64, self.workers, |i| {
-            Ok::<_, Infallible>(self.shards[i as usize].partial(q, k, &self.schema, ranking))
-        });
-        // Arrival order is scheduling-dependent, but the merge below is
-        // order-independent, so no re-sorting by shard index is needed.
-        out.results.into_iter().map(|(_, p)| p).collect()
+        self.per_shard(|i| self.shards[i].partial(q, k, &self.schema, ranking))
     }
 
     /// Merges per-shard partial evaluations into the global [`Evaluation`]
@@ -246,13 +267,13 @@ impl SearchBackend for ShardedDb {
         self.rows
     }
 
-    fn evaluate(&self, q: &Query, k: usize, ranking: &dyn RankingFunction) -> Evaluation {
+    fn evaluate(&self, q: &Query, k: usize, ranking: &dyn RankingFunction) -> Result<Evaluation> {
         let partials = self.partials(q, k, ranking);
-        self.merge(partials, k, ranking)
+        Ok(self.merge(partials, k, ranking))
     }
 
-    fn exact_count(&self, q: &Query) -> usize {
-        self.shards.iter().map(|s| s.table.exact_count(q)).sum()
+    fn exact_count(&self, q: &Query) -> Result<usize> {
+        Ok(self.shards.iter().map(|s| s.table.exact_count(q)).sum())
     }
 
     fn exact_sum(&self, attr: AttrId, q: &Query) -> Result<f64> {
@@ -315,33 +336,36 @@ impl SearchBackend for ShardedDb {
         pred: Predicate,
         k: usize,
         ranking: &dyn RankingFunction,
-    ) -> Evaluation {
+    ) -> Result<Evaluation> {
         let Some(sels) = parent.payload::<Vec<SelState>>() else {
             return self.evaluate(child, k, ranking);
         };
-        let partials: Vec<(usize, Vec<ReturnedTuple>)> = self
-            .shards
-            .iter()
-            .zip(sels)
-            .map(|(shard, sel)| shard.partial_from(sel, pred, k, &self.schema, ranking))
-            .collect();
-        self.merge(partials, k, ranking)
+        let partials: Vec<(usize, Vec<ReturnedTuple>)> = self.per_shard(|i| {
+            self.shards[i].partial_from(&sels[i], pred, k, &self.schema, ranking)
+        });
+        Ok(self.merge(partials, k, ranking))
     }
 
-    fn classify_from(&self, parent: &WalkState, child: &Query, pred: Predicate, k: usize) -> Classified {
+    fn classify_from(
+        &self,
+        parent: &WalkState,
+        child: &Query,
+        pred: Predicate,
+        k: usize,
+    ) -> Result<Classified> {
         let Some(sels) = parent.payload::<Vec<SelState>>() else {
-            return Classified::from_evaluation(
-                self.evaluate(child, k, &crate::ranking::RowIdRanking),
+            return Ok(Classified::from_evaluation(
+                self.evaluate(child, k, &crate::ranking::RowIdRanking)?,
                 k,
-            );
+            ));
         };
+        // One AND-count per shard, fanned across the persistent pool when
+        // configured (summing is order-independent).
         let count: usize = self
-            .shards
-            .iter()
-            .zip(sels)
-            .map(|(shard, sel)| {
-                sel.and_count(shard.table.index().posting(pred.attr, pred.value as usize))
+            .per_shard(|i| {
+                sels[i].and_count(self.shards[i].table.index().posting(pred.attr, pred.value as usize))
             })
+            .into_iter()
             .sum();
         let page = if (1..=k).contains(&count) {
             // Valid: all matches in ascending *global* id order, exactly
@@ -365,7 +389,7 @@ impl SearchBackend for ShardedDb {
         } else {
             Vec::new()
         };
-        Classified { count, page }
+        Ok(Classified { count, page })
     }
 }
 
@@ -426,8 +450,8 @@ mod tests {
                 for q in all_queries(t.schema()) {
                     for k in [1usize, 3, 20] {
                         assert_eq!(
-                            reference.evaluate(&q, k, &RowIdRanking),
-                            sharded.evaluate(&q, k, &RowIdRanking),
+                            reference.evaluate(&q, k, &RowIdRanking).unwrap(),
+                            sharded.evaluate(&q, k, &RowIdRanking).unwrap(),
                             "shards={shards} workers={workers} q={q:?} k={k}"
                         );
                     }
@@ -449,8 +473,8 @@ mod tests {
         for ranking in rankings {
             for k in [1usize, 2, 5] {
                 assert_eq!(
-                    reference.evaluate(&Query::all(), k, ranking),
-                    sharded.evaluate(&Query::all(), k, ranking),
+                    reference.evaluate(&Query::all(), k, ranking).unwrap(),
+                    sharded.evaluate(&Query::all(), k, ranking).unwrap(),
                 );
             }
         }
@@ -463,7 +487,7 @@ mod tests {
         for shards in [1usize, 3, 16] {
             let sharded = ShardedDb::new(&t, shards);
             for q in all_queries(t.schema()) {
-                assert_eq!(reference.exact_count(&q), sharded.exact_count(&q));
+                assert_eq!(reference.exact_count(&q).unwrap(), sharded.exact_count(&q).unwrap());
                 assert_eq!(
                     reference.exact_sum(2, &q).unwrap().to_bits(),
                     sharded.exact_sum(2, &q).unwrap().to_bits(),

@@ -1,0 +1,991 @@
+//! The hidden-DB wire protocol: length-prefixed binary frames carrying
+//! [`Request`]/[`Response`] messages between a
+//! [`RemoteBackend`](crate::RemoteBackend) client and an `hdb-server`.
+//!
+//! One frame is a little-endian `u32` payload length followed by the
+//! payload; the payload's first byte is the message tag. Every message
+//! covers exactly one [`SearchBackend`](crate::SearchBackend) operation —
+//! `schema` / `len` / `evaluate` / `exact_count` / `exact_sum` plus the
+//! incremental walk fast path (`WalkOpen` / `WalkExtend` /
+//! `WalkEvaluate` / `WalkClassify` / `WalkClose`), whose server-side
+//! state is keyed by a session id so a drill-down probe stays one AND
+//! (and one round trip) across the network.
+//!
+//! The protocol is deliberately *static*-schema: values are fixed-width
+//! little-endian integers, strings are `u32`-length-prefixed UTF-8, and
+//! every decoder is total — malformed bytes surface as
+//! [`HdbError::Transport`], never as a panic, so a server survives
+//! garbage input and a client survives a lying server. Nothing here is
+//! `unsafe` and nothing allocates beyond the decoded values themselves.
+
+use crate::backend::{Classified, Evaluation};
+use crate::error::{HdbError, Result};
+use crate::interface::ReturnedTuple;
+use crate::query::{Predicate, Query};
+use crate::ranking::RankingSpec;
+use crate::schema::{Attribute, Schema};
+use crate::tuple::Tuple;
+
+/// Protocol version; [`Request::Hello`] / [`Response::Hello`] exchange it
+/// and a mismatch is a connect-time [`HdbError::Transport`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a frame payload (64 MiB): anything larger is treated as
+/// a corrupt length prefix and rejected before allocation.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// One client → server message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Version handshake; the first message on every new connection.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// The public schema of the served corpus.
+    Schema,
+    /// The corpus size `m`.
+    Len,
+    /// Full top-k evaluation of a query.
+    Evaluate {
+        /// The (client-validated, server-revalidated) query.
+        query: Query,
+        /// The interface constant `k` (must be ≥ 1).
+        k: u64,
+        /// The ranking to select the top `k` under.
+        ranking: RankingSpec,
+    },
+    /// Owner-side exact `COUNT(*) WHERE q`.
+    ExactCount {
+        /// The query.
+        query: Query,
+    },
+    /// Owner-side exact `SUM(attr) WHERE q`.
+    ExactSum {
+        /// The attribute to sum.
+        attr: u64,
+        /// The query.
+        query: Query,
+    },
+    /// Opens a walk session rooted at `root`; the server materialises the
+    /// root's match-set state and returns a session id.
+    WalkOpen {
+        /// The session root query.
+        root: Query,
+    },
+    /// Extends the state at `parent_level` by one predicate (the walk
+    /// committed to a branch). Truncates any deeper levels first — the
+    /// walk is stack-disciplined.
+    WalkExtend {
+        /// The session id from [`Response::Session`].
+        sid: u64,
+        /// Index of the parent level in the session's state stack.
+        parent_level: u32,
+        /// The child's full query (fallback path + revalidation).
+        child: Query,
+        /// The predicate extending the parent.
+        pred: Predicate,
+    },
+    /// Full top-k evaluation of `parent ∧ pred` against session state.
+    WalkEvaluate {
+        /// The session id.
+        sid: u64,
+        /// Index of the parent level.
+        parent_level: u32,
+        /// The child's full query (fallback path + revalidation).
+        child: Query,
+        /// The probed predicate.
+        pred: Predicate,
+        /// The interface constant `k` (must be ≥ 1).
+        k: u64,
+        /// The ranking to select the top `k` under.
+        ranking: RankingSpec,
+    },
+    /// Count-only classification of `parent ∧ pred` against session
+    /// state — the drill-down probe fast path: one AND on the server, one
+    /// round trip on the wire.
+    WalkClassify {
+        /// The session id.
+        sid: u64,
+        /// Index of the parent level.
+        parent_level: u32,
+        /// The child's full query (fallback path + revalidation).
+        child: Query,
+        /// The probed predicate.
+        pred: Predicate,
+        /// The interface constant `k` (must be ≥ 1).
+        k: u64,
+    },
+    /// Evicts a walk session (sent when the client session drops).
+    WalkClose {
+        /// The session id.
+        sid: u64,
+    },
+}
+
+/// One server → client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Version handshake reply.
+    Hello {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// The served schema.
+    Schema(Schema),
+    /// The corpus size.
+    Len(u64),
+    /// A full evaluation.
+    Evaluation(Evaluation),
+    /// An exact count.
+    Count(u64),
+    /// An exact sum.
+    Sum(f64),
+    /// A newly opened walk session.
+    Session {
+        /// Key for subsequent walk requests.
+        sid: u64,
+    },
+    /// A successful extend: the new level's index.
+    Level {
+        /// Index of the pushed level.
+        level: u32,
+    },
+    /// A count-only classification.
+    Classified(Classified),
+    /// Acknowledges a [`Request::WalkClose`].
+    Closed,
+    /// The referenced session/level was evicted or never existed; the
+    /// client falls back to fresh evaluation (bit-identical, just
+    /// slower). Not an error.
+    SessionGone,
+    /// A typed error (invalid query, unsupported request, …).
+    Error(HdbError),
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level codec
+
+/// Append-only payload encoder.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// A fresh, empty payload.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded payload.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(u32::try_from(s.len()).expect("string fits a frame"));
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Cursor-based payload decoder; every method is total and reports
+/// malformed input as [`HdbError::Transport`].
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn truncated(what: &str) -> HdbError {
+    HdbError::Transport(format!("malformed frame: truncated {what}"))
+}
+
+impl<'a> Dec<'a> {
+    /// Starts decoding `buf` from its first byte.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        let Some(end) = end else { return Err(truncated(what)) };
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().expect("len 2")))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("len 8")))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    fn usize(&mut self, what: &str) -> Result<usize> {
+        usize::try_from(self.u64(what)?)
+            .map_err(|_| HdbError::Transport(format!("malformed frame: {what} overflows usize")))
+    }
+
+    /// A `u32` length prefix that cannot plausibly exceed the remaining
+    /// payload (each element is ≥ 1 byte) — rejects absurd lengths before
+    /// any allocation.
+    fn seq_len(&mut self, what: &str) -> Result<usize> {
+        let n = self.u32(what)? as usize;
+        if n > self.buf.len().saturating_sub(self.pos) {
+            return Err(HdbError::Transport(format!(
+                "malformed frame: {what} claims {n} elements with {} bytes left",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self, what: &str) -> Result<String> {
+        let n = self.u32(what)? as usize;
+        let bytes = self.take(n, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| HdbError::Transport(format!("malformed frame: {what} is not UTF-8")))
+    }
+
+    /// Fails unless the whole payload was consumed (trailing garbage is a
+    /// framing bug worth surfacing, not ignoring).
+    fn finish(self) -> Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(HdbError::Transport(format!(
+                "malformed frame: {} trailing bytes",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Domain-type codecs
+
+fn enc_predicate(e: &mut Enc, p: Predicate) {
+    e.usize(p.attr);
+    e.u16(p.value);
+}
+
+fn dec_predicate(d: &mut Dec<'_>) -> Result<Predicate> {
+    let attr = d.usize("predicate attr")?;
+    let value = d.u16("predicate value")?;
+    Ok(Predicate::new(attr, value))
+}
+
+fn enc_query(e: &mut Enc, q: &Query) {
+    e.u32(u32::try_from(q.predicates().len()).expect("query fits a frame"));
+    for &p in q.predicates() {
+        enc_predicate(e, p);
+    }
+}
+
+fn dec_query(d: &mut Dec<'_>) -> Result<Query> {
+    let n = d.seq_len("query predicate count")?;
+    let mut preds = Vec::with_capacity(n);
+    for _ in 0..n {
+        preds.push(dec_predicate(d)?);
+    }
+    // `Query::new` re-checks the no-duplicate-attribute invariant, so a
+    // hostile frame cannot construct a query the type forbids.
+    Query::new(preds)
+}
+
+fn enc_tuple(e: &mut Enc, t: &Tuple) {
+    e.u32(u32::try_from(t.arity()).expect("tuple fits a frame"));
+    for &v in t.values() {
+        e.u16(v);
+    }
+}
+
+fn dec_tuple(d: &mut Dec<'_>) -> Result<Tuple> {
+    let n = d.seq_len("tuple arity")?;
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(d.u16("tuple value")?);
+    }
+    Ok(Tuple::new(values))
+}
+
+fn enc_page(e: &mut Enc, page: &[ReturnedTuple]) {
+    e.u32(u32::try_from(page.len()).expect("page fits a frame"));
+    for t in page {
+        e.u32(t.id);
+        enc_tuple(e, &t.tuple);
+    }
+}
+
+fn dec_page(d: &mut Dec<'_>) -> Result<Vec<ReturnedTuple>> {
+    let n = d.seq_len("page length")?;
+    let mut page = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = d.u32("tuple id")?;
+        let tuple = dec_tuple(d)?;
+        page.push(ReturnedTuple { id, tuple });
+    }
+    Ok(page)
+}
+
+fn enc_schema(e: &mut Enc, s: &Schema) {
+    e.u32(u32::try_from(s.len()).expect("schema fits a frame"));
+    for a in s.attributes() {
+        e.str(a.name());
+        e.u32(u32::try_from(a.fanout()).expect("fanout fits"));
+        for v in 0..a.fanout() {
+            e.str(a.value_label(v as crate::schema::ValueId));
+        }
+        match a.is_numeric() {
+            false => e.u8(0),
+            true => {
+                e.u8(1);
+                for v in 0..a.fanout() {
+                    e.f64(
+                        a.numeric_value(v as crate::schema::ValueId)
+                            .expect("numeric attribute has all values"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn dec_schema(d: &mut Dec<'_>) -> Result<Schema> {
+    let n = d.seq_len("schema attribute count")?;
+    let mut attrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = d.str("attribute name")?;
+        let fanout = d.seq_len("attribute fanout")?;
+        let mut values = Vec::with_capacity(fanout);
+        for _ in 0..fanout {
+            values.push(d.str("value label")?);
+        }
+        let mut attr = Attribute::categorical(name, values)?;
+        if d.u8("numeric flag")? != 0 {
+            let mut numeric = Vec::with_capacity(fanout);
+            for _ in 0..fanout {
+                numeric.push(d.f64("numeric value")?);
+            }
+            attr = attr.with_numeric(numeric)?;
+        }
+        attrs.push(attr);
+    }
+    Schema::new(attrs)
+}
+
+fn enc_ranking(e: &mut Enc, r: RankingSpec) {
+    match r {
+        RankingSpec::RowId => e.u8(0),
+        RankingSpec::Attribute { attr, descending } => {
+            e.u8(1);
+            e.usize(attr);
+            e.u8(u8::from(descending));
+        }
+        RankingSpec::SeededRandom { seed } => {
+            e.u8(2);
+            e.u64(seed);
+        }
+    }
+}
+
+fn dec_ranking(d: &mut Dec<'_>) -> Result<RankingSpec> {
+    match d.u8("ranking tag")? {
+        0 => Ok(RankingSpec::RowId),
+        1 => Ok(RankingSpec::Attribute {
+            attr: d.usize("ranking attr")?,
+            descending: d.u8("ranking direction")? != 0,
+        }),
+        2 => Ok(RankingSpec::SeededRandom { seed: d.u64("ranking seed")? }),
+        t => Err(HdbError::Transport(format!("malformed frame: unknown ranking tag {t}"))),
+    }
+}
+
+fn enc_error(e: &mut Enc, err: &HdbError) {
+    match err {
+        HdbError::InvalidSchema(m) => {
+            e.u8(0);
+            e.str(m);
+        }
+        HdbError::InvalidTuple(m) => {
+            e.u8(1);
+            e.str(m);
+        }
+        HdbError::InvalidQuery(m) => {
+            e.u8(2);
+            e.str(m);
+        }
+        HdbError::BudgetExhausted { limit } => {
+            e.u8(3);
+            e.u64(*limit);
+        }
+        HdbError::Transport(m) => {
+            e.u8(4);
+            e.str(m);
+        }
+    }
+}
+
+fn dec_error(d: &mut Dec<'_>) -> Result<HdbError> {
+    Ok(match d.u8("error tag")? {
+        0 => HdbError::InvalidSchema(d.str("error message")?),
+        1 => HdbError::InvalidTuple(d.str("error message")?),
+        2 => HdbError::InvalidQuery(d.str("error message")?),
+        3 => HdbError::BudgetExhausted { limit: d.u64("budget limit")? },
+        4 => HdbError::Transport(d.str("error message")?),
+        t => return Err(HdbError::Transport(format!("malformed frame: unknown error tag {t}"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Message codecs
+
+impl Request {
+    /// Encodes this request as a frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            Self::Hello { version } => {
+                e.u8(0x01);
+                e.u32(*version);
+            }
+            Self::Schema => e.u8(0x02),
+            Self::Len => e.u8(0x03),
+            Self::Evaluate { query, k, ranking } => {
+                e.u8(0x04);
+                enc_query(&mut e, query);
+                e.u64(*k);
+                enc_ranking(&mut e, *ranking);
+            }
+            Self::ExactCount { query } => {
+                e.u8(0x05);
+                enc_query(&mut e, query);
+            }
+            Self::ExactSum { attr, query } => {
+                e.u8(0x06);
+                e.u64(*attr);
+                enc_query(&mut e, query);
+            }
+            Self::WalkOpen { root } => {
+                e.u8(0x07);
+                enc_query(&mut e, root);
+            }
+            Self::WalkExtend { sid, parent_level, child, pred } => {
+                e.u8(0x08);
+                e.u64(*sid);
+                e.u32(*parent_level);
+                enc_query(&mut e, child);
+                enc_predicate(&mut e, *pred);
+            }
+            Self::WalkEvaluate { sid, parent_level, child, pred, k, ranking } => {
+                e.u8(0x09);
+                e.u64(*sid);
+                e.u32(*parent_level);
+                enc_query(&mut e, child);
+                enc_predicate(&mut e, *pred);
+                e.u64(*k);
+                enc_ranking(&mut e, *ranking);
+            }
+            Self::WalkClassify { sid, parent_level, child, pred, k } => {
+                e.u8(0x0A);
+                e.u64(*sid);
+                e.u32(*parent_level);
+                enc_query(&mut e, child);
+                enc_predicate(&mut e, *pred);
+                e.u64(*k);
+            }
+            Self::WalkClose { sid } => {
+                e.u8(0x0B);
+                e.u64(*sid);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    /// [`HdbError::Transport`] for any malformed payload.
+    pub fn decode(payload: &[u8]) -> Result<Self> {
+        let mut d = Dec::new(payload);
+        let req = match d.u8("request tag")? {
+            0x01 => Self::Hello { version: d.u32("hello version")? },
+            0x02 => Self::Schema,
+            0x03 => Self::Len,
+            0x04 => Self::Evaluate {
+                query: dec_query(&mut d)?,
+                k: d.u64("k")?,
+                ranking: dec_ranking(&mut d)?,
+            },
+            0x05 => Self::ExactCount { query: dec_query(&mut d)? },
+            0x06 => Self::ExactSum { attr: d.u64("sum attr")?, query: dec_query(&mut d)? },
+            0x07 => Self::WalkOpen { root: dec_query(&mut d)? },
+            0x08 => Self::WalkExtend {
+                sid: d.u64("sid")?,
+                parent_level: d.u32("parent level")?,
+                child: dec_query(&mut d)?,
+                pred: dec_predicate(&mut d)?,
+            },
+            0x09 => Self::WalkEvaluate {
+                sid: d.u64("sid")?,
+                parent_level: d.u32("parent level")?,
+                child: dec_query(&mut d)?,
+                pred: dec_predicate(&mut d)?,
+                k: d.u64("k")?,
+                ranking: dec_ranking(&mut d)?,
+            },
+            0x0A => Self::WalkClassify {
+                sid: d.u64("sid")?,
+                parent_level: d.u32("parent level")?,
+                child: dec_query(&mut d)?,
+                pred: dec_predicate(&mut d)?,
+                k: d.u64("k")?,
+            },
+            0x0B => Self::WalkClose { sid: d.u64("sid")? },
+            t => {
+                return Err(HdbError::Transport(format!(
+                    "malformed frame: unknown request tag {t:#04x}"
+                )))
+            }
+        };
+        d.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes this response as a frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            Self::Hello { version } => {
+                e.u8(0x81);
+                e.u32(*version);
+            }
+            Self::Schema(s) => {
+                e.u8(0x82);
+                enc_schema(&mut e, s);
+            }
+            Self::Len(n) => {
+                e.u8(0x83);
+                e.u64(*n);
+            }
+            Self::Evaluation(ev) => {
+                e.u8(0x84);
+                e.usize(ev.count);
+                enc_page(&mut e, &ev.top);
+            }
+            Self::Count(n) => {
+                e.u8(0x85);
+                e.u64(*n);
+            }
+            Self::Sum(x) => {
+                e.u8(0x86);
+                e.f64(*x);
+            }
+            Self::Session { sid } => {
+                e.u8(0x87);
+                e.u64(*sid);
+            }
+            Self::Level { level } => {
+                e.u8(0x88);
+                e.u32(*level);
+            }
+            Self::Classified(c) => {
+                e.u8(0x89);
+                e.usize(c.count);
+                enc_page(&mut e, &c.page);
+            }
+            Self::Closed => e.u8(0x8A),
+            Self::SessionGone => e.u8(0x8B),
+            Self::Error(err) => {
+                e.u8(0x8F);
+                enc_error(&mut e, err);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    /// [`HdbError::Transport`] for any malformed payload.
+    pub fn decode(payload: &[u8]) -> Result<Self> {
+        let mut d = Dec::new(payload);
+        let resp = match d.u8("response tag")? {
+            0x81 => Self::Hello { version: d.u32("hello version")? },
+            0x82 => Self::Schema(dec_schema(&mut d)?),
+            0x83 => Self::Len(d.u64("len")?),
+            0x84 => {
+                let count = d.usize("evaluation count")?;
+                Self::Evaluation(Evaluation { count, top: dec_page(&mut d)? })
+            }
+            0x85 => Self::Count(d.u64("count")?),
+            0x86 => Self::Sum(d.f64("sum")?),
+            0x87 => Self::Session { sid: d.u64("sid")? },
+            0x88 => Self::Level { level: d.u32("level")? },
+            0x89 => {
+                let count = d.usize("classified count")?;
+                Self::Classified(Classified { count, page: dec_page(&mut d)? })
+            }
+            0x8A => Self::Closed,
+            0x8B => Self::SessionGone,
+            0x8F => Self::Error(dec_error(&mut d)?),
+            t => {
+                return Err(HdbError::Transport(format!(
+                    "malformed frame: unknown response tag {t:#04x}"
+                )))
+            }
+        };
+        d.finish()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+
+/// Writes one frame (length prefix + payload) to `w`.
+///
+/// # Errors
+/// [`HdbError::Transport`] on any I/O failure or an over-long payload.
+pub fn write_frame(w: &mut impl std::io::Write, payload: &[u8]) -> Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(HdbError::Transport(format!(
+            "frame payload of {} bytes exceeds the {MAX_FRAME_LEN}-byte cap",
+            payload.len()
+        )));
+    }
+    let len = u32::try_from(payload.len()).expect("checked against MAX_FRAME_LEN");
+    let io = w
+        .write_all(&len.to_le_bytes())
+        .and_then(|()| w.write_all(payload))
+        .and_then(|()| w.flush());
+    io.map_err(|e| HdbError::Transport(format!("write failed: {e}")))
+}
+
+/// Reads one frame from `r` (blocking). Returns `Ok(None)` on a clean
+/// end-of-stream *before* any header byte — the peer closed between
+/// frames.
+///
+/// # Errors
+/// [`HdbError::Transport`] on I/O failure, a mid-frame disconnect, or a
+/// corrupt length prefix.
+pub fn read_frame(r: &mut impl std::io::Read) -> Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(HdbError::Transport("connection closed mid-frame".into())),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(HdbError::Transport(format!("read failed: {e}"))),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(HdbError::Transport(format!(
+            "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => return Err(HdbError::Transport("connection closed mid-frame".into())),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(HdbError::Transport(format!("read failed: {e}"))),
+        }
+    }
+    Ok(Some(payload))
+}
+
+/// Incremental frame accumulator for servers that poll connections with
+/// short read timeouts: bytes arrive in arbitrary chunks via
+/// [`FrameBuf::extend`], complete frames come out of
+/// [`FrameBuf::next_frame`], and partial frames persist across polls.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+}
+
+impl FrameBuf {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame payload, if one is buffered.
+    ///
+    /// # Errors
+    /// [`HdbError::Transport`] if the buffered length prefix is corrupt
+    /// (over the [`MAX_FRAME_LEN`] cap) — the connection should be
+    /// dropped, as the byte stream can never resynchronise.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("len 4")) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(HdbError::Transport(format!(
+                "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"
+            )));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = self.buf[4..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Ok(Some(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ValueId;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::boolean("a"),
+            Attribute::categorical("c", ["x", "y", "z"])
+                .unwrap()
+                .with_numeric(vec![1.5, -2.0, 0.25])
+                .unwrap(),
+            Attribute::categorical("plain", ["p", "q"]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let q = Query::all().and(0, 1).unwrap().and(1, 2).unwrap();
+        let requests = vec![
+            Request::Hello { version: PROTOCOL_VERSION },
+            Request::Schema,
+            Request::Len,
+            Request::Evaluate { query: q.clone(), k: 7, ranking: RankingSpec::RowId },
+            Request::Evaluate {
+                query: Query::all(),
+                k: 1,
+                ranking: RankingSpec::Attribute { attr: 3, descending: true },
+            },
+            Request::ExactCount { query: q.clone() },
+            Request::ExactSum { attr: 2, query: q.clone() },
+            Request::WalkOpen { root: Query::all() },
+            Request::WalkExtend {
+                sid: 9,
+                parent_level: 2,
+                child: q.clone(),
+                pred: Predicate::new(1, 2),
+            },
+            Request::WalkEvaluate {
+                sid: 9,
+                parent_level: 0,
+                child: q.clone(),
+                pred: Predicate::new(0, 1),
+                k: 3,
+                ranking: RankingSpec::SeededRandom { seed: 42 },
+            },
+            Request::WalkClassify {
+                sid: u64::MAX,
+                parent_level: 1,
+                child: q,
+                pred: Predicate::new(2, 0),
+                k: 10,
+            },
+            Request::WalkClose { sid: 5 },
+        ];
+        for req in requests {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let page = vec![
+            ReturnedTuple { id: 0, tuple: Tuple::new(vec![0, 2, 1]) },
+            ReturnedTuple { id: 41, tuple: Tuple::new(vec![1, 0, 0]) },
+        ];
+        let responses = vec![
+            Response::Hello { version: PROTOCOL_VERSION },
+            Response::Schema(schema()),
+            Response::Len(123_456),
+            Response::Evaluation(Evaluation { count: 99, top: page.clone() }),
+            Response::Count(7),
+            Response::Sum(-1234.5),
+            Response::Session { sid: 3 },
+            Response::Level { level: 4 },
+            Response::Classified(Classified { count: 2, page }),
+            Response::Closed,
+            Response::SessionGone,
+            Response::Error(HdbError::InvalidQuery("nope".into())),
+            Response::Error(HdbError::BudgetExhausted { limit: 1000 }),
+            Response::Error(HdbError::Transport("boom".into())),
+        ];
+        for resp in responses {
+            let bytes = resp.encode();
+            assert_eq!(Response::decode(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn schema_roundtrip_preserves_numeric_interpretation() {
+        let s = schema();
+        let mut e = Enc::new();
+        enc_schema(&mut e, &s);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let back = dec_schema(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.attribute(1).numeric_value(2 as ValueId), Some(0.25));
+        assert!(!back.attribute(2).is_numeric());
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors_not_panics() {
+        // every prefix of a valid message must fail cleanly
+        let full = Request::WalkEvaluate {
+            sid: 1,
+            parent_level: 0,
+            child: Query::all().and(0, 1).unwrap(),
+            pred: Predicate::new(0, 1),
+            k: 2,
+            ranking: RankingSpec::RowId,
+        }
+        .encode();
+        for cut in 0..full.len() {
+            let err = Request::decode(&full[..cut]).unwrap_err();
+            assert!(matches!(err, HdbError::Transport(_)), "cut={cut}");
+        }
+        // unknown tags
+        assert!(Request::decode(&[0x7F]).is_err());
+        assert!(Response::decode(&[0x00]).is_err());
+        // trailing garbage
+        let mut bytes = Request::Len.encode();
+        bytes.push(9);
+        assert!(Request::decode(&bytes).is_err());
+        // absurd sequence length: claims 4 billion predicates
+        let mut e = Enc::new();
+        e.u8(0x05);
+        e.u32(u32::MAX);
+        assert!(Request::decode(&e.into_bytes()).is_err());
+        // duplicate-attribute query rejected at decode
+        let mut e = Enc::new();
+        e.u8(0x05);
+        e.u32(2);
+        e.usize(0);
+        e.u16(0);
+        e.usize(0);
+        e.u16(1);
+        assert!(matches!(
+            Request::decode(&e.into_bytes()),
+            Err(HdbError::InvalidQuery(_))
+        ));
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_byte_stream() {
+        let payloads: Vec<Vec<u8>> =
+            vec![Request::Len.encode(), Request::Schema.encode(), vec![], vec![0u8; 4096]];
+        let mut stream = Vec::new();
+        for p in &payloads {
+            write_frame(&mut stream, p).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(stream.clone());
+        for p in &payloads {
+            assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some(p.as_slice()));
+        }
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF between frames");
+
+        // a truncated stream is a mid-frame disconnect
+        let mut cut = std::io::Cursor::new(stream[..stream.len() - 1].to_vec());
+        for _ in 0..payloads.len() - 1 {
+            read_frame(&mut cut).unwrap();
+        }
+        assert!(matches!(read_frame(&mut cut), Err(HdbError::Transport(_))));
+
+        // an oversized length prefix is rejected before allocation
+        let mut evil = std::io::Cursor::new(u32::MAX.to_le_bytes().to_vec());
+        assert!(matches!(read_frame(&mut evil), Err(HdbError::Transport(_))));
+    }
+
+    #[test]
+    fn frame_buf_reassembles_arbitrary_chunks() {
+        let payloads = [Request::Len.encode(), Request::Schema.encode()];
+        let mut stream = Vec::new();
+        for p in &payloads {
+            write_frame(&mut stream, p).unwrap();
+        }
+        for chunk in [1usize, 2, 3, 5, stream.len()] {
+            let mut fb = FrameBuf::new();
+            let mut got = Vec::new();
+            for bytes in stream.chunks(chunk) {
+                fb.extend(bytes);
+                while let Some(p) = fb.next_frame().unwrap() {
+                    got.push(p);
+                }
+            }
+            assert_eq!(got.len(), payloads.len(), "chunk={chunk}");
+            assert_eq!(got[0], payloads[0]);
+            assert_eq!(got[1], payloads[1]);
+        }
+        // corrupt prefix surfaces as an error
+        let mut fb = FrameBuf::new();
+        fb.extend(&u32::MAX.to_le_bytes());
+        assert!(fb.next_frame().is_err());
+    }
+}

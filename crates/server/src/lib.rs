@@ -1,0 +1,743 @@
+//! # hdb-server — the networked hidden-database service
+//!
+//! Exposes any [`SearchBackend`] over the hidden-DB wire protocol
+//! ([`hdb_interface::wire`]): length-prefixed binary frames over TCP,
+//! covering `schema` / `len` / `evaluate` / `exact_count` / `exact_sum`
+//! plus the incremental walk fast path with **server-side session state**
+//! keyed by a session id, so a drill-down probe from a
+//! [`RemoteBackend`](hdb_interface::RemoteBackend) costs one AND on the
+//! server and one round trip on the wire — exactly the PR 4 economics,
+//! now across a real socket.
+//!
+//! ## Concurrency model
+//!
+//! Connections are multiplexed over a persistent [`WorkerPool`]: the
+//! accept loop hands
+//! each connection to the pool as a job that serves up to a batch of
+//! frames (or until a short read-timeout finds the socket idle) and then
+//! re-enqueues itself. A pool of `W` threads therefore serves any number
+//! of connections with batch-level fairness — no thread per connection,
+//! no starvation, and an idle server parks in timed reads.
+//!
+//! ## Session lifecycle
+//!
+//! `WalkOpen` materialises the root match set and returns a `sid`;
+//! `WalkExtend` pushes one level (truncating any deeper levels — the walk
+//! is stack-disciplined, so a retract is simply the client re-extending
+//! from a shallower level); probes reference `(sid, level)`. Sessions die
+//! on `WalkClose`, or by LRU eviction once the table exceeds its cap — an
+//! evicted session is *not* an error: probes fall back to fresh
+//! evaluation (bit-identical, one intersection slower) and `WalkExtend`
+//! answers `SessionGone` so the client re-roots.
+//!
+//! ## Robustness
+//!
+//! Every decoder is total: a malformed-but-framed payload gets a typed
+//! [`Response::Error`]; an unframeable byte stream (corrupt length
+//! prefix) closes the connection. The server never panics on input.
+//!
+//! ```no_run
+//! use hdb_interface::{HiddenDb, Query, RemoteBackend, Table, Schema, TopKInterface, Tuple};
+//! use hdb_server::Server;
+//!
+//! let table = Table::new(Schema::boolean(2), vec![Tuple::new(vec![0, 1])]).unwrap();
+//! let server = Server::bind(hdb_interface::TableBackend::new(table), "127.0.0.1:0").unwrap();
+//! let db = HiddenDb::over(RemoteBackend::connect(server.addr().to_string()).unwrap(), 10);
+//! assert!(db.query(&Query::all()).unwrap().is_valid());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::collections::HashMap;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use hdb_interface::par::{PoolSender, WorkerPool};
+use hdb_interface::wire::{write_frame, FrameBuf, Request, Response, PROTOCOL_VERSION};
+use hdb_interface::{HdbError, Predicate, Result, Schema, SearchBackend, WalkState};
+
+/// Tuning knobs for a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker-pool threads serving connections. More threads serve more
+    /// connections truly concurrently; the default covers the typical
+    /// client pool (see `docs/ARCHITECTURE.md` §Serving layer on sizing).
+    pub pool_threads: usize,
+    /// Walk sessions kept before LRU eviction kicks in. Each session
+    /// holds one materialised match set per committed walk level.
+    pub session_cap: usize,
+    /// Read timeout per poll of an idle connection — the batch scheduler's
+    /// time slice. Smaller is more responsive, larger burns less CPU on
+    /// idle connections.
+    pub poll_timeout: Duration,
+    /// Frames served to one connection before it re-queues behind the
+    /// others (fairness batch size).
+    pub frames_per_turn: usize,
+    /// Write timeout per response: a client that stops reading gets its
+    /// connection dropped instead of pinning a pool thread.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            pool_threads: hdb_interface::par::default_workers().max(4),
+            session_cap: 1024,
+            poll_timeout: Duration::from_millis(2),
+            frames_per_turn: 64,
+            write_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One walk session: the server-side state stack, stack-disciplined
+/// (level 0 is the session root). `touched` is atomic so the LRU scan
+/// never takes a session's stack lock — a slow probe holding one stack
+/// must not stall table-wide operations.
+struct Session {
+    stack: Mutex<Vec<WalkState>>,
+    touched: AtomicU64,
+}
+
+/// The server-side walk-session table: sid → state stack, LRU-capped.
+struct Sessions {
+    table: Mutex<HashMap<u64, Arc<Session>>>,
+    next_sid: AtomicU64,
+    clock: AtomicU64,
+    cap: usize,
+}
+
+impl Sessions {
+    fn new(cap: usize) -> Self {
+        Self {
+            table: Mutex::new(HashMap::new()),
+            next_sid: AtomicU64::new(1),
+            clock: AtomicU64::new(0),
+            cap: cap.max(1),
+        }
+    }
+
+    fn open(&self, root_state: WalkState) -> u64 {
+        let sid = self.next_sid.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(Session {
+            stack: Mutex::new(vec![root_state]),
+            touched: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
+        });
+        let mut table = self.table.lock().expect("session table poisoned");
+        if table.len() >= self.cap {
+            // LRU eviction: drop the stalest session. Eviction is safe —
+            // clients fall back to fresh evaluation, bit-identically.
+            if let Some(&stale) = table
+                .iter()
+                .min_by_key(|(_, e)| e.touched.load(Ordering::Relaxed))
+                .map(|(sid, _)| sid)
+            {
+                table.remove(&stale);
+            }
+        }
+        table.insert(sid, entry);
+        sid
+    }
+
+    /// The session, bumped to most-recently-used.
+    fn get(&self, sid: u64) -> Option<Arc<Session>> {
+        let entry =
+            self.table.lock().expect("session table poisoned").get(&sid).map(Arc::clone)?;
+        entry.touched.store(self.clock.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+        Some(entry)
+    }
+
+    fn close(&self, sid: u64) {
+        self.table.lock().expect("session table poisoned").remove(&sid);
+    }
+
+    fn len(&self) -> usize {
+        self.table.lock().expect("session table poisoned").len()
+    }
+}
+
+/// Everything a connection handler needs, shared across the pool.
+struct Shared<B> {
+    backend: B,
+    sessions: Sessions,
+    shutdown: AtomicBool,
+}
+
+/// Validates a predicate against the schema bounds (the wire is
+/// untrusted: an out-of-range posting lookup must not reach the index).
+fn validate_pred(schema: &Schema, pred: Predicate) -> Result<()> {
+    if pred.attr >= schema.len() {
+        return Err(HdbError::InvalidQuery(format!("predicate attribute {} out of range", pred.attr)));
+    }
+    if (pred.value as usize) >= schema.fanout(pred.attr) {
+        return Err(HdbError::InvalidQuery(format!(
+            "predicate value {} out of domain for attribute {}",
+            pred.value, pred.attr
+        )));
+    }
+    Ok(())
+}
+
+/// Validates a wire-supplied ranking spec: an attribute ranking must
+/// reference a schema attribute (scoring would index out of bounds
+/// otherwise — the wire is untrusted).
+fn validate_ranking(schema: &Schema, spec: hdb_interface::RankingSpec) -> Result<()> {
+    if let hdb_interface::RankingSpec::Attribute { attr, .. } = spec {
+        if attr >= schema.len() {
+            return Err(HdbError::InvalidQuery(format!(
+                "ranking attribute {attr} out of range"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Validates and narrows a wire `k`.
+fn validate_k(k: u64) -> Result<usize> {
+    match usize::try_from(k) {
+        Ok(k) if k >= 1 => Ok(k),
+        _ => Err(HdbError::InvalidQuery(format!("k must be in 1..=usize::MAX, got {k}"))),
+    }
+}
+
+/// Answers one decoded request. Total: every failure path is a typed
+/// [`Response::Error`] (or the graceful `SessionGone`), never a panic.
+fn handle_request<B: SearchBackend>(shared: &Shared<B>, req: Request) -> Response {
+    let schema = shared.backend.schema();
+    let outcome = (|| -> Result<Response> {
+        Ok(match req {
+            Request::Hello { version } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(HdbError::Transport(format!(
+                        "protocol version mismatch: server {PROTOCOL_VERSION}, client {version}"
+                    )));
+                }
+                Response::Hello { version: PROTOCOL_VERSION }
+            }
+            Request::Schema => Response::Schema(schema.clone()),
+            Request::Len => Response::Len(shared.backend.len() as u64),
+            Request::Evaluate { query, k, ranking } => {
+                query.validate(schema)?;
+                validate_ranking(schema, ranking)?;
+                let k = validate_k(k)?;
+                Response::Evaluation(shared.backend.evaluate(
+                    &query,
+                    k,
+                    ranking.instantiate().as_ref(),
+                )?)
+            }
+            Request::ExactCount { query } => {
+                query.validate(schema)?;
+                Response::Count(shared.backend.exact_count(&query)? as u64)
+            }
+            Request::ExactSum { attr, query } => {
+                query.validate(schema)?;
+                let attr = usize::try_from(attr)
+                    .map_err(|_| HdbError::InvalidQuery("attribute id overflows".into()))?;
+                Response::Sum(shared.backend.exact_sum(attr, &query)?)
+            }
+            Request::WalkOpen { root } => {
+                root.validate(schema)?;
+                let state = shared.backend.walk_state(&root);
+                Response::Session { sid: shared.sessions.open(state) }
+            }
+            Request::WalkExtend { sid, parent_level, child, pred } => {
+                child.validate(schema)?;
+                validate_pred(schema, pred)?;
+                let Some(entry) = shared.sessions.get(sid) else {
+                    return Ok(Response::SessionGone);
+                };
+                let parent = parent_level as usize;
+                // Depth cap: a legitimate walk commits at most one level
+                // per attribute, so a deeper stack can only be a hostile
+                // client inflating server memory — send it to the fresh
+                // fallback instead.
+                if parent + 1 > schema.len() {
+                    return Ok(Response::SessionGone);
+                }
+                let mut stack = entry.stack.lock().expect("session poisoned");
+                if parent >= stack.len() {
+                    return Ok(Response::SessionGone);
+                }
+                // The walk is stack-disciplined: extending from level L
+                // retires everything deeper (the client retracted).
+                stack.truncate(parent + 1);
+                let state = shared.backend.extend_state(
+                    &stack[parent],
+                    &child,
+                    pred,
+                    WalkState::fallback(),
+                );
+                stack.push(state);
+                Response::Level { level: parent_level + 1 }
+            }
+            Request::WalkEvaluate { sid, parent_level, child, pred, k, ranking } => {
+                child.validate(schema)?;
+                validate_pred(schema, pred)?;
+                validate_ranking(schema, ranking)?;
+                let k = validate_k(k)?;
+                let ranking = ranking.instantiate();
+                let evaluation = match shared.sessions.get(sid) {
+                    Some(entry) => {
+                        let stack = entry.stack.lock().expect("session poisoned");
+                        match stack.get(parent_level as usize) {
+                            Some(parent) => shared.backend.evaluate_from(
+                                parent,
+                                &child,
+                                pred,
+                                k,
+                                ranking.as_ref(),
+                            )?,
+                            // Level retired: fresh evaluation is
+                            // bit-identical, just one intersection slower.
+                            None => shared.backend.evaluate(&child, k, ranking.as_ref())?,
+                        }
+                    }
+                    None => shared.backend.evaluate(&child, k, ranking.as_ref())?,
+                };
+                Response::Evaluation(evaluation)
+            }
+            Request::WalkClassify { sid, parent_level, child, pred, k } => {
+                child.validate(schema)?;
+                validate_pred(schema, pred)?;
+                let k = validate_k(k)?;
+                let classified = match shared.sessions.get(sid) {
+                    Some(entry) => {
+                        let stack = entry.stack.lock().expect("session poisoned");
+                        match stack.get(parent_level as usize) {
+                            Some(parent) => {
+                                shared.backend.classify_from(parent, &child, pred, k)?
+                            }
+                            None => hdb_interface::Classified::from_evaluation(
+                                shared.backend.evaluate(
+                                    &child,
+                                    k,
+                                    &hdb_interface::RowIdRanking,
+                                )?,
+                                k,
+                            ),
+                        }
+                    }
+                    None => hdb_interface::Classified::from_evaluation(
+                        shared.backend.evaluate(&child, k, &hdb_interface::RowIdRanking)?,
+                        k,
+                    ),
+                };
+                Response::Classified(classified)
+            }
+            Request::WalkClose { sid } => {
+                shared.sessions.close(sid);
+                Response::Closed
+            }
+        })
+    })();
+    outcome.unwrap_or_else(Response::Error)
+}
+
+/// One connection's serving state, passed through the pool between turns.
+struct ConnTask<B: SearchBackend + 'static> {
+    stream: TcpStream,
+    buf: FrameBuf,
+    shared: Arc<Shared<B>>,
+    pool: PoolSender,
+    frames_per_turn: usize,
+}
+
+impl<B: SearchBackend + 'static> ConnTask<B> {
+    /// Serves buffered + newly arriving frames until the batch quota is
+    /// met or the socket goes idle, then re-queues; returns (dropping the
+    /// connection) on EOF, I/O error, unframeable input, or shutdown.
+    fn turn(mut self) {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let mut served = 0usize;
+        loop {
+            // Drain complete frames already buffered.
+            loop {
+                match self.buf.next_frame() {
+                    Ok(Some(payload)) => {
+                        let resp = match Request::decode(&payload) {
+                            Ok(req) => handle_request(&self.shared, req),
+                            // Malformed but correctly framed: the stream
+                            // stays synchronised, so answer a typed error
+                            // and keep serving.
+                            Err(e) => Response::Error(e),
+                        };
+                        let mut framed = Vec::new();
+                        if write_frame(&mut framed, &resp.encode()).is_err()
+                            || self.stream.write_all(&framed).is_err()
+                        {
+                            return; // client gone
+                        }
+                        served += 1;
+                        if served >= self.frames_per_turn {
+                            return self.requeue(); // fairness: rotate
+                        }
+                    }
+                    Ok(None) => break,
+                    // Corrupt length prefix: the byte stream can never
+                    // resynchronise — drop the connection.
+                    Err(_) => return,
+                }
+            }
+            // Pull more bytes (bounded by the poll timeout).
+            let mut chunk = [0u8; 16 * 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return, // clean EOF
+                Ok(n) => self.buf.extend(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return self.requeue()
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn requeue(self) {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // PoolSender is non-owning: queued turns must never hold the
+        // pool itself, or a worker could end up dropping (and therefore
+        // joining) its own pool.
+        let sender = self.pool.clone();
+        sender.send(move || self.turn());
+    }
+}
+
+/// Namespace for [`Server::bind`].
+pub struct Server;
+
+impl Server {
+    /// Binds `backend` to `addr` (use port 0 for an ephemeral port) with
+    /// the default [`ServerConfig`] and starts serving in background
+    /// threads. The returned handle stops the server when dropped.
+    ///
+    /// # Errors
+    /// [`HdbError::Transport`] if the address cannot be bound.
+    pub fn bind<B: SearchBackend + 'static>(
+        backend: B,
+        addr: impl ToSocketAddrs,
+    ) -> Result<RunningServer> {
+        Self::bind_with(backend, addr, ServerConfig::default())
+    }
+
+    /// [`Server::bind`] with explicit tuning.
+    ///
+    /// # Errors
+    /// [`HdbError::Transport`] if the address cannot be bound.
+    pub fn bind_with<B: SearchBackend + 'static>(
+        backend: B,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> Result<RunningServer> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| HdbError::Transport(format!("bind failed: {e}")))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| HdbError::Transport(format!("local_addr failed: {e}")))?;
+        let shared = Arc::new(Shared {
+            backend,
+            sessions: Sessions::new(config.session_cap),
+            shutdown: AtomicBool::new(false),
+        });
+        let pool = WorkerPool::new(config.pool_threads.max(1));
+        let accept_shared = Arc::clone(&shared);
+        let accept_pool = pool.sender();
+        let poll_timeout = config.poll_timeout;
+        let write_timeout = config.write_timeout;
+        let frames_per_turn = config.frames_per_turn.max(1);
+        let accept = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                let Ok(stream) = conn else { continue };
+                let setup = stream
+                    .set_nodelay(true)
+                    .and_then(|()| stream.set_read_timeout(Some(poll_timeout)))
+                    // A client that stops reading must not pin a pool
+                    // thread in write_all forever.
+                    .and_then(|()| stream.set_write_timeout(Some(write_timeout)));
+                if setup.is_err() {
+                    continue;
+                }
+                let task = ConnTask {
+                    stream,
+                    buf: FrameBuf::new(),
+                    shared: Arc::clone(&accept_shared),
+                    pool: accept_pool.clone(),
+                    frames_per_turn,
+                };
+                if !accept_pool.send(move || task.turn()) {
+                    return;
+                }
+            }
+        });
+        Ok(RunningServer {
+            addr: local_addr,
+            shutdown: ShutdownFlag(shared),
+            accept: Some(accept),
+            pool: Some(pool),
+        })
+    }
+}
+
+/// Type-erased handle on the shared shutdown flag (the server handle must
+/// not be generic over the backend).
+struct ShutdownFlag(Arc<dyn ShutdownTarget>);
+
+trait ShutdownTarget: Send + Sync {
+    fn set_shutdown(&self);
+    fn session_count(&self) -> usize;
+}
+
+impl<B: SearchBackend> ShutdownTarget for Shared<B> {
+    fn set_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+}
+
+/// A live server: background accept thread + connection pool. Dropping
+/// it (or calling [`RunningServer::shutdown`]) stops accepting, closes
+/// every connection at its next turn, and joins all threads.
+pub struct RunningServer {
+    addr: SocketAddr,
+    shutdown: ShutdownFlag,
+    accept: Option<std::thread::JoinHandle<()>>,
+    pool: Option<WorkerPool>,
+}
+
+impl RunningServer {
+    /// The bound address (with the real port when bound to port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live walk sessions (diagnostics for tests and ops).
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.shutdown.0.session_count()
+    }
+
+    /// Stops the server and joins its threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.0.set_shutdown();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Dropping the pool discards queued connection turns and joins
+        // the worker threads; only this control thread ever owns it.
+        self.pool.take();
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdb_interface::{
+        HiddenDb, Query, RemoteBackend, Table, TableBackend, TopKInterface, Tuple,
+    };
+
+    fn table() -> Table {
+        let tuples: Vec<Tuple> =
+            (0..32u16).map(|i| Tuple::new((0..5).map(|b| (i >> b) & 1).collect())).collect();
+        Table::new(Schema::boolean(5), tuples).unwrap()
+    }
+
+    fn serve() -> RunningServer {
+        Server::bind(TableBackend::new(table()), "127.0.0.1:0").unwrap()
+    }
+
+    #[test]
+    fn round_trip_over_loopback() {
+        let server = serve();
+        let remote = RemoteBackend::connect(server.addr().to_string()).unwrap();
+        assert_eq!(remote.len(), 32);
+        assert_eq!(remote.schema().len(), 5);
+        let db = HiddenDb::over(remote, 3);
+        assert!(db.query(&Query::all()).unwrap().is_overflow());
+        let q = Query::all().and(0, 1).unwrap().and(1, 1).unwrap().and(2, 1).unwrap();
+        let out = db.query(&q).unwrap();
+        assert!(out.is_overflow());
+        assert_eq!(db.queries_issued(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn walk_sessions_survive_extend_retract_and_eviction() {
+        let server = Server::bind_with(
+            TableBackend::new(table()),
+            "127.0.0.1:0",
+            ServerConfig { session_cap: 2, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let local = HiddenDb::new(table(), 2);
+        let remote =
+            HiddenDb::over(RemoteBackend::connect(server.addr().to_string()).unwrap(), 2);
+        let mut lw = local.walk_session(Query::all()).unwrap();
+        let mut rw = remote.walk_session(Query::all()).unwrap();
+        assert_eq!(server.session_count(), 1);
+        for (attr, v) in [(0usize, 1u16), (1, 0), (2, 1)] {
+            assert_eq!(
+                lw.classify(attr, v).unwrap(),
+                rw.classify(attr, v).unwrap(),
+                "probe {attr}={v}"
+            );
+            lw.extend(attr, v);
+            rw.extend(attr, v);
+        }
+        lw.retract();
+        rw.retract();
+        assert_eq!(lw.classify(2, 0).unwrap(), rw.classify(2, 0).unwrap());
+        // cap 2: two more sessions evict the first; probes still answer
+        let _s2 = remote.walk_session(Query::all()).unwrap();
+        let _s3 = remote.walk_session(Query::all()).unwrap();
+        assert!(server.session_count() <= 2);
+        assert_eq!(lw.classify(2, 1).unwrap(), rw.classify(2, 1).unwrap());
+        assert_eq!(local.queries_issued(), remote.queries_issued());
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_frames_get_typed_errors_and_garbage_drops_the_connection() {
+        let server = serve();
+        // Well-framed garbage payload → typed error response, connection
+        // stays usable.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write_frame(&mut stream, &[0x7F, 1, 2, 3]).unwrap();
+        let payload = hdb_interface::wire::read_frame(&mut stream).unwrap().unwrap();
+        assert!(matches!(
+            Response::decode(&payload).unwrap(),
+            Response::Error(HdbError::Transport(_))
+        ));
+        // The same connection still serves real requests.
+        write_frame(&mut stream, &Request::Len.encode()).unwrap();
+        let payload = hdb_interface::wire::read_frame(&mut stream).unwrap().unwrap();
+        assert_eq!(Response::decode(&payload).unwrap(), Response::Len(32));
+        // Unframeable input (absurd length prefix) → connection dropped.
+        let mut evil = TcpStream::connect(server.addr()).unwrap();
+        evil.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        let mut buf = [0u8; 1];
+        assert_eq!(evil.read(&mut buf).unwrap_or(0), 0, "server must close");
+        // Invalid queries and k = 0 get typed errors, not panics.
+        let remote = RemoteBackend::connect(server.addr().to_string()).unwrap();
+        let bad = Query::all().and(9, 0).unwrap();
+        assert!(matches!(
+            remote.exact_count(&bad),
+            Err(HdbError::InvalidQuery(_))
+        ));
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write_frame(
+            &mut stream,
+            &Request::Evaluate {
+                query: Query::all(),
+                k: 0,
+                ranking: hdb_interface::RankingSpec::RowId,
+            }
+            .encode(),
+        )
+        .unwrap();
+        let payload = hdb_interface::wire::read_frame(&mut stream).unwrap().unwrap();
+        assert!(matches!(
+            Response::decode(&payload).unwrap(),
+            Response::Error(HdbError::InvalidQuery(_))
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn hostile_ranking_and_unbounded_extend_are_rejected_typed() {
+        let server = serve();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let ask = |stream: &mut TcpStream, req: &Request| {
+            write_frame(stream, &req.encode()).unwrap();
+            let payload = hdb_interface::wire::read_frame(stream).unwrap().unwrap();
+            Response::decode(&payload).unwrap()
+        };
+        // An out-of-range ranking attribute must be a typed error, not an
+        // index panic in the scoring kernel.
+        let resp = ask(
+            &mut stream,
+            &Request::Evaluate {
+                query: Query::all(),
+                k: 1,
+                ranking: hdb_interface::RankingSpec::Attribute { attr: 9999, descending: false },
+            },
+        );
+        assert!(matches!(resp, Response::Error(HdbError::InvalidQuery(_))), "{resp:?}");
+        // A client extending past one-level-per-attribute (the wire child
+        // query need not be consistent with the claimed level) must hit
+        // the depth cap instead of inflating the state stack unboundedly.
+        let Response::Session { sid } = ask(&mut stream, &Request::WalkOpen { root: Query::all() })
+        else {
+            panic!("expected a session");
+        };
+        let child = Query::all().and(0, 0).unwrap();
+        let pred = Predicate::new(0, 0);
+        let mut capped = false;
+        for level in 0..10u32 {
+            let req = Request::WalkExtend {
+                sid,
+                parent_level: level,
+                child: child.clone(),
+                pred,
+            };
+            match ask(&mut stream, &req) {
+                Response::Level { level: l } => assert_eq!(l, level + 1),
+                Response::SessionGone => {
+                    assert!(level >= 5, "cap must allow legitimate depths, hit at {level}");
+                    capped = true;
+                    break;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(capped, "extend depth must be capped at the schema width");
+        server.shutdown();
+    }
+
+    #[test]
+    fn ground_truth_crosses_the_wire() {
+        let server = serve();
+        let remote = RemoteBackend::connect(server.addr().to_string()).unwrap();
+        let local = TableBackend::new(table());
+        for q in [Query::all(), Query::all().and(0, 1).unwrap()] {
+            assert_eq!(remote.exact_count(&q).unwrap(), local.exact_count(&q).unwrap());
+            assert_eq!(
+                remote.exact_sum(3, &q).unwrap().to_bits(),
+                local.exact_sum(3, &q).unwrap().to_bits()
+            );
+        }
+        assert!(remote.exact_sum(99, &Query::all()).is_err());
+        server.shutdown();
+    }
+}

@@ -1,0 +1,199 @@
+//! The `hdb-server` binary: serves a generated hidden database over the
+//! wire protocol.
+//!
+//! ```text
+//! hdb-server [--addr 127.0.0.1:7171] [--rows 100000] [--attrs 20]
+//!            [--shards 1] [--shard-workers 1] [--pool-threads N]
+//!            [--seed 42] [--self-test]
+//! ```
+//!
+//! `--shards > 1` serves a [`ShardedDb`] instead of a single table (the
+//! estimators cannot tell the difference — that is the point).
+//! `--self-test` binds an ephemeral port, connects a [`RemoteBackend`]
+//! client to itself, verifies a query + walk-session round trip against
+//! the local backend bit-for-bit, and exits — the CI smoke path.
+
+use std::time::Duration;
+
+use hdb_interface::{
+    HiddenDb, Query, RemoteBackend, SearchBackend, ShardedDb, Table, TableBackend, TopKInterface,
+};
+use hdb_server::{Server, ServerConfig};
+
+/// Command-line options (std-only flag parsing).
+struct Opts {
+    addr: String,
+    rows: usize,
+    attrs: usize,
+    shards: usize,
+    shard_workers: usize,
+    pool_threads: Option<usize>,
+    seed: u64,
+    self_test: bool,
+}
+
+impl Opts {
+    fn parse() -> Self {
+        let mut opts = Self {
+            addr: "127.0.0.1:7171".to_string(),
+            rows: 100_000,
+            attrs: 20,
+            shards: 1,
+            shard_workers: 1,
+            pool_threads: None,
+            seed: 42,
+            self_test: false,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            let mut value = |name: &str| {
+                args.next().unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    std::process::exit(2);
+                })
+            };
+            match flag.as_str() {
+                "--addr" => opts.addr = value("--addr"),
+                "--rows" => opts.rows = parse_num(&value("--rows"), "--rows"),
+                "--attrs" => opts.attrs = parse_num(&value("--attrs"), "--attrs"),
+                "--shards" => opts.shards = parse_num(&value("--shards"), "--shards"),
+                "--shard-workers" => {
+                    opts.shard_workers = parse_num(&value("--shard-workers"), "--shard-workers");
+                }
+                "--pool-threads" => {
+                    opts.pool_threads =
+                        Some(parse_num(&value("--pool-threads"), "--pool-threads"));
+                }
+                "--seed" => opts.seed = parse_num(&value("--seed"), "--seed") as u64,
+                "--self-test" => opts.self_test = true,
+                "--help" | "-h" => {
+                    println!(
+                        "usage: hdb-server [--addr HOST:PORT] [--rows N] [--attrs N] \
+                         [--shards N] [--shard-workers N] [--pool-threads N] [--seed N] \
+                         [--self-test]"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other} (try --help)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        opts
+    }
+}
+
+fn parse_num(s: &str, flag: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value for {flag}: {s}");
+        std::process::exit(2);
+    })
+}
+
+/// Generates the served corpus, clamping `rows` to half the Boolean
+/// domain (distinct-tuple generation needs headroom; asking for more
+/// rows than the domain holds is a config slip, not a crash).
+fn dataset(rows: usize, attrs: usize, seed: u64) -> Table {
+    let attrs = attrs.max(1);
+    let capacity = 1usize.checked_shl(attrs.min(60) as u32).unwrap_or(usize::MAX);
+    let rows = rows.min((capacity / 2).max(1));
+    hdb_datagen::bool_iid(rows, attrs, seed).unwrap_or_else(|e| {
+        eprintln!("dataset generation failed ({e}); try fewer --rows or more --attrs");
+        std::process::exit(2);
+    })
+}
+
+fn config(opts: &Opts) -> ServerConfig {
+    let mut config = ServerConfig::default();
+    if let Some(threads) = opts.pool_threads {
+        config.pool_threads = threads.max(1);
+    }
+    config
+}
+
+/// Self-test: serve on an ephemeral port, connect a client, and verify
+/// bit-identical behaviour against the same corpus evaluated locally.
+fn self_test(opts: &Opts) {
+    let table = dataset(opts.rows.min(5_000), opts.attrs, opts.seed);
+    let server = Server::bind_with(
+        ShardedDb::new(&table, opts.shards.max(2)).with_workers(opts.shard_workers.max(1)),
+        "127.0.0.1:0",
+        config(opts),
+    )
+    .expect("ephemeral bind");
+    println!("self-test server on {}", server.addr());
+
+    let remote = RemoteBackend::connect(server.addr().to_string()).expect("connect");
+    assert_eq!(remote.len(), table.len());
+    let k = 10;
+    let local_db = HiddenDb::new(table.clone(), k);
+    let remote_db = HiddenDb::over(remote, k);
+
+    // Fresh queries agree bit-for-bit.
+    for attr in 0..table.schema().len().min(4) {
+        for v in 0..2u16 {
+            let q = Query::all().and(attr, v).unwrap();
+            assert_eq!(
+                local_db.query(&q).unwrap(),
+                remote_db.query(&q).unwrap(),
+                "fresh query diverged at {attr}={v}"
+            );
+        }
+    }
+
+    // A drill-down session agrees probe for probe.
+    let mut lw = local_db.walk_session(Query::all()).unwrap();
+    let mut rw = remote_db.walk_session(Query::all()).unwrap();
+    for attr in 0..table.schema().len().min(6) {
+        let out = lw.classify(attr, 1).unwrap();
+        assert_eq!(out, rw.classify(attr, 1).unwrap(), "walk probe diverged at {attr}");
+        if out.is_overflow() {
+            lw.extend(attr, 1);
+            rw.extend(attr, 1);
+        }
+    }
+    assert_eq!(local_db.queries_issued(), remote_db.queries_issued());
+
+    // A short estimator run over the socket lands on the same bits.
+    let mut local_est = hdb_core::UnbiasedSizeEstimator::hd(opts.seed).unwrap();
+    let mut remote_est = hdb_core::UnbiasedSizeEstimator::hd(opts.seed).unwrap();
+    let a = local_est.run(&local_db, 20).unwrap();
+    let b = remote_est.run(&remote_db, 20).unwrap();
+    assert_eq!(a.estimate.to_bits(), b.estimate.to_bits(), "estimator diverged over the wire");
+    assert_eq!(a.queries, b.queries);
+
+    server.shutdown();
+    println!("self-test OK: queries, walk sessions, and estimator runs are bit-identical");
+}
+
+fn main() {
+    let opts = Opts::parse();
+    if opts.self_test {
+        self_test(&opts);
+        return;
+    }
+    let table = dataset(opts.rows, opts.attrs, opts.seed);
+    let rows = table.len();
+    let attrs = table.schema().len();
+    let running = if opts.shards > 1 {
+        let backend = ShardedDb::new(&table, opts.shards).with_workers(opts.shard_workers);
+        Server::bind_with(backend, &opts.addr, config(&opts))
+    } else {
+        Server::bind_with(TableBackend::new(table), &opts.addr, config(&opts))
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("failed to start: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "hdb-server on {} — {rows} rows × {attrs} attrs, {} shard(s); \
+         connect with RemoteBackend::connect(\"{}\")",
+        running.addr(),
+        opts.shards,
+        running.addr()
+    );
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

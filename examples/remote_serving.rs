@@ -1,0 +1,48 @@
+//! A real client/server split: serve a hidden database over TCP on
+//! loopback, connect a `RemoteBackend`, and run the paper's size
+//! estimator through the wire — same bits as evaluating in-process.
+//!
+//! The serving layer is observationally invisible: `HiddenDb` neither
+//! knows nor cares that its backend answers over a socket, so budgets,
+//! accounting, memoisation, and incremental walk sessions all work
+//! unchanged (walk probes map to server-side session state and stay one
+//! AND per probe on the server).
+//!
+//! Run with `cargo run --release --example remote_serving`.
+
+use hdb_core::UnbiasedSizeEstimator;
+use hdb_interface::{HiddenDb, Query, RemoteBackend, TableBackend, TopKInterface};
+use hdb_server::Server;
+
+fn main() {
+    let table = hdb_datagen::bool_iid(20_000, 15, 7).expect("generation");
+    let truth = table.len();
+
+    // The README quick-start, verbatim: serve, connect, estimate.
+    let server = Server::bind(TableBackend::new(table.clone()), "127.0.0.1:0").unwrap();
+    let db = HiddenDb::over(RemoteBackend::connect(server.addr().to_string()).unwrap(), 10);
+    let estimate = UnbiasedSizeEstimator::hd(42).unwrap().run(&db, 100).unwrap().estimate;
+
+    // The bound port is ephemeral — keep stdout byte-deterministic
+    // (repo convention: timings and runtime details go to stderr).
+    eprintln!("served on {}", server.addr());
+    println!("served {truth} tuples over loopback");
+    println!(
+        "estimated size over the wire: {estimate:.0} ({} queries issued)",
+        db.queries_issued()
+    );
+
+    // Identical to the in-process run, bit for bit.
+    let local = HiddenDb::new(table, 10);
+    let local_estimate = UnbiasedSizeEstimator::hd(42).unwrap().run(&local, 100).unwrap().estimate;
+    assert_eq!(estimate.to_bits(), local_estimate.to_bits());
+    assert_eq!(db.queries_issued(), local.queries_issued());
+    println!("bit-identical to the in-process run ✓");
+
+    // Plain queries cross the wire too, of course.
+    let out = db.query(&Query::all().and(0, 1).unwrap()).unwrap();
+    println!("A1=1 → {}{} tuples returned", if out.is_overflow() { "overflow, " } else { "" },
+        out.returned_count());
+
+    server.shutdown();
+}

@@ -8,6 +8,9 @@
 //! * [`hdb_datagen`] — the paper's datasets as seeded generators;
 //! * [`hdb_core`] — the estimators (`HD-UNBIASED-SIZE`,
 //!   `HD-UNBIASED-AGG`, baselines, crawler, oracle);
+//! * [`hdb_server`] — the networked serving layer (any `SearchBackend`
+//!   behind the wire protocol; pair with
+//!   [`hdb_interface::RemoteBackend`]);
 //! * [`hdb_stats`] — accuracy summaries and trial plumbing.
 
 pub mod testkit;
@@ -15,4 +18,5 @@ pub mod testkit;
 pub use hdb_core;
 pub use hdb_datagen;
 pub use hdb_interface;
+pub use hdb_server;
 pub use hdb_stats;

@@ -93,8 +93,8 @@ proptest! {
                 "outcome diverged at shards={} workers={} for {:?}", shards, workers, &q
             );
             prop_assert_eq!(
-                plain.backend().exact_count(&q),
-                sharded.backend().exact_count(&q)
+                plain.backend().exact_count(&q).unwrap(),
+                sharded.backend().exact_count(&q).unwrap()
             );
         }
         prop_assert_eq!(plain.queries_issued(), sharded.queries_issued());
@@ -178,7 +178,7 @@ proptest! {
         prop_assert_eq!(sharded.len(), table.len());
         let total: usize = (0..sharded.shard_count()).map(|i| sharded.shard_len(i)).sum();
         prop_assert_eq!(total, table.len());
-        prop_assert_eq!(sharded.exact_count(&Query::all()), table.exact_count(&Query::all()));
+        prop_assert_eq!(sharded.exact_count(&Query::all()).unwrap(), table.exact_count(&Query::all()));
     }
 }
 

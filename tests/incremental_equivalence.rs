@@ -214,12 +214,16 @@ fn sessions_charge_one_count_per_issued_query_including_memo_hits() {
     let db = HiddenDb::new(table, 1);
 
     let mut sess = db.walk_session(Query::all()).unwrap();
-    // first issue: evaluated and memoised (29 matches > 8·k)
+    // first issue: counted and memoised in the count memo (29 matches > 8·k;
+    // count-only probes have no overflow page for the full-response memo)
+    assert_eq!(db.memoised_counts(), 0);
     assert!(sess.classify(0, 0).unwrap().is_overflow());
     assert_eq!(db.queries_issued(), 1);
-    // the same probe again: answered from the hot memo, still charged
+    assert_eq!(db.memoised_counts(), 1);
+    // the same probe again: answered from the count memo, still charged
     assert!(sess.classify(0, 0).unwrap().is_overflow());
     assert_eq!(db.queries_issued(), 2);
+    assert_eq!(db.memoised_counts(), 1, "memo-served repeat must not re-insert");
     // a fresh query for the same node also hits the memo and is charged
     assert!(db.query(&Query::all().and(0, 0).unwrap()).unwrap().is_overflow());
     assert_eq!(db.queries_issued(), 3);

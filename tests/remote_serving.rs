@@ -1,0 +1,278 @@
+//! Loopback equivalence for the serving layer: a
+//! `HiddenDb::over(RemoteBackend, k)` driven against an `hdb-server` on
+//! 127.0.0.1 must be **bit-identical** to the same corpus evaluated
+//! in-process — outcomes, estimates, per-pass histories, query counts,
+//! and budget-cut completed-pass sets — for fresh and incremental session
+//! modes, table and sharded backends, and 1/2/8 client workers. Transport
+//! failures (dead server, lying server, malformed frames) must surface as
+//! typed [`HdbError`]s, never as panics or hangs.
+
+use std::io::{Read as _, Write as _};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hdb_core::UnbiasedSizeEstimator;
+use hdb_interface::{
+    Attribute, AttributeRanking, HdbError, HiddenDb, Query, RankingFunction, RemoteBackend,
+    Schema, SearchBackend, SeededRandomRanking, SessionMode, ShardedDb, Table, TableBackend,
+    TopKInterface, Tuple, TupleId,
+};
+use hdb_server::{RunningServer, Server};
+use proptest::prelude::*;
+
+/// Strategy: a random schema of 2–5 attributes with fanouts 2–5.
+fn schema_strategy() -> impl Strategy<Value = Schema> {
+    prop::collection::vec(2usize..=5, 2..=5).prop_map(|fanouts| {
+        Schema::new(
+            fanouts
+                .iter()
+                .enumerate()
+                .map(|(i, &f)| {
+                    Attribute::categorical(format!("a{i}"), (0..f).map(|v| v.to_string()))
+                        .expect("fanout ≥ 2")
+                })
+                .collect(),
+        )
+        .expect("names unique")
+    })
+}
+
+/// Strategy: a random non-empty duplicate-free table, a k in 1..=4, and a
+/// shard count in 1..=8.
+fn db_strategy() -> impl Strategy<Value = (Table, usize, usize)> {
+    (schema_strategy(), any::<u64>(), 1usize..=4, 1usize..=8).prop_flat_map(
+        |(schema, seed, k, shards)| {
+            let capacity = schema.domain_size() as usize;
+            (1usize..=capacity.min(40)).prop_map(move |m| {
+                let table =
+                    hdb_datagen::uniform_table(&schema, m, seed).expect("m within capacity");
+                (table, k, shards)
+            })
+        },
+    )
+}
+
+/// Serves `table` (single table or hash-sharded) on an ephemeral loopback
+/// port and connects a client.
+fn serve(table: &Table, shards: usize) -> (RunningServer, RemoteBackend) {
+    let server = if shards <= 1 {
+        Server::bind(TableBackend::new(table.clone()), "127.0.0.1:0").expect("bind")
+    } else {
+        Server::bind(ShardedDb::new(table, shards), "127.0.0.1:0").expect("bind")
+    };
+    let remote = RemoteBackend::connect(server.addr().to_string()).expect("connect");
+    (server, remote)
+}
+
+/// Runs the headline HD estimator: `(estimate bits, history, queries)`.
+fn hd_run<B: SearchBackend>(
+    db: &HiddenDb<B>,
+    seed: u64,
+    passes: u64,
+    workers: usize,
+) -> (u64, Vec<f64>, u64) {
+    let mut est = UnbiasedSizeEstimator::hd(seed).unwrap();
+    let summary = if workers == 1 {
+        est.run(db, passes).unwrap()
+    } else {
+        est.run_parallel(db, passes, workers).unwrap()
+    };
+    (summary.estimate.to_bits(), est.history().to_vec(), summary.queries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The acceptance criterion: estimator runs over a loopback server
+    /// are bit-identical to local runs — fresh and incremental session
+    /// modes, 1/2/8 client workers, table and sharded serving backends.
+    #[test]
+    fn remote_estimator_runs_match_local_bitwise(
+        (table, k, shards) in db_strategy(),
+        master_seed in any::<u64>(),
+    ) {
+        let passes = 24;
+        let local = HiddenDb::new(table.clone(), k);
+        let reference = hd_run(&local, master_seed, passes, 1);
+
+        let (_server, remote) = serve(&table, shards);
+        let remote = Arc::new(remote);
+        for workers in [1usize, 2, 8] {
+            let incremental = HiddenDb::over(Arc::clone(&remote), k);
+            let got = hd_run(&incremental, master_seed, passes, workers);
+            prop_assert_eq!(
+                &reference, &got,
+                "incremental remote run diverged: shards={}, workers={}", shards, workers
+            );
+        }
+        let fresh = HiddenDb::over(Arc::clone(&remote), k)
+            .with_session_mode(SessionMode::Fresh);
+        let got = hd_run(&fresh, master_seed, passes, 1);
+        prop_assert_eq!(&reference, &got, "fresh remote run diverged (shards={})", shards);
+    }
+
+    /// Budget cuts land on exactly the same query over the wire: same
+    /// completed-pass set, history, estimate, and issued count — or the
+    /// same error.
+    #[test]
+    fn remote_budget_cut_runs_match_local(
+        (table, k, shards) in db_strategy(),
+        master_seed in any::<u64>(),
+        budget in 5u64..=100,
+    ) {
+        let local_db = HiddenDb::new(table.clone(), k).with_budget(budget);
+        let mut local = UnbiasedSizeEstimator::hd(master_seed).unwrap();
+        let reference = local.run(&local_db, 1_000_000);
+
+        let (_server, remote) = serve(&table, shards);
+        let remote_db = HiddenDb::over(remote, k).with_budget(budget);
+        let mut over_wire = UnbiasedSizeEstimator::hd(master_seed).unwrap();
+        let got = over_wire.run(&remote_db, 1_000_000);
+
+        match (reference, got) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+                prop_assert_eq!(a.passes, b.passes);
+                prop_assert_eq!(a.queries, b.queries);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "outcome shape diverged: {:?} vs {:?}", a, b),
+        }
+        prop_assert_eq!(local.history(), over_wire.history());
+        prop_assert_eq!(local_db.queries_issued(), remote_db.queries_issued());
+    }
+}
+
+#[test]
+fn outcomes_and_ground_truth_match_per_query() {
+    let tuples: Vec<Tuple> =
+        (0..48u16).map(|i| Tuple::new(vec![i & 1, (i >> 1) & 1, (i >> 2) & 3, i % 3])).collect();
+    let schema = Schema::new(vec![
+        Attribute::boolean("a"),
+        Attribute::boolean("b"),
+        Attribute::categorical("c", ["0", "1", "2", "3"]).unwrap(),
+        Attribute::numeric_buckets("p", 3).unwrap(),
+    ])
+    .unwrap();
+    let table = Table::new_dedup(schema, tuples).unwrap();
+    let (_server, remote) = serve(&table, 3);
+    let local = HiddenDb::new(table.clone(), 2);
+    let over_wire = HiddenDb::over(remote, 2);
+    for attr in 0..table.schema().len() {
+        for v in 0..table.schema().fanout(attr) {
+            let q = Query::all().and(attr, v as u16).unwrap();
+            assert_eq!(local.query(&q).unwrap(), over_wire.query(&q).unwrap(), "{q}");
+        }
+    }
+    // owner-side ground truth crosses the wire bit-for-bit
+    let q = Query::all().and(0, 1).unwrap();
+    assert_eq!(
+        over_wire.backend().exact_count(&q).unwrap(),
+        local.backend().exact_count(&q).unwrap()
+    );
+    assert_eq!(
+        over_wire.backend().exact_sum(3, &q).unwrap().to_bits(),
+        local.backend().exact_sum(3, &q).unwrap().to_bits()
+    );
+    assert_eq!(local.queries_issued(), over_wire.queries_issued());
+}
+
+#[test]
+fn shipped_rankings_cross_the_wire_custom_ones_error_typed() {
+    let tuples: Vec<Tuple> =
+        (0..40u16).map(|i| Tuple::new(vec![i & 1, (i >> 1) & 1, i % 5])).collect();
+    let schema = Schema::new(vec![
+        Attribute::boolean("a"),
+        Attribute::boolean("b"),
+        Attribute::numeric_buckets("p", 5).unwrap(),
+    ])
+    .unwrap();
+    let table = Table::new_dedup(schema, tuples).unwrap();
+    let (_server, remote) = serve(&table, 1);
+    let rankings: Vec<Arc<dyn RankingFunction>> = vec![
+        Arc::new(AttributeRanking { attr: 2, descending: true }),
+        Arc::new(SeededRandomRanking { seed: 1234 }),
+    ];
+    for ranking in rankings {
+        let local = HiddenDb::new(table.clone(), 2).with_ranking(Arc::clone(&ranking));
+        let over_wire = HiddenDb::over(
+            RemoteBackend::connect(remote.addr()).unwrap(),
+            2,
+        )
+        .with_ranking(ranking);
+        let q = Query::all().and(0, 1).unwrap();
+        assert_eq!(local.query(&q).unwrap(), over_wire.query(&q).unwrap());
+    }
+
+    // A custom ranking has no wire spec: typed Transport error, no panic,
+    // and no silent divergence between client and server ranking.
+    struct Opaque;
+    impl RankingFunction for Opaque {
+        fn score(&self, _s: &Schema, id: TupleId, _t: &Tuple) -> f64 {
+            -f64::from(id)
+        }
+    }
+    let over_wire = HiddenDb::over(RemoteBackend::connect(remote.addr()).unwrap(), 2)
+        .with_ranking(Arc::new(Opaque));
+    match over_wire.query(&Query::all()) {
+        Err(HdbError::Transport(msg)) => assert!(msg.contains("wire spec"), "{msg}"),
+        other => panic!("expected a typed Transport error, got {other:?}"),
+    }
+}
+
+#[test]
+fn dead_server_surfaces_typed_transport_errors() {
+    let tuples: Vec<Tuple> =
+        (0..8u16).map(|i| Tuple::new(vec![i & 1, (i >> 1) & 1, (i >> 2) & 1])).collect();
+    let table = Table::new(Schema::boolean(3), tuples).unwrap();
+    let (server, remote) = serve(&table, 1);
+    let db = HiddenDb::over(remote, 1);
+    assert!(db.query(&Query::all()).unwrap().is_overflow());
+    let issued_before = db.queries_issued();
+    server.shutdown();
+    // the pooled connection is now dead and no server is listening
+    match db.query(&Query::all()) {
+        Err(HdbError::Transport(_)) => {}
+        other => panic!("expected Transport error from a dead server, got {other:?}"),
+    }
+    // the failed query was charged (it went out) but nothing panicked and
+    // the interface object remains usable for error inspection
+    assert_eq!(db.queries_issued(), issued_before + 1);
+}
+
+#[test]
+fn lying_server_surfaces_typed_transport_errors() {
+    // A "server" that answers every frame with garbage bytes.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let liar = std::thread::spawn(move || {
+        // serve exactly one connection, then exit
+        if let Ok((mut stream, _)) = listener.accept() {
+            let mut buf = [0u8; 1024];
+            while let Ok(n) = stream.read(&mut buf) {
+                if n == 0 {
+                    break;
+                }
+                // a well-formed frame whose payload decodes to nothing
+                let garbage = [4u8, 0, 0, 0, 0xEE, 1, 2, 3];
+                if stream.write_all(&garbage).is_err() {
+                    break;
+                }
+            }
+        }
+    });
+    match RemoteBackend::connect(addr.to_string()) {
+        Err(HdbError::Transport(msg)) => assert!(msg.contains("frame"), "{msg}"),
+        other => panic!("expected Transport error from garbage frames, got {other:?}"),
+    }
+    liar.join().unwrap();
+}
+
+#[test]
+fn unreachable_address_is_a_typed_connect_error() {
+    // Port 1 on loopback: nothing listens there.
+    match RemoteBackend::connect_with("127.0.0.1:1", 1, Duration::from_secs(2)) {
+        Err(HdbError::Transport(msg)) => assert!(msg.contains("connect"), "{msg}"),
+        other => panic!("expected a typed connect error, got {other:?}"),
+    }
+}
