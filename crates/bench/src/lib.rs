@@ -10,6 +10,7 @@
 //! measure the substrate (query evaluation) and the estimators
 //! (queries/walk, time/pass).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -3,7 +3,7 @@
 //! sampler's unknown bias and is itself positively biased — the paper's
 //! Figure 6 baseline.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use hdb_interface::{TopKInterface, TupleId};
 
@@ -32,8 +32,8 @@ pub struct CrEstimate {
 /// client would (VIN / item number).
 #[derive(Clone, Debug, Default)]
 pub struct CaptureRecapture {
-    sample1: HashSet<TupleId>,
-    sample2: HashSet<TupleId>,
+    sample1: BTreeSet<TupleId>,
+    sample2: BTreeSet<TupleId>,
     next_is_first: bool,
 }
 
@@ -41,7 +41,7 @@ impl CaptureRecapture {
     /// An empty accumulator.
     #[must_use]
     pub fn new() -> Self {
-        Self { sample1: HashSet::new(), sample2: HashSet::new(), next_is_first: true }
+        Self { sample1: BTreeSet::new(), sample2: BTreeSet::new(), next_is_first: true }
     }
 
     /// Adds one captured tuple, alternating between the two samples.

@@ -180,7 +180,7 @@ impl HiddenDbSampler {
 mod tests {
     use super::*;
     use hdb_interface::{HiddenDb, Schema, Table, Tuple};
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     fn db() -> HiddenDb {
         let tuples: Vec<Tuple> = [0u16, 1, 2, 3, 8, 12, 15]
@@ -206,7 +206,7 @@ mod tests {
     fn sampling_covers_all_tuples() {
         let db = db();
         let mut s = HiddenDbSampler::new(7);
-        let mut seen: HashMap<u32, u32> = HashMap::new();
+        let mut seen: BTreeMap<u32, u32> = BTreeMap::new();
         for sample in s.sample_many(&db, 2000).unwrap() {
             *seen.entry(sample.tuple.id).or_default() += 1;
         }

@@ -5,7 +5,7 @@
 //! `Ω_TV`).
 
 use hdb_interface::{AttrId, Query, ReturnedTuple, TopKInterface, TupleId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::error::Result;
 
@@ -22,7 +22,7 @@ pub struct TopValidNode {
 #[derive(Clone, Debug)]
 pub struct CrawlResult {
     /// Every tuple in the database, keyed by listing id.
-    pub tuples: HashMap<TupleId, ReturnedTuple>,
+    pub tuples: BTreeMap<TupleId, ReturnedTuple>,
     /// The set `Ω_TV` of top-valid nodes (plus the root if the whole
     /// database fits in one valid query).
     pub top_valid: Vec<TopValidNode>,
@@ -50,7 +50,7 @@ impl CrawlResult {
 /// before completion — that is the paper's point).
 pub fn crawl<I: TopKInterface>(iface: &I, base: &Query, levels: &[AttrId]) -> Result<CrawlResult> {
     let mut result =
-        CrawlResult { tuples: HashMap::new(), top_valid: Vec::new(), queries: 0 };
+        CrawlResult { tuples: BTreeMap::new(), top_valid: Vec::new(), queries: 0 };
     let outcome = iface.query(base)?;
     result.queries += 1;
     if outcome.is_underflow() {

@@ -26,7 +26,7 @@
 //! randomness is independent of the hit count, and it saves the paper's
 //! intended queries.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use hdb_interface::{AttrId, Query, ReturnedTuple, Schema, TopKInterface, WalkSession};
 use rand::Rng;
@@ -130,7 +130,7 @@ where
     R: Rng + ?Sized,
     F: Fn(&[ReturnedTuple]) -> f64,
 {
-    let mut memo: HashMap<Vec<PathStep>, f64> = HashMap::new();
+    let mut memo: BTreeMap<Vec<PathStep>, f64> = BTreeMap::new();
     // One incremental walk session serves the whole pass: the divide-&-
     // conquer recursion moves it with free extend/retract steps, and
     // every probe inside costs one AND over the parent's match set.
@@ -256,7 +256,7 @@ fn estimate_subtree<W, R, F>(
     measure: &F,
     strategy: BacktrackStrategy,
     rng: &mut R,
-    memo: &mut HashMap<Vec<PathStep>, f64>,
+    memo: &mut BTreeMap<Vec<PathStep>, f64>,
 ) -> Result<f64>
 where
     W: WeightProvider + ?Sized,

@@ -43,6 +43,7 @@
 //! assert!((result.estimate - 40.0).abs() < 8.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -223,7 +223,7 @@ mod tests {
     use hdb_interface::{HiddenDb, Schema, Table, Tuple};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     /// The paper's running example, Boolean part (Figure 1): 6 tuples
     /// over A1..A4, k = 1.
@@ -283,7 +283,7 @@ mod tests {
         // walks that terminate at t6 = (1,1,1,1).
         let db = figure1_db();
         let mut rng = StdRng::seed_from_u64(3);
-        let mut probs: HashMap<Vec<(usize, u16)>, f64> = HashMap::new();
+        let mut probs: BTreeMap<Vec<(usize, u16)>, f64> = BTreeMap::new();
         for _ in 0..5_000 {
             let walk =
                 drill_down(&db, &Query::all(), &[], &[0, 1, 2, 3], &UniformWeights, &mut rng)

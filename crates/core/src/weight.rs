@@ -24,7 +24,7 @@
 //! used by a walk are those *before* that walk's own update.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hdb_interface::{AttrId, ValueId};
 
@@ -48,8 +48,8 @@ struct BranchStat {
 /// One node of the learned tree.
 #[derive(Clone, Debug, Default)]
 struct Node {
-    stats: HashMap<ValueId, BranchStat>,
-    children: HashMap<ValueId, Node>,
+    stats: BTreeMap<ValueId, BranchStat>,
+    children: BTreeMap<ValueId, Node>,
 }
 
 impl Node {

@@ -18,6 +18,7 @@
 //!
 //! All generators are deterministic under their seed.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

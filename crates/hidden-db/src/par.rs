@@ -199,6 +199,9 @@ struct PoolInner {
 #[derive(Clone, Copy)]
 struct ErasedCtx {
     ptr: *const (),
+    // SAFETY: `run` may only be invoked while the gate protocol holds the
+    // pointee alive, and `ptr` must point at the `RunCtx` type `run` was
+    // instantiated for — both upheld by `fan_out`, the sole constructor.
     run: unsafe fn(*const ()),
 }
 
@@ -335,6 +338,9 @@ impl WorkerPool {
             E: Send,
             F: Fn(u64) -> Result<T, E> + Sync,
         {
+            // SAFETY: the caller contract above — `ptr` points to a live
+            // `RunCtx<T, E, F>`, kept alive by the gate until every
+            // helper deregisters, and `work` only touches Sync state.
             unsafe { (*ptr.cast::<RunCtx<T, E, F>>()).work() }
         }
 

@@ -63,7 +63,10 @@ impl ClientCore {
     }
 
     fn checkin(&self, stream: TcpStream) {
-        let mut idle = self.idle.lock().expect("idle pool poisoned");
+        // Poison recovery throughout this file: the idle pool is a plain
+        // Vec of sockets with no cross-field invariant, so a panicked
+        // holder leaves it fully usable — recover instead of unwinding.
+        let mut idle = self.idle.lock().unwrap_or_else(|p| p.into_inner());
         if idle.len() < self.max_idle {
             idle.push(stream);
         } // else: drop (close) the surplus connection
@@ -74,7 +77,7 @@ impl ClientCore {
         // Assemble the frame first so the request hits the wire in one
         // write (one segment on loopback).
         let mut framed = Vec::new();
-        write_frame(&mut framed, &req.encode())?;
+        write_frame(&mut framed, &req.encode()?)?;
         stream
             .write_all(&framed)
             .map_err(|e| HdbError::Transport(format!("write failed: {e}")))?;
@@ -90,7 +93,7 @@ impl ClientCore {
     /// which creates server state, goes through
     /// [`ClientCore::request_once`] instead.
     fn request(&self, req: &Request) -> Result<Response> {
-        let pooled = self.idle.lock().expect("idle pool poisoned").pop();
+        let pooled = self.idle.lock().unwrap_or_else(|p| p.into_inner()).pop();
         if let Some(mut stream) = pooled {
             if let Ok(resp) = Self::roundtrip(&mut stream, req) {
                 self.checkin(stream);
@@ -110,7 +113,7 @@ impl ClientCore {
     /// the server's table. Failing is fine — the caller falls back to
     /// fresh evaluation.
     fn request_once(&self, req: &Request) -> Result<Response> {
-        let mut stream = match self.idle.lock().expect("idle pool poisoned").pop() {
+        let mut stream = match self.idle.lock().unwrap_or_else(|p| p.into_inner()).pop() {
             Some(stream) => stream,
             None => self.open()?,
         };
@@ -146,7 +149,7 @@ impl Drop for RemoteSessionHandle {
         // Close only over an already-idle connection: a drop must never
         // block on a dead server, and an unclosed session just ages out
         // of the server's LRU table.
-        let pooled = self.core.idle.lock().expect("idle pool poisoned").pop();
+        let pooled = self.core.idle.lock().unwrap_or_else(|p| p.into_inner()).pop();
         if let Some(mut stream) = pooled {
             if ClientCore::roundtrip(&mut stream, &Request::WalkClose { sid: self.sid }).is_ok() {
                 self.core.checkin(stream);
@@ -242,7 +245,7 @@ impl RemoteBackend {
     /// Idle pooled connections right now (diagnostics).
     #[must_use]
     pub fn idle_connections(&self) -> usize {
-        self.core.idle.lock().expect("idle pool poisoned").len()
+        self.core.idle.lock().unwrap_or_else(|p| p.into_inner()).len()
     }
 
     fn spec_of(ranking: &dyn RankingFunction) -> Result<RankingSpec> {

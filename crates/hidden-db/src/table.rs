@@ -8,7 +8,7 @@
 //! scan path survives as `*_scan` methods so property tests and benches
 //! can pit the two against each other.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::OnceLock;
 
 use crate::error::{HdbError, Result};
@@ -69,7 +69,7 @@ impl Table {
     /// # Errors
     /// Returns [`HdbError::InvalidTuple`] on a non-conforming tuple.
     pub fn new_dedup(schema: Schema, tuples: Vec<Tuple>) -> Result<Self> {
-        let mut seen: HashSet<Tuple> = HashSet::with_capacity(tuples.len());
+        let mut seen: BTreeSet<Tuple> = BTreeSet::new();
         let mut kept = Vec::with_capacity(tuples.len());
         for t in tuples {
             if !t.conforms_to(&schema) {
@@ -114,7 +114,7 @@ impl Table {
     }
 
     fn extend(&mut self, tuples: Vec<Tuple>) -> Result<()> {
-        let mut seen: HashSet<&Tuple> = self.tuples.iter().collect();
+        let mut seen: BTreeSet<&Tuple> = self.tuples.iter().collect();
         let mut validated = Vec::with_capacity(tuples.len());
         for t in &tuples {
             if !t.conforms_to(&self.schema) {

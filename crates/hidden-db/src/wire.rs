@@ -205,13 +205,21 @@ impl Enc {
         self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
     }
 
-    fn usize(&mut self, v: usize) {
-        self.u64(v as u64);
+    fn usize(&mut self, v: usize, what: &str) -> Result<()> {
+        self.u64(u64::try_from(v).map_err(|_| oversize(what))?);
+        Ok(())
     }
 
-    fn str(&mut self, s: &str) {
-        self.u32(u32::try_from(s.len()).expect("string fits a frame"));
+    /// A `u32` sequence-length prefix for `n` elements.
+    fn seq(&mut self, n: usize, what: &str) -> Result<()> {
+        self.u32(u32::try_from(n).map_err(|_| oversize(what))?);
+        Ok(())
+    }
+
+    fn str(&mut self, s: &str) -> Result<()> {
+        self.u32(u32::try_from(s.len()).map_err(|_| oversize("string"))?);
         self.buf.extend_from_slice(s.as_bytes());
+        Ok(())
     }
 }
 
@@ -227,6 +235,10 @@ fn truncated(what: &str) -> HdbError {
     HdbError::Transport(format!("malformed frame: truncated {what}"))
 }
 
+fn oversize(what: &str) -> HdbError {
+    HdbError::Transport(format!("unencodable message: {what} exceeds the wire's u32 range"))
+}
+
 impl<'a> Dec<'a> {
     /// Starts decoding `buf` from its first byte.
     #[must_use]
@@ -237,25 +249,29 @@ impl<'a> Dec<'a> {
     fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
         let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
         let Some(end) = end else { return Err(truncated(what)) };
-        let s = &self.buf[self.pos..end];
+        let Some(s) = self.buf.get(self.pos..end) else { return Err(truncated(what)) };
         self.pos = end;
         Ok(s)
     }
 
+    fn take_array<const N: usize>(&mut self, what: &str) -> Result<[u8; N]> {
+        <[u8; N]>::try_from(self.take(N, what)?).map_err(|_| truncated(what))
+    }
+
     fn u8(&mut self, what: &str) -> Result<u8> {
-        Ok(self.take(1, what)?[0])
+        self.take(1, what)?.first().copied().ok_or_else(|| truncated(what))
     }
 
     fn u16(&mut self, what: &str) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().expect("len 2")))
+        Ok(u16::from_le_bytes(self.take_array(what)?))
     }
 
     fn u32(&mut self, what: &str) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("len 4")))
+        Ok(u32::from_le_bytes(self.take_array(what)?))
     }
 
     fn u64(&mut self, what: &str) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("len 8")))
+        Ok(u64::from_le_bytes(self.take_array(what)?))
     }
 
     fn f64(&mut self, what: &str) -> Result<f64> {
@@ -271,7 +287,8 @@ impl<'a> Dec<'a> {
     /// payload (each element is ≥ 1 byte) — rejects absurd lengths before
     /// any allocation.
     fn seq_len(&mut self, what: &str) -> Result<usize> {
-        let n = self.u32(what)? as usize;
+        let n = usize::try_from(self.u32(what)?)
+            .map_err(|_| HdbError::Transport(format!("malformed frame: {what} overflows usize")))?;
         if n > self.buf.len().saturating_sub(self.pos) {
             return Err(HdbError::Transport(format!(
                 "malformed frame: {what} claims {n} elements with {} bytes left",
@@ -282,7 +299,8 @@ impl<'a> Dec<'a> {
     }
 
     fn str(&mut self, what: &str) -> Result<String> {
-        let n = self.u32(what)? as usize;
+        let n = usize::try_from(self.u32(what)?)
+            .map_err(|_| HdbError::Transport(format!("malformed frame: {what} overflows usize")))?;
         let bytes = self.take(n, what)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|_| HdbError::Transport(format!("malformed frame: {what} is not UTF-8")))
@@ -305,9 +323,10 @@ impl<'a> Dec<'a> {
 // ---------------------------------------------------------------------------
 // Domain-type codecs
 
-fn enc_predicate(e: &mut Enc, p: Predicate) {
-    e.usize(p.attr);
+fn enc_predicate(e: &mut Enc, p: Predicate) -> Result<()> {
+    e.usize(p.attr, "predicate attr")?;
     e.u16(p.value);
+    Ok(())
 }
 
 fn dec_predicate(d: &mut Dec<'_>) -> Result<Predicate> {
@@ -316,11 +335,12 @@ fn dec_predicate(d: &mut Dec<'_>) -> Result<Predicate> {
     Ok(Predicate::new(attr, value))
 }
 
-fn enc_query(e: &mut Enc, q: &Query) {
-    e.u32(u32::try_from(q.predicates().len()).expect("query fits a frame"));
+fn enc_query(e: &mut Enc, q: &Query) -> Result<()> {
+    e.seq(q.predicates().len(), "query predicate count")?;
     for &p in q.predicates() {
-        enc_predicate(e, p);
+        enc_predicate(e, p)?;
     }
+    Ok(())
 }
 
 fn dec_query(d: &mut Dec<'_>) -> Result<Query> {
@@ -334,11 +354,12 @@ fn dec_query(d: &mut Dec<'_>) -> Result<Query> {
     Query::new(preds)
 }
 
-fn enc_tuple(e: &mut Enc, t: &Tuple) {
-    e.u32(u32::try_from(t.arity()).expect("tuple fits a frame"));
+fn enc_tuple(e: &mut Enc, t: &Tuple) -> Result<()> {
+    e.seq(t.arity(), "tuple arity")?;
     for &v in t.values() {
         e.u16(v);
     }
+    Ok(())
 }
 
 fn dec_tuple(d: &mut Dec<'_>) -> Result<Tuple> {
@@ -350,12 +371,13 @@ fn dec_tuple(d: &mut Dec<'_>) -> Result<Tuple> {
     Ok(Tuple::new(values))
 }
 
-fn enc_page(e: &mut Enc, page: &[ReturnedTuple]) {
-    e.u32(u32::try_from(page.len()).expect("page fits a frame"));
+fn enc_page(e: &mut Enc, page: &[ReturnedTuple]) -> Result<()> {
+    e.seq(page.len(), "page length")?;
     for t in page {
         e.u32(t.id);
-        enc_tuple(e, &t.tuple);
+        enc_tuple(e, &t.tuple)?;
     }
+    Ok(())
 }
 
 fn dec_page(d: &mut Dec<'_>) -> Result<Vec<ReturnedTuple>> {
@@ -369,27 +391,35 @@ fn dec_page(d: &mut Dec<'_>) -> Result<Vec<ReturnedTuple>> {
     Ok(page)
 }
 
-fn enc_schema(e: &mut Enc, s: &Schema) {
-    e.u32(u32::try_from(s.len()).expect("schema fits a frame"));
+fn enc_schema(e: &mut Enc, s: &Schema) -> Result<()> {
+    e.seq(s.len(), "schema attribute count")?;
     for a in s.attributes() {
-        e.str(a.name());
-        e.u32(u32::try_from(a.fanout()).expect("fanout fits"));
+        e.str(a.name())?;
+        e.seq(a.fanout(), "attribute fanout")?;
         for v in 0..a.fanout() {
-            e.str(a.value_label(v as crate::schema::ValueId));
+            let vid = crate::schema::ValueId::try_from(v)
+                .map_err(|_| oversize("attribute fanout"))?;
+            e.str(a.value_label(vid))?;
         }
         match a.is_numeric() {
             false => e.u8(0),
             true => {
                 e.u8(1);
                 for v in 0..a.fanout() {
-                    e.f64(
-                        a.numeric_value(v as crate::schema::ValueId)
-                            .expect("numeric attribute has all values"),
-                    );
+                    let vid = crate::schema::ValueId::try_from(v)
+                        .map_err(|_| oversize("attribute fanout"))?;
+                    let Some(x) = a.numeric_value(vid) else {
+                        return Err(HdbError::Transport(format!(
+                            "unencodable message: numeric attribute `{}` lacks a value for {v}",
+                            a.name()
+                        )));
+                    };
+                    e.f64(x);
                 }
             }
         }
     }
+    Ok(())
 }
 
 fn dec_schema(d: &mut Dec<'_>) -> Result<Schema> {
@@ -415,12 +445,12 @@ fn dec_schema(d: &mut Dec<'_>) -> Result<Schema> {
     Schema::new(attrs)
 }
 
-fn enc_ranking(e: &mut Enc, r: RankingSpec) {
+fn enc_ranking(e: &mut Enc, r: RankingSpec) -> Result<()> {
     match r {
         RankingSpec::RowId => e.u8(0),
         RankingSpec::Attribute { attr, descending } => {
             e.u8(1);
-            e.usize(attr);
+            e.usize(attr, "ranking attr")?;
             e.u8(u8::from(descending));
         }
         RankingSpec::SeededRandom { seed } => {
@@ -428,6 +458,7 @@ fn enc_ranking(e: &mut Enc, r: RankingSpec) {
             e.u64(seed);
         }
     }
+    Ok(())
 }
 
 fn dec_ranking(d: &mut Dec<'_>) -> Result<RankingSpec> {
@@ -442,19 +473,19 @@ fn dec_ranking(d: &mut Dec<'_>) -> Result<RankingSpec> {
     }
 }
 
-fn enc_error(e: &mut Enc, err: &HdbError) {
+fn enc_error(e: &mut Enc, err: &HdbError) -> Result<()> {
     match err {
         HdbError::InvalidSchema(m) => {
             e.u8(0);
-            e.str(m);
+            e.str(m)?;
         }
         HdbError::InvalidTuple(m) => {
             e.u8(1);
-            e.str(m);
+            e.str(m)?;
         }
         HdbError::InvalidQuery(m) => {
             e.u8(2);
-            e.str(m);
+            e.str(m)?;
         }
         HdbError::BudgetExhausted { limit } => {
             e.u8(3);
@@ -462,9 +493,10 @@ fn enc_error(e: &mut Enc, err: &HdbError) {
         }
         HdbError::Transport(m) => {
             e.u8(4);
-            e.str(m);
+            e.str(m)?;
         }
     }
+    Ok(())
 }
 
 fn dec_error(d: &mut Dec<'_>) -> Result<HdbError> {
@@ -483,8 +515,11 @@ fn dec_error(d: &mut Dec<'_>) -> Result<HdbError> {
 
 impl Request {
     /// Encodes this request as a frame payload.
-    #[must_use]
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    /// [`HdbError::Transport`] if a length in the message does not fit
+    /// the wire's `u32` ranges (a message that big could never be framed).
+    pub fn encode(&self) -> Result<Vec<u8>> {
         let mut e = Enc::new();
         match self {
             Self::Hello { version } => {
@@ -495,45 +530,45 @@ impl Request {
             Self::Len => e.u8(0x03),
             Self::Evaluate { query, k, ranking } => {
                 e.u8(0x04);
-                enc_query(&mut e, query);
+                enc_query(&mut e, query)?;
                 e.u64(*k);
-                enc_ranking(&mut e, *ranking);
+                enc_ranking(&mut e, *ranking)?;
             }
             Self::ExactCount { query } => {
                 e.u8(0x05);
-                enc_query(&mut e, query);
+                enc_query(&mut e, query)?;
             }
             Self::ExactSum { attr, query } => {
                 e.u8(0x06);
                 e.u64(*attr);
-                enc_query(&mut e, query);
+                enc_query(&mut e, query)?;
             }
             Self::WalkOpen { root } => {
                 e.u8(0x07);
-                enc_query(&mut e, root);
+                enc_query(&mut e, root)?;
             }
             Self::WalkExtend { sid, parent_level, child, pred } => {
                 e.u8(0x08);
                 e.u64(*sid);
                 e.u32(*parent_level);
-                enc_query(&mut e, child);
-                enc_predicate(&mut e, *pred);
+                enc_query(&mut e, child)?;
+                enc_predicate(&mut e, *pred)?;
             }
             Self::WalkEvaluate { sid, parent_level, child, pred, k, ranking } => {
                 e.u8(0x09);
                 e.u64(*sid);
                 e.u32(*parent_level);
-                enc_query(&mut e, child);
-                enc_predicate(&mut e, *pred);
+                enc_query(&mut e, child)?;
+                enc_predicate(&mut e, *pred)?;
                 e.u64(*k);
-                enc_ranking(&mut e, *ranking);
+                enc_ranking(&mut e, *ranking)?;
             }
             Self::WalkClassify { sid, parent_level, child, pred, k } => {
                 e.u8(0x0A);
                 e.u64(*sid);
                 e.u32(*parent_level);
-                enc_query(&mut e, child);
-                enc_predicate(&mut e, *pred);
+                enc_query(&mut e, child)?;
+                enc_predicate(&mut e, *pred)?;
                 e.u64(*k);
             }
             Self::WalkClose { sid } => {
@@ -541,7 +576,7 @@ impl Request {
                 e.u64(*sid);
             }
         }
-        e.into_bytes()
+        Ok(e.into_bytes())
     }
 
     /// Decodes a frame payload.
@@ -597,8 +632,11 @@ impl Request {
 
 impl Response {
     /// Encodes this response as a frame payload.
-    #[must_use]
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    /// [`HdbError::Transport`] if a length in the message does not fit
+    /// the wire's `u32` ranges (a message that big could never be framed).
+    pub fn encode(&self) -> Result<Vec<u8>> {
         let mut e = Enc::new();
         match self {
             Self::Hello { version } => {
@@ -607,7 +645,7 @@ impl Response {
             }
             Self::Schema(s) => {
                 e.u8(0x82);
-                enc_schema(&mut e, s);
+                enc_schema(&mut e, s)?;
             }
             Self::Len(n) => {
                 e.u8(0x83);
@@ -615,8 +653,8 @@ impl Response {
             }
             Self::Evaluation(ev) => {
                 e.u8(0x84);
-                e.usize(ev.count);
-                enc_page(&mut e, &ev.top);
+                e.usize(ev.count, "evaluation count")?;
+                enc_page(&mut e, &ev.top)?;
             }
             Self::Count(n) => {
                 e.u8(0x85);
@@ -636,17 +674,17 @@ impl Response {
             }
             Self::Classified(c) => {
                 e.u8(0x89);
-                e.usize(c.count);
-                enc_page(&mut e, &c.page);
+                e.usize(c.count, "classified count")?;
+                enc_page(&mut e, &c.page)?;
             }
             Self::Closed => e.u8(0x8A),
             Self::SessionGone => e.u8(0x8B),
             Self::Error(err) => {
                 e.u8(0x8F);
-                enc_error(&mut e, err);
+                enc_error(&mut e, err)?;
             }
         }
-        e.into_bytes()
+        Ok(e.into_bytes())
     }
 
     /// Decodes a frame payload.
@@ -699,7 +737,7 @@ pub fn write_frame(w: &mut impl std::io::Write, payload: &[u8]) -> Result<()> {
             payload.len()
         )));
     }
-    let len = u32::try_from(payload.len()).expect("checked against MAX_FRAME_LEN");
+    let len = u32::try_from(payload.len()).map_err(|_| oversize("frame payload"))?;
     let io = w
         .write_all(&len.to_le_bytes())
         .and_then(|()| w.write_all(payload))
@@ -717,8 +755,8 @@ pub fn write_frame(w: &mut impl std::io::Write, payload: &[u8]) -> Result<()> {
 pub fn read_frame(r: &mut impl std::io::Read) -> Result<Option<Vec<u8>>> {
     let mut header = [0u8; 4];
     let mut filled = 0;
-    while filled < header.len() {
-        match r.read(&mut header[filled..]) {
+    while let Some(rest) = header.get_mut(filled..).filter(|r| !r.is_empty()) {
+        match r.read(rest) {
             Ok(0) if filled == 0 => return Ok(None),
             Ok(0) => return Err(HdbError::Transport("connection closed mid-frame".into())),
             Ok(n) => filled += n,
@@ -726,7 +764,8 @@ pub fn read_frame(r: &mut impl std::io::Read) -> Result<Option<Vec<u8>>> {
             Err(e) => return Err(HdbError::Transport(format!("read failed: {e}"))),
         }
     }
-    let len = u32::from_le_bytes(header) as usize;
+    let len = usize::try_from(u32::from_le_bytes(header))
+        .map_err(|_| HdbError::Transport("frame length overflows usize".into()))?;
     if len > MAX_FRAME_LEN {
         return Err(HdbError::Transport(format!(
             "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"
@@ -734,8 +773,8 @@ pub fn read_frame(r: &mut impl std::io::Read) -> Result<Option<Vec<u8>>> {
     }
     let mut payload = vec![0u8; len];
     let mut filled = 0;
-    while filled < len {
-        match r.read(&mut payload[filled..]) {
+    while let Some(rest) = payload.get_mut(filled..).filter(|r| !r.is_empty()) {
+        match r.read(rest) {
             Ok(0) => return Err(HdbError::Transport("connection closed mid-frame".into())),
             Ok(n) => filled += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -773,20 +812,20 @@ impl FrameBuf {
     /// (over the [`MAX_FRAME_LEN`] cap) — the connection should be
     /// dropped, as the byte stream can never resynchronise.
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
-        if self.buf.len() < 4 {
-            return Ok(None);
-        }
-        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("len 4")) as usize;
+        let Some(prefix) = self.buf.get(..4) else { return Ok(None) };
+        let header =
+            <[u8; 4]>::try_from(prefix).map_err(|_| truncated("frame header"))?;
+        let len = usize::try_from(u32::from_le_bytes(header))
+            .map_err(|_| HdbError::Transport("frame length overflows usize".into()))?;
         if len > MAX_FRAME_LEN {
             return Err(HdbError::Transport(format!(
                 "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"
             )));
         }
-        if self.buf.len() < 4 + len {
-            return Ok(None);
-        }
-        let payload = self.buf[4..4 + len].to_vec();
-        self.buf.drain(..4 + len);
+        let total = len.saturating_add(4);
+        let Some(frame) = self.buf.get(4..total) else { return Ok(None) };
+        let payload = frame.to_vec();
+        self.buf.drain(..total);
         Ok(Some(payload))
     }
 }
@@ -848,7 +887,7 @@ mod tests {
             Request::WalkClose { sid: 5 },
         ];
         for req in requests {
-            let bytes = req.encode();
+            let bytes = req.encode().unwrap();
             assert_eq!(Request::decode(&bytes).unwrap(), req);
         }
     }
@@ -876,7 +915,7 @@ mod tests {
             Response::Error(HdbError::Transport("boom".into())),
         ];
         for resp in responses {
-            let bytes = resp.encode();
+            let bytes = resp.encode().unwrap();
             assert_eq!(Response::decode(&bytes).unwrap(), resp);
         }
     }
@@ -885,7 +924,7 @@ mod tests {
     fn schema_roundtrip_preserves_numeric_interpretation() {
         let s = schema();
         let mut e = Enc::new();
-        enc_schema(&mut e, &s);
+        enc_schema(&mut e, &s).unwrap();
         let bytes = e.into_bytes();
         let mut d = Dec::new(&bytes);
         let back = dec_schema(&mut d).unwrap();
@@ -906,7 +945,8 @@ mod tests {
             k: 2,
             ranking: RankingSpec::RowId,
         }
-        .encode();
+        .encode()
+        .unwrap();
         for cut in 0..full.len() {
             let err = Request::decode(&full[..cut]).unwrap_err();
             assert!(matches!(err, HdbError::Transport(_)), "cut={cut}");
@@ -915,7 +955,7 @@ mod tests {
         assert!(Request::decode(&[0x7F]).is_err());
         assert!(Response::decode(&[0x00]).is_err());
         // trailing garbage
-        let mut bytes = Request::Len.encode();
+        let mut bytes = Request::Len.encode().unwrap();
         bytes.push(9);
         assert!(Request::decode(&bytes).is_err());
         // absurd sequence length: claims 4 billion predicates
@@ -927,9 +967,9 @@ mod tests {
         let mut e = Enc::new();
         e.u8(0x05);
         e.u32(2);
-        e.usize(0);
+        e.usize(0, "attr").unwrap();
         e.u16(0);
-        e.usize(0);
+        e.usize(0, "attr").unwrap();
         e.u16(1);
         assert!(matches!(
             Request::decode(&e.into_bytes()),
@@ -940,7 +980,7 @@ mod tests {
     #[test]
     fn frames_roundtrip_over_a_byte_stream() {
         let payloads: Vec<Vec<u8>> =
-            vec![Request::Len.encode(), Request::Schema.encode(), vec![], vec![0u8; 4096]];
+            vec![Request::Len.encode().unwrap(), Request::Schema.encode().unwrap(), vec![], vec![0u8; 4096]];
         let mut stream = Vec::new();
         for p in &payloads {
             write_frame(&mut stream, p).unwrap();
@@ -965,7 +1005,7 @@ mod tests {
 
     #[test]
     fn frame_buf_reassembles_arbitrary_chunks() {
-        let payloads = [Request::Len.encode(), Request::Schema.encode()];
+        let payloads = [Request::Len.encode().unwrap(), Request::Schema.encode().unwrap()];
         let mut stream = Vec::new();
         for p in &payloads {
             write_frame(&mut stream, p).unwrap();

@@ -1,0 +1,439 @@
+//! A small, self-contained Rust lexer — just enough structure for rule
+//! matching to be sound.
+//!
+//! The rules in this crate match on *tokens*, never on raw text, so a
+//! banned name inside a string literal, a `//` comment, a nested
+//! `/* /* */ */` block comment, a raw string (`r#"…"#`), or a char
+//! literal is never flagged. The lexer therefore must classify exactly
+//! those forms correctly; everything else (precise number grammar,
+//! operator gluing) can stay loose because the rules only inspect
+//! identifier text and single-character punctuation adjacency.
+//!
+//! Every token carries a 1-based line and column so diagnostics point at
+//! the offending source position in the familiar `file:line:col` shape.
+
+/// What a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `as`, …), including
+    /// raw identifiers (`r#type` yields text `type`).
+    Ident,
+    /// One punctuation character (`.`, `(`, `[`, `!`, …).
+    Punct,
+    /// A string, raw string, byte string, or C string literal.
+    Str,
+    /// A character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// A numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// A lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// A `//` comment (plain, `///`, or `//!`), text without newline.
+    LineComment,
+    /// A `/* … */` comment (nesting handled), text with delimiters.
+    BlockComment,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The token's text. For [`TokenKind::Ident`] this is the identifier
+    /// itself (raw-identifier prefix stripped); for comments and literals
+    /// it is the raw source slice.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (bytes).
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is a comment (trivia for code-matching rules).
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into tokens. Never fails: unterminated literals or
+/// comments simply consume to end-of-input (rule matching degrades
+/// gracefully on half-written code; the compiler rejects it anyway).
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while let Some(&c) = self.src.get(self.pos) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    let text = self.take_line_comment();
+                    out.push(Token { kind: TokenKind::LineComment, text, line, col });
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    let text = self.take_block_comment();
+                    out.push(Token { kind: TokenKind::BlockComment, text, line, col });
+                }
+                b'"' => {
+                    let text = self.take_string();
+                    out.push(Token { kind: TokenKind::Str, text, line, col });
+                }
+                b'\'' => {
+                    let (kind, text) = self.take_char_or_lifetime();
+                    out.push(Token { kind, text, line, col });
+                }
+                c if c.is_ascii_digit() => {
+                    let text = self.take_number();
+                    out.push(Token { kind: TokenKind::Num, text, line, col });
+                }
+                c if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => {
+                    out.push(self.take_ident_like(line, col));
+                }
+                _ => {
+                    self.bump();
+                    out.push(Token {
+                        kind: TokenKind::Punct,
+                        text: (c as char).to_string(),
+                        line,
+                        col,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) {
+        if self.src.get(self.pos) == Some(&b'\n') {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn take_while(&mut self, start: usize, pred: impl Fn(u8) -> bool) -> String {
+        while self.peek(0).is_some_and(&pred) {
+            self.bump();
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn take_line_comment(&mut self) -> String {
+        let start = self.pos;
+        self.take_while(start, |c| c != b'\n')
+    }
+
+    fn take_block_comment(&mut self) -> String {
+        let start = self.pos;
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break, // unterminated: consume to EOF
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    /// A plain `"…"` string with escape handling (cursor on the `"`).
+    fn take_string(&mut self) -> String {
+        let start = self.pos;
+        self.bump(); // opening quote
+        loop {
+            match self.peek(0) {
+                Some(b'\\') => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump();
+                    }
+                }
+                Some(b'"') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => self.bump(),
+                None => break,
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    /// A raw string `r"…"` / `r#"…"#…` (cursor on the first `#` or `"`
+    /// after the `r`/`br`/`cr` prefix, which the caller consumed).
+    fn take_raw_string_body(&mut self, start: usize) -> String {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) == Some(b'"') {
+            self.bump();
+            'scan: loop {
+                match self.peek(0) {
+                    Some(b'"') => {
+                        // A closing quote must be followed by `hashes` #s.
+                        for i in 0..hashes {
+                            if self.peek(1 + i) != Some(b'#') {
+                                self.bump();
+                                continue 'scan;
+                            }
+                        }
+                        for _ in 0..=hashes {
+                            self.bump();
+                        }
+                        break;
+                    }
+                    Some(_) => self.bump(),
+                    None => break,
+                }
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime/label): a lifetime
+    /// is a quote followed by an identifier not closed by another quote.
+    fn take_char_or_lifetime(&mut self) -> (TokenKind, String) {
+        let start = self.pos;
+        let next = self.peek(1);
+        let is_lifetime = next.is_some_and(|c| c == b'_' || c.is_ascii_alphabetic())
+            && {
+                // scan the identifier run after the quote
+                let mut i = 2;
+                while self.peek(i).is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                self.peek(i) != Some(b'\'') || i == 1
+            };
+        if is_lifetime {
+            self.bump(); // quote
+            let text = self.take_while(start, |c| c == b'_' || c.is_ascii_alphanumeric());
+            return (TokenKind::Lifetime, text);
+        }
+        // char/byte literal with escapes
+        self.bump(); // opening quote
+        loop {
+            match self.peek(0) {
+                Some(b'\\') => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump();
+                    }
+                }
+                Some(b'\'') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => self.bump(),
+                None => break,
+            }
+        }
+        (TokenKind::Char, String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    /// A numeric literal: digits, base prefixes, `_` separators, suffixes,
+    /// a fraction part (only when followed by a digit, so `1..2` stays a
+    /// range), and exponents.
+    fn take_number(&mut self) -> String {
+        let start = self.pos;
+        self.bump();
+        loop {
+            match self.peek(0) {
+                Some(c) if c.is_ascii_alphanumeric() || c == b'_' => {
+                    // exponent sign: 1e-3 / 2E+5
+                    let is_exp = (c == b'e' || c == b'E')
+                        && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                        && self.peek(2).is_some_and(|d| d.is_ascii_digit());
+                    self.bump();
+                    if is_exp {
+                        self.bump(); // the sign
+                    }
+                }
+                Some(b'.') if self.peek(1).is_some_and(|d| d.is_ascii_digit()) => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    /// An identifier, keyword, raw identifier, or a string-ish literal
+    /// introduced by a prefix (`r"…"`, `r#"…"#`, `b"…"`, `b'x'`, `br#`,
+    /// `c"…"`).
+    fn take_ident_like(&mut self, line: u32, col: u32) -> Token {
+        let start = self.pos;
+        let first = self.peek(0).unwrap_or(0);
+        // r"…" | r#"…" | b"…" | br"…" | c"…" | cr#"…" | b'…'
+        let prefix2 = self.peek(1);
+        let is_str_prefix = |c: u8| c == b'"' || c == b'#';
+        match (first, prefix2) {
+            (b'r' | b'c', Some(p)) if is_str_prefix(p) => {
+                self.bump();
+                // `r#ident` is a raw identifier, not a raw string: only
+                // treat as a string when a quote follows the #-run.
+                if p == b'"' || self.raw_hashes_end_in_quote() {
+                    let text = self.take_raw_string_body(start);
+                    return Token { kind: TokenKind::Str, text, line, col };
+                }
+                self.bump(); // the '#'
+                let text =
+                    self.take_while(self.pos, |c| c == b'_' || c.is_ascii_alphanumeric());
+                return Token { kind: TokenKind::Ident, text, line, col };
+            }
+            (b'b', Some(b'"')) => {
+                self.bump();
+                let text = self.take_string();
+                let text = format!("b{text}");
+                return Token { kind: TokenKind::Str, text, line, col };
+            }
+            (b'b', Some(b'\'')) => {
+                self.bump();
+                let (_, text) = self.take_char_or_lifetime();
+                return Token { kind: TokenKind::Char, text, line, col };
+            }
+            (b'b', Some(b'r')) if self.peek(2).is_some_and(is_str_prefix) => {
+                self.bump();
+                self.bump();
+                let text = self.take_raw_string_body(start);
+                return Token { kind: TokenKind::Str, text, line, col };
+            }
+            _ => {}
+        }
+        let text = self.take_while(start, |c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80);
+        Token { kind: TokenKind::Ident, text, line, col }
+    }
+
+    /// After an `r` / `cr`, with the cursor on a `#`: does the run of
+    /// `#`s end in a `"` (raw string) rather than an identifier (raw
+    /// identifier)?
+    fn raw_hashes_end_in_quote(&self) -> bool {
+        let mut i = 0;
+        while self.peek(i) == Some(b'#') {
+            i += 1;
+        }
+        self.peek(i) == Some(b'"')
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn banned_names_inside_strings_are_not_idents() {
+        let src = r#"let x = "HashMap::new() and unwrap()";"#;
+        assert_eq!(idents(src), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn banned_names_inside_raw_strings_are_not_idents() {
+        let src = r###"let x = r#"an "unsafe" HashMap"# ;"###;
+        assert_eq!(idents(src), vec!["let", "x"]);
+        let src = r#"let y = r"unwrap()";"#;
+        assert_eq!(idents(src), vec!["let", "y"]);
+    }
+
+    #[test]
+    fn banned_names_inside_comments_are_not_idents() {
+        let src = "// HashMap here\nlet a = 1; /* unwrap() /* nested unsafe */ still comment */ let b = 2;";
+        assert_eq!(idents(src), vec!["let", "a", "let", "b"]);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let toks = lex("/* a /* b */ c */ HashMap");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert_eq!(toks[1].text, "HashMap");
+        assert_eq!(toks[1].col, 19);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        let src = "let c: char = '\\''; fn f<'a>(x: &'a str) {} let q = 'x';";
+        let toks = lex(src);
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Char).collect();
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokenKind::Lifetime).collect();
+        assert_eq!(chars.len(), 2, "{toks:?}");
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(lifetimes[0].text, "'a");
+    }
+
+    #[test]
+    fn quoted_unsafe_in_char_run_is_not_an_ident() {
+        // 'u' is a char literal, not the start of an identifier
+        assert_eq!(idents("let x = 'u';"), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn raw_identifiers_keep_their_name() {
+        assert_eq!(idents("let r#type = 3;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn byte_strings_are_literals() {
+        let src = "let x = b\"unwrap\"; let y = br#\"expect\"#;";
+        assert_eq!(idents(src), vec!["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("a\n  bb\n");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn ranges_do_not_swallow_floats() {
+        let toks = lex("x[1..2] + 1.5 + 0x_ff + 1e-3");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1", "2", "1.5", "0x_ff", "1e-3"]);
+    }
+}

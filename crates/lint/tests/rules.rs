@@ -1,0 +1,260 @@
+//! Rule-level tests: each fixture below is modelled on a real pre-fix
+//! violation this lint surfaced in the workspace (see the PR that
+//! introduced `hdb-lint`), plus lexer-correctness pins — banned names
+//! inside strings and comments must never be flagged.
+
+use hdb_lint::rules::{check_crate, CrateSummary};
+use hdb_lint::{lint_file, Config};
+
+fn rules_hit(path: &str, src: &str) -> Vec<&'static str> {
+    let cfg = Config::default();
+    let mut rules: Vec<&'static str> =
+        lint_file(path, src, &cfg).into_iter().map(|d| d.rule).collect();
+    rules.dedup();
+    rules
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+
+#[test]
+fn d01_flags_hashmap_in_estimator_code() {
+    // Pre-fix weight.rs: f64 fold over HashMap::values() — iteration
+    // order (per-instance RandomState) reached the estimate bits.
+    let src = r#"
+        use std::collections::HashMap;
+        struct Node { stats: HashMap<u16, f64> }
+        fn total(n: &Node) -> f64 { n.stats.values().sum() }
+    "#;
+    assert_eq!(rules_hit("crates/core/src/weight.rs", src), vec!["HDB-D01"]);
+}
+
+#[test]
+fn d01_is_scoped_to_result_affecting_crates() {
+    let src = "use std::collections::HashMap; fn f() -> HashMap<u8, u8> { HashMap::new() }";
+    assert!(rules_hit("crates/lint/src/engine.rs", src).is_empty());
+}
+
+#[test]
+fn d01_respects_the_allowlist() {
+    let cfg = Config::parse(
+        "[allow.HDB-D01]\n\"crates/hidden-db/src/cache.rs\" = \"keyed lookups only\"",
+    )
+    .unwrap();
+    let src = "use std::collections::HashMap; struct M { m: HashMap<u64, u64> }";
+    assert!(lint_file("crates/hidden-db/src/cache.rs", src, &cfg).is_empty());
+    assert!(!lint_file("crates/hidden-db/src/index.rs", src, &cfg).is_empty());
+}
+
+#[test]
+fn d02_flags_wall_clock_outside_bench() {
+    let src = "fn now() -> std::time::Instant { std::time::Instant::now() }";
+    assert_eq!(rules_hit("crates/core/src/engine.rs", src), vec!["HDB-D02"]);
+    assert!(rules_hit("crates/bench/src/runner.rs", src).is_empty());
+    assert!(rules_hit("crates/shims/criterion/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn d03_flags_entropy_rng_everywhere_but_shims() {
+    let src = "fn mk() { let _r = rand::thread_rng(); }";
+    assert_eq!(rules_hit("crates/core/src/size.rs", src), vec!["HDB-D03"]);
+    assert_eq!(rules_hit("crates/bench/src/runner.rs", src), vec!["HDB-D03"]);
+    assert!(rules_hit("crates/shims/rand/src/lib.rs", src).is_empty());
+    let seeded = "fn mk() { let _r = StdRng::seed_from_u64(42); }";
+    assert!(rules_hit("crates/core/src/size.rs", seeded).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Panic-safety
+
+#[test]
+fn p01_flags_expect_in_wire_decoder() {
+    // Pre-fix wire.rs Dec::u32: a length-4 slice "cannot fail" — until a
+    // truncated frame arrives over the socket.
+    let src = r#"
+        fn u32_at(buf: &[u8]) -> u32 {
+            u32::from_le_bytes(buf[0..4].try_into().expect("len 4"))
+        }
+    "#;
+    let hits = rules_hit("crates/hidden-db/src/wire.rs", src);
+    assert!(hits.contains(&"HDB-P01"), "expect + range indexing must flag: {hits:?}");
+}
+
+#[test]
+fn p01_flags_panic_macros_but_not_debug_assert() {
+    let src = "fn f(x: u8) { if x > 7 { panic!(\"bad\") } }";
+    assert_eq!(rules_hit("crates/server/src/lib.rs", src), vec!["HDB-P01"]);
+    let dbg = "fn f(x: u8) { debug_assert!(x <= 7); }";
+    assert!(rules_hit("crates/server/src/lib.rs", dbg).is_empty());
+}
+
+#[test]
+fn p01_skips_test_code_and_other_paths() {
+    let src = r#"
+        fn ok() -> u8 { 1 }
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn t() { assert_eq!(super::ok(), 1); Some(3).unwrap(); }
+        }
+    "#;
+    assert!(rules_hit("crates/hidden-db/src/wire.rs", src).is_empty());
+    // unwrap in a crate outside the panic scope is not P01's business.
+    let elsewhere = "fn f() { Some(1).unwrap(); }";
+    assert!(rules_hit("crates/core/src/agg.rs", elsewhere).is_empty());
+}
+
+#[test]
+fn p01_range_indexing_only_inside_brackets() {
+    let src = "fn f(b: &[u8], n: usize) -> &[u8] { &b[..n] }";
+    assert_eq!(rules_hit("crates/hidden-db/src/wire.rs", src), vec!["HDB-P01"]);
+    // A plain range expression (no indexing) is fine.
+    let loop_src = "fn f(n: usize) { for _i in 0..n {} }";
+    assert!(rules_hit("crates/hidden-db/src/wire.rs", loop_src).is_empty());
+}
+
+#[test]
+fn p02_flags_as_casts_in_wire_framing_only() {
+    // Pre-fix read_frame: `u32::from_le_bytes(header) as usize`.
+    let src = "fn f(x: u32) -> usize { x as usize }";
+    assert_eq!(rules_hit("crates/hidden-db/src/wire.rs", src), vec!["HDB-P02"]);
+    assert!(rules_hit("crates/hidden-db/src/table.rs", src).is_empty());
+    // Non-numeric `as` (imports, trait casts) is not a truncation risk.
+    let import = "use std::collections::BTreeMap as Map; fn f(m: Map<u8, u8>) {}";
+    assert!(rules_hit("crates/hidden-db/src/wire.rs", import).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Unsafe hygiene
+
+#[test]
+fn u01_requires_adjacent_safety_comment() {
+    // Pre-fix par.rs: a raw-pointer deref whose justification lived only
+    // in the function docs, not at the unsafe block.
+    let bad = r#"
+        fn run(ptr: *mut u8) {
+            unsafe { *ptr = 1 };
+        }
+    "#;
+    assert_eq!(rules_hit("crates/hidden-db/src/par.rs", bad), vec!["HDB-U01"]);
+    let good = r#"
+        fn run(ptr: *mut u8) {
+            // SAFETY: caller guarantees ptr is valid and exclusively owned.
+            unsafe { *ptr = 1 };
+        }
+    "#;
+    assert!(rules_hit("crates/hidden-db/src/par.rs", good).is_empty());
+}
+
+#[test]
+fn u01_comment_must_be_close() {
+    let far = r#"
+        // SAFETY: way up here.
+        fn a() {}
+        fn b() {}
+        fn c() {}
+        fn d() {}
+        fn e() {}
+        fn run(ptr: *mut u8) {
+            unsafe { *ptr = 1 };
+        }
+    "#;
+    assert_eq!(rules_hit("crates/hidden-db/src/par.rs", far), vec!["HDB-U01"]);
+}
+
+#[test]
+fn u02_census_demands_forbid_when_no_unsafe() {
+    let cfg = Config::default();
+    let clean = CrateSummary {
+        root_file: "crates/datagen/src/lib.rs".to_string(),
+        unsafe_tokens: 0,
+        has_forbid: false,
+    };
+    let diag = check_crate(&clean, &cfg).expect("must flag");
+    assert_eq!(diag.rule, "HDB-U02");
+    let pinned = CrateSummary { has_forbid: true, ..clean };
+    assert!(check_crate(&pinned, &cfg).is_none());
+    let has_unsafe = CrateSummary {
+        root_file: "crates/hidden-db/src/lib.rs".to_string(),
+        unsafe_tokens: 3,
+        has_forbid: false,
+    };
+    assert!(check_crate(&has_unsafe, &cfg).is_none());
+}
+
+#[test]
+fn u02_recognises_the_forbid_attribute_in_tokens() {
+    use hdb_lint::lexer::lex;
+    use hdb_lint::rules::has_forbid_unsafe;
+    assert!(has_forbid_unsafe(&lex("//! docs\n#![forbid(unsafe_code)]\npub fn f() {}")));
+    assert!(!has_forbid_unsafe(&lex("// #![forbid(unsafe_code)] in a comment only")));
+    assert!(!has_forbid_unsafe(&lex("#![deny(unsafe_code)]")));
+}
+
+// ---------------------------------------------------------------------------
+// Accounting
+
+#[test]
+fn a01_flags_backend_calls_off_the_charge_path() {
+    // Pre-fix shape: an estimator probing the backend directly would
+    // silently skip the query-cost ledger.
+    let src = r#"
+        fn sneak(b: &dyn Backend, q: &Query) -> usize {
+            b.evaluate(q).len()
+        }
+    "#;
+    assert_eq!(rules_hit("crates/core/src/size.rs", src), vec!["HDB-A01"]);
+}
+
+#[test]
+fn a01_spares_tests_and_allowlisted_delegation() {
+    let test_src = r#"
+        #[cfg(test)]
+        mod tests {
+            fn ground_truth(b: &B, q: &Q) -> usize { b.evaluate(q).len() }
+        }
+    "#;
+    assert!(rules_hit("crates/core/src/size.rs", test_src).is_empty());
+    let cfg = Config::parse(
+        "[allow.HDB-A01]\n\"crates/hidden-db/src/interface.rs\" = \"the charge path\"",
+    )
+    .unwrap();
+    let src = "fn charge(b: &B, q: &Q) -> R { b.evaluate(q) }";
+    assert!(lint_file("crates/hidden-db/src/interface.rs", src, &cfg).is_empty());
+    // A fn *named* evaluate (definition, not `.call()`) is fine anywhere.
+    let def = "fn evaluate(q: &Q) -> R { todo() }";
+    assert!(rules_hit("crates/core/src/size.rs", def).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Lexer correctness: banned names in non-code positions never flag.
+
+#[test]
+fn banned_names_in_strings_and_comments_are_invisible() {
+    let src = r###"
+        // HashMap, Instant::now, unwrap(), thread_rng — just a comment.
+        /* nested /* HashSet */ still a comment: b.evaluate(q) */
+        fn f() -> &'static str {
+            let _c = 'x';
+            let _raw = r#"HashMap::new().unwrap() as usize"#;
+            "SystemTime thread_rng panic! b[0..4] evaluate("
+        }
+    "###;
+    assert!(rules_hit("crates/core/src/weight.rs", src).is_empty());
+    assert!(rules_hit("crates/hidden-db/src/wire.rs", src).is_empty());
+}
+
+#[test]
+fn diagnostics_carry_position_and_rule_id() {
+    let src = "use std::collections::HashMap;\n";
+    let diags = lint_file("crates/core/src/weight.rs", src, &Config::default());
+    assert_eq!(diags.len(), 1);
+    let d = &diags[0];
+    assert_eq!((d.line, d.rule), (1, "HDB-D01"));
+    assert!(d.col > 1);
+    let shown = format!("{d}");
+    assert!(
+        shown.starts_with("crates/core/src/weight.rs:1:") && shown.contains("deny[HDB-D01]"),
+        "rustc-style rendering, got: {shown}"
+    );
+}

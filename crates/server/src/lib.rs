@@ -46,10 +46,11 @@
 //! assert!(db.query(&Query::all()).unwrap().is_valid());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -104,8 +105,11 @@ struct Session {
 }
 
 /// The server-side walk-session table: sid → state stack, LRU-capped.
+/// A `BTreeMap` (not `HashMap`) so the LRU eviction scan visits sessions
+/// in a deterministic order — `min_by_key` ties then break toward the
+/// smallest (oldest) sid on every server alike.
 struct Sessions {
-    table: Mutex<HashMap<u64, Arc<Session>>>,
+    table: Mutex<BTreeMap<u64, Arc<Session>>>,
     next_sid: AtomicU64,
     clock: AtomicU64,
     cap: usize,
@@ -114,7 +118,7 @@ struct Sessions {
 impl Sessions {
     fn new(cap: usize) -> Self {
         Self {
-            table: Mutex::new(HashMap::new()),
+            table: Mutex::new(BTreeMap::new()),
             next_sid: AtomicU64::new(1),
             clock: AtomicU64::new(0),
             cap: cap.max(1),
@@ -127,7 +131,9 @@ impl Sessions {
             stack: Mutex::new(vec![root_state]),
             touched: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
         });
-        let mut table = self.table.lock().expect("session table poisoned");
+        // Poison recovery: the table holds plain data (no invariant spans
+        // the lock), so a panicked holder leaves it fully usable.
+        let mut table = self.table.lock().unwrap_or_else(|p| p.into_inner());
         if table.len() >= self.cap {
             // LRU eviction: drop the stalest session. Eviction is safe —
             // clients fall back to fresh evaluation, bit-identically.
@@ -145,18 +151,22 @@ impl Sessions {
 
     /// The session, bumped to most-recently-used.
     fn get(&self, sid: u64) -> Option<Arc<Session>> {
-        let entry =
-            self.table.lock().expect("session table poisoned").get(&sid).map(Arc::clone)?;
+        let entry = self
+            .table
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&sid)
+            .map(Arc::clone)?;
         entry.touched.store(self.clock.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
         Some(entry)
     }
 
     fn close(&self, sid: u64) {
-        self.table.lock().expect("session table poisoned").remove(&sid);
+        self.table.lock().unwrap_or_else(|p| p.into_inner()).remove(&sid);
     }
 
     fn len(&self) -> usize {
-        self.table.lock().expect("session table poisoned").len()
+        self.table.lock().unwrap_or_else(|p| p.into_inner()).len()
     }
 }
 
@@ -259,7 +269,13 @@ fn handle_request<B: SearchBackend>(shared: &Shared<B>, req: Request) -> Respons
                 if parent + 1 > schema.len() {
                     return Ok(Response::SessionGone);
                 }
-                let mut stack = entry.stack.lock().expect("session poisoned");
+                // A poisoned stack means some probe panicked mid-update;
+                // its contents are suspect, so retire the session and
+                // send the client to the fresh-evaluation fallback.
+                let Ok(mut stack) = entry.stack.lock() else {
+                    shared.sessions.close(sid);
+                    return Ok(Response::SessionGone);
+                };
                 if parent >= stack.len() {
                     return Ok(Response::SessionGone);
                 }
@@ -281,22 +297,21 @@ fn handle_request<B: SearchBackend>(shared: &Shared<B>, req: Request) -> Respons
                 validate_ranking(schema, ranking)?;
                 let k = validate_k(k)?;
                 let ranking = ranking.instantiate();
-                let evaluation = match shared.sessions.get(sid) {
-                    Some(entry) => {
-                        let stack = entry.stack.lock().expect("session poisoned");
-                        match stack.get(parent_level as usize) {
-                            Some(parent) => shared.backend.evaluate_from(
-                                parent,
-                                &child,
-                                pred,
-                                k,
-                                ranking.as_ref(),
-                            )?,
-                            // Level retired: fresh evaluation is
-                            // bit-identical, just one intersection slower.
-                            None => shared.backend.evaluate(&child, k, ranking.as_ref())?,
-                        }
-                    }
+                // Missing session, poisoned stack (a probe panicked
+                // mid-update — its state is suspect), or retired level
+                // all take the same road: fresh evaluation, which is
+                // bit-identical, just one intersection slower.
+                let entry = shared.sessions.get(sid);
+                let stack = entry.as_ref().and_then(|e| e.stack.lock().ok());
+                let parent = stack.as_ref().and_then(|s| s.get(parent_level as usize));
+                let evaluation = match parent {
+                    Some(parent) => shared.backend.evaluate_from(
+                        parent,
+                        &child,
+                        pred,
+                        k,
+                        ranking.as_ref(),
+                    )?,
                     None => shared.backend.evaluate(&child, k, ranking.as_ref())?,
                 };
                 Response::Evaluation(evaluation)
@@ -305,22 +320,14 @@ fn handle_request<B: SearchBackend>(shared: &Shared<B>, req: Request) -> Respons
                 child.validate(schema)?;
                 validate_pred(schema, pred)?;
                 let k = validate_k(k)?;
-                let classified = match shared.sessions.get(sid) {
-                    Some(entry) => {
-                        let stack = entry.stack.lock().expect("session poisoned");
-                        match stack.get(parent_level as usize) {
-                            Some(parent) => {
-                                shared.backend.classify_from(parent, &child, pred, k)?
-                            }
-                            None => hdb_interface::Classified::from_evaluation(
-                                shared.backend.evaluate(
-                                    &child,
-                                    k,
-                                    &hdb_interface::RowIdRanking,
-                                )?,
-                                k,
-                            ),
-                        }
+                // Same fallback road as WalkEvaluate: missing session,
+                // poisoned stack, or retired level → fresh evaluation.
+                let entry = shared.sessions.get(sid);
+                let stack = entry.as_ref().and_then(|e| e.stack.lock().ok());
+                let parent = stack.as_ref().and_then(|s| s.get(parent_level as usize));
+                let classified = match parent {
+                    Some(parent) => {
+                        shared.backend.classify_from(parent, &child, pred, k)?
                     }
                     None => hdb_interface::Classified::from_evaluation(
                         shared.backend.evaluate(&child, k, &hdb_interface::RowIdRanking)?,
@@ -368,8 +375,19 @@ impl<B: SearchBackend + 'static> ConnTask<B> {
                             // and keep serving.
                             Err(e) => Response::Error(e),
                         };
+                        // An unencodable response (a length beyond the
+                        // wire's u32 ranges) degrades to its typed error;
+                        // if even that cannot encode, drop the connection
+                        // rather than desynchronise the stream.
+                        let bytes = match resp.encode() {
+                            Ok(bytes) => bytes,
+                            Err(e) => match Response::Error(e).encode() {
+                                Ok(bytes) => bytes,
+                                Err(_) => return,
+                            },
+                        };
                         let mut framed = Vec::new();
-                        if write_frame(&mut framed, &resp.encode()).is_err()
+                        if write_frame(&mut framed, &bytes).is_err()
                             || self.stream.write_all(&framed).is_err()
                         {
                             return; // client gone
@@ -389,7 +407,12 @@ impl<B: SearchBackend + 'static> ConnTask<B> {
             let mut chunk = [0u8; 16 * 1024];
             match self.stream.read(&mut chunk) {
                 Ok(0) => return, // clean EOF
-                Ok(n) => self.buf.extend(&chunk[..n]),
+                // `read` contracts n ≤ chunk.len(); a lying Read impl
+                // gets the connection dropped, not a panic.
+                Ok(n) => match chunk.get(..n) {
+                    Some(got) => self.buf.extend(got),
+                    None => return,
+                },
                 Err(e)
                     if matches!(
                         e.kind(),
@@ -640,7 +663,7 @@ mod tests {
             Response::Error(HdbError::Transport(_))
         ));
         // The same connection still serves real requests.
-        write_frame(&mut stream, &Request::Len.encode()).unwrap();
+        write_frame(&mut stream, &Request::Len.encode().unwrap()).unwrap();
         let payload = hdb_interface::wire::read_frame(&mut stream).unwrap().unwrap();
         assert_eq!(Response::decode(&payload).unwrap(), Response::Len(32));
         // Unframeable input (absurd length prefix) → connection dropped.
@@ -663,7 +686,8 @@ mod tests {
                 k: 0,
                 ranking: hdb_interface::RankingSpec::RowId,
             }
-            .encode(),
+            .encode()
+            .unwrap(),
         )
         .unwrap();
         let payload = hdb_interface::wire::read_frame(&mut stream).unwrap().unwrap();
@@ -679,7 +703,7 @@ mod tests {
         let server = serve();
         let mut stream = TcpStream::connect(server.addr()).unwrap();
         let ask = |stream: &mut TcpStream, req: &Request| {
-            write_frame(stream, &req.encode()).unwrap();
+            write_frame(stream, &req.encode().unwrap()).unwrap();
             let payload = hdb_interface::wire::read_frame(stream).unwrap().unwrap();
             Response::decode(&payload).unwrap()
         };

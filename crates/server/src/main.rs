@@ -13,6 +13,8 @@
 //! client to itself, verifies a query + walk-session round trip against
 //! the local backend bit-for-bit, and exits — the CI smoke path.
 
+#![forbid(unsafe_code)]
+
 use std::time::Duration;
 
 use hdb_interface::{

@@ -11,6 +11,7 @@
 //! baselines — just enough to exercise the hot paths and print honest
 //! numbers. Swapping in real criterion is a one-line manifest change.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::time::{Duration, Instant};

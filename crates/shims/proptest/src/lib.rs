@@ -14,6 +14,7 @@
 //! deterministic case index and RNG seed so it can be replayed exactly
 //! (set `PROPTEST_SEED` to override the seed).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rand::rngs::StdRng;

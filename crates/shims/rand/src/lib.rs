@@ -19,6 +19,7 @@
 //! floats with the standard 53-bit mantissa scaling, so the
 //! unbiasedness tests see genuinely uniform draws.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Low-level source of random 64-bit words.

@@ -6,6 +6,7 @@
 //! (§6.1.4) — and the trial/checkpoint plumbing that turns many estimator
 //! runs into accuracy-vs-query-cost curves ([`Trace`], [`summarize_at`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -13,6 +13,8 @@
 //!   [`hdb_interface::RemoteBackend`]);
 //! * [`hdb_stats`] — accuracy summaries and trial plumbing.
 
+#![forbid(unsafe_code)]
+
 pub mod testkit;
 
 pub use hdb_core;
