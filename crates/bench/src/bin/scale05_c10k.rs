@@ -1,0 +1,10 @@
+//! Scale experiment: C10K-style serving — thousands of concurrent
+//! estimator clients against one reactor-driven loopback `hdb-server`,
+//! with bit-identity, idle-cost, and round-trip-economics checks and the
+//! machine-readable record written to `BENCH_scale05.json`.
+use hdb_bench::{experiments, Datasets, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    experiments::c10k::run_c10k(&scale, &Datasets::new());
+}

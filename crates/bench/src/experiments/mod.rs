@@ -5,6 +5,7 @@
 //! paper-vs-measured records.
 
 pub mod ablations;
+pub mod c10k;
 pub mod fig06_10_boolean;
 pub mod fig11_13_sweeps;
 pub mod fig14_17_yahoo;

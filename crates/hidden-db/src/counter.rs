@@ -16,6 +16,7 @@ pub struct QueryCounter {
     underflow: AtomicU64,
     valid: AtomicU64,
     overflow: AtomicU64,
+    errored: AtomicU64,
     limit: Option<u64>,
 }
 
@@ -38,6 +39,7 @@ impl QueryCounter {
             underflow: AtomicU64::new(0),
             valid: AtomicU64::new(0),
             overflow: AtomicU64::new(0),
+            errored: AtomicU64::new(0),
             limit,
         }
     }
@@ -69,6 +71,7 @@ impl QueryCounter {
             OutcomeKind::Underflow => &self.underflow,
             OutcomeKind::Valid => &self.valid,
             OutcomeKind::Overflow => &self.overflow,
+            OutcomeKind::Errored => &self.errored,
         };
         slot.fetch_add(1, Ordering::Relaxed);
     }
@@ -97,6 +100,17 @@ impl QueryCounter {
         self.overflow.load(Ordering::Relaxed)
     }
 
+    /// Charged queries whose response never produced an outcome class —
+    /// the request went out (and the site metered it), but transport or
+    /// validation failed on the way back. Together with the three outcome
+    /// tallies this partitions [`QueryCounter::issued`] exactly:
+    /// `issued == underflow + valid + overflow + errored` whenever no
+    /// query is in flight.
+    #[must_use]
+    pub fn errored_count(&self) -> u64 {
+        self.errored.load(Ordering::Relaxed)
+    }
+
     /// The configured budget, if any.
     #[must_use]
     pub fn limit(&self) -> Option<u64> {
@@ -116,6 +130,7 @@ impl QueryCounter {
         self.underflow.store(0, Ordering::Relaxed);
         self.valid.store(0, Ordering::Relaxed);
         self.overflow.store(0, Ordering::Relaxed);
+        self.errored.store(0, Ordering::Relaxed);
     }
 }
 
@@ -125,6 +140,9 @@ pub(crate) enum OutcomeKind {
     Underflow,
     Valid,
     Overflow,
+    /// Charged, but the response failed (transport error, server-side
+    /// rejection) before an outcome class existed.
+    Errored,
 }
 
 #[cfg(test)]
@@ -175,6 +193,22 @@ mod tests {
         c.charge().unwrap();
         c.record_outcome(OutcomeKind::Overflow);
         assert_eq!((c.valid_count(), c.underflow_count(), c.overflow_count()), (1, 1, 1));
+    }
+
+    #[test]
+    fn errored_outcomes_partition_the_ledger() {
+        let c = QueryCounter::unlimited();
+        c.charge().unwrap();
+        c.record_outcome(OutcomeKind::Valid);
+        c.charge().unwrap();
+        c.record_outcome(OutcomeKind::Errored);
+        assert_eq!(c.errored_count(), 1);
+        assert_eq!(
+            c.issued(),
+            c.underflow_count() + c.valid_count() + c.overflow_count() + c.errored_count()
+        );
+        c.reset();
+        assert_eq!(c.errored_count(), 0);
     }
 
     #[test]

@@ -361,10 +361,17 @@ impl<B: SearchBackend> TopKInterface for HiddenDb<B> {
     fn query(&self, q: &Query) -> Result<QueryOutcome> {
         q.validate(self.backend.schema())?;
         self.counter.charge()?;
-        // A transport failure after the charge leaves the query counted
-        // but untallied: the request went out on the wire, so the site
-        // metered it, but no outcome class exists to record.
-        let outcome = self.respond(q)?;
+        // A failure after the charge (transport, server-side rejection)
+        // still cost the budget — the request went out on the wire, so the
+        // site metered it. Tally it as an errored outcome so the ledger
+        // keeps partitioning `issued` exactly.
+        let outcome = match self.respond(q) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                self.counter.record_outcome(OutcomeKind::Errored);
+                return Err(e);
+            }
+        };
         self.counter.record_outcome(outcome_kind(&outcome));
         Ok(outcome)
     }
@@ -593,7 +600,7 @@ mod tests {
         // the tallies partition the issued count exactly
         let c = db.counter();
         assert_eq!(
-            c.underflow_count() + c.valid_count() + c.overflow_count(),
+            c.underflow_count() + c.valid_count() + c.overflow_count() + c.errored_count(),
             db.queries_issued()
         );
         // rejected queries are never counted anywhere

@@ -64,6 +64,7 @@ pub mod latency;
 pub mod par;
 pub mod query;
 pub mod ranking;
+pub mod reactor;
 pub mod remote;
 pub mod schema;
 pub mod session;

@@ -14,15 +14,29 @@
 //! ride concurrent connections and a serial drill-down reuses one warm
 //! socket. The incremental walk fast path maps onto server-side sessions:
 //! [`SearchBackend::walk_state`] opens a session (the server materialises
-//! the root match set), extends and probes reference it by id, and the
-//! session is closed — best-effort — when the last client-side state
-//! referencing it drops. Every fast-path degradation (evicted session,
-//! failed open) falls back to fresh evaluation, which is bit-identical,
+//! the root match set) and probes reference it by `(sid, level)`.
+//!
+//! ## Pipelined extends
+//!
+//! [`SearchBackend::extend_state`] costs **zero** round trips: it only
+//! records a pending branch commitment in the client-side walk node. The
+//! next probe resolves the pending chain in one exchange — a single
+//! fused `WalkExtendEvaluate` / `WalkExtendClassify` frame when one
+//! extend is pending, or one `Batch` frame (extends + fused probe,
+//! answered with one response per member) when several are. A drill-down
+//! step — commit a branch, probe a child — therefore costs exactly one
+//! round trip, down from two. Extends replay idempotently on the server
+//! (extend-from-level truncates deeper levels first), which is what
+//! makes the pooled-connection stale retry safe.
+//!
+//! Every fast-path degradation (evicted session, failed open) falls back
+//! to re-rooting a fresh session or fresh evaluation, both bit-identical,
 //! so transport hiccups can slow a walk down but never change a result;
 //! hard failures surface as [`HdbError::Transport`].
 
 use std::io::Write as _;
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -31,7 +45,7 @@ use crate::error::{HdbError, Result};
 use crate::query::{Predicate, Query};
 use crate::ranking::{RankingFunction, RankingSpec};
 use crate::schema::{AttrId, Schema};
-use crate::wire::{read_frame, write_frame, Request, Response, PROTOCOL_VERSION};
+use crate::wire::{read_response, write_frame, Request, Response, PROTOCOL_VERSION};
 
 /// Default cap on pooled idle connections.
 const DEFAULT_MAX_IDLE: usize = 8;
@@ -48,6 +62,9 @@ struct ClientCore {
     idle: Mutex<Vec<TcpStream>>,
     max_idle: usize,
     io_timeout: Duration,
+    /// Wire exchanges performed (one per request frame sent, batches
+    /// included) — the round-trip economics evidence.
+    requests: AtomicU64,
 }
 
 impl ClientCore {
@@ -72,18 +89,36 @@ impl ClientCore {
         } // else: drop (close) the surplus connection
     }
 
-    /// One request/response exchange on an open connection.
-    fn roundtrip(stream: &mut TcpStream, req: &Request) -> Result<Response> {
+    /// One request/response exchange on an open connection. Streamed
+    /// (chunked-page) responses are reassembled transparently.
+    fn roundtrip(&self, stream: &mut TcpStream, req: &Request) -> Result<Response> {
         // Assemble the frame first so the request hits the wire in one
         // write (one segment on loopback).
         let mut framed = Vec::new();
         write_frame(&mut framed, &req.encode()?)?;
+        self.requests.fetch_add(1, Ordering::Relaxed);
         stream
             .write_all(&framed)
             .map_err(|e| HdbError::Transport(format!("write failed: {e}")))?;
-        let payload = read_frame(stream)?
-            .ok_or_else(|| HdbError::Transport("server closed the connection".into()))?;
-        Response::decode(&payload)
+        read_response(stream)?
+            .ok_or_else(|| HdbError::Transport("server closed the connection".into()))
+    }
+
+    /// One multi-request exchange: the pre-framed bytes go out in one
+    /// write, `n` responses come back (one per batch member).
+    fn exchange(&self, stream: &mut TcpStream, framed: &[u8], n: usize) -> Result<Vec<Response>> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        stream
+            .write_all(framed)
+            .map_err(|e| HdbError::Transport(format!("write failed: {e}")))?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let resp = read_response(stream)?.ok_or_else(|| {
+                HdbError::Transport("server closed the connection mid-batch".into())
+            })?;
+            out.push(resp);
+        }
+        Ok(out)
     }
 
     /// Sends `req` on a pooled connection, falling back to a fresh one if
@@ -95,16 +130,46 @@ impl ClientCore {
     fn request(&self, req: &Request) -> Result<Response> {
         let pooled = self.idle.lock().unwrap_or_else(|p| p.into_inner()).pop();
         if let Some(mut stream) = pooled {
-            if let Ok(resp) = Self::roundtrip(&mut stream, req) {
+            if let Ok(resp) = self.roundtrip(&mut stream, req) {
                 self.checkin(stream);
                 return Ok(resp);
             }
             // stale pooled connection: drop it and retry fresh below
         }
         let mut stream = self.open()?;
-        let resp = Self::roundtrip(&mut stream, req)?;
+        let resp = self.roundtrip(&mut stream, req)?;
         self.checkin(stream);
         Ok(resp)
+    }
+
+    /// Sends several requests in one frame (a singleton skips the batch
+    /// wrapper) and reads one response per member, in member order, with
+    /// the same stale-retry as [`ClientCore::request`] — safe because
+    /// extends replay idempotently and probes are reads.
+    fn request_many(&self, reqs: Vec<Request>) -> Result<Vec<Response>> {
+        let n = reqs.len();
+        let mut reqs = reqs;
+        let payload = match n {
+            0 => return Ok(Vec::new()),
+            1 => match reqs.pop() {
+                Some(req) => req.encode()?,
+                None => return Ok(Vec::new()),
+            },
+            _ => Request::Batch(reqs).encode()?,
+        };
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload)?;
+        let pooled = self.idle.lock().unwrap_or_else(|p| p.into_inner()).pop();
+        if let Some(mut stream) = pooled {
+            if let Ok(resps) = self.exchange(&mut stream, &framed, n) {
+                self.checkin(stream);
+                return Ok(resps);
+            }
+        }
+        let mut stream = self.open()?;
+        let resps = self.exchange(&mut stream, &framed, n)?;
+        self.checkin(stream);
+        Ok(resps)
     }
 
     /// [`ClientCore::request`] without the stale-connection retry, for
@@ -117,7 +182,7 @@ impl ClientCore {
             Some(stream) => stream,
             None => self.open()?,
         };
-        let resp = Self::roundtrip(&mut stream, req)?;
+        let resp = self.roundtrip(&mut stream, req)?;
         self.checkin(stream);
         Ok(resp)
     }
@@ -151,18 +216,104 @@ impl Drop for RemoteSessionHandle {
         // of the server's LRU table.
         let pooled = self.core.idle.lock().unwrap_or_else(|p| p.into_inner()).pop();
         if let Some(mut stream) = pooled {
-            if ClientCore::roundtrip(&mut stream, &Request::WalkClose { sid: self.sid }).is_ok() {
+            let core = Arc::clone(&self.core);
+            if core.roundtrip(&mut stream, &Request::WalkClose { sid: self.sid }).is_ok() {
                 self.core.checkin(stream);
             }
         }
     }
 }
 
-/// The payload a [`RemoteBackend`] stores in a [`WalkState`]: which
-/// server-side session and which level of its state stack this node is.
+/// Where one walk node stands with respect to the server.
+enum NodeState {
+    /// The server knows this node: `(sid, level)` in a live session.
+    Committed { session: Arc<RemoteSessionHandle>, level: u32 },
+    /// The extend that created this node has not crossed the wire yet —
+    /// it will piggyback on the next probe. `pred` extends the parent;
+    /// the node's full query lives on [`RemoteNode::query`].
+    Pending { pred: Predicate },
+    /// The server rejected this node's extend with a typed error; probes
+    /// through it go to fresh evaluation instead of retrying forever.
+    Broken,
+}
+
+/// One node of the client-side walk tree. Children keep their parent
+/// chain alive (`Arc`), so a pending node can always resolve upward to
+/// the nearest committed ancestor.
+struct RemoteNode {
+    /// The node's full query — the re-root anchor after an eviction.
+    query: Query,
+    parent: Option<Arc<RemoteNode>>,
+    state: Mutex<NodeState>,
+}
+
+impl RemoteNode {
+    fn set_state(&self, state: NodeState) {
+        *self.state.lock().unwrap_or_else(|p| p.into_inner()) = state;
+    }
+}
+
+/// The payload a [`RemoteBackend`] stores in a [`WalkState`].
 struct RemoteWalk {
-    session: Arc<RemoteSessionHandle>,
-    level: u32,
+    node: Arc<RemoteNode>,
+}
+
+/// How a probe should reach the server, resolved from the walk tree.
+enum Anchor {
+    /// Nearest committed ancestor plus the pending chain (shallowest
+    /// first) that must commit on the way to the probed node.
+    Chain {
+        session: Arc<RemoteSessionHandle>,
+        level: u32,
+        pendings: Vec<Arc<RemoteNode>>,
+    },
+    /// No usable server session behind this node — evaluate fresh.
+    Fresh,
+}
+
+/// Walks from `node` up to the nearest committed ancestor, collecting
+/// pending nodes along the way.
+fn anchor_of(node: &Arc<RemoteNode>) -> Anchor {
+    let mut pendings = Vec::new();
+    let mut cur = Arc::clone(node);
+    loop {
+        let next = {
+            let state = cur.state.lock().unwrap_or_else(|p| p.into_inner());
+            match &*state {
+                NodeState::Committed { session, level } => {
+                    let (session, level) = (Arc::clone(session), *level);
+                    pendings.reverse();
+                    return Anchor::Chain { session, level, pendings };
+                }
+                NodeState::Broken => return Anchor::Fresh,
+                NodeState::Pending { .. } => cur.parent.clone(),
+            }
+        };
+        pendings.push(Arc::clone(&cur));
+        match next {
+            Some(parent) => cur = parent,
+            None => return Anchor::Fresh,
+        }
+    }
+}
+
+/// The pending `pred` of a node (the node must be in `Pending` state;
+/// a concurrent commit makes this `None` and the caller re-resolves).
+fn pending_pred(node: &RemoteNode) -> Option<Predicate> {
+    match &*node.state.lock().unwrap_or_else(|p| p.into_inner()) {
+        NodeState::Pending { pred } => Some(*pred),
+        _ => None,
+    }
+}
+
+/// What the batched resolution of a pending chain concluded.
+enum Resolved {
+    /// The probe's response (the chain committed up to it).
+    Probe(Response),
+    /// The session disappeared server-side; re-root and retry plainly.
+    Gone,
+    /// An extend was rejected with a typed error; fall back fresh.
+    Broken,
 }
 
 /// A [`SearchBackend`] speaking the hidden-DB wire protocol to an
@@ -170,8 +321,8 @@ struct RemoteWalk {
 ///
 /// The schema and corpus size are fetched once at connect time (the
 /// hidden-database model is static); every other operation is one
-/// request/response round trip. See the module docs for the walk-session
-/// mapping.
+/// request/response round trip — including a drill-down extend+probe,
+/// which travels as one fused or batched frame (see the module docs).
 pub struct RemoteBackend {
     core: Arc<ClientCore>,
     schema: Schema,
@@ -214,6 +365,7 @@ impl RemoteBackend {
             idle: Mutex::new(Vec::new()),
             max_idle: max_idle.max(1),
             io_timeout,
+            requests: AtomicU64::new(0),
         });
         match ok_or_err(core.request(&Request::Hello { version: PROTOCOL_VERSION })?)? {
             Response::Hello { version } if version == PROTOCOL_VERSION => {}
@@ -248,6 +400,15 @@ impl RemoteBackend {
         self.core.idle.lock().unwrap_or_else(|p| p.into_inner()).len()
     }
 
+    /// Wire exchanges performed so far (one per frame sent — a batched
+    /// extend chain plus probe counts once). This is the round-trip
+    /// economics evidence: with pipelined extends, a drill-down step
+    /// adds exactly one.
+    #[must_use]
+    pub fn requests_sent(&self) -> u64 {
+        self.core.requests.load(Ordering::Relaxed)
+    }
+
     fn spec_of(ranking: &dyn RankingFunction) -> Result<RankingSpec> {
         ranking.wire_spec().ok_or_else(|| {
             HdbError::Transport(
@@ -256,6 +417,87 @@ impl RemoteBackend {
                     .into(),
             )
         })
+    }
+
+    /// Re-roots a walk node after its session vanished server-side:
+    /// opens a fresh session whose root *is* the node's query, so probes
+    /// from the node stay incremental. Returns the new handle, or `None`
+    /// when the open failed (callers then evaluate fresh).
+    fn re_root(&self, node: &Arc<RemoteNode>) -> Option<Arc<RemoteSessionHandle>> {
+        match self.core.request_once(&Request::WalkOpen { root: node.query.clone() }) {
+            Ok(Response::Session { sid }) => {
+                let session =
+                    Arc::new(RemoteSessionHandle { core: Arc::clone(&self.core), sid });
+                node.set_state(NodeState::Committed { session: Arc::clone(&session), level: 0 });
+                Some(session)
+            }
+            _ => None,
+        }
+    }
+
+    /// Sends the pending chain plus the probe in one exchange and
+    /// commits each acknowledged extend into its node. `make_probe`
+    /// builds the final (fused) request from `(sid, parent_level)`;
+    /// `probe_of` extracts and commits the fused response.
+    fn resolve_chain(
+        &self,
+        session: &Arc<RemoteSessionHandle>,
+        base_level: u32,
+        pendings: &[Arc<RemoteNode>],
+        make_probe: impl FnOnce(u64, u32, Query, Predicate) -> Request,
+    ) -> Result<Resolved> {
+        let sid = session.sid;
+        let mut reqs = Vec::with_capacity(pendings.len());
+        let mut level = base_level;
+        let Some((last, body)) = pendings.split_last() else {
+            return Ok(Resolved::Broken);
+        };
+        for node in body {
+            let Some(pred) = pending_pred(node) else {
+                // Concurrently committed under us — rare; degrade fresh.
+                return Ok(Resolved::Broken);
+            };
+            reqs.push(Request::WalkExtend {
+                sid,
+                parent_level: level,
+                child: node.query.clone(),
+                pred,
+            });
+            level += 1;
+        }
+        let Some(last_pred) = pending_pred(last) else {
+            return Ok(Resolved::Broken);
+        };
+        reqs.push(make_probe(sid, level, last.query.clone(), last_pred));
+        let resps = self.core.request_many(reqs)?;
+        if resps.len() != pendings.len() {
+            return Err(HdbError::Transport(format!(
+                "protocol error: {} responses to a {}-member batch",
+                resps.len(),
+                pendings.len()
+            )));
+        }
+        let mut resps = resps.into_iter();
+        for node in body {
+            match resps.next() {
+                Some(Response::Level { level }) => {
+                    node.set_state(NodeState::Committed {
+                        session: Arc::clone(session),
+                        level,
+                    });
+                }
+                Some(Response::SessionGone) => return Ok(Resolved::Gone),
+                Some(_) | None => {
+                    node.set_state(NodeState::Broken);
+                    return Ok(Resolved::Broken);
+                }
+            }
+        }
+        match resps.next() {
+            Some(Response::SessionGone) => Ok(Resolved::Gone),
+            Some(resp) => Ok(Resolved::Probe(resp)),
+            None => Ok(Resolved::Broken),
+        }
     }
 }
 
@@ -302,13 +544,24 @@ impl SearchBackend for RemoteBackend {
         // error on the next charged probe.
         match self.core.request_once(&Request::WalkOpen { root: q.clone() }) {
             Ok(Response::Session { sid }) => WalkState::with_payload(RemoteWalk {
-                session: Arc::new(RemoteSessionHandle { core: Arc::clone(&self.core), sid }),
-                level: 0,
+                node: Arc::new(RemoteNode {
+                    query: q.clone(),
+                    parent: None,
+                    state: Mutex::new(NodeState::Committed {
+                        session: Arc::new(RemoteSessionHandle {
+                            core: Arc::clone(&self.core),
+                            sid,
+                        }),
+                        level: 0,
+                    }),
+                }),
             }),
             _ => WalkState::fallback(),
         }
     }
 
+    /// Zero round trips: the branch commitment is recorded client-side
+    /// and piggybacks onto the next probe (see the module docs).
     fn extend_state(
         &self,
         parent: &WalkState,
@@ -317,23 +570,17 @@ impl SearchBackend for RemoteBackend {
         _recycled: WalkState,
     ) -> WalkState {
         let Some(walk) = parent.payload::<RemoteWalk>() else {
+            // No server session behind the parent: open one rooted at
+            // the child so the subtree below is still incremental.
             return self.walk_state(child);
         };
-        let req = Request::WalkExtend {
-            sid: walk.session.sid,
-            parent_level: walk.level,
-            child: child.clone(),
-            pred,
-        };
-        match self.core.request(&req) {
-            Ok(Response::Level { level }) => WalkState::with_payload(RemoteWalk {
-                session: Arc::clone(&walk.session),
-                level,
+        WalkState::with_payload(RemoteWalk {
+            node: Arc::new(RemoteNode {
+                query: child.clone(),
+                parent: Some(Arc::clone(&walk.node)),
+                state: Mutex::new(NodeState::Pending { pred }),
             }),
-            // Session evicted / transport hiccup: open a fresh session
-            // rooted at the child (still incremental below this node).
-            _ => self.walk_state(child),
-        }
+        })
     }
 
     fn evaluate_from(
@@ -347,18 +594,60 @@ impl SearchBackend for RemoteBackend {
         let Some(walk) = parent.payload::<RemoteWalk>() else {
             return self.evaluate(child, k, ranking);
         };
-        let req = Request::WalkEvaluate {
-            sid: walk.session.sid,
-            parent_level: walk.level,
-            child: child.clone(),
-            pred,
-            k: k as u64,
-            ranking: Self::spec_of(ranking)?,
+        let spec = Self::spec_of(ranking)?;
+        let plain = |sid: u64, parent_level: u32| -> Result<Evaluation> {
+            let req = Request::WalkEvaluate {
+                sid,
+                parent_level,
+                child: child.clone(),
+                pred,
+                k: k as u64,
+                ranking: spec,
+            };
+            match ok_or_err(self.core.request(&req)?)? {
+                Response::Evaluation(ev) => Ok(ev),
+                Response::SessionGone => self.evaluate(child, k, ranking),
+                other => Err(unexpected("Evaluation", &other)),
+            }
         };
-        match ok_or_err(self.core.request(&req)?)? {
-            Response::Evaluation(ev) => Ok(ev),
-            Response::SessionGone => self.evaluate(child, k, ranking),
-            other => Err(unexpected("Evaluation", &other)),
+        match anchor_of(&walk.node) {
+            Anchor::Fresh => self.evaluate(child, k, ranking),
+            Anchor::Chain { session, level, pendings } if pendings.is_empty() => {
+                plain(session.sid, level)
+            }
+            Anchor::Chain { session, level, pendings } => {
+                let resolved = self.resolve_chain(
+                    &session,
+                    level,
+                    &pendings,
+                    |sid, parent_level, ext_child, ext_pred| Request::WalkExtendEvaluate {
+                        sid,
+                        parent_level,
+                        ext_child,
+                        ext_pred,
+                        child: child.clone(),
+                        pred,
+                        k: k as u64,
+                        ranking: spec,
+                    },
+                )?;
+                match resolved {
+                    Resolved::Probe(resp) => match ok_or_err(resp)? {
+                        Response::ExtendEvaluation { level, evaluation } => {
+                            if let Some(last) = pendings.last() {
+                                last.set_state(NodeState::Committed { session, level });
+                            }
+                            Ok(evaluation)
+                        }
+                        other => Err(unexpected("ExtendEvaluation", &other)),
+                    },
+                    Resolved::Gone => match self.re_root(&walk.node) {
+                        Some(session) => plain(session.sid, 0),
+                        None => self.evaluate(child, k, ranking),
+                    },
+                    Resolved::Broken => self.evaluate(child, k, ranking),
+                }
+            }
         }
     }
 
@@ -369,26 +658,66 @@ impl SearchBackend for RemoteBackend {
         pred: Predicate,
         k: usize,
     ) -> Result<Classified> {
+        let fresh = || -> Result<Classified> {
+            Ok(Classified::from_evaluation(
+                self.evaluate(child, k, &crate::ranking::RowIdRanking)?,
+                k,
+            ))
+        };
         let Some(walk) = parent.payload::<RemoteWalk>() else {
-            return Ok(Classified::from_evaluation(
-                self.evaluate(child, k, &crate::ranking::RowIdRanking)?,
-                k,
-            ));
+            return fresh();
         };
-        let req = Request::WalkClassify {
-            sid: walk.session.sid,
-            parent_level: walk.level,
-            child: child.clone(),
-            pred,
-            k: k as u64,
+        let plain = |sid: u64, parent_level: u32| -> Result<Classified> {
+            let req = Request::WalkClassify {
+                sid,
+                parent_level,
+                child: child.clone(),
+                pred,
+                k: k as u64,
+            };
+            match ok_or_err(self.core.request(&req)?)? {
+                Response::Classified(c) => Ok(c),
+                Response::SessionGone => fresh(),
+                other => Err(unexpected("Classified", &other)),
+            }
         };
-        match ok_or_err(self.core.request(&req)?)? {
-            Response::Classified(c) => Ok(c),
-            Response::SessionGone => Ok(Classified::from_evaluation(
-                self.evaluate(child, k, &crate::ranking::RowIdRanking)?,
-                k,
-            )),
-            other => Err(unexpected("Classified", &other)),
+        match anchor_of(&walk.node) {
+            Anchor::Fresh => fresh(),
+            Anchor::Chain { session, level, pendings } if pendings.is_empty() => {
+                plain(session.sid, level)
+            }
+            Anchor::Chain { session, level, pendings } => {
+                let resolved = self.resolve_chain(
+                    &session,
+                    level,
+                    &pendings,
+                    |sid, parent_level, ext_child, ext_pred| Request::WalkExtendClassify {
+                        sid,
+                        parent_level,
+                        ext_child,
+                        ext_pred,
+                        child: child.clone(),
+                        pred,
+                        k: k as u64,
+                    },
+                )?;
+                match resolved {
+                    Resolved::Probe(resp) => match ok_or_err(resp)? {
+                        Response::ExtendClassified { level, classified } => {
+                            if let Some(last) = pendings.last() {
+                                last.set_state(NodeState::Committed { session, level });
+                            }
+                            Ok(classified)
+                        }
+                        other => Err(unexpected("ExtendClassified", &other)),
+                    },
+                    Resolved::Gone => match self.re_root(&walk.node) {
+                        Some(session) => plain(session.sid, 0),
+                        None => fresh(),
+                    },
+                    Resolved::Broken => fresh(),
+                }
+            }
         }
     }
 }

@@ -358,7 +358,15 @@ impl<B: SearchBackend> SessionCore for DbCore<'_, B> {
         // One round trip per issued query, memo hit or not — exactly the
         // fresh path's contract.
         self.db.backend.round_trip();
-        let outcome = self.respond_full(child, pred, k)?;
+        let outcome = match self.respond_full(child, pred, k) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                // Charged and sent, but no outcome class came back: the
+                // budget is spent either way, so tally the failure.
+                self.db.counter.record_outcome(OutcomeKind::Errored);
+                return Err(e);
+            }
+        };
         self.db.counter.record_outcome(outcome_kind(&outcome));
         Ok(outcome)
     }
@@ -366,15 +374,15 @@ impl<B: SearchBackend> SessionCore for DbCore<'_, B> {
     fn classify(&mut self, child: &Query, pred: Predicate, k: usize) -> Result<ClassifiedOutcome> {
         self.db.counter.charge()?;
         self.db.backend.round_trip();
-        let out = if let Some(hit) = self.db.hot_responses.get(child) {
+        let computed = (|| if let Some(hit) = self.db.hot_responses.get(child) {
             // Memoised responses are served exactly as to a fresh query.
-            ClassifiedOutcome::from_outcome(hit)
+            Ok(ClassifiedOutcome::from_outcome(hit))
         } else if self.materialize {
-            ClassifiedOutcome::from_outcome(self.respond_full(child, pred, k)?)
+            Ok(ClassifiedOutcome::from_outcome(self.respond_full(child, pred, k)?))
         } else if let Some(hit) = self.db.hot_counts.get(child) {
             // A repeated count-only probe of an expensive node: served
             // from the count memo, charged like any other memo hit.
-            hit
+            Ok(hit)
         } else {
             // Count-only: one AND-count pass; valid pages (≤ k tuples,
             // ranking-independent) are the only materialisation. There is
@@ -393,7 +401,16 @@ impl<B: SearchBackend> SessionCore for DbCore<'_, B> {
             if expensive {
                 self.db.hot_counts.insert(child.clone(), out.clone());
             }
-            out
+            Ok(out)
+        })();
+        let out = match computed {
+            Ok(out) => out,
+            Err(e) => {
+                // Charged and sent, but the response failed: tally the
+                // spent budget as an errored outcome.
+                self.db.counter.record_outcome(OutcomeKind::Errored);
+                return Err(e);
+            }
         };
         self.db.counter.record_outcome(out.kind());
         Ok(out)

@@ -11,6 +11,24 @@
 //! state is keyed by a session id so a drill-down probe stays one AND
 //! (and one round trip) across the network.
 //!
+//! Version 2 pipelines the protocol three ways:
+//!
+//! * **Fused walk steps** — [`Request::WalkExtendEvaluate`] /
+//!   [`Request::WalkExtendClassify`] commit a branch *and* probe it in
+//!   one message, so a drill-down step costs zero standalone round
+//!   trips (down from one `WalkExtend` RTT per step).
+//! * **Batched requests** — [`Request::Batch`] carries several requests
+//!   in one frame. The server answers with one response frame *per
+//!   member, in member order* (there is deliberately no `Response::Batch`
+//!   — keeping responses flat lets any member's page stream).
+//! * **Chunked page streaming** — a page-carrying response whose page
+//!   exceeds [`STREAM_TUPLES`] is shipped as a [`Response::Streamed`]
+//!   head (page stripped) followed by [`Response::PageChunk`] frames,
+//!   the last one marked terminal, so neither side ever materialises a
+//!   single near-[`MAX_FRAME_LEN`] frame. [`write_response`] /
+//!   [`read_response`] implement both ends of the split and are what the
+//!   server and `RemoteBackend` use.
+//!
 //! The protocol is deliberately *static*-schema: values are fixed-width
 //! little-endian integers, strings are `u32`-length-prefixed UTF-8, and
 //! every decoder is total — malformed bytes surface as
@@ -27,12 +45,22 @@ use crate::schema::{Attribute, Schema};
 use crate::tuple::Tuple;
 
 /// Protocol version; [`Request::Hello`] / [`Response::Hello`] exchange it
-/// and a mismatch is a connect-time [`HdbError::Transport`].
-pub const PROTOCOL_VERSION: u32 = 1;
+/// and a mismatch is a connect-time [`HdbError::Transport`]. Version 2
+/// added the fused walk messages, request batching, and chunked page
+/// streaming.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on a frame payload (64 MiB): anything larger is treated as
 /// a corrupt length prefix and rejected before allocation.
 pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Pages longer than this stream as [`Response::PageChunk`] frames of at
+/// most this many tuples each, instead of one monolithic frame.
+pub const STREAM_TUPLES: usize = 1024;
+
+/// Ceiling on tuples accumulated while reassembling a chunked stream: a
+/// lying server cannot make [`read_response`] allocate without bound.
+pub const STREAM_REASSEMBLY_CAP: usize = 1 << 24;
 
 /// One client → server message.
 #[derive(Clone, Debug, PartialEq)]
@@ -121,6 +149,51 @@ pub enum Request {
         /// The session id.
         sid: u64,
     },
+    /// Several requests in one frame, answered with one response frame
+    /// per member in member order. Must be non-empty; members cannot
+    /// themselves be batches. This is how a deferred chain of walk
+    /// extends piggybacks onto the probe that finally needs them.
+    Batch(Vec<Request>),
+    /// Fused [`Request::WalkExtend`] + [`Request::WalkEvaluate`]: commit
+    /// the branch `ext_pred` at `parent_level`, then evaluate the probe
+    /// on the level just pushed — one message, one round trip, and
+    /// bit-identical to the two-message sequence.
+    WalkExtendEvaluate {
+        /// The session id.
+        sid: u64,
+        /// Index of the parent level the extend applies to.
+        parent_level: u32,
+        /// The extend's full child query (fallback path + revalidation).
+        ext_child: Query,
+        /// The predicate the extend commits.
+        ext_pred: Predicate,
+        /// The probe's full child query (fallback path + revalidation).
+        child: Query,
+        /// The probed predicate (applied on the level the extend pushed).
+        pred: Predicate,
+        /// The interface constant `k` (must be ≥ 1).
+        k: u64,
+        /// The ranking to select the top `k` under.
+        ranking: RankingSpec,
+    },
+    /// Fused [`Request::WalkExtend`] + [`Request::WalkClassify`]: the
+    /// count-only sibling of [`Request::WalkExtendEvaluate`].
+    WalkExtendClassify {
+        /// The session id.
+        sid: u64,
+        /// Index of the parent level the extend applies to.
+        parent_level: u32,
+        /// The extend's full child query (fallback path + revalidation).
+        ext_child: Query,
+        /// The predicate the extend commits.
+        ext_pred: Predicate,
+        /// The probe's full child query (fallback path + revalidation).
+        child: Query,
+        /// The probed predicate (applied on the level the extend pushed).
+        pred: Predicate,
+        /// The interface constant `k` (must be ≥ 1).
+        k: u64,
+    },
 }
 
 /// One server → client message.
@@ -159,6 +232,32 @@ pub enum Response {
     /// client falls back to fresh evaluation (bit-identical, just
     /// slower). Not an error.
     SessionGone,
+    /// Reply to a fused [`Request::WalkExtendEvaluate`]: the level the
+    /// extend pushed plus the probe's evaluation.
+    ExtendEvaluation {
+        /// Index of the pushed level.
+        level: u32,
+        /// The probe's full evaluation.
+        evaluation: Evaluation,
+    },
+    /// Reply to a fused [`Request::WalkExtendClassify`].
+    ExtendClassified {
+        /// Index of the pushed level.
+        level: u32,
+        /// The probe's count-only classification.
+        classified: Classified,
+    },
+    /// Head of a chunked page stream: the inner page-carrying response
+    /// with its page stripped; [`Response::PageChunk`] frames follow
+    /// until one with `last` set. Only valid at the top level of a frame.
+    Streamed(Box<Response>),
+    /// One chunk of a streamed page (at most [`STREAM_TUPLES`] tuples).
+    PageChunk {
+        /// Whether this chunk completes the stream.
+        last: bool,
+        /// The chunk's tuples, in page order.
+        tuples: Vec<ReturnedTuple>,
+    },
     /// A typed error (invalid query, unsupported request, …).
     Error(HdbError),
 }
@@ -518,9 +617,15 @@ impl Request {
     ///
     /// # Errors
     /// [`HdbError::Transport`] if a length in the message does not fit
-    /// the wire's `u32` ranges (a message that big could never be framed).
+    /// the wire's `u32` ranges (a message that big could never be framed),
+    /// or the message nests batches / is an empty batch.
     pub fn encode(&self) -> Result<Vec<u8>> {
         let mut e = Enc::new();
+        self.enc_into(&mut e, true)?;
+        Ok(e.into_bytes())
+    }
+
+    fn enc_into(&self, e: &mut Enc, top: bool) -> Result<()> {
         match self {
             Self::Hello { version } => {
                 e.u8(0x01);
@@ -530,53 +635,100 @@ impl Request {
             Self::Len => e.u8(0x03),
             Self::Evaluate { query, k, ranking } => {
                 e.u8(0x04);
-                enc_query(&mut e, query)?;
+                enc_query(e, query)?;
                 e.u64(*k);
-                enc_ranking(&mut e, *ranking)?;
+                enc_ranking(e, *ranking)?;
             }
             Self::ExactCount { query } => {
                 e.u8(0x05);
-                enc_query(&mut e, query)?;
+                enc_query(e, query)?;
             }
             Self::ExactSum { attr, query } => {
                 e.u8(0x06);
                 e.u64(*attr);
-                enc_query(&mut e, query)?;
+                enc_query(e, query)?;
             }
             Self::WalkOpen { root } => {
                 e.u8(0x07);
-                enc_query(&mut e, root)?;
+                enc_query(e, root)?;
             }
             Self::WalkExtend { sid, parent_level, child, pred } => {
                 e.u8(0x08);
                 e.u64(*sid);
                 e.u32(*parent_level);
-                enc_query(&mut e, child)?;
-                enc_predicate(&mut e, *pred)?;
+                enc_query(e, child)?;
+                enc_predicate(e, *pred)?;
             }
             Self::WalkEvaluate { sid, parent_level, child, pred, k, ranking } => {
                 e.u8(0x09);
                 e.u64(*sid);
                 e.u32(*parent_level);
-                enc_query(&mut e, child)?;
-                enc_predicate(&mut e, *pred)?;
+                enc_query(e, child)?;
+                enc_predicate(e, *pred)?;
                 e.u64(*k);
-                enc_ranking(&mut e, *ranking)?;
+                enc_ranking(e, *ranking)?;
             }
             Self::WalkClassify { sid, parent_level, child, pred, k } => {
                 e.u8(0x0A);
                 e.u64(*sid);
                 e.u32(*parent_level);
-                enc_query(&mut e, child)?;
-                enc_predicate(&mut e, *pred)?;
+                enc_query(e, child)?;
+                enc_predicate(e, *pred)?;
                 e.u64(*k);
             }
             Self::WalkClose { sid } => {
                 e.u8(0x0B);
                 e.u64(*sid);
             }
+            Self::Batch(members) => {
+                if !top {
+                    return Err(HdbError::Transport(
+                        "unencodable message: batches cannot nest".into(),
+                    ));
+                }
+                if members.is_empty() {
+                    return Err(HdbError::Transport(
+                        "unencodable message: empty batch".into(),
+                    ));
+                }
+                e.u8(0x0C);
+                e.seq(members.len(), "batch member count")?;
+                for m in members {
+                    m.enc_into(e, false)?;
+                }
+            }
+            Self::WalkExtendEvaluate {
+                sid,
+                parent_level,
+                ext_child,
+                ext_pred,
+                child,
+                pred,
+                k,
+                ranking,
+            } => {
+                e.u8(0x0D);
+                e.u64(*sid);
+                e.u32(*parent_level);
+                enc_query(e, ext_child)?;
+                enc_predicate(e, *ext_pred)?;
+                enc_query(e, child)?;
+                enc_predicate(e, *pred)?;
+                e.u64(*k);
+                enc_ranking(e, *ranking)?;
+            }
+            Self::WalkExtendClassify { sid, parent_level, ext_child, ext_pred, child, pred, k } => {
+                e.u8(0x0E);
+                e.u64(*sid);
+                e.u32(*parent_level);
+                enc_query(e, ext_child)?;
+                enc_predicate(e, *ext_pred)?;
+                enc_query(e, child)?;
+                enc_predicate(e, *pred)?;
+                e.u64(*k);
+            }
         }
-        Ok(e.into_bytes())
+        Ok(())
     }
 
     /// Decodes a frame payload.
@@ -585,47 +737,85 @@ impl Request {
     /// [`HdbError::Transport`] for any malformed payload.
     pub fn decode(payload: &[u8]) -> Result<Self> {
         let mut d = Dec::new(payload);
+        let req = Self::dec_from(&mut d, true)?;
+        d.finish()?;
+        Ok(req)
+    }
+
+    fn dec_from(d: &mut Dec<'_>, top: bool) -> Result<Self> {
         let req = match d.u8("request tag")? {
             0x01 => Self::Hello { version: d.u32("hello version")? },
             0x02 => Self::Schema,
             0x03 => Self::Len,
             0x04 => Self::Evaluate {
-                query: dec_query(&mut d)?,
+                query: dec_query(d)?,
                 k: d.u64("k")?,
-                ranking: dec_ranking(&mut d)?,
+                ranking: dec_ranking(d)?,
             },
-            0x05 => Self::ExactCount { query: dec_query(&mut d)? },
-            0x06 => Self::ExactSum { attr: d.u64("sum attr")?, query: dec_query(&mut d)? },
-            0x07 => Self::WalkOpen { root: dec_query(&mut d)? },
+            0x05 => Self::ExactCount { query: dec_query(d)? },
+            0x06 => Self::ExactSum { attr: d.u64("sum attr")?, query: dec_query(d)? },
+            0x07 => Self::WalkOpen { root: dec_query(d)? },
             0x08 => Self::WalkExtend {
                 sid: d.u64("sid")?,
                 parent_level: d.u32("parent level")?,
-                child: dec_query(&mut d)?,
-                pred: dec_predicate(&mut d)?,
+                child: dec_query(d)?,
+                pred: dec_predicate(d)?,
             },
             0x09 => Self::WalkEvaluate {
                 sid: d.u64("sid")?,
                 parent_level: d.u32("parent level")?,
-                child: dec_query(&mut d)?,
-                pred: dec_predicate(&mut d)?,
+                child: dec_query(d)?,
+                pred: dec_predicate(d)?,
                 k: d.u64("k")?,
-                ranking: dec_ranking(&mut d)?,
+                ranking: dec_ranking(d)?,
             },
             0x0A => Self::WalkClassify {
                 sid: d.u64("sid")?,
                 parent_level: d.u32("parent level")?,
-                child: dec_query(&mut d)?,
-                pred: dec_predicate(&mut d)?,
+                child: dec_query(d)?,
+                pred: dec_predicate(d)?,
                 k: d.u64("k")?,
             },
             0x0B => Self::WalkClose { sid: d.u64("sid")? },
+            0x0C => {
+                if !top {
+                    return Err(HdbError::Transport("malformed frame: nested batch".into()));
+                }
+                let n = d.seq_len("batch member count")?;
+                if n == 0 {
+                    return Err(HdbError::Transport("malformed frame: empty batch".into()));
+                }
+                let mut members = Vec::with_capacity(n);
+                for _ in 0..n {
+                    members.push(Self::dec_from(d, false)?);
+                }
+                Self::Batch(members)
+            }
+            0x0D => Self::WalkExtendEvaluate {
+                sid: d.u64("sid")?,
+                parent_level: d.u32("parent level")?,
+                ext_child: dec_query(d)?,
+                ext_pred: dec_predicate(d)?,
+                child: dec_query(d)?,
+                pred: dec_predicate(d)?,
+                k: d.u64("k")?,
+                ranking: dec_ranking(d)?,
+            },
+            0x0E => Self::WalkExtendClassify {
+                sid: d.u64("sid")?,
+                parent_level: d.u32("parent level")?,
+                ext_child: dec_query(d)?,
+                ext_pred: dec_predicate(d)?,
+                child: dec_query(d)?,
+                pred: dec_predicate(d)?,
+                k: d.u64("k")?,
+            },
             t => {
                 return Err(HdbError::Transport(format!(
                     "malformed frame: unknown request tag {t:#04x}"
                 )))
             }
         };
-        d.finish()?;
         Ok(req)
     }
 }
@@ -635,9 +825,15 @@ impl Response {
     ///
     /// # Errors
     /// [`HdbError::Transport`] if a length in the message does not fit
-    /// the wire's `u32` ranges (a message that big could never be framed).
+    /// the wire's `u32` ranges (a message that big could never be framed),
+    /// or a [`Response::Streamed`] head is not a page carrier.
     pub fn encode(&self) -> Result<Vec<u8>> {
         let mut e = Enc::new();
+        self.enc_into(&mut e, true)?;
+        Ok(e.into_bytes())
+    }
+
+    fn enc_into(&self, e: &mut Enc, top: bool) -> Result<()> {
         match self {
             Self::Hello { version } => {
                 e.u8(0x81);
@@ -645,7 +841,7 @@ impl Response {
             }
             Self::Schema(s) => {
                 e.u8(0x82);
-                enc_schema(&mut e, s)?;
+                enc_schema(e, s)?;
             }
             Self::Len(n) => {
                 e.u8(0x83);
@@ -654,7 +850,7 @@ impl Response {
             Self::Evaluation(ev) => {
                 e.u8(0x84);
                 e.usize(ev.count, "evaluation count")?;
-                enc_page(&mut e, &ev.top)?;
+                enc_page(e, &ev.top)?;
             }
             Self::Count(n) => {
                 e.u8(0x85);
@@ -675,16 +871,75 @@ impl Response {
             Self::Classified(c) => {
                 e.u8(0x89);
                 e.usize(c.count, "classified count")?;
-                enc_page(&mut e, &c.page)?;
+                enc_page(e, &c.page)?;
             }
             Self::Closed => e.u8(0x8A),
             Self::SessionGone => e.u8(0x8B),
+            Self::ExtendEvaluation { level, evaluation } => {
+                e.u8(0x8D);
+                e.u32(*level);
+                e.usize(evaluation.count, "evaluation count")?;
+                enc_page(e, &evaluation.top)?;
+            }
+            Self::ExtendClassified { level, classified } => {
+                e.u8(0x8E);
+                e.u32(*level);
+                e.usize(classified.count, "classified count")?;
+                enc_page(e, &classified.page)?;
+            }
+            Self::Streamed(head) => {
+                if !top {
+                    return Err(HdbError::Transport(
+                        "unencodable message: stream heads cannot nest".into(),
+                    ));
+                }
+                if !head.carries_page() {
+                    return Err(HdbError::Transport(
+                        "unencodable message: stream head must carry a page".into(),
+                    ));
+                }
+                e.u8(0x90);
+                head.enc_into(e, false)?;
+            }
+            Self::PageChunk { last, tuples } => {
+                if !top {
+                    return Err(HdbError::Transport(
+                        "unencodable message: page chunks cannot nest".into(),
+                    ));
+                }
+                e.u8(0x91);
+                e.u8(u8::from(*last));
+                enc_page(e, tuples)?;
+            }
             Self::Error(err) => {
                 e.u8(0x8F);
-                enc_error(&mut e, err)?;
+                enc_error(e, err)?;
             }
         }
-        Ok(e.into_bytes())
+        Ok(())
+    }
+
+    /// Whether this response carries a tuple page — the variants eligible
+    /// to head a chunked stream.
+    fn carries_page(&self) -> bool {
+        matches!(
+            self,
+            Self::Evaluation(_)
+                | Self::Classified(_)
+                | Self::ExtendEvaluation { .. }
+                | Self::ExtendClassified { .. }
+        )
+    }
+
+    /// The carried page, mutably (see [`Response::carries_page`]).
+    fn page_mut_check(&mut self) -> Option<&mut Vec<ReturnedTuple>> {
+        match self {
+            Self::Evaluation(ev) => Some(&mut ev.top),
+            Self::Classified(c) => Some(&mut c.page),
+            Self::ExtendEvaluation { evaluation, .. } => Some(&mut evaluation.top),
+            Self::ExtendClassified { classified, .. } => Some(&mut classified.page),
+            _ => None,
+        }
     }
 
     /// Decodes a frame payload.
@@ -693,13 +948,19 @@ impl Response {
     /// [`HdbError::Transport`] for any malformed payload.
     pub fn decode(payload: &[u8]) -> Result<Self> {
         let mut d = Dec::new(payload);
+        let resp = Self::dec_from(&mut d, true)?;
+        d.finish()?;
+        Ok(resp)
+    }
+
+    fn dec_from(d: &mut Dec<'_>, top: bool) -> Result<Self> {
         let resp = match d.u8("response tag")? {
             0x81 => Self::Hello { version: d.u32("hello version")? },
-            0x82 => Self::Schema(dec_schema(&mut d)?),
+            0x82 => Self::Schema(dec_schema(d)?),
             0x83 => Self::Len(d.u64("len")?),
             0x84 => {
                 let count = d.usize("evaluation count")?;
-                Self::Evaluation(Evaluation { count, top: dec_page(&mut d)? })
+                Self::Evaluation(Evaluation { count, top: dec_page(d)? })
             }
             0x85 => Self::Count(d.u64("count")?),
             0x86 => Self::Sum(d.f64("sum")?),
@@ -707,18 +968,55 @@ impl Response {
             0x88 => Self::Level { level: d.u32("level")? },
             0x89 => {
                 let count = d.usize("classified count")?;
-                Self::Classified(Classified { count, page: dec_page(&mut d)? })
+                Self::Classified(Classified { count, page: dec_page(d)? })
             }
             0x8A => Self::Closed,
             0x8B => Self::SessionGone,
-            0x8F => Self::Error(dec_error(&mut d)?),
+            0x8D => {
+                let level = d.u32("level")?;
+                let count = d.usize("evaluation count")?;
+                Self::ExtendEvaluation {
+                    level,
+                    evaluation: Evaluation { count, top: dec_page(d)? },
+                }
+            }
+            0x8E => {
+                let level = d.u32("level")?;
+                let count = d.usize("classified count")?;
+                Self::ExtendClassified {
+                    level,
+                    classified: Classified { count, page: dec_page(d)? },
+                }
+            }
+            0x90 => {
+                if !top {
+                    return Err(HdbError::Transport(
+                        "malformed frame: nested stream head".into(),
+                    ));
+                }
+                let mut head = Self::dec_from(d, false)?;
+                if head.page_mut_check().is_none() {
+                    return Err(HdbError::Transport(
+                        "malformed frame: stream head does not carry a page".into(),
+                    ));
+                }
+                Self::Streamed(Box::new(head))
+            }
+            0x91 => {
+                if !top {
+                    return Err(HdbError::Transport(
+                        "malformed frame: nested page chunk".into(),
+                    ));
+                }
+                Self::PageChunk { last: d.u8("chunk terminator")? != 0, tuples: dec_page(d)? }
+            }
+            0x8F => Self::Error(dec_error(d)?),
             t => {
                 return Err(HdbError::Transport(format!(
                     "malformed frame: unknown response tag {t:#04x}"
                 )))
             }
         };
-        d.finish()?;
         Ok(resp)
     }
 }
@@ -782,6 +1080,131 @@ pub fn read_frame(r: &mut impl std::io::Read) -> Result<Option<Vec<u8>>> {
         }
     }
     Ok(Some(payload))
+}
+
+/// Encodes one [`Response::PageChunk`] frame payload straight from a
+/// borrowed tuple slice — the server's streaming path uses this to emit
+/// chunks without cloning the page into a `Response` first. The bytes
+/// are identical to `Response::PageChunk { last, tuples }.encode()`.
+///
+/// # Errors
+/// [`HdbError::Transport`] if a tuple's arity exceeds the wire's `u32`
+/// range.
+pub fn encode_page_chunk(tuples: &[ReturnedTuple], last: bool) -> Result<Vec<u8>> {
+    let mut e = Enc::new();
+    e.u8(0x91);
+    e.u8(u8::from(last));
+    enc_page(&mut e, tuples)?;
+    Ok(e.into_bytes())
+}
+
+/// Writes one logical response to `w`, splitting page-carrying responses
+/// whose page exceeds [`STREAM_TUPLES`] into a [`Response::Streamed`]
+/// head plus [`Response::PageChunk`] frames. The receiving side is
+/// [`read_response`].
+///
+/// # Errors
+/// [`HdbError::Transport`] on any I/O or encoding failure.
+pub fn write_response(w: &mut impl std::io::Write, resp: &Response) -> Result<()> {
+    match stream_parts(resp) {
+        Some((head, page)) if page.len() > STREAM_TUPLES => {
+            write_frame(w, &Response::Streamed(Box::new(head)).encode()?)?;
+            let mut chunks = page.chunks(STREAM_TUPLES).peekable();
+            while let Some(chunk) = chunks.next() {
+                write_frame(w, &encode_page_chunk(chunk, chunks.peek().is_none())?)?;
+            }
+            Ok(())
+        }
+        _ => write_frame(w, &resp.encode()?),
+    }
+}
+
+/// Splits a page-carrying response into a page-less head plus its
+/// borrowed page; `None` for responses that cannot stream.
+fn stream_parts(resp: &Response) -> Option<(Response, &[ReturnedTuple])> {
+    match resp {
+        Response::Evaluation(ev) => Some((
+            Response::Evaluation(Evaluation { count: ev.count, top: Vec::new() }),
+            &ev.top,
+        )),
+        Response::Classified(c) => Some((
+            Response::Classified(Classified { count: c.count, page: Vec::new() }),
+            &c.page,
+        )),
+        Response::ExtendEvaluation { level, evaluation } => Some((
+            Response::ExtendEvaluation {
+                level: *level,
+                evaluation: Evaluation { count: evaluation.count, top: Vec::new() },
+            },
+            &evaluation.top,
+        )),
+        Response::ExtendClassified { level, classified } => Some((
+            Response::ExtendClassified {
+                level: *level,
+                classified: Classified { count: classified.count, page: Vec::new() },
+            },
+            &classified.page,
+        )),
+        _ => None,
+    }
+}
+
+/// Reads one *logical* response from `r` (blocking), reassembling a
+/// chunked page stream back into the head response. Returns `Ok(None)` on
+/// a clean end-of-stream before any bytes, like [`read_frame`].
+///
+/// # Errors
+/// [`HdbError::Transport`] on I/O failure, malformed frames, a stream
+/// truncated before its terminal chunk, a bare [`Response::PageChunk`]
+/// outside a stream, or a stream exceeding [`STREAM_REASSEMBLY_CAP`]
+/// tuples.
+pub fn read_response(r: &mut impl std::io::Read) -> Result<Option<Response>> {
+    let Some(payload) = read_frame(r)? else { return Ok(None) };
+    let head = match Response::decode(&payload)? {
+        Response::Streamed(head) => *head,
+        Response::PageChunk { .. } => {
+            return Err(HdbError::Transport(
+                "malformed stream: page chunk without a stream head".into(),
+            ))
+        }
+        resp => return Ok(Some(resp)),
+    };
+    let mut head = head;
+    let mut page: Vec<ReturnedTuple> = Vec::new();
+    loop {
+        let Some(chunk) = read_frame(r)? else {
+            return Err(HdbError::Transport(
+                "malformed stream: connection closed before the terminal chunk".into(),
+            ));
+        };
+        match Response::decode(&chunk)? {
+            Response::PageChunk { last, tuples } => {
+                if page.len().saturating_add(tuples.len()) > STREAM_REASSEMBLY_CAP {
+                    return Err(HdbError::Transport(format!(
+                        "malformed stream: more than {STREAM_REASSEMBLY_CAP} tuples"
+                    )));
+                }
+                page.extend(tuples);
+                if last {
+                    break;
+                }
+            }
+            _ => {
+                return Err(HdbError::Transport(
+                    "malformed stream: expected a page chunk mid-stream".into(),
+                ))
+            }
+        }
+    }
+    match head.page_mut_check() {
+        Some(slot) => *slot = page,
+        None => {
+            return Err(HdbError::Transport(
+                "malformed stream: head does not carry a page".into(),
+            ))
+        }
+    }
+    Ok(Some(head))
 }
 
 /// Incremental frame accumulator for servers that poll connections with
@@ -880,16 +1303,69 @@ mod tests {
             Request::WalkClassify {
                 sid: u64::MAX,
                 parent_level: 1,
-                child: q,
+                child: q.clone(),
                 pred: Predicate::new(2, 0),
                 k: 10,
             },
             Request::WalkClose { sid: 5 },
+            Request::WalkExtendEvaluate {
+                sid: 11,
+                parent_level: 3,
+                ext_child: q.clone(),
+                ext_pred: Predicate::new(1, 2),
+                child: q.clone().and(2, 1).unwrap(),
+                pred: Predicate::new(2, 1),
+                k: 4,
+                ranking: RankingSpec::SeededRandom { seed: 7 },
+            },
+            Request::WalkExtendClassify {
+                sid: 12,
+                parent_level: 0,
+                ext_child: q.clone(),
+                ext_pred: Predicate::new(0, 1),
+                child: q.clone().and(2, 0).unwrap(),
+                pred: Predicate::new(2, 0),
+                k: 9,
+            },
+            Request::Batch(vec![
+                Request::WalkExtend {
+                    sid: 9,
+                    parent_level: 0,
+                    child: q.clone(),
+                    pred: Predicate::new(1, 2),
+                },
+                Request::WalkClassify {
+                    sid: 9,
+                    parent_level: 1,
+                    child: q.clone(),
+                    pred: Predicate::new(2, 0),
+                    k: 10,
+                },
+            ]),
         ];
         for req in requests {
             let bytes = req.encode().unwrap();
             assert_eq!(Request::decode(&bytes).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn batch_requests_cannot_nest_or_be_empty() {
+        assert!(Request::Batch(vec![]).encode().is_err());
+        assert!(Request::Batch(vec![Request::Batch(vec![Request::Len])]).encode().is_err());
+        // Hand-craft a nested batch: outer 0x0C with one member 0x0C.
+        let mut e = Enc::new();
+        e.u8(0x0C);
+        e.u32(1);
+        e.u8(0x0C);
+        e.u32(1);
+        e.u8(0x03);
+        assert!(Request::decode(&e.into_bytes()).is_err());
+        // Hand-craft an empty batch.
+        let mut e = Enc::new();
+        e.u8(0x0C);
+        e.u32(0);
+        assert!(Request::decode(&e.into_bytes()).is_err());
     }
 
     #[test]
@@ -907,9 +1383,23 @@ mod tests {
             Response::Sum(-1234.5),
             Response::Session { sid: 3 },
             Response::Level { level: 4 },
-            Response::Classified(Classified { count: 2, page }),
+            Response::Classified(Classified { count: 2, page: page.clone() }),
             Response::Closed,
             Response::SessionGone,
+            Response::ExtendEvaluation {
+                level: 5,
+                evaluation: Evaluation { count: 12, top: page.clone() },
+            },
+            Response::ExtendClassified {
+                level: 1,
+                classified: Classified { count: 2, page: page.clone() },
+            },
+            Response::Streamed(Box::new(Response::Classified(Classified {
+                count: 9,
+                page: Vec::new(),
+            }))),
+            Response::PageChunk { last: false, tuples: page.clone() },
+            Response::PageChunk { last: true, tuples: Vec::new() },
             Response::Error(HdbError::InvalidQuery("nope".into())),
             Response::Error(HdbError::BudgetExhausted { limit: 1000 }),
             Response::Error(HdbError::Transport("boom".into())),
@@ -918,6 +1408,109 @@ mod tests {
             let bytes = resp.encode().unwrap();
             assert_eq!(Response::decode(&bytes).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn stream_heads_must_carry_a_page_and_cannot_nest() {
+        // A head without a page slot is rejected at encode and decode.
+        assert!(Response::Streamed(Box::new(Response::Closed)).encode().is_err());
+        let mut e = Enc::new();
+        e.u8(0x90);
+        e.u8(0x8A); // Closed
+        assert!(Response::decode(&e.into_bytes()).is_err());
+        // Streamed(Streamed(..)) rejected both ways.
+        let inner = Response::Classified(Classified { count: 0, page: Vec::new() });
+        let nested = Response::Streamed(Box::new(Response::Streamed(Box::new(inner))));
+        assert!(nested.encode().is_err());
+        let mut e = Enc::new();
+        e.u8(0x90);
+        e.u8(0x90);
+        e.u8(0x89);
+        e.u64(0);
+        e.u32(0);
+        assert!(Response::decode(&e.into_bytes()).is_err());
+    }
+
+    fn big_page(n: usize) -> Vec<ReturnedTuple> {
+        (0..n)
+            .map(|i| ReturnedTuple {
+                id: u32::try_from(i).unwrap(),
+                tuple: Tuple::new(vec![u16::try_from(i % 7).unwrap(), 1]),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn oversized_pages_stream_in_chunks_and_reassemble_bitwise() {
+        for (count, len) in [(0usize, 0usize), (5, 5), (STREAM_TUPLES, STREAM_TUPLES),
+            (100_000, STREAM_TUPLES + 1), (100_000, 3 * STREAM_TUPLES + 17)]
+        {
+            let resp = Response::Evaluation(Evaluation { count, top: big_page(len) });
+            let mut stream = Vec::new();
+            write_response(&mut stream, &resp).unwrap();
+            if len > STREAM_TUPLES {
+                // Head frame + ceil(len / STREAM_TUPLES) chunk frames.
+                let head = Response::decode(
+                    &read_frame(&mut std::io::Cursor::new(stream.clone())).unwrap().unwrap(),
+                )
+                .unwrap();
+                assert!(matches!(head, Response::Streamed(_)), "len={len}");
+            }
+            let mut cursor = std::io::Cursor::new(stream);
+            assert_eq!(read_response(&mut cursor).unwrap(), Some(resp), "len={len}");
+            assert_eq!(read_response(&mut cursor).unwrap(), None);
+        }
+        // The fused variants stream too.
+        let resp = Response::ExtendClassified {
+            level: 3,
+            classified: Classified { count: 4000, page: big_page(4000) },
+        };
+        let mut stream = Vec::new();
+        write_response(&mut stream, &resp).unwrap();
+        assert_eq!(read_response(&mut std::io::Cursor::new(stream)).unwrap(), Some(resp));
+    }
+
+    #[test]
+    fn truncated_streams_and_bare_chunks_are_typed_errors() {
+        let resp = Response::Classified(Classified { count: 5000, page: big_page(5000) });
+        let mut stream = Vec::new();
+        write_response(&mut stream, &resp).unwrap();
+        // Cut the stream anywhere after the head frame: a typed error,
+        // never a short page silently returned.
+        let head_len = {
+            let mut c = std::io::Cursor::new(stream.clone());
+            read_frame(&mut c).unwrap().unwrap();
+            usize::try_from(c.position()).unwrap()
+        };
+        for cut in [head_len, head_len + 3, stream.len() - 1] {
+            let mut c = std::io::Cursor::new(stream[..cut].to_vec());
+            assert!(
+                matches!(read_response(&mut c), Err(HdbError::Transport(_))),
+                "cut={cut}"
+            );
+        }
+        // A PageChunk with no stream head is a protocol violation.
+        let mut bare = Vec::new();
+        write_frame(
+            &mut bare,
+            &Response::PageChunk { last: true, tuples: big_page(3) }.encode().unwrap(),
+        )
+        .unwrap();
+        assert!(read_response(&mut std::io::Cursor::new(bare)).is_err());
+        // A non-chunk frame mid-stream is a protocol violation.
+        let mut mixed = Vec::new();
+        write_frame(
+            &mut mixed,
+            &Response::Streamed(Box::new(Response::Classified(Classified {
+                count: 9,
+                page: Vec::new(),
+            })))
+            .encode()
+            .unwrap(),
+        )
+        .unwrap();
+        write_frame(&mut mixed, &Response::Closed.encode().unwrap()).unwrap();
+        assert!(read_response(&mut std::io::Cursor::new(mixed)).is_err());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | `HDB-P02` | no `as` numeric casts in wire framing |
 //! | `HDB-U01` | every `unsafe` needs an adjacent `// SAFETY:` comment |
 //! | `HDB-U02` | crates with zero `unsafe` must `#![forbid(unsafe_code)]` |
+//! | `HDB-U03` | no `extern` FFI declarations outside the reactor module |
 //! | `HDB-A01` | backend `evaluate*` calls only on the charge path |
 
 use crate::config::Config;
@@ -208,6 +209,7 @@ fn in_panic_scope(path: &str) -> bool {
     [
         "crates/hidden-db/src/wire.rs",
         "crates/hidden-db/src/remote.rs",
+        "crates/hidden-db/src/reactor.rs",
         "crates/server/src/lib.rs",
         "crates/server/src/main.rs",
     ]
@@ -233,6 +235,7 @@ pub fn check_file(ctx: &FileContext<'_>, cfg: &Config) -> Vec<Diagnostic> {
     rule_p01_panic_paths(ctx, cfg, &mut out);
     rule_p02_wire_casts(ctx, cfg, &mut out);
     rule_u01_safety_comments(ctx, cfg, &mut out);
+    rule_u03_ffi_confinement(ctx, cfg, &mut out);
     rule_a01_accounting(ctx, cfg, &mut out);
     out
 }
@@ -457,6 +460,30 @@ fn rule_u01_safety_comments(ctx: &FileContext<'_>, cfg: &Config, out: &mut Vec<D
                     "unsafe without an adjacent `// SAFETY:` comment (within {WINDOW} lines \
                      above); document why this is sound"
                 ),
+            );
+        }
+    }
+}
+
+/// HDB-U03: `extern` declarations (FFI blocks, `extern "C"` fns) are
+/// confined to the reactor module, the one reviewed place the workspace
+/// touches the OS below std. Applies everywhere, tests included — a
+/// stray binding elsewhere would scatter platform surface the
+/// determinism contract cannot see. The only legitimate site is
+/// enumerated in `lint.toml`.
+fn rule_u03_ffi_confinement(ctx: &FileContext<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    for &i in &ctx.code {
+        let t = &ctx.tokens[i];
+        if t.kind == TokenKind::Ident && t.text == "extern" {
+            emit(
+                out,
+                cfg,
+                ctx,
+                "HDB-U03",
+                t,
+                "`extern` FFI declarations are confined to the reactor module; \
+                 route OS access through hdb_interface::reactor"
+                    .to_string(),
             );
         }
     }

@@ -191,6 +191,46 @@ fn u02_recognises_the_forbid_attribute_in_tokens() {
     assert!(!has_forbid_unsafe(&lex("#![deny(unsafe_code)]")));
 }
 
+#[test]
+fn u03_confines_extern_to_the_reactor_module() {
+    // A raw FFI binding anywhere else scatters platform surface the
+    // determinism contract cannot see.
+    let src = r#"
+        extern "C" {
+            fn epoll_create1(flags: i32) -> i32;
+        }
+    "#;
+    assert_eq!(rules_hit("crates/hidden-db/src/par.rs", src), vec!["HDB-U03"]);
+    assert_eq!(rules_hit("crates/server/src/lib.rs", src), vec!["HDB-U03"]);
+    // Tests are NOT exempt: FFI in a test is still FFI.
+    let test_src = r#"
+        #[cfg(test)]
+        mod tests {
+            extern "C" { fn getpid() -> i32; }
+        }
+    "#;
+    assert_eq!(rules_hit("crates/core/src/size.rs", test_src), vec!["HDB-U03"]);
+}
+
+#[test]
+fn u03_respects_the_reactor_allowlist() {
+    let cfg = Config::parse(
+        "[allow.HDB-U03]\n\"crates/hidden-db/src/reactor.rs\" = \"the reviewed FFI boundary\"",
+    )
+    .unwrap();
+    let src = "extern \"C\" { fn poll(fds: *mut PollFd, n: u64, timeout: i32) -> i32; }";
+    assert!(lint_file("crates/hidden-db/src/reactor.rs", src, &cfg).is_empty());
+    assert!(!lint_file("crates/hidden-db/src/remote.rs", src, &cfg).is_empty());
+}
+
+#[test]
+fn p01_scope_covers_the_reactor() {
+    // The reactor sits on the server's event path; a panic there takes
+    // the whole process down, so unwrap is banned like in wire code.
+    let src = "fn f() { Some(1).unwrap(); }";
+    assert_eq!(rules_hit("crates/hidden-db/src/reactor.rs", src), vec!["HDB-P01"]);
+}
+
 // ---------------------------------------------------------------------------
 // Accounting
 

@@ -6,35 +6,47 @@
 //! plus the incremental walk fast path with **server-side session state**
 //! keyed by a session id, so a drill-down probe from a
 //! [`RemoteBackend`](hdb_interface::RemoteBackend) costs one AND on the
-//! server and one round trip on the wire — exactly the PR 4 economics,
-//! now across a real socket.
+//! server and one round trip on the wire — and with the fused
+//! extend+probe messages, a drill-down *step* (commit a branch, probe a
+//! child) costs that same single round trip.
 //!
 //! ## Concurrency model
 //!
-//! Connections are multiplexed over a persistent [`WorkerPool`]: the
-//! accept loop hands
-//! each connection to the pool as a job that serves up to a batch of
-//! frames (or until a short read-timeout finds the socket idle) and then
-//! re-enqueues itself. A pool of `W` threads therefore serves any number
-//! of connections with batch-level fairness — no thread per connection,
-//! no starvation, and an idle server parks in timed reads.
+//! One event thread blocks in a [`reactor`](hdb_interface::reactor)
+//! (`epoll` on Linux, portable `poll` elsewhere) over the listener and
+//! every connection, all one-shot registered. A readiness event removes
+//! the connection from the table and dispatches it to a persistent
+//! [`WorkerPool`] as a batch job: flush pending output, serve up to
+//! `frames_per_turn` buffered frames, read until the socket would block,
+//! then re-arm. Idle connections therefore cost **zero** syscalls and
+//! zero dispatches — there is no sweep — and a pool of `W` threads
+//! serves any number of connections with batch-level fairness.
 //!
 //! ## Session lifecycle
 //!
 //! `WalkOpen` materialises the root match set and returns a `sid`;
 //! `WalkExtend` pushes one level (truncating any deeper levels — the walk
 //! is stack-disciplined, so a retract is simply the client re-extending
-//! from a shallower level); probes reference `(sid, level)`. Sessions die
-//! on `WalkClose`, or by LRU eviction once the table exceeds its cap — an
-//! evicted session is *not* an error: probes fall back to fresh
-//! evaluation (bit-identical, one intersection slower) and `WalkExtend`
-//! answers `SessionGone` so the client re-roots.
+//! from a shallower level); probes reference `(sid, level)`. The fused
+//! `WalkExtendEvaluate` / `WalkExtendClassify` messages commit an extend
+//! and probe from the pushed level in one frame, and a `Batch` request
+//! carries a deferred extend chain plus its probe in one round trip —
+//! answered with one response frame per member, in member order.
+//! Sessions die on `WalkClose`, or by LRU eviction (O(log n) via an
+//! explicit recency order) once the table exceeds its cap — an evicted
+//! session is *not* an error: probes fall back to fresh evaluation
+//! (bit-identical, one intersection slower) and extends answer
+//! `SessionGone` so the client re-roots.
 //!
 //! ## Robustness
 //!
 //! Every decoder is total: a malformed-but-framed payload gets a typed
 //! [`Response::Error`]; an unframeable byte stream (corrupt length
-//! prefix) closes the connection. The server never panics on input.
+//! prefix) closes the connection. Valid pages longer than
+//! [`STREAM_TUPLES`] leave as a
+//! `Streamed` head plus bounded `PageChunk` frames, encoded one chunk at
+//! a time as the socket drains — a slow reader pins one chunk of memory,
+//! not the page. The server never panics on input.
 //!
 //! ```no_run
 //! use hdb_interface::{HiddenDb, Query, RemoteBackend, Table, Schema, TopKInterface, Tuple};
@@ -50,16 +62,32 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use hdb_interface::par::{PoolSender, WorkerPool};
-use hdb_interface::wire::{write_frame, FrameBuf, Request, Response, PROTOCOL_VERSION};
-use hdb_interface::{HdbError, Predicate, Result, Schema, SearchBackend, WalkState};
+use hdb_interface::reactor::{Interest, Reactor, ReactorKind};
+use hdb_interface::wire::{
+    encode_page_chunk, write_frame, FrameBuf, Request, Response, PROTOCOL_VERSION, STREAM_TUPLES,
+};
+use hdb_interface::{
+    HdbError, Predicate, Query, Result, ReturnedTuple, Schema, SearchBackend, WalkState,
+};
+
+/// The reactor token reserved for the listener; connections count up
+/// from [`FIRST_CONN_TOKEN`].
+const LISTENER_TOKEN: u64 = 0;
+/// The first connection token.
+const FIRST_CONN_TOKEN: u64 = 1;
+/// How long the event thread blocks per reactor wait — a liveness
+/// backstop only (shutdown also wakes the reactor via the listener);
+/// no per-connection work happens on this cadence.
+const WAIT_BACKSTOP: Duration = Duration::from_millis(500);
 
 /// Tuning knobs for a [`Server`].
 #[derive(Clone, Debug)]
@@ -71,16 +99,12 @@ pub struct ServerConfig {
     /// Walk sessions kept before LRU eviction kicks in. Each session
     /// holds one materialised match set per committed walk level.
     pub session_cap: usize,
-    /// Read timeout per poll of an idle connection — the batch scheduler's
-    /// time slice. Smaller is more responsive, larger burns less CPU on
-    /// idle connections.
-    pub poll_timeout: Duration,
-    /// Frames served to one connection before it re-queues behind the
-    /// others (fairness batch size).
+    /// Frames served to one connection per dispatch before it re-queues
+    /// behind the others (fairness batch size).
     pub frames_per_turn: usize,
-    /// Write timeout per response: a client that stops reading gets its
-    /// connection dropped instead of pinning a pool thread.
-    pub write_timeout: Duration,
+    /// Readiness backend: `Auto` picks `epoll` on Linux; `Portable`
+    /// forces the `poll` fallback (tests exercise it everywhere).
+    pub reactor: ReactorKind,
 }
 
 impl Default for ServerConfig {
@@ -88,28 +112,35 @@ impl Default for ServerConfig {
         Self {
             pool_threads: hdb_interface::par::default_workers().max(4),
             session_cap: 1024,
-            poll_timeout: Duration::from_millis(2),
             frames_per_turn: 64,
-            write_timeout: Duration::from_secs(30),
+            reactor: ReactorKind::Auto,
         }
     }
 }
 
 /// One walk session: the server-side state stack, stack-disciplined
-/// (level 0 is the session root). `touched` is atomic so the LRU scan
-/// never takes a session's stack lock — a slow probe holding one stack
-/// must not stall table-wide operations.
+/// (level 0 is the session root). Recency lives in the table, not here,
+/// so a slow probe holding the stack lock never stalls table-wide
+/// operations.
 struct Session {
     stack: Mutex<Vec<WalkState>>,
-    touched: AtomicU64,
 }
 
-/// The server-side walk-session table: sid → state stack, LRU-capped.
-/// A `BTreeMap` (not `HashMap`) so the LRU eviction scan visits sessions
-/// in a deterministic order — `min_by_key` ties then break toward the
-/// smallest (oldest) sid on every server alike.
+/// The two sides of the session index, kept in lock-step under one lock:
+/// `by_sid` answers probes, `by_recency` answers "who is stalest" in
+/// O(log n). Both are ordered structures so eviction order is
+/// deterministic on every server alike.
+#[derive(Default)]
+struct SessionTable {
+    by_sid: BTreeMap<u64, (u64, Arc<Session>)>,
+    by_recency: BTreeSet<(u64, u64)>,
+}
+
+/// The server-side walk-session table: sid → state stack, LRU-capped
+/// with an explicit recency order (eviction is O(log n), not an O(n)
+/// scan — the C10K regime holds thousands of live sessions).
 struct Sessions {
-    table: Mutex<BTreeMap<u64, Arc<Session>>>,
+    table: Mutex<SessionTable>,
     next_sid: AtomicU64,
     clock: AtomicU64,
     cap: usize,
@@ -118,7 +149,7 @@ struct Sessions {
 impl Sessions {
     fn new(cap: usize) -> Self {
         Self {
-            table: Mutex::new(BTreeMap::new()),
+            table: Mutex::new(SessionTable::default()),
             next_sid: AtomicU64::new(1),
             clock: AtomicU64::new(0),
             cap: cap.max(1),
@@ -127,54 +158,73 @@ impl Sessions {
 
     fn open(&self, root_state: WalkState) -> u64 {
         let sid = self.next_sid.fetch_add(1, Ordering::Relaxed);
-        let entry = Arc::new(Session {
-            stack: Mutex::new(vec![root_state]),
-            touched: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
-        });
-        // Poison recovery: the table holds plain data (no invariant spans
-        // the lock), so a panicked holder leaves it fully usable.
-        let mut table = self.table.lock().unwrap_or_else(|p| p.into_inner());
-        if table.len() >= self.cap {
-            // LRU eviction: drop the stalest session. Eviction is safe —
-            // clients fall back to fresh evaluation, bit-identically.
-            if let Some(&stale) = table
-                .iter()
-                .min_by_key(|(_, e)| e.touched.load(Ordering::Relaxed))
-                .map(|(sid, _)| sid)
-            {
-                table.remove(&stale);
+        let entry = Arc::new(Session { stack: Mutex::new(vec![root_state]) });
+        let touched = self.clock.fetch_add(1, Ordering::Relaxed);
+        // Poison recovery: the table holds plain data (the two maps are
+        // re-synchronised on every mutation), so a panicked holder
+        // leaves it fully usable.
+        let mut t = self.table.lock().unwrap_or_else(|p| p.into_inner());
+        if t.by_sid.len() >= self.cap {
+            // LRU eviction: the recency set's first pair is the stalest
+            // session. Eviction is safe — clients fall back to fresh
+            // evaluation, bit-identically.
+            if let Some(&stale) = t.by_recency.first() {
+                t.by_recency.remove(&stale);
+                t.by_sid.remove(&stale.1);
             }
         }
-        table.insert(sid, entry);
+        t.by_sid.insert(sid, (touched, entry));
+        t.by_recency.insert((touched, sid));
         sid
     }
 
     /// The session, bumped to most-recently-used.
     fn get(&self, sid: u64) -> Option<Arc<Session>> {
-        let entry = self
-            .table
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .get(&sid)
-            .map(Arc::clone)?;
-        entry.touched.store(self.clock.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+        let touched = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut t = self.table.lock().unwrap_or_else(|p| p.into_inner());
+        let (old, entry) = {
+            let slot = t.by_sid.get_mut(&sid)?;
+            let old = slot.0;
+            slot.0 = touched;
+            (old, Arc::clone(&slot.1))
+        };
+        t.by_recency.remove(&(old, sid));
+        t.by_recency.insert((touched, sid));
         Some(entry)
     }
 
     fn close(&self, sid: u64) {
-        self.table.lock().unwrap_or_else(|p| p.into_inner()).remove(&sid);
+        let mut t = self.table.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some((touched, _)) = t.by_sid.remove(&sid) {
+            t.by_recency.remove(&(touched, sid));
+        }
     }
 
     fn len(&self) -> usize {
-        self.table.lock().unwrap_or_else(|p| p.into_inner()).len()
+        self.table.lock().unwrap_or_else(|p| p.into_inner()).by_sid.len()
+    }
+
+    fn clear(&self) {
+        let mut t = self.table.lock().unwrap_or_else(|p| p.into_inner());
+        t.by_sid.clear();
+        t.by_recency.clear();
     }
 }
 
-/// Everything a connection handler needs, shared across the pool.
-struct Shared<B> {
+/// Everything the event thread and the pool workers share.
+struct Inner<B> {
     backend: B,
     sessions: Sessions,
     shutdown: AtomicBool,
+    reactor: Reactor,
+    conns: Mutex<BTreeMap<u64, Conn>>,
+    next_token: AtomicU64,
+    pool: PoolSender,
+    frames_per_turn: usize,
+    /// Readiness dispatches to the pool (idle connections add zero).
+    dispatches: AtomicU64,
+    /// Request frames served (batch members count individually).
+    frames: AtomicU64,
 }
 
 /// Validates a predicate against the schema bounds (the wire is
@@ -214,10 +264,49 @@ fn validate_k(k: u64) -> Result<usize> {
     }
 }
 
+/// Validates the shared preamble of an extend: child query, predicate,
+/// session, level bounds. `Ok(None)` is the graceful `SessionGone` road.
+fn locate_session<B: SearchBackend>(
+    inner: &Inner<B>,
+    schema: &Schema,
+    sid: u64,
+    parent_level: u32,
+) -> Option<Arc<Session>> {
+    let entry = inner.sessions.get(sid)?;
+    // Depth cap: a legitimate walk commits at most one level per
+    // attribute, so a deeper stack can only be a hostile client
+    // inflating server memory — send it to the fresh fallback instead.
+    if parent_level as usize + 1 > schema.len() {
+        return None;
+    }
+    Some(entry)
+}
+
+/// Commits one extend into a locked session stack. The walk is
+/// stack-disciplined: extending from level L retires everything deeper
+/// (the client retracted). Returns the pushed level's index, or `None`
+/// when `parent_level` references a retired level.
+fn push_level<B: SearchBackend>(
+    inner: &Inner<B>,
+    stack: &mut Vec<WalkState>,
+    parent_level: u32,
+    child: &Query,
+    pred: Predicate,
+) -> Option<u32> {
+    let parent = parent_level as usize;
+    if parent >= stack.len() {
+        return None;
+    }
+    stack.truncate(parent + 1);
+    let state = inner.backend.extend_state(&stack[parent], child, pred, WalkState::fallback());
+    stack.push(state);
+    Some(parent_level + 1)
+}
+
 /// Answers one decoded request. Total: every failure path is a typed
 /// [`Response::Error`] (or the graceful `SessionGone`), never a panic.
-fn handle_request<B: SearchBackend>(shared: &Shared<B>, req: Request) -> Response {
-    let schema = shared.backend.schema();
+fn handle_request<B: SearchBackend>(inner: &Inner<B>, req: Request) -> Response {
+    let schema = inner.backend.schema();
     let outcome = (|| -> Result<Response> {
         Ok(match req {
             Request::Hello { version } => {
@@ -229,12 +318,12 @@ fn handle_request<B: SearchBackend>(shared: &Shared<B>, req: Request) -> Respons
                 Response::Hello { version: PROTOCOL_VERSION }
             }
             Request::Schema => Response::Schema(schema.clone()),
-            Request::Len => Response::Len(shared.backend.len() as u64),
+            Request::Len => Response::Len(inner.backend.len() as u64),
             Request::Evaluate { query, k, ranking } => {
                 query.validate(schema)?;
                 validate_ranking(schema, ranking)?;
                 let k = validate_k(k)?;
-                Response::Evaluation(shared.backend.evaluate(
+                Response::Evaluation(inner.backend.evaluate(
                     &query,
                     k,
                     ranking.instantiate().as_ref(),
@@ -242,54 +331,36 @@ fn handle_request<B: SearchBackend>(shared: &Shared<B>, req: Request) -> Respons
             }
             Request::ExactCount { query } => {
                 query.validate(schema)?;
-                Response::Count(shared.backend.exact_count(&query)? as u64)
+                Response::Count(inner.backend.exact_count(&query)? as u64)
             }
             Request::ExactSum { attr, query } => {
                 query.validate(schema)?;
                 let attr = usize::try_from(attr)
                     .map_err(|_| HdbError::InvalidQuery("attribute id overflows".into()))?;
-                Response::Sum(shared.backend.exact_sum(attr, &query)?)
+                Response::Sum(inner.backend.exact_sum(attr, &query)?)
             }
             Request::WalkOpen { root } => {
                 root.validate(schema)?;
-                let state = shared.backend.walk_state(&root);
-                Response::Session { sid: shared.sessions.open(state) }
+                let state = inner.backend.walk_state(&root);
+                Response::Session { sid: inner.sessions.open(state) }
             }
             Request::WalkExtend { sid, parent_level, child, pred } => {
                 child.validate(schema)?;
                 validate_pred(schema, pred)?;
-                let Some(entry) = shared.sessions.get(sid) else {
+                let Some(entry) = locate_session(inner, schema, sid, parent_level) else {
                     return Ok(Response::SessionGone);
                 };
-                let parent = parent_level as usize;
-                // Depth cap: a legitimate walk commits at most one level
-                // per attribute, so a deeper stack can only be a hostile
-                // client inflating server memory — send it to the fresh
-                // fallback instead.
-                if parent + 1 > schema.len() {
-                    return Ok(Response::SessionGone);
-                }
                 // A poisoned stack means some probe panicked mid-update;
                 // its contents are suspect, so retire the session and
                 // send the client to the fresh-evaluation fallback.
                 let Ok(mut stack) = entry.stack.lock() else {
-                    shared.sessions.close(sid);
+                    inner.sessions.close(sid);
                     return Ok(Response::SessionGone);
                 };
-                if parent >= stack.len() {
-                    return Ok(Response::SessionGone);
+                match push_level(inner, &mut stack, parent_level, &child, pred) {
+                    Some(level) => Response::Level { level },
+                    None => Response::SessionGone,
                 }
-                // The walk is stack-disciplined: extending from level L
-                // retires everything deeper (the client retracted).
-                stack.truncate(parent + 1);
-                let state = shared.backend.extend_state(
-                    &stack[parent],
-                    &child,
-                    pred,
-                    WalkState::fallback(),
-                );
-                stack.push(state);
-                Response::Level { level: parent_level + 1 }
             }
             Request::WalkEvaluate { sid, parent_level, child, pred, k, ranking } => {
                 child.validate(schema)?;
@@ -301,18 +372,18 @@ fn handle_request<B: SearchBackend>(shared: &Shared<B>, req: Request) -> Respons
                 // mid-update — its state is suspect), or retired level
                 // all take the same road: fresh evaluation, which is
                 // bit-identical, just one intersection slower.
-                let entry = shared.sessions.get(sid);
+                let entry = inner.sessions.get(sid);
                 let stack = entry.as_ref().and_then(|e| e.stack.lock().ok());
                 let parent = stack.as_ref().and_then(|s| s.get(parent_level as usize));
                 let evaluation = match parent {
-                    Some(parent) => shared.backend.evaluate_from(
+                    Some(parent) => inner.backend.evaluate_from(
                         parent,
                         &child,
                         pred,
                         k,
                         ranking.as_ref(),
                     )?,
-                    None => shared.backend.evaluate(&child, k, ranking.as_ref())?,
+                    None => inner.backend.evaluate(&child, k, ranking.as_ref())?,
                 };
                 Response::Evaluation(evaluation)
             }
@@ -322,120 +393,426 @@ fn handle_request<B: SearchBackend>(shared: &Shared<B>, req: Request) -> Respons
                 let k = validate_k(k)?;
                 // Same fallback road as WalkEvaluate: missing session,
                 // poisoned stack, or retired level → fresh evaluation.
-                let entry = shared.sessions.get(sid);
+                let entry = inner.sessions.get(sid);
                 let stack = entry.as_ref().and_then(|e| e.stack.lock().ok());
                 let parent = stack.as_ref().and_then(|s| s.get(parent_level as usize));
                 let classified = match parent {
                     Some(parent) => {
-                        shared.backend.classify_from(parent, &child, pred, k)?
+                        inner.backend.classify_from(parent, &child, pred, k)?
                     }
                     None => hdb_interface::Classified::from_evaluation(
-                        shared.backend.evaluate(&child, k, &hdb_interface::RowIdRanking)?,
+                        inner.backend.evaluate(&child, k, &hdb_interface::RowIdRanking)?,
                         k,
                     ),
                 };
                 Response::Classified(classified)
             }
+            Request::WalkExtendEvaluate {
+                sid,
+                parent_level,
+                ext_child,
+                ext_pred,
+                child,
+                pred,
+                k,
+                ranking,
+            } => {
+                ext_child.validate(schema)?;
+                validate_pred(schema, ext_pred)?;
+                child.validate(schema)?;
+                validate_pred(schema, pred)?;
+                validate_ranking(schema, ranking)?;
+                let k = validate_k(k)?;
+                let ranking = ranking.instantiate();
+                let Some(entry) = locate_session(inner, schema, sid, parent_level) else {
+                    return Ok(Response::SessionGone);
+                };
+                let Ok(mut stack) = entry.stack.lock() else {
+                    inner.sessions.close(sid);
+                    return Ok(Response::SessionGone);
+                };
+                // Extend, then probe from the level just pushed — the
+                // stack lock spans both, so the fused pair is atomic
+                // against concurrent probes of the same session.
+                let Some(level) = push_level(inner, &mut stack, parent_level, &ext_child, ext_pred)
+                else {
+                    return Ok(Response::SessionGone);
+                };
+                let evaluation = inner.backend.evaluate_from(
+                    &stack[level as usize],
+                    &child,
+                    pred,
+                    k,
+                    ranking.as_ref(),
+                )?;
+                Response::ExtendEvaluation { level, evaluation }
+            }
+            Request::WalkExtendClassify {
+                sid,
+                parent_level,
+                ext_child,
+                ext_pred,
+                child,
+                pred,
+                k,
+            } => {
+                ext_child.validate(schema)?;
+                validate_pred(schema, ext_pred)?;
+                child.validate(schema)?;
+                validate_pred(schema, pred)?;
+                let k = validate_k(k)?;
+                let Some(entry) = locate_session(inner, schema, sid, parent_level) else {
+                    return Ok(Response::SessionGone);
+                };
+                let Ok(mut stack) = entry.stack.lock() else {
+                    inner.sessions.close(sid);
+                    return Ok(Response::SessionGone);
+                };
+                let Some(level) = push_level(inner, &mut stack, parent_level, &ext_child, ext_pred)
+                else {
+                    return Ok(Response::SessionGone);
+                };
+                let classified =
+                    inner.backend.classify_from(&stack[level as usize], &child, pred, k)?;
+                Response::ExtendClassified { level, classified }
+            }
             Request::WalkClose { sid } => {
-                shared.sessions.close(sid);
+                inner.sessions.close(sid);
                 Response::Closed
+            }
+            // Batches are flattened at the connection layer (one
+            // response frame per member); one reaching the dispatcher
+            // means a member was itself a batch, which decode rejects —
+            // keep the handler total anyway.
+            Request::Batch(_) => {
+                return Err(HdbError::Transport("batch members cannot be batches".into()))
             }
         })
     })();
     outcome.unwrap_or_else(Response::Error)
 }
 
-/// One connection's serving state, passed through the pool between turns.
-struct ConnTask<B: SearchBackend + 'static> {
-    stream: TcpStream,
-    buf: FrameBuf,
-    shared: Arc<Shared<B>>,
-    pool: PoolSender,
-    frames_per_turn: usize,
+/// An in-flight chunked page stream: the page is held un-encoded and
+/// chunked into the output buffer one [`STREAM_TUPLES`] slice at a time,
+/// each only after the previous chunk drained — a slow reader pins one
+/// chunk, not the page.
+struct PageTail {
+    page: Vec<ReturnedTuple>,
+    next: usize,
 }
 
-impl<B: SearchBackend + 'static> ConnTask<B> {
-    /// Serves buffered + newly arriving frames until the batch quota is
-    /// met or the socket goes idle, then re-queues; returns (dropping the
-    /// connection) on EOF, I/O error, unframeable input, or shutdown.
-    fn turn(mut self) {
-        if self.shared.shutdown.load(Ordering::Acquire) {
-            return;
-        }
-        let mut served = 0usize;
-        loop {
-            // Drain complete frames already buffered.
-            loop {
-                match self.buf.next_frame() {
-                    Ok(Some(payload)) => {
-                        let resp = match Request::decode(&payload) {
-                            Ok(req) => handle_request(&self.shared, req),
-                            // Malformed but correctly framed: the stream
-                            // stays synchronised, so answer a typed error
-                            // and keep serving.
-                            Err(e) => Response::Error(e),
-                        };
-                        // An unencodable response (a length beyond the
-                        // wire's u32 ranges) degrades to its typed error;
-                        // if even that cannot encode, drop the connection
-                        // rather than desynchronise the stream.
-                        let bytes = match resp.encode() {
-                            Ok(bytes) => bytes,
-                            Err(e) => match Response::Error(e).encode() {
-                                Ok(bytes) => bytes,
-                                Err(_) => return,
-                            },
-                        };
-                        let mut framed = Vec::new();
-                        if write_frame(&mut framed, &bytes).is_err()
-                            || self.stream.write_all(&framed).is_err()
-                        {
-                            return; // client gone
-                        }
-                        served += 1;
-                        if served >= self.frames_per_turn {
-                            return self.requeue(); // fairness: rotate
-                        }
-                    }
-                    Ok(None) => break,
-                    // Corrupt length prefix: the byte stream can never
-                    // resynchronise — drop the connection.
-                    Err(_) => return,
-                }
-            }
-            // Pull more bytes (bounded by the poll timeout).
-            let mut chunk = [0u8; 16 * 1024];
-            match self.stream.read(&mut chunk) {
-                Ok(0) => return, // clean EOF
-                // `read` contracts n ≤ chunk.len(); a lying Read impl
-                // gets the connection dropped, not a panic.
-                Ok(n) => match chunk.get(..n) {
-                    Some(got) => self.buf.extend(got),
-                    None => return,
-                },
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    return self.requeue()
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(_) => return,
-            }
+/// One connection's serving state. Lives in the connection table while
+/// parked (armed in the reactor) and is owned by exactly one pool worker
+/// while being served — one-shot notification makes the hand-off
+/// race-free.
+struct Conn {
+    stream: TcpStream,
+    buf: FrameBuf,
+    /// Encoded-but-unsent frames (at most one response frame plus a
+    /// partially written predecessor — bounded).
+    out: Vec<u8>,
+    out_pos: usize,
+    /// A page mid-stream; no new frame is served until it completes.
+    tail: Option<PageTail>,
+    /// Batch members not yet answered (each gets its own response).
+    queued: VecDeque<Request>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            buf: FrameBuf::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            tail: None,
+            queued: VecDeque::new(),
         }
     }
+}
 
-    fn requeue(self) {
-        if self.shared.shutdown.load(Ordering::Acquire) {
+enum FlushState {
+    Drained,
+    Blocked,
+    Gone,
+}
+
+/// Writes as much pending output as the socket accepts.
+fn flush(conn: &mut Conn) -> FlushState {
+    while conn.out_pos < conn.out.len() {
+        let Some(rest) = conn.out.get(conn.out_pos..) else {
+            return FlushState::Gone;
+        };
+        match conn.stream.write(rest) {
+            Ok(0) => return FlushState::Gone,
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return FlushState::Blocked,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return FlushState::Gone,
+        }
+    }
+    conn.out.clear();
+    conn.out_pos = 0;
+    FlushState::Drained
+}
+
+/// Encodes `resp` into the connection's output buffer. Pages longer
+/// than [`STREAM_TUPLES`] are split: the head frame goes out now, the
+/// page parks in [`Conn::tail`] and streams chunk by chunk as the
+/// socket drains. Failure means the connection must drop (the stream
+/// would desynchronise).
+fn enqueue_response(conn: &mut Conn, mut resp: Response) -> Result<()> {
+    let page = match &mut resp {
+        Response::Evaluation(ev) if ev.top.len() > STREAM_TUPLES => {
+            Some(std::mem::take(&mut ev.top))
+        }
+        Response::Classified(c) if c.page.len() > STREAM_TUPLES => {
+            Some(std::mem::take(&mut c.page))
+        }
+        Response::ExtendEvaluation { evaluation, .. }
+            if evaluation.top.len() > STREAM_TUPLES =>
+        {
+            Some(std::mem::take(&mut evaluation.top))
+        }
+        Response::ExtendClassified { classified, .. }
+            if classified.page.len() > STREAM_TUPLES =>
+        {
+            Some(std::mem::take(&mut classified.page))
+        }
+        _ => None,
+    };
+    let payload = match page {
+        Some(page) => {
+            let head = Response::Streamed(Box::new(resp)).encode()?;
+            conn.tail = Some(PageTail { page, next: 0 });
+            head
+        }
+        // An unencodable response (a length beyond the wire's u32
+        // ranges) degrades to its typed error; if even that cannot
+        // encode, the caller drops the connection.
+        None => match resp.encode() {
+            Ok(payload) => payload,
+            Err(e) => Response::Error(e).encode()?,
+        },
+    };
+    write_frame(&mut conn.out, &payload)
+}
+
+/// Appends the next pending page chunk to the output buffer. `Ok(())`
+/// leaves `conn.tail` set iff more chunks remain.
+fn enqueue_chunk(conn: &mut Conn, mut tail: PageTail) -> Result<()> {
+    let end = tail.page.len().min(tail.next.saturating_add(STREAM_TUPLES));
+    let chunk = tail
+        .page
+        .get(tail.next..end)
+        .ok_or_else(|| HdbError::Transport("page stream cursor out of range".into()))?;
+    let last = end == tail.page.len();
+    let payload = encode_page_chunk(chunk, last)?;
+    write_frame(&mut conn.out, &payload)?;
+    if !last {
+        tail.next = end;
+        conn.tail = Some(tail);
+    }
+    Ok(())
+}
+
+enum ReadState {
+    More,
+    Blocked,
+    Gone,
+}
+
+/// Pulls whatever the socket has buffered (nonblocking).
+fn read_more(conn: &mut Conn) -> ReadState {
+    let mut chunk = [0u8; 16 * 1024];
+    match conn.stream.read(&mut chunk) {
+        Ok(0) => ReadState::Gone, // clean EOF
+        // `read` contracts n ≤ chunk.len(); a lying Read impl gets the
+        // connection dropped, not a panic.
+        Ok(n) => match chunk.get(..n) {
+            Some(got) => {
+                conn.buf.extend(got);
+                ReadState::More
+            }
+            None => ReadState::Gone,
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => ReadState::Blocked,
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => ReadState::More,
+        Err(_) => ReadState::Gone,
+    }
+}
+
+/// Drops a connection: deregister from the reactor, close the socket.
+fn close_conn<B>(inner: &Inner<B>, conn: Conn) {
+    inner.reactor.deregister(conn.stream.as_raw_fd());
+    drop(conn);
+}
+
+/// Parks a connection back into the table and re-arms its readiness
+/// interest. Insert-before-arm: one-shot registration guarantees no
+/// event can fire until the arm, so the event thread always finds the
+/// connection in the table.
+fn park<B>(inner: &Arc<Inner<B>>, token: u64, conn: Conn, interest: Interest) {
+    let fd = conn.stream.as_raw_fd();
+    inner.conns.lock().unwrap_or_else(|p| p.into_inner()).insert(token, conn);
+    if inner.reactor.rearm(fd, token, interest).is_err() {
+        let removed = inner.conns.lock().unwrap_or_else(|p| p.into_inner()).remove(&token);
+        if let Some(conn) = removed {
+            close_conn(inner, conn);
+        }
+    }
+}
+
+/// One pool turn over a connection: flush, stream pending chunks, serve
+/// up to the fairness quota of frames, read until the socket blocks,
+/// then park (or re-queue if buffered work remains).
+fn turn<B: SearchBackend + 'static>(inner: &Arc<Inner<B>>, token: u64, mut conn: Conn) {
+    if inner.shutdown.load(Ordering::Acquire) {
+        close_conn(inner, conn);
+        return;
+    }
+    let mut served = 0usize;
+    loop {
+        match flush(&mut conn) {
+            FlushState::Drained => {}
+            FlushState::Blocked => return park(inner, token, conn, Interest::WRITE),
+            FlushState::Gone => return close_conn(inner, conn),
+        }
+        // A page mid-stream owns the connection: its chunks must be the
+        // next frames out (the client reassembles them positionally),
+        // and encoding one chunk per drained buffer bounds memory.
+        if let Some(tail) = conn.tail.take() {
+            if enqueue_chunk(&mut conn, tail).is_err() {
+                return close_conn(inner, conn);
+            }
+            continue;
+        }
+        if served >= inner.frames_per_turn {
+            // Fairness: rotate behind the other queued turns. The
+            // connection is disarmed, so this worker chain keeps sole
+            // ownership.
+            let next = Arc::clone(inner);
+            let sender = inner.pool.clone();
+            if !sender.send(move || turn(&next, token, conn)) {
+                // pool shutting down
+            }
             return;
         }
-        // PoolSender is non-owning: queued turns must never hold the
-        // pool itself, or a worker could end up dropping (and therefore
-        // joining) its own pool.
-        let sender = self.pool.clone();
-        sender.send(move || self.turn());
+        let resp = if let Some(req) = conn.queued.pop_front() {
+            Some(handle_request(inner, req))
+        } else {
+            match conn.buf.next_frame() {
+                Ok(Some(payload)) => Some(match Request::decode(&payload) {
+                    // A batch answers with one response per member, in
+                    // member order; members queue so a streamed page in
+                    // the middle keeps its chunks contiguous.
+                    Ok(Request::Batch(members)) => {
+                        conn.queued.extend(members);
+                        match conn.queued.pop_front() {
+                            Some(req) => handle_request(inner, req),
+                            None => Response::Error(HdbError::Transport(
+                                "empty batch frame".into(),
+                            )),
+                        }
+                    }
+                    Ok(req) => handle_request(inner, req),
+                    // Malformed but correctly framed: the stream stays
+                    // synchronised, so answer a typed error and keep
+                    // serving.
+                    Err(e) => Response::Error(e),
+                }),
+                Ok(None) => None,
+                // Corrupt length prefix: the byte stream can never
+                // resynchronise — drop the connection.
+                Err(_) => return close_conn(inner, conn),
+            }
+        };
+        if let Some(resp) = resp {
+            if enqueue_response(&mut conn, resp).is_err() {
+                return close_conn(inner, conn);
+            }
+            inner.frames.fetch_add(1, Ordering::Relaxed);
+            served += 1;
+            continue;
+        }
+        match read_more(&mut conn) {
+            ReadState::More => {}
+            ReadState::Blocked => return park(inner, token, conn, Interest::READ),
+            ReadState::Gone => return close_conn(inner, conn),
+        }
+    }
+}
+
+/// Accepts every pending connection on the (nonblocking) listener and
+/// registers each with the reactor.
+fn accept_ready<B>(inner: &Arc<Inner<B>>, listener: &TcpListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let setup =
+                    stream.set_nodelay(true).and_then(|()| stream.set_nonblocking(true));
+                if setup.is_err() {
+                    continue;
+                }
+                let token = inner.next_token.fetch_add(1, Ordering::Relaxed);
+                let fd = stream.as_raw_fd();
+                inner
+                    .conns
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .insert(token, Conn::new(stream));
+                if inner.reactor.register(fd, token, Interest::READ).is_err() {
+                    inner.conns.lock().unwrap_or_else(|p| p.into_inner()).remove(&token);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// The event loop: blocks in the reactor, accepts on listener
+/// readiness, and dispatches ready connections to the pool. Runs until
+/// the shutdown flag is set (the control thread wakes the reactor with
+/// a throwaway connection).
+fn event_loop<B: SearchBackend + 'static>(inner: &Arc<Inner<B>>, listener: &TcpListener) {
+    let mut events = Vec::new();
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        if inner.reactor.wait(&mut events, Some(WAIT_BACKSTOP)).is_err() {
+            break;
+        }
+        for ev in &events {
+            if ev.token == LISTENER_TOKEN {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                accept_ready(inner, listener);
+                if inner
+                    .reactor
+                    .rearm(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)
+                    .is_err()
+                {
+                    return;
+                }
+            } else {
+                let conn =
+                    inner.conns.lock().unwrap_or_else(|p| p.into_inner()).remove(&ev.token);
+                // A missing entry is a stale event for a connection that
+                // already closed — ignore.
+                if let Some(conn) = conn {
+                    inner.dispatches.fetch_add(1, Ordering::Relaxed);
+                    let next = Arc::clone(inner);
+                    let token = ev.token;
+                    if !inner.pool.send(move || turn(&next, token, conn)) {
+                        return;
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -459,7 +836,8 @@ impl Server {
     /// [`Server::bind`] with explicit tuning.
     ///
     /// # Errors
-    /// [`HdbError::Transport`] if the address cannot be bound.
+    /// [`HdbError::Transport`] if the address cannot be bound or the
+    /// readiness backend cannot be created.
     pub fn bind_with<B: SearchBackend + 'static>(
         backend: B,
         addr: impl ToSocketAddrs,
@@ -470,63 +848,56 @@ impl Server {
         let local_addr = listener
             .local_addr()
             .map_err(|e| HdbError::Transport(format!("local_addr failed: {e}")))?;
-        let shared = Arc::new(Shared {
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| HdbError::Transport(format!("nonblocking listener: {e}")))?;
+        let reactor = Reactor::with_kind(config.reactor)
+            .map_err(|e| HdbError::Transport(format!("reactor: {e}")))?;
+        reactor
+            .register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)
+            .map_err(|e| HdbError::Transport(format!("register listener: {e}")))?;
+        let pool = WorkerPool::new(config.pool_threads.max(1));
+        let inner = Arc::new(Inner {
             backend,
             sessions: Sessions::new(config.session_cap),
             shutdown: AtomicBool::new(false),
+            reactor,
+            conns: Mutex::new(BTreeMap::new()),
+            next_token: AtomicU64::new(FIRST_CONN_TOKEN),
+            pool: pool.sender(),
+            frames_per_turn: config.frames_per_turn.max(1),
+            dispatches: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
         });
-        let pool = WorkerPool::new(config.pool_threads.max(1));
-        let accept_shared = Arc::clone(&shared);
-        let accept_pool = pool.sender();
-        let poll_timeout = config.poll_timeout;
-        let write_timeout = config.write_timeout;
-        let frames_per_turn = config.frames_per_turn.max(1);
-        let accept = std::thread::spawn(move || {
-            for conn in listener.incoming() {
-                if accept_shared.shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                let Ok(stream) = conn else { continue };
-                let setup = stream
-                    .set_nodelay(true)
-                    .and_then(|()| stream.set_read_timeout(Some(poll_timeout)))
-                    // A client that stops reading must not pin a pool
-                    // thread in write_all forever.
-                    .and_then(|()| stream.set_write_timeout(Some(write_timeout)));
-                if setup.is_err() {
-                    continue;
-                }
-                let task = ConnTask {
-                    stream,
-                    buf: FrameBuf::new(),
-                    shared: Arc::clone(&accept_shared),
-                    pool: accept_pool.clone(),
-                    frames_per_turn,
-                };
-                if !accept_pool.send(move || task.turn()) {
-                    return;
-                }
-            }
+        let event_inner = Arc::clone(&inner);
+        let events = std::thread::spawn(move || {
+            event_loop(&event_inner, &listener);
+            // Listener drops (closes) here; parked connections drain in
+            // RunningServer::stop once the workers have joined.
         });
         Ok(RunningServer {
             addr: local_addr,
-            shutdown: ShutdownFlag(shared),
-            accept: Some(accept),
+            control: Control(inner),
+            events: Some(events),
             pool: Some(pool),
         })
     }
 }
 
-/// Type-erased handle on the shared shutdown flag (the server handle must
-/// not be generic over the backend).
-struct ShutdownFlag(Arc<dyn ShutdownTarget>);
+/// Type-erased handle on the shared server state (the server handle
+/// must not be generic over the backend).
+struct Control(Arc<dyn ControlTarget>);
 
-trait ShutdownTarget: Send + Sync {
+trait ControlTarget: Send + Sync {
     fn set_shutdown(&self);
     fn session_count(&self) -> usize;
+    fn dispatch_count(&self) -> u64;
+    fn frame_count(&self) -> u64;
+    fn reactor_name(&self) -> &'static str;
+    fn drain(&self);
 }
 
-impl<B: SearchBackend> ShutdownTarget for Shared<B> {
+impl<B: SearchBackend> ControlTarget for Inner<B> {
     fn set_shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
     }
@@ -534,15 +905,40 @@ impl<B: SearchBackend> ShutdownTarget for Shared<B> {
     fn session_count(&self) -> usize {
         self.sessions.len()
     }
+
+    fn dispatch_count(&self) -> u64 {
+        self.dispatches.load(Ordering::Relaxed)
+    }
+
+    fn frame_count(&self) -> u64 {
+        self.frames.load(Ordering::Relaxed)
+    }
+
+    fn reactor_name(&self) -> &'static str {
+        self.reactor.backend_name()
+    }
+
+    fn drain(&self) {
+        // Workers and the event thread have joined by the time this
+        // runs: every parked connection can be deregistered and closed,
+        // and the session table cleared, without racing a turn.
+        let parked = std::mem::take(
+            &mut *self.conns.lock().unwrap_or_else(|p| p.into_inner()),
+        );
+        for (_, conn) in parked {
+            self.reactor.deregister(conn.stream.as_raw_fd());
+        }
+        self.sessions.clear();
+    }
 }
 
-/// A live server: background accept thread + connection pool. Dropping
-/// it (or calling [`RunningServer::shutdown`]) stops accepting, closes
-/// every connection at its next turn, and joins all threads.
+/// A live server: reactor event thread + connection pool. Dropping it
+/// (or calling [`RunningServer::shutdown`]) stops accepting, closes
+/// every connection, drains the session table, and joins all threads.
 pub struct RunningServer {
     addr: SocketAddr,
-    shutdown: ShutdownFlag,
-    accept: Option<std::thread::JoinHandle<()>>,
+    control: Control,
+    events: Option<std::thread::JoinHandle<()>>,
     pool: Option<WorkerPool>,
 }
 
@@ -556,7 +952,26 @@ impl RunningServer {
     /// Live walk sessions (diagnostics for tests and ops).
     #[must_use]
     pub fn session_count(&self) -> usize {
-        self.shutdown.0.session_count()
+        self.control.0.session_count()
+    }
+
+    /// Readiness dispatches to the worker pool so far. Idle connections
+    /// add zero — this is the regression pin for the poll-sweep defect.
+    #[must_use]
+    pub fn dispatch_count(&self) -> u64 {
+        self.control.0.dispatch_count()
+    }
+
+    /// Request frames served so far (batch members count individually).
+    #[must_use]
+    pub fn frame_count(&self) -> u64 {
+        self.control.0.frame_count()
+    }
+
+    /// The readiness backend in use (`"epoll"` or `"poll"`).
+    #[must_use]
+    pub fn reactor_name(&self) -> &'static str {
+        self.control.0.reactor_name()
     }
 
     /// Stops the server and joins its threads.
@@ -565,15 +980,19 @@ impl RunningServer {
     }
 
     fn stop(&mut self) {
-        self.shutdown.0.set_shutdown();
-        // Unblock the accept loop with a throwaway connection.
+        self.control.0.set_shutdown();
+        // Unblock the reactor with a throwaway connection (listener
+        // readiness wakes the event thread, which sees the flag).
         let _ = TcpStream::connect(self.addr);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        if let Some(events) = self.events.take() {
+            let _ = events.join();
         }
         // Dropping the pool discards queued connection turns and joins
         // the worker threads; only this control thread ever owns it.
         self.pool.take();
+        // With every serving thread joined, drain parked connections
+        // and the session table.
+        self.control.0.drain();
     }
 }
 
@@ -586,6 +1005,7 @@ impl Drop for RunningServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hdb_interface::wire::read_frame;
     use hdb_interface::{
         HiddenDb, Query, RemoteBackend, Table, TableBackend, TopKInterface, Tuple,
     };
@@ -598,6 +1018,12 @@ mod tests {
 
     fn serve() -> RunningServer {
         Server::bind(TableBackend::new(table()), "127.0.0.1:0").unwrap()
+    }
+
+    fn ask(stream: &mut TcpStream, req: &Request) -> Response {
+        write_frame(stream, &req.encode().unwrap()).unwrap();
+        let payload = read_frame(stream).unwrap().unwrap();
+        Response::decode(&payload).unwrap()
     }
 
     #[test]
@@ -616,6 +1042,43 @@ mod tests {
     }
 
     #[test]
+    fn portable_reactor_serves_identically() {
+        let server = Server::bind_with(
+            TableBackend::new(table()),
+            "127.0.0.1:0",
+            ServerConfig { reactor: ReactorKind::Portable, ..ServerConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(server.reactor_name(), "poll");
+        let remote = HiddenDb::over(RemoteBackend::connect(server.addr().to_string()).unwrap(), 3);
+        let local = HiddenDb::new(table(), 3);
+        for q in [Query::all(), Query::all().and(0, 1).unwrap()] {
+            assert_eq!(local.query(&q).unwrap(), remote.query(&q).unwrap());
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_cost_zero_dispatches() {
+        let server = serve();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        assert_eq!(
+            ask(&mut stream, &Request::Hello { version: PROTOCOL_VERSION }),
+            Response::Hello { version: PROTOCOL_VERSION }
+        );
+        let after_handshake = server.dispatch_count();
+        // The connection now sits idle. Under the old poll-sweep every
+        // 2 ms slice cost a timed read; under readiness notification an
+        // idle connection must cost nothing at all.
+        std::thread::sleep(Duration::from_millis(300));
+        assert_eq!(server.dispatch_count(), after_handshake, "idle connection was swept");
+        // …and it is still alive and served on demand.
+        assert_eq!(ask(&mut stream, &Request::Len), Response::Len(32));
+        assert!(server.dispatch_count() > after_handshake);
+        server.shutdown();
+    }
+
+    #[test]
     fn walk_sessions_survive_extend_retract_and_eviction() {
         let server = Server::bind_with(
             TableBackend::new(table()),
@@ -628,7 +1091,6 @@ mod tests {
             HiddenDb::over(RemoteBackend::connect(server.addr().to_string()).unwrap(), 2);
         let mut lw = local.walk_session(Query::all()).unwrap();
         let mut rw = remote.walk_session(Query::all()).unwrap();
-        assert_eq!(server.session_count(), 1);
         for (attr, v) in [(0usize, 1u16), (1, 0), (2, 1)] {
             assert_eq!(
                 lw.classify(attr, v).unwrap(),
@@ -651,21 +1113,126 @@ mod tests {
     }
 
     #[test]
+    fn lru_eviction_follows_recency_not_sid_order() {
+        let server = Server::bind_with(
+            TableBackend::new(table()),
+            "127.0.0.1:0",
+            ServerConfig { session_cap: 2, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let open = |stream: &mut TcpStream| match ask(stream, &Request::WalkOpen {
+            root: Query::all(),
+        }) {
+            Response::Session { sid } => sid,
+            other => panic!("expected a session, got {other:?}"),
+        };
+        let extend = |stream: &mut TcpStream, sid: u64| {
+            ask(stream, &Request::WalkExtend {
+                sid,
+                parent_level: 0,
+                child: Query::all().and(0, 1).unwrap(),
+                pred: Predicate::new(0, 1),
+            })
+        };
+        let s1 = open(&mut stream);
+        let s2 = open(&mut stream);
+        // Touch s1 so s2 is now the stalest; the next open must evict
+        // s2, not the lowest sid.
+        assert!(matches!(extend(&mut stream, s1), Response::Level { level: 1 }));
+        let s3 = open(&mut stream);
+        assert!(matches!(extend(&mut stream, s2), Response::SessionGone), "s2 must be evicted");
+        assert!(matches!(extend(&mut stream, s1), Response::Level { level: 1 }));
+        assert!(matches!(extend(&mut stream, s3), Response::Level { level: 1 }));
+        server.shutdown();
+    }
+
+    #[test]
+    fn fused_extend_probe_is_bit_identical_to_the_two_message_sequence() {
+        let server = serve();
+        let mut a = TcpStream::connect(server.addr()).unwrap();
+        let mut b = TcpStream::connect(server.addr()).unwrap();
+        let open = |stream: &mut TcpStream| match ask(stream, &Request::WalkOpen {
+            root: Query::all(),
+        }) {
+            Response::Session { sid } => sid,
+            other => panic!("expected a session, got {other:?}"),
+        };
+        let sid_a = open(&mut a);
+        let sid_b = open(&mut b);
+        let ext_child = Query::all().and(0, 1).unwrap();
+        let ext_pred = Predicate::new(0, 1);
+        let child = ext_child.clone().and(1, 0).unwrap();
+        let pred = Predicate::new(1, 0);
+        // Two-message sequence on connection a…
+        assert!(matches!(
+            ask(&mut a, &Request::WalkExtend {
+                sid: sid_a,
+                parent_level: 0,
+                child: ext_child.clone(),
+                pred: ext_pred,
+            }),
+            Response::Level { level: 1 }
+        ));
+        let plain = ask(&mut a, &Request::WalkClassify {
+            sid: sid_a,
+            parent_level: 1,
+            child: child.clone(),
+            pred,
+            k: 2,
+        });
+        // …fused single message on connection b.
+        let fused = ask(&mut b, &Request::WalkExtendClassify {
+            sid: sid_b,
+            parent_level: 0,
+            ext_child,
+            ext_pred,
+            child,
+            pred,
+            k: 2,
+        });
+        let Response::Classified(plain) = plain else { panic!("{plain:?}") };
+        let Response::ExtendClassified { level, classified } = fused else { panic!("{fused:?}") };
+        assert_eq!(level, 1);
+        assert_eq!(plain, classified);
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_frames_answer_one_response_per_member() {
+        let server = serve();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let batch = Request::Batch(vec![
+            Request::Len,
+            Request::WalkOpen { root: Query::all() },
+            Request::ExactCount { query: Query::all() },
+        ]);
+        write_frame(&mut stream, &batch.encode().unwrap()).unwrap();
+        let mut replies = Vec::new();
+        for _ in 0..3 {
+            let payload = read_frame(&mut stream).unwrap().unwrap();
+            replies.push(Response::decode(&payload).unwrap());
+        }
+        assert_eq!(replies[0], Response::Len(32));
+        assert!(matches!(replies[1], Response::Session { .. }));
+        assert_eq!(replies[2], Response::Count(32));
+        server.shutdown();
+    }
+
+    #[test]
     fn malformed_frames_get_typed_errors_and_garbage_drops_the_connection() {
         let server = serve();
         // Well-framed garbage payload → typed error response, connection
         // stays usable.
         let mut stream = TcpStream::connect(server.addr()).unwrap();
         write_frame(&mut stream, &[0x7F, 1, 2, 3]).unwrap();
-        let payload = hdb_interface::wire::read_frame(&mut stream).unwrap().unwrap();
+        let payload = read_frame(&mut stream).unwrap().unwrap();
         assert!(matches!(
             Response::decode(&payload).unwrap(),
             Response::Error(HdbError::Transport(_))
         ));
         // The same connection still serves real requests.
-        write_frame(&mut stream, &Request::Len.encode().unwrap()).unwrap();
-        let payload = hdb_interface::wire::read_frame(&mut stream).unwrap().unwrap();
-        assert_eq!(Response::decode(&payload).unwrap(), Response::Len(32));
+        assert_eq!(ask(&mut stream, &Request::Len), Response::Len(32));
         // Unframeable input (absurd length prefix) → connection dropped.
         let mut evil = TcpStream::connect(server.addr()).unwrap();
         evil.write_all(&u32::MAX.to_le_bytes()).unwrap();
@@ -679,22 +1246,15 @@ mod tests {
             Err(HdbError::InvalidQuery(_))
         ));
         let mut stream = TcpStream::connect(server.addr()).unwrap();
-        write_frame(
+        let resp = ask(
             &mut stream,
             &Request::Evaluate {
                 query: Query::all(),
                 k: 0,
                 ranking: hdb_interface::RankingSpec::RowId,
-            }
-            .encode()
-            .unwrap(),
-        )
-        .unwrap();
-        let payload = hdb_interface::wire::read_frame(&mut stream).unwrap().unwrap();
-        assert!(matches!(
-            Response::decode(&payload).unwrap(),
-            Response::Error(HdbError::InvalidQuery(_))
-        ));
+            },
+        );
+        assert!(matches!(resp, Response::Error(HdbError::InvalidQuery(_))));
         server.shutdown();
     }
 
@@ -702,11 +1262,6 @@ mod tests {
     fn hostile_ranking_and_unbounded_extend_are_rejected_typed() {
         let server = serve();
         let mut stream = TcpStream::connect(server.addr()).unwrap();
-        let ask = |stream: &mut TcpStream, req: &Request| {
-            write_frame(stream, &req.encode().unwrap()).unwrap();
-            let payload = hdb_interface::wire::read_frame(stream).unwrap().unwrap();
-            Response::decode(&payload).unwrap()
-        };
         // An out-of-range ranking attribute must be a typed error, not an
         // index panic in the scoring kernel.
         let resp = ask(

@@ -15,8 +15,7 @@
 
 #![forbid(unsafe_code)]
 
-use std::time::Duration;
-
+use hdb_interface::reactor::TerminationSignal;
 use hdb_interface::{
     HiddenDb, Query, RemoteBackend, SearchBackend, ShardedDb, Table, TableBackend, TopKInterface,
 };
@@ -189,13 +188,23 @@ fn main() {
         std::process::exit(1);
     });
     println!(
-        "hdb-server on {} — {rows} rows × {attrs} attrs, {} shard(s); \
+        "hdb-server on {} — {rows} rows × {attrs} attrs, {} shard(s), {} reactor; \
          connect with RemoteBackend::connect(\"{}\")",
         running.addr(),
         opts.shards,
+        running.reactor_name(),
         running.addr()
     );
-    loop {
-        std::thread::sleep(Duration::from_secs(3600));
-    }
+    // Block until SIGINT/SIGTERM, then shut down gracefully: stop
+    // accepting, close every connection, drain the session table, and
+    // join the serving threads before exiting 0.
+    let term = TerminationSignal::install().unwrap_or_else(|e| {
+        eprintln!("failed to install signal handlers: {e}");
+        std::process::exit(1);
+    });
+    term.wait();
+    let sessions = running.session_count();
+    println!("shutting down: draining {sessions} walk session(s)");
+    running.shutdown();
+    println!("hdb-server stopped");
 }

@@ -246,7 +246,7 @@ fn sessions_charge_one_count_per_issued_query_including_memo_hits() {
     // tallies partition the issued count exactly
     let c = db.counter();
     assert_eq!(
-        c.underflow_count() + c.valid_count() + c.overflow_count(),
+        c.underflow_count() + c.valid_count() + c.overflow_count() + c.errored_count(),
         db.queries_issued()
     );
 }

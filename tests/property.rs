@@ -148,7 +148,7 @@ proptest! {
         prop_assert_eq!(db.queries_issued(), n);
         let c = db.counter();
         prop_assert_eq!(
-            c.underflow_count() + c.valid_count() + c.overflow_count(),
+            c.underflow_count() + c.valid_count() + c.overflow_count() + c.errored_count(),
             n
         );
     }

@@ -220,6 +220,156 @@ fn shipped_rankings_cross_the_wire_custom_ones_error_typed() {
     }
 }
 
+/// The pipelining acceptance criterion, measured: a drill-down step —
+/// commit a branch (`extend_state`) and probe a child — costs exactly
+/// **one** wire round trip, and a chain of deferred extends collapses
+/// into a single batch frame. Results stay bit-identical to the local
+/// backend throughout.
+#[test]
+fn drill_down_extend_plus_probe_costs_one_round_trip() {
+    let tuples: Vec<Tuple> =
+        (0..64u16).map(|i| Tuple::new(vec![i & 1, (i >> 1) & 1, (i >> 2) & 1, (i >> 3) & 3]))
+            .collect();
+    let schema = Schema::new(vec![
+        Attribute::boolean("a"),
+        Attribute::boolean("b"),
+        Attribute::boolean("c"),
+        Attribute::categorical("d", ["0", "1", "2", "3"]).unwrap(),
+    ])
+    .unwrap();
+    let table = Table::new_dedup(schema, tuples).unwrap();
+    let local = TableBackend::new(table.clone());
+    let (_server, remote) = serve(&table, 1);
+
+    let root = Query::all();
+    let l_walk = local.walk_state(&root);
+    let r_walk = remote.walk_state(&root);
+
+    // Extending costs zero round trips: the commitment is client-side.
+    let child = root.and(0, 1).unwrap();
+    let before = remote.requests_sent();
+    let l_child = local.extend_state(&l_walk, &child, hdb_interface::Predicate::new(0, 1),
+        hdb_interface::WalkState::fallback());
+    let r_child = remote.extend_state(&r_walk, &child, hdb_interface::Predicate::new(0, 1),
+        hdb_interface::WalkState::fallback());
+    assert_eq!(remote.requests_sent(), before, "extend_state must not touch the wire");
+
+    // The probe resolves the pending extend in ONE round trip (fused).
+    let probe = child.and(1, 0).unwrap();
+    let pred = hdb_interface::Predicate::new(1, 0);
+    let before = remote.requests_sent();
+    let l_got = local.classify_from(&l_child, &probe, pred, 2).unwrap();
+    let r_got = remote.classify_from(&r_child, &probe, pred, 2).unwrap();
+    assert_eq!(l_got, r_got, "fused probe must be bit-identical to local");
+    assert_eq!(remote.requests_sent(), before + 1, "extend+probe must be one round trip");
+
+    // A chain of deferred extends still resolves in one batch exchange.
+    let c2 = child.and(1, 1).unwrap();
+    let c3 = c2.and(2, 0).unwrap();
+    let l2 = local.extend_state(&l_child, &c2, hdb_interface::Predicate::new(1, 1),
+        hdb_interface::WalkState::fallback());
+    let l3 = local.extend_state(&l2, &c3, hdb_interface::Predicate::new(2, 0),
+        hdb_interface::WalkState::fallback());
+    let r2 = remote.extend_state(&r_child, &c2, hdb_interface::Predicate::new(1, 1),
+        hdb_interface::WalkState::fallback());
+    let r3 = remote.extend_state(&r2, &c3, hdb_interface::Predicate::new(2, 0),
+        hdb_interface::WalkState::fallback());
+    let probe2 = c3.and(3, 2).unwrap();
+    let pred2 = hdb_interface::Predicate::new(3, 2);
+    let before = remote.requests_sent();
+    let l_eval = local
+        .evaluate_from(&l3, &probe2, pred2, 2, &hdb_interface::RowIdRanking)
+        .unwrap();
+    let r_eval = remote
+        .evaluate_from(&r3, &probe2, pred2, 2, &hdb_interface::RowIdRanking)
+        .unwrap();
+    assert_eq!(l_eval, r_eval, "batched chain must be bit-identical to local");
+    assert_eq!(
+        remote.requests_sent(),
+        before + 1,
+        "two extends + probe must still be one round trip"
+    );
+
+    // After resolution the chain is committed: the next probe from the
+    // same node is a plain single-round-trip walk probe.
+    let before = remote.requests_sent();
+    let l_again = local.classify_from(&l3, &probe2, pred2, 2).unwrap();
+    let r_again = remote.classify_from(&r3, &probe2, pred2, 2).unwrap();
+    assert_eq!(l_again, r_again);
+    assert_eq!(remote.requests_sent(), before + 1);
+}
+
+/// A valid page far larger than one stream chunk crosses the wire in
+/// bounded `PageChunk` frames and reassembles bit-identically — on both
+/// a fast reader (the pooled client) and a deliberately slow one.
+#[test]
+fn oversized_pages_stream_in_chunks_and_survive_slow_readers() {
+    let schema = Schema::boolean(12);
+    let table = hdb_datagen::uniform_table(&schema, 2500, 99).unwrap();
+    let local = TableBackend::new(table.clone());
+    let (server, remote) = serve(&table, 1);
+
+    // 2500 tuples > STREAM_TUPLES: the response must stream, and the
+    // client must hand back the identical evaluation.
+    let k = table.len();
+    let l_eval = local.evaluate(&Query::all(), k, &hdb_interface::RowIdRanking).unwrap();
+    let r_eval = remote.evaluate(&Query::all(), k, &hdb_interface::RowIdRanking).unwrap();
+    assert_eq!(l_eval.top.len(), 2500);
+    assert_eq!(l_eval, r_eval, "streamed page must reassemble bit-identically");
+
+    // Slow writer: the same request trickled a byte at a time; slow
+    // reader: responses consumed through a 7-byte-per-read window. The
+    // server must tolerate both sides stalling mid-frame.
+    use hdb_interface::wire::{read_response, write_frame, Request, Response};
+    struct Trickle<R>(R);
+    impl<R: std::io::Read> std::io::Read for Trickle<R> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = buf.len().min(7);
+            self.0.read(&mut buf[..n])
+        }
+    }
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let req = Request::Evaluate {
+        query: Query::all(),
+        k: k as u64,
+        ranking: hdb_interface::RankingSpec::RowId,
+    };
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &req.encode().unwrap()).unwrap();
+    for byte in &framed {
+        stream.write_all(std::slice::from_ref(byte)).unwrap();
+        stream.flush().unwrap();
+    }
+    let mut slow = Trickle(stream);
+    match read_response(&mut slow).unwrap() {
+        Some(Response::Evaluation(ev)) => assert_eq!(ev, l_eval),
+        other => panic!("expected a streamed Evaluation, got {other:?}"),
+    }
+}
+
+/// Satellite regression pin: a query that fails *after* it was charged
+/// (dead server mid-run) lands in the `errored` tally, keeping the
+/// ledger partition `issued = underflow + valid + overflow + errored`
+/// exact instead of silently leaking the count.
+#[test]
+fn charged_but_failed_queries_land_in_the_errored_tally() {
+    let tuples: Vec<Tuple> =
+        (0..8u16).map(|i| Tuple::new(vec![i & 1, (i >> 1) & 1, (i >> 2) & 1])).collect();
+    let table = Table::new(Schema::boolean(3), tuples).unwrap();
+    let (server, remote) = serve(&table, 1);
+    let db = HiddenDb::over(remote, 1);
+    assert!(db.query(&Query::all()).unwrap().is_overflow());
+    server.shutdown();
+    assert!(matches!(db.query(&Query::all()), Err(HdbError::Transport(_))));
+    let c = db.counter();
+    assert_eq!(c.errored_count(), 1, "the charged-but-failed query must be tallied");
+    assert_eq!(
+        db.queries_issued(),
+        c.underflow_count() + c.valid_count() + c.overflow_count() + c.errored_count(),
+        "the outcome tallies must partition the issued count exactly"
+    );
+}
+
 #[test]
 fn dead_server_surfaces_typed_transport_errors() {
     let tuples: Vec<Tuple> =

@@ -6,8 +6,11 @@
 //! survive a lying server. This is the executable counterpart of the
 //! `HDB-P01`/`HDB-P02` lint rules (see `docs/ARCHITECTURE.md`).
 
-use hdb_interface::wire::{read_frame, FrameBuf, Request, Response, MAX_FRAME_LEN};
-use hdb_interface::{Predicate, Query, RankingSpec};
+use hdb_interface::wire::{
+    encode_page_chunk, read_frame, read_response, write_frame, write_response, FrameBuf, Request,
+    Response, MAX_FRAME_LEN, STREAM_TUPLES,
+};
+use hdb_interface::{Evaluation, Predicate, Query, RankingSpec, ReturnedTuple, Tuple};
 use proptest::prelude::*;
 
 /// A corpus of valid encoded requests, parameterised so proptest can
@@ -43,10 +46,51 @@ fn encoded_requests(sid: u64, level: u32, k: u64, seed: u64) -> Vec<Vec<u8>> {
             k: k.max(1),
             ranking: RankingSpec::SeededRandom { seed },
         },
-        Request::WalkClassify { sid, parent_level: level, child: q, pred: Predicate::new(2, 0), k },
+        Request::WalkClassify {
+            sid,
+            parent_level: level,
+            child: q.clone(),
+            pred: Predicate::new(2, 0),
+            k,
+        },
+        Request::WalkExtendEvaluate {
+            sid,
+            parent_level: level,
+            ext_child: q.clone(),
+            ext_pred: Predicate::new((sid % 4) as usize, (seed % 3) as u16),
+            child: q.clone(),
+            pred: Predicate::new(1, 0),
+            k: k.max(1),
+            ranking: RankingSpec::RowId,
+        },
+        Request::WalkExtendClassify {
+            sid,
+            parent_level: level,
+            ext_child: q.clone(),
+            ext_pred: Predicate::new(0, 0),
+            child: q.clone(),
+            pred: Predicate::new(1, 1),
+            k,
+        },
         Request::WalkClose { sid },
     ];
-    reqs.iter().map(|r| r.encode().expect("valid request encodes")).collect()
+    let mut encoded: Vec<Vec<u8>> =
+        reqs.iter().map(|r| r.encode().expect("valid request encodes")).collect();
+    // A batch of the first few shapes — pipelining must survive the same
+    // corruption the standalone frames do.
+    let batch = Request::Batch(reqs.into_iter().take(4).collect());
+    encoded.push(batch.encode().expect("valid batch encodes"));
+    encoded
+}
+
+/// A synthetic page of `n` tuples for stream tests.
+fn page_of(n: usize) -> Vec<ReturnedTuple> {
+    (0..n)
+        .map(|i| ReturnedTuple {
+            id: u32::try_from(i).unwrap_or(u32::MAX),
+            tuple: Tuple::new(vec![(i % 7) as u16, ((i * 31) % 5) as u16]),
+        })
+        .collect()
 }
 
 proptest! {
@@ -145,6 +189,100 @@ proptest! {
         let mut cursor = std::io::Cursor::new(stream);
         while let Ok(Some(_)) = read_frame(&mut cursor) {}
     }
+
+    /// A page bigger than one chunk streams out as head + `PageChunk`
+    /// frames and reassembles bit-identically through `read_response`,
+    /// for page sizes straddling the chunk boundary.
+    #[test]
+    fn chunked_page_streams_reassemble_bitwise(extra in 0usize..=(2 * STREAM_TUPLES + 3)) {
+        let page = page_of(extra);
+        let resp = Response::Evaluation(Evaluation { count: page.len(), top: page });
+        let mut bytes = Vec::new();
+        write_response(&mut bytes, &resp).expect("stream encodes");
+        // Count the frames: big pages must actually take the chunked
+        // path (head + one frame per STREAM_TUPLES chunk), small ones
+        // must stay a single whole frame.
+        let mut frames = 0usize;
+        let mut counter = std::io::Cursor::new(bytes.clone());
+        while let Some(_f) = read_frame(&mut counter).expect("well-formed frames") {
+            frames += 1;
+        }
+        let expected = if extra > STREAM_TUPLES { 1 + extra.div_ceil(STREAM_TUPLES) } else { 1 };
+        prop_assert_eq!(frames, expected, "page of {} tuples", extra);
+        let mut cursor = std::io::Cursor::new(bytes);
+        let got = read_response(&mut cursor).expect("reassembles").expect("not EOF");
+        prop_assert_eq!(got, resp);
+        prop_assert!(read_response(&mut cursor).expect("clean EOF").is_none());
+    }
+
+    /// Truncating a chunked stream anywhere — mid-head, between chunks,
+    /// mid-chunk — yields a typed error or a clean EOF, never a panic
+    /// and never a silently short page.
+    #[test]
+    fn chunked_stream_truncation_is_total(
+        extra in 1usize..=(STREAM_TUPLES / 2),
+        cut_salt in any::<usize>(),
+    ) {
+        let page = page_of(STREAM_TUPLES + extra);
+        let full_len = page.len();
+        let resp = Response::Evaluation(Evaluation { count: full_len, top: page });
+        let mut bytes = Vec::new();
+        write_response(&mut bytes, &resp).expect("stream encodes");
+        let cut = cut_salt % bytes.len();
+        let mut cursor = std::io::Cursor::new(&bytes[..cut]);
+        // Only a cut that truncates *nothing meaningful* may still
+        // produce a response — and then it must be whole. Any other
+        // outcome (clean EOF, typed error) is fine; a panic is not.
+        if let Ok(Some(got)) = read_response(&mut cursor) {
+            prop_assert_eq!(got, resp.clone());
+        }
+    }
+
+    /// Interleaving garbage after a valid stream, or handing the decoder
+    /// a stream whose chunks arrive in odd piecewise writes, stays total.
+    #[test]
+    fn piecewise_stream_reads_are_total(
+        extra in 0usize..=64,
+        garbage in prop::collection::vec(any::<u8>(), 0..=32),
+    ) {
+        let page = page_of(STREAM_TUPLES + extra);
+        let resp = Response::Evaluation(Evaluation { count: page.len(), top: page });
+        let mut bytes = Vec::new();
+        write_response(&mut bytes, &resp).expect("stream encodes");
+        bytes.extend_from_slice(&garbage);
+        let mut cursor = std::io::Cursor::new(bytes);
+        prop_assert_eq!(read_response(&mut cursor).expect("reassembles"), Some(resp));
+        // Whatever trails the stream is someone else's frame: total.
+        while let Ok(Some(_)) = read_response(&mut cursor) {}
+    }
+}
+
+/// A `PageChunk` with no preceding `Streamed` head is a protocol error,
+/// surfaced typed — chunks are only valid inside a stream.
+#[test]
+fn orphan_page_chunk_is_a_typed_error() {
+    let chunk = encode_page_chunk(&page_of(3), true).expect("chunk encodes");
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, &chunk).expect("frames");
+    let mut cursor = std::io::Cursor::new(bytes);
+    assert!(read_response(&mut cursor).is_err(), "orphan chunk must be rejected");
+}
+
+/// A stream head followed by a non-chunk frame is a typed error: the
+/// server guarantees chunk contiguity, so anything else means a broken
+/// or hostile peer.
+#[test]
+fn interrupted_stream_is_a_typed_error() {
+    let head = Response::Streamed(Box::new(Response::Evaluation(Evaluation {
+        count: 2,
+        top: Vec::new(),
+    })));
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, &head.encode().expect("encodes")).expect("frames");
+    let intruder = Response::Len(7).encode().expect("encodes");
+    write_frame(&mut bytes, &intruder).expect("frames");
+    let mut cursor = std::io::Cursor::new(bytes);
+    assert!(read_response(&mut cursor).is_err(), "non-chunk mid-stream must be rejected");
 }
 
 /// A length prefix past [`MAX_FRAME_LEN`] is a corrupt frame, rejected
