@@ -1,0 +1,10 @@
+//! Scale experiment: federated fleet serving — the HD estimator against
+//! 1/2/4 shard servers behind a `FederatedBackend`, with bit-identity
+//! checks per fleet size, a survived mid-run shard kill, and the
+//! machine-readable record written to `BENCH_scale06.json`.
+use hdb_bench::{experiments, Datasets, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    experiments::federation_scale::run_federation_scale(&scale, &Datasets::new());
+}

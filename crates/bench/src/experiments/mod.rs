@@ -6,6 +6,7 @@
 
 pub mod ablations;
 pub mod c10k;
+pub mod federation_scale;
 pub mod fig06_10_boolean;
 pub mod fig11_13_sweeps;
 pub mod fig14_17_yahoo;

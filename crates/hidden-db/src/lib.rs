@@ -19,10 +19,13 @@
 //!
 //! The *logical* interface is further split from the *physical*
 //! evaluation substrate: [`HiddenDb`] is generic over [`SearchBackend`],
-//! with three substrates shipped — the default bitmap-indexed
+//! with several substrates shipped — the default bitmap-indexed
 //! [`TableBackend`], the hash-partitioned [`ShardedDb`] (per-shard
-//! evaluation fanned across threads, merged order-independently), and
-//! the remote-API simulation [`LatencyBackend`]. All backends return
+//! evaluation fanned across threads, merged order-independently), the
+//! remote-API simulation [`LatencyBackend`], the networked
+//! [`RemoteBackend`] client, and the fleet-spanning
+//! [`FederatedBackend`] (every shard behind its own server, with
+//! health checks and failover). All backends return
 //! bit-identical outcomes for the same corpus, so estimator runs are
 //! reproducible across substrates (see `docs/ARCHITECTURE.md`).
 //!
@@ -58,6 +61,7 @@ pub mod bitmap;
 pub mod cache;
 pub mod counter;
 pub mod error;
+pub mod federated;
 pub mod index;
 pub mod interface;
 pub mod latency;
@@ -77,6 +81,7 @@ pub use backend::{Classified, EvalMode, Evaluation, SearchBackend, TableBackend,
 pub use cache::{CachingInterface, ShardedMemo};
 pub use counter::QueryCounter;
 pub use error::{HdbError, Result};
+pub use federated::{FederatedBackend, FleetConfig, ShardPartBackend, Topology};
 pub use index::{Selection, TableIndex};
 pub use interface::{HiddenDb, QueryOutcome, ReturnedTuple, TopKInterface};
 pub use session::{ClassifiedOutcome, SessionMode, WalkSession};

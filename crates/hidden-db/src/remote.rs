@@ -27,7 +27,11 @@
 //! step — commit a branch, probe a child — therefore costs exactly one
 //! round trip, down from two. Extends replay idempotently on the server
 //! (extend-from-level truncates deeper levels first), which is what
-//! makes the pooled-connection stale retry safe.
+//! makes the pooled-connection stale retry safe — and the retry paths
+//! enforce it structurally: [`Request::replayable`] gates every re-send,
+//! so a message that must not be replayed (`WalkOpen` allocates a fresh
+//! session per send) can never ride a retry, whichever method a caller
+//! picks.
 //!
 //! Every fast-path degradation (evicted session, failed open) falls back
 //! to re-rooting a fresh session or fresh evaluation, both bit-identical,
@@ -123,11 +127,16 @@ impl ClientCore {
 
     /// Sends `req` on a pooled connection, falling back to a fresh one if
     /// the pooled socket turned out stale (the server may have dropped it
-    /// while idle). Every request routed here is an idempotent read, so
-    /// the single retry can never double-apply an effect — `WalkOpen`,
-    /// which creates server state, goes through
-    /// [`ClientCore::request_once`] instead.
+    /// while idle). The single retry is gated on
+    /// [`Request::replayable`] **structurally** — a non-replayable
+    /// request (`WalkOpen`, which allocates a fresh session per send) is
+    /// routed through the single-attempt [`ClientCore::request_once`]
+    /// path no matter who calls, so no future call site can accidentally
+    /// double-apply an effect by picking the convenient method.
     fn request(&self, req: &Request) -> Result<Response> {
+        if !req.replayable() {
+            return self.request_once(req);
+        }
         let pooled = self.idle.lock().unwrap_or_else(|p| p.into_inner()).pop();
         if let Some(mut stream) = pooled {
             if let Ok(resp) = self.roundtrip(&mut stream, req) {
@@ -144,10 +153,16 @@ impl ClientCore {
 
     /// Sends several requests in one frame (a singleton skips the batch
     /// wrapper) and reads one response per member, in member order, with
-    /// the same stale-retry as [`ClientCore::request`] — safe because
-    /// extends replay idempotently and probes are reads.
+    /// the same stale-retry as [`ClientCore::request`]. The retry
+    /// re-sends the **whole** frame, so it is gated on every member being
+    /// [`Request::replayable`]: extends replay idempotently (the server
+    /// truncates the stack to the parent before pushing, so a batch whose
+    /// fused probe already committed server-side converges to the same
+    /// stack on the second pass) and probes are reads — but a frame
+    /// carrying a non-replayable member gets exactly one attempt.
     fn request_many(&self, reqs: Vec<Request>) -> Result<Vec<Response>> {
         let n = reqs.len();
+        let replayable = reqs.iter().all(Request::replayable);
         let mut reqs = reqs;
         let payload = match n {
             0 => return Ok(Vec::new()),
@@ -161,9 +176,13 @@ impl ClientCore {
         write_frame(&mut framed, &payload)?;
         let pooled = self.idle.lock().unwrap_or_else(|p| p.into_inner()).pop();
         if let Some(mut stream) = pooled {
-            if let Ok(resps) = self.exchange(&mut stream, &framed, n) {
-                self.checkin(stream);
-                return Ok(resps);
+            match self.exchange(&mut stream, &framed, n) {
+                Ok(resps) => {
+                    self.checkin(stream);
+                    return Ok(resps);
+                }
+                Err(e) if !replayable => return Err(e),
+                Err(_) => {} // stale pooled connection: retry fresh below
             }
         }
         let mut stream = self.open()?;
@@ -407,6 +426,26 @@ impl RemoteBackend {
     #[must_use]
     pub fn requests_sent(&self) -> u64 {
         self.core.requests.load(Ordering::Relaxed)
+    }
+
+    /// One cheap request/response round trip ([`Request::Len`]) proving
+    /// the server is alive and answering protocol — the fleet health
+    /// checker's probe. Also re-validates that the server still reports
+    /// the corpus size learned at connect time, so a restarted server
+    /// with different data is detected instead of silently merged.
+    ///
+    /// # Errors
+    /// [`HdbError::Transport`] when the exchange fails or the reported
+    /// size changed.
+    pub fn ping(&self) -> Result<()> {
+        match ok_or_err(self.core.request(&Request::Len)?)? {
+            Response::Len(n) if usize::try_from(n) == Ok(self.len) => Ok(()),
+            Response::Len(n) => Err(HdbError::Transport(format!(
+                "server at {} now reports {n} rows (expected {})",
+                self.core.addr, self.len
+            ))),
+            other => Err(unexpected("Len", &other)),
+        }
     }
 
     fn spec_of(ranking: &dyn RankingFunction) -> Result<RankingSpec> {

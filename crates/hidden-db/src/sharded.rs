@@ -37,20 +37,25 @@ use crate::tuple::{Tuple, TupleId};
 
 /// One shard: a contiguous-by-assignment subset of the corpus with its
 /// own (lazily indexed) table and the global id of every local row.
+///
+/// Shared between [`ShardedDb`] (all shards in one process) and
+/// [`ShardPartBackend`](crate::federated::ShardPartBackend) (one shard
+/// per server in a federation) so both substrates evaluate a shard with
+/// the same code and therefore the same bits.
 #[derive(Debug)]
-struct Shard {
+pub(crate) struct Shard {
     /// Local table over the shard's tuples; row `r` here is global tuple
     /// `ids[r]`.
-    table: Table,
+    pub(crate) table: Table,
     /// Ascending global ids (partitioning preserves corpus order within a
     /// shard).
-    ids: Vec<TupleId>,
+    pub(crate) ids: Vec<TupleId>,
 }
 
 impl Shard {
     /// Evaluates `q` against this shard only: local match count plus the
     /// shard's candidate set (all matches if ≤ k, else the shard top-k).
-    fn partial(
+    pub(crate) fn partial(
         &self,
         q: &Query,
         k: usize,
@@ -69,7 +74,7 @@ impl Shard {
     }
 
     /// [`Shard::partial`] over an incremental parent state ∩ one posting.
-    fn partial_from(
+    pub(crate) fn partial_from(
         &self,
         sel: &SelState,
         pred: Predicate,
@@ -99,6 +104,61 @@ fn shard_of(tuple: &Tuple, shards: usize) -> usize {
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     (h % shards as u64) as usize
+}
+
+/// Hash-partitions `table` into `shard_count` shards, preserving global
+/// tuple ids. This is **the** partitioning function: [`ShardedDb::new`]
+/// and the federation's
+/// [`ShardPartBackend::partition`](crate::federated::ShardPartBackend::partition)
+/// both call it, so a fleet of shard servers holds exactly the shards a
+/// local `ShardedDb` over the same table would — the precondition for
+/// bit-identical merges.
+pub(crate) fn split(table: &Table, shard_count: usize) -> Vec<Shard> {
+    let shard_count = shard_count.max(1);
+    let schema = table.schema().clone();
+    let mut tuples: Vec<Vec<Tuple>> = vec![Vec::new(); shard_count];
+    let mut ids: Vec<Vec<TupleId>> = vec![Vec::new(); shard_count];
+    for (row, tuple) in table.tuples().iter().enumerate() {
+        let s = shard_of(tuple, shard_count);
+        tuples[s].push(tuple.clone());
+        ids[s].push(row as TupleId);
+    }
+    tuples
+        .into_iter()
+        .zip(ids)
+        .map(|(tuples, ids)| Shard {
+            table: Table::new(schema.clone(), tuples)
+                .expect("shard tuples are a subset of a valid table"),
+            ids,
+        })
+        .collect()
+}
+
+/// Merges per-shard partial evaluations into the global [`Evaluation`] —
+/// order-independent, bit-identical to the single-table result. Shared by
+/// [`ShardedDb`] and [`FederatedBackend`](crate::federated::FederatedBackend):
+/// counts are summed; a valid outcome sorts all matches by ascending
+/// global id (the single-table enumeration order); an overflow re-ranks
+/// the union of shard candidate sets by the global `(score, id)` key and
+/// truncates to `k` — each shard's candidates are a superset of its
+/// contribution to the global top-k, so the selection is exact.
+pub(crate) fn merge_partials(
+    schema: &Schema,
+    partials: Vec<(usize, Vec<ReturnedTuple>)>,
+    k: usize,
+    ranking: &dyn RankingFunction,
+) -> Evaluation {
+    let count: usize = partials.iter().map(|(c, _)| c).sum();
+    let mut candidates: Vec<ReturnedTuple> =
+        partials.into_iter().flat_map(|(_, top)| top).collect();
+    if count <= k {
+        candidates.sort_unstable_by_key(|t| t.id);
+    } else {
+        candidates
+            .sort_unstable_by_key(|t| (ScoreKey(ranking.score(schema, t.id, &t.tuple)), t.id));
+        candidates.truncate(k);
+    }
+    Evaluation { count, top: candidates }
 }
 
 /// A hash-partitioned corpus evaluated shard-by-shard.
@@ -147,22 +207,7 @@ impl ShardedDb {
     pub fn new(table: &Table, shard_count: usize) -> Self {
         assert!(shard_count > 0, "a sharded corpus needs at least one shard");
         let schema = table.schema().clone();
-        let mut tuples: Vec<Vec<Tuple>> = vec![Vec::new(); shard_count];
-        let mut ids: Vec<Vec<TupleId>> = vec![Vec::new(); shard_count];
-        for (row, tuple) in table.tuples().iter().enumerate() {
-            let s = shard_of(tuple, shard_count);
-            tuples[s].push(tuple.clone());
-            ids[s].push(row as TupleId);
-        }
-        let shards = tuples
-            .into_iter()
-            .zip(ids)
-            .map(|(tuples, ids)| Shard {
-                table: Table::new(schema.clone(), tuples)
-                    .expect("shard tuples are a subset of a valid table"),
-                ids,
-            })
-            .collect();
+        let shards = split(table, shard_count);
         Self { schema, shards, rows: table.len(), workers: 1, pool: None }
     }
 
@@ -230,31 +275,15 @@ impl ShardedDb {
     }
 
     /// Merges per-shard partial evaluations into the global [`Evaluation`]
-    /// — order-independent, bit-identical to the single-table result.
+    /// — order-independent, bit-identical to the single-table result (the
+    /// shared [`merge_partials`], which the federation layer also uses).
     fn merge(
         &self,
         partials: Vec<(usize, Vec<ReturnedTuple>)>,
         k: usize,
         ranking: &dyn RankingFunction,
     ) -> Evaluation {
-        let count: usize = partials.iter().map(|(c, _)| c).sum();
-        let mut candidates: Vec<ReturnedTuple> =
-            partials.into_iter().flat_map(|(_, top)| top).collect();
-        if count <= k {
-            // Valid outcome: all matches, ascending global id — the same
-            // order a single table enumerates them in.
-            candidates.sort_unstable_by_key(|t| t.id);
-        } else {
-            // Overflow: each shard's candidates are a superset of its
-            // contribution to the global top-k, so re-ranking the union
-            // by the global (score, id) key reproduces the single-table
-            // selection exactly.
-            candidates.sort_unstable_by_key(|t| {
-                (ScoreKey(ranking.score(&self.schema, t.id, &t.tuple)), t.id)
-            });
-            candidates.truncate(k);
-        }
-        Evaluation { count, top: candidates }
+        merge_partials(&self.schema, partials, k, ranking)
     }
 }
 

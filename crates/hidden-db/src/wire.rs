@@ -613,6 +613,33 @@ fn dec_error(d: &mut Dec<'_>) -> Result<HdbError> {
 // Message codecs
 
 impl Request {
+    /// Whether this request may be sent **again** after a failed exchange
+    /// without changing server state beyond what a single send would.
+    ///
+    /// Reads ([`Request::Schema`], [`Request::Len`], evaluations, exact
+    /// aggregates) are trivially replayable. The walk-session mutations
+    /// are replayable **by construction**: the server's state stack is
+    /// truncated to `parent_level + 1` before every extend, so re-sending
+    /// the same extend (alone, fused, or inside a [`Request::Batch`])
+    /// converges to the same stack no matter how much of the first
+    /// attempt the server executed before the connection died.
+    /// [`Request::WalkClose`] is an idempotent evict.
+    ///
+    /// The one exception is [`Request::WalkOpen`]: every send allocates a
+    /// **fresh** session id, so a blind replay leaks a session and — far
+    /// worse — leaves the client unsure *which* sid its later messages
+    /// commit into. The retry paths in `remote` consult this method and
+    /// refuse to replay such requests; callers route them through the
+    /// single-attempt API instead.
+    #[must_use]
+    pub fn replayable(&self) -> bool {
+        match self {
+            Self::WalkOpen { .. } => false,
+            Self::Batch(members) => members.iter().all(Self::replayable),
+            _ => true,
+        }
+    }
+
     /// Encodes this request as a frame payload.
     ///
     /// # Errors

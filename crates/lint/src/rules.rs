@@ -209,6 +209,7 @@ fn in_panic_scope(path: &str) -> bool {
     [
         "crates/hidden-db/src/wire.rs",
         "crates/hidden-db/src/remote.rs",
+        "crates/hidden-db/src/federated.rs",
         "crates/hidden-db/src/reactor.rs",
         "crates/server/src/lib.rs",
         "crates/server/src/main.rs",

@@ -4,11 +4,16 @@
 //! ```text
 //! hdb-server [--addr 127.0.0.1:7171] [--rows 100000] [--attrs 20]
 //!            [--shards 1] [--shard-workers 1] [--pool-threads N]
+//!            [--shard-part I --shard-parts N]
 //!            [--seed 42] [--self-test]
 //! ```
 //!
 //! `--shards > 1` serves a [`ShardedDb`] instead of a single table (the
 //! estimators cannot tell the difference — that is the point).
+//! `--shard-part I --shard-parts N` serves only part `I` of the corpus
+//! hash-partitioned `N` ways ([`ShardPartBackend`]) — run one process
+//! per part and point a `FederatedBackend` topology at the fleet; it
+//! merges their answers bit-identically to a local `ShardedDb`.
 //! `--self-test` binds an ephemeral port, connects a [`RemoteBackend`]
 //! client to itself, verifies a query + walk-session round trip against
 //! the local backend bit-for-bit, and exits — the CI smoke path.
@@ -17,7 +22,8 @@
 
 use hdb_interface::reactor::TerminationSignal;
 use hdb_interface::{
-    HiddenDb, Query, RemoteBackend, SearchBackend, ShardedDb, Table, TableBackend, TopKInterface,
+    HiddenDb, Query, RemoteBackend, SearchBackend, ShardPartBackend, ShardedDb, Table,
+    TableBackend, TopKInterface,
 };
 use hdb_server::{Server, ServerConfig};
 
@@ -29,6 +35,8 @@ struct Opts {
     shards: usize,
     shard_workers: usize,
     pool_threads: Option<usize>,
+    shard_part: Option<usize>,
+    shard_parts: Option<usize>,
     seed: u64,
     self_test: bool,
 }
@@ -42,6 +50,8 @@ impl Opts {
             shards: 1,
             shard_workers: 1,
             pool_threads: None,
+            shard_part: None,
+            shard_parts: None,
             seed: 42,
             self_test: false,
         };
@@ -65,13 +75,19 @@ impl Opts {
                     opts.pool_threads =
                         Some(parse_num(&value("--pool-threads"), "--pool-threads"));
                 }
+                "--shard-part" => {
+                    opts.shard_part = Some(parse_num(&value("--shard-part"), "--shard-part"));
+                }
+                "--shard-parts" => {
+                    opts.shard_parts = Some(parse_num(&value("--shard-parts"), "--shard-parts"));
+                }
                 "--seed" => opts.seed = parse_num(&value("--seed"), "--seed") as u64,
                 "--self-test" => opts.self_test = true,
                 "--help" | "-h" => {
                     println!(
                         "usage: hdb-server [--addr HOST:PORT] [--rows N] [--attrs N] \
-                         [--shards N] [--shard-workers N] [--pool-threads N] [--seed N] \
-                         [--self-test]"
+                         [--shards N] [--shard-workers N] [--pool-threads N] \
+                         [--shard-part I --shard-parts N] [--seed N] [--self-test]"
                     );
                     std::process::exit(0);
                 }
@@ -177,7 +193,33 @@ fn main() {
     let table = dataset(opts.rows, opts.attrs, opts.seed);
     let rows = table.len();
     let attrs = table.schema().len();
-    let running = if opts.shards > 1 {
+    let part = match (opts.shard_part, opts.shard_parts) {
+        (None, None) => None,
+        (Some(part), Some(parts)) if part < parts => Some((part, parts)),
+        (Some(part), Some(parts)) => {
+            eprintln!("--shard-part {part} is out of range for --shard-parts {parts}");
+            std::process::exit(2);
+        }
+        _ => {
+            eprintln!("--shard-part and --shard-parts must be given together");
+            std::process::exit(2);
+        }
+    };
+    if part.is_some() && opts.shards > 1 {
+        eprintln!("--shard-part serves one partition; it cannot be combined with --shards > 1");
+        std::process::exit(2);
+    }
+    let running = if let Some((part, parts)) = part {
+        // One part of the federation: generate the full corpus (so every
+        // fleet member agrees on it for a given seed), serve only the
+        // slice the shared hash partitioning assigns to `part`.
+        let backend = ShardPartBackend::partition(&table, parts).into_iter().nth(part);
+        let backend = backend.unwrap_or_else(|| {
+            eprintln!("--shard-part {part} is out of range for --shard-parts {parts}");
+            std::process::exit(2);
+        });
+        Server::bind_with(backend, &opts.addr, config(&opts))
+    } else if opts.shards > 1 {
         let backend = ShardedDb::new(&table, opts.shards).with_workers(opts.shard_workers);
         Server::bind_with(backend, &opts.addr, config(&opts))
     } else {
@@ -187,11 +229,14 @@ fn main() {
         eprintln!("failed to start: {e}");
         std::process::exit(1);
     });
+    let role = match part {
+        Some((part, parts)) => format!("part {part}/{parts} of the corpus"),
+        None => format!("{} shard(s)", opts.shards),
+    };
     println!(
-        "hdb-server on {} — {rows} rows × {attrs} attrs, {} shard(s), {} reactor; \
+        "hdb-server on {} — {rows} rows × {attrs} attrs, {role}, {} reactor; \
          connect with RemoteBackend::connect(\"{}\")",
         running.addr(),
-        opts.shards,
         running.reactor_name(),
         running.addr()
     );

@@ -1,19 +1,42 @@
-//! Statistical test harness for estimator unbiasedness.
+//! Test harnesses: statistical unbiasedness checks and deterministic
+//! network fault injection.
 //!
-//! The paper's central claim is distributional — every pass estimate has
-//! expectation equal to the true aggregate — so it can only be checked
-//! by Monte-Carlo: run the estimator under many independent master
-//! seeds, average, and compare against ground truth with a tolerance
-//! derived from the observed spread (a CLT confidence interval), not a
-//! magic constant. This module packages that recipe so integration tests
-//! can assert unbiasedness in two lines, and routes every run through
-//! the **parallel engine** (worker count from `HDB_ENGINE_WORKERS` via
-//! [`hdb_core::default_workers`]) — CI runs the suite under 1 and 4
-//! workers, so the engine's thread-count-independence guarantee is
-//! exercised by every statistical assertion.
+//! **Unbiasedness.** The paper's central claim is distributional — every
+//! pass estimate has expectation equal to the true aggregate — so it can
+//! only be checked by Monte-Carlo: run the estimator under many
+//! independent master seeds, average, and compare against ground truth
+//! with a tolerance derived from the observed spread (a CLT confidence
+//! interval), not a magic constant. [`UnbiasednessCheck`] packages that
+//! recipe so integration tests can assert unbiasedness in two lines, and
+//! routes every run through the **parallel engine** (worker count from
+//! `HDB_ENGINE_WORKERS` via [`hdb_core::default_workers`]) — CI runs the
+//! suite under 1 and 4 workers, so the engine's
+//! thread-count-independence guarantee is exercised by every statistical
+//! assertion.
+//!
+//! **Fault injection.** [`FaultProxy`] is an in-process TCP chaos proxy
+//! that sits between a `RemoteBackend` and any `hdb-server`, relaying
+//! whole wire frames and injecting faults — drop, delay, garble,
+//! half-close, connection reset — **at frame boundaries**, from a
+//! [`FaultSchedule`] that is either scripted or drawn once from a seeded
+//! `StdRng`. Deciding per *frame* rather than per byte keeps every run
+//! reproducible: the same schedule against the same serial client
+//! produces the same failure at the same protocol step, so failover
+//! tests assert exact outcomes instead of flaking. The schedule cursors
+//! live in the proxy, not the connection, so a client that reconnects
+//! through the proxy keeps consuming the same schedule.
+
+use std::io::Write as _;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
 
 use hdb_core::{default_workers, AggregateSpec, EstimatorConfig, UnbiasedAggEstimator};
+use hdb_interface::wire::{read_frame, write_frame};
 use hdb_interface::{HiddenDb, Table};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// A Monte-Carlo unbiasedness check of one estimator configuration
 /// against a ground-truth table.
@@ -77,5 +100,322 @@ impl UnbiasednessCheck {
             self.passes_per_seed,
             100.0 * bias / truth.max(f64::MIN_POSITIVE),
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic TCP chaos proxy
+
+/// One action applied to one relayed wire frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Relay the frame untouched.
+    Forward,
+    /// Swallow the frame (the peer waiting for it hits its I/O timeout).
+    Drop,
+    /// Sleep this many milliseconds, then forward the frame.
+    Delay(u64),
+    /// Forward the frame with its payload corrupted (framing intact, so
+    /// the receiver reads a well-formed frame of garbage and must fail
+    /// with a typed decode error, not a crash).
+    Garble,
+    /// Forward the frame, then shut down the write half toward the
+    /// receiver — the classic half-open peer.
+    HalfClose,
+    /// Tear the connection down in both directions without forwarding.
+    Reset,
+}
+
+/// A per-direction sequence of [`Fault`]s, consumed one action per
+/// relayed frame; after the sequence is exhausted every further frame
+/// gets the `fallback` action.
+#[derive(Clone, Debug)]
+pub struct FaultSchedule {
+    actions: Vec<Fault>,
+    fallback: Fault,
+}
+
+impl FaultSchedule {
+    /// Forwards everything — the do-nothing schedule for the direction a
+    /// test is not attacking.
+    #[must_use]
+    pub fn clean() -> Self {
+        Self { actions: Vec::new(), fallback: Fault::Forward }
+    }
+
+    /// Plays `actions` in order, then forwards everything.
+    #[must_use]
+    pub fn script(actions: Vec<Fault>) -> Self {
+        Self { actions, fallback: Fault::Forward }
+    }
+
+    /// Plays `actions` in order, then applies `fallback` to every further
+    /// frame (e.g. `Fault::Drop` to simulate a peer that goes silent
+    /// after a healthy handshake).
+    #[must_use]
+    pub fn script_then(actions: Vec<Fault>, fallback: Fault) -> Self {
+        Self { actions, fallback }
+    }
+
+    /// A schedule of `len` actions drawn once from a seeded `StdRng`
+    /// (mostly forwards with occasional drops, delays, garbles, and
+    /// resets), then forwards everything. Same seed, same schedule —
+    /// chaos sweeps stay reproducible.
+    #[must_use]
+    pub fn seeded(seed: u64, len: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let actions = (0..len)
+            .map(|_| match rng.random_range(0..10u32) {
+                0..=5 => Fault::Forward,
+                6 => Fault::Drop,
+                7 => Fault::Delay(rng.random_range(1..20u64)),
+                8 => Fault::Garble,
+                _ => Fault::Reset,
+            })
+            .collect();
+        Self { actions, fallback: Fault::Forward }
+    }
+
+    fn action(&self, idx: usize) -> Fault {
+        self.actions.get(idx).copied().unwrap_or(self.fallback)
+    }
+}
+
+/// One relay direction: its schedule and the proxy-lifetime frame cursor
+/// (shared across reconnects, so schedules keep advancing when a client
+/// fails over through the proxy).
+struct Direction {
+    schedule: FaultSchedule,
+    cursor: AtomicUsize,
+    faults: AtomicU64,
+}
+
+impl Direction {
+    fn next_action(&self) -> Fault {
+        let idx = self.cursor.fetch_add(1, Ordering::SeqCst);
+        let action = self.schedule.action(idx);
+        if action != Fault::Forward {
+            self.faults.fetch_add(1, Ordering::Relaxed);
+        }
+        action
+    }
+}
+
+/// Shared state of a running [`FaultProxy`].
+struct ProxyShared {
+    upstream: String,
+    c2s: Direction,
+    s2c: Direction,
+    stop: AtomicBool,
+    /// Clones of every live relay socket, for unblocking reads at
+    /// shutdown.
+    streams: Mutex<Vec<TcpStream>>,
+    relays: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A deterministic in-process TCP chaos proxy for the wire protocol.
+///
+/// Point a `RemoteBackend` (or a fleet replica address) at
+/// [`FaultProxy::addr`] and it transparently relays frames to `upstream`,
+/// applying one scheduled [`Fault`] per frame per direction. See the
+/// module docs for why faulting at frame boundaries is what makes the
+/// chaos reproducible.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    shared: Arc<ProxyShared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Binds an ephemeral loopback port and starts relaying to
+    /// `upstream`, applying `c2s` to client→server frames and `s2c` to
+    /// server→client frames.
+    ///
+    /// # Errors
+    /// Propagates the listener bind failure.
+    pub fn spawn(
+        upstream: impl Into<String>,
+        c2s: FaultSchedule,
+        s2c: FaultSchedule,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(ProxyShared {
+            upstream: upstream.into(),
+            c2s: Direction { schedule: c2s, cursor: AtomicUsize::new(0), faults: AtomicU64::new(0) },
+            s2c: Direction { schedule: s2c, cursor: AtomicUsize::new(0), faults: AtomicU64::new(0) },
+            stop: AtomicBool::new(false),
+            streams: Mutex::new(Vec::new()),
+            relays: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("fault-proxy-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+        Ok(Self { addr, shared, accept: Some(accept) })
+    }
+
+    /// The address to connect clients to (`host:port` on loopback).
+    #[must_use]
+    pub fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// Frames relayed (or faulted) client→server so far.
+    #[must_use]
+    pub fn frames_c2s(&self) -> usize {
+        self.shared.c2s.cursor.load(Ordering::SeqCst)
+    }
+
+    /// Frames relayed (or faulted) server→client so far.
+    #[must_use]
+    pub fn frames_s2c(&self) -> usize {
+        self.shared.s2c.cursor.load(Ordering::SeqCst)
+    }
+
+    /// Non-`Forward` actions applied so far, both directions.
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.shared.c2s.faults.load(Ordering::Relaxed)
+            + self.shared.s2c.faults.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, tears down every relayed connection, and joins
+    /// the relay threads. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop promptly (it polls, but a connect is
+        // instant) and every blocked relay read.
+        let _ = TcpStream::connect(self.addr);
+        for stream in self.shared.streams.lock().unwrap_or_else(|p| p.into_inner()).drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let relays =
+            std::mem::take(&mut *self.shared.relays.lock().unwrap_or_else(|p| p.into_inner()));
+        for handle in relays {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ProxyShared>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let Ok(server) = TcpStream::connect(&shared.upstream) else {
+                    // Upstream down: closing the client socket is exactly
+                    // the failure the client should see.
+                    continue;
+                };
+                let _ = client.set_nodelay(true);
+                let _ = server.set_nodelay(true);
+                spawn_relay(shared, &client, &server, true);
+                spawn_relay(shared, &server, &client, false);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Spawns one relay thread for one direction of one connection,
+/// registering socket clones and the join handle for shutdown.
+fn spawn_relay(shared: &Arc<ProxyShared>, src: &TcpStream, dst: &TcpStream, c2s: bool) {
+    let (Ok(mut src), Ok(mut dst)) = (src.try_clone(), dst.try_clone()) else {
+        return;
+    };
+    {
+        let mut streams = shared.streams.lock().unwrap_or_else(|p| p.into_inner());
+        if let Ok(s) = src.try_clone() {
+            streams.push(s);
+        }
+        if let Ok(d) = dst.try_clone() {
+            streams.push(d);
+        }
+    }
+    let shared_for_thread = Arc::clone(shared);
+    let name = if c2s { "fault-proxy-c2s" } else { "fault-proxy-s2c" };
+    let handle = std::thread::Builder::new().name(name.into()).spawn(move || {
+        let dir = if c2s { &shared_for_thread.c2s } else { &shared_for_thread.s2c };
+        relay_frames(&mut src, &mut dst, dir, &shared_for_thread.stop);
+    });
+    if let Ok(handle) = handle {
+        shared.relays.lock().unwrap_or_else(|p| p.into_inner()).push(handle);
+    }
+}
+
+/// The relay loop: read whole frames, apply the direction's next
+/// scheduled fault to each, stop on EOF, error, or shutdown.
+fn relay_frames(
+    src: &mut TcpStream,
+    dst: &mut TcpStream,
+    dir: &Direction,
+    stop: &AtomicBool,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        let payload = match read_frame(src) {
+            Ok(Some(payload)) => payload,
+            // Clean close between frames: propagate the half-close.
+            Ok(None) => {
+                let _ = dst.shutdown(Shutdown::Write);
+                return;
+            }
+            Err(_) => return,
+        };
+        match dir.next_action() {
+            Fault::Forward => {
+                if write_frame(dst, &payload).is_err() {
+                    return;
+                }
+            }
+            Fault::Drop => {}
+            Fault::Delay(ms) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                if write_frame(dst, &payload).is_err() {
+                    return;
+                }
+            }
+            Fault::Garble => {
+                let mut garbled = payload;
+                // Unknown tag up front, noise behind it: a well-formed
+                // frame the decoder must reject with a typed error.
+                if let Some(first) = garbled.first_mut() {
+                    *first = 0xEE;
+                }
+                for b in garbled.iter_mut().skip(1) {
+                    *b ^= 0xA5;
+                }
+                if write_frame(dst, &garbled).is_err() {
+                    return;
+                }
+            }
+            Fault::HalfClose => {
+                let forwarded = write_frame(dst, &payload);
+                let _ = dst.flush();
+                let _ = dst.shutdown(Shutdown::Write);
+                drop(forwarded);
+                return;
+            }
+            Fault::Reset => {
+                let _ = src.shutdown(Shutdown::Both);
+                let _ = dst.shutdown(Shutdown::Both);
+                return;
+            }
+        }
     }
 }

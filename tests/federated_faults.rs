@@ -1,0 +1,513 @@
+//! Fault injection for the federated serving fleet: every failover path
+//! must end in either a **bit-identical** result (the failure was
+//! absorbed) or a **typed** [`HdbError::Transport`] (the failure was
+//! surfaced) — never a panic, a hang, or a silently wrong answer — and
+//! the accounting partition `issued == underflow + valid + overflow +
+//! errored` must hold throughout.
+//!
+//! Faults come from two directions: killing real servers (the in-process
+//! equivalent of SIGTERM-ing a fleet member — `RunningServer::shutdown`
+//! runs the same drain path the binary's signal handler does), and
+//! [`FaultProxy`] schedules that corrupt, drop, reset, or half-close the
+//! wire at exact frame boundaries. Every test is seeded and
+//! deterministic.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hdb_core::UnbiasedSizeEstimator;
+use hdb_interface::wire::{read_response, write_frame, Request, Response};
+use hdb_interface::{
+    FederatedBackend, FleetConfig, HdbError, HiddenDb, Predicate, Query, RankingSpec, Schema,
+    SearchBackend, ShardPartBackend, ShardedDb, Table, TopKInterface, Topology, Tuple,
+};
+use hdb_repro::testkit::{Fault, FaultProxy, FaultSchedule};
+use hdb_server::{RunningServer, Server};
+
+/// A small deterministic boolean corpus.
+fn table(rows: u16, attrs: usize) -> Table {
+    let tuples: Vec<Tuple> = (0..rows)
+        .map(|i| Tuple::new((0..attrs).map(|b| (i >> b) & 1).collect()))
+        .collect();
+    Table::new(Schema::boolean(attrs), tuples).unwrap()
+}
+
+/// One server per hash partition; returns the fleet and its topology.
+fn fleet(table: &Table, parts: usize) -> (Vec<RunningServer>, Topology) {
+    let mut servers = Vec::new();
+    let mut topo = Topology::new();
+    for (i, part) in ShardPartBackend::partition(table, parts).into_iter().enumerate() {
+        let server = Server::bind(part, "127.0.0.1:0").expect("ephemeral bind");
+        topo.add_replica(i, server.addr().to_string());
+        servers.push(server);
+    }
+    (servers, topo)
+}
+
+/// A second, independent server for part `index` of the same
+/// partitioning — a replica with the identical corpus slice.
+fn replica_of(table: &Table, parts: usize, index: usize) -> RunningServer {
+    let part = ShardPartBackend::partition(table, parts)
+        .into_iter()
+        .nth(index)
+        .expect("index < parts");
+    Server::bind(part, "127.0.0.1:0").expect("ephemeral bind")
+}
+
+/// Failover tuning for tests: tight timeouts so injected hangs resolve in
+/// milliseconds, not the production 30 s.
+fn test_cfg() -> FleetConfig {
+    FleetConfig {
+        retries: 3,
+        backoff: Duration::from_millis(2),
+        backoff_cap: Duration::from_millis(10),
+        io_timeout: Duration::from_millis(250),
+        ..FleetConfig::default()
+    }
+}
+
+fn assert_ledger_partition<B: SearchBackend>(db: &HiddenDb<B>) {
+    let c = db.counter();
+    assert_eq!(
+        db.queries_issued(),
+        c.underflow_count() + c.valid_count() + c.overflow_count() + c.errored_count(),
+        "outcome tallies must partition the issued count exactly"
+    );
+}
+
+/// Killing a shard's primary mid-estimation fails over to its replica
+/// without changing a single bit of the estimate, the history, or the
+/// query count. The kill races the run on purpose: *whenever* it lands,
+/// the probes before it went to the primary and the probes after it to
+/// the replica, and both serve the identical partition — so any
+/// interleaving must produce the reference bits.
+#[test]
+fn killing_a_shard_mid_estimation_fails_over_bit_identically() {
+    let t = table(64, 6);
+    let parts = 2;
+    let master_seed = 0xFED_2026;
+    let passes = 40;
+
+    let reference = {
+        let local = HiddenDb::over(ShardedDb::new(&t, parts), 3);
+        let mut est = UnbiasedSizeEstimator::hd(master_seed).unwrap();
+        let summary = est.run(&local, passes).unwrap();
+        (summary.estimate.to_bits(), est.history().to_vec(), summary.queries)
+    };
+
+    let (servers, mut topo) = fleet(&t, parts);
+    let standby = replica_of(&t, parts, 0);
+    topo.add_replica(0, standby.addr().to_string());
+
+    let federated = Arc::new(FederatedBackend::connect_with(topo, test_cfg()).unwrap());
+    let db = HiddenDb::over(Arc::clone(&federated), 3);
+    let runner = {
+        let federated = Arc::clone(&federated);
+        std::thread::spawn(move || {
+            let db = HiddenDb::over(federated, 3);
+            let mut est = UnbiasedSizeEstimator::hd(master_seed).unwrap();
+            let summary = est.run(&db, passes).unwrap();
+            (summary.estimate.to_bits(), est.history().to_vec(), summary.queries)
+        })
+    };
+    std::thread::sleep(Duration::from_millis(20));
+    let mut servers = servers;
+    servers.remove(0).shutdown(); // kill shard 0's primary mid-run
+
+    let got = runner.join().expect("estimation must survive the kill");
+    assert_eq!(got, reference, "failover changed the estimate");
+
+    // The dead primary stays dead; the fleet keeps serving through the
+    // replica afterwards too.
+    let mut est = UnbiasedSizeEstimator::hd(master_seed).unwrap();
+    let summary = est.run(&db, passes).unwrap();
+    assert_eq!(summary.estimate.to_bits(), reference.0);
+    assert_ledger_partition(&db);
+}
+
+/// The deterministic variant: probe, kill, probe. Walk states rooted on
+/// the dead primary carry a stale connection generation, so the failover
+/// path must re-root on the replica and still answer bit-identically.
+#[test]
+fn walk_probes_survive_a_primary_kill_between_probes() {
+    let t = table(48, 6);
+    let parts = 2;
+    let local = HiddenDb::over(ShardedDb::new(&t, parts), 2);
+
+    let (servers, mut topo) = fleet(&t, parts);
+    let standby = replica_of(&t, parts, 0);
+    topo.add_replica(0, standby.addr().to_string());
+    let federated = FederatedBackend::connect_with(topo, test_cfg()).unwrap();
+    let fed_db = HiddenDb::over(federated, 2);
+
+    let mut lw = local.walk_session(Query::all()).unwrap();
+    let mut fw = fed_db.walk_session(Query::all()).unwrap();
+    assert_eq!(lw.classify(0, 1).unwrap(), fw.classify(0, 1).unwrap());
+    lw.extend(0, 1);
+    fw.extend(0, 1);
+
+    let mut servers = servers;
+    servers.remove(0).shutdown(); // shard 0's sessions die with it
+
+    // Same session, same walk — the probes after the kill must come back
+    // identical through the replica (stale generation → fresh evaluation).
+    for attr in 1..t.schema().len() {
+        assert_eq!(
+            lw.classify(attr, 1).unwrap(),
+            fw.classify(attr, 1).unwrap(),
+            "post-kill walk probe diverged at {attr}"
+        );
+    }
+    assert_eq!(local.queries_issued(), fed_db.queries_issued());
+    assert_ledger_partition(&fed_db);
+}
+
+/// A garbled response frame is a typed decode failure, which the fleet
+/// treats like any transport fault: invalidate, fail over to the direct
+/// replica, re-probe — bit-identically.
+#[test]
+fn garbled_frame_fails_over_to_replica_bit_identically() {
+    let t = table(32, 5);
+    let (servers, _topo) = fleet(&t, 1);
+
+    // Handshake (Hello, Schema, Len) passes clean; the 4th response —
+    // the first probe — is garbled.
+    let mut proxy = FaultProxy::spawn(
+        servers[0].addr().to_string(),
+        FaultSchedule::clean(),
+        FaultSchedule::script(vec![Fault::Forward, Fault::Forward, Fault::Forward, Fault::Garble]),
+    )
+    .unwrap();
+    let mut topo = Topology::new();
+    topo.add_replica(0, proxy.addr());
+    topo.add_replica(0, servers[0].addr().to_string());
+
+    let federated = FederatedBackend::connect_with(topo, test_cfg()).unwrap();
+    let fed_db = HiddenDb::over(federated, 2);
+    let local = HiddenDb::over(ShardedDb::new(&t, 1), 2);
+
+    for attr in 0..t.schema().len() {
+        let q = Query::all().and(attr, 1).unwrap();
+        assert_eq!(local.query(&q).unwrap(), fed_db.query(&q).unwrap(), "{q}");
+    }
+    assert!(proxy.faults_injected() >= 1, "the garble must actually have fired");
+    assert_ledger_partition(&fed_db);
+    proxy.shutdown();
+}
+
+/// A connection reset in the middle of a `Batch`'s response stream (the
+/// pipelined extends + fused probe) forces `RemoteBackend`'s stale-retry
+/// to re-send the whole batch — which must be safe, because extends
+/// replay idempotently. The probe's answer stays bit-identical.
+#[test]
+fn mid_batch_reset_replays_idempotently() {
+    let t = table(64, 6);
+    let (servers, _topo) = fleet(&t, 1);
+
+    // s2c frames: Hello, Schema, Len (handshake), WalkOpen's Session,
+    // then the batch's responses. Reset on frame 5 = the batch's first
+    // response, killing the connection mid-batch.
+    let mut proxy = FaultProxy::spawn(
+        servers[0].addr().to_string(),
+        FaultSchedule::clean(),
+        FaultSchedule::script(vec![
+            Fault::Forward,
+            Fault::Forward,
+            Fault::Forward,
+            Fault::Forward,
+            Fault::Reset,
+        ]),
+    )
+    .unwrap();
+    let mut topo = Topology::new();
+    topo.add_replica(0, proxy.addr());
+
+    let federated = FederatedBackend::connect_with(topo, test_cfg()).unwrap();
+    let fed_db = HiddenDb::over(federated, 2);
+    let local = HiddenDb::over(ShardedDb::new(&t, 1), 2);
+
+    let mut lw = local.walk_session(Query::all()).unwrap();
+    let mut fw = fed_db.walk_session(Query::all()).unwrap();
+    // Two deferred extends, then a probe: the probe's exchange is a
+    // 2-member Batch (extend + fused extend-classify) — the frame the
+    // reset lands in.
+    lw.extend(0, 1);
+    fw.extend(0, 1);
+    lw.extend(1, 0);
+    fw.extend(1, 0);
+    assert_eq!(
+        lw.classify(2, 1).unwrap(),
+        fw.classify(2, 1).unwrap(),
+        "batch replay after mid-batch reset diverged"
+    );
+    // The session survived the replay: further probes stay identical.
+    assert_eq!(lw.classify(3, 0).unwrap(), fw.classify(3, 0).unwrap());
+    assert!(proxy.faults_injected() >= 1, "the reset must actually have fired");
+    assert_ledger_partition(&fed_db);
+    proxy.shutdown();
+}
+
+/// The server-side half of batch-replay safety, pinned at the wire: the
+/// *same* extend/fused-probe batch sent twice on one session returns
+/// byte-identical responses both times (truncate-to-parent-then-push
+/// makes the second application a no-op), and the session's stack is
+/// intact afterwards. This is the idempotence `RemoteBackend`'s
+/// stale-retry relies on.
+#[test]
+fn batch_replay_is_idempotent_on_the_server() {
+    let t = table(64, 6);
+    let (servers, _topo) = fleet(&t, 1);
+    let mut stream = std::net::TcpStream::connect(servers[0].addr()).unwrap();
+
+    fn send(stream: &mut std::net::TcpStream, req: &Request) {
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &req.encode().unwrap()).unwrap();
+        use std::io::Write as _;
+        stream.write_all(&framed).unwrap();
+    }
+    let hello = Request::Hello { version: hdb_interface::wire::PROTOCOL_VERSION };
+    send(&mut stream, &hello);
+    let _ = read_response(&mut stream).unwrap().unwrap();
+
+    send(&mut stream, &Request::WalkOpen { root: Query::all() });
+    let sid = match read_response(&mut stream).unwrap().unwrap() {
+        Response::Session { sid } => sid,
+        other => panic!("expected Session, got {other:?}"),
+    };
+
+    let child = Query::all().and(0, 1).unwrap();
+    let grandchild = child.and(1, 0).unwrap();
+    let probe = grandchild.and(2, 1).unwrap();
+    let batch = Request::Batch(vec![
+        Request::WalkExtend {
+            sid,
+            parent_level: 0,
+            child: child.clone(),
+            pred: Predicate::new(0, 1),
+        },
+        Request::WalkExtendClassify {
+            sid,
+            parent_level: 1,
+            ext_child: grandchild.clone(),
+            ext_pred: Predicate::new(1, 0),
+            child: probe.clone(),
+            pred: Predicate::new(2, 1),
+            k: 2,
+        },
+    ]);
+    assert!(batch.replayable(), "extend/fused-probe batches must be replayable");
+    assert!(!Request::WalkOpen { root: Query::all() }.replayable());
+    assert!(!Request::Batch(vec![Request::WalkOpen { root: Query::all() }]).replayable());
+
+    fn exchange_batch(stream: &mut std::net::TcpStream, batch: &Request) -> Vec<Response> {
+        send(stream, batch);
+        let mut responses = Vec::new();
+        for _ in 0..2 {
+            responses.push(read_response(stream).unwrap().unwrap());
+        }
+        responses
+    }
+    let first = exchange_batch(&mut stream, &batch);
+    let second = exchange_batch(&mut stream, &batch); // the blind replay
+    assert_eq!(first, second, "replaying a committed batch must be a no-op");
+
+    // The stack is healthy: a follow-up probe from the replayed level
+    // answers, and matches the ground truth of the probed query.
+    send(&mut stream, &Request::WalkClassify {
+        sid,
+        parent_level: 2,
+        child: probe.clone(),
+        pred: Predicate::new(2, 1),
+        k: 2,
+    });
+    let after = match read_response(&mut stream).unwrap().unwrap() {
+        Response::Classified(c) => c,
+        other => panic!("expected Classified, got {other:?}"),
+    };
+    send(&mut stream, &Request::Evaluate { query: probe, k: 2, ranking: RankingSpec::RowId });
+    let fresh = match read_response(&mut stream).unwrap().unwrap() {
+        Response::Evaluation(ev) => ev,
+        other => panic!("expected Evaluation, got {other:?}"),
+    };
+    assert_eq!(after.count, fresh.count, "session state corrupted by the replay");
+}
+
+/// A peer that completes the handshake and then goes silent (every
+/// further client→server frame dropped) pins the slow-half-open path:
+/// the client's I/O timeout fires, the shard fails over to the direct
+/// replica, and the answers stay bit-identical.
+#[test]
+fn slow_half_open_peer_times_out_and_fails_over() {
+    let t = table(32, 5);
+    let (servers, _topo) = fleet(&t, 1);
+
+    let mut proxy = FaultProxy::spawn(
+        servers[0].addr().to_string(),
+        FaultSchedule::script_then(
+            vec![Fault::Forward, Fault::Forward, Fault::Forward],
+            Fault::Drop,
+        ),
+        FaultSchedule::clean(),
+    )
+    .unwrap();
+    let mut topo = Topology::new();
+    topo.add_replica(0, proxy.addr());
+    topo.add_replica(0, servers[0].addr().to_string());
+
+    let federated = FederatedBackend::connect_with(topo, test_cfg()).unwrap();
+    let fed_db = HiddenDb::over(federated, 2);
+    let local = HiddenDb::over(ShardedDb::new(&t, 1), 2);
+    let q = Query::all().and(0, 1).unwrap();
+    assert_eq!(local.query(&q).unwrap(), fed_db.query(&q).unwrap());
+    assert_ledger_partition(&fed_db);
+    proxy.shutdown();
+}
+
+/// When every replica is gone and the retry budget runs dry, the probe
+/// surfaces as a typed `Transport` error, tallies as `Errored`, and the
+/// ledger partition stays exact — the failure is *accounted*, not
+/// leaked.
+#[test]
+fn exhausted_retries_surface_typed_and_tally_errored() {
+    let t = table(16, 4);
+    let (servers, topo) = fleet(&t, 2);
+    let cfg = FleetConfig {
+        retries: 1,
+        backoff: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(2),
+        io_timeout: Duration::from_millis(100),
+        ..FleetConfig::default()
+    };
+    let federated = FederatedBackend::connect_with(topo, cfg).unwrap();
+    let fed_db = HiddenDb::over(federated, 2);
+    assert!(fed_db.query(&Query::all()).unwrap().is_overflow());
+
+    for server in servers {
+        server.shutdown();
+    }
+    match fed_db.query(&Query::all()) {
+        Err(HdbError::Transport(_)) => {}
+        other => panic!("expected a typed Transport error, got {other:?}"),
+    }
+    let c = fed_db.counter();
+    assert_eq!(c.errored_count(), 1, "the charged-but-failed probe must be tallied");
+    assert_ledger_partition(&fed_db);
+}
+
+/// Topology handoff: drain the serving replica while the backend is
+/// live. The next probe fails over to the standby (one recorded
+/// failover), answers bit-identically, and the drained server can be
+/// shut down without the fleet noticing.
+#[test]
+fn drain_hands_off_to_the_standby_bit_identically() {
+    let t = table(48, 6);
+    let parts = 2;
+    let (mut servers, mut topo) = fleet(&t, parts);
+    let standby = replica_of(&t, parts, 0);
+    topo.add_replica(0, standby.addr().to_string());
+
+    let federated = FederatedBackend::connect_with(topo, test_cfg()).unwrap();
+    let primary_addr = servers[0].addr().to_string();
+    assert_eq!(federated.shard_addr(0), Some(primary_addr.clone()));
+
+    let fed_db = HiddenDb::over(federated, 2);
+    let local = HiddenDb::over(ShardedDb::new(&t, parts), 2);
+    let q0 = Query::all().and(0, 1).unwrap();
+    assert_eq!(local.query(&q0).unwrap(), fed_db.query(&q0).unwrap());
+
+    assert!(fed_db.backend().drain(0, &primary_addr).unwrap());
+    servers.remove(0).shutdown();
+
+    for attr in 0..t.schema().len() {
+        let q = Query::all().and(attr, 1).unwrap();
+        assert_eq!(local.query(&q).unwrap(), fed_db.query(&q).unwrap(), "{q}");
+    }
+    assert_eq!(fed_db.backend().shard_addr(0), Some(standby.addr().to_string()));
+    assert!(fed_db.backend().failover_count() >= 1, "the drain is a recorded handoff");
+    assert_ledger_partition(&fed_db);
+}
+
+/// The background health checker notices a dead shard (marks it dark)
+/// and pre-reconnects it to the standby before the next probe arrives.
+#[test]
+fn health_checker_detects_death_and_restores_coverage() {
+    let t = table(32, 5);
+    let (mut servers, mut topo) = fleet(&t, 1);
+    let standby = replica_of(&t, 1, 0);
+    topo.add_replica(0, standby.addr().to_string());
+
+    let cfg = FleetConfig {
+        health_interval: Some(Duration::from_millis(15)),
+        ..test_cfg()
+    };
+    let federated = FederatedBackend::connect_with(topo, cfg).unwrap();
+    assert_eq!(federated.shard_health(), vec![true]);
+
+    servers.remove(0).shutdown();
+    // Give the checker a few ticks: it must ping, invalidate the dead
+    // connection, and reconnect to the standby.
+    let mut healed = false;
+    for _ in 0..100 {
+        std::thread::sleep(Duration::from_millis(10));
+        if federated.shard_health() == vec![true]
+            && federated.shard_addr(0) == Some(standby.addr().to_string())
+        {
+            healed = true;
+            break;
+        }
+    }
+    assert!(healed, "health checker never restored coverage via the standby");
+
+    let local = HiddenDb::over(ShardedDb::new(&t, 1), 2);
+    let fed_db = HiddenDb::over(federated, 2);
+    let q = Query::all().and(0, 1).unwrap();
+    assert_eq!(local.query(&q).unwrap(), fed_db.query(&q).unwrap());
+}
+
+/// Seeded chaos sweep: random fault schedules (drops, delays, garbles,
+/// resets) between the fleet and one shard, with a clean standby to fail
+/// over to. Whatever the schedule does, every estimator run must end in
+/// either the reference bits or a typed `Transport` error — and the
+/// ledger partition must hold. Same seeds, same schedules, every run.
+#[test]
+fn seeded_chaos_schedules_end_bit_identical_or_typed() {
+    let t = table(48, 6);
+    let parts = 2;
+    let master_seed = 77;
+    let passes = 8;
+
+    let reference = {
+        let local = HiddenDb::over(ShardedDb::new(&t, parts), 2);
+        let mut est = UnbiasedSizeEstimator::hd(master_seed).unwrap();
+        est.run(&local, passes).unwrap().estimate.to_bits()
+    };
+
+    for chaos_seed in [1u64, 2, 3, 4] {
+        let (servers, _topo) = fleet(&t, parts);
+        let mut proxy = FaultProxy::spawn(
+            servers[0].addr().to_string(),
+            FaultSchedule::clean(),
+            FaultSchedule::seeded(chaos_seed, 60),
+        )
+        .unwrap();
+        let mut topo = Topology::new();
+        topo.add_replica(0, proxy.addr());
+        topo.add_replica(0, servers[0].addr().to_string()); // clean standby
+        topo.add_replica(1, servers[1].addr().to_string());
+
+        let federated = FederatedBackend::connect_with(topo, test_cfg()).unwrap();
+        let fed_db = HiddenDb::over(federated, 2);
+        let mut est = UnbiasedSizeEstimator::hd(master_seed).unwrap();
+        match est.run(&fed_db, passes) {
+            Ok(summary) => assert_eq!(
+                summary.estimate.to_bits(),
+                reference,
+                "chaos seed {chaos_seed} changed the estimate"
+            ),
+            Err(hdb_core::EstimatorError::Interface(HdbError::Transport(_))) => {} // typed
+            Err(other) => panic!("chaos seed {chaos_seed}: unexpected error {other:?}"),
+        }
+        assert_ledger_partition(&fed_db);
+        proxy.shutdown();
+    }
+}
