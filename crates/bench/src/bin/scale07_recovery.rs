@@ -1,0 +1,10 @@
+//! Scale experiment: crash recovery under the clock — reopen time across
+//! WAL lengths and snapshot cadences, every recovered store checked
+//! bit-identical to an uninterrupted in-memory run, with the
+//! machine-readable record written to `BENCH_scale07.json`.
+use hdb_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    experiments::recovery_scale::run_recovery_scale(&scale);
+}

@@ -46,6 +46,29 @@ struct FleetRun {
     us_per_probe: f64,
 }
 
+/// The fleet tuning for a run: `workers` matched to the fleet width,
+/// then any of the shared fleet flags (`--retries`, `--backoff-ms`,
+/// `--backoff-cap-ms`, `--io-timeout-ms`, `--health-interval-ms` — the
+/// same vocabulary `hdb-server --help` documents) taken from the bench's
+/// command line.
+fn fleet_config(parts: usize) -> FleetConfig {
+    let mut cfg = FleetConfig { workers: parts, ..FleetConfig::default() };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).map_or("", String::as_str);
+        match cfg.apply_cli(&args[i], value) {
+            Ok(true) => i += 2,
+            Ok(false) => i += 1,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+    cfg
+}
+
 /// Spins up one `hdb-server` per hash partition and returns the fleet
 /// plus its topology.
 fn spawn_fleet(table: &Table, parts: usize) -> (Vec<RunningServer>, Topology) {
@@ -86,8 +109,7 @@ pub fn run_federation_scale(scale: &Scale, datasets: &Datasets) {
         let reference = est.run(&local, passes).expect("unlimited interface");
 
         let (servers, topo) = spawn_fleet(table, parts);
-        let cfg = FleetConfig { workers: parts, ..FleetConfig::default() };
-        let federated = FederatedBackend::connect_with(topo, cfg).expect("fleet up");
+        let federated = FederatedBackend::connect_with(topo, fleet_config(parts)).expect("fleet up");
         let db = HiddenDb::over(federated, K);
         let wall = Instant::now();
         let mut est = UnbiasedSizeEstimator::hd(SEED).expect("valid config");
@@ -132,8 +154,8 @@ pub fn run_federation_scale(scale: &Scale, datasets: &Datasets) {
         .expect("parts >= 1");
     topo.add_replica(0, standby.addr().to_string());
 
-    let cfg = FleetConfig { workers: parts, ..FleetConfig::default() };
-    let federated = Arc::new(FederatedBackend::connect_with(topo, cfg).expect("fleet up"));
+    let federated =
+        Arc::new(FederatedBackend::connect_with(topo, fleet_config(parts)).expect("fleet up"));
     let primary = servers.remove(0);
     // Half the healthy 2-server run is a reliable mid-run instant.
     let kill_after = runs

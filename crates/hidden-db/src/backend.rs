@@ -567,6 +567,14 @@ impl TableBackend {
     pub fn table(&self) -> &Table {
         &self.table
     }
+
+    /// Mutable access to the underlying table — the persistent backend's
+    /// ingest path. Mutation drops the table's cached index, so walk
+    /// states derived from the old corpus must not be reused (the
+    /// persistent wrapper enforces this with a generation tag).
+    pub(crate) fn table_mut(&mut self) -> &mut Table {
+        &mut self.table
+    }
 }
 
 impl SearchBackend for TableBackend {

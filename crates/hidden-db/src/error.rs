@@ -28,6 +28,19 @@ pub enum HdbError {
     /// wire frame was malformed, or the server reported a protocol-level
     /// problem. Never raised by in-process substrates.
     Transport(String),
+    /// A durable-storage operation (WAL append, fsync, snapshot write)
+    /// failed at the I/O layer. The store's durability is no longer
+    /// known, so the persistent backend degrades to read-only after
+    /// raising this.
+    Storage(String),
+    /// On-disk state failed validation beyond the recoverable tail: a
+    /// checksum mismatch mid-log, a record that decodes to an impossible
+    /// tuple, or a snapshot no valid older sibling can stand in for.
+    Corrupt(String),
+    /// The store is serving reads only — recovery found corruption past
+    /// the last checkpoint, or a previous write/fsync failure poisoned
+    /// it. Carries the reason the store went read-only.
+    ReadOnly(String),
 }
 
 impl fmt::Display for HdbError {
@@ -40,6 +53,9 @@ impl fmt::Display for HdbError {
                 write!(f, "query budget exhausted (limit {limit})")
             }
             Self::Transport(msg) => write!(f, "transport error: {msg}"),
+            Self::Storage(msg) => write!(f, "storage error: {msg}"),
+            Self::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+            Self::ReadOnly(msg) => write!(f, "store is read-only: {msg}"),
         }
     }
 }
@@ -60,6 +76,18 @@ mod tests {
         assert_eq!(
             HdbError::Transport("connection reset".into()).to_string(),
             "transport error: connection reset"
+        );
+        assert_eq!(
+            HdbError::Storage("fsync failed".into()).to_string(),
+            "storage error: fsync failed"
+        );
+        assert_eq!(
+            HdbError::Corrupt("wal crc mismatch".into()).to_string(),
+            "corrupt store: wal crc mismatch"
+        );
+        assert_eq!(
+            HdbError::ReadOnly("poisoned".into()).to_string(),
+            "store is read-only: poisoned"
         );
     }
 

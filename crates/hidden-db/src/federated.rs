@@ -326,6 +326,70 @@ impl Default for FleetConfig {
     }
 }
 
+impl FleetConfig {
+    /// Applies one command-line flag to this config. Returns `Ok(true)`
+    /// when the flag was recognised and consumed, `Ok(false)` when it is
+    /// not a fleet flag (so the caller keeps parsing), and `Err` with a
+    /// user-facing message when the flag is known but its value does not
+    /// parse. The flag vocabulary is shared verbatim between `hdb-server
+    /// --federate` and the federation benches — see [`FleetConfig::cli_help`].
+    ///
+    /// # Errors
+    /// A human-readable message naming the flag and the expected value
+    /// shape.
+    pub fn apply_cli(&mut self, flag: &str, value: &str) -> std::result::Result<bool, String> {
+        fn millis(flag: &str, value: &str) -> std::result::Result<Duration, String> {
+            value
+                .parse::<u64>()
+                .map(Duration::from_millis)
+                .map_err(|_| format!("{flag} expects milliseconds, got {value:?}"))
+        }
+        match flag {
+            "--retries" => {
+                self.retries = value
+                    .parse()
+                    .map_err(|_| format!("--retries expects a count, got {value:?}"))?;
+            }
+            "--backoff-ms" => self.backoff = millis(flag, value)?,
+            "--backoff-cap-ms" => {
+                self.backoff_cap = millis(flag, value)?;
+                if self.backoff_cap < self.backoff {
+                    return Err(format!(
+                        "--backoff-cap-ms ({}) must be >= --backoff-ms ({})",
+                        self.backoff_cap.as_millis(),
+                        self.backoff.as_millis()
+                    ));
+                }
+            }
+            "--io-timeout-ms" => {
+                let t = millis(flag, value)?;
+                if t.is_zero() {
+                    return Err("--io-timeout-ms must be positive".to_string());
+                }
+                self.io_timeout = t;
+            }
+            "--health-interval-ms" => {
+                let t = millis(flag, value)?;
+                self.health_interval = if t.is_zero() { None } else { Some(t) };
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// The `--help` lines for the flags [`FleetConfig::apply_cli`]
+    /// understands, one flag per line, indented to match a typical usage
+    /// block.
+    #[must_use]
+    pub fn cli_help() -> &'static str {
+        "  --retries N             extra failover attempts per probe (default 3)\n  \
+         --backoff-ms MS         delay before the first retry, doubling per attempt (default 10)\n  \
+         --backoff-cap-ms MS     ceiling for the doubled backoff delay (default 200)\n  \
+         --io-timeout-ms MS      per-operation socket timeout (default 30000)\n  \
+         --health-interval-ms MS background health-check cadence; 0 disables (default off)"
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Per-shard client: connection slot + generation + failover sweep.
 
@@ -1006,6 +1070,35 @@ impl SearchBackend for FederatedBackend {
 mod tests {
     use super::*;
     use crate::backend::TableBackend;
+
+    #[test]
+    fn fleet_flags_parse_and_reject_typed() {
+        let mut cfg = FleetConfig::default();
+        assert_eq!(cfg.apply_cli("--retries", "7"), Ok(true));
+        assert_eq!(cfg.retries, 7);
+        assert_eq!(cfg.apply_cli("--backoff-ms", "25"), Ok(true));
+        assert_eq!(cfg.apply_cli("--backoff-cap-ms", "400"), Ok(true));
+        assert_eq!(cfg.apply_cli("--io-timeout-ms", "1500"), Ok(true));
+        assert_eq!(cfg.apply_cli("--health-interval-ms", "50"), Ok(true));
+        assert_eq!(cfg.backoff, Duration::from_millis(25));
+        assert_eq!(cfg.backoff_cap, Duration::from_millis(400));
+        assert_eq!(cfg.io_timeout, Duration::from_millis(1500));
+        assert_eq!(cfg.health_interval, Some(Duration::from_millis(50)));
+        // 0 disables the health checker rather than busy-spinning it.
+        assert_eq!(cfg.apply_cli("--health-interval-ms", "0"), Ok(true));
+        assert_eq!(cfg.health_interval, None);
+        // Unknown flags are left for the caller; bad values are typed.
+        assert_eq!(cfg.apply_cli("--listen", "0.0.0.0:1"), Ok(false));
+        assert!(cfg.apply_cli("--retries", "many").is_err());
+        assert!(cfg.apply_cli("--io-timeout-ms", "0").is_err());
+        assert!(cfg.apply_cli("--backoff-cap-ms", "1").is_err(), "cap below base");
+        // Every flag in apply_cli appears in the shared help text.
+        for flag in
+            ["--retries", "--backoff-ms", "--backoff-cap-ms", "--io-timeout-ms", "--health-interval-ms"]
+        {
+            assert!(FleetConfig::cli_help().contains(flag), "{flag} missing from help");
+        }
+    }
     use crate::ranking::{AttributeRanking, RowIdRanking, SeededRandomRanking};
     use crate::schema::Attribute;
     use crate::sharded::ShardedDb;

@@ -73,6 +73,7 @@ pub mod remote;
 pub mod schema;
 pub mod session;
 pub mod sharded;
+pub mod storage;
 pub mod table;
 pub mod tuple;
 pub mod wire;
@@ -92,5 +93,9 @@ pub use ranking::{AttributeRanking, RankingFunction, RankingSpec, RowIdRanking, 
 pub use remote::RemoteBackend;
 pub use schema::{AttrId, Attribute, Schema, ValueId};
 pub use sharded::ShardedDb;
+pub use storage::{
+    MemIo, PersistentBackend, RecoveryReport, SessionDump, SessionRecord, StdIo, StorageIo,
+    SyncPolicy, WalkStep,
+};
 pub use table::Table;
 pub use tuple::{Tuple, TupleId};

@@ -1,0 +1,724 @@
+//! [`PersistentBackend`]: a crash-safe [`SearchBackend`] wrapping
+//! [`TableBackend`] with a write-ahead log and snapshot/restore.
+//!
+//! ## Write path
+//!
+//! [`PersistentBackend::ingest`] validates the tuple, appends one WAL
+//! record, fsyncs per the configured [`SyncPolicy`], and only then
+//! applies the tuple to the in-memory table — so anything the in-memory
+//! state serves is at least as durable as the policy promises. A failed
+//! append or fsync poisons the store into typed read-only mode: once
+//! durability is unknown, refusing further writes is the only honest
+//! answer.
+//!
+//! ## Recovery state machine
+//!
+//! ```text
+//! open ──► pick newest snapshot that decodes (skip damaged ones)
+//!      ──► scan WAL, apply records with seq ≥ snapshot.next_seq
+//!      ──► classify the tail:
+//!            Clean            → read-write
+//!            Torn             → truncate tail, read-write
+//!            Corrupt mid-log  → serve valid prefix, READ-ONLY
+//! ```
+//!
+//! Estimates over the recovered store are **bit-identical** to an
+//! uninterrupted in-memory run over the same surviving prefix: recovery
+//! rebuilds the exact [`Table`] the uninterrupted run would hold, and
+//! every probe delegates to the same [`TableBackend`] kernels.
+//!
+//! ## Walk states across ingest
+//!
+//! Incremental walk states are bitmap selections over a frozen corpus.
+//! The wrapper tags every state it hands out with the store's ingest
+//! *generation*; a state from an older generation is never fed to the
+//! inner backend — the probe falls back to fresh evaluation, which is
+//! bit-identical by the [`SearchBackend`] contract. (The WAL is never
+//! compacted by this layer; snapshots only move the replay base
+//! forward.)
+
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::backend::{Classified, Evaluation, SearchBackend, TableBackend, WalkState};
+use crate::error::{HdbError, Result};
+use crate::query::{Predicate, Query};
+use crate::ranking::RankingFunction;
+use crate::schema::{AttrId, Schema};
+use crate::table::Table;
+use crate::tuple::Tuple;
+
+use super::io::{StdIo, StorageIo, SyncPolicy};
+use super::snapshot::{
+    decode_snapshot, encode_snapshot, parse_snapshot_name, snapshot_file_name, SessionDump,
+    SNAPSHOT_TMP,
+};
+use super::wal::{self, WalOp, WalTail, WAL_FILE, WAL_MAGIC};
+
+/// What recovery found and did while opening a store.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// The snapshot file recovery restored from.
+    pub snapshot: Option<String>,
+    /// The restored snapshot's replay base (`next_seq`).
+    pub base_seq: u64,
+    /// Valid records found in the WAL (including ones the snapshot
+    /// already covered).
+    pub wal_records_seen: u64,
+    /// WAL records actually replayed on top of the snapshot.
+    pub wal_records_applied: u64,
+    /// New WAL byte length after a torn tail was truncated.
+    pub truncated_tail_to: Option<u64>,
+    /// Whether a stale WAL (fully covered by the snapshot but ending
+    /// short of it) was reset to empty.
+    pub wal_reset: bool,
+    /// Snapshot candidates that failed validation and were skipped.
+    pub skipped_snapshots: Vec<String>,
+    /// Why the store came up read-only, if it did.
+    pub read_only: Option<String>,
+}
+
+/// Payload wrapped around the inner backend's walk state, tagging the
+/// ingest generation it was built against.
+struct GenState {
+    generation: u64,
+    inner: WalkState,
+}
+
+/// The mutable half of a [`PersistentBackend`], behind one `RwLock`:
+/// probes share read access; ingest and snapshotting take write access.
+struct StoreState {
+    backend: TableBackend,
+    /// Mirror of the table's rows for O(log m) duplicate checks.
+    seen: BTreeSet<Tuple>,
+    /// Sequence number of the next WAL record.
+    next_seq: u64,
+    /// Appends since the last fsync (drives [`SyncPolicy::EveryN`]).
+    unsynced: u64,
+    /// Bumped on every applied ingest; stale walk states are detected by
+    /// comparing their tag against this.
+    generation: u64,
+    /// `Some(reason)` once the store has degraded to read-only.
+    read_only: Option<String>,
+}
+
+/// A crash-safe, WAL-backed [`SearchBackend`] over an injectable
+/// [`StorageIo`].
+pub struct PersistentBackend {
+    io: Box<dyn StorageIo>,
+    policy: SyncPolicy,
+    /// Immutable for the store's lifetime (the WAL has no schema-change
+    /// record), so it can be served by reference per the
+    /// [`SearchBackend::schema`] contract.
+    schema: Schema,
+    restored: SessionDump,
+    recovery: RecoveryReport,
+    state: RwLock<StoreState>,
+}
+
+impl std::fmt::Debug for PersistentBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistentBackend")
+            .field("policy", &self.policy)
+            .field("recovery", &self.recovery)
+            .finish_non_exhaustive()
+    }
+}
+
+fn read_only_err(reason: &str) -> HdbError {
+    HdbError::ReadOnly(reason.to_string())
+}
+
+impl PersistentBackend {
+    /// Whether `dir` already holds a store (any snapshot file).
+    #[must_use]
+    pub fn exists(dir: &Path) -> bool {
+        std::fs::read_dir(dir).is_ok_and(|entries| {
+            entries.flatten().any(|e| {
+                e.file_name().to_str().and_then(parse_snapshot_name).is_some()
+            })
+        })
+    }
+
+    /// Creates a fresh store in `dir` seeded with `table` (which may be
+    /// empty) and opens it.
+    ///
+    /// # Errors
+    /// [`HdbError::Storage`] if the initial WAL or snapshot cannot be
+    /// written.
+    pub fn create(dir: &Path, policy: SyncPolicy, table: Table) -> Result<Self> {
+        Self::create_with(Box::new(StdIo::new(dir)?), policy, table)
+    }
+
+    /// Opens an existing store in `dir`, running recovery.
+    ///
+    /// # Errors
+    /// [`HdbError::Storage`] on I/O failure; [`HdbError::Corrupt`] if no
+    /// snapshot in the store validates.
+    pub fn open(dir: &Path, policy: SyncPolicy) -> Result<Self> {
+        Self::open_with(Box::new(StdIo::new(dir)?), policy)
+    }
+
+    /// [`PersistentBackend::create`] over an injected I/O layer.
+    ///
+    /// # Errors
+    /// As [`PersistentBackend::create`].
+    pub fn create_with(io: Box<dyn StorageIo>, policy: SyncPolicy, table: Table) -> Result<Self> {
+        io.write(WAL_FILE, &WAL_MAGIC)?;
+        io.sync(WAL_FILE)?;
+        write_snapshot(io.as_ref(), 0, &table, &SessionDump::default())?;
+        let schema = table.schema().clone();
+        let seen: BTreeSet<Tuple> = table.tuples().iter().cloned().collect();
+        Ok(Self {
+            io,
+            policy,
+            schema,
+            restored: SessionDump::default(),
+            recovery: RecoveryReport::default(),
+            state: RwLock::new(StoreState {
+                backend: TableBackend::new(table),
+                seen,
+                next_seq: 0,
+                unsynced: 0,
+                generation: 0,
+                read_only: None,
+            }),
+        })
+    }
+
+    /// [`PersistentBackend::open`] over an injected I/O layer.
+    ///
+    /// # Errors
+    /// As [`PersistentBackend::open`].
+    pub fn open_with(io: Box<dyn StorageIo>, policy: SyncPolicy) -> Result<Self> {
+        let mut report = RecoveryReport::default();
+
+        // Newest snapshot that validates wins; damaged ones are skipped,
+        // not fatal — the WAL is never compacted, so any older snapshot
+        // still reaches the same state.
+        let mut candidates: Vec<(u64, String)> = io
+            .list()?
+            .into_iter()
+            .filter_map(|name| parse_snapshot_name(&name).map(|seq| (seq, name)))
+            .collect();
+        candidates.sort();
+        let mut snap = None;
+        for (_, name) in candidates.into_iter().rev() {
+            let Some(bytes) = io.read(&name)? else {
+                report.skipped_snapshots.push(format!("{name}: disappeared during open"));
+                continue;
+            };
+            match decode_snapshot(&bytes) {
+                Ok(data) => {
+                    report.snapshot = Some(name);
+                    snap = Some(data);
+                    break;
+                }
+                Err(e) => report.skipped_snapshots.push(format!("{name}: {e}")),
+            }
+        }
+        let Some(snap) = snap else {
+            return Err(HdbError::Corrupt(format!(
+                "no valid snapshot in store ({} damaged candidate(s))",
+                report.skipped_snapshots.len()
+            )));
+        };
+        report.base_seq = snap.next_seq;
+
+        let mut table = snap.table;
+        let schema = table.schema().clone();
+        let mut seen: BTreeSet<Tuple> = table.tuples().iter().cloned().collect();
+        let mut read_only: Option<String> = None;
+        let mut next_seq = snap.next_seq;
+
+        match io.read(WAL_FILE)? {
+            None => {
+                // A store always carries a WAL from creation; absence
+                // means bytes were lost outside this layer's control.
+                read_only = Some("wal.log is missing".to_string());
+            }
+            Some(bytes) => {
+                let scanned = wal::scan(&bytes);
+                report.wal_records_seen = scanned.records.len() as u64;
+                let wal_next = scanned.next_seq();
+
+                // Gap check: records the snapshot does not cover must
+                // start exactly at its replay base.
+                let first_uncovered =
+                    scanned.records.iter().find(|r| r.seq >= snap.next_seq).map(|r| r.seq);
+                if let Some(first) = first_uncovered {
+                    if first > snap.next_seq {
+                        read_only = Some(format!(
+                            "wal resumes at seq {first} but the snapshot covers only up to \
+                             {base}: records in between are lost",
+                            base = snap.next_seq
+                        ));
+                    }
+                }
+
+                if read_only.is_none() {
+                    for rec in
+                        scanned.records.iter().filter(|r| r.seq >= snap.next_seq)
+                    {
+                        let WalOp::Ingest(tuple) = &rec.op;
+                        if !tuple.conforms_to(&schema) {
+                            read_only = Some(format!(
+                                "wal record seq {} does not conform to the schema",
+                                rec.seq
+                            ));
+                            break;
+                        }
+                        if !seen.insert(tuple.clone()) {
+                            read_only = Some(format!(
+                                "wal record seq {} duplicates an existing tuple",
+                                rec.seq
+                            ));
+                            break;
+                        }
+                        table.push_validated(tuple.clone());
+                        report.wal_records_applied += 1;
+                        next_seq = rec.seq + 1;
+                    }
+                }
+
+                if read_only.is_none() {
+                    match scanned.tail {
+                        WalTail::Clean => {}
+                        WalTail::Torn => {
+                            if scanned.valid_len < WAL_MAGIC.len() as u64 {
+                                io.write(WAL_FILE, &WAL_MAGIC)?;
+                            } else {
+                                io.truncate(WAL_FILE, scanned.valid_len)?;
+                            }
+                            io.sync(WAL_FILE)?;
+                            report.truncated_tail_to = Some(scanned.valid_len);
+                        }
+                        WalTail::Corrupt { reason } => {
+                            read_only = Some(format!("wal corruption: {reason}"));
+                        }
+                    }
+                }
+
+                // A WAL that ends before the snapshot's base (its tail
+                // was lost, but every surviving record is already in the
+                // snapshot) cannot be appended to — new records would
+                // break in-file seq continuity. Reset it to empty; the
+                // snapshot is the authoritative base.
+                if read_only.is_none() && wal_next.unwrap_or(0) < snap.next_seq {
+                    io.write(WAL_FILE, &WAL_MAGIC)?;
+                    io.sync(WAL_FILE)?;
+                    report.wal_reset = true;
+                    next_seq = snap.next_seq;
+                }
+            }
+        }
+
+        report.read_only.clone_from(&read_only);
+        Ok(Self {
+            io,
+            policy,
+            schema,
+            restored: snap.sessions,
+            recovery: report,
+            state: RwLock::new(StoreState {
+                backend: TableBackend::new(table),
+                seen,
+                next_seq,
+                unsynced: 0,
+                generation: 0,
+                read_only,
+            }),
+        })
+    }
+
+    /// Opens `dir` if it already holds a store, otherwise creates one
+    /// seeded with `seed()`.
+    ///
+    /// # Errors
+    /// As [`PersistentBackend::open`] / [`PersistentBackend::create`].
+    pub fn open_or_create(
+        dir: &Path,
+        policy: SyncPolicy,
+        seed: impl FnOnce() -> Result<Table>,
+    ) -> Result<Self> {
+        if Self::exists(dir) {
+            Self::open(dir, policy)
+        } else {
+            Self::create(dir, policy, seed()?)
+        }
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, StoreState> {
+        self.state.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, StoreState> {
+        self.state.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The session table restored by recovery (empty for fresh stores);
+    /// `hdb-server` imports this on startup.
+    #[must_use]
+    pub fn restored_sessions(&self) -> &SessionDump {
+        &self.restored
+    }
+
+    /// What recovery found and did while opening this store.
+    #[must_use]
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Why the store is read-only, if it is.
+    #[must_use]
+    pub fn read_only(&self) -> Option<String> {
+        self.read().read_only.clone()
+    }
+
+    /// Durably ingests one tuple: WAL append → fsync per policy → apply.
+    ///
+    /// # Errors
+    /// * [`HdbError::ReadOnly`] if the store has degraded;
+    /// * [`HdbError::InvalidTuple`] if the tuple does not conform or
+    ///   duplicates an existing row (store unchanged, still writable);
+    /// * [`HdbError::Storage`] if the append or fsync fails — the store
+    ///   poisons itself read-only, because the on-disk state is no
+    ///   longer known.
+    pub fn ingest(&self, tuple: Tuple) -> Result<()> {
+        let mut g = self.write();
+        if let Some(reason) = &g.read_only {
+            return Err(read_only_err(reason));
+        }
+        if !tuple.conforms_to(&self.schema) {
+            return Err(HdbError::InvalidTuple(format!(
+                "tuple {:?} does not conform to the stored schema",
+                tuple.values()
+            )));
+        }
+        if g.seen.contains(&tuple) {
+            return Err(HdbError::InvalidTuple(format!(
+                "duplicate tuple {:?}",
+                tuple.values()
+            )));
+        }
+        let record = wal::encode_record(g.next_seq, &tuple)?;
+        if let Err(e) = self.io.append(WAL_FILE, &record) {
+            let reason = format!("poisoned by failed append: {e}");
+            g.read_only = Some(reason.clone());
+            return Err(HdbError::Storage(reason));
+        }
+        g.unsynced += 1;
+        if self.policy.due(g.unsynced) {
+            if let Err(e) = self.io.sync(WAL_FILE) {
+                let reason = format!("poisoned by failed fsync: {e}");
+                g.read_only = Some(reason.clone());
+                return Err(HdbError::Storage(reason));
+            }
+            g.unsynced = 0;
+        }
+        g.next_seq += 1;
+        g.seen.insert(tuple.clone());
+        g.backend.table_mut().push_validated(tuple);
+        g.generation += 1;
+        Ok(())
+    }
+
+    /// Writes a snapshot of the current corpus (no session state).
+    ///
+    /// # Errors
+    /// [`HdbError::Storage`] if any write in the atomic
+    /// tmp → fsync → rename sequence fails. A failed snapshot never
+    /// poisons the store: the WAL remains the durable log.
+    pub fn snapshot(&self) -> Result<String> {
+        self.snapshot_with_sessions(&SessionDump::default())
+    }
+
+    /// Writes a snapshot of the current corpus plus a server session
+    /// dump, and returns the snapshot's file name.
+    ///
+    /// # Errors
+    /// As [`PersistentBackend::snapshot`].
+    pub fn snapshot_with_sessions(&self, sessions: &SessionDump) -> Result<String> {
+        // Write lock: the snapshot must be a point-in-time cut with no
+        // concurrent ingest between reading next_seq and the table.
+        let g = self.write();
+        write_snapshot(self.io.as_ref(), g.next_seq, g.backend.table(), sessions)
+    }
+
+    /// Flushes any unsynced WAL tail (used on graceful shutdown under
+    /// lazy sync policies).
+    ///
+    /// # Errors
+    /// [`HdbError::Storage`] if the fsync fails (the store poisons
+    /// itself, as on the ingest path).
+    pub fn sync(&self) -> Result<()> {
+        let mut g = self.write();
+        if g.unsynced == 0 {
+            return Ok(());
+        }
+        if let Err(e) = self.io.sync(WAL_FILE) {
+            let reason = format!("poisoned by failed fsync: {e}");
+            g.read_only = Some(reason.clone());
+            return Err(HdbError::Storage(reason));
+        }
+        g.unsynced = 0;
+        Ok(())
+    }
+}
+
+/// Stages, fsyncs, and atomically publishes one snapshot file.
+fn write_snapshot(
+    io: &dyn StorageIo,
+    next_seq: u64,
+    table: &Table,
+    sessions: &SessionDump,
+) -> Result<String> {
+    let bytes = encode_snapshot(next_seq, table, sessions)?;
+    let name = snapshot_file_name(next_seq);
+    io.write(SNAPSHOT_TMP, &bytes)?;
+    io.sync(SNAPSHOT_TMP)?;
+    io.rename(SNAPSHOT_TMP, &name)?;
+    io.sync_dir()?;
+    Ok(name)
+}
+
+impl SearchBackend for PersistentBackend {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn len(&self) -> usize {
+        self.read().backend.len()
+    }
+
+    fn evaluate(&self, q: &Query, k: usize, ranking: &dyn RankingFunction) -> Result<Evaluation> {
+        self.read().backend.evaluate(q, k, ranking)
+    }
+
+    fn round_trip(&self) {
+        self.read().backend.round_trip();
+    }
+
+    fn exact_count(&self, q: &Query) -> Result<usize> {
+        self.read().backend.exact_count(q)
+    }
+
+    fn exact_sum(&self, attr: AttrId, q: &Query) -> Result<f64> {
+        self.read().backend.exact_sum(attr, q)
+    }
+
+    fn walk_state(&self, q: &Query) -> WalkState {
+        let g = self.read();
+        WalkState::with_payload(GenState {
+            generation: g.generation,
+            inner: g.backend.walk_state(q),
+        })
+    }
+
+    fn extend_state(
+        &self,
+        parent: &WalkState,
+        child: &Query,
+        pred: Predicate,
+        recycled: WalkState,
+    ) -> WalkState {
+        let g = self.read();
+        let inner = match parent.payload::<GenState>() {
+            Some(p) if p.generation == g.generation => {
+                let buf = recycled
+                    .take_payload::<GenState>()
+                    .map_or_else(WalkState::fallback, |p| p.inner);
+                g.backend.extend_state(&p.inner, child, pred, buf)
+            }
+            // Stale generation (the corpus grew since this state was
+            // built) or foreign payload: rebuild from scratch —
+            // bit-identical, just not incremental.
+            _ => g.backend.walk_state(child),
+        };
+        WalkState::with_payload(GenState { generation: g.generation, inner })
+    }
+
+    fn evaluate_from(
+        &self,
+        parent: &WalkState,
+        child: &Query,
+        pred: Predicate,
+        k: usize,
+        ranking: &dyn RankingFunction,
+    ) -> Result<Evaluation> {
+        let g = self.read();
+        match parent.payload::<GenState>() {
+            Some(p) if p.generation == g.generation => {
+                g.backend.evaluate_from(&p.inner, child, pred, k, ranking)
+            }
+            _ => g.backend.evaluate(child, k, ranking),
+        }
+    }
+
+    fn classify_from(
+        &self,
+        parent: &WalkState,
+        child: &Query,
+        pred: Predicate,
+        k: usize,
+    ) -> Result<Classified> {
+        let g = self.read();
+        match parent.payload::<GenState>() {
+            Some(p) if p.generation == g.generation => {
+                g.backend.classify_from(&p.inner, child, pred, k)
+            }
+            _ => g.backend.classify_from(&WalkState::fallback(), child, pred, k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::io::MemIo;
+    use super::*;
+    use crate::ranking::RowIdRanking;
+    use crate::schema::Schema;
+
+    fn boxed(io: &MemIo) -> Box<dyn StorageIo> {
+        Box::new(io.clone())
+    }
+
+    fn tuples(n: u16) -> Vec<Tuple> {
+        // Bit-decomposition: unique for n ≤ 16 under `Schema::boolean(4)`.
+        (0..n)
+            .map(|i| Tuple::new(vec![i & 1, (i >> 1) & 1, (i >> 2) & 1, (i >> 3) & 1]))
+            .collect()
+    }
+
+    fn assert_same_estimates(a: &dyn SearchBackend, b: &dyn SearchBackend) {
+        let q = Query::all();
+        let ra = a.evaluate(&q, 5, &RowIdRanking).unwrap();
+        let rb = b.evaluate(&q, 5, &RowIdRanking).unwrap();
+        assert_eq!(ra, rb);
+        let q1 = q.and(0, 1).unwrap();
+        assert_eq!(a.exact_count(&q1).unwrap(), b.exact_count(&q1).unwrap());
+    }
+
+    #[test]
+    fn create_reopen_round_trip() {
+        let mem = MemIo::new();
+        let schema = Schema::boolean(4);
+        let store =
+            PersistentBackend::create_with(boxed(&mem), SyncPolicy::Always, Table::empty(schema))
+                .unwrap();
+        for t in tuples(10) {
+            store.ingest(t).unwrap();
+        }
+        assert_eq!(store.len(), 10);
+        drop(store);
+
+        let reopened = PersistentBackend::open_with(boxed(&mem), SyncPolicy::Always).unwrap();
+        assert_eq!(reopened.len(), 10);
+        assert!(reopened.read_only().is_none());
+        assert_eq!(reopened.recovery().wal_records_applied, 10);
+
+        let reference = TableBackend::new(
+            Table::new(Schema::boolean(4), tuples(10)).unwrap(),
+        );
+        assert_same_estimates(&reopened, &reference);
+    }
+
+    #[test]
+    fn ingest_rejects_duplicates_and_nonconforming() {
+        let mem = MemIo::new();
+        let store = PersistentBackend::create_with(
+            boxed(&mem),
+            SyncPolicy::Always,
+            Table::empty(Schema::boolean(2)),
+        )
+        .unwrap();
+        store.ingest(Tuple::new(vec![0, 1])).unwrap();
+        assert!(matches!(
+            store.ingest(Tuple::new(vec![0, 1])),
+            Err(HdbError::InvalidTuple(_))
+        ));
+        assert!(matches!(
+            store.ingest(Tuple::new(vec![0, 9])),
+            Err(HdbError::InvalidTuple(_))
+        ));
+        // Rejections leave the store writable.
+        store.ingest(Tuple::new(vec![1, 1])).unwrap();
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_moves_the_replay_base() {
+        let mem = MemIo::new();
+        let store = PersistentBackend::create_with(
+            boxed(&mem),
+            SyncPolicy::Always,
+            Table::empty(Schema::boolean(4)),
+        )
+        .unwrap();
+        let all = tuples(12);
+        for t in &all[..8] {
+            store.ingest(t.clone()).unwrap();
+        }
+        let name = store.snapshot().unwrap();
+        assert_eq!(parse_snapshot_name(&name), Some(8));
+        for t in &all[8..] {
+            store.ingest(t.clone()).unwrap();
+        }
+        drop(store);
+
+        let reopened = PersistentBackend::open_with(boxed(&mem), SyncPolicy::Always).unwrap();
+        assert_eq!(reopened.recovery().base_seq, 8);
+        assert_eq!(reopened.recovery().wal_records_applied, 4);
+        assert_eq!(reopened.len(), 12);
+    }
+
+    #[test]
+    fn stale_walk_states_fall_back_bit_identically() {
+        let mem = MemIo::new();
+        let store = PersistentBackend::create_with(
+            boxed(&mem),
+            SyncPolicy::Always,
+            Table::empty(Schema::boolean(4)),
+        )
+        .unwrap();
+        for t in tuples(8) {
+            store.ingest(t).unwrap();
+        }
+        let root = Query::all();
+        let state = store.walk_state(&root);
+        let child = root.and(0, 1).unwrap();
+        let before = store
+            .classify_from(&state, &child, Predicate::new(0, 1), 3)
+            .unwrap();
+
+        // Ingest invalidates the state; the probe must still answer, and
+        // answer exactly like a fresh evaluation.
+        store.ingest(Tuple::new(vec![1, 0, 0, 1])).unwrap();
+        let after = store
+            .classify_from(&state, &child, Predicate::new(0, 1), 3)
+            .unwrap();
+        let fresh = store
+            .classify_from(&store.walk_state(&root), &child, Predicate::new(0, 1), 3)
+            .unwrap();
+        assert_eq!(after, fresh);
+        assert_ne!(before, after, "the ingest matched the probe, count must move");
+    }
+
+    #[test]
+    fn corrupt_only_snapshot_is_a_typed_open_error() {
+        let mem = MemIo::new();
+        let store = PersistentBackend::create_with(
+            boxed(&mem),
+            SyncPolicy::Always,
+            Table::empty(Schema::boolean(2)),
+        )
+        .unwrap();
+        drop(store);
+        mem.poke(&snapshot_file_name(0), 10, 0xFF);
+        assert!(matches!(
+            PersistentBackend::open_with(boxed(&mem), SyncPolicy::Always),
+            Err(HdbError::Corrupt(_))
+        ));
+    }
+}

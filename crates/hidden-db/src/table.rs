@@ -113,6 +113,15 @@ impl Table {
         Ok(())
     }
 
+    /// Appends a tuple the caller has already validated (conformance and
+    /// uniqueness) — the persistent backend's ingest path, which keeps
+    /// its own `BTreeSet` of seen tuples so ingest stays O(log m) rather
+    /// than the O(m) scan of [`Table::push`]. Drops the cached index.
+    pub(crate) fn push_validated(&mut self, tuple: Tuple) {
+        self.tuples.push(tuple);
+        self.index.take();
+    }
+
     fn extend(&mut self, tuples: Vec<Tuple>) -> Result<()> {
         let mut seen: BTreeSet<&Tuple> = self.tuples.iter().collect();
         let mut validated = Vec::with_capacity(tuples.len());

@@ -284,38 +284,38 @@ impl Enc {
         self.buf
     }
 
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    fn u16(&mut self, v: u16) {
+    pub(crate) fn u16(&mut self, v: u16) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn f64(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
     }
 
-    fn usize(&mut self, v: usize, what: &str) -> Result<()> {
+    pub(crate) fn usize(&mut self, v: usize, what: &str) -> Result<()> {
         self.u64(u64::try_from(v).map_err(|_| oversize(what))?);
         Ok(())
     }
 
     /// A `u32` sequence-length prefix for `n` elements.
-    fn seq(&mut self, n: usize, what: &str) -> Result<()> {
+    pub(crate) fn seq(&mut self, n: usize, what: &str) -> Result<()> {
         self.u32(u32::try_from(n).map_err(|_| oversize(what))?);
         Ok(())
     }
 
-    fn str(&mut self, s: &str) -> Result<()> {
+    pub(crate) fn str(&mut self, s: &str) -> Result<()> {
         self.u32(u32::try_from(s.len()).map_err(|_| oversize("string"))?);
         self.buf.extend_from_slice(s.as_bytes());
         Ok(())
@@ -357,27 +357,27 @@ impl<'a> Dec<'a> {
         <[u8; N]>::try_from(self.take(N, what)?).map_err(|_| truncated(what))
     }
 
-    fn u8(&mut self, what: &str) -> Result<u8> {
+    pub(crate) fn u8(&mut self, what: &str) -> Result<u8> {
         self.take(1, what)?.first().copied().ok_or_else(|| truncated(what))
     }
 
-    fn u16(&mut self, what: &str) -> Result<u16> {
+    pub(crate) fn u16(&mut self, what: &str) -> Result<u16> {
         Ok(u16::from_le_bytes(self.take_array(what)?))
     }
 
-    fn u32(&mut self, what: &str) -> Result<u32> {
+    pub(crate) fn u32(&mut self, what: &str) -> Result<u32> {
         Ok(u32::from_le_bytes(self.take_array(what)?))
     }
 
-    fn u64(&mut self, what: &str) -> Result<u64> {
+    pub(crate) fn u64(&mut self, what: &str) -> Result<u64> {
         Ok(u64::from_le_bytes(self.take_array(what)?))
     }
 
-    fn f64(&mut self, what: &str) -> Result<f64> {
+    pub(crate) fn f64(&mut self, what: &str) -> Result<f64> {
         Ok(f64::from_bits(self.u64(what)?))
     }
 
-    fn usize(&mut self, what: &str) -> Result<usize> {
+    pub(crate) fn usize(&mut self, what: &str) -> Result<usize> {
         usize::try_from(self.u64(what)?)
             .map_err(|_| HdbError::Transport(format!("malformed frame: {what} overflows usize")))
     }
@@ -385,7 +385,7 @@ impl<'a> Dec<'a> {
     /// A `u32` length prefix that cannot plausibly exceed the remaining
     /// payload (each element is ≥ 1 byte) — rejects absurd lengths before
     /// any allocation.
-    fn seq_len(&mut self, what: &str) -> Result<usize> {
+    pub(crate) fn seq_len(&mut self, what: &str) -> Result<usize> {
         let n = usize::try_from(self.u32(what)?)
             .map_err(|_| HdbError::Transport(format!("malformed frame: {what} overflows usize")))?;
         if n > self.buf.len().saturating_sub(self.pos) {
@@ -397,7 +397,7 @@ impl<'a> Dec<'a> {
         Ok(n)
     }
 
-    fn str(&mut self, what: &str) -> Result<String> {
+    pub(crate) fn str(&mut self, what: &str) -> Result<String> {
         let n = usize::try_from(self.u32(what)?)
             .map_err(|_| HdbError::Transport(format!("malformed frame: {what} overflows usize")))?;
         let bytes = self.take(n, what)?;
@@ -407,7 +407,7 @@ impl<'a> Dec<'a> {
 
     /// Fails unless the whole payload was consumed (trailing garbage is a
     /// framing bug worth surfacing, not ignoring).
-    fn finish(self) -> Result<()> {
+    pub(crate) fn finish(self) -> Result<()> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
@@ -422,19 +422,19 @@ impl<'a> Dec<'a> {
 // ---------------------------------------------------------------------------
 // Domain-type codecs
 
-fn enc_predicate(e: &mut Enc, p: Predicate) -> Result<()> {
+pub(crate) fn enc_predicate(e: &mut Enc, p: Predicate) -> Result<()> {
     e.usize(p.attr, "predicate attr")?;
     e.u16(p.value);
     Ok(())
 }
 
-fn dec_predicate(d: &mut Dec<'_>) -> Result<Predicate> {
+pub(crate) fn dec_predicate(d: &mut Dec<'_>) -> Result<Predicate> {
     let attr = d.usize("predicate attr")?;
     let value = d.u16("predicate value")?;
     Ok(Predicate::new(attr, value))
 }
 
-fn enc_query(e: &mut Enc, q: &Query) -> Result<()> {
+pub(crate) fn enc_query(e: &mut Enc, q: &Query) -> Result<()> {
     e.seq(q.predicates().len(), "query predicate count")?;
     for &p in q.predicates() {
         enc_predicate(e, p)?;
@@ -442,7 +442,7 @@ fn enc_query(e: &mut Enc, q: &Query) -> Result<()> {
     Ok(())
 }
 
-fn dec_query(d: &mut Dec<'_>) -> Result<Query> {
+pub(crate) fn dec_query(d: &mut Dec<'_>) -> Result<Query> {
     let n = d.seq_len("query predicate count")?;
     let mut preds = Vec::with_capacity(n);
     for _ in 0..n {
@@ -453,7 +453,7 @@ fn dec_query(d: &mut Dec<'_>) -> Result<Query> {
     Query::new(preds)
 }
 
-fn enc_tuple(e: &mut Enc, t: &Tuple) -> Result<()> {
+pub(crate) fn enc_tuple(e: &mut Enc, t: &Tuple) -> Result<()> {
     e.seq(t.arity(), "tuple arity")?;
     for &v in t.values() {
         e.u16(v);
@@ -461,7 +461,7 @@ fn enc_tuple(e: &mut Enc, t: &Tuple) -> Result<()> {
     Ok(())
 }
 
-fn dec_tuple(d: &mut Dec<'_>) -> Result<Tuple> {
+pub(crate) fn dec_tuple(d: &mut Dec<'_>) -> Result<Tuple> {
     let n = d.seq_len("tuple arity")?;
     let mut values = Vec::with_capacity(n);
     for _ in 0..n {
@@ -490,7 +490,7 @@ fn dec_page(d: &mut Dec<'_>) -> Result<Vec<ReturnedTuple>> {
     Ok(page)
 }
 
-fn enc_schema(e: &mut Enc, s: &Schema) -> Result<()> {
+pub(crate) fn enc_schema(e: &mut Enc, s: &Schema) -> Result<()> {
     e.seq(s.len(), "schema attribute count")?;
     for a in s.attributes() {
         e.str(a.name())?;
@@ -521,7 +521,7 @@ fn enc_schema(e: &mut Enc, s: &Schema) -> Result<()> {
     Ok(())
 }
 
-fn dec_schema(d: &mut Dec<'_>) -> Result<Schema> {
+pub(crate) fn dec_schema(d: &mut Dec<'_>) -> Result<Schema> {
     let n = d.seq_len("schema attribute count")?;
     let mut attrs = Vec::with_capacity(n);
     for _ in 0..n {
@@ -594,6 +594,18 @@ fn enc_error(e: &mut Enc, err: &HdbError) -> Result<()> {
             e.u8(4);
             e.str(m)?;
         }
+        HdbError::Storage(m) => {
+            e.u8(5);
+            e.str(m)?;
+        }
+        HdbError::Corrupt(m) => {
+            e.u8(6);
+            e.str(m)?;
+        }
+        HdbError::ReadOnly(m) => {
+            e.u8(7);
+            e.str(m)?;
+        }
     }
     Ok(())
 }
@@ -605,6 +617,9 @@ fn dec_error(d: &mut Dec<'_>) -> Result<HdbError> {
         2 => HdbError::InvalidQuery(d.str("error message")?),
         3 => HdbError::BudgetExhausted { limit: d.u64("budget limit")? },
         4 => HdbError::Transport(d.str("error message")?),
+        5 => HdbError::Storage(d.str("error message")?),
+        6 => HdbError::Corrupt(d.str("error message")?),
+        7 => HdbError::ReadOnly(d.str("error message")?),
         t => return Err(HdbError::Transport(format!("malformed frame: unknown error tag {t}"))),
     })
 }

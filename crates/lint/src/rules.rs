@@ -17,6 +17,7 @@
 //! | `HDB-U02` | crates with zero `unsafe` must `#![forbid(unsafe_code)]` |
 //! | `HDB-U03` | no `extern` FFI declarations outside the reactor module |
 //! | `HDB-A01` | backend `evaluate*` calls only on the charge path |
+//! | `HDB-S01` | no discarded `Result`s (`let _ =`, `.ok();`) in storage code |
 
 use crate::config::Config;
 use crate::lexer::{Token, TokenKind};
@@ -204,7 +205,9 @@ fn in_timing_scope(path: &str) -> bool {
 }
 
 /// Wire decoders and server connection paths: code fed by untrusted
-/// bytes, where a panic is a remote crash vector.
+/// bytes, where a panic is a remote crash vector. The storage layer is
+/// in scope too — it decodes untrusted *disk* bytes (a torn tail or a
+/// flipped bit must degrade typed, never crash recovery).
 fn in_panic_scope(path: &str) -> bool {
     [
         "crates/hidden-db/src/wire.rs",
@@ -215,6 +218,13 @@ fn in_panic_scope(path: &str) -> bool {
         "crates/server/src/main.rs",
     ]
     .contains(&path)
+        || in_storage_scope(path)
+}
+
+/// The durability layer: every write/fsync result decides whether the
+/// store may keep accepting writes, so none may be discarded.
+fn in_storage_scope(path: &str) -> bool {
+    path.starts_with("crates/hidden-db/src/storage/")
 }
 
 /// Wire framing: where every numeric narrowing must be a checked
@@ -238,6 +248,7 @@ pub fn check_file(ctx: &FileContext<'_>, cfg: &Config) -> Vec<Diagnostic> {
     rule_u01_safety_comments(ctx, cfg, &mut out);
     rule_u03_ffi_confinement(ctx, cfg, &mut out);
     rule_a01_accounting(ctx, cfg, &mut out);
+    rule_s01_discarded_results(ctx, cfg, &mut out);
     out
 }
 
@@ -519,6 +530,57 @@ fn rule_a01_accounting(ctx: &FileContext<'_>, cfg: &Config, out: &mut Vec<Diagno
                      charge path (or allowlist a backend-internal delegation site)",
                     t.text
                 ),
+            );
+        }
+    }
+}
+
+/// HDB-S01: discarded `Result`s in the storage layer. A swallowed write
+/// or fsync error means the store keeps acknowledging ingests whose
+/// bytes may not be durable — the one lie a durability layer must never
+/// tell. Two shapes are banned outside test code: the `let _ = …;`
+/// binding and the terminal `.ok();` call (both compile away the
+/// `#[must_use]` on `Result`). Handle the error or poison the store
+/// read-only; a reviewed exception goes in `lint.toml`.
+fn rule_s01_discarded_results(ctx: &FileContext<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if !in_storage_scope(ctx.path) {
+        return;
+    }
+    for (ci, &i) in ctx.code.iter().enumerate() {
+        let t = &ctx.tokens[i];
+        if ctx.in_test_code(t.line) || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let is_let_discard = t.text == "let"
+            && ctx.code_tok(ci + 1).is_some_and(|n| n.kind == TokenKind::Ident && n.text == "_")
+            && ctx.punct_at(ci + 2, "=");
+        let is_terminal_ok = t.text == "ok"
+            && ctx.punct_at(ci.wrapping_sub(1), ".")
+            && ctx.punct_at(ci + 1, "(")
+            && ctx.punct_at(ci + 2, ")")
+            && ctx.punct_at(ci + 3, ";");
+        if is_let_discard {
+            emit(
+                out,
+                cfg,
+                ctx,
+                "HDB-S01",
+                t,
+                "`let _ =` discards a Result in storage code; a swallowed write/fsync \
+                 error breaks the durability contract — handle it or poison read-only"
+                    .to_string(),
+            );
+        } else if is_terminal_ok {
+            emit(
+                out,
+                cfg,
+                ctx,
+                "HDB-S01",
+                t,
+                "terminal `.ok();` discards a Result in storage code; a swallowed \
+                 write/fsync error breaks the durability contract — handle it or poison \
+                 read-only"
+                    .to_string(),
             );
         }
     }

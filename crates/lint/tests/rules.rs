@@ -269,6 +269,54 @@ fn a01_spares_tests_and_allowlisted_delegation() {
 // ---------------------------------------------------------------------------
 // Lexer correctness: banned names in non-code positions never flag.
 
+// ---------------------------------------------------------------------------
+// Storage durability contract
+
+#[test]
+fn s01_flags_discarded_results_in_storage_code() {
+    // The two swallow shapes a durability layer must never use on a
+    // write/fsync result.
+    let let_discard = "fn f(io: &dyn StorageIo) { let _ = io.sync(\"wal.log\"); }";
+    let terminal_ok = "fn f(io: &dyn StorageIo) { io.append(\"wal.log\", b\"x\").ok(); }";
+    assert_eq!(rules_hit("crates/hidden-db/src/storage/wal.rs", let_discard), vec!["HDB-S01"]);
+    assert_eq!(
+        rules_hit("crates/hidden-db/src/storage/persistent.rs", terminal_ok),
+        vec!["HDB-S01"]
+    );
+    // Out of storage scope the same shapes are legal…
+    assert!(rules_hit("crates/hidden-db/src/cache.rs", let_discard).is_empty());
+    // …and non-terminal `.ok()` (a conversion feeding `?` or a match) is
+    // legal even inside it.
+    let converted = "fn f(s: &str) -> Option<u64> { s.parse().ok() }";
+    assert!(rules_hit("crates/hidden-db/src/storage/snapshot.rs", converted).is_empty());
+}
+
+#[test]
+fn s01_exempts_test_code_and_respects_the_allowlist() {
+    let src = r#"
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn t() { let _ = std::fs::remove_file("scratch"); }
+        }
+    "#;
+    assert!(rules_hit("crates/hidden-db/src/storage/io.rs", src).is_empty());
+    let cfg = Config::parse(
+        "[allow.HDB-S01]\n\"crates/hidden-db/src/storage/io.rs\" = \"reviewed best-effort\"",
+    )
+    .unwrap();
+    let live = "fn f(io: &dyn StorageIo) { let _ = io.sync(\"wal.log\"); }";
+    assert!(lint_file("crates/hidden-db/src/storage/io.rs", live, &cfg).is_empty());
+}
+
+#[test]
+fn p01_scope_covers_the_storage_layer() {
+    // Disk bytes are untrusted input: a decoder unwrap in storage code
+    // is the same crash vector as one in the wire decoders.
+    let src = "fn f(b: &[u8]) -> u8 { b.first().copied().unwrap() }";
+    assert_eq!(rules_hit("crates/hidden-db/src/storage/wal.rs", src), vec!["HDB-P01"]);
+}
+
 #[test]
 fn banned_names_in_strings_and_comments_are_invisible() {
     let src = r###"

@@ -76,7 +76,8 @@ use hdb_interface::wire::{
     encode_page_chunk, write_frame, FrameBuf, Request, Response, PROTOCOL_VERSION, STREAM_TUPLES,
 };
 use hdb_interface::{
-    HdbError, Predicate, Query, Result, ReturnedTuple, Schema, SearchBackend, WalkState,
+    HdbError, Predicate, Query, Result, ReturnedTuple, Schema, SearchBackend, SessionDump,
+    SessionRecord, WalkState, WalkStep,
 };
 
 /// The reactor token reserved for the listener; connections count up
@@ -118,12 +119,24 @@ impl Default for ServerConfig {
     }
 }
 
-/// One walk session: the server-side state stack, stack-disciplined
+/// One committed walk level: the materialised state plus the *recipe*
+/// that produced it (the level's query, and for levels ≥ 1 the
+/// predicate that extended the parent). The recipe is what snapshots
+/// persist — states are backend-internal and rebuild bit-identically
+/// from the recipe on import.
+struct Level {
+    query: Query,
+    /// `None` exactly at level 0 (the root has no extending predicate).
+    pred: Option<Predicate>,
+    state: WalkState,
+}
+
+/// One walk session: the server-side level stack, stack-disciplined
 /// (level 0 is the session root). Recency lives in the table, not here,
 /// so a slow probe holding the stack lock never stalls table-wide
 /// operations.
 struct Session {
-    stack: Mutex<Vec<WalkState>>,
+    stack: Mutex<Vec<Level>>,
 }
 
 /// The two sides of the session index, kept in lock-step under one lock:
@@ -156,10 +169,20 @@ impl Sessions {
         }
     }
 
-    fn open(&self, root_state: WalkState) -> u64 {
+    fn open(&self, root: Query, root_state: WalkState) -> u64 {
         let sid = self.next_sid.fetch_add(1, Ordering::Relaxed);
-        let entry = Arc::new(Session { stack: Mutex::new(vec![root_state]) });
         let touched = self.clock.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(Session {
+            stack: Mutex::new(vec![Level { query: root, pred: None, state: root_state }]),
+        });
+        self.insert(sid, touched, entry);
+        sid
+    }
+
+    /// Inserts a session under an explicit `(sid, touched)` pair —
+    /// shared by [`Sessions::open`] and snapshot import — evicting the
+    /// stalest entry if the table is at cap.
+    fn insert(&self, sid: u64, touched: u64, entry: Arc<Session>) {
         // Poison recovery: the table holds plain data (the two maps are
         // re-synchronised on every mutation), so a panicked holder
         // leaves it fully usable.
@@ -173,9 +196,41 @@ impl Sessions {
                 t.by_sid.remove(&stale.1);
             }
         }
-        t.by_sid.insert(sid, (touched, entry));
+        if let Some((old, _)) = t.by_sid.insert(sid, (touched, entry)) {
+            t.by_recency.remove(&(old, sid));
+        }
         t.by_recency.insert((touched, sid));
-        sid
+    }
+
+    /// Serialises every live session to its recipe (root query plus the
+    /// predicate/child chain). Sessions whose stack lock is poisoned are
+    /// skipped — their contents are suspect, exactly as probes treat
+    /// them.
+    fn export(&self) -> SessionDump {
+        let t = self.table.lock().unwrap_or_else(|p| p.into_inner());
+        let mut sessions = Vec::with_capacity(t.by_sid.len());
+        for (&sid, &(touched, ref entry)) in &t.by_sid {
+            let Ok(stack) = entry.stack.lock() else { continue };
+            let Some(root) = stack.first() else { continue };
+            let mut steps = Vec::with_capacity(stack.len().saturating_sub(1));
+            for level in stack.iter().skip(1) {
+                let Some(pred) = level.pred else { break };
+                steps.push(WalkStep { pred, child: level.query.clone() });
+            }
+            if steps.len() + 1 == stack.len() {
+                sessions.push(SessionRecord {
+                    sid,
+                    touched,
+                    root: root.query.clone(),
+                    steps,
+                });
+            }
+        }
+        SessionDump {
+            next_sid: self.next_sid.load(Ordering::Relaxed),
+            clock: self.clock.load(Ordering::Relaxed),
+            sessions,
+        }
     }
 
     /// The session, bumped to most-recently-used.
@@ -225,6 +280,53 @@ struct Inner<B> {
     dispatches: AtomicU64,
     /// Request frames served (batch members count individually).
     frames: AtomicU64,
+}
+
+impl<B: SearchBackend> Inner<B> {
+    /// Rebuilds sessions from a snapshot dump: every record replays its
+    /// recipe (root `walk_state`, then one `extend_state` per step)
+    /// against the live backend, so the restored states are
+    /// bit-identical to the pre-crash ones. Records that no longer
+    /// validate against the schema, or exceed the walk depth cap, are
+    /// dropped — a missing session is not an error, clients fall back.
+    fn import_sessions(&self, dump: &SessionDump) {
+        let schema = self.backend.schema();
+        let mut max_sid = 0u64;
+        for rec in &dump.sessions {
+            if rec.root.validate(schema).is_err() || rec.steps.len() > schema.len() {
+                continue;
+            }
+            let valid = rec.steps.iter().all(|s| {
+                s.child.validate(schema).is_ok() && validate_pred(schema, s.pred).is_ok()
+            });
+            if !valid {
+                continue;
+            }
+            let mut stack = Vec::with_capacity(rec.steps.len() + 1);
+            stack.push(Level {
+                query: rec.root.clone(),
+                pred: None,
+                state: self.backend.walk_state(&rec.root),
+            });
+            for step in &rec.steps {
+                let parent = stack.len() - 1;
+                let state = self.backend.extend_state(
+                    &stack[parent].state,
+                    &step.child,
+                    step.pred,
+                    WalkState::fallback(),
+                );
+                stack.push(Level { query: step.child.clone(), pred: Some(step.pred), state });
+            }
+            let entry = Arc::new(Session { stack: Mutex::new(stack) });
+            self.sessions.insert(rec.sid, rec.touched, entry);
+            max_sid = max_sid.max(rec.sid);
+        }
+        // Monotonic counters: never move backwards, and never hand out a
+        // sid that a restored session already owns.
+        self.sessions.next_sid.fetch_max(dump.next_sid.max(max_sid + 1), Ordering::Relaxed);
+        self.sessions.clock.fetch_max(dump.clock, Ordering::Relaxed);
+    }
 }
 
 /// Validates a predicate against the schema bounds (the wire is
@@ -288,7 +390,7 @@ fn locate_session<B: SearchBackend>(
 /// when `parent_level` references a retired level.
 fn push_level<B: SearchBackend>(
     inner: &Inner<B>,
-    stack: &mut Vec<WalkState>,
+    stack: &mut Vec<Level>,
     parent_level: u32,
     child: &Query,
     pred: Predicate,
@@ -298,8 +400,9 @@ fn push_level<B: SearchBackend>(
         return None;
     }
     stack.truncate(parent + 1);
-    let state = inner.backend.extend_state(&stack[parent], child, pred, WalkState::fallback());
-    stack.push(state);
+    let state =
+        inner.backend.extend_state(&stack[parent].state, child, pred, WalkState::fallback());
+    stack.push(Level { query: child.clone(), pred: Some(pred), state });
     Some(parent_level + 1)
 }
 
@@ -342,7 +445,7 @@ fn handle_request<B: SearchBackend>(inner: &Inner<B>, req: Request) -> Response 
             Request::WalkOpen { root } => {
                 root.validate(schema)?;
                 let state = inner.backend.walk_state(&root);
-                Response::Session { sid: inner.sessions.open(state) }
+                Response::Session { sid: inner.sessions.open(root, state) }
             }
             Request::WalkExtend { sid, parent_level, child, pred } => {
                 child.validate(schema)?;
@@ -374,7 +477,8 @@ fn handle_request<B: SearchBackend>(inner: &Inner<B>, req: Request) -> Response 
                 // bit-identical, just one intersection slower.
                 let entry = inner.sessions.get(sid);
                 let stack = entry.as_ref().and_then(|e| e.stack.lock().ok());
-                let parent = stack.as_ref().and_then(|s| s.get(parent_level as usize));
+                let parent =
+                    stack.as_ref().and_then(|s| s.get(parent_level as usize)).map(|l| &l.state);
                 let evaluation = match parent {
                     Some(parent) => inner.backend.evaluate_from(
                         parent,
@@ -395,7 +499,8 @@ fn handle_request<B: SearchBackend>(inner: &Inner<B>, req: Request) -> Response 
                 // poisoned stack, or retired level → fresh evaluation.
                 let entry = inner.sessions.get(sid);
                 let stack = entry.as_ref().and_then(|e| e.stack.lock().ok());
-                let parent = stack.as_ref().and_then(|s| s.get(parent_level as usize));
+                let parent =
+                    stack.as_ref().and_then(|s| s.get(parent_level as usize)).map(|l| &l.state);
                 let classified = match parent {
                     Some(parent) => {
                         inner.backend.classify_from(parent, &child, pred, k)?
@@ -439,7 +544,7 @@ fn handle_request<B: SearchBackend>(inner: &Inner<B>, req: Request) -> Response 
                     return Ok(Response::SessionGone);
                 };
                 let evaluation = inner.backend.evaluate_from(
-                    &stack[level as usize],
+                    &stack[level as usize].state,
                     &child,
                     pred,
                     k,
@@ -473,7 +578,7 @@ fn handle_request<B: SearchBackend>(inner: &Inner<B>, req: Request) -> Response 
                     return Ok(Response::SessionGone);
                 };
                 let classified =
-                    inner.backend.classify_from(&stack[level as usize], &child, pred, k)?;
+                    inner.backend.classify_from(&stack[level as usize].state, &child, pred, k)?;
                 Response::ExtendClassified { level, classified }
             }
             Request::WalkClose { sid } => {
@@ -895,6 +1000,8 @@ trait ControlTarget: Send + Sync {
     fn frame_count(&self) -> u64;
     fn reactor_name(&self) -> &'static str;
     fn drain(&self);
+    fn export_sessions(&self) -> SessionDump;
+    fn import_sessions(&self, dump: &SessionDump);
 }
 
 impl<B: SearchBackend> ControlTarget for Inner<B> {
@@ -929,6 +1036,14 @@ impl<B: SearchBackend> ControlTarget for Inner<B> {
             self.reactor.deregister(conn.stream.as_raw_fd());
         }
         self.sessions.clear();
+    }
+
+    fn export_sessions(&self) -> SessionDump {
+        self.sessions.export()
+    }
+
+    fn import_sessions(&self, dump: &SessionDump) {
+        Inner::import_sessions(self, dump);
     }
 }
 
@@ -972,6 +1087,23 @@ impl RunningServer {
     #[must_use]
     pub fn reactor_name(&self) -> &'static str {
         self.control.0.reactor_name()
+    }
+
+    /// Serialises every live walk session to its recipe (root query
+    /// plus the predicate chain) for inclusion in a durability snapshot
+    /// — see [`hdb_interface::PersistentBackend::snapshot_with_sessions`].
+    #[must_use]
+    pub fn export_sessions(&self) -> SessionDump {
+        self.control.0.export_sessions()
+    }
+
+    /// Rebuilds walk sessions from a snapshot dump by replaying each
+    /// recipe against the live backend — restored probe answers are
+    /// bit-identical to the pre-crash session's. Records that no longer
+    /// validate (schema drift, depth cap) are dropped silently; the sid
+    /// and recency counters only ever move forward.
+    pub fn import_sessions(&self, dump: &SessionDump) {
+        self.control.0.import_sessions(dump);
     }
 
     /// Stops the server and joins its threads.
@@ -1302,6 +1434,52 @@ mod tests {
         }
         assert!(capped, "extend depth must be capped at the schema width");
         server.shutdown();
+    }
+
+    #[test]
+    fn exported_sessions_reimport_with_bit_identical_probes() {
+        let server = serve();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let Response::Session { sid } = ask(&mut stream, &Request::WalkOpen { root: Query::all() })
+        else {
+            panic!("expected a session");
+        };
+        for (attr, v) in [(0usize, 1u16), (1, 0)] {
+            let req = Request::WalkExtend {
+                sid,
+                parent_level: attr as u32,
+                child: Query::all().and(attr, v).unwrap(),
+                pred: Predicate::new(attr, v),
+            };
+            assert!(matches!(ask(&mut stream, &req), Response::Level { .. }));
+        }
+        let probe = Request::WalkClassify {
+            sid,
+            parent_level: 2,
+            child: Query::all().and(2, 1).unwrap(),
+            pred: Predicate::new(2, 1),
+            k: 2,
+        };
+        let before = ask(&mut stream, &probe);
+        let dump = server.export_sessions();
+        assert_eq!(dump.sessions.len(), 1);
+        assert_eq!(dump.sessions[0].steps.len(), 2);
+        server.shutdown();
+        // A brand-new server process restores the dump and answers the
+        // same probe on the same sid, bit-identically.
+        let revived = serve();
+        revived.import_sessions(&dump);
+        assert_eq!(revived.session_count(), 1);
+        let mut stream = TcpStream::connect(revived.addr()).unwrap();
+        assert_eq!(ask(&mut stream, &probe), before);
+        // New sessions never collide with restored sids.
+        let Response::Session { sid: sid2 } =
+            ask(&mut stream, &Request::WalkOpen { root: Query::all() })
+        else {
+            panic!("expected a session");
+        };
+        assert!(sid2 > sid);
+        revived.shutdown();
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! hdb-server [--addr 127.0.0.1:7171] [--rows 100000] [--attrs 20]
 //!            [--shards 1] [--shard-workers 1] [--pool-threads N]
 //!            [--shard-part I --shard-parts N]
+//!            [--data-dir DIR] [--fsync always|never|every=N]
+//!            [--federate SHARDS] [fleet flags]
 //!            [--seed 42] [--self-test]
 //! ```
 //!
@@ -14,18 +16,30 @@
 //! hash-partitioned `N` ways ([`ShardPartBackend`]) — run one process
 //! per part and point a `FederatedBackend` topology at the fleet; it
 //! merges their answers bit-identically to a local `ShardedDb`.
+//! `--data-dir DIR` serves a crash-safe [`PersistentBackend`]: first
+//! run seeds the store from the generated corpus, later runs recover
+//! (snapshot + WAL replay) and ignore `--rows`/`--attrs`; SIGTERM
+//! drains live walk sessions into a snapshot so a restart resumes them.
+//! `--federate a:1,b:1|b:2` serves a federation *gateway*: each
+//! comma-separated group is one shard, `|`-separated addresses its
+//! replicas, tuned by the fleet flags (`--retries`, `--backoff-ms`,
+//! `--backoff-cap-ms`, `--io-timeout-ms`, `--health-interval-ms`).
 //! `--self-test` binds an ephemeral port, connects a [`RemoteBackend`]
 //! client to itself, verifies a query + walk-session round trip against
 //! the local backend bit-for-bit, and exits — the CI smoke path.
 
 #![forbid(unsafe_code)]
 
+use std::path::Path;
+use std::sync::Arc;
+
 use hdb_interface::reactor::TerminationSignal;
 use hdb_interface::{
-    HiddenDb, Query, RemoteBackend, SearchBackend, ShardPartBackend, ShardedDb, Table,
-    TableBackend, TopKInterface,
+    FederatedBackend, FleetConfig, HiddenDb, PersistentBackend, Query, RemoteBackend,
+    SearchBackend, ShardPartBackend, ShardedDb, SyncPolicy, Table, TableBackend, TopKInterface,
+    Topology,
 };
-use hdb_server::{Server, ServerConfig};
+use hdb_server::{RunningServer, Server, ServerConfig};
 
 /// Command-line options (std-only flag parsing).
 struct Opts {
@@ -37,6 +51,10 @@ struct Opts {
     pool_threads: Option<usize>,
     shard_part: Option<usize>,
     shard_parts: Option<usize>,
+    data_dir: Option<String>,
+    fsync: SyncPolicy,
+    federate: Option<String>,
+    fleet: FleetConfig,
     seed: u64,
     self_test: bool,
 }
@@ -52,6 +70,10 @@ impl Opts {
             pool_threads: None,
             shard_part: None,
             shard_parts: None,
+            data_dir: None,
+            fsync: SyncPolicy::Always,
+            federate: None,
+            fleet: FleetConfig::default(),
             seed: 42,
             self_test: false,
         };
@@ -83,17 +105,52 @@ impl Opts {
                 }
                 "--seed" => opts.seed = parse_num(&value("--seed"), "--seed") as u64,
                 "--self-test" => opts.self_test = true,
+                "--data-dir" => opts.data_dir = Some(value("--data-dir")),
+                "--fsync" => {
+                    opts.fsync = SyncPolicy::parse(&value("--fsync")).unwrap_or_else(|msg| {
+                        eprintln!("invalid value for --fsync: {msg}");
+                        std::process::exit(2);
+                    });
+                }
+                "--federate" => opts.federate = Some(value("--federate")),
                 "--help" | "-h" => {
                     println!(
                         "usage: hdb-server [--addr HOST:PORT] [--rows N] [--attrs N] \
                          [--shards N] [--shard-workers N] [--pool-threads N] \
-                         [--shard-part I --shard-parts N] [--seed N] [--self-test]"
+                         [--shard-part I --shard-parts N] [--seed N] [--self-test]\n\
+                         \n\
+                         durability:\n  \
+                         --data-dir DIR          crash-safe store: seed on first run, \
+                         recover (snapshot + WAL) afterwards\n  \
+                         --fsync MODE            WAL fsync discipline: always | never | \
+                         every=N (default always)\n\
+                         \n\
+                         federation gateway (tuning flags also accepted by the benches):\n  \
+                         --federate SHARDS       serve a FederatedBackend over shards \
+                         \"a:1,b:1|b:2\" (comma: shards, pipe: replicas)\n{}",
+                        FleetConfig::cli_help()
                     );
                     std::process::exit(0);
                 }
                 other => {
-                    eprintln!("unknown flag {other} (try --help)");
-                    std::process::exit(2);
+                    // Not a core flag: give the shared fleet vocabulary a
+                    // chance before declaring it unknown.
+                    let fleet_value = args.next();
+                    match opts.fleet.apply_cli(other, fleet_value.as_deref().unwrap_or("")) {
+                        Ok(true) => {}
+                        Err(_) if fleet_value.is_none() => {
+                            eprintln!("missing value for {other}");
+                            std::process::exit(2);
+                        }
+                        Err(msg) => {
+                            eprintln!("{msg}");
+                            std::process::exit(2);
+                        }
+                        Ok(false) => {
+                            eprintln!("unknown flag {other} (try --help)");
+                            std::process::exit(2);
+                        }
+                    }
                 }
             }
         }
@@ -184,15 +241,61 @@ fn self_test(opts: &Opts) {
     println!("self-test OK: queries, walk sessions, and estimator runs are bit-identical");
 }
 
+/// Parses a `--federate` shard map: comma-separated shards, each a
+/// `|`-separated replica list.
+fn parse_topology(spec: &str) -> Topology {
+    let mut topology = Topology::new();
+    let groups = spec.split(',').map(str::trim).filter(|g| !g.is_empty());
+    for (shard, group) in groups.enumerate() {
+        for addr in group.split('|').map(str::trim).filter(|a| !a.is_empty()) {
+            topology.add_replica(shard, addr);
+        }
+    }
+    if topology.shard_count() == 0 {
+        eprintln!("--federate needs at least one shard address, got {spec:?}");
+        std::process::exit(2);
+    }
+    topology
+}
+
+/// Opens (recovering) or seeds the persistent store and reports what
+/// recovery found.
+fn open_store(dir: &str, opts: &Opts) -> Arc<PersistentBackend> {
+    let backend = PersistentBackend::open_or_create(Path::new(dir), opts.fsync, || {
+        Ok(dataset(opts.rows, opts.attrs, opts.seed))
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("failed to open --data-dir {dir}: {e}");
+        std::process::exit(1);
+    });
+    let r = backend.recovery();
+    println!(
+        "recovered {dir}: snapshot {}, WAL replayed {}/{} record(s) from seq {}{}{}",
+        r.snapshot.as_deref().unwrap_or("(none)"),
+        r.wal_records_applied,
+        r.wal_records_seen,
+        r.base_seq,
+        match r.truncated_tail_to {
+            Some(len) => format!(", torn tail truncated to {len} B"),
+            None => String::new(),
+        },
+        if r.wal_reset { ", stale WAL reset" } else { "" },
+    );
+    for skipped in &r.skipped_snapshots {
+        eprintln!("warning: skipped damaged snapshot {skipped}");
+    }
+    if let Some(reason) = backend.read_only() {
+        eprintln!("warning: store is READ-ONLY: {reason}");
+    }
+    Arc::new(backend)
+}
+
 fn main() {
     let opts = Opts::parse();
     if opts.self_test {
         self_test(&opts);
         return;
     }
-    let table = dataset(opts.rows, opts.attrs, opts.seed);
-    let rows = table.len();
-    let attrs = table.schema().len();
     let part = match (opts.shard_part, opts.shard_parts) {
         (None, None) => None,
         (Some(part), Some(parts)) if part < parts => Some((part, parts)),
@@ -209,30 +312,79 @@ fn main() {
         eprintln!("--shard-part serves one partition; it cannot be combined with --shards > 1");
         std::process::exit(2);
     }
-    let running = if let Some((part, parts)) = part {
-        // One part of the federation: generate the full corpus (so every
-        // fleet member agrees on it for a given seed), serve only the
-        // slice the shared hash partitioning assigns to `part`.
-        let backend = ShardPartBackend::partition(&table, parts).into_iter().nth(part);
-        let backend = backend.unwrap_or_else(|| {
-            eprintln!("--shard-part {part} is out of range for --shard-parts {parts}");
-            std::process::exit(2);
-        });
-        Server::bind_with(backend, &opts.addr, config(&opts))
-    } else if opts.shards > 1 {
-        let backend = ShardedDb::new(&table, opts.shards).with_workers(opts.shard_workers);
-        Server::bind_with(backend, &opts.addr, config(&opts))
-    } else {
-        Server::bind_with(TableBackend::new(table), &opts.addr, config(&opts))
+    if opts.data_dir.is_some() && (part.is_some() || opts.shards > 1 || opts.federate.is_some()) {
+        eprintln!("--data-dir persists a single-table store; it cannot be combined with --shards, --shard-part, or --federate");
+        std::process::exit(2);
     }
-    .unwrap_or_else(|e| {
-        eprintln!("failed to start: {e}");
-        std::process::exit(1);
-    });
-    let role = match part {
-        Some((part, parts)) => format!("part {part}/{parts} of the corpus"),
-        None => format!("{} shard(s)", opts.shards),
-    };
+    if opts.federate.is_some() && (part.is_some() || opts.shards > 1) {
+        eprintln!("--federate serves a gateway over remote shards; it cannot be combined with --shards or --shard-part");
+        std::process::exit(2);
+    }
+    // The persistent store (when any) outlives the server handle: the
+    // SIGTERM path drains live sessions into a final snapshot after the
+    // serving threads have joined.
+    let mut store: Option<Arc<PersistentBackend>> = None;
+    let (running, rows, attrs, role): (RunningServer, usize, usize, String) =
+        if let Some(dir) = opts.data_dir.as_deref() {
+            let backend = open_store(dir, &opts);
+            let restored = backend.restored_sessions().clone();
+            let (rows, attrs) = (backend.len(), backend.schema().len());
+            store = Some(Arc::clone(&backend));
+            let running = Server::bind_with(backend, &opts.addr, config(&opts))
+                .unwrap_or_else(|e| {
+                    eprintln!("failed to start: {e}");
+                    std::process::exit(1);
+                });
+            running.import_sessions(&restored);
+            if !restored.sessions.is_empty() {
+                println!("restored {} walk session(s) from snapshot", restored.sessions.len());
+            }
+            (running, rows, attrs, format!("durable store in {dir}"))
+        } else if let Some(spec) = opts.federate.as_deref() {
+            let topology = parse_topology(spec);
+            let shards = topology.shard_count();
+            let backend = FederatedBackend::connect_with(topology, opts.fleet.clone())
+                .unwrap_or_else(|e| {
+                    eprintln!("failed to connect the federation: {e}");
+                    std::process::exit(1);
+                });
+            let (rows, attrs) = (backend.len(), backend.schema().len());
+            let running = Server::bind_with(backend, &opts.addr, config(&opts))
+                .unwrap_or_else(|e| {
+                    eprintln!("failed to start: {e}");
+                    std::process::exit(1);
+                });
+            (running, rows, attrs, format!("gateway over {shards} federated shard(s)"))
+        } else {
+            let table = dataset(opts.rows, opts.attrs, opts.seed);
+            let (rows, attrs) = (table.len(), table.schema().len());
+            let running = if let Some((part, parts)) = part {
+                // One part of the federation: generate the full corpus
+                // (so every fleet member agrees on it for a given seed),
+                // serve only the slice the shared hash partitioning
+                // assigns to `part`.
+                let backend = ShardPartBackend::partition(&table, parts).into_iter().nth(part);
+                let backend = backend.unwrap_or_else(|| {
+                    eprintln!("--shard-part {part} is out of range for --shard-parts {parts}");
+                    std::process::exit(2);
+                });
+                Server::bind_with(backend, &opts.addr, config(&opts))
+            } else if opts.shards > 1 {
+                let backend = ShardedDb::new(&table, opts.shards).with_workers(opts.shard_workers);
+                Server::bind_with(backend, &opts.addr, config(&opts))
+            } else {
+                Server::bind_with(TableBackend::new(table), &opts.addr, config(&opts))
+            }
+            .unwrap_or_else(|e| {
+                eprintln!("failed to start: {e}");
+                std::process::exit(1);
+            });
+            let role = match part {
+                Some((part, parts)) => format!("part {part}/{parts} of the corpus"),
+                None => format!("{} shard(s)", opts.shards),
+            };
+            (running, rows, attrs, role)
+        };
     println!(
         "hdb-server on {} — {rows} rows × {attrs} attrs, {role}, {} reactor; \
          connect with RemoteBackend::connect(\"{}\")",
@@ -241,15 +393,22 @@ fn main() {
         running.addr()
     );
     // Block until SIGINT/SIGTERM, then shut down gracefully: stop
-    // accepting, close every connection, drain the session table, and
-    // join the serving threads before exiting 0.
+    // accepting, close every connection, drain the session table (into a
+    // snapshot when serving a durable store), and join the serving
+    // threads before exiting 0.
     let term = TerminationSignal::install().unwrap_or_else(|e| {
         eprintln!("failed to install signal handlers: {e}");
         std::process::exit(1);
     });
     term.wait();
-    let sessions = running.session_count();
-    println!("shutting down: draining {sessions} walk session(s)");
+    let dump = running.export_sessions();
+    println!("shutting down: draining {} walk session(s)", dump.sessions.len());
     running.shutdown();
+    if let Some(store) = store.take() {
+        match store.snapshot_with_sessions(&dump) {
+            Ok(name) => println!("final snapshot {name} written"),
+            Err(e) => eprintln!("failed to write the final snapshot: {e}"),
+        }
+    }
     println!("hdb-server stopped");
 }

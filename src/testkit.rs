@@ -25,6 +25,17 @@
 //! tests assert exact outcomes instead of flaking. The schedule cursors
 //! live in the proxy, not the connection, so a client that reconnects
 //! through the proxy keeps consuming the same schedule.
+//!
+//! **Disk faults.** The same schedule vocabulary drives storage chaos:
+//! [`FaultyStorageIo`] wraps any
+//! [`StorageIo`] and consumes a
+//! `FaultSchedule<DiskFault>` — one action per *mutating* operation
+//! (write, append, truncate, rename, remove, fsync), reads untouched —
+//! so a crash-matrix test scripts exactly which write tears, which bit
+//! flips, and which fsync fails, then asserts what recovery does about
+//! it. [`FaultSchedule::crash_after_writes`] is the `CrashAfterNWrites`
+//! idiom: forward `n` mutations, then fail everything, exactly like the
+//! machine losing power.
 
 use std::io::Write as _;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -35,7 +46,7 @@ use std::time::Duration;
 
 use hdb_core::{default_workers, AggregateSpec, EstimatorConfig, UnbiasedAggEstimator};
 use hdb_interface::wire::{read_frame, write_frame};
-use hdb_interface::{HiddenDb, Table};
+use hdb_interface::{HdbError, HiddenDb, StorageIo, Table};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// A Monte-Carlo unbiasedness check of one estimator configuration
@@ -126,58 +137,134 @@ pub enum Fault {
     Reset,
 }
 
-/// A per-direction sequence of [`Fault`]s, consumed one action per
-/// relayed frame; after the sequence is exhausted every further frame
-/// gets the `fallback` action.
-#[derive(Clone, Debug)]
-pub struct FaultSchedule {
-    actions: Vec<Fault>,
-    fallback: Fault,
+/// One action applied to one mutating storage operation (see
+/// [`FaultyStorageIo`] for which operations consume an action and how
+/// each fault lands per operation kind).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskFault {
+    /// Perform the operation untouched.
+    Forward,
+    /// On a payload-carrying operation: silently drop the last `n` bytes
+    /// of the payload but report success — the lying disk. Forwards
+    /// non-payload operations.
+    TruncateTail(u32),
+    /// On any mutating operation: persist only the first half of the
+    /// payload (if any), then enter the crashed state and fail — the
+    /// power cut mid-write.
+    TornWrite,
+    /// On a payload-carrying operation: flip bit `i mod (len·8)` of the
+    /// payload and report success — silent media corruption. Forwards
+    /// non-payload operations.
+    BitFlip(u32),
+    /// Fail if the operation is an `fsync`, forward anything else. The
+    /// store cannot know whether its bytes are durable — exactly the
+    /// condition that must poison it read-only.
+    FailFsync,
+    /// Enter the crashed state: this and every subsequent operation
+    /// fails with a typed storage error.
+    Crash,
 }
 
-impl FaultSchedule {
+/// A fault family usable in a [`FaultSchedule`]: network frames
+/// ([`Fault`]) and storage mutations ([`DiskFault`]) share the
+/// scripted/seeded schedule vocabulary through this trait.
+pub trait FaultAction: Copy + PartialEq {
+    /// The do-nothing action a clean schedule is made of.
+    fn forward() -> Self;
+    /// One action from the family's seeded-chaos distribution.
+    fn draw(rng: &mut StdRng) -> Self;
+}
+
+impl FaultAction for Fault {
+    fn forward() -> Self {
+        Self::Forward
+    }
+
+    fn draw(rng: &mut StdRng) -> Self {
+        match rng.random_range(0..10u32) {
+            0..=5 => Self::Forward,
+            6 => Self::Drop,
+            7 => Self::Delay(rng.random_range(1..20u64)),
+            8 => Self::Garble,
+            _ => Self::Reset,
+        }
+    }
+}
+
+impl FaultAction for DiskFault {
+    fn forward() -> Self {
+        Self::Forward
+    }
+
+    /// Mostly forwards with occasional torn writes, dropped tails, bit
+    /// flips, and failed fsyncs. [`DiskFault::Crash`] is deliberately
+    /// absent — it is terminal, so sweeps script it explicitly (e.g. via
+    /// [`FaultSchedule::crash_after_writes`]).
+    fn draw(rng: &mut StdRng) -> Self {
+        match rng.random_range(0..12u32) {
+            0..=7 => Self::Forward,
+            8 => Self::TruncateTail(rng.random_range(1..24u32)),
+            9 => Self::BitFlip(rng.random_range(0..4096u32)),
+            10 => Self::FailFsync,
+            _ => Self::TornWrite,
+        }
+    }
+}
+
+/// A sequence of fault actions, consumed one per relayed frame (network)
+/// or mutating operation (disk); after the sequence is exhausted every
+/// further event gets the `fallback` action.
+#[derive(Clone, Debug)]
+pub struct FaultSchedule<A = Fault> {
+    actions: Vec<A>,
+    fallback: A,
+}
+
+impl<A: FaultAction> FaultSchedule<A> {
     /// Forwards everything — the do-nothing schedule for the direction a
     /// test is not attacking.
     #[must_use]
     pub fn clean() -> Self {
-        Self { actions: Vec::new(), fallback: Fault::Forward }
+        Self { actions: Vec::new(), fallback: A::forward() }
     }
 
     /// Plays `actions` in order, then forwards everything.
     #[must_use]
-    pub fn script(actions: Vec<Fault>) -> Self {
-        Self { actions, fallback: Fault::Forward }
+    pub fn script(actions: Vec<A>) -> Self {
+        Self { actions, fallback: A::forward() }
     }
 
     /// Plays `actions` in order, then applies `fallback` to every further
-    /// frame (e.g. `Fault::Drop` to simulate a peer that goes silent
+    /// event (e.g. `Fault::Drop` to simulate a peer that goes silent
     /// after a healthy handshake).
     #[must_use]
-    pub fn script_then(actions: Vec<Fault>, fallback: Fault) -> Self {
+    pub fn script_then(actions: Vec<A>, fallback: A) -> Self {
         Self { actions, fallback }
     }
 
     /// A schedule of `len` actions drawn once from a seeded `StdRng`
-    /// (mostly forwards with occasional drops, delays, garbles, and
-    /// resets), then forwards everything. Same seed, same schedule —
-    /// chaos sweeps stay reproducible.
+    /// (each family's own mostly-forward chaos mix), then forwards
+    /// everything. Same seed, same schedule — chaos sweeps stay
+    /// reproducible.
     #[must_use]
     pub fn seeded(seed: u64, len: usize) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let actions = (0..len)
-            .map(|_| match rng.random_range(0..10u32) {
-                0..=5 => Fault::Forward,
-                6 => Fault::Drop,
-                7 => Fault::Delay(rng.random_range(1..20u64)),
-                8 => Fault::Garble,
-                _ => Fault::Reset,
-            })
-            .collect();
-        Self { actions, fallback: Fault::Forward }
+        let actions = (0..len).map(|_| A::draw(&mut rng)).collect();
+        Self { actions, fallback: A::forward() }
     }
 
-    fn action(&self, idx: usize) -> Fault {
+    fn action(&self, idx: usize) -> A {
         self.actions.get(idx).copied().unwrap_or(self.fallback)
+    }
+}
+
+impl FaultSchedule<DiskFault> {
+    /// Forwards `n` mutating operations, then crashes the store on every
+    /// further one — the `CrashAfterNWrites` idiom crash matrices sweep
+    /// `n` over.
+    #[must_use]
+    pub fn crash_after_writes(n: usize) -> Self {
+        Self::script_then(vec![DiskFault::Forward; n], DiskFault::Crash)
     }
 }
 
@@ -417,5 +504,275 @@ fn relay_frames(
                 return;
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic disk fault injection
+
+/// A [`StorageIo`] adapter that applies one scheduled [`DiskFault`] per
+/// **mutating** operation — `write`, `append`, `truncate`, `rename`,
+/// `remove`, and `sync` each consume one action; `read`, `list`, and
+/// `sync_dir` never do. Wrap a shared
+/// [`MemIo`](hdb_interface::MemIo) (or a [`StdIo`](hdb_interface::StdIo))
+/// so the surviving bytes outlive the "crashed" store and a fresh,
+/// clean reopen can run recovery over them.
+///
+/// Per-fault semantics by operation kind:
+///
+/// | fault | payload op (`write`/`append`) | `sync` | other mutation |
+/// |---|---|---|---|
+/// | `Forward` | performed | performed | performed |
+/// | `TruncateTail(n)` | last `n` bytes dropped, **reports success** | performed | performed |
+/// | `TornWrite` | first half persisted, then crashed + error | crashed + error | crashed + error |
+/// | `BitFlip(i)` | bit `i mod bits` flipped, **reports success** | performed | performed |
+/// | `FailFsync` | performed | **error** (store must poison itself) | performed |
+/// | `Crash` | crashed + error | crashed + error | crashed + error |
+///
+/// Once crashed, every operation (reads included) fails with a typed
+/// [`HdbError::Storage`] — the disk is gone until the test reopens the
+/// inner store without the adapter.
+pub struct FaultyStorageIo<S> {
+    inner: S,
+    schedule: FaultSchedule<DiskFault>,
+    cursor: AtomicUsize,
+    crashed: AtomicBool,
+    faults: AtomicU64,
+}
+
+impl<S: StorageIo> FaultyStorageIo<S> {
+    /// Wraps `inner`, consuming `schedule` one action per mutating
+    /// operation.
+    #[must_use]
+    pub fn new(inner: S, schedule: FaultSchedule<DiskFault>) -> Self {
+        Self {
+            inner,
+            schedule,
+            cursor: AtomicUsize::new(0),
+            crashed: AtomicBool::new(false),
+            faults: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether a `TornWrite`/`Crash` action has taken the disk offline.
+    #[must_use]
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Non-`Forward` actions applied so far.
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.load(Ordering::Relaxed)
+    }
+
+    /// Mutating operations seen so far (the schedule cursor).
+    #[must_use]
+    pub fn mutations(&self) -> usize {
+        self.cursor.load(Ordering::SeqCst)
+    }
+
+    fn offline() -> HdbError {
+        HdbError::Storage("simulated crash: storage offline".to_string())
+    }
+
+    fn check_online(&self) -> hdb_interface::Result<()> {
+        if self.crashed() {
+            Err(Self::offline())
+        } else {
+            Ok(())
+        }
+    }
+
+    fn next_action(&self) -> DiskFault {
+        let idx = self.cursor.fetch_add(1, Ordering::SeqCst);
+        let action = self.schedule.action(idx);
+        if action != DiskFault::Forward {
+            self.faults.fetch_add(1, Ordering::Relaxed);
+        }
+        action
+    }
+
+    /// Applies the next action to a payload-carrying mutation.
+    fn faulted_payload(
+        &self,
+        bytes: &[u8],
+        op: impl FnOnce(&[u8]) -> hdb_interface::Result<()>,
+    ) -> hdb_interface::Result<()> {
+        self.check_online()?;
+        match self.next_action() {
+            DiskFault::Forward | DiskFault::FailFsync => op(bytes),
+            DiskFault::TruncateTail(n) => {
+                let keep = bytes.len().saturating_sub(n as usize);
+                op(&bytes[..keep])
+            }
+            DiskFault::TornWrite => {
+                let torn = op(&bytes[..bytes.len() / 2]);
+                self.crashed.store(true, Ordering::SeqCst);
+                torn.and(Err(HdbError::Storage("simulated torn write".to_string())))
+            }
+            DiskFault::BitFlip(i) => {
+                let mut flipped = bytes.to_vec();
+                if !flipped.is_empty() {
+                    let bit = i as usize % (flipped.len() * 8);
+                    flipped[bit / 8] ^= 1 << (bit % 8);
+                }
+                op(&flipped)
+            }
+            DiskFault::Crash => {
+                self.crashed.store(true, Ordering::SeqCst);
+                Err(Self::offline())
+            }
+        }
+    }
+
+    /// Applies the next action to a payload-less mutation.
+    fn faulted_plain(&self, op: impl FnOnce() -> hdb_interface::Result<()>) -> hdb_interface::Result<()> {
+        self.check_online()?;
+        match self.next_action() {
+            DiskFault::Forward
+            | DiskFault::FailFsync
+            | DiskFault::TruncateTail(_)
+            | DiskFault::BitFlip(_) => op(),
+            DiskFault::TornWrite | DiskFault::Crash => {
+                self.crashed.store(true, Ordering::SeqCst);
+                Err(Self::offline())
+            }
+        }
+    }
+}
+
+impl<S: StorageIo> StorageIo for FaultyStorageIo<S> {
+    fn read(&self, path: &str) -> hdb_interface::Result<Option<Vec<u8>>> {
+        self.check_online()?;
+        self.inner.read(path)
+    }
+
+    fn write(&self, path: &str, bytes: &[u8]) -> hdb_interface::Result<()> {
+        self.faulted_payload(bytes, |b| self.inner.write(path, b))
+    }
+
+    fn append(&self, path: &str, bytes: &[u8]) -> hdb_interface::Result<()> {
+        self.faulted_payload(bytes, |b| self.inner.append(path, b))
+    }
+
+    fn truncate(&self, path: &str, len: u64) -> hdb_interface::Result<()> {
+        self.faulted_plain(|| self.inner.truncate(path, len))
+    }
+
+    fn sync(&self, path: &str) -> hdb_interface::Result<()> {
+        self.check_online()?;
+        match self.next_action() {
+            DiskFault::FailFsync => {
+                Err(HdbError::Storage("simulated fsync failure".to_string()))
+            }
+            DiskFault::TornWrite | DiskFault::Crash => {
+                self.crashed.store(true, Ordering::SeqCst);
+                Err(Self::offline())
+            }
+            DiskFault::Forward | DiskFault::TruncateTail(_) | DiskFault::BitFlip(_) => {
+                self.inner.sync(path)
+            }
+        }
+    }
+
+    fn sync_dir(&self) -> hdb_interface::Result<()> {
+        self.check_online()?;
+        self.inner.sync_dir()
+    }
+
+    fn rename(&self, from: &str, to: &str) -> hdb_interface::Result<()> {
+        self.faulted_plain(|| self.inner.rename(from, to))
+    }
+
+    fn remove(&self, path: &str) -> hdb_interface::Result<()> {
+        self.faulted_plain(|| self.inner.remove(path))
+    }
+
+    fn list(&self) -> hdb_interface::Result<Vec<String>> {
+        self.check_online()?;
+        self.inner.list()
+    }
+}
+
+#[cfg(test)]
+mod disk_fault_tests {
+    use super::*;
+    use hdb_interface::MemIo;
+
+    #[test]
+    fn schedules_consume_one_action_per_mutation_and_reads_are_free() {
+        let mem = MemIo::new();
+        let io = FaultyStorageIo::new(
+            mem.clone(),
+            FaultSchedule::script(vec![DiskFault::Forward, DiskFault::TruncateTail(2)]),
+        );
+        io.write("f", b"hello").unwrap();
+        io.read("f").unwrap();
+        io.list().unwrap();
+        io.append("f", b"world").unwrap();
+        assert_eq!(mem.read("f").unwrap().unwrap(), b"hellowor");
+        assert_eq!(io.mutations(), 2);
+        assert_eq!(io.faults_injected(), 1);
+        assert!(!io.crashed());
+    }
+
+    #[test]
+    fn torn_write_persists_a_prefix_then_crashes() {
+        let mem = MemIo::new();
+        let io =
+            FaultyStorageIo::new(mem.clone(), FaultSchedule::script(vec![DiskFault::TornWrite]));
+        assert!(io.append("f", b"abcdef").is_err());
+        assert!(io.crashed());
+        assert_eq!(mem.read("f").unwrap().unwrap(), b"abc");
+        assert!(io.read("f").is_err(), "crashed disk serves nothing");
+        assert!(io.write("g", b"x").is_err());
+        assert!(mem.read("g").unwrap().is_none());
+    }
+
+    #[test]
+    fn crash_after_writes_counts_mutations() {
+        let mem = MemIo::new();
+        let io = FaultyStorageIo::new(mem.clone(), FaultSchedule::crash_after_writes(2));
+        io.write("a", b"1").unwrap();
+        io.sync("a").unwrap();
+        assert!(io.write("b", b"2").is_err());
+        assert!(io.crashed());
+        assert!(mem.read("b").unwrap().is_none());
+    }
+
+    #[test]
+    fn fail_fsync_fails_only_syncs() {
+        let mem = MemIo::new();
+        let io = FaultyStorageIo::new(
+            mem.clone(),
+            FaultSchedule::script_then(vec![DiskFault::Forward], DiskFault::FailFsync),
+        );
+        io.write("a", b"1").unwrap();
+        assert!(io.sync("a").is_err());
+        assert!(!io.crashed());
+        // FailFsync forwards non-sync mutations.
+        io.append("a", b"2").unwrap();
+        assert_eq!(mem.read("a").unwrap().unwrap(), b"12");
+    }
+
+    #[test]
+    fn bit_flip_is_silent() {
+        let mem = MemIo::new();
+        let io =
+            FaultyStorageIo::new(mem.clone(), FaultSchedule::script(vec![DiskFault::BitFlip(0)]));
+        io.write("f", &[0x00, 0xFF]).unwrap();
+        assert_eq!(mem.read("f").unwrap().unwrap(), vec![0x01, 0xFF]);
+        assert!(!io.crashed());
+    }
+
+    #[test]
+    fn seeded_disk_schedules_are_reproducible() {
+        let a = FaultSchedule::<DiskFault>::seeded(7, 64);
+        let b = FaultSchedule::<DiskFault>::seeded(7, 64);
+        for i in 0..64 {
+            assert_eq!(a.action(i), b.action(i));
+        }
+        assert!((0..64).any(|i| a.action(i) != DiskFault::Forward), "chaos must occur");
     }
 }
