@@ -1,0 +1,10 @@
+//! Scale experiment: the observability tax — µs/probe with metrics on vs
+//! stripped (interleaved batches, medians, 3% bar), span-ring cost, and
+//! raw trace-ring throughput, with the machine-readable record written
+//! to `BENCH_scale08.json`.
+use hdb_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    experiments::observability_scale::run_observability_scale(&scale);
+}

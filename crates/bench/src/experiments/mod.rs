@@ -12,6 +12,7 @@ pub mod fig11_13_sweeps;
 pub mod fig14_17_yahoo;
 pub mod fig18_19_online;
 pub mod incremental_scale;
+pub mod observability_scale;
 pub mod parallel_scale;
 pub mod recovery_scale;
 pub mod remote_scale;

@@ -8,7 +8,12 @@
 //! from its reference \[13\]. [`ratio_avg`] exposes the biased ratio
 //! under a name that says so.
 
-use hdb_interface::{AttrId, Query, QueryOutcome, ReturnedTuple, Schema, TopKInterface};
+use std::sync::Arc;
+
+use hdb_interface::{
+    AttrId, Clock, Counter, Histogram, MetricsRegistry, Query, QueryOutcome, ReturnedTuple,
+    Schema, TopKInterface,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -137,6 +142,20 @@ pub struct UnbiasedAggEstimator {
     queries_spent: u64,
     root_outcome: Option<QueryOutcome>,
     levels: Option<Vec<AttrId>>,
+    obs: Option<EngineObs>,
+}
+
+/// Observability handles an estimator records into when
+/// [`UnbiasedAggEstimator::with_obs`] wired it to a registry. Recording
+/// happens strictly after a pass's value is committed, so estimates are
+/// bit-identical with or without it; the duration histogram fills only
+/// for sequential passes (a parallel pass's wall time is
+/// scheduling-dependent) and only when a [`Clock`] was supplied.
+#[derive(Debug)]
+struct EngineObs {
+    passes: Counter,
+    pass_nanos: Histogram,
+    clock: Option<Arc<dyn Clock>>,
 }
 
 /// Runs one independent estimation pass: the whole pass (branch picks,
@@ -204,7 +223,22 @@ impl UnbiasedAggEstimator {
             queries_spent: 0,
             root_outcome: None,
             levels: None,
+            obs: None,
         })
+    }
+
+    /// Wires this estimator to `registry`: completed passes bump
+    /// `hdb_engine_passes_total`, and — when `clock` is supplied —
+    /// sequential pass durations fill `hdb_engine_pass_nanos`. Purely
+    /// additive: estimates and histories are bit-identical either way.
+    #[must_use]
+    pub fn with_obs(mut self, registry: &MetricsRegistry, clock: Option<Arc<dyn Clock>>) -> Self {
+        self.obs = Some(EngineObs {
+            passes: registry.counter("hdb_engine_passes_total"),
+            pass_nanos: registry.histogram("hdb_engine_pass_nanos"),
+            clock,
+        });
+        self
     }
 
     /// The configuration.
@@ -228,11 +262,21 @@ impl UnbiasedAggEstimator {
     /// mid-pass leaves a usable estimator.
     pub fn pass<I: TopKInterface>(&mut self, iface: &I) -> Result<f64> {
         let before = iface.queries_issued();
+        let started = self
+            .obs
+            .as_ref()
+            .and_then(|o| o.clock.as_ref().map(|c| c.now_nanos()));
         let result = self.pass_inner(iface);
         self.queries_spent += iface.queries_issued() - before;
         let estimate = result?;
         self.next_pass += 1;
         self.estimates.push(estimate);
+        if let Some(obs) = &self.obs {
+            obs.passes.inc();
+            if let (Some(t0), Some(clock)) = (started, obs.clock.as_ref()) {
+                obs.pass_nanos.observe(clock.now_nanos().saturating_sub(t0));
+            }
+        }
         Ok(estimate)
     }
 
@@ -561,6 +605,13 @@ impl UnbiasedAggEstimator {
             committed += 1;
         }
         self.next_pass = base + committed;
+        if let Some(obs) = &self.obs {
+            // Counted only once committed (discarded chunks never ran to
+            // completion as far as the history is concerned); durations
+            // are not recorded here — a parallel pass's wall time is an
+            // artefact of scheduling, not of the work.
+            obs.passes.add(committed);
+        }
         Ok(budget_error)
     }
 

@@ -294,6 +294,16 @@ pub trait SearchBackend: Send + Sync {
     /// The default substrate is in-process: no cost.
     fn round_trip(&self) {}
 
+    /// Contributes this substrate's metric series into `snap` — the
+    /// telemetry leg of [`HiddenDb::metrics`](crate::HiddenDb::metrics)
+    /// and of the server's `Stats` response. Wrappers add their own
+    /// series and forward to the wrapped backend. Purely additive
+    /// observation: implementations must not mutate substrate state, and
+    /// the default contributes nothing.
+    fn fill_metrics(&self, snap: &mut crate::obs::MetricsSnapshot) {
+        let _ = snap;
+    }
+
     /// Exact `COUNT(*) WHERE q` (owner-side ground truth; never reachable
     /// through the client interface).
     ///
@@ -391,6 +401,10 @@ impl<B: SearchBackend + ?Sized> SearchBackend for Arc<B> {
 
     fn round_trip(&self) {
         (**self).round_trip();
+    }
+
+    fn fill_metrics(&self, snap: &mut crate::obs::MetricsSnapshot) {
+        (**self).fill_metrics(snap);
     }
 
     fn exact_count(&self, q: &Query) -> Result<usize> {

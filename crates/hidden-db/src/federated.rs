@@ -37,9 +37,9 @@
 //! `Errored`, keeping the accounting partition
 //! `issued == underflow + valid + overflow + errored` exact. An optional
 //! background health checker ([`FleetConfig::health_interval`]) pings
-//! serving shards and pre-warms reconnects for dark ones; it uses only
-//! `thread::sleep` pacing — no wall-clock reads — so results can never
-//! depend on timing.
+//! serving shards and pre-warms reconnects for dark ones; it paces on a
+//! condition-variable timed wait (woken instantly at shutdown) and never
+//! reads a clock, so results can never depend on timing.
 //!
 //! ## Why failover cannot change results
 //!
@@ -59,13 +59,14 @@
 //!    probe simply evaluates fresh on the new connection.
 
 use std::convert::Infallible;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use crate::backend::{checked_numeric, Classified, Evaluation, SearchBackend, SelState, WalkState};
 use crate::error::{HdbError, Result};
 use crate::interface::ReturnedTuple;
+use crate::obs::MetricsSnapshot;
 use crate::par::WorkerPool;
 use crate::query::{Predicate, Query};
 use crate::ranking::{RankingFunction, RowIdRanking};
@@ -556,53 +557,71 @@ struct FedWalk {
 // Health checker
 
 /// Background health checks: a thread that pings serving shards and
-/// pre-warms reconnects for dark ones. Pacing is pure `thread::sleep` —
-/// no clock reads — and the thread only ever touches connection slots,
-/// never results.
+/// pre-warms reconnects for dark ones. Pacing is a condition-variable
+/// timed wait — the thread is parked for the whole interval and woken
+/// instantly at shutdown, instead of polling a stop flag in sleep
+/// slices — and it never reads a clock or touches results, only
+/// connection slots.
 struct HealthChecker {
-    stop: Arc<AtomicBool>,
+    /// `(stopped, wakeup)`: Drop sets the flag and notifies, ending the
+    /// thread's timed wait immediately.
+    state: Arc<(Mutex<bool>, Condvar)>,
+    /// Shards visited by the sweep loop so far (one per shard per tick),
+    /// exported as `hdb_fed_health_probe_total`.
+    probes: Arc<AtomicU64>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl HealthChecker {
     fn spawn(shards: Vec<Arc<ShardClient>>, interval: Duration) -> Option<Self> {
-        let stop = Arc::new(AtomicBool::new(false));
-        let flag = Arc::clone(&stop);
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let probes = Arc::new(AtomicU64::new(0));
+        let shared = Arc::clone(&state);
+        let tally = Arc::clone(&probes);
         let handle = std::thread::Builder::new()
             .name("hdb-fleet-health".into())
-            .spawn(move || {
-                while !flag.load(Ordering::Acquire) {
-                    for shard in &shards {
-                        match shard.snapshot() {
-                            Some((generation, client)) => {
-                                if client.ping().is_err() {
-                                    shard.invalidate(generation);
-                                }
-                            }
-                            None => {
-                                // Dark shard: try to restore coverage so the
-                                // next probe doesn't pay the reconnect.
-                                let _ = shard.acquire();
+            .spawn(move || loop {
+                for shard in &shards {
+                    tally.fetch_add(1, Ordering::Relaxed);
+                    match shard.snapshot() {
+                        Some((generation, client)) => {
+                            if client.ping().is_err() {
+                                shard.invalidate(generation);
                             }
                         }
+                        None => {
+                            // Dark shard: try to restore coverage so the
+                            // next probe doesn't pay the reconnect.
+                            let _ = shard.acquire();
+                        }
                     }
-                    // Sleep in small slices so shutdown stays prompt.
-                    let mut remaining = interval;
-                    while !flag.load(Ordering::Acquire) && remaining > Duration::ZERO {
-                        let step = remaining.min(Duration::from_millis(10));
-                        std::thread::sleep(step);
-                        remaining = remaining.saturating_sub(step);
-                    }
+                }
+                let (stopped, wakeup) = &*shared;
+                let guard = stopped.lock().unwrap_or_else(|p| p.into_inner());
+                let (guard, _) = wakeup
+                    .wait_timeout_while(guard, interval, |stop| !*stop)
+                    .unwrap_or_else(|p| p.into_inner());
+                if *guard {
+                    return;
                 }
             })
             .ok()?;
-        Some(Self { stop, handle: Some(handle) })
+        Some(Self { state, probes, handle: Some(handle) })
+    }
+
+    /// Shards visited by the health sweep so far.
+    fn probe_count(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
     }
 }
 
 impl Drop for HealthChecker {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
+        {
+            let (stopped, wakeup) = &*self.state;
+            *stopped.lock().unwrap_or_else(|p| p.into_inner()) = true;
+            wakeup.notify_all();
+        }
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
@@ -625,8 +644,8 @@ pub struct FederatedBackend {
     /// Persistent helper threads for per-probe shard fan-out; `None` when
     /// `workers == 1`.
     pool: Option<Arc<WorkerPool>>,
-    /// Keep-alive for the optional background health thread.
-    _health: Option<HealthChecker>,
+    /// The optional background health thread (joined on drop).
+    health: Option<HealthChecker>,
 }
 
 impl std::fmt::Debug for FederatedBackend {
@@ -715,7 +734,7 @@ impl FederatedBackend {
         let health = cfg
             .health_interval
             .and_then(|interval| HealthChecker::spawn(shards.clone(), interval));
-        Ok(Self { schema, len, shards, workers, pool, _health: health })
+        Ok(Self { schema, len, shards, workers, pool, health })
     }
 
     /// Number of shards in the fleet.
@@ -749,6 +768,14 @@ impl FederatedBackend {
     #[must_use]
     pub fn shard_health(&self) -> Vec<bool> {
         self.shards.iter().map(|s| s.snapshot().is_some()).collect()
+    }
+
+    /// Shards visited by the background health checker so far (0 when
+    /// [`FleetConfig::health_interval`] is off). One sweep over an
+    /// `n`-shard fleet adds `n`.
+    #[must_use]
+    pub fn health_probe_count(&self) -> u64 {
+        self.health.as_ref().map_or(0, HealthChecker::probe_count)
     }
 
     /// The address currently serving shard `i`, if any.
@@ -914,6 +941,20 @@ impl SearchBackend for FederatedBackend {
 
     fn len(&self) -> usize {
         self.len
+    }
+
+    fn fill_metrics(&self, snap: &mut MetricsSnapshot) {
+        snap.counters.insert("hdb_fed_failovers_total".into(), self.failover_count());
+        snap.counters.insert("hdb_fed_health_probe_total".into(), self.health_probe_count());
+        for (i, healthy) in self.shard_health().iter().enumerate() {
+            snap.gauges
+                .insert(format!("hdb_fed_shard_state{{shard=\"{i}\"}}"), u64::from(*healthy));
+        }
+        if let Some(pool) = &self.pool {
+            snap.counters.insert("hdb_pool_jobs_enqueued_total".into(), pool.jobs_enqueued());
+            snap.gauges
+                .insert("hdb_pool_queue_depth_high_water".into(), pool.queue_depth_high_water());
+        }
     }
 
     fn evaluate(&self, q: &Query, k: usize, ranking: &dyn RankingFunction) -> Result<Evaluation> {

@@ -23,6 +23,7 @@ use crate::backend::{EvalMode, SearchBackend, TableBackend};
 use crate::cache::ShardedMemo;
 use crate::counter::{OutcomeKind, QueryCounter};
 use crate::error::Result;
+use crate::obs::{Counter, Gauge, MetricsRegistry, MetricsSnapshot, TraceRing};
 use crate::query::Query;
 use crate::ranking::{RankingFunction, RowIdRanking};
 use crate::schema::Schema;
@@ -35,6 +36,50 @@ use crate::tuple::{Tuple, TupleId};
 /// (those few shallow tree nodes dominate top-k selection CPU).
 pub(crate) fn expensive_response(count: usize, k: usize) -> bool {
     count > k.saturating_mul(8)
+}
+
+/// The interface layer's observability handles, resolved once at
+/// construction so the hot path records through pre-bound atomics.
+/// Recording happens strictly after outcomes are computed, which is what
+/// keeps instrumentation bit-invisible (the obs-on/off equivalence
+/// proptest pins it).
+pub(crate) struct DbObs {
+    /// The registry every handle below resolves from; `HiddenDb::metrics`
+    /// snapshots it.
+    pub(crate) registry: MetricsRegistry,
+    /// Hot-response memo hits (expensive overflow pages served without
+    /// re-evaluation).
+    pub(crate) memo_response_hits: Counter,
+    /// Count-only memo hits (drill-down probes served without an
+    /// AND-count).
+    pub(crate) memo_count_hits: Counter,
+    /// Charged walk-session probes.
+    pub(crate) walk_probes: Counter,
+    /// Walk-session branch commitments.
+    pub(crate) walk_extends: Counter,
+    /// Walk-session retreats toward the root.
+    pub(crate) walk_retracts: Counter,
+    /// High-water mark of the walk scratch arena (retired states held for
+    /// buffer recycling).
+    pub(crate) walk_scratch_high: Gauge,
+    /// Span recorder for queries and walk probes — disabled unless
+    /// [`HiddenDb::with_trace`] installs a ring.
+    pub(crate) trace: TraceRing,
+}
+
+impl DbObs {
+    fn over(registry: MetricsRegistry) -> Self {
+        Self {
+            memo_response_hits: registry.counter("hdb_memo_response_hits_total"),
+            memo_count_hits: registry.counter("hdb_memo_count_hits_total"),
+            walk_probes: registry.counter("hdb_walk_probes_total"),
+            walk_extends: registry.counter("hdb_walk_extends_total"),
+            walk_retracts: registry.counter("hdb_walk_retracts_total"),
+            walk_scratch_high: registry.gauge("hdb_walk_scratch_high_water"),
+            trace: TraceRing::disabled(),
+            registry,
+        }
+    }
 }
 
 /// The accounting class of an outcome.
@@ -205,6 +250,10 @@ pub struct HiddenDb<B: SearchBackend = TableBackend> {
     /// How [`HiddenDb::walk_session`] evaluates drill-down probes
     /// (incremental count-only by default; see [`SessionMode`]).
     pub(crate) session: SessionMode,
+    /// Pre-resolved metric handles and the (opt-in) span ring. Enabled by
+    /// default; [`HiddenDb::with_metrics_disabled`] swaps in no-op
+    /// handles. Either way, results are bit-identical.
+    pub(crate) obs: DbObs,
 }
 
 impl HiddenDb<TableBackend> {
@@ -274,6 +323,7 @@ impl<B: SearchBackend> HiddenDb<B> {
             hot_responses: ShardedMemo::new(),
             hot_counts: ShardedMemo::new(),
             session: SessionMode::default(),
+            obs: DbObs::over(MetricsRegistry::new()),
         }
     }
 
@@ -308,6 +358,53 @@ impl<B: SearchBackend> HiddenDb<B> {
         self
     }
 
+    /// Strips the observability layer: every metric handle becomes a
+    /// no-op and [`HiddenDb::metrics`] reports only the query-cost
+    /// ledger. Outcomes are bit-identical either way (pinned by the
+    /// obs-on/off equivalence proptest); the `scale08_observability`
+    /// bench measures the difference in µs/probe.
+    #[must_use]
+    pub fn with_metrics_disabled(mut self) -> Self {
+        self.obs = DbObs::over(MetricsRegistry::disabled());
+        self
+    }
+
+    /// Installs a span [`TraceRing`] holding at most `capacity` events
+    /// (tracing is off by default — a ring push takes a mutex). Spans
+    /// cover issued queries and walk probes; timestamps are 0 (no clock),
+    /// so traces are deterministic.
+    #[must_use]
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.obs.trace = TraceRing::new(capacity);
+        self
+    }
+
+    /// The installed span ring (disabled unless [`HiddenDb::with_trace`]
+    /// was called).
+    #[must_use]
+    pub fn trace(&self) -> &TraceRing {
+        &self.obs.trace
+    }
+
+    /// An ordered snapshot of every metric this interface and its
+    /// backend stack expose: the query-cost ledger (always present, read
+    /// from the [`QueryCounter`] — `hdb_queries_issued_total` equals the
+    /// sum of the four outcome tallies), the interface-layer series
+    /// (memo hits, walk counters), and whatever the backend contributes
+    /// through [`SearchBackend::fill_metrics`].
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.obs.registry.snapshot();
+        let c = &self.counter;
+        snap.counters.insert("hdb_queries_issued_total".into(), c.issued());
+        snap.counters.insert("hdb_queries_underflow_total".into(), c.underflow_count());
+        snap.counters.insert("hdb_queries_valid_total".into(), c.valid_count());
+        snap.counters.insert("hdb_queries_overflow_total".into(), c.overflow_count());
+        snap.counters.insert("hdb_queries_errored_total".into(), c.errored_count());
+        self.backend.fill_metrics(&mut snap);
+        snap
+    }
+
     /// The physical backend (owner-side; estimators never see it).
     #[must_use]
     pub fn backend(&self) -> &B {
@@ -336,6 +433,7 @@ impl<B: SearchBackend> HiddenDb<B> {
         self.backend.round_trip();
         // Serve memoised expensive responses without re-evaluating.
         if let Some(hit) = self.hot_responses.get(q) {
+            self.obs.memo_response_hits.inc();
             return Ok(hit);
         }
         let eval = self.backend.evaluate(q, self.k, self.ranking.as_ref())?;
@@ -365,14 +463,17 @@ impl<B: SearchBackend> TopKInterface for HiddenDb<B> {
         // still cost the budget — the request went out on the wire, so the
         // site metered it. Tally it as an errored outcome so the ledger
         // keeps partitioning `issued` exactly.
+        let span = self.obs.trace.open("query", 0, 0);
         let outcome = match self.respond(q) {
             Ok(outcome) => outcome,
             Err(e) => {
                 self.counter.record_outcome(OutcomeKind::Errored);
+                self.obs.trace.close(span, "query", 0);
                 return Err(e);
             }
         };
         self.counter.record_outcome(outcome_kind(&outcome));
+        self.obs.trace.close(span, "query", 0);
         Ok(outcome)
     }
 

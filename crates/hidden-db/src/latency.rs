@@ -21,32 +21,10 @@ use std::time::Duration;
 
 use crate::backend::{Classified, Evaluation, SearchBackend, WalkState};
 use crate::error::Result;
+use crate::obs::{precise_wait, MetricsSnapshot};
 use crate::query::{Predicate, Query};
 use crate::ranking::RankingFunction;
 use crate::schema::{AttrId, Schema};
-
-/// Sleeps OS-timer granularity (plus scheduler wake-up) past the
-/// requested duration — `BENCH_scale04.json` recorded a 7× overshoot at
-/// loopback-scale latencies (~5 µs requested, ~35 µs paid). The slack on
-/// this kernel is well under 300 µs, so waits are split: a coarse
-/// `thread::sleep` up to `COARSE_MARGIN` short of the deadline, then a
-/// `yield_now` spin for the remainder. Calibrated range: waits of
-/// ≥ 1 µs land within a few µs of the request; waits below the margin
-/// skip the sleep entirely and spin-yield the whole way.
-fn precise_wait(d: Duration) {
-    // Wall-clock read, not simulated time: this *implements* the simulated
-    // delay, it never influences a query result (HDB-D02 allowlisted).
-    const COARSE_MARGIN: Duration = Duration::from_micros(300);
-    let start = std::time::Instant::now();
-    if let Some(coarse) = d.checked_sub(COARSE_MARGIN) {
-        if !coarse.is_zero() {
-            std::thread::sleep(coarse);
-        }
-    }
-    while start.elapsed() < d {
-        std::thread::yield_now();
-    }
-}
 
 /// Simulates a fixed per-query round-trip latency in front of any
 /// backend. Results are bit-identical to the wrapped backend's — only
@@ -138,6 +116,11 @@ impl<B: SearchBackend> SearchBackend for LatencyBackend<B> {
         // Nested wrappers (e.g. latency in front of a remote shard
         // gateway that itself simulates a hop) each charge their own leg.
         self.inner.round_trip();
+    }
+
+    fn fill_metrics(&self, snap: &mut MetricsSnapshot) {
+        snap.counters.insert("hdb_latency_round_trips_total".into(), self.round_trips());
+        self.inner.fill_metrics(snap);
     }
 
     fn exact_count(&self, q: &Query) -> Result<usize> {
@@ -255,20 +238,13 @@ mod tests {
     }
 
     #[test]
-    fn calibrated_wait_does_not_grossly_overshoot() {
-        // The defect this pins: plain `thread::sleep(5µs)` paid ~7× the
-        // request (BENCH_scale04.json, remote_vs_prediction 0.137). The
-        // calibrated wait must stay within a generous 3× at a latency an
-        // order of magnitude above loopback. Bounded loosely so a noisy
-        // CI scheduler cannot flake it.
-        let d = Duration::from_micros(200);
-        let start = std::time::Instant::now();
-        for _ in 0..8 {
-            precise_wait(d);
-        }
-        let elapsed = start.elapsed();
-        assert!(elapsed >= d * 8, "waits must never undershoot: {elapsed:?}");
-        assert!(elapsed < d * 8 * 3, "7×-overshoot defect is back: {elapsed:?}");
+    fn round_trips_reach_the_metrics_snapshot() {
+        let remote = LatencyBackend::new(backend(), Duration::ZERO);
+        remote.round_trip();
+        remote.round_trip();
+        let mut snap = MetricsSnapshot::default();
+        remote.fill_metrics(&mut snap);
+        assert_eq!(snap.counters["hdb_latency_round_trips_total"], 2);
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod federated;
 pub mod index;
 pub mod interface;
 pub mod latency;
+pub mod obs;
 pub mod par;
 pub mod query;
 pub mod ranking;
@@ -87,6 +88,10 @@ pub use index::{Selection, TableIndex};
 pub use interface::{HiddenDb, QueryOutcome, ReturnedTuple, TopKInterface};
 pub use session::{ClassifiedOutcome, SessionMode, WalkSession};
 pub use latency::LatencyBackend;
+pub use obs::{
+    Clock, Counter, Gauge, Histogram, HistogramSnapshot, ManualClock, MetricsRegistry,
+    MetricsSnapshot, SpanEvent, SpanPhase, TraceRing, WallClock,
+};
 pub use par::WorkerPool;
 pub use query::{Predicate, Query};
 pub use ranking::{AttributeRanking, RankingFunction, RankingSpec, RowIdRanking, SeededRandomRanking};

@@ -1,0 +1,508 @@
+//! [`MetricsRegistry`]: named lock-free counters, gauges, and log2
+//! histograms snapshotting into an ordered [`MetricsSnapshot`].
+//!
+//! Design rules (the bit-invisibility contract):
+//!
+//! * **Handles, not names, on the hot path.** Components resolve a
+//!   [`Counter`] / [`Gauge`] / [`Histogram`] handle once at construction
+//!   time (a mutex-guarded `BTreeMap` lookup) and record through it with
+//!   relaxed atomic ops — no locking, no allocation, no string hashing
+//!   per event.
+//! * **Disabled is free and identical.** A registry built with
+//!   [`MetricsRegistry::disabled`] hands out no-op handles (`None`
+//!   inside); recording through them is a branch on an `Option`. Results
+//!   never depend on which variant is live because recording happens
+//!   strictly after outcomes are computed.
+//! * **Ordered snapshots.** [`MetricsSnapshot`] uses `BTreeMap`
+//!   throughout (HDB-D01), so wire encodings and Prometheus scrapes are
+//!   byte-stable for a given set of values.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: bucket `i < HISTOGRAM_BUCKETS - 1` holds
+/// values `v ≤ 2^i`; the last bucket is the overflow (`+Inf`) bucket.
+/// 40 buckets cover one nanosecond to ~9 minutes in nanoseconds.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// The bucket index a value lands in: `0` for `v ≤ 1`, otherwise
+/// `ceil(log2(v))`, clamped into the overflow bucket.
+#[must_use]
+pub fn bucket_of(value: u64) -> usize {
+    if value <= 1 {
+        0
+    } else {
+        let ceil_log2 = (u64::BITS - (value - 1).leading_zeros()) as usize;
+        ceil_log2.min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// The inclusive upper bound of bucket `i` (`2^i`), or `None` for the
+/// overflow bucket.
+#[must_use]
+pub fn bucket_le(i: usize) -> Option<u64> {
+    (i < HISTOGRAM_BUCKETS - 1).then(|| 1u64 << i)
+}
+
+/// The shared cells behind one histogram series.
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistogramCells {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A monotonically increasing event tally. Cheap to clone (shares the
+/// cell); a default-constructed counter is a no-op.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A no-op counter (what a disabled registry hands out).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a disabled counter).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A settable level (queue depth, session count, high-water mark). A
+/// default-constructed gauge is a no-op.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A no-op gauge (what a disabled registry hands out).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// Sets the level.
+    pub fn set(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the level to `v` if `v` is higher (high-water marks).
+    pub fn record_max(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current level (0 for a disabled gauge).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket log2 histogram of `u64` observations (latencies in
+/// nanoseconds, batch sizes, …). A default-constructed histogram is a
+/// no-op; [`Histogram::standalone`] makes one not tied to any registry
+/// (the storage layer's latency series, merged into snapshots by
+/// `fill_metrics`).
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Arc<HistogramCells>>);
+
+impl Histogram {
+    /// A no-op histogram (what a disabled registry hands out).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// A live histogram owned by the caller rather than a registry.
+    #[must_use]
+    pub fn standalone() -> Self {
+        Self(Some(Arc::new(HistogramCells::new())))
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        if let Some(cells) = &self.0 {
+            cells.observe(value);
+        }
+    }
+
+    /// Snapshot of the cells, or `None` when disabled.
+    #[must_use]
+    pub fn snapshot(&self) -> Option<HistogramSnapshot> {
+        self.0.as_ref().map(|cells| cells.snapshot())
+    }
+}
+
+/// Point-in-time values of one histogram series.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (`buckets[i]` = observations landing in bucket
+    /// `i`, non-cumulative; see [`bucket_of`]).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+/// The registry's shared state: name → cell maps, mutated only at handle
+/// resolution time (component construction), never on the record path.
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCells>>>,
+}
+
+/// A named collection of metric series. Clones share the same series
+/// (handing a registry to a component means its metrics land in the
+/// owner's snapshot); resolving the same name twice returns handles on
+/// the same cell.
+#[derive(Clone, Debug)]
+pub struct MetricsRegistry {
+    inner: Option<Arc<RegistryInner>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// Poison recovery throughout: the name → cell maps carry no cross-field
+// invariant (worst case a handle resolves to a freshly inserted cell), so
+// a panicked holder leaves them fully usable.
+fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl MetricsRegistry {
+    /// A live registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { inner: Some(Arc::new(RegistryInner::default())) }
+    }
+
+    /// A disabled registry: every handle it resolves is a no-op and
+    /// [`MetricsRegistry::snapshot`] is empty. Used to prove
+    /// bit-invisibility (and by benches measuring instrumentation
+    /// overhead).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether this registry records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Resolves (registering on first use) the counter `name`.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.inner.as_ref().map(|inner| {
+            Arc::clone(locked(&inner.counters).entry(name.to_string()).or_default())
+        }))
+    }
+
+    /// Resolves (registering on first use) the gauge `name`.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.inner.as_ref().map(|inner| {
+            Arc::clone(locked(&inner.gauges).entry(name.to_string()).or_default())
+        }))
+    }
+
+    /// Resolves (registering on first use) the histogram `name`.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram(self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                locked(&inner.histograms)
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(HistogramCells::new())),
+            )
+        }))
+    }
+
+    /// An ordered snapshot of every registered series.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        if let Some(inner) = &self.inner {
+            for (name, cell) in locked(&inner.counters).iter() {
+                snap.counters.insert(name.clone(), cell.load(Ordering::Relaxed));
+            }
+            for (name, cell) in locked(&inner.gauges).iter() {
+                snap.gauges.insert(name.clone(), cell.load(Ordering::Relaxed));
+            }
+            for (name, cells) in locked(&inner.histograms).iter() {
+                snap.histograms.insert(name.clone(), cells.snapshot());
+            }
+        }
+        snap
+    }
+}
+
+/// An ordered point-in-time view of a metric set — what crosses the wire
+/// in a `Stats` response and what the Prometheus endpoint renders.
+///
+/// Series names may carry Prometheus-style labels
+/// (`hdb_fed_shard_state{shard="0"}`) on counters and gauges; histogram
+/// names must be label-free (the renderer splices `_bucket` suffixes).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Monotonic tallies, by series name.
+    pub counters: BTreeMap<String, u64>,
+    /// Levels and high-water marks, by series name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Log2 histograms, by series name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// The series name with any `{label}` suffix stripped — what `# TYPE`
+/// lines declare.
+fn base_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+impl MetricsSnapshot {
+    /// Folds `other` into `self`: counters and histogram cells add,
+    /// gauges overwrite (`other` wins). This is how a layered stack
+    /// (interface registry + backend-reported series) becomes one
+    /// snapshot.
+    pub fn merge(&mut self, other: MetricsSnapshot) {
+        for (name, v) in other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, v) in other.gauges {
+            self.gauges.insert(name, v);
+        }
+        for (name, h) in other.histograms {
+            let slot = self.histograms.entry(name).or_default();
+            slot.buckets.resize(h.buckets.len().max(slot.buckets.len()), 0);
+            for (i, b) in h.buckets.iter().enumerate() {
+                slot.buckets[i] += b;
+            }
+            slot.count += h.count;
+            slot.sum += h.sum;
+        }
+    }
+
+    /// Renders Prometheus text exposition (version 0.0.4): `# TYPE`
+    /// declarations, one sample line per series, histograms expanded into
+    /// cumulative `_bucket{le=…}` / `_sum` / `_count` families.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_type: Option<String> = None;
+        let mut declare = |out: &mut String, name: &str, kind: &str| {
+            let base = base_name(name);
+            if last_type.as_deref() != Some(base) {
+                let _ = writeln!(out, "# TYPE {base} {kind}");
+                last_type = Some(base.to_string());
+            }
+        };
+        for (name, v) in &self.counters {
+            declare(&mut out, name, "counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            declare(&mut out, name, "gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            declare(&mut out, name, "histogram");
+            let mut cumulative = 0u64;
+            for (i, b) in h.buckets.iter().enumerate() {
+                cumulative += b;
+                match bucket_le(i) {
+                    Some(le) => {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // Bucket 0 is the v ≤ 1 bucket.
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        // Each power of two lands in the bucket whose `le` equals it
+        // (bucket i covers (2^(i-1), 2^i]): the value just below the
+        // boundary shares the bucket, the previous boundary sits one
+        // bucket down, and the next value crosses into the following one.
+        for i in 1..(HISTOGRAM_BUCKETS - 1) {
+            let le = 1u64 << i;
+            assert_eq!(bucket_of(le), i, "le boundary 2^{i} is inclusive");
+            assert_eq!(bucket_of(le - 1), if le - 1 <= 1 { 0 } else { i });
+            assert_eq!(bucket_of(le / 2), i - 1, "previous boundary 2^{i}/2");
+            assert_eq!(bucket_of(le + 1), (i + 1).min(HISTOGRAM_BUCKETS - 1));
+        }
+        // Everything past the last finite bound clamps into the overflow
+        // bucket.
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_le(0), Some(1));
+        assert_eq!(bucket_le(3), Some(8));
+        assert_eq!(bucket_le(HISTOGRAM_BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn histogram_observes_into_the_documented_buckets() {
+        let h = Histogram::standalone();
+        for v in [0u64, 1, 2, 3, 4, 5, 1024, u64::MAX] {
+            h.observe(v);
+        }
+        let snap = h.snapshot().unwrap();
+        assert_eq!(snap.count, 8);
+        assert_eq!(snap.sum, 0u64.wrapping_add(1 + 2 + 3 + 4 + 5 + 1024).wrapping_add(u64::MAX));
+        assert_eq!(snap.buckets[0], 2); // 0, 1
+        assert_eq!(snap.buckets[1], 1); // 2
+        assert_eq!(snap.buckets[2], 2); // 3, 4
+        assert_eq!(snap.buckets[3], 1); // 5
+        assert_eq!(snap.buckets[10], 1); // 1024 = 2^10
+        assert_eq!(snap.buckets[HISTOGRAM_BUCKETS - 1], 1); // u64::MAX
+    }
+
+    #[test]
+    fn disabled_handles_record_nothing() {
+        let reg = MetricsRegistry::disabled();
+        assert!(!reg.is_enabled());
+        let c = reg.counter("c");
+        let g = reg.gauge("g");
+        let h = reg.histogram("h");
+        c.inc();
+        g.set(7);
+        g.record_max(9);
+        h.observe(42);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+        assert!(h.snapshot().is_none());
+        assert_eq!(reg.snapshot(), MetricsSnapshot::default());
+        // Explicit no-op handles behave the same.
+        Counter::disabled().inc();
+        Gauge::disabled().set(1);
+        Histogram::disabled().observe(1);
+    }
+
+    #[test]
+    fn handles_share_series_by_name() {
+        let reg = MetricsRegistry::new();
+        assert!(reg.is_enabled());
+        let a = reg.counter("hdb_x_total");
+        let b = reg.counter("hdb_x_total");
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        let g = reg.gauge("hdb_depth");
+        g.record_max(5);
+        g.record_max(3);
+        assert_eq!(reg.gauge("hdb_depth").get(), 5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["hdb_x_total"], 3);
+        assert_eq!(snap.gauges["hdb_depth"], 5);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms_and_overwrites_gauges() {
+        let mut a = MetricsSnapshot::default();
+        a.counters.insert("c".into(), 1);
+        a.gauges.insert("g".into(), 10);
+        let reg = MetricsRegistry::new();
+        reg.histogram("h").observe(3);
+        let mut snap = reg.snapshot();
+        snap.merge(a.clone());
+        snap.merge(a);
+        assert_eq!(snap.counters["c"], 2);
+        assert_eq!(snap.gauges["g"], 10);
+        assert_eq!(snap.histograms["h"].count, 1);
+        let mut other = MetricsSnapshot::default();
+        other.histograms.insert("h".into(), reg.snapshot().histograms["h"].clone());
+        snap.merge(other);
+        assert_eq!(snap.histograms["h"].count, 2);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_ordered_and_typed() {
+        let reg = MetricsRegistry::new();
+        reg.counter("hdb_queries_issued_total").add(4);
+        reg.counter("hdb_queries_valid_total").add(4);
+        reg.gauge("hdb_fed_shard_state{shard=\"0\"}").set(1);
+        reg.gauge("hdb_fed_shard_state{shard=\"1\"}").set(0);
+        let h = reg.histogram("hdb_wal_fsync_nanos");
+        h.observe(1);
+        h.observe(3);
+        let text = reg.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE hdb_queries_issued_total counter\n"));
+        assert!(text.contains("hdb_queries_issued_total 4\n"));
+        // One TYPE line covers both labelled shard_state samples.
+        assert_eq!(text.matches("# TYPE hdb_fed_shard_state gauge").count(), 1);
+        assert!(text.contains("hdb_fed_shard_state{shard=\"0\"} 1\n"));
+        assert!(text.contains("hdb_fed_shard_state{shard=\"1\"} 0\n"));
+        assert!(text.contains("# TYPE hdb_wal_fsync_nanos histogram\n"));
+        assert!(text.contains("hdb_wal_fsync_nanos_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("hdb_wal_fsync_nanos_bucket{le=\"2\"} 1\n"));
+        assert!(text.contains("hdb_wal_fsync_nanos_bucket{le=\"4\"} 2\n"));
+        assert!(text.contains("hdb_wal_fsync_nanos_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("hdb_wal_fsync_nanos_sum 4\n"));
+        assert!(text.contains("hdb_wal_fsync_nanos_count 2\n"));
+    }
+}

@@ -1,0 +1,227 @@
+//! [`TraceRing`]: a bounded ring buffer of structured span events.
+//!
+//! Metrics aggregate; traces explain. A span is an open/close event pair
+//! sharing an id, with an optional parent id — enough structure to
+//! reconstruct, after the fact, that *this* WAL append happened inside
+//! *that* walk probe inside *that* estimation pass. The ring is bounded:
+//! old events fall off the front (counted in
+//! [`TraceRing::dropped`]), so a long-running server never grows
+//! unboundedly for the sake of diagnostics.
+//!
+//! Determinism: event timestamps come from whatever [`Clock`](
+//! crate::obs::Clock) the owning component holds — `0` on every event
+//! when it holds none, which is the deterministic default. Ids are a
+//! per-ring sequence starting at 1 (`0` means "no span": the return value
+//! of recording into a disabled ring, and the parent id of a root span).
+//! Recording takes a mutex, so tracing is **off by default** and opted
+//! into per component — unlike metric counters, which are cheap enough to
+//! leave on everywhere.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Whether a [`SpanEvent`] opens or closes its span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanPhase {
+    /// The span started.
+    Open,
+    /// The span finished.
+    Close,
+}
+
+/// One recorded span boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// The span's id (unique per ring, starting at 1).
+    pub id: u64,
+    /// The enclosing span's id, or 0 for a root span.
+    pub parent: u64,
+    /// What the span is (static label, e.g. `"walk_probe"`).
+    pub label: &'static str,
+    /// Open or close.
+    pub phase: SpanPhase,
+    /// Clock reading at the boundary (0 when the owner has no clock).
+    pub at_nanos: u64,
+}
+
+/// The shared state behind an enabled ring.
+#[derive(Debug)]
+struct RingInner {
+    capacity: usize,
+    events: Mutex<VecDeque<SpanEvent>>,
+    next_id: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl RingInner {
+    fn push(&self, ev: SpanEvent) {
+        // Poison recovery: the deque carries no cross-field invariant, so
+        // a panicked holder leaves it usable — recover, don't unwind.
+        let mut events = self.events.lock().unwrap_or_else(|p| p.into_inner());
+        if events.len() == self.capacity {
+            events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(ev);
+    }
+}
+
+/// A bounded, shareable span recorder. Clones share the same ring. A
+/// default-constructed ring is disabled: recording is a no-op returning
+/// span id 0.
+#[derive(Clone, Debug, Default)]
+pub struct TraceRing {
+    inner: Option<Arc<RingInner>>,
+}
+
+impl TraceRing {
+    /// An enabled ring holding at most `capacity` events (clamped to at
+    /// least 2, one open/close pair).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Some(Arc::new(RingInner {
+                capacity: capacity.max(2),
+                events: Mutex::new(VecDeque::new()),
+                next_id: AtomicU64::new(1),
+                dropped: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// A disabled ring: every operation is a no-op.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether events are being recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records a span open under `parent` (0 for a root span) and returns
+    /// the new span's id — 0 when the ring is disabled, which is in turn
+    /// a valid `parent` / [`TraceRing::close`] argument, so call sites
+    /// need no enabled-check of their own.
+    pub fn open(&self, label: &'static str, parent: u64, at_nanos: u64) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        inner.push(SpanEvent { id, parent, label, phase: SpanPhase::Open, at_nanos });
+        id
+    }
+
+    /// Records the close of span `id` (no-op for id 0 or a disabled
+    /// ring).
+    pub fn close(&self, id: u64, label: &'static str, at_nanos: u64) {
+        let Some(inner) = &self.inner else { return };
+        if id == 0 {
+            return;
+        }
+        inner.push(SpanEvent { id, parent: 0, label, phase: SpanPhase::Close, at_nanos });
+    }
+
+    /// The retained events, oldest first (empty for a disabled ring).
+    #[must_use]
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.inner.as_ref().map_or_else(Vec::new, |inner| {
+            inner.events.lock().unwrap_or_else(|p| p.into_inner()).iter().cloned().collect()
+        })
+    }
+
+    /// Retained event count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.events.lock().unwrap_or_else(|p| p.into_inner()).len())
+    }
+
+    /// Whether no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted by the bound so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| inner.dropped.load(Ordering::Relaxed))
+    }
+
+    /// The ring's capacity (0 for a disabled ring).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.inner.as_ref().map_or(0, |inner| inner.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_by_parent_id() {
+        let ring = TraceRing::new(16);
+        assert!(ring.is_enabled());
+        let pass = ring.open("engine_pass", 0, 10);
+        let probe = ring.open("walk_probe", pass, 20);
+        ring.close(probe, "walk_probe", 30);
+        ring.close(pass, "engine_pass", 40);
+        let evs = ring.events();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[0].id, pass);
+        assert_eq!(evs[0].parent, 0);
+        assert_eq!(evs[0].phase, SpanPhase::Open);
+        assert_eq!(evs[1].parent, pass);
+        assert_eq!(evs[1].label, "walk_probe");
+        assert_eq!(evs[2], SpanEvent {
+            id: probe,
+            parent: 0,
+            label: "walk_probe",
+            phase: SpanPhase::Close,
+            at_nanos: 30,
+        });
+        assert_eq!(evs[3].at_nanos, 40);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn the_ring_is_bounded_and_counts_evictions() {
+        let ring = TraceRing::new(4);
+        assert_eq!(ring.capacity(), 4);
+        for i in 0..6 {
+            ring.open("ev", 0, i);
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 2);
+        // Oldest fell off: the first retained event is the third opened.
+        assert_eq!(ring.events()[0].at_nanos, 2);
+        assert!(!ring.is_empty());
+    }
+
+    #[test]
+    fn disabled_ring_is_a_total_no_op() {
+        let ring = TraceRing::disabled();
+        assert!(!ring.is_enabled());
+        let id = ring.open("x", 0, 1);
+        assert_eq!(id, 0);
+        ring.close(id, "x", 2);
+        assert!(ring.events().is_empty());
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.capacity(), 0);
+        assert_eq!(TraceRing::default().open("x", 0, 0), 0);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_a_pair() {
+        let ring = TraceRing::new(0);
+        assert_eq!(ring.capacity(), 2);
+        let a = ring.open("a", 0, 0);
+        ring.close(a, "a", 1);
+        assert_eq!(ring.len(), 2);
+    }
+}

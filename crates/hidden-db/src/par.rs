@@ -190,6 +190,10 @@ struct PoolQueue {
 struct PoolInner {
     queue: Mutex<PoolQueue>,
     available: Condvar,
+    /// Jobs accepted onto the queue so far (telemetry).
+    enqueued: AtomicU64,
+    /// Deepest the queue has ever been (telemetry).
+    depth_high: AtomicU64,
 }
 
 /// A pointer to a [`RunCtx`] with its type erased, handed to pool helper
@@ -264,6 +268,8 @@ impl WorkerPool {
         let inner = Arc::new(PoolInner {
             queue: Mutex::new(PoolQueue { jobs: VecDeque::new(), shutdown: false }),
             available: Condvar::new(),
+            enqueued: AtomicU64::new(0),
+            depth_high: AtomicU64::new(0),
         });
         let handles = (0..threads)
             .map(|_| {
@@ -292,6 +298,21 @@ impl WorkerPool {
     #[must_use]
     pub fn threads(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Jobs accepted onto the queue so far (telemetry; scoped fan-out
+    /// helper jobs included).
+    #[must_use]
+    pub fn jobs_enqueued(&self) -> u64 {
+        self.inner.enqueued.load(Ordering::Relaxed)
+    }
+
+    /// The deepest the job queue has ever been (telemetry) — sustained
+    /// growth here means the pool is under-provisioned for its offered
+    /// load.
+    #[must_use]
+    pub fn queue_depth_high_water(&self) -> u64 {
+        self.inner.depth_high.load(Ordering::Relaxed)
     }
 
     /// Enqueues an owned job; some pool thread runs it eventually. Jobs
@@ -403,7 +424,10 @@ fn enqueue(inner: &PoolInner, job: Job) {
         return; // racing a drop: the job is discarded, like the rest of the queue
     }
     q.jobs.push_back(job);
+    let depth = q.jobs.len() as u64;
     drop(q);
+    inner.enqueued.fetch_add(1, Ordering::Relaxed);
+    inner.depth_high.fetch_max(depth, Ordering::Relaxed);
     inner.available.notify_one();
 }
 
@@ -522,6 +546,8 @@ mod tests {
         let mut got: Vec<u64> = (0..64).map(|_| rx.recv().expect("job ran")).collect();
         got.sort_unstable();
         assert_eq!(got, (0..64).collect::<Vec<_>>());
+        assert_eq!(pool.jobs_enqueued(), 64);
+        assert!(pool.queue_depth_high_water() >= 1);
     }
 
     #[test]

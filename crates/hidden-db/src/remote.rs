@@ -46,6 +46,7 @@ use std::time::Duration;
 
 use crate::backend::{Classified, Evaluation, SearchBackend, WalkState};
 use crate::error::{HdbError, Result};
+use crate::obs::MetricsSnapshot;
 use crate::query::{Predicate, Query};
 use crate::ranking::{RankingFunction, RankingSpec};
 use crate::schema::{AttrId, Schema};
@@ -69,6 +70,9 @@ struct ClientCore {
     /// Wire exchanges performed (one per request frame sent, batches
     /// included) — the round-trip economics evidence.
     requests: AtomicU64,
+    /// Exchanges re-sent on a fresh socket after a pooled connection
+    /// turned out stale. Every retry is also counted in `requests`.
+    retries: AtomicU64,
 }
 
 impl ClientCore {
@@ -144,6 +148,7 @@ impl ClientCore {
                 return Ok(resp);
             }
             // stale pooled connection: drop it and retry fresh below
+            self.retries.fetch_add(1, Ordering::Relaxed);
         }
         let mut stream = self.open()?;
         let resp = self.roundtrip(&mut stream, req)?;
@@ -182,7 +187,10 @@ impl ClientCore {
                     return Ok(resps);
                 }
                 Err(e) if !replayable => return Err(e),
-                Err(_) => {} // stale pooled connection: retry fresh below
+                Err(_) => {
+                    // stale pooled connection: retry fresh below
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         let mut stream = self.open()?;
@@ -385,6 +393,7 @@ impl RemoteBackend {
             max_idle: max_idle.max(1),
             io_timeout,
             requests: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
         });
         match ok_or_err(core.request(&Request::Hello { version: PROTOCOL_VERSION })?)? {
             Response::Hello { version } if version == PROTOCOL_VERSION => {}
@@ -426,6 +435,30 @@ impl RemoteBackend {
     #[must_use]
     pub fn requests_sent(&self) -> u64 {
         self.core.requests.load(Ordering::Relaxed)
+    }
+
+    /// Exchanges that were re-sent on a fresh socket after a pooled
+    /// connection turned out stale. Retries are replay-gated (see the
+    /// module docs) and each one is also counted in
+    /// [`RemoteBackend::requests_sent`].
+    #[must_use]
+    pub fn retries_sent(&self) -> u64 {
+        self.core.retries.load(Ordering::Relaxed)
+    }
+
+    /// Fetches the **server's** metrics snapshot over the wire
+    /// ([`Request::Stats`]) — the same series its Prometheus endpoint
+    /// renders, so a client can audit the server-side query ledger
+    /// without scraping a second port.
+    ///
+    /// # Errors
+    /// [`HdbError::Transport`] when the exchange fails or the server
+    /// answers with anything but a snapshot.
+    pub fn server_stats(&self) -> Result<MetricsSnapshot> {
+        match ok_or_err(self.core.request(&Request::Stats)?)? {
+            Response::Stats(snap) => Ok(snap),
+            other => Err(unexpected("Stats", &other)),
+        }
     }
 
     /// One cheap request/response round trip ([`Request::Len`]) proving
@@ -559,6 +592,11 @@ impl SearchBackend for RemoteBackend {
             Response::Evaluation(ev) => Ok(ev),
             other => Err(unexpected("Evaluation", &other)),
         }
+    }
+
+    fn fill_metrics(&self, snap: &mut MetricsSnapshot) {
+        snap.counters.insert("hdb_remote_requests_total".into(), self.requests_sent());
+        snap.counters.insert("hdb_remote_retries_total".into(), self.retries_sent());
     }
 
     fn exact_count(&self, q: &Query) -> Result<usize> {

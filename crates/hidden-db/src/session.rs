@@ -337,6 +337,7 @@ impl<B: SearchBackend> DbCore<'_, B> {
     /// `HiddenDb::respond` computes for a fresh issue of `child`.
     fn respond_full(&self, child: &Query, pred: Predicate, k: usize) -> Result<QueryOutcome> {
         if let Some(hit) = self.db.hot_responses.get(child) {
+            self.db.obs.memo_response_hits.inc();
             return Ok(hit);
         }
         let eval = self
@@ -358,30 +359,37 @@ impl<B: SearchBackend> SessionCore for DbCore<'_, B> {
         // One round trip per issued query, memo hit or not — exactly the
         // fresh path's contract.
         self.db.backend.round_trip();
+        let span = self.db.obs.trace.open("walk_probe", 0, 0);
         let outcome = match self.respond_full(child, pred, k) {
             Ok(outcome) => outcome,
             Err(e) => {
                 // Charged and sent, but no outcome class came back: the
                 // budget is spent either way, so tally the failure.
                 self.db.counter.record_outcome(OutcomeKind::Errored);
+                self.db.obs.trace.close(span, "walk_probe", 0);
                 return Err(e);
             }
         };
         self.db.counter.record_outcome(outcome_kind(&outcome));
+        self.db.obs.walk_probes.inc();
+        self.db.obs.trace.close(span, "walk_probe", 0);
         Ok(outcome)
     }
 
     fn classify(&mut self, child: &Query, pred: Predicate, k: usize) -> Result<ClassifiedOutcome> {
         self.db.counter.charge()?;
         self.db.backend.round_trip();
+        let span = self.db.obs.trace.open("walk_probe", 0, 0);
         let computed = (|| if let Some(hit) = self.db.hot_responses.get(child) {
             // Memoised responses are served exactly as to a fresh query.
+            self.db.obs.memo_response_hits.inc();
             Ok(ClassifiedOutcome::from_outcome(hit))
         } else if self.materialize {
             Ok(ClassifiedOutcome::from_outcome(self.respond_full(child, pred, k)?))
         } else if let Some(hit) = self.db.hot_counts.get(child) {
             // A repeated count-only probe of an expensive node: served
             // from the count memo, charged like any other memo hit.
+            self.db.obs.memo_count_hits.inc();
             Ok(hit)
         } else {
             // Count-only: one AND-count pass; valid pages (≤ k tuples,
@@ -409,10 +417,13 @@ impl<B: SearchBackend> SessionCore for DbCore<'_, B> {
                 // Charged and sent, but the response failed: tally the
                 // spent budget as an errored outcome.
                 self.db.counter.record_outcome(OutcomeKind::Errored);
+                self.db.obs.trace.close(span, "walk_probe", 0);
                 return Err(e);
             }
         };
         self.db.counter.record_outcome(out.kind());
+        self.db.obs.walk_probes.inc();
+        self.db.obs.trace.close(span, "walk_probe", 0);
         Ok(out)
     }
 
@@ -420,11 +431,14 @@ impl<B: SearchBackend> SessionCore for DbCore<'_, B> {
         let recycled = self.spare.pop().unwrap_or_default();
         let state = self.db.backend.extend_state(self.parent(), child, pred, recycled);
         self.states.push(state);
+        self.db.obs.walk_extends.inc();
     }
 
     fn retract(&mut self) {
         let retired = self.states.pop().expect("retract below session root");
         self.spare.push(retired);
+        self.db.obs.walk_retracts.inc();
+        self.db.obs.walk_scratch_high.record_max(self.spare.len() as u64);
     }
 }
 

@@ -296,6 +296,14 @@ impl SearchBackend for ShardedDb {
         self.rows
     }
 
+    fn fill_metrics(&self, snap: &mut crate::obs::MetricsSnapshot) {
+        if let Some(pool) = &self.pool {
+            snap.counters.insert("hdb_pool_jobs_enqueued_total".into(), pool.jobs_enqueued());
+            snap.gauges
+                .insert("hdb_pool_queue_depth_high_water".into(), pool.queue_depth_high_water());
+        }
+    }
+
     fn evaluate(&self, q: &Query, k: usize, ranking: &dyn RankingFunction) -> Result<Evaluation> {
         let partials = self.partials(q, k, ranking);
         Ok(self.merge(partials, k, ranking))

@@ -33,16 +33,27 @@
 //! The wrapper tags every state it hands out with the store's ingest
 //! *generation*; a state from an older generation is never fed to the
 //! inner backend — the probe falls back to fresh evaluation, which is
-//! bit-identical by the [`SearchBackend`] contract. (The WAL is never
-//! compacted by this layer; snapshots only move the replay base
-//! forward.)
+//! bit-identical by the [`SearchBackend`] contract.
+//!
+//! ## WAL compaction
+//!
+//! A successful snapshot **compacts** the WAL: every record is covered
+//! by the snapshot just published, so the log restarts empty and
+//! snapshots older than the new base are pruned. Every crash window in
+//! that sequence recovers: before the rename publishes the snapshot,
+//! the old snapshot + full WAL still replay to the same state; between
+//! the rename and the WAL reset, recovery replays only records with
+//! `seq ≥` the new base (zero of them — all covered); and a WAL left
+//! fully covered but unreset is reset idempotently on the next open.
 
 use std::collections::BTreeSet;
 use std::path::Path;
-use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::backend::{Classified, Evaluation, SearchBackend, TableBackend, WalkState};
 use crate::error::{HdbError, Result};
+use crate::obs::{Clock, Histogram, MetricsSnapshot};
 use crate::query::{Predicate, Query};
 use crate::ranking::RankingFunction;
 use crate::schema::{AttrId, Schema};
@@ -103,11 +114,58 @@ struct StoreState {
     read_only: Option<String>,
 }
 
+/// Deterministic storage observability: standalone series (a store may
+/// outlive any registry) exported through
+/// [`SearchBackend::fill_metrics`]. The latency histograms record only
+/// when a [`Clock`] is installed ([`PersistentBackend::with_clock`] /
+/// [`PersistentBackend::open_with_clock`]); without one the store never
+/// reads a clock, so by default nothing time-derived exists to leak into
+/// results.
+struct StorageObs {
+    appends: AtomicU64,
+    fsyncs: AtomicU64,
+    compactions: AtomicU64,
+    reclaimed_bytes: AtomicU64,
+    recovery_nanos: AtomicU64,
+    append_nanos: Histogram,
+    fsync_nanos: Histogram,
+    clock: Option<Arc<dyn Clock>>,
+}
+
+impl StorageObs {
+    fn new() -> Self {
+        Self {
+            appends: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            reclaimed_bytes: AtomicU64::new(0),
+            recovery_nanos: AtomicU64::new(0),
+            append_nanos: Histogram::standalone(),
+            fsync_nanos: Histogram::standalone(),
+            clock: None,
+        }
+    }
+
+    /// The installed clock's reading, or `None` (record no timing).
+    fn now(&self) -> Option<u64> {
+        self.clock.as_ref().map(|c| c.now_nanos())
+    }
+
+    /// Observes `now - started` into `series` when a start reading was
+    /// taken (i.e. a clock is installed).
+    fn elapsed_into(&self, series: &Histogram, started: Option<u64>) {
+        if let Some(t0) = started {
+            series.observe(self.now().unwrap_or(t0).saturating_sub(t0));
+        }
+    }
+}
+
 /// A crash-safe, WAL-backed [`SearchBackend`] over an injectable
 /// [`StorageIo`].
 pub struct PersistentBackend {
     io: Box<dyn StorageIo>,
     policy: SyncPolicy,
+    obs: StorageObs,
     /// Immutable for the store's lifetime (the WAL has no schema-change
     /// record), so it can be served by reference per the
     /// [`SearchBackend::schema`] contract.
@@ -173,6 +231,7 @@ impl PersistentBackend {
         Ok(Self {
             io,
             policy,
+            obs: StorageObs::new(),
             schema,
             restored: SessionDump::default(),
             recovery: RecoveryReport::default(),
@@ -195,8 +254,8 @@ impl PersistentBackend {
         let mut report = RecoveryReport::default();
 
         // Newest snapshot that validates wins; damaged ones are skipped,
-        // not fatal — the WAL is never compacted, so any older snapshot
-        // still reaches the same state.
+        // not fatal — until the first compaction prunes them, an older
+        // snapshot plus the not-yet-compacted WAL reaches the same state.
         let mut candidates: Vec<(u64, String)> = io
             .list()?
             .into_iter()
@@ -318,6 +377,7 @@ impl PersistentBackend {
         Ok(Self {
             io,
             policy,
+            obs: StorageObs::new(),
             schema,
             restored: snap.sessions,
             recovery: report,
@@ -330,6 +390,32 @@ impl PersistentBackend {
                 read_only,
             }),
         })
+    }
+
+    /// [`PersistentBackend::open_with`], timing recovery on `clock` and
+    /// installing it for WAL latency histograms. The clock feeds only
+    /// the metrics surface; recovered state is bit-identical either way.
+    ///
+    /// # Errors
+    /// As [`PersistentBackend::open_with`].
+    pub fn open_with_clock(
+        io: Box<dyn StorageIo>,
+        policy: SyncPolicy,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self> {
+        let t0 = clock.now_nanos();
+        let store = Self::open_with(io, policy)?;
+        let elapsed = clock.now_nanos().saturating_sub(t0);
+        store.obs.recovery_nanos.store(elapsed, Ordering::Relaxed);
+        Ok(store.with_clock(clock))
+    }
+
+    /// Installs a [`Clock`] so WAL append/fsync latency histograms are
+    /// recorded. Without one, the store never reads any clock.
+    #[must_use]
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.obs.clock = Some(clock);
+        self
     }
 
     /// Opens `dir` if it already holds a store, otherwise creates one
@@ -403,18 +489,24 @@ impl PersistentBackend {
             )));
         }
         let record = wal::encode_record(g.next_seq, &tuple)?;
+        let t_append = self.obs.now();
         if let Err(e) = self.io.append(WAL_FILE, &record) {
             let reason = format!("poisoned by failed append: {e}");
             g.read_only = Some(reason.clone());
             return Err(HdbError::Storage(reason));
         }
+        self.obs.appends.fetch_add(1, Ordering::Relaxed);
+        self.obs.elapsed_into(&self.obs.append_nanos, t_append);
         g.unsynced += 1;
         if self.policy.due(g.unsynced) {
+            let t_fsync = self.obs.now();
             if let Err(e) = self.io.sync(WAL_FILE) {
                 let reason = format!("poisoned by failed fsync: {e}");
                 g.read_only = Some(reason.clone());
                 return Err(HdbError::Storage(reason));
             }
+            self.obs.fsyncs.fetch_add(1, Ordering::Relaxed);
+            self.obs.elapsed_into(&self.obs.fsync_nanos, t_fsync);
             g.unsynced = 0;
         }
         g.next_seq += 1;
@@ -424,12 +516,16 @@ impl PersistentBackend {
         Ok(())
     }
 
-    /// Writes a snapshot of the current corpus (no session state).
+    /// Writes a snapshot of the current corpus (no session state), then
+    /// compacts the WAL and prunes snapshots older than the new base.
     ///
     /// # Errors
     /// [`HdbError::Storage`] if any write in the atomic
-    /// tmp → fsync → rename sequence fails. A failed snapshot never
-    /// poisons the store: the WAL remains the durable log.
+    /// tmp → fsync → rename sequence fails — a failed *snapshot* never
+    /// poisons the store, the WAL remains the durable log. A failure
+    /// *compacting* the WAL after the snapshot published does poison
+    /// (the log's on-disk state is no longer known); the snapshot
+    /// itself survives either way.
     pub fn snapshot(&self) -> Result<String> {
         self.snapshot_with_sessions(&SessionDump::default())
     }
@@ -441,9 +537,40 @@ impl PersistentBackend {
     /// As [`PersistentBackend::snapshot`].
     pub fn snapshot_with_sessions(&self, sessions: &SessionDump) -> Result<String> {
         // Write lock: the snapshot must be a point-in-time cut with no
-        // concurrent ingest between reading next_seq and the table.
-        let g = self.write();
-        write_snapshot(self.io.as_ref(), g.next_seq, g.backend.table(), sessions)
+        // concurrent ingest between reading next_seq and the table, and
+        // no append may land between the publish and the WAL reset.
+        let mut g = self.write();
+        let name = write_snapshot(self.io.as_ref(), g.next_seq, g.backend.table(), sessions)?;
+
+        // Compact: every WAL record is now covered by the snapshot just
+        // published, so the log restarts empty. A crash before the reset
+        // lands leaves a fully-covered WAL, which the next open resets
+        // idempotently.
+        let old_len = self.io.read(WAL_FILE)?.map_or(0, |b| b.len() as u64);
+        let reset = self
+            .io
+            .write(WAL_FILE, &WAL_MAGIC)
+            .and_then(|()| self.io.sync(WAL_FILE));
+        if let Err(e) = reset {
+            let reason = format!("poisoned by failed wal compaction: {e}");
+            g.read_only = Some(reason.clone());
+            return Err(HdbError::Storage(reason));
+        }
+        g.unsynced = 0;
+        self.obs.compactions.fetch_add(1, Ordering::Relaxed);
+        self.obs.reclaimed_bytes.fetch_add(
+            old_len.saturating_sub(WAL_MAGIC.len() as u64),
+            Ordering::Relaxed,
+        );
+
+        // Older snapshots are fully superseded: the new one covers every
+        // record they do. Prune them so the store holds one snapshot.
+        for stale in self.io.list()? {
+            if parse_snapshot_name(&stale).is_some_and(|seq| seq < g.next_seq) {
+                self.io.remove(&stale)?;
+            }
+        }
+        Ok(name)
     }
 
     /// Flushes any unsynced WAL tail (used on graceful shutdown under
@@ -457,11 +584,14 @@ impl PersistentBackend {
         if g.unsynced == 0 {
             return Ok(());
         }
+        let t_fsync = self.obs.now();
         if let Err(e) = self.io.sync(WAL_FILE) {
             let reason = format!("poisoned by failed fsync: {e}");
             g.read_only = Some(reason.clone());
             return Err(HdbError::Storage(reason));
         }
+        self.obs.fsyncs.fetch_add(1, Ordering::Relaxed);
+        self.obs.elapsed_into(&self.obs.fsync_nanos, t_fsync);
         g.unsynced = 0;
         Ok(())
     }
@@ -486,6 +616,44 @@ fn write_snapshot(
 impl SearchBackend for PersistentBackend {
     fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    fn fill_metrics(&self, snap: &mut MetricsSnapshot) {
+        let obs = &self.obs;
+        snap.counters.insert(
+            "hdb_wal_appends_total".to_string(),
+            obs.appends.load(Ordering::Relaxed),
+        );
+        snap.counters.insert(
+            "hdb_wal_fsyncs_total".to_string(),
+            obs.fsyncs.load(Ordering::Relaxed),
+        );
+        snap.counters.insert(
+            "hdb_wal_compactions_total".to_string(),
+            obs.compactions.load(Ordering::Relaxed),
+        );
+        snap.counters.insert(
+            "hdb_wal_reclaimed_bytes_total".to_string(),
+            obs.reclaimed_bytes.load(Ordering::Relaxed),
+        );
+        snap.gauges.insert(
+            "hdb_recovery_wal_records_seen".to_string(),
+            self.recovery.wal_records_seen,
+        );
+        snap.gauges.insert(
+            "hdb_recovery_wal_records_applied".to_string(),
+            self.recovery.wal_records_applied,
+        );
+        snap.gauges.insert(
+            "hdb_recovery_nanos".to_string(),
+            obs.recovery_nanos.load(Ordering::Relaxed),
+        );
+        if let Some(h) = obs.append_nanos.snapshot() {
+            snap.histograms.insert("hdb_wal_append_nanos".to_string(), h);
+        }
+        if let Some(h) = obs.fsync_nanos.snapshot() {
+            snap.histograms.insert("hdb_wal_fsync_nanos".to_string(), h);
+        }
     }
 
     fn len(&self) -> usize {

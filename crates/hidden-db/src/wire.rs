@@ -39,6 +39,7 @@
 use crate::backend::{Classified, Evaluation};
 use crate::error::{HdbError, Result};
 use crate::interface::ReturnedTuple;
+use crate::obs::{HistogramSnapshot, MetricsSnapshot};
 use crate::query::{Predicate, Query};
 use crate::ranking::RankingSpec;
 use crate::schema::{Attribute, Schema};
@@ -194,6 +195,11 @@ pub enum Request {
         /// The interface constant `k` (must be ≥ 1).
         k: u64,
     },
+    /// Asks the server for its own metrics snapshot — the same series the
+    /// Prometheus endpoint renders, delivered over the query wire so a
+    /// client can audit the server-side ledger without a second port.
+    /// A pure read: issues no corpus query and mutates no session state.
+    Stats,
 }
 
 /// One server → client message.
@@ -247,6 +253,9 @@ pub enum Response {
         /// The probe's count-only classification.
         classified: Classified,
     },
+    /// Reply to [`Request::Stats`]: the server's metrics snapshot at the
+    /// moment the request was dispatched.
+    Stats(MetricsSnapshot),
     /// Head of a chunked page stream: the inner page-carrying response
     /// with its page stripped; [`Response::PageChunk`] frames follow
     /// until one with `last` set. Only valid at the top level of a frame.
@@ -624,6 +633,56 @@ fn dec_error(d: &mut Dec<'_>) -> Result<HdbError> {
     })
 }
 
+fn enc_snapshot(e: &mut Enc, snap: &MetricsSnapshot) -> Result<()> {
+    e.seq(snap.counters.len(), "counter count")?;
+    for (name, v) in &snap.counters {
+        e.str(name)?;
+        e.u64(*v);
+    }
+    e.seq(snap.gauges.len(), "gauge count")?;
+    for (name, v) in &snap.gauges {
+        e.str(name)?;
+        e.u64(*v);
+    }
+    e.seq(snap.histograms.len(), "histogram count")?;
+    for (name, h) in &snap.histograms {
+        e.str(name)?;
+        e.seq(h.buckets.len(), "histogram bucket count")?;
+        for b in &h.buckets {
+            e.u64(*b);
+        }
+        e.u64(h.count);
+        e.u64(h.sum);
+    }
+    Ok(())
+}
+
+fn dec_snapshot(d: &mut Dec<'_>) -> Result<MetricsSnapshot> {
+    let mut snap = MetricsSnapshot::default();
+    for _ in 0..d.seq_len("counter count")? {
+        let name = d.str("counter name")?;
+        let value = d.u64("counter value")?;
+        snap.counters.insert(name, value);
+    }
+    for _ in 0..d.seq_len("gauge count")? {
+        let name = d.str("gauge name")?;
+        let value = d.u64("gauge value")?;
+        snap.gauges.insert(name, value);
+    }
+    for _ in 0..d.seq_len("histogram count")? {
+        let name = d.str("histogram name")?;
+        let n_buckets = d.seq_len("histogram bucket count")?;
+        let mut buckets = Vec::with_capacity(n_buckets);
+        for _ in 0..n_buckets {
+            buckets.push(d.u64("histogram bucket")?);
+        }
+        let count = d.u64("histogram observation count")?;
+        let sum = d.u64("histogram sum")?;
+        snap.histograms.insert(name, HistogramSnapshot { buckets, count, sum });
+    }
+    Ok(snap)
+}
+
 // ---------------------------------------------------------------------------
 // Message codecs
 
@@ -769,6 +828,7 @@ impl Request {
                 enc_predicate(e, *pred)?;
                 e.u64(*k);
             }
+            Self::Stats => e.u8(0x0F),
         }
         Ok(())
     }
@@ -852,6 +912,7 @@ impl Request {
                 pred: dec_predicate(d)?,
                 k: d.u64("k")?,
             },
+            0x0F => Self::Stats,
             t => {
                 return Err(HdbError::Transport(format!(
                     "malformed frame: unknown request tag {t:#04x}"
@@ -957,6 +1018,10 @@ impl Response {
                 e.u8(0x8F);
                 enc_error(e, err)?;
             }
+            Self::Stats(snap) => {
+                e.u8(0x8C);
+                enc_snapshot(e, snap)?;
+            }
         }
         Ok(())
     }
@@ -1052,6 +1117,7 @@ impl Response {
                 }
                 Self::PageChunk { last: d.u8("chunk terminator")? != 0, tuples: dec_page(d)? }
             }
+            0x8C => Self::Stats(dec_snapshot(d)?),
             0x8F => Self::Error(dec_error(d)?),
             t => {
                 return Err(HdbError::Transport(format!(
@@ -1384,6 +1450,7 @@ mod tests {
                     k: 10,
                 },
             ]),
+            Request::Stats,
         ];
         for req in requests {
             let bytes = req.encode().unwrap();
@@ -1445,11 +1512,50 @@ mod tests {
             Response::Error(HdbError::InvalidQuery("nope".into())),
             Response::Error(HdbError::BudgetExhausted { limit: 1000 }),
             Response::Error(HdbError::Transport("boom".into())),
+            Response::Stats(MetricsSnapshot::default()),
+            Response::Stats(sample_snapshot()),
         ];
         for resp in responses {
             let bytes = resp.encode().unwrap();
             assert_eq!(Response::decode(&bytes).unwrap(), resp);
         }
+    }
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("hdb_queries_issued_total".into(), 42);
+        snap.counters.insert("hdb_queries_valid_total".into(), 40);
+        snap.gauges.insert("hdb_server_sessions".into(), 3);
+        snap.gauges.insert("hdb_walk_scratch_high_water".into(), u64::MAX);
+        snap.histograms.insert(
+            "hdb_wal_append_nanos".into(),
+            HistogramSnapshot { buckets: vec![0, 1, 2, 0, 7], count: 10, sum: 123_456 },
+        );
+        snap.histograms.insert(
+            "hdb_server_batch_size".into(),
+            HistogramSnapshot { buckets: Vec::new(), count: 0, sum: 0 },
+        );
+        snap
+    }
+
+    #[test]
+    fn stats_frames_are_total_under_truncation() {
+        // A Stats request is a single tag byte; anything appended is
+        // trailing garbage and anything removed is an empty payload.
+        let req = Request::Stats.encode().unwrap();
+        assert_eq!(req, vec![0x0F]);
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[0x0F, 0x00]).is_err());
+        // Every proper prefix of an encoded Stats response is rejected
+        // with a typed transport error, never a panic or a short read.
+        let bytes = Response::Stats(sample_snapshot()).encode().unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                Response::decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded cleanly"
+            );
+        }
+        assert!(Response::decode(&bytes).is_ok());
     }
 
     #[test]

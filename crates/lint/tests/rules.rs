@@ -47,11 +47,33 @@ fn d01_respects_the_allowlist() {
 }
 
 #[test]
-fn d02_flags_wall_clock_outside_bench() {
+fn o01_flags_wall_clock_outside_timing_scope() {
     let src = "fn now() -> std::time::Instant { std::time::Instant::now() }";
-    assert_eq!(rules_hit("crates/core/src/engine.rs", src), vec!["HDB-D02"]);
+    assert_eq!(rules_hit("crates/core/src/engine.rs", src), vec!["HDB-O01"]);
     assert!(rules_hit("crates/bench/src/runner.rs", src).is_empty());
     assert!(rules_hit("crates/shims/criterion/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn o01_exempts_only_the_clock_module_of_obs() {
+    // obs/clock.rs is the one production wall-clock site (WallClock,
+    // precise_wait); the rest of the obs module records pre-measured
+    // nanos and must stay clock-free like any estimator code.
+    let src = "fn f() { let _t = std::time::SystemTime::now(); }";
+    assert!(rules_hit("crates/hidden-db/src/obs/clock.rs", src).is_empty());
+    assert_eq!(rules_hit("crates/hidden-db/src/obs/registry.rs", src), vec!["HDB-O01"]);
+    assert_eq!(rules_hit("crates/hidden-db/src/latency.rs", src), vec!["HDB-O01"]);
+}
+
+#[test]
+fn o01_respects_the_allowlist() {
+    let cfg = Config::parse(
+        "[allow.HDB-O01]\n\"examples/parallel_engine.rs\" = \"demo prints wall-clock speedups\"",
+    )
+    .unwrap();
+    let src = "fn f() { let _t = std::time::Instant::now(); }";
+    assert!(lint_file("examples/parallel_engine.rs", src, &cfg).is_empty());
+    assert!(!lint_file("examples/other.rs", src, &cfg).is_empty());
 }
 
 #[test]

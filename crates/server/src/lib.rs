@@ -38,6 +38,21 @@
 //! (bit-identical, one intersection slower) and extends answer
 //! `SessionGone` so the client re-roots.
 //!
+//! ## Observability
+//!
+//! The server keeps a query ledger partitioned exactly like the
+//! client-side [`QueryCounter`](hdb_interface::QueryCounter): every
+//! probe-shaped request (`Evaluate`, the walk probes, and the fused
+//! extend+probe pair) bumps `hdb_queries_issued_total` and exactly one
+//! of `underflow`/`valid`/`overflow`/`errored`, so
+//! `issued == underflow + valid + overflow + errored` holds on every
+//! scrape. A `Stats` request answers the merged snapshot (backend
+//! series, server ledger, serving counters) over the wire; an optional
+//! second listener ([`ServerConfig::metrics_addr`]) serves the same
+//! snapshot as a Prometheus text exposition over HTTP. Recording
+//! happens strictly after each response is computed — responses are
+//! bit-identical with the ledger on or off the scrape path.
+//!
 //! ## Robustness
 //!
 //! Every decoder is total: a malformed-but-framed payload gets a typed
@@ -76,15 +91,17 @@ use hdb_interface::wire::{
     encode_page_chunk, write_frame, FrameBuf, Request, Response, PROTOCOL_VERSION, STREAM_TUPLES,
 };
 use hdb_interface::{
-    HdbError, Predicate, Query, Result, ReturnedTuple, Schema, SearchBackend, SessionDump,
-    SessionRecord, WalkState, WalkStep,
+    Counter, HdbError, Histogram, MetricsRegistry, MetricsSnapshot, Predicate, Query, Result,
+    ReturnedTuple, Schema, SearchBackend, SessionDump, SessionRecord, WalkState, WalkStep,
 };
 
 /// The reactor token reserved for the listener; connections count up
 /// from [`FIRST_CONN_TOKEN`].
 const LISTENER_TOKEN: u64 = 0;
+/// The reactor token reserved for the optional metrics listener.
+const METRICS_TOKEN: u64 = 1;
 /// The first connection token.
-const FIRST_CONN_TOKEN: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
 /// How long the event thread blocks per reactor wait — a liveness
 /// backstop only (shutdown also wakes the reactor via the listener);
 /// no per-connection work happens on this cadence.
@@ -106,6 +123,10 @@ pub struct ServerConfig {
     /// Readiness backend: `Auto` picks `epoll` on Linux; `Portable`
     /// forces the `poll` fallback (tests exercise it everywhere).
     pub reactor: ReactorKind,
+    /// Address for the Prometheus-text metrics endpoint (port 0 for
+    /// ephemeral). `None` (the default) binds no metrics listener; the
+    /// `Stats` wire request answers regardless.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -115,6 +136,7 @@ impl Default for ServerConfig {
             session_cap: 1024,
             frames_per_turn: 64,
             reactor: ReactorKind::Auto,
+            metrics_addr: None,
         }
     }
 }
@@ -157,6 +179,9 @@ struct Sessions {
     next_sid: AtomicU64,
     clock: AtomicU64,
     cap: usize,
+    /// LRU evictions so far (an evicted session is not an error, but a
+    /// rising rate means the cap is too small for the client fleet).
+    evictions: AtomicU64,
 }
 
 impl Sessions {
@@ -166,6 +191,7 @@ impl Sessions {
             next_sid: AtomicU64::new(1),
             clock: AtomicU64::new(0),
             cap: cap.max(1),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -194,6 +220,7 @@ impl Sessions {
             if let Some(&stale) = t.by_recency.first() {
                 t.by_recency.remove(&stale);
                 t.by_sid.remove(&stale.1);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
         if let Some((old, _)) = t.by_sid.insert(sid, (touched, entry)) {
@@ -266,6 +293,53 @@ impl Sessions {
     }
 }
 
+/// The server's query ledger: pre-resolved registry counters bumped
+/// once per probe-shaped request, strictly after its response is
+/// computed. Every recorded probe lands in `issued` plus exactly one
+/// outcome bucket, so `issued == underflow + valid + overflow +
+/// errored` is an invariant of every snapshot.
+struct Ledger {
+    issued: Counter,
+    underflow: Counter,
+    valid: Counter,
+    overflow: Counter,
+    errored: Counter,
+}
+
+impl Ledger {
+    fn new(registry: &MetricsRegistry) -> Self {
+        Self {
+            issued: registry.counter("hdb_queries_issued_total"),
+            underflow: registry.counter("hdb_queries_underflow_total"),
+            valid: registry.counter("hdb_queries_valid_total"),
+            overflow: registry.counter("hdb_queries_overflow_total"),
+            errored: registry.counter("hdb_queries_errored_total"),
+        }
+    }
+
+    /// Classifies one probe's response under the `k` it asked for.
+    /// Errors and `SessionGone` (the fused probes' no-answer road) land
+    /// in `errored`; everything else partitions on the true match count.
+    fn record(&self, k: u64, resp: &Response) {
+        let count = match resp {
+            Response::Evaluation(ev) | Response::ExtendEvaluation { evaluation: ev, .. } => {
+                Some(ev.count)
+            }
+            Response::Classified(c) | Response::ExtendClassified { classified: c, .. } => {
+                Some(c.count)
+            }
+            _ => None,
+        };
+        self.issued.inc();
+        match count {
+            Some(0) => self.underflow.inc(),
+            Some(n) if n as u64 <= k => self.valid.inc(),
+            Some(_) => self.overflow.inc(),
+            None => self.errored.inc(),
+        }
+    }
+}
+
 /// Everything the event thread and the pool workers share.
 struct Inner<B> {
     backend: B,
@@ -280,9 +354,40 @@ struct Inner<B> {
     dispatches: AtomicU64,
     /// Request frames served (batch members count individually).
     frames: AtomicU64,
+    /// Page-chunk bytes pushed through [`Conn::tail`] streaming.
+    streamed_bytes: AtomicU64,
+    registry: MetricsRegistry,
+    ledger: Ledger,
+    /// Members per batch frame.
+    batch_size: Histogram,
 }
 
 impl<B: SearchBackend> Inner<B> {
+    /// The merged snapshot every exposure path serves: backend-reported
+    /// series, the registry (ledger + batch histogram), and the serving
+    /// counters, in one ordered map.
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        self.backend.fill_metrics(&mut snap);
+        snap.merge(self.registry.snapshot());
+        snap.counters.insert(
+            "hdb_server_dispatches_total".to_string(),
+            self.dispatches.load(Ordering::Relaxed),
+        );
+        snap.counters
+            .insert("hdb_server_frames_total".to_string(), self.frames.load(Ordering::Relaxed));
+        snap.counters.insert(
+            "hdb_server_streamed_bytes_total".to_string(),
+            self.streamed_bytes.load(Ordering::Relaxed),
+        );
+        snap.counters.insert(
+            "hdb_server_session_evictions_total".to_string(),
+            self.sessions.evictions.load(Ordering::Relaxed),
+        );
+        snap.gauges.insert("hdb_server_sessions".to_string(), self.sessions.len() as u64);
+        snap
+    }
+
     /// Rebuilds sessions from a snapshot dump: every record replays its
     /// recipe (root `walk_state`, then one `extend_state` per step)
     /// against the live backend, so the restored states are
@@ -410,6 +515,16 @@ fn push_level<B: SearchBackend>(
 /// [`Response::Error`] (or the graceful `SessionGone`), never a panic.
 fn handle_request<B: SearchBackend>(inner: &Inner<B>, req: Request) -> Response {
     let schema = inner.backend.schema();
+    // Probe-shaped requests feed the ledger; `k` is captured up front
+    // because the match below consumes the request.
+    let probe_k = match &req {
+        Request::Evaluate { k, .. }
+        | Request::WalkEvaluate { k, .. }
+        | Request::WalkClassify { k, .. }
+        | Request::WalkExtendEvaluate { k, .. }
+        | Request::WalkExtendClassify { k, .. } => Some(*k),
+        _ => None,
+    };
     let outcome = (|| -> Result<Response> {
         Ok(match req {
             Request::Hello { version } => {
@@ -585,6 +700,7 @@ fn handle_request<B: SearchBackend>(inner: &Inner<B>, req: Request) -> Response 
                 inner.sessions.close(sid);
                 Response::Closed
             }
+            Request::Stats => Response::Stats(inner.metrics_snapshot()),
             // Batches are flattened at the connection layer (one
             // response frame per member); one reaching the dispatcher
             // means a member was itself a batch, which decode rejects —
@@ -594,7 +710,13 @@ fn handle_request<B: SearchBackend>(inner: &Inner<B>, req: Request) -> Response 
             }
         })
     })();
-    outcome.unwrap_or_else(Response::Error)
+    let resp = outcome.unwrap_or_else(Response::Error);
+    // Ledger recording happens strictly after the response is computed:
+    // the answer is bit-identical whether or not anyone ever scrapes.
+    if let Some(k) = probe_k {
+        inner.ledger.record(k, &resp);
+    }
+    resp
 }
 
 /// An in-flight chunked page stream: the page is held un-encoded and
@@ -703,9 +825,10 @@ fn enqueue_response(conn: &mut Conn, mut resp: Response) -> Result<()> {
     write_frame(&mut conn.out, &payload)
 }
 
-/// Appends the next pending page chunk to the output buffer. `Ok(())`
-/// leaves `conn.tail` set iff more chunks remain.
-fn enqueue_chunk(conn: &mut Conn, mut tail: PageTail) -> Result<()> {
+/// Appends the next pending page chunk to the output buffer and
+/// returns its encoded byte length. `Ok(_)` leaves `conn.tail` set iff
+/// more chunks remain.
+fn enqueue_chunk(conn: &mut Conn, mut tail: PageTail) -> Result<u64> {
     let end = tail.page.len().min(tail.next.saturating_add(STREAM_TUPLES));
     let chunk = tail
         .page
@@ -718,7 +841,7 @@ fn enqueue_chunk(conn: &mut Conn, mut tail: PageTail) -> Result<()> {
         tail.next = end;
         conn.tail = Some(tail);
     }
-    Ok(())
+    Ok(payload.len() as u64)
 }
 
 enum ReadState {
@@ -787,9 +910,10 @@ fn turn<B: SearchBackend + 'static>(inner: &Arc<Inner<B>>, token: u64, mut conn:
         // next frames out (the client reassembles them positionally),
         // and encoding one chunk per drained buffer bounds memory.
         if let Some(tail) = conn.tail.take() {
-            if enqueue_chunk(&mut conn, tail).is_err() {
-                return close_conn(inner, conn);
-            }
+            match enqueue_chunk(&mut conn, tail) {
+                Ok(bytes) => inner.streamed_bytes.fetch_add(bytes, Ordering::Relaxed),
+                Err(_) => return close_conn(inner, conn),
+            };
             continue;
         }
         if served >= inner.frames_per_turn {
@@ -812,6 +936,7 @@ fn turn<B: SearchBackend + 'static>(inner: &Arc<Inner<B>>, token: u64, mut conn:
                     // member order; members queue so a streamed page in
                     // the middle keeps its chunks contiguous.
                     Ok(Request::Batch(members)) => {
+                        inner.batch_size.observe(members.len() as u64);
                         conn.queued.extend(members);
                         match conn.queued.pop_front() {
                             Some(req) => handle_request(inner, req),
@@ -877,11 +1002,74 @@ fn accept_ready<B>(inner: &Arc<Inner<B>>, listener: &TcpListener) {
     }
 }
 
+/// Serves one Prometheus scrape: drain the request head (the path is
+/// ignored — every scrape gets the full exposition), write an
+/// `HTTP/1.0` response, close. Runs on a pool worker with bounded
+/// timeouts so a stalled scraper cannot pin a thread.
+fn serve_scrape<B: SearchBackend>(inner: &Inner<B>, mut stream: TcpStream) {
+    let setup = stream
+        .set_nonblocking(false)
+        .and_then(|()| stream.set_read_timeout(Some(Duration::from_secs(2))))
+        .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(2))));
+    if setup.is_err() {
+        return;
+    }
+    // Read until the blank line ending the request head (or a bounded
+    // cap — a scrape carries no body worth waiting for).
+    let mut head = vec![0u8; 4096];
+    let mut got = 0usize;
+    while got < head.len() {
+        let Some(room) = head.get_mut(got..) else { break };
+        match stream.read(room) {
+            Ok(0) => break,
+            Ok(n) => {
+                got += n;
+                let read = head.get(..got).unwrap_or_default();
+                if read.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+    let body = inner.metrics_snapshot().render_prometheus();
+    let resp = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(resp.as_bytes());
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Accepts every pending scrape connection on the (nonblocking) metrics
+/// listener and dispatches each to the pool.
+fn accept_scrapes<B: SearchBackend + 'static>(inner: &Arc<Inner<B>>, metrics: &TcpListener) {
+    loop {
+        match metrics.accept() {
+            Ok((stream, _)) => {
+                let next = Arc::clone(inner);
+                if !inner.pool.send(move || serve_scrape(&next, stream)) {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
 /// The event loop: blocks in the reactor, accepts on listener
 /// readiness, and dispatches ready connections to the pool. Runs until
 /// the shutdown flag is set (the control thread wakes the reactor with
 /// a throwaway connection).
-fn event_loop<B: SearchBackend + 'static>(inner: &Arc<Inner<B>>, listener: &TcpListener) {
+fn event_loop<B: SearchBackend + 'static>(
+    inner: &Arc<Inner<B>>,
+    listener: &TcpListener,
+    metrics: Option<&TcpListener>,
+) {
     let mut events = Vec::new();
     loop {
         if inner.shutdown.load(Ordering::Acquire) {
@@ -899,6 +1087,16 @@ fn event_loop<B: SearchBackend + 'static>(inner: &Arc<Inner<B>>, listener: &TcpL
                 if inner
                     .reactor
                     .rearm(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)
+                    .is_err()
+                {
+                    return;
+                }
+            } else if ev.token == METRICS_TOKEN {
+                let Some(metrics) = metrics else { continue };
+                accept_scrapes(inner, metrics);
+                if inner
+                    .reactor
+                    .rearm(metrics.as_raw_fd(), METRICS_TOKEN, Interest::READ)
                     .is_err()
                 {
                     return;
@@ -961,7 +1159,30 @@ impl Server {
         reactor
             .register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)
             .map_err(|e| HdbError::Transport(format!("register listener: {e}")))?;
+        let metrics = match &config.metrics_addr {
+            None => None,
+            Some(addr) => {
+                let m = TcpListener::bind(addr.as_str())
+                    .map_err(|e| HdbError::Transport(format!("bind metrics {addr}: {e}")))?;
+                m.set_nonblocking(true)
+                    .map_err(|e| HdbError::Transport(format!("nonblocking metrics: {e}")))?;
+                reactor
+                    .register(m.as_raw_fd(), METRICS_TOKEN, Interest::READ)
+                    .map_err(|e| HdbError::Transport(format!("register metrics: {e}")))?;
+                Some(m)
+            }
+        };
+        let metrics_addr = match &metrics {
+            None => None,
+            Some(m) => Some(
+                m.local_addr()
+                    .map_err(|e| HdbError::Transport(format!("metrics local_addr: {e}")))?,
+            ),
+        };
         let pool = WorkerPool::new(config.pool_threads.max(1));
+        let registry = MetricsRegistry::new();
+        let ledger = Ledger::new(&registry);
+        let batch_size = registry.histogram("hdb_server_batch_size");
         let inner = Arc::new(Inner {
             backend,
             sessions: Sessions::new(config.session_cap),
@@ -973,15 +1194,20 @@ impl Server {
             frames_per_turn: config.frames_per_turn.max(1),
             dispatches: AtomicU64::new(0),
             frames: AtomicU64::new(0),
+            streamed_bytes: AtomicU64::new(0),
+            registry,
+            ledger,
+            batch_size,
         });
         let event_inner = Arc::clone(&inner);
         let events = std::thread::spawn(move || {
-            event_loop(&event_inner, &listener);
-            // Listener drops (closes) here; parked connections drain in
+            event_loop(&event_inner, &listener, metrics.as_ref());
+            // Listeners drop (close) here; parked connections drain in
             // RunningServer::stop once the workers have joined.
         });
         Ok(RunningServer {
             addr: local_addr,
+            metrics_addr,
             control: Control(inner),
             events: Some(events),
             pool: Some(pool),
@@ -1002,6 +1228,7 @@ trait ControlTarget: Send + Sync {
     fn drain(&self);
     fn export_sessions(&self) -> SessionDump;
     fn import_sessions(&self, dump: &SessionDump);
+    fn metrics_snapshot(&self) -> MetricsSnapshot;
 }
 
 impl<B: SearchBackend> ControlTarget for Inner<B> {
@@ -1045,6 +1272,10 @@ impl<B: SearchBackend> ControlTarget for Inner<B> {
     fn import_sessions(&self, dump: &SessionDump) {
         Inner::import_sessions(self, dump);
     }
+
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        Inner::metrics_snapshot(self)
+    }
 }
 
 /// A live server: reactor event thread + connection pool. Dropping it
@@ -1052,6 +1283,7 @@ impl<B: SearchBackend> ControlTarget for Inner<B> {
 /// every connection, drains the session table, and joins all threads.
 pub struct RunningServer {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     control: Control,
     events: Option<std::thread::JoinHandle<()>>,
     pool: Option<WorkerPool>,
@@ -1062,6 +1294,20 @@ impl RunningServer {
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound metrics-endpoint address, when
+    /// [`ServerConfig::metrics_addr`] asked for one.
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// The merged metrics snapshot — the same one a `Stats` wire request
+    /// or a Prometheus scrape would serve.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.control.0.metrics_snapshot()
     }
 
     /// Live walk sessions (diagnostics for tests and ops).
@@ -1480,6 +1726,131 @@ mod tests {
         };
         assert!(sid2 > sid);
         revived.shutdown();
+    }
+
+    /// The four outcome buckets of a snapshot's query ledger, plus the
+    /// issued total — for asserting the partition invariant.
+    fn ledger_of(snap: &hdb_interface::MetricsSnapshot) -> (u64, u64) {
+        let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        let issued = c("hdb_queries_issued_total");
+        let sum = c("hdb_queries_underflow_total")
+            + c("hdb_queries_valid_total")
+            + c("hdb_queries_overflow_total")
+            + c("hdb_queries_errored_total");
+        (issued, sum)
+    }
+
+    #[test]
+    fn stats_frame_serves_a_partitioned_ledger() {
+        let server = serve();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // One overflow (32 > k=3), one valid (2 ≤ 3), one errored (k=0).
+        let ranking = hdb_interface::RankingSpec::RowId;
+        let overflow =
+            ask(&mut stream, &Request::Evaluate { query: Query::all(), k: 3, ranking });
+        assert!(matches!(overflow, Response::Evaluation(_)));
+        let narrow = Query::all()
+            .and(0, 1)
+            .unwrap()
+            .and(1, 1)
+            .unwrap()
+            .and(2, 1)
+            .unwrap()
+            .and(3, 1)
+            .unwrap();
+        let valid = ask(
+            &mut stream,
+            &Request::Evaluate { query: narrow, k: 3, ranking: hdb_interface::RankingSpec::RowId },
+        );
+        assert!(matches!(valid, Response::Evaluation(_)));
+        let errored = ask(
+            &mut stream,
+            &Request::Evaluate {
+                query: Query::all(),
+                k: 0,
+                ranking: hdb_interface::RankingSpec::RowId,
+            },
+        );
+        assert!(matches!(errored, Response::Error(_)));
+
+        let Response::Stats(snap) = ask(&mut stream, &Request::Stats) else {
+            panic!("expected a Stats response");
+        };
+        let (issued, sum) = ledger_of(&snap);
+        assert_eq!(issued, 3);
+        assert_eq!(issued, sum, "ledger must partition");
+        assert_eq!(snap.counters.get("hdb_queries_overflow_total"), Some(&1));
+        assert_eq!(snap.counters.get("hdb_queries_valid_total"), Some(&1));
+        assert_eq!(snap.counters.get("hdb_queries_errored_total"), Some(&1));
+        // Serving counters ride along (the Stats frame snapshots before
+        // its own frame-count bump, so the three probes are the floor).
+        assert!(snap.counters.get("hdb_server_frames_total").copied().unwrap_or(0) >= 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_a_prometheus_scrape() {
+        let server = Server::bind_with(
+            TableBackend::new(table()),
+            "127.0.0.1:0",
+            ServerConfig { metrics_addr: Some("127.0.0.1:0".into()), ..ServerConfig::default() },
+        )
+        .unwrap();
+        let metrics_addr = server.metrics_addr().expect("metrics listener bound");
+        // Issue a probe so the ledger is non-trivial.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let resp = ask(
+            &mut stream,
+            &Request::Evaluate {
+                query: Query::all(),
+                k: 3,
+                ranking: hdb_interface::RankingSpec::RowId,
+            },
+        );
+        assert!(matches!(resp, Response::Evaluation(_)));
+
+        let mut scrape = TcpStream::connect(metrics_addr).unwrap();
+        scrape.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut text = String::new();
+        scrape.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.0 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Type: text/plain"), "{text}");
+        assert!(text.contains("# TYPE hdb_queries_issued_total counter\n"), "{text}");
+        assert!(text.contains("\nhdb_queries_issued_total 1\n"), "{text}");
+        assert!(text.contains("\nhdb_queries_overflow_total 1\n"), "{text}");
+        // The scrape agrees with the in-process snapshot's partition.
+        let (issued, sum) = ledger_of(&server.metrics());
+        assert_eq!(issued, 1);
+        assert_eq!(issued, sum);
+        server.shutdown();
+    }
+
+    #[test]
+    fn session_evictions_and_batches_are_counted() {
+        let server = Server::bind_with(
+            TableBackend::new(table()),
+            "127.0.0.1:0",
+            ServerConfig { session_cap: 1, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        for _ in 0..3 {
+            let resp = ask(&mut stream, &Request::WalkOpen { root: Query::all() });
+            assert!(matches!(resp, Response::Session { .. }));
+        }
+        let batch = Request::Batch(vec![Request::Len, Request::Len]);
+        write_frame(&mut stream, &batch.encode().unwrap()).unwrap();
+        for _ in 0..2 {
+            let payload = read_frame(&mut stream).unwrap().unwrap();
+            assert_eq!(Response::decode(&payload).unwrap(), Response::Len(32));
+        }
+        let snap = server.metrics();
+        assert_eq!(snap.counters.get("hdb_server_session_evictions_total"), Some(&2));
+        assert_eq!(snap.gauges.get("hdb_server_sessions"), Some(&1));
+        let batches = snap.histograms.get("hdb_server_batch_size").expect("batch histogram");
+        assert_eq!(batches.count, 1);
+        assert_eq!(batches.sum, 2);
+        server.shutdown();
     }
 
     #[test]

@@ -7,8 +7,13 @@
 //!            [--shard-part I --shard-parts N]
 //!            [--data-dir DIR] [--fsync always|never|every=N]
 //!            [--federate SHARDS] [fleet flags]
-//!            [--seed 42] [--self-test]
+//!            [--metrics-addr HOST:PORT]
+//!            [--seed 42] [--self-test] [--probe HOST:PORT]
 //! ```
+//!
+//! `--metrics-addr` binds a second listener serving the merged metrics
+//! snapshot (query ledger, serving counters, backend series) as a
+//! Prometheus text exposition — `curl http://HOST:PORT/metrics`.
 //!
 //! `--shards > 1` serves a [`ShardedDb`] instead of a single table (the
 //! estimators cannot tell the difference — that is the point).
@@ -27,6 +32,10 @@
 //! `--self-test` binds an ephemeral port, connects a [`RemoteBackend`]
 //! client to itself, verifies a query + walk-session round trip against
 //! the local backend bit-for-bit, and exits — the CI smoke path.
+//! `--probe HOST:PORT` runs as a one-shot *client* instead: connect to
+//! an already-running server, issue a handful of probes (so its query
+//! ledger is non-trivial), print the count, and exit — CI uses it to
+//! exercise a server before scraping `--metrics-addr`.
 
 #![forbid(unsafe_code)]
 
@@ -55,8 +64,10 @@ struct Opts {
     fsync: SyncPolicy,
     federate: Option<String>,
     fleet: FleetConfig,
+    metrics_addr: Option<String>,
     seed: u64,
     self_test: bool,
+    probe: Option<String>,
 }
 
 impl Opts {
@@ -74,8 +85,10 @@ impl Opts {
             fsync: SyncPolicy::Always,
             federate: None,
             fleet: FleetConfig::default(),
+            metrics_addr: None,
             seed: 42,
             self_test: false,
+            probe: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(flag) = args.next() {
@@ -105,6 +118,7 @@ impl Opts {
                 }
                 "--seed" => opts.seed = parse_num(&value("--seed"), "--seed") as u64,
                 "--self-test" => opts.self_test = true,
+                "--probe" => opts.probe = Some(value("--probe")),
                 "--data-dir" => opts.data_dir = Some(value("--data-dir")),
                 "--fsync" => {
                     opts.fsync = SyncPolicy::parse(&value("--fsync")).unwrap_or_else(|msg| {
@@ -113,6 +127,7 @@ impl Opts {
                     });
                 }
                 "--federate" => opts.federate = Some(value("--federate")),
+                "--metrics-addr" => opts.metrics_addr = Some(value("--metrics-addr")),
                 "--help" | "-h" => {
                     println!(
                         "usage: hdb-server [--addr HOST:PORT] [--rows N] [--attrs N] \
@@ -124,6 +139,12 @@ impl Opts {
                          recover (snapshot + WAL) afterwards\n  \
                          --fsync MODE            WAL fsync discipline: always | never | \
                          every=N (default always)\n\
+                         \n\
+                         observability:\n  \
+                         --metrics-addr HOST:PORT  serve Prometheus-text metrics on a \
+                         second listener (curl .../metrics)\n  \
+                         --probe HOST:PORT       one-shot client: probe a running \
+                         server a few times and exit (CI scrape smoke)\n\
                          \n\
                          federation gateway (tuning flags also accepted by the benches):\n  \
                          --federate SHARDS       serve a FederatedBackend over shards \
@@ -183,6 +204,7 @@ fn config(opts: &Opts) -> ServerConfig {
     if let Some(threads) = opts.pool_threads {
         config.pool_threads = threads.max(1);
     }
+    config.metrics_addr.clone_from(&opts.metrics_addr);
     config
 }
 
@@ -241,6 +263,45 @@ fn self_test(opts: &Opts) {
     println!("self-test OK: queries, walk sessions, and estimator runs are bit-identical");
 }
 
+/// One-shot client probe: connect to a running server, issue a handful
+/// of queries and a short walk session (every outcome class the corpus
+/// offers lands in the server's query ledger), report, and exit.
+fn probe(addr: &str) {
+    let remote = RemoteBackend::connect(addr.to_string()).unwrap_or_else(|e| {
+        eprintln!("failed to connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    let attrs = remote.schema().len();
+    let db = HiddenDb::over(remote, 10);
+    let out = db.query(&Query::all()).unwrap_or_else(|e| {
+        eprintln!("probe failed: {e}");
+        std::process::exit(1);
+    });
+    let root_overflows = out.is_overflow();
+    for attr in 0..attrs.min(4) {
+        for v in 0..2u16 {
+            if let Ok(q) = Query::all().and(attr, v) {
+                let _ = db.query(&q);
+            }
+        }
+    }
+    if let Ok(mut walk) = db.walk_session(Query::all()) {
+        for attr in 0..attrs.min(4) {
+            if let Ok(out) = walk.classify(attr, 1) {
+                if out.is_overflow() {
+                    walk.extend(attr, 1);
+                }
+            }
+        }
+    }
+    println!(
+        "probed {addr}: {} quer{} issued (root {})",
+        db.queries_issued(),
+        if db.queries_issued() == 1 { "y" } else { "ies" },
+        if root_overflows { "overflows" } else { "fits" },
+    );
+}
+
 /// Parses a `--federate` shard map: comma-separated shards, each a
 /// `|`-separated replica list.
 fn parse_topology(spec: &str) -> Topology {
@@ -292,6 +353,10 @@ fn open_store(dir: &str, opts: &Opts) -> Arc<PersistentBackend> {
 
 fn main() {
     let opts = Opts::parse();
+    if let Some(addr) = opts.probe.as_deref() {
+        probe(addr);
+        return;
+    }
     if opts.self_test {
         self_test(&opts);
         return;
@@ -392,6 +457,9 @@ fn main() {
         running.reactor_name(),
         running.addr()
     );
+    if let Some(m) = running.metrics_addr() {
+        println!("metrics on http://{m}/metrics");
+    }
     // Block until SIGINT/SIGTERM, then shut down gracefully: stop
     // accepting, close every connection, drain the session table (into a
     // snapshot when serving a durable store), and join the serving

@@ -1,0 +1,177 @@
+//! The observability hard bar, as a property: metrics and tracing are
+//! **bit-invisible**. For random corpora, seeds, and backend substrates,
+//! an estimator run with every obs surface enabled (interface registry,
+//! span ring, engine counters on a ticking clock) must produce the same
+//! estimate bits, per-pass history, and query accounting as a run with
+//! obs stripped — under 1 and 4 engine workers alike. Observation
+//! happens strictly after outcomes are computed; this suite is what
+//! keeps that ordering honest.
+
+use std::sync::Arc;
+
+use hdb_core::{AggregateSpec, EstimatorConfig, UnbiasedAggEstimator};
+use hdb_datagen::uniform_table;
+use hdb_interface::{
+    Attribute, HiddenDb, ManualClock, MemIo, MetricsRegistry, PersistentBackend, Query, Schema,
+    SearchBackend, ShardedDb, SyncPolicy, Table, TopKInterface,
+};
+use proptest::prelude::*;
+
+const PASSES: u64 = 30;
+const WORKER_COUNTS: [usize; 2] = [1, 4];
+
+/// Strategy: a random schema of 2–4 attributes with fanouts 2–4.
+fn schema_strategy() -> impl Strategy<Value = Schema> {
+    prop::collection::vec(2usize..=4, 2..=4).prop_map(|fanouts| {
+        Schema::new(
+            fanouts
+                .iter()
+                .enumerate()
+                .map(|(i, &f)| {
+                    Attribute::categorical(format!("a{i}"), (0..f).map(|v| v.to_string()))
+                        .expect("fanout ≥ 2")
+                })
+                .collect(),
+        )
+        .expect("names unique")
+    })
+}
+
+/// Strategy: a random non-empty duplicate-free table and a k in 1..=4.
+fn db_strategy() -> impl Strategy<Value = (Table, usize)> {
+    (schema_strategy(), any::<u64>(), 1usize..=4).prop_flat_map(|(schema, seed, k)| {
+        let capacity = schema.domain_size() as usize;
+        (1usize..=capacity.min(30)).prop_map(move |m| {
+            let table = uniform_table(&schema, m, seed).expect("m within capacity");
+            (table, k)
+        })
+    })
+}
+
+/// Everything an estimator run can leak: estimate bits, std-error bits,
+/// pass count, query accounting, and the full per-pass history bits.
+type Fingerprint = (u64, u64, u64, u64, Vec<u64>);
+
+/// Runs the paper's HD estimator over `db` with `workers` engine threads;
+/// `observed` additionally wires the engine's own metrics on a ticking
+/// [`ManualClock`], so the timing-capture path executes for real.
+fn run_fingerprint(db: &HiddenDb<impl SearchBackend>, seed: u64, workers: usize, observed: bool) -> Fingerprint {
+    let config = EstimatorConfig::hd_default().with_dub(8).with_r(2);
+    let mut est = UnbiasedAggEstimator::new(config, AggregateSpec::database_size(), seed)
+        .expect("valid config");
+    if observed {
+        let registry = MetricsRegistry::new();
+        let clock = Arc::new(ManualClock::new());
+        clock.advance(1_000);
+        est = est.with_obs(&registry, Some(clock));
+    }
+    let summary = est.run_parallel(db, PASSES, workers).expect("unlimited interface");
+    (
+        summary.estimate.to_bits(),
+        summary.std_error.to_bits(),
+        summary.passes,
+        summary.queries,
+        est.history().iter().map(|e| e.to_bits()).collect(),
+    )
+}
+
+/// Asserts obs-on ≡ obs-off over one backend constructor, all worker
+/// counts, and checks the query-cost ledger partition on the observed db.
+fn assert_invisible<B: SearchBackend>(make: impl Fn() -> B, k: usize, seed: u64) {
+    for workers in WORKER_COUNTS {
+        // Fully observed: live registry, span ring, engine obs + clock.
+        let observed = HiddenDb::over(make(), k).with_trace(256);
+        let on = run_fingerprint(&observed, seed, workers, true);
+
+        // Stripped: disabled registry, no ring, no engine obs.
+        let stripped = HiddenDb::over(make(), k).with_metrics_disabled();
+        let off = run_fingerprint(&stripped, seed, workers, false);
+
+        assert_eq!(on, off, "obs changed an outcome at workers={workers}");
+
+        // The ledger partition must hold on the observed snapshot.
+        let snap = observed.metrics();
+        let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        assert_eq!(
+            c("hdb_queries_issued_total"),
+            c("hdb_queries_underflow_total")
+                + c("hdb_queries_valid_total")
+                + c("hdb_queries_overflow_total")
+                + c("hdb_queries_errored_total"),
+            "ledger partition violated at workers={workers}"
+        );
+        assert_eq!(c("hdb_queries_issued_total"), on.3, "ledger disagrees with the run summary");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Single-table backend: obs-on ≡ obs-off, workers 1 and 4.
+    #[test]
+    fn obs_is_invisible_on_the_table_backend(
+        (table, k) in db_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let t = table.clone();
+        assert_invisible(move || hdb_interface::TableBackend::new(t.clone()), k, seed);
+    }
+
+    /// Sharded backend with concurrent shard evaluation: still invisible.
+    #[test]
+    fn obs_is_invisible_on_the_sharded_backend(
+        (table, k) in db_strategy(),
+        shards in 1usize..=7,
+        seed in any::<u64>(),
+    ) {
+        let t = table.clone();
+        assert_invisible(move || ShardedDb::new(&t, shards).with_workers(2), k, seed);
+    }
+
+    /// Durable backend (WAL metrics live on the probe/ingest path): the
+    /// storage counters must not perturb outcomes either.
+    #[test]
+    fn obs_is_invisible_on_the_persistent_backend(
+        (table, k) in db_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let t = table.clone();
+        assert_invisible(
+            move || {
+                let mem = MemIo::new();
+                Arc::new(
+                    PersistentBackend::create_with(
+                        Box::new(mem),
+                        SyncPolicy::Always,
+                        t.clone(),
+                    )
+                    .expect("create"),
+                )
+            },
+            k,
+            seed,
+        );
+    }
+}
+
+/// The span ring is bounded and deterministic: two identical runs leave
+/// identical traces, and the ring never exceeds its capacity.
+#[test]
+fn trace_rings_are_deterministic_and_bounded() {
+    let schema = Schema::boolean(4);
+    let table = uniform_table(&schema, 12, 7).expect("generation");
+    let probe = |cap: usize| {
+        let db = HiddenDb::new(table.clone(), 3).with_trace(cap);
+        for attr in 0..4 {
+            let q = Query::all().and(attr, 1).expect("valid attr");
+            let _ = db.query(&q).expect("unlimited");
+        }
+        db.trace().events()
+    };
+    let a = probe(64);
+    let b = probe(64);
+    assert_eq!(a, b, "identical runs must leave identical traces");
+    assert!(!a.is_empty(), "probes must leave spans");
+    let tight = probe(2);
+    assert!(tight.len() <= 2, "ring must honour its capacity");
+}

@@ -15,8 +15,9 @@ use std::sync::Arc;
 use hdb_core::UnbiasedSizeEstimator;
 use hdb_interface::storage::wal::{self, WalOp, WalTail, WAL_FILE, WAL_MAGIC};
 use hdb_interface::{
-    HdbError, HiddenDb, MemIo, PersistentBackend, Predicate, Query, Schema, SearchBackend,
-    SessionDump, SessionRecord, StorageIo, SyncPolicy, Table, TableBackend, Tuple, WalkStep,
+    HdbError, HiddenDb, MemIo, MetricsSnapshot, PersistentBackend, Predicate, Query, Schema,
+    SearchBackend, SessionDump, SessionRecord, StorageIo, SyncPolicy, Table, TableBackend, Tuple,
+    WalkStep,
 };
 use hdb_repro::testkit::{DiskFault, FaultSchedule, FaultyStorageIo};
 use proptest::prelude::*;
@@ -328,6 +329,146 @@ fn snapshot_plus_tail_equals_pure_replay_equals_in_memory() {
         assert_eq!(b.recovery().wal_records_applied, u64::from(extra));
         assert_eq!(fingerprint(Arc::new(a)), expected, "snapshot+tail diverged at cadence {cadence}");
         assert_eq!(fingerprint(Arc::new(b)), expected, "pure replay diverged at cadence {cadence}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WAL compaction
+
+/// A successful snapshot compacts the WAL back to the bare magic, prunes
+/// the superseded snapshot, accounts the reclaimed bytes, and the store
+/// keeps accepting ingests that replay from the new base after a restart.
+#[test]
+fn snapshot_compacts_the_wal_and_accounts_reclaimed_bytes() {
+    let attrs = 5;
+    let base = table(8, attrs);
+    let mem = MemIo::new();
+    create_clean(&mem, &base);
+    let store =
+        PersistentBackend::open_with(Box::new(mem.clone()), SyncPolicy::Always).expect("open");
+    for i in 0..6u16 {
+        store.ingest(tuple(8 + i, attrs)).expect("ingest");
+    }
+    let wal_before = mem.read(WAL_FILE).expect("mem io").expect("wal present").len();
+    assert!(wal_before > WAL_MAGIC.len(), "ingests must have grown the log");
+    let files_before = mem.list().expect("mem io").len();
+
+    store.snapshot().expect("snapshot");
+
+    // The log restarts empty and the metrics ledger records what the
+    // compaction reclaimed.
+    assert_eq!(mem.read(WAL_FILE).expect("mem io").expect("wal present"), WAL_MAGIC.to_vec());
+    let mut snap = MetricsSnapshot::default();
+    store.fill_metrics(&mut snap);
+    assert_eq!(snap.counters.get("hdb_wal_compactions_total"), Some(&1));
+    assert_eq!(
+        snap.counters.get("hdb_wal_reclaimed_bytes_total"),
+        Some(&((wal_before - WAL_MAGIC.len()) as u64))
+    );
+    // The superseded seed snapshot is pruned: same file count as before
+    // (one snapshot replaced the other, the WAL name persists).
+    assert_eq!(mem.list().expect("mem io").len(), files_before);
+
+    // Post-compaction ingests land in the reset log and replay on top of
+    // the new base after a crash.
+    store.ingest(tuple(14, attrs)).expect("post-compaction ingest");
+    drop(store);
+    let recovered = PersistentBackend::open_with(Box::new(mem.clone()), SyncPolicy::Always)
+        .expect("recover");
+    assert_eq!(recovered.read_only(), None);
+    assert_eq!(recovered.recovery().wal_records_applied, 1);
+    assert_eq!(recovered.len(), base.len() + 7);
+    // The compacted WAL no longer holds the pre-snapshot records, so the
+    // reference is the full corpus, not `disk_reference`.
+    let mut all = base.tuples().to_vec();
+    all.extend((0..7u16).map(|i| tuple(8 + i, attrs)));
+    let reference =
+        TableBackend::new(Table::new(base.schema().clone(), all).expect("valid corpus"));
+    assert_eq!(fingerprint(Arc::new(recovered)), fingerprint(reference));
+}
+
+/// Crash-site sweep over the entire snapshot + compaction sequence:
+/// tmp write, tmp fsync, rename (publish), WAL reset write, WAL reset
+/// fsync, stale-snapshot prune. Every site must recover read-write and
+/// bit-identical to the uninterrupted in-memory run; the site between
+/// the snapshot publish and the WAL reset is the one the idempotent
+/// stale-WAL reset on reopen exists for.
+#[test]
+fn crash_between_snapshot_publish_and_wal_reset_recovers() {
+    let attrs = 6;
+    let base = table(10, attrs);
+    let extra = 4u16;
+    let mut all = base.tuples().to_vec();
+    all.extend((0..extra).map(|i| tuple(10 + i, attrs)));
+    let expected = fingerprint(TableBackend::new(
+        Table::new(base.schema().clone(), all).expect("valid corpus"),
+    ));
+    // Under SyncPolicy::Always each ingest consumes two mutations; the
+    // snapshot path then consumes, in order: tmp write, tmp fsync,
+    // rename, WAL reset write, WAL reset fsync, stale prune. Site `s`
+    // forwards the first `s` of those six and crashes on the next;
+    // site 6 is the uninterrupted control run.
+    let ingest_mutations = 2 * extra as usize;
+    for site in 0..=6usize {
+        let mem = MemIo::new();
+        create_clean(&mem, &base);
+        let faulty = FaultyStorageIo::new(
+            mem.clone(),
+            FaultSchedule::crash_after_writes(ingest_mutations + site),
+        );
+        let store = PersistentBackend::open_with(Box::new(faulty), SyncPolicy::Always)
+            .expect("pre-crash open");
+        for i in 0..extra {
+            store.ingest(tuple(10 + i, attrs)).expect("pre-crash ingest");
+        }
+        let published = site >= 3; // the rename is the third snapshot-path mutation
+        match store.snapshot() {
+            Ok(_) => assert_eq!(site, 6, "only the control run may succeed"),
+            Err(HdbError::Storage(_)) => assert!(site < 6, "control run must not fail"),
+            Err(e) => panic!("site {site}: untyped failure {e}"),
+        }
+        if site == 3 || site == 4 {
+            // The snapshot published but the WAL reset did not land: the
+            // log's on-disk state is unknown, so the store must poison.
+            let reason = store.read_only().expect("publish+failed-reset must poison");
+            assert!(reason.contains("wal compaction"), "site {site}: {reason}");
+        } else if site < 3 {
+            // A failed snapshot write never poisons — the WAL is still
+            // the authoritative log.
+            assert_eq!(store.read_only(), None, "site {site}: failed snapshot must not poison");
+        }
+        drop(store);
+
+        // Restart over the surviving bytes: always read-write, always
+        // bit-identical to the uninterrupted in-memory corpus.
+        let recovered = PersistentBackend::open_with(Box::new(mem.clone()), SyncPolicy::Always)
+            .expect("post-crash open");
+        assert_eq!(recovered.read_only(), None, "site {site} must recover read-write");
+        if published {
+            // Every WAL record is covered by the published snapshot:
+            // recovery applies zero of them and resets the stale log.
+            assert_eq!(
+                recovered.recovery().wal_records_applied,
+                0,
+                "site {site}: the published snapshot covers every record"
+            );
+            // At site 3 the untouched log ends exactly at the new base,
+            // so appends stay seq-continuous and no reset is needed;
+            // from site 4 on the log ends short of the base (the reset
+            // write landed) and reopen must reset it idempotently.
+            assert_eq!(
+                recovered.recovery().wal_reset,
+                site >= 4,
+                "site {site}: stale-wal reset fired at the wrong window"
+            );
+        } else {
+            assert_eq!(recovered.recovery().wal_records_applied, u64::from(extra));
+        }
+        assert_eq!(
+            fingerprint(Arc::new(recovered)),
+            expected,
+            "site {site} diverged from the in-memory reference"
+        );
     }
 }
 

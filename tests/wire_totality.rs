@@ -73,6 +73,7 @@ fn encoded_requests(sid: u64, level: u32, k: u64, seed: u64) -> Vec<Vec<u8>> {
             k,
         },
         Request::WalkClose { sid },
+        Request::Stats,
     ];
     let mut encoded: Vec<Vec<u8>> =
         reqs.iter().map(|r| r.encode().expect("valid request encodes")).collect();
@@ -254,6 +255,30 @@ proptest! {
         prop_assert_eq!(read_response(&mut cursor).expect("reassembles"), Some(resp));
         // Whatever trails the stream is someone else's frame: total.
         while let Ok(Some(_)) = read_response(&mut cursor) {}
+    }
+}
+
+/// A `Stats` response carrying a populated [`MetricsSnapshot`] round-trips
+/// bitwise, and every truncation prefix of its frame decodes to a typed
+/// error or a complete shorter message — never a panic. (The request side
+/// of `Stats` rides the proptest corpus above.)
+#[test]
+fn stats_snapshot_round_trips_and_truncates_cleanly() {
+    use hdb_interface::{HistogramSnapshot, MetricsSnapshot};
+    let mut snap = MetricsSnapshot::default();
+    snap.counters.insert("hdb_queries_issued_total".to_string(), 42);
+    snap.counters.insert("hdb_server_frames_total".to_string(), 7);
+    snap.gauges.insert("hdb_server_sessions".to_string(), 3);
+    snap.histograms.insert(
+        "hdb_probe_nanos".to_string(),
+        HistogramSnapshot { buckets: vec![0, 2, 5, 0, 1], count: 8, sum: 91 },
+    );
+    let resp = Response::Stats(snap);
+    let payload = resp.encode().expect("stats encodes");
+    assert_eq!(Response::decode(&payload).expect("stats decodes"), resp);
+    for cut in 0..payload.len() {
+        let _ = Response::decode(&payload[..cut]);
+        let _ = Request::decode(&payload[..cut]);
     }
 }
 
